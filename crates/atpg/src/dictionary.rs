@@ -1,0 +1,300 @@
+//! The classic logic-domain (pass/fail) fault dictionary.
+//!
+//! This is the *effect–cause* baseline the paper contrasts with: for each
+//! candidate fault, precompute the 0/1 detection matrix over (output,
+//! pattern); diagnose a failing chip by ranking candidates by Hamming
+//! distance between their predicted matrix and the observed behaviour.
+//! Because it carries no timing information, it cannot express "this
+//! pattern detects the defect only if the defect is large" — which is
+//! exactly the gap the paper's probabilistic dictionary closes.
+
+use crate::fault::{TransitionDirection, TransitionFault};
+use crate::fault_sim::transition_detects;
+use crate::pattern::PatternSet;
+use sdd_netlist::{Circuit, EdgeId};
+use serde::{Deserialize, Serialize};
+
+/// A dense 0/1 matrix over (output, pattern) packed into 64-bit words.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BitMatrix {
+    rows: usize,
+    cols: usize,
+    words: Vec<u64>,
+}
+
+impl BitMatrix {
+    /// An all-zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> BitMatrix {
+        BitMatrix {
+            rows,
+            cols,
+            words: vec![0; (rows * cols + 63) / 64],
+        }
+    }
+
+    /// Number of rows (outputs).
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns (patterns).
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    #[inline]
+    fn bit_index(&self, row: usize, col: usize) -> usize {
+        assert!(row < self.rows && col < self.cols, "index out of range");
+        row * self.cols + col
+    }
+
+    /// Reads bit `(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range indices.
+    pub fn get(&self, row: usize, col: usize) -> bool {
+        let ix = self.bit_index(row, col);
+        self.words[ix / 64] >> (ix % 64) & 1 == 1
+    }
+
+    /// Sets bit `(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range indices.
+    pub fn set(&mut self, row: usize, col: usize, value: bool) {
+        let ix = self.bit_index(row, col);
+        if value {
+            self.words[ix / 64] |= 1 << (ix % 64);
+        } else {
+            self.words[ix / 64] &= !(1 << (ix % 64));
+        }
+    }
+
+    /// Number of set bits.
+    pub fn count_ones(&self) -> u32 {
+        self.words.iter().map(|w| w.count_ones()).sum()
+    }
+
+    /// Hamming distance to another matrix of the same shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ.
+    pub fn hamming(&self, other: &BitMatrix) -> u32 {
+        assert_eq!(self.rows, other.rows, "row count mismatch");
+        assert_eq!(self.cols, other.cols, "column count mismatch");
+        self.words
+            .iter()
+            .zip(&other.words)
+            .map(|(a, b)| (a ^ b).count_ones())
+            .sum()
+    }
+}
+
+/// A logic-domain transition-fault dictionary over arc sites.
+///
+/// For every arc and both transition directions, stores the predicted
+/// detection matrix under the given pattern set (zero-delay gross-delay
+/// semantics, see [`transition_detects`]).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TransitionDictionary {
+    n_outputs: usize,
+    n_patterns: usize,
+    entries: Vec<(TransitionFault, BitMatrix)>,
+}
+
+impl TransitionDictionary {
+    /// Builds the dictionary for every arc of the circuit.
+    ///
+    /// # Panics
+    ///
+    /// Panics for sequential circuits.
+    pub fn build(circuit: &Circuit, patterns: &PatternSet) -> TransitionDictionary {
+        let sites: Vec<EdgeId> = circuit.edge_ids().collect();
+        TransitionDictionary::build_for_sites(circuit, patterns, &sites)
+    }
+
+    /// Builds the dictionary for a subset of arc sites.
+    ///
+    /// # Panics
+    ///
+    /// Panics for sequential circuits.
+    pub fn build_for_sites(
+        circuit: &Circuit,
+        patterns: &PatternSet,
+        sites: &[EdgeId],
+    ) -> TransitionDictionary {
+        let n_outputs = circuit.primary_outputs().len();
+        let n_patterns = patterns.len();
+        let mut entries = Vec::with_capacity(sites.len() * 2);
+        for &edge in sites {
+            for direction in [TransitionDirection::Rise, TransitionDirection::Fall] {
+                let fault = TransitionFault::new(edge, direction);
+                let mut m = BitMatrix::zeros(n_outputs, n_patterns);
+                for (j, p) in patterns.iter().enumerate() {
+                    if let Some(det) = transition_detects(circuit, fault, p) {
+                        for (i, &d) in det.iter().enumerate() {
+                            if d {
+                                m.set(i, j, true);
+                            }
+                        }
+                    }
+                }
+                entries.push((fault, m));
+            }
+        }
+        TransitionDictionary {
+            n_outputs,
+            n_patterns,
+            entries,
+        }
+    }
+
+    /// Number of (fault, matrix) entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Returns `true` if the dictionary is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterates over entries.
+    pub fn iter(&self) -> impl Iterator<Item = &(TransitionFault, BitMatrix)> {
+        self.entries.iter()
+    }
+
+    /// The predicted detection matrix of one fault, if present.
+    pub fn matrix(&self, fault: TransitionFault) -> Option<&BitMatrix> {
+        self.entries
+            .iter()
+            .find(|(f, _)| *f == fault)
+            .map(|(_, m)| m)
+    }
+
+    /// Classic logic diagnosis: ranks arc *sites* by the minimum Hamming
+    /// distance (over the two directions) between the predicted detection
+    /// matrix and the observed behaviour. Returns the best `k` sites,
+    /// closest first; ties keep insertion order (arc id order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `behavior`'s shape differs from the dictionary's.
+    pub fn diagnose(&self, behavior: &BitMatrix, k: usize) -> Vec<(EdgeId, u32)> {
+        let mut best: Vec<(EdgeId, u32)> = Vec::new();
+        for (fault, m) in &self.entries {
+            let d = m.hamming(behavior);
+            match best.iter_mut().find(|(e, _)| *e == fault.edge) {
+                Some(entry) => entry.1 = entry.1.min(d),
+                None => best.push((fault.edge, d)),
+            }
+        }
+        best.sort_by_key(|&(e, d)| (d, e));
+        best.truncate(k);
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pattern::TestPattern;
+    use sdd_netlist::{CircuitBuilder, GateKind};
+
+    fn mux() -> Circuit {
+        let mut b = CircuitBuilder::new("mux");
+        let s = b.input("s");
+        let a = b.input("a");
+        let c = b.input("c");
+        let ns = b.gate("ns", GateKind::Not, &[s]).unwrap();
+        let t0 = b.gate("t0", GateKind::And, &[ns, a]).unwrap();
+        let t1 = b.gate("t1", GateKind::And, &[s, c]).unwrap();
+        let y = b.gate("y", GateKind::Or, &[t0, t1]).unwrap();
+        b.output(y);
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn bit_matrix_roundtrip() {
+        let mut m = BitMatrix::zeros(3, 70); // spans multiple words
+        m.set(0, 0, true);
+        m.set(2, 69, true);
+        m.set(1, 64, true);
+        assert!(m.get(0, 0));
+        assert!(m.get(2, 69));
+        assert!(m.get(1, 64));
+        assert!(!m.get(1, 63));
+        assert_eq!(m.count_ones(), 3);
+        m.set(0, 0, false);
+        assert_eq!(m.count_ones(), 2);
+    }
+
+    #[test]
+    fn hamming_distance() {
+        let mut a = BitMatrix::zeros(2, 2);
+        let mut b = BitMatrix::zeros(2, 2);
+        a.set(0, 0, true);
+        a.set(1, 1, true);
+        b.set(1, 1, true);
+        b.set(0, 1, true);
+        assert_eq!(a.hamming(&b), 2);
+        assert_eq!(a.hamming(&a), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn oob_panics() {
+        BitMatrix::zeros(1, 1).get(0, 1);
+    }
+
+    #[test]
+    fn dictionary_build_and_diagnose() {
+        let c = mux();
+        let patterns: PatternSet = [
+            TestPattern::new(vec![false, false, false], vec![false, true, false]),
+            TestPattern::new(vec![true, false, false], vec![true, false, true]),
+            TestPattern::new(vec![false, true, true], vec![true, true, true]),
+        ]
+        .into_iter()
+        .collect();
+        let dict = TransitionDictionary::build(&c, &patterns);
+        assert_eq!(dict.len(), c.num_edges() * 2);
+        assert!(!dict.is_empty());
+
+        // "Observed" behaviour = the prediction of a known fault; that
+        // site must rank first with distance 0.
+        let t0 = c.find("t0").unwrap();
+        let y = c.find("y").unwrap();
+        let e = c
+            .node(y)
+            .fanin_edges()
+            .iter()
+            .copied()
+            .find(|&e| c.edge(e).from() == t0)
+            .unwrap();
+        let fault = TransitionFault::new(e, TransitionDirection::Rise);
+        let behavior = dict.matrix(fault).unwrap().clone();
+        assert!(behavior.count_ones() > 0, "fault is never detected");
+        let ranked = dict.diagnose(&behavior, 3);
+        assert_eq!(ranked[0].1, 0);
+        // The true site is among the zero-distance candidates.
+        let zero_sites: Vec<EdgeId> = ranked
+            .iter()
+            .filter(|&&(_, d)| d == 0)
+            .map(|&(e, _)| e)
+            .collect();
+        assert!(zero_sites.contains(&e));
+    }
+
+    #[test]
+    fn diagnose_truncates_to_k() {
+        let c = mux();
+        let patterns = PatternSet::random(&c, 4, 1);
+        let dict = TransitionDictionary::build(&c, &patterns);
+        let behavior = BitMatrix::zeros(1, patterns.len());
+        assert_eq!(dict.diagnose(&behavior, 2).len(), 2);
+    }
+}

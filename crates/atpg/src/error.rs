@@ -1,0 +1,66 @@
+//! Error type for test generation.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by ATPG and fault simulation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum AtpgError {
+    /// The backtrack budget was exhausted before a decision was reached.
+    Aborted {
+        /// What was being generated.
+        what: String,
+        /// The budget that was exhausted.
+        backtracks: usize,
+    },
+    /// The target was proved untestable (search space exhausted).
+    Untestable {
+        /// What was being generated.
+        what: String,
+    },
+    /// A referenced circuit element was out of range.
+    NoSuchElement(String),
+    /// The circuit is sequential; apply the scan cut first.
+    SequentialCircuit,
+}
+
+impl fmt::Display for AtpgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AtpgError::Aborted { what, backtracks } => {
+                write!(f, "aborted {what} after {backtracks} backtracks")
+            }
+            AtpgError::Untestable { what } => write!(f, "{what} is untestable"),
+            AtpgError::NoSuchElement(what) => write!(f, "no such element: {what}"),
+            AtpgError::SequentialCircuit => {
+                write!(f, "circuit is sequential; apply the scan cut first")
+            }
+        }
+    }
+}
+
+impl Error for AtpgError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = AtpgError::Aborted {
+            what: "path test".into(),
+            backtracks: 1000,
+        };
+        assert!(e.to_string().contains("1000"));
+        assert!(AtpgError::Untestable { what: "fault f".into() }
+            .to_string()
+            .contains("untestable"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<AtpgError>();
+    }
+}

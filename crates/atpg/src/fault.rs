@@ -1,0 +1,199 @@
+//! Fault models: stuck-at, transition and path delay faults.
+
+use sdd_netlist::{Circuit, EdgeId, NodeId};
+use sdd_timing::path::Path;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The value a stuck-at fault forces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum StuckValue {
+    /// Stuck-at-0.
+    Zero,
+    /// Stuck-at-1.
+    One,
+}
+
+impl StuckValue {
+    /// The forced boolean value.
+    pub fn as_bool(self) -> bool {
+        self == StuckValue::One
+    }
+
+    /// The opposite stuck value.
+    pub fn opposite(self) -> StuckValue {
+        match self {
+            StuckValue::Zero => StuckValue::One,
+            StuckValue::One => StuckValue::Zero,
+        }
+    }
+}
+
+/// A single stuck-at fault on a node's output signal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct StuckAtFault {
+    /// The faulted signal.
+    pub node: NodeId,
+    /// The forced value.
+    pub value: StuckValue,
+}
+
+impl StuckAtFault {
+    /// Creates a stuck-at fault.
+    pub fn new(node: NodeId, value: StuckValue) -> Self {
+        StuckAtFault { node, value }
+    }
+
+    /// All 2·|V| stuck-at faults of a circuit (both polarities on every
+    /// non-input node's output plus every primary input).
+    pub fn all(circuit: &Circuit) -> Vec<StuckAtFault> {
+        circuit
+            .node_ids()
+            .flat_map(|n| {
+                [
+                    StuckAtFault::new(n, StuckValue::Zero),
+                    StuckAtFault::new(n, StuckValue::One),
+                ]
+            })
+            .collect()
+    }
+}
+
+impl fmt::Display for StuckAtFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} stuck-at-{}",
+            self.node,
+            if self.value.as_bool() { 1 } else { 0 }
+        )
+    }
+}
+
+/// The direction of a delayed transition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TransitionDirection {
+    /// Slow-to-rise (the 0→1 edge is late).
+    Rise,
+    /// Slow-to-fall (the 1→0 edge is late).
+    Fall,
+}
+
+impl TransitionDirection {
+    /// The initial value of the delayed transition.
+    pub fn initial(self) -> bool {
+        self == TransitionDirection::Fall
+    }
+
+    /// The final value of the delayed transition.
+    pub fn final_value(self) -> bool {
+        self == TransitionDirection::Rise
+    }
+
+    /// The opposite direction.
+    pub fn opposite(self) -> TransitionDirection {
+        match self {
+            TransitionDirection::Rise => TransitionDirection::Fall,
+            TransitionDirection::Fall => TransitionDirection::Rise,
+        }
+    }
+}
+
+/// A transition (gate-delay) fault on a circuit arc: the segment adds
+/// enough delay that the given transition through it misses the clock.
+///
+/// The paper's segment-oriented defect model (Definition D.9) places
+/// defects on arcs; a transition fault is the logic-domain abstraction of
+/// such a defect. Our defects slow both directions (a resistive segment),
+/// so diagnosis treats `Rise` and `Fall` on the same arc as one suspect
+/// *site*.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct TransitionFault {
+    /// The faulted arc.
+    pub edge: EdgeId,
+    /// The slowed direction (as seen at the arc's sink output).
+    pub direction: TransitionDirection,
+}
+
+impl TransitionFault {
+    /// Creates a transition fault.
+    pub fn new(edge: EdgeId, direction: TransitionDirection) -> Self {
+        TransitionFault { edge, direction }
+    }
+}
+
+impl fmt::Display for TransitionFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} slow-to-{}",
+            self.edge,
+            match self.direction {
+                TransitionDirection::Rise => "rise",
+                TransitionDirection::Fall => "fall",
+            }
+        )
+    }
+}
+
+/// A path delay fault: the cumulative delay along `path` exceeds the
+/// clock for the given launch direction at the path source.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PathDelayFault {
+    /// The structural path.
+    pub path: Path,
+    /// The launch direction at the path source.
+    pub launch: TransitionDirection,
+}
+
+impl PathDelayFault {
+    /// Creates a path delay fault.
+    pub fn new(path: Path, launch: TransitionDirection) -> Self {
+        PathDelayFault { path, launch }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdd_netlist::{CircuitBuilder, GateKind};
+
+    #[test]
+    fn stuck_value_ops() {
+        assert!(StuckValue::One.as_bool());
+        assert!(!StuckValue::Zero.as_bool());
+        assert_eq!(StuckValue::One.opposite(), StuckValue::Zero);
+    }
+
+    #[test]
+    fn all_faults_enumerates_both_polarities() {
+        let mut b = CircuitBuilder::new("t");
+        let a = b.input("a");
+        let g = b.gate("g", GateKind::Not, &[a]).unwrap();
+        b.output(g);
+        let c = b.finish().unwrap();
+        let faults = StuckAtFault::all(&c);
+        assert_eq!(faults.len(), 4);
+        assert!(faults.contains(&StuckAtFault::new(a, StuckValue::One)));
+        assert!(faults.contains(&StuckAtFault::new(g, StuckValue::Zero)));
+    }
+
+    #[test]
+    fn transition_direction_values() {
+        assert!(!TransitionDirection::Rise.initial());
+        assert!(TransitionDirection::Rise.final_value());
+        assert!(TransitionDirection::Fall.initial());
+        assert_eq!(
+            TransitionDirection::Rise.opposite(),
+            TransitionDirection::Fall
+        );
+    }
+
+    #[test]
+    fn displays() {
+        let f = StuckAtFault::new(NodeId::from_index(3), StuckValue::One);
+        assert_eq!(f.to_string(), "n3 stuck-at-1");
+        let t = TransitionFault::new(EdgeId::from_index(2), TransitionDirection::Fall);
+        assert_eq!(t.to_string(), "e2 slow-to-fall");
+    }
+}

@@ -1,0 +1,351 @@
+//! Robust and non-robust path sensitization conditions.
+//!
+//! For a path delay fault to be observed, every gate along the path must
+//! propagate the on-path transition. The conditions on the *side inputs*
+//! (the off-path fanins) of each on-path gate define the sensitization
+//! mode:
+//!
+//! * **Robust** (hazard-free): side inputs hold steady non-controlling
+//!   values in both vectors. The test is valid regardless of delays
+//!   elsewhere in the circuit. (This is the conservative, strong-robust
+//!   subset of the Lin–Reddy conditions.)
+//! * **Non-robust**: side inputs need only be non-controlling under the
+//!   final vector; the test may be invalidated by other slow paths.
+//!
+//! XOR/XNOR gates have no controlling value; their side inputs must be
+//! steady in both modes, and the chosen steady value decides whether the
+//! gate inverts the on-path transition.
+
+use crate::fault::TransitionDirection;
+use crate::AtpgError;
+use sdd_netlist::{Circuit, GateKind, NodeId};
+use sdd_timing::path::Path;
+use serde::{Deserialize, Serialize};
+
+/// The sensitization mode requested of the path ATPG.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SensitizationMode {
+    /// Hazard-free robust: steady non-controlling side inputs.
+    Robust,
+    /// Non-robust: non-controlling side inputs in the final vector only.
+    NonRobust,
+}
+
+/// Per-node value requirements over the two vectors of a delay test.
+///
+/// Entry `None` means unconstrained; diagnosis and ATPG treat the two
+/// frames independently (enhanced-scan two-vector application).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Constraints {
+    v1: Vec<Option<bool>>,
+    v2: Vec<Option<bool>>,
+}
+
+impl Constraints {
+    /// Unconstrained requirements for a circuit with `n` nodes.
+    pub fn unconstrained(n: usize) -> Constraints {
+        Constraints {
+            v1: vec![None; n],
+            v2: vec![None; n],
+        }
+    }
+
+    /// The first-frame requirement on `node`.
+    pub fn v1(&self, node: NodeId) -> Option<bool> {
+        self.v1[node.index()]
+    }
+
+    /// The second-frame requirement on `node`.
+    pub fn v2(&self, node: NodeId) -> Option<bool> {
+        self.v2[node.index()]
+    }
+
+    /// All `(node index, frame, value)` requirements, frame 0 = `v1`.
+    pub fn requirements(&self) -> Vec<(usize, usize, bool)> {
+        let mut out = Vec::new();
+        for (ix, &v) in self.v1.iter().enumerate() {
+            if let Some(b) = v {
+                out.push((ix, 0, b));
+            }
+        }
+        for (ix, &v) in self.v2.iter().enumerate() {
+            if let Some(b) = v {
+                out.push((ix, 1, b));
+            }
+        }
+        out
+    }
+
+    /// Number of constrained (node, frame) slots.
+    pub fn len(&self) -> usize {
+        self.v1.iter().chain(&self.v2).filter(|v| v.is_some()).count()
+    }
+
+    /// Returns `true` if nothing is constrained.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn require(
+        &mut self,
+        node: NodeId,
+        frame: usize,
+        value: bool,
+    ) -> Result<(), AtpgError> {
+        let slot = if frame == 0 {
+            &mut self.v1[node.index()]
+        } else {
+            &mut self.v2[node.index()]
+        };
+        match *slot {
+            Some(existing) if existing != value => Err(AtpgError::Untestable {
+                what: format!(
+                    "conflicting sensitization requirement on {node} frame {frame}"
+                ),
+            }),
+            _ => {
+                *slot = Some(value);
+                Ok(())
+            }
+        }
+    }
+}
+
+/// Derives the two-frame value requirements that sensitize `path` for a
+/// transition launched in `launch` direction at the path source.
+///
+/// Returns the constraints together with the resulting transition
+/// direction at the path's sink (needed to know the expected output
+/// values).
+///
+/// # Errors
+///
+/// Returns [`AtpgError::Untestable`] if the requirements conflict (the
+/// path is unsensitizable in the requested mode, e.g. it feeds back onto
+/// its own side inputs with incompatible values).
+pub fn path_constraints(
+    circuit: &Circuit,
+    path: &Path,
+    launch: TransitionDirection,
+    mode: SensitizationMode,
+) -> Result<(Constraints, TransitionDirection), AtpgError> {
+    let mut cons = Constraints::unconstrained(circuit.num_nodes());
+    let mut dir = launch;
+    let nodes = path.nodes();
+    // Source transition.
+    cons.require(nodes[0], 0, dir.initial())?;
+    cons.require(nodes[0], 1, dir.final_value())?;
+    for (k, &edge) in path.edges().iter().enumerate() {
+        let gate = nodes[k + 1];
+        let on_pin = circuit.edge(edge).pin();
+        let node = circuit.node(gate);
+        let kind = node.kind();
+        // Side-input requirements.
+        for (pin, &side) in node.fanins().iter().enumerate() {
+            if pin as u32 == on_pin {
+                continue;
+            }
+            match kind.controlling_value() {
+                Some(c) => {
+                    let nc = !c;
+                    cons.require(side, 1, nc)?;
+                    if mode == SensitizationMode::Robust {
+                        cons.require(side, 0, nc)?;
+                    }
+                }
+                None => {
+                    // XOR/XNOR (and impossible BUF/NOT side inputs): hold
+                    // the side steady; prefer an already-required value,
+                    // else steady 0. A side held at 1 flips the on-path
+                    // transition's polarity through an XOR.
+                    let chosen = cons.v2(side).or(cons.v1(side)).unwrap_or(false);
+                    cons.require(side, 0, chosen)?;
+                    cons.require(side, 1, chosen)?;
+                    if matches!(kind, GateKind::Xor | GateKind::Xnor) && chosen {
+                        dir = dir.opposite();
+                    }
+                }
+            }
+        }
+        // Direction through the gate. XNOR carries one extra inversion on
+        // top of the side-value parity handled above (XNOR with all sides
+        // at 0 is an inverter of the on-path input).
+        if kind.inverts() || kind == GateKind::Xnor {
+            dir = dir.opposite();
+        }
+        cons.require(gate, 0, dir.initial())?;
+        cons.require(gate, 1, dir.final_value())?;
+    }
+    Ok((cons, dir))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdd_netlist::{CircuitBuilder, EdgeId};
+    use sdd_timing::path::Path;
+
+    /// y = NAND(a, c); path a -> y.
+    fn nand2() -> (Circuit, Path) {
+        let mut b = CircuitBuilder::new("n");
+        let a = b.input("a");
+        let c = b.input("c");
+        let y = b.gate("y", GateKind::Nand, &[a, c]).unwrap();
+        b.output(y);
+        let circuit = b.finish().unwrap();
+        let path = Path::new(vec![a, y], vec![EdgeId::from_index(0)]);
+        (circuit, path)
+    }
+
+    #[test]
+    fn robust_nand_side_is_steady_noncontrolling() {
+        let (c, p) = nand2();
+        let side = c.find("c").unwrap();
+        let (cons, dir) =
+            path_constraints(&c, &p, TransitionDirection::Rise, SensitizationMode::Robust)
+                .unwrap();
+        // NAND controlling value is 0, so non-controlling is 1, both frames.
+        assert_eq!(cons.v1(side), Some(true));
+        assert_eq!(cons.v2(side), Some(true));
+        // Rising into a NAND comes out falling.
+        assert_eq!(dir, TransitionDirection::Fall);
+        // On-path values.
+        let a = c.find("a").unwrap();
+        let y = c.find("y").unwrap();
+        assert_eq!(cons.v1(a), Some(false));
+        assert_eq!(cons.v2(a), Some(true));
+        assert_eq!(cons.v1(y), Some(true));
+        assert_eq!(cons.v2(y), Some(false));
+    }
+
+    #[test]
+    fn nonrobust_constrains_final_frame_only() {
+        let (c, p) = nand2();
+        let side = c.find("c").unwrap();
+        let (cons, _) = path_constraints(
+            &c,
+            &p,
+            TransitionDirection::Rise,
+            SensitizationMode::NonRobust,
+        )
+        .unwrap();
+        assert_eq!(cons.v1(side), None);
+        assert_eq!(cons.v2(side), Some(true));
+    }
+
+    #[test]
+    fn xor_side_choice_flips_direction() {
+        // y = XOR(a, c); path a -> y; steady side defaults to 0 so the
+        // transition passes uninverted.
+        let mut b = CircuitBuilder::new("x");
+        let a = b.input("a");
+        let cc = b.input("c");
+        let y = b.gate("y", GateKind::Xor, &[a, cc]).unwrap();
+        b.output(y);
+        let circuit = b.finish().unwrap();
+        let path = Path::new(vec![a, y], vec![EdgeId::from_index(0)]);
+        let (cons, dir) = path_constraints(
+            &circuit,
+            &path,
+            TransitionDirection::Rise,
+            SensitizationMode::Robust,
+        )
+        .unwrap();
+        assert_eq!(cons.v1(cc), Some(false));
+        assert_eq!(cons.v2(cc), Some(false));
+        assert_eq!(dir, TransitionDirection::Rise);
+    }
+
+    #[test]
+    fn xnor_with_zero_side_inverts() {
+        let mut b = CircuitBuilder::new("xn");
+        let a = b.input("a");
+        let cc = b.input("c");
+        let y = b.gate("y", GateKind::Xnor, &[a, cc]).unwrap();
+        b.output(y);
+        let circuit = b.finish().unwrap();
+        let path = Path::new(vec![a, y], vec![EdgeId::from_index(0)]);
+        let (cons, dir) = path_constraints(
+            &circuit,
+            &path,
+            TransitionDirection::Rise,
+            SensitizationMode::Robust,
+        )
+        .unwrap();
+        // Side steady 0: y = XNOR(a, 0) = NOT(a), so a rising falls at y.
+        assert_eq!(cons.v2(cc), Some(false));
+        assert_eq!(dir, TransitionDirection::Fall);
+        // Consistency with boolean evaluation: XNOR(0,0)=1, XNOR(1,0)=0.
+        assert_eq!(cons.v1(y), Some(true));
+        assert_eq!(cons.v2(y), Some(false));
+    }
+
+    #[test]
+    fn inverter_chain_flips_parity() {
+        let mut b = CircuitBuilder::new("inv2");
+        let a = b.input("a");
+        let g1 = b.gate("g1", GateKind::Not, &[a]).unwrap();
+        let g2 = b.gate("g2", GateKind::Not, &[g1]).unwrap();
+        b.output(g2);
+        let circuit = b.finish().unwrap();
+        let path = Path::new(
+            vec![a, g1, g2],
+            vec![EdgeId::from_index(0), EdgeId::from_index(1)],
+        );
+        let (cons, dir) = path_constraints(
+            &circuit,
+            &path,
+            TransitionDirection::Fall,
+            SensitizationMode::Robust,
+        )
+        .unwrap();
+        assert_eq!(dir, TransitionDirection::Fall);
+        assert_eq!(cons.v2(g1), Some(true));
+        assert_eq!(cons.v2(g2), Some(false));
+        assert_eq!(cons.len(), 6);
+    }
+
+    #[test]
+    fn self_masking_path_conflicts() {
+        // y = AND(a, NOT(a)): the path a -> y requires the side NOT(a)
+        // to be steady 1, i.e. a steady 0 — conflicting with a rising a.
+        let mut b = CircuitBuilder::new("mask");
+        let a = b.input("a");
+        let na = b.gate("na", GateKind::Not, &[a]).unwrap();
+        let y = b.gate("y", GateKind::And, &[a, na]).unwrap();
+        b.output(y);
+        let circuit = b.finish().unwrap();
+        // Edge a->y is the second fanin edge... find it by pin.
+        let a_to_y = circuit
+            .node(y)
+            .fanin_edges()
+            .iter()
+            .copied()
+            .find(|&e| circuit.edge(e).from() == a)
+            .unwrap();
+        let path = Path::new(vec![a, y], vec![a_to_y]);
+        // Robust needs na steady 1 => a steady 0, but a must rise:
+        // conflict is discovered at justification time (constraints on
+        // different nodes), not here — but the requirement on `a` itself
+        // stays consistent, so constraint derivation succeeds.
+        let result = path_constraints(
+            &circuit,
+            &path,
+            TransitionDirection::Rise,
+            SensitizationMode::Robust,
+        );
+        assert!(result.is_ok());
+    }
+
+    #[test]
+    fn requirements_enumeration() {
+        let (c, p) = nand2();
+        let (cons, _) =
+            path_constraints(&c, &p, TransitionDirection::Rise, SensitizationMode::Robust)
+                .unwrap();
+        let reqs = cons.requirements();
+        assert_eq!(reqs.len(), cons.len());
+        assert!(!cons.is_empty());
+        assert!(reqs.iter().all(|&(_, f, _)| f <= 1));
+    }
+}

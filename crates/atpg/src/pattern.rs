@@ -1,0 +1,204 @@
+//! Two-vector test patterns and pattern sets.
+
+use rand::prelude::*;
+use rand_chacha::ChaCha8Rng;
+use sdd_netlist::Circuit;
+use serde::{Deserialize, Serialize};
+
+/// A two-vector (launch/capture) delay test pattern.
+///
+/// `v1` initializes the circuit; `v2` launches transitions at time 0. The
+/// response is sampled at the cut-off period `clk`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct TestPattern {
+    /// Initialization vector, ordered like the circuit's primary inputs.
+    pub v1: Vec<bool>,
+    /// Launch vector.
+    pub v2: Vec<bool>,
+}
+
+impl TestPattern {
+    /// Creates a pattern from its two vectors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the vectors have different lengths.
+    pub fn new(v1: Vec<bool>, v2: Vec<bool>) -> Self {
+        assert_eq!(v1.len(), v2.len(), "pattern vectors must have equal length");
+        TestPattern { v1, v2 }
+    }
+
+    /// Number of primary inputs covered.
+    pub fn width(&self) -> usize {
+        self.v1.len()
+    }
+
+    /// Number of inputs that switch between the vectors.
+    pub fn activity(&self) -> usize {
+        self.v1.iter().zip(&self.v2).filter(|(a, b)| a != b).count()
+    }
+
+    /// A uniformly random pattern for `circuit`.
+    pub fn random<R: Rng + ?Sized>(circuit: &Circuit, rng: &mut R) -> TestPattern {
+        let n = circuit.primary_inputs().len();
+        TestPattern::new(
+            (0..n).map(|_| rng.gen()).collect(),
+            (0..n).map(|_| rng.gen()).collect(),
+        )
+    }
+}
+
+/// An ordered set of test patterns (the `TP` of the paper). Duplicate
+/// patterns are rejected on insertion so every column of the error
+/// matrices is distinct.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PatternSet {
+    patterns: Vec<TestPattern>,
+}
+
+impl PatternSet {
+    /// An empty set.
+    pub fn new() -> Self {
+        PatternSet::default()
+    }
+
+    /// Adds a pattern; returns `false` (and drops it) if an identical
+    /// pattern is already present.
+    pub fn push(&mut self, pattern: TestPattern) -> bool {
+        if self.patterns.contains(&pattern) {
+            false
+        } else {
+            self.patterns.push(pattern);
+            true
+        }
+    }
+
+    /// The patterns in insertion order.
+    pub fn patterns(&self) -> &[TestPattern] {
+        &self.patterns
+    }
+
+    /// Number of patterns.
+    pub fn len(&self) -> usize {
+        self.patterns.len()
+    }
+
+    /// Returns `true` if the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.patterns.is_empty()
+    }
+
+    /// Iterates over the patterns.
+    pub fn iter(&self) -> std::slice::Iter<'_, TestPattern> {
+        self.patterns.iter()
+    }
+
+    /// `n` random patterns for `circuit` (seeded; duplicates are re-drawn
+    /// up to a small retry budget, so fewer than `n` may be returned for
+    /// tiny circuits).
+    pub fn random(circuit: &Circuit, n: usize, seed: u64) -> PatternSet {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut set = PatternSet::new();
+        let mut attempts = 0;
+        while set.len() < n && attempts < n * 10 {
+            set.push(TestPattern::random(circuit, &mut rng));
+            attempts += 1;
+        }
+        set
+    }
+}
+
+impl FromIterator<TestPattern> for PatternSet {
+    fn from_iter<T: IntoIterator<Item = TestPattern>>(iter: T) -> Self {
+        let mut set = PatternSet::new();
+        for p in iter {
+            set.push(p);
+        }
+        set
+    }
+}
+
+impl Extend<TestPattern> for PatternSet {
+    fn extend<T: IntoIterator<Item = TestPattern>>(&mut self, iter: T) {
+        for p in iter {
+            self.push(p);
+        }
+    }
+}
+
+impl<'a> IntoIterator for &'a PatternSet {
+    type Item = &'a TestPattern;
+    type IntoIter = std::slice::Iter<'a, TestPattern>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.patterns.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdd_netlist::{CircuitBuilder, GateKind};
+
+    fn tiny() -> Circuit {
+        let mut b = CircuitBuilder::new("t");
+        let a = b.input("a");
+        let c = b.input("c");
+        let g = b.gate("g", GateKind::And, &[a, c]).unwrap();
+        b.output(g);
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn pattern_accessors() {
+        let p = TestPattern::new(vec![false, true], vec![true, true]);
+        assert_eq!(p.width(), 2);
+        assert_eq!(p.activity(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal length")]
+    fn mismatched_vectors_panic() {
+        TestPattern::new(vec![false], vec![true, true]);
+    }
+
+    #[test]
+    fn set_rejects_duplicates() {
+        let mut set = PatternSet::new();
+        let p = TestPattern::new(vec![true], vec![false]);
+        assert!(set.push(p.clone()));
+        assert!(!set.push(p));
+        assert_eq!(set.len(), 1);
+    }
+
+    #[test]
+    fn random_set_is_seeded() {
+        let c = tiny();
+        let a = PatternSet::random(&c, 5, 3);
+        let b = PatternSet::random(&c, 5, 3);
+        assert_eq!(a, b);
+        assert!(!a.is_empty());
+    }
+
+    #[test]
+    fn random_set_saturates_on_tiny_space() {
+        let c = tiny();
+        // Only 16 distinct two-input patterns exist.
+        let set = PatternSet::random(&c, 100, 1);
+        assert!(set.len() <= 16);
+        assert!(set.len() >= 10);
+    }
+
+    #[test]
+    fn collect_and_iterate() {
+        let ps: PatternSet = [
+            TestPattern::new(vec![true], vec![false]),
+            TestPattern::new(vec![false], vec![true]),
+        ]
+        .into_iter()
+        .collect();
+        assert_eq!(ps.len(), 2);
+        assert_eq!(ps.iter().count(), 2);
+        assert_eq!((&ps).into_iter().count(), 2);
+    }
+}

@@ -1,0 +1,119 @@
+//! Criterion benches for the diagnosis core: probabilistic fault
+//! dictionary construction, behaviour observation and error-function
+//! ranking — the operations behind every Table I cell.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sdd_bench::bench_profile;
+use sdd_core::defect::SingleDefectModel;
+use sdd_core::inject::{patterns_through_site, tested_delay_samples};
+use sdd_core::{
+    BehaviorMatrix, Diagnoser, DiagnoserConfig, ErrorFunction,
+};
+use sdd_core::dictionary::DictionaryConfig;
+use sdd_netlist::generator::generate;
+use sdd_netlist::{Circuit, EdgeId};
+use sdd_timing::{CellLibrary, CircuitTiming, VariationModel};
+use std::hint::black_box;
+use std::time::Duration;
+
+struct Fixture {
+    circuit: Circuit,
+    timing: CircuitTiming,
+    patterns: sdd_atpg::PatternSet,
+    behavior: BehaviorMatrix,
+    model: SingleDefectModel,
+}
+
+fn setup() -> Fixture {
+    let circuit = generate(&bench_profile().to_config(1))
+        .expect("profile generates")
+        .to_combinational()
+        .expect("scan cut");
+    let library = CellLibrary::default_025um();
+    let timing = CircuitTiming::characterize(&circuit, &library, VariationModel::default());
+    let model = SingleDefectModel::paper_section_i(library.nominal_cell_delay());
+    let site = EdgeId::from_index(50);
+    let patterns = patterns_through_site(&circuit, &timing, site, 8, 20, 3);
+    assert!(!patterns.is_empty(), "bench fixture needs patterns");
+    let samples = tested_delay_samples(&circuit, &timing, &patterns, 100, 3);
+    let clk = samples.quantile(0.35);
+    let chip = timing.sample_instance_indexed(9, 0).with_extra_delay(site, 0.12);
+    let behavior = BehaviorMatrix::observe(&circuit, &patterns, &chip, clk);
+    Fixture {
+        circuit,
+        timing,
+        patterns,
+        behavior,
+        model,
+    }
+}
+
+fn bench_observe(c: &mut Criterion) {
+    let f = setup();
+    let chip = f.timing.sample_instance_indexed(9, 0);
+    c.bench_function("behavior_observe_s1196", |b| {
+        b.iter(|| {
+            black_box(BehaviorMatrix::observe(
+                &f.circuit,
+                &f.patterns,
+                &chip,
+                f.behavior.clk(),
+            ))
+        })
+    });
+}
+
+fn bench_dictionary_build(c: &mut Criterion) {
+    let f = setup();
+    let diagnoser = Diagnoser::new(
+        &f.circuit,
+        &f.timing,
+        &f.patterns,
+        f.model.size_dist(),
+        DiagnoserConfig {
+            dictionary: DictionaryConfig {
+                n_samples: 60,
+                seed: 1,
+            },
+        },
+    );
+    c.bench_function("dictionary_build_60_samples_s1196", |b| {
+        b.iter(|| black_box(diagnoser.build_dictionary(&f.behavior).ok()))
+    });
+}
+
+fn bench_rank_all_functions(c: &mut Criterion) {
+    let f = setup();
+    let diagnoser = Diagnoser::new(
+        &f.circuit,
+        &f.timing,
+        &f.patterns,
+        f.model.size_dist(),
+        DiagnoserConfig {
+            dictionary: DictionaryConfig {
+                n_samples: 60,
+                seed: 1,
+            },
+        },
+    );
+    let dictionary = diagnoser
+        .build_dictionary(&f.behavior)
+        .expect("behavior has suspects");
+    c.bench_function("rank_five_error_functions_s1196", |b| {
+        b.iter(|| {
+            for func in ErrorFunction::EXTENDED {
+                black_box(diagnoser.rank(&dictionary, &f.behavior, func));
+            }
+        })
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(500));
+    targets =
+    bench_observe,
+    bench_dictionary_build,
+    bench_rank_all_functions
+);
+criterion_main!(benches);

@@ -1,0 +1,108 @@
+//! Criterion benches for the statistical timing substrate: Monte-Carlo
+//! static analysis, dynamic (per-pattern) simulation, cone-incremental
+//! defect re-analysis and exact waveform simulation.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use sdd_bench::bench_profile;
+use sdd_netlist::generator::generate;
+use sdd_netlist::logic::simulate_pair;
+use sdd_netlist::{Circuit, EdgeId};
+use sdd_timing::dynamic::{transition_arrivals, DefectCone, NO_EVENT};
+use sdd_timing::{sta, waveform, CellLibrary, CircuitTiming, VariationModel};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn setup() -> (Circuit, CircuitTiming) {
+    let circuit = generate(&bench_profile().to_config(1))
+        .expect("profile generates")
+        .to_combinational()
+        .expect("scan cut");
+    let timing = CircuitTiming::characterize(
+        &circuit,
+        &CellLibrary::default_025um(),
+        VariationModel::default(),
+    );
+    (circuit, timing)
+}
+
+fn bench_static_mc(c: &mut Criterion) {
+    let (circuit, timing) = setup();
+    c.bench_function("static_mc_64_samples_s1196", |b| {
+        b.iter(|| black_box(sta::static_mc(&circuit, &timing, 64, 3)))
+    });
+}
+
+fn bench_instance_sampling(c: &mut Criterion) {
+    let (_, timing) = setup();
+    c.bench_function("sample_instance_s1196", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            black_box(timing.sample_instance_indexed(5, i))
+        })
+    });
+}
+
+fn bench_dynamic(c: &mut Criterion) {
+    let (circuit, timing) = setup();
+    let n = circuit.primary_inputs().len();
+    let v1 = vec![false; n];
+    let v2 = vec![true; n];
+    let transitions = simulate_pair(&circuit, &v1, &v2);
+    let instance = timing.sample_instance_indexed(5, 0);
+    c.bench_function("transition_arrivals_s1196", |b| {
+        b.iter(|| black_box(transition_arrivals(&circuit, &transitions, &instance)))
+    });
+}
+
+fn bench_defect_cone(c: &mut Criterion) {
+    let (circuit, timing) = setup();
+    let n = circuit.primary_inputs().len();
+    let v1 = vec![false; n];
+    let v2 = vec![true; n];
+    let transitions = simulate_pair(&circuit, &v1, &v2);
+    let instance = timing.sample_instance_indexed(5, 0);
+    let baseline = transition_arrivals(&circuit, &transitions, &instance);
+    let cone = DefectCone::new(&circuit, EdgeId::from_index(10));
+    c.bench_function("defect_cone_apply_s1196", |b| {
+        b.iter_batched(
+            || (vec![NO_EVENT; circuit.num_nodes()], Vec::new()),
+            |(mut scratch, mut out)| {
+                cone.apply(
+                    &circuit,
+                    &transitions,
+                    &instance,
+                    &baseline,
+                    0.1,
+                    &mut scratch,
+                    &mut out,
+                );
+                black_box(out)
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_waveform(c: &mut Criterion) {
+    let (circuit, timing) = setup();
+    let n = circuit.primary_inputs().len();
+    let v1: Vec<bool> = (0..n).map(|i| i % 3 == 0).collect();
+    let v2: Vec<bool> = (0..n).map(|i| i % 2 == 0).collect();
+    let instance = timing.sample_instance_indexed(5, 0);
+    c.bench_function("waveform_simulate_s1196", |b| {
+        b.iter(|| black_box(waveform::simulate(&circuit, &v1, &v2, &instance)))
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(500));
+    targets =
+    bench_static_mc,
+    bench_instance_sampling,
+    bench_dynamic,
+    bench_defect_cone,
+    bench_waveform
+);
+criterion_main!(benches);

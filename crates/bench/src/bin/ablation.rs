@@ -1,0 +1,87 @@
+//! Ablation study over the design choices DESIGN.md calls out:
+//!
+//! 1. **Capture model** — transition-arrival (paper-consistent) vs
+//!    glitch-exact waveform observation of the behaviour matrix.
+//! 2. **Clock policy** — the default clock sweep vs a fixed quantile of
+//!    the tested-subcircuit delay vs a circuit-level quantile.
+//! 3. **Monte-Carlo budget** — dictionary sample count.
+//!
+//! Each variant runs the same Table-I-style campaign on one circuit and
+//! reports the success rates, isolating the contribution of each choice.
+//!
+//! ```text
+//! cargo run -p sdd-bench --release --bin ablation [-- --seed 2] [--circuit s1196]
+//! ```
+
+use sdd_core::inject::{run_campaign, CampaignConfig, ClockPolicy};
+use sdd_core::CaptureModel;
+use sdd_netlist::profiles;
+use std::time::Instant;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let seed: u64 = flag_value(&args, "--seed")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2);
+    let circuit = flag_value(&args, "--circuit").unwrap_or_else(|| "s1196".to_owned());
+    let profile = profiles::by_name(&circuit).expect("known circuit name");
+
+    println!("=== ablation on {circuit} (seed {seed}) ===\n");
+
+    let base = CampaignConfig::paper(seed);
+    let variants: Vec<(&str, CampaignConfig)> = vec![
+        ("baseline (sweep + arrival capture + 150 MC)", base.clone()),
+        ("capture = glitch-exact waveform", {
+            let mut c = base.clone();
+            c.capture = CaptureModel::Waveform;
+            c
+        }),
+        ("clock = tested-delay median (no sweep)", {
+            let mut c = base.clone();
+            c.clock = ClockPolicy::TestedQuantile(0.5);
+            c
+        }),
+        ("clock = circuit-delay q95 (guard-banded)", {
+            let mut c = base.clone();
+            c.clock = ClockPolicy::CircuitQuantile(0.95);
+            c
+        }),
+        ("dictionary MC = 40 samples", {
+            let mut c = base.clone();
+            c.dictionary.n_samples = 40;
+            c
+        }),
+        ("dictionary MC = 400 samples", {
+            let mut c = base.clone();
+            c.dictionary.n_samples = 400;
+            c
+        }),
+        ("sweep_extra_steps = 0", {
+            let mut c = base.clone();
+            c.sweep_extra_steps = 0;
+            c
+        }),
+    ];
+
+    for (label, config) in variants {
+        let t0 = Instant::now();
+        match run_campaign(&profile, &config) {
+            Ok(report) => {
+                println!("--- {label} ({:.1?})", t0.elapsed());
+                println!("{}", report.render_table());
+            }
+            Err(e) => println!("--- {label}: failed: {e}\n"),
+        }
+    }
+    println!("reading: the guard-banded circuit-level clock makes sub-cell-delay");
+    println!("defects invisible (near-zero rates); the waveform capture adds");
+    println!("hazard failures the dictionary cannot explain; the sweep depth and");
+    println!("Monte-Carlo budget trade accuracy against runtime.");
+}
+
+fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}

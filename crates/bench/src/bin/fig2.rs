@@ -1,0 +1,90 @@
+//! Reproduces **Figure 2** of the paper: the key problem of matching a
+//! 0/1 behaviour matrix against *probabilistic* fault-dictionary entries.
+//!
+//! The figure's example: two patterns, two outputs. The observed
+//! behaviour is
+//!
+//! ```text
+//!        vec1 vec2
+//! PO 1 |  1    0
+//! PO 2 |  0    1
+//! ```
+//!
+//! and the candidate faults predict failing probabilities
+//!
+//! ```text
+//! fault #1: [0.8 0.5]      fault #2: [0.6 0.2]
+//!           [0.4 0.6]                [0.3 0.5]
+//! ```
+//!
+//! Matching only the "1" entries favours fault 1; matching only the "0"
+//! entries favours fault 2 — "depending on our view of what we mean by a
+//! better match the diagnosis answer can be different". This binary
+//! quantifies the ambiguity and shows how each diagnosis error function
+//! resolves it.
+//!
+//! ```text
+//! cargo run -p sdd-bench --release --bin fig2
+//! ```
+
+use sdd_core::error_fn::{phi, ErrorFunction};
+
+fn main() {
+    // Column-major: per pattern, per output.
+    let behavior: [[bool; 2]; 2] = [[true, false], [false, true]];
+    let fault1: [[f64; 2]; 2] = [[0.8, 0.4], [0.5, 0.6]];
+    let fault2: [[f64; 2]; 2] = [[0.6, 0.3], [0.2, 0.5]];
+
+    println!("=== Figure 2: which probability matrix matches the behaviour? ===\n");
+    println!("observed B (rows = outputs, cols = patterns):");
+    println!("  [1 0]");
+    println!("  [0 1]\n");
+    println!("fault #1 failing probabilities:   fault #2 failing probabilities:");
+    println!("  [0.8 0.5]                         [0.6 0.2]");
+    println!("  [0.4 0.6]                         [0.3 0.5]\n");
+
+    // Partial views.
+    let ones = |f: &[[f64; 2]; 2]| -> f64 {
+        // product of p over entries where B = 1
+        f[0][0] * f[1][1]
+    };
+    let zeros = |f: &[[f64; 2]; 2]| -> f64 {
+        // product of (1 - p) over entries where B = 0
+        (1.0 - f[0][1]) * (1.0 - f[1][0])
+    };
+    println!("matching only the '1' entries (product of p where b = 1):");
+    println!("  fault #1: {:.3}   fault #2: {:.3}   => fault #1 looks better", ones(&fault1), ones(&fault2));
+    println!("matching only the '0' entries (product of 1-p where b = 0):");
+    println!("  fault #1: {:.3}   fault #2: {:.3}   => fault #2 looks better\n", zeros(&fault1), zeros(&fault2));
+
+    // Full per-pattern consistency probabilities (Algorithm E.1 step 5-6).
+    let phis = |f: &[[f64; 2]; 2]| -> Vec<f64> {
+        (0..2)
+            .map(|j| phi(&f[j], &behavior[j]))
+            .collect()
+    };
+    let phi1 = phis(&fault1);
+    let phi2 = phis(&fault2);
+    println!("per-pattern consistency phi_j (step 6):");
+    println!("  fault #1: {:?}", rounded(&phi1));
+    println!("  fault #2: {:?}\n", rounded(&phi2));
+
+    println!("{:<12} | {:>9} | {:>9} | winner", "function", "fault #1", "fault #2");
+    println!("{}", "-".repeat(50));
+    for f in ErrorFunction::ALL {
+        let s1 = f.combine(&phi1);
+        let s2 = f.combine(&phi2);
+        let winner = match f.compare(s1, s2) {
+            std::cmp::Ordering::Less => "fault #1",
+            std::cmp::Ordering::Greater => "fault #2",
+            std::cmp::Ordering::Equal => "tie",
+        };
+        println!("{:<12} | {s1:>9.4} | {s2:>9.4} | {winner}", f.name());
+    }
+    println!("\n=> the diagnosis answer depends on the error function: defining");
+    println!("   'better match' carefully is the first task of delay diagnosis.");
+}
+
+fn rounded(v: &[f64]) -> Vec<f64> {
+    v.iter().map(|x| (x * 1000.0).round() / 1000.0).collect()
+}

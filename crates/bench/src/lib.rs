@@ -1,0 +1,100 @@
+//! # sdd-bench
+//!
+//! Benchmark harness regenerating every table and figure of *Delay Defect
+//! Diagnosis Based Upon Statistical Timing Models* (DATE 2003), plus
+//! Criterion performance benches.
+//!
+//! Reproduction binaries (see `src/bin/`):
+//!
+//! | Binary   | Paper artefact | Command |
+//! |----------|----------------|---------|
+//! | `table1` | Table I — diagnosis accuracy on 8 benchmark circuits | `cargo run -p sdd-bench --release --bin table1` |
+//! | `fig1`   | Figure 1 — why logic resolution ≠ timing resolution | `cargo run -p sdd-bench --release --bin fig1` |
+//! | `fig2`   | Figure 2 — probabilistic dictionary matching ambiguity | `cargo run -p sdd-bench --release --bin fig2` |
+//! | `fig3`   | Figure 3 — equivalence-checking error model (eq. 5) | `cargo run -p sdd-bench --release --bin fig3` |
+//!
+//! `table1` accepts `--quick` (reduced budgets), `--circuit <name>` (one
+//! circuit only) and `--seed <n>`.
+//!
+//! Criterion benches (`cargo bench -p sdd-bench`):
+//!
+//! * `timing_bench` — Monte-Carlo static analysis, dynamic simulation,
+//!   cone-incremental defect re-analysis, exact waveform simulation.
+//! * `atpg_bench` — PODEM, path-delay test generation, fault simulation.
+//! * `diagnosis_bench` — probabilistic dictionary construction and the
+//!   four-plus-one error-function rankings.
+
+#![warn(missing_docs)]
+
+use sdd_netlist::profiles::BenchmarkProfile;
+
+/// The `K` triplets the paper reports per circuit in Table I.
+pub fn table1_k_values(circuit: &str) -> Vec<usize> {
+    match circuit {
+        "s1196" => vec![1, 3, 7],
+        "s1238" => vec![1, 2, 7],
+        "s1423" => vec![1, 2, 9],
+        "s1488" => vec![1, 3, 5],
+        "s5378" => vec![1, 2, 7],
+        "s9234" => vec![2, 5, 11],
+        "s13207" => vec![1, 5, 13],
+        "s15850" => vec![1, 2, 9],
+        _ => vec![1, 3, 7],
+    }
+}
+
+/// The paper's Table I reference numbers: success rates in percent for
+/// `(K, [Alg_sim I, Alg_sim II, Alg_rev])`, per circuit. Used by
+/// `table1` to print paper-vs-measured side by side.
+pub fn table1_reference(circuit: &str) -> Option<[(usize, [u32; 3]); 3]> {
+    match circuit {
+        "s1196" => Some([(1, [0, 5, 10]), (3, [0, 30, 30]), (7, [5, 35, 60])]),
+        "s1238" => Some([(1, [0, 15, 20]), (2, [5, 25, 25]), (7, [25, 65, 65])]),
+        "s1423" => Some([(1, [10, 15, 10]), (2, [30, 35, 35]), (9, [50, 60, 65])]),
+        "s1488" => Some([(1, [5, 5, 5]), (3, [35, 30, 30]), (5, [55, 60, 65])]),
+        "s5378" => Some([(1, [15, 25, 25]), (2, [30, 40, 45]), (7, [80, 85, 90])]),
+        "s9234" => Some([(2, [25, 30, 30]), (5, [40, 50, 50]), (11, [60, 75, 70])]),
+        "s13207" => Some([(1, [10, 20, 20]), (5, [30, 50, 60]), (13, [70, 70, 80])]),
+        "s15850" => Some([(1, [10, 10, 10]), (2, [30, 30, 30]), (9, [40, 35, 45])]),
+        _ => None,
+    }
+}
+
+/// A compact profile for the Criterion benches (s1196-scale is the sweet
+/// spot between realism and bench runtime).
+pub fn bench_profile() -> BenchmarkProfile {
+    sdd_netlist::profiles::by_name("s1196").expect("s1196 profile exists")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn k_values_match_paper_rows() {
+        assert_eq!(table1_k_values("s1423"), vec![1, 2, 9]);
+        assert_eq!(table1_k_values("s9234"), vec![2, 5, 11]);
+        assert_eq!(table1_k_values("unknown"), vec![1, 3, 7]);
+    }
+
+    #[test]
+    fn reference_rows_align_with_k_values() {
+        for p in sdd_netlist::profiles::TABLE1_PROFILES {
+            let ks = table1_k_values(p.name);
+            let reference = table1_reference(p.name).expect("reference exists");
+            for (row, &k) in reference.iter().zip(&ks) {
+                assert_eq!(row.0, k, "{}", p.name);
+            }
+        }
+    }
+
+    #[test]
+    fn reference_rates_monotone_in_k() {
+        for p in sdd_netlist::profiles::TABLE1_PROFILES {
+            let reference = table1_reference(p.name).unwrap();
+            for col in 0..3 {
+                assert!(reference[0].1[col] <= reference[2].1[col], "{}", p.name);
+            }
+        }
+    }
+}

@@ -1,0 +1,250 @@
+//! The observed behaviour matrix `B` of a failing chip (equation (3)).
+
+use sdd_atpg::dictionary::BitMatrix;
+use sdd_atpg::PatternSet;
+use sdd_netlist::logic::{self, simulate_pair};
+use sdd_netlist::Circuit;
+use sdd_timing::dynamic::transition_arrivals;
+use sdd_timing::{waveform, TimingInstance};
+use serde::{Deserialize, Serialize};
+
+/// How the tester's capture of each output at the clock edge is modelled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum CaptureModel {
+    /// Transition-arrival semantics: an output fails when it switches
+    /// under the pattern and its (latest-switching-fanin) arrival time
+    /// exceeds `clk`. This matches the statistical dynamic timing
+    /// simulator used to build the probabilistic dictionary — the paper's
+    /// evaluation observes `B` with the same simulator class ("statistical
+    /// defect injection and statistical delay fault simulation").
+    #[default]
+    TransitionArrival,
+    /// Glitch-accurate transport-delay waveforms: each output is sampled
+    /// at `clk`; a failure is a sampled value differing from the good
+    /// machine's settled response. Strictly more physical — it also
+    /// captures hazard-induced failures on logically stable outputs,
+    /// which the paper's arrival-time framework cannot express.
+    Waveform,
+}
+
+/// The 0/1 behaviour matrix `B`: `b_ij = 1` when primary output `i` fails
+/// test pattern `j` on the chip under diagnosis (equation (3)).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BehaviorMatrix {
+    bits: BitMatrix,
+    clk_bits: u64,
+}
+
+impl BehaviorMatrix {
+    /// Observes the behaviour of `instance` (typically a defect-injected
+    /// chip) under the pattern set at cut-off period `clk`, with the
+    /// default [`CaptureModel::TransitionArrival`].
+    ///
+    /// # Panics
+    ///
+    /// Panics for sequential circuits or mismatched pattern widths.
+    pub fn observe(
+        circuit: &Circuit,
+        patterns: &PatternSet,
+        instance: &TimingInstance,
+        clk: f64,
+    ) -> BehaviorMatrix {
+        BehaviorMatrix::observe_with(
+            circuit,
+            patterns,
+            instance,
+            clk,
+            CaptureModel::TransitionArrival,
+        )
+    }
+
+    /// Observes the behaviour under an explicit capture model.
+    ///
+    /// # Panics
+    ///
+    /// Panics for sequential circuits or mismatched pattern widths.
+    pub fn observe_with(
+        circuit: &Circuit,
+        patterns: &PatternSet,
+        instance: &TimingInstance,
+        clk: f64,
+        capture: CaptureModel,
+    ) -> BehaviorMatrix {
+        let n_out = circuit.primary_outputs().len();
+        let mut bits = BitMatrix::zeros(n_out, patterns.len());
+        for (j, p) in patterns.iter().enumerate() {
+            match capture {
+                CaptureModel::TransitionArrival => {
+                    let transitions = simulate_pair(circuit, &p.v1, &p.v2);
+                    let arrivals = transition_arrivals(circuit, &transitions, instance);
+                    for (i, &o) in circuit.primary_outputs().iter().enumerate() {
+                        if arrivals[o.index()] > clk {
+                            bits.set(i, j, true);
+                        }
+                    }
+                }
+                CaptureModel::Waveform => {
+                    let waves = waveform::simulate(circuit, &p.v1, &p.v2, instance);
+                    let expected = logic::simulate(circuit, &p.v2);
+                    for (i, &o) in circuit.primary_outputs().iter().enumerate() {
+                        if waveform::fails_at(&waves[o.index()], clk, expected[o.index()]) {
+                            bits.set(i, j, true);
+                        }
+                    }
+                }
+            }
+        }
+        BehaviorMatrix {
+            bits,
+            clk_bits: clk.to_bits(),
+        }
+    }
+
+    /// Wraps an explicit 0/1 matrix (for tests and worked examples such
+    /// as the paper's Figure 2).
+    pub fn from_bits(bits: BitMatrix, clk: f64) -> BehaviorMatrix {
+        BehaviorMatrix {
+            bits,
+            clk_bits: clk.to_bits(),
+        }
+    }
+
+    /// The cut-off period used for observation.
+    pub fn clk(&self) -> f64 {
+        f64::from_bits(self.clk_bits)
+    }
+
+    /// Number of outputs (rows).
+    pub fn num_outputs(&self) -> usize {
+        self.bits.rows()
+    }
+
+    /// Number of patterns (columns).
+    pub fn num_patterns(&self) -> usize {
+        self.bits.cols()
+    }
+
+    /// `b_ij`: does output `i` fail pattern `j`?
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range indices.
+    pub fn fails(&self, output: usize, pattern: usize) -> bool {
+        self.bits.get(output, pattern)
+    }
+
+    /// Positions of the outputs failing pattern `j`.
+    pub fn failing_outputs(&self, pattern: usize) -> Vec<usize> {
+        (0..self.bits.rows())
+            .filter(|&i| self.bits.get(i, pattern))
+            .collect()
+    }
+
+    /// Indices of patterns with at least one failing output.
+    pub fn failing_patterns(&self) -> Vec<usize> {
+        (0..self.bits.cols())
+            .filter(|&j| (0..self.bits.rows()).any(|i| self.bits.get(i, j)))
+            .collect()
+    }
+
+    /// Total number of failing (output, pattern) entries.
+    pub fn num_failures(&self) -> u32 {
+        self.bits.count_ones()
+    }
+
+    /// Returns `true` if the chip passed every pattern.
+    pub fn all_pass(&self) -> bool {
+        self.num_failures() == 0
+    }
+
+    /// The underlying bit matrix (for the logic-dictionary baseline).
+    pub fn bits(&self) -> &BitMatrix {
+        &self.bits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdd_atpg::TestPattern;
+    use sdd_netlist::{CircuitBuilder, GateKind};
+
+    /// Chain a -> NOT g1 -> NOT g2 with edge delays 0.4 each.
+    fn chain() -> (Circuit, TimingInstance) {
+        let mut b = CircuitBuilder::new("c");
+        let a = b.input("a");
+        let g1 = b.gate("g1", GateKind::Not, &[a]).unwrap();
+        let g2 = b.gate("g2", GateKind::Not, &[g1]).unwrap();
+        b.output(g2);
+        let c = b.finish().unwrap();
+        (c, TimingInstance::new(vec![0.4, 0.4]))
+    }
+
+    fn rising_pattern() -> PatternSet {
+        [TestPattern::new(vec![false], vec![true])]
+            .into_iter()
+            .collect()
+    }
+
+    #[test]
+    fn slow_chip_fails_fast_chip_passes() {
+        let (c, inst) = chain();
+        let ps = rising_pattern();
+        // Output settles at 0.8; clock at 1.0 passes, clock at 0.5 fails.
+        let pass = BehaviorMatrix::observe(&c, &ps, &inst, 1.0);
+        assert!(pass.all_pass());
+        let fail = BehaviorMatrix::observe(&c, &ps, &inst, 0.5);
+        assert!(!fail.all_pass());
+        assert!(fail.fails(0, 0));
+        assert_eq!(fail.failing_outputs(0), vec![0]);
+        assert_eq!(fail.failing_patterns(), vec![0]);
+        assert_eq!(fail.num_failures(), 1);
+        assert_eq!(fail.clk(), 0.5);
+    }
+
+    #[test]
+    fn defect_turns_pass_into_fail() {
+        let (c, inst) = chain();
+        let ps = rising_pattern();
+        let clk = 1.0;
+        assert!(BehaviorMatrix::observe(&c, &ps, &inst, clk).all_pass());
+        let defective = inst.with_extra_delay(sdd_netlist::EdgeId::from_index(0), 0.5);
+        let b = BehaviorMatrix::observe(&c, &ps, &defective, clk);
+        assert!(!b.all_pass());
+    }
+
+    #[test]
+    fn stable_pattern_never_fails() {
+        let (c, inst) = chain();
+        let ps: PatternSet = [TestPattern::new(vec![true], vec![true])]
+            .into_iter()
+            .collect();
+        let b = BehaviorMatrix::observe(&c, &ps, &inst, 0.01);
+        assert!(b.all_pass());
+    }
+
+    #[test]
+    fn dimensions() {
+        let (c, inst) = chain();
+        let ps: PatternSet = [
+            TestPattern::new(vec![false], vec![true]),
+            TestPattern::new(vec![true], vec![false]),
+        ]
+        .into_iter()
+        .collect();
+        let b = BehaviorMatrix::observe(&c, &ps, &inst, 1.0);
+        assert_eq!(b.num_outputs(), 1);
+        assert_eq!(b.num_patterns(), 2);
+    }
+
+    #[test]
+    fn from_bits_roundtrip() {
+        let mut bits = BitMatrix::zeros(2, 2);
+        bits.set(1, 0, true);
+        let b = BehaviorMatrix::from_bits(bits.clone(), 2.5);
+        assert!(b.fails(1, 0));
+        assert!(!b.fails(0, 0));
+        assert_eq!(b.bits(), &bits);
+        assert_eq!(b.clk(), 2.5);
+    }
+}

@@ -1,0 +1,198 @@
+//! Delay defect models and defect injection (Definitions D.9 and D.10).
+
+use rand::prelude::*;
+use rand_chacha::ChaCha8Rng;
+use sdd_netlist::{Circuit, EdgeId};
+use sdd_timing::{Dist, TimingInstance};
+use serde::{Deserialize, Serialize};
+
+/// The single-defect model `D_s` (Definition D.10): exactly one arc
+/// carries a defect whose size `δ` is a random variable; the location is
+/// drawn uniformly over the arcs of the circuit (optionally restricted to
+/// arcs that can reach a primary output, since a defect on dangling logic
+/// is unobservable by construction).
+///
+/// The paper's experiments (Section I) draw the size from a normal whose
+/// mean is 50–100 % of a cell delay with `3σ = 50 %` of the mean; use
+/// [`SingleDefectModel::paper_section_i`] for that configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SingleDefectModel {
+    size: Dist,
+}
+
+impl SingleDefectModel {
+    /// A model with the given defect-size distribution.
+    pub fn new(size: Dist) -> Self {
+        SingleDefectModel { size }
+    }
+
+    /// The paper's Section I configuration: the size mean is drawn
+    /// uniformly from `[0.5, 1.0] × cell_delay` per injection, with
+    /// `3σ = 50 %` of the mean.
+    ///
+    /// `cell_delay` is typically
+    /// [`CellLibrary::nominal_cell_delay`](sdd_timing::CellLibrary::nominal_cell_delay).
+    pub fn paper_section_i(cell_delay: f64) -> Self {
+        // The per-injection mean is resolved at sampling time; store the
+        // base cell delay through a uniform mean multiplier.
+        SingleDefectModel {
+            size: Dist::Uniform {
+                lo: 0.5 * cell_delay,
+                hi: 1.0 * cell_delay,
+            },
+        }
+    }
+
+    /// The defect-size distribution used when *diagnosing* (the `δ_i` the
+    /// dictionary integrates over). For [`SingleDefectModel::paper_section_i`]
+    /// this is the marginal over the uniform mean and the normal spread.
+    pub fn size_dist(&self) -> Dist {
+        self.size
+    }
+
+    /// Draws one defect size.
+    ///
+    /// For the Section I model this composes the two stages: draw the
+    /// mean uniformly, then the size from `Normal(mean, mean/6)`.
+    pub fn sample_size<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        match self.size {
+            Dist::Uniform { .. } => {
+                let mean = self.size.sample(rng);
+                Dist::defect_size(mean).sample(rng)
+            }
+            other => other.sample(rng),
+        }
+    }
+
+    /// Draws a defect location uniformly over `sites`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sites` is empty.
+    pub fn sample_location<R: Rng + ?Sized>(&self, sites: &[EdgeId], rng: &mut R) -> EdgeId {
+        *sites.choose(rng).expect("site list must be non-empty")
+    }
+
+    /// Draws a complete injected defect (location uniform over arcs that
+    /// reach a primary output, size from the model), reproducibly from a
+    /// seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the circuit has no observable arcs.
+    pub fn sample_defect(&self, circuit: &Circuit, seed: u64) -> InjectedDefect {
+        let sites = observable_sites(circuit);
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        InjectedDefect {
+            edge: self.sample_location(&sites, &mut rng),
+            delta: self.sample_size(&mut rng),
+        }
+    }
+}
+
+/// The arcs on which a defect can influence some primary output: arcs
+/// whose sink reaches an output structurally.
+pub fn observable_sites(circuit: &Circuit) -> Vec<EdgeId> {
+    let mut reaches = vec![false; circuit.num_nodes()];
+    let mut stack: Vec<_> = circuit.primary_outputs().to_vec();
+    while let Some(id) = stack.pop() {
+        if reaches[id.index()] {
+            continue;
+        }
+        reaches[id.index()] = true;
+        for &f in circuit.node(id).fanins() {
+            stack.push(f);
+        }
+    }
+    circuit
+        .edge_ids()
+        .filter(|&e| reaches[circuit.edge(e).to().index()])
+        .collect()
+}
+
+/// One concrete injected defect: a location and a fixed size.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct InjectedDefect {
+    /// The defective arc.
+    pub edge: EdgeId,
+    /// The extra delay added to the arc, in the library's time unit.
+    pub delta: f64,
+}
+
+impl InjectedDefect {
+    /// Applies the defect to a manufactured chip instance, producing the
+    /// failing chip's true delay configuration.
+    pub fn apply(&self, instance: &TimingInstance) -> TimingInstance {
+        instance.with_extra_delay(self.edge, self.delta)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use sdd_netlist::{CircuitBuilder, GateKind};
+
+    fn with_dangling() -> Circuit {
+        let mut b = CircuitBuilder::new("d");
+        let a = b.input("a");
+        let dead = b.gate("dead", GateKind::Not, &[a]).unwrap();
+        let _ = dead;
+        let y = b.gate("y", GateKind::Buf, &[a]).unwrap();
+        b.output(y);
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn observable_sites_exclude_dangling() {
+        let c = with_dangling();
+        let sites = observable_sites(&c);
+        // a->dead is unobservable; a->y is observable.
+        assert_eq!(sites.len(), 1);
+        assert_eq!(c.edge(sites[0]).to(), c.find("y").unwrap());
+    }
+
+    #[test]
+    fn paper_model_sizes_are_plausible() {
+        let cell = 0.14;
+        let model = SingleDefectModel::paper_section_i(cell);
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let sizes: Vec<f64> = (0..5000).map(|_| model.sample_size(&mut rng)).collect();
+        let mean = sizes.iter().sum::<f64>() / sizes.len() as f64;
+        // Mean of the uniform [0.5, 1.0]·cell stage is 0.75·cell.
+        assert!((mean - 0.75 * cell).abs() < 0.01 * cell, "mean {mean}");
+        assert!(sizes.iter().all(|&s| s >= 0.0));
+        // Spread covers the configured range.
+        assert!(sizes.iter().copied().fold(f64::INFINITY, f64::min) < 0.55 * cell);
+        assert!(sizes.iter().copied().fold(0.0, f64::max) > 0.95 * cell);
+    }
+
+    #[test]
+    fn sample_defect_is_reproducible() {
+        let c = with_dangling();
+        let model = SingleDefectModel::paper_section_i(0.14);
+        let a = model.sample_defect(&c, 7);
+        let b = model.sample_defect(&c, 7);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn apply_adds_delta() {
+        let inst = TimingInstance::new(vec![0.1, 0.2]);
+        let d = InjectedDefect {
+            edge: EdgeId::from_index(1),
+            delta: 0.05,
+        };
+        let bad = d.apply(&inst);
+        assert!((bad.delay(EdgeId::from_index(1)) - 0.25).abs() < 1e-12);
+        assert_eq!(bad.delay(EdgeId::from_index(0)), 0.1);
+    }
+
+    #[test]
+    fn explicit_dist_sampled_directly() {
+        let model = SingleDefectModel::new(Dist::Deterministic(0.42));
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        assert_eq!(model.sample_size(&mut rng), 0.42);
+        assert_eq!(model.size_dist(), Dist::Deterministic(0.42));
+    }
+}

@@ -1,0 +1,527 @@
+//! The probabilistic fault dictionary (Section C-1, Definition E.1).
+//!
+//! For the defect-free circuit model, the dictionary holds the critical
+//! probability matrix `M_crt = Err_M(C, TP, clk)`; for each suspect arc
+//! `i` it holds `E_crt = Err_M(D_s(C), TP, clk)` with `ρ_i = 1` — i.e.
+//! the failure probabilities when a defect of random size sits on arc
+//! `i`. The *signature probability matrix* is `S_crt = E_crt − M_crt`.
+//!
+//! Estimation is Monte-Carlo statistical dynamic timing simulation with
+//! common random numbers: for every (pattern, chip sample) the
+//! defect-free baseline arrivals are computed once, and every suspect's
+//! defective arrivals are recomputed only over the fanout cone of its arc
+//! ([`sdd_timing::dynamic::DefectCone`]). Common random numbers guarantee
+//! `err_ij ≥ crt_ij` sample-by-sample, so `S_crt ≥ 0` exactly as the
+//! paper notes after Definition E.1.
+//!
+//! Outputs structurally unreachable from a suspect arc have
+//! `err_ij = crt_ij` (signature 0) and are stored implicitly.
+
+use rayon::prelude::*;
+use sdd_atpg::PatternSet;
+use sdd_netlist::logic::simulate_pair;
+use sdd_netlist::{Circuit, EdgeId};
+use sdd_timing::crit::ProbMatrix;
+use sdd_timing::dynamic::{transition_arrivals, DefectCone, NO_EVENT};
+use sdd_timing::{CircuitTiming, Dist};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+/// Monte-Carlo budget for dictionary construction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DictionaryConfig {
+    /// Chip samples per pattern.
+    pub n_samples: usize,
+    /// Base seed; the full build is deterministic given the seed.
+    pub seed: u64,
+}
+
+impl Default for DictionaryConfig {
+    fn default() -> Self {
+        DictionaryConfig {
+            n_samples: 200,
+            seed: 0xD1C7,
+        }
+    }
+}
+
+/// The per-suspect part of the dictionary: `E_crt` restricted to the
+/// outputs reachable from the suspect arc.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SuspectSignature {
+    edge: EdgeId,
+    reachable: Vec<usize>,
+    err: ProbMatrix,
+    joint: Option<Vec<f64>>,
+}
+
+impl SuspectSignature {
+    /// The suspect arc.
+    pub fn edge(&self) -> EdgeId {
+        self.edge
+    }
+
+    /// Positions (into the circuit's primary outputs) of the outputs this
+    /// suspect can affect. All other outputs have zero signature.
+    pub fn reachable_outputs(&self) -> &[usize] {
+        &self.reachable
+    }
+
+    /// `err_kj` for reachable output slot `k` (position into
+    /// [`SuspectSignature::reachable_outputs`]) and pattern `j`.
+    pub fn err(&self, slot: usize, pattern: usize) -> f64 {
+        self.err.get(slot, pattern)
+    }
+
+    /// The *joint* per-pattern consistency probability `φ_j` estimated
+    /// without the output-independence approximation: the Monte-Carlo
+    /// frequency of samples whose complete failure column equals the
+    /// observed `B_j`. Present only when the dictionary was built against
+    /// a behaviour matrix.
+    ///
+    /// This is the extension suggested by the paper's conclusion (future
+    /// direction 5: "develop new error functions that are more consistent
+    /// with the error definition in problem definition D.8"): chip-level
+    /// delay correlation makes output failures strongly dependent, which
+    /// the entrywise product of Algorithm E.1 step 6 ignores.
+    pub fn joint_phi(&self, pattern: usize) -> Option<f64> {
+        self.joint.as_ref().map(|v| v[pattern])
+    }
+}
+
+/// The probabilistic fault dictionary: `M_crt` plus one
+/// [`SuspectSignature`] per suspect arc.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ProbabilisticDictionary {
+    clk: f64,
+    m_crt: ProbMatrix,
+    suspects: Vec<SuspectSignature>,
+}
+
+impl ProbabilisticDictionary {
+    /// Builds the dictionary by Monte-Carlo statistical dynamic timing
+    /// simulation (parallelized over patterns).
+    ///
+    /// * `timing` — the statistical timing model (the predictor for the
+    ///   failing chip's unknown delay configuration).
+    /// * `defect_size` — the `δ` distribution of the single-defect model.
+    /// * `suspect_edges` — the pruned suspect set (Algorithm E.1 step 1).
+    /// * `clk` — the cut-off period, the same one used to observe `B`.
+    ///
+    /// # Panics
+    ///
+    /// Panics for sequential circuits, empty pattern sets or
+    /// `n_samples == 0`.
+    pub fn build(
+        circuit: &Circuit,
+        timing: &CircuitTiming,
+        defect_size: &Dist,
+        patterns: &PatternSet,
+        suspect_edges: &[EdgeId],
+        clk: f64,
+        config: DictionaryConfig,
+    ) -> ProbabilisticDictionary {
+        ProbabilisticDictionary::build_with_behavior(
+            circuit,
+            timing,
+            defect_size,
+            patterns,
+            suspect_edges,
+            clk,
+            config,
+            None,
+        )
+    }
+
+    /// [`ProbabilisticDictionary::build`] that additionally estimates,
+    /// per suspect and pattern, the *joint* consistency probability
+    /// against an observed behaviour matrix (see
+    /// [`SuspectSignature::joint_phi`]).
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`ProbabilisticDictionary::build`]; also panics
+    /// if the behaviour matrix shape mismatches the circuit/patterns.
+    #[allow(clippy::too_many_arguments)]
+    pub fn build_with_behavior(
+        circuit: &Circuit,
+        timing: &CircuitTiming,
+        defect_size: &Dist,
+        patterns: &PatternSet,
+        suspect_edges: &[EdgeId],
+        clk: f64,
+        config: DictionaryConfig,
+        behavior: Option<&crate::BehaviorMatrix>,
+    ) -> ProbabilisticDictionary {
+        assert!(config.n_samples > 0, "monte-carlo sample count must be positive");
+        assert!(!patterns.is_empty(), "pattern set must be non-empty");
+        if let Some(b) = behavior {
+            assert_eq!(
+                b.num_outputs(),
+                circuit.primary_outputs().len(),
+                "behavior/output count mismatch"
+            );
+            assert_eq!(b.num_patterns(), patterns.len(), "behavior/pattern count mismatch");
+        }
+        let n_out = circuit.primary_outputs().len();
+        let outputs = circuit.primary_outputs();
+        let cones: Vec<DefectCone> = suspect_edges
+            .iter()
+            .map(|&e| DefectCone::new(circuit, e))
+            .collect();
+
+        // Per pattern: (M counts per output, per suspect counts per
+        // reachable output, per suspect joint-match counts).
+        let per_pattern: Vec<(Vec<u32>, Vec<Vec<u32>>, Vec<u32>)> = patterns
+            .patterns()
+            .par_iter()
+            .enumerate()
+            .map(|(j, p)| {
+                let transitions = simulate_pair(circuit, &p.v1, &p.v2);
+                let mut m_counts = vec![0u32; n_out];
+                let mut s_counts: Vec<Vec<u32>> = cones
+                    .iter()
+                    .map(|c| vec![0u32; c.reachable_outputs().len()])
+                    .collect();
+                let mut joint_counts = vec![0u32; cones.len()];
+                let b_col: Option<Vec<bool>> = behavior
+                    .map(|b| (0..n_out).map(|i| b.fails(i, j)).collect());
+                let mut scratch = vec![NO_EVENT; circuit.num_nodes()];
+                let mut out_buf: Vec<f64> = Vec::new();
+                let mut base_fail = vec![false; n_out];
+                for s in 0..config.n_samples {
+                    let instance_index = (j * config.n_samples + s) as u64;
+                    let instance =
+                        timing.sample_instance_indexed(config.seed, instance_index);
+                    let baseline = transition_arrivals(circuit, &transitions, &instance);
+                    // Baseline failure flags and the total mismatch count
+                    // between the defect-free sample and the observed
+                    // column (used for O(|reachable|) joint matching).
+                    let mut base_mismatches = 0u32;
+                    for (i, &o) in outputs.iter().enumerate() {
+                        let fail = baseline[o.index()] > clk;
+                        base_fail[i] = fail;
+                        if fail {
+                            m_counts[i] += 1;
+                        }
+                        if let Some(col) = &b_col {
+                            if fail != col[i] {
+                                base_mismatches += 1;
+                            }
+                        }
+                    }
+                    let mut delta_rng = ChaCha8Rng::seed_from_u64(
+                        config
+                            .seed
+                            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                            .wrapping_add(instance_index),
+                    );
+                    for (si, cone) in cones.iter().enumerate() {
+                        let delta = defect_size.sample(&mut delta_rng).max(0.0);
+                        cone.apply(
+                            circuit,
+                            &transitions,
+                            &instance,
+                            &baseline,
+                            delta,
+                            &mut scratch,
+                            &mut out_buf,
+                        );
+                        let mut reach_base_mismatches = 0u32;
+                        let mut reach_match = true;
+                        for (k, &arr) in out_buf.iter().enumerate() {
+                            let fail = arr > clk;
+                            if fail {
+                                s_counts[si][k] += 1;
+                            }
+                            if let Some(col) = &b_col {
+                                let i = cone.reachable_outputs()[k];
+                                if base_fail[i] != col[i] {
+                                    reach_base_mismatches += 1;
+                                }
+                                if fail != col[i] {
+                                    reach_match = false;
+                                }
+                            }
+                        }
+                        if b_col.is_some()
+                            && reach_match
+                            && base_mismatches == reach_base_mismatches
+                        {
+                            // Reachable outputs all match the column with
+                            // the defect applied, and every defect-free
+                            // mismatch lay inside the reachable set.
+                            joint_counts[si] += 1;
+                        }
+                    }
+                }
+                (m_counts, s_counts, joint_counts)
+            })
+            .collect();
+
+        let inv_n = 1.0 / config.n_samples as f64;
+        let mut m_crt = ProbMatrix::zeros(n_out, patterns.len());
+        for (j, (m_counts, _, _)) in per_pattern.iter().enumerate() {
+            for (i, &c) in m_counts.iter().enumerate() {
+                m_crt.set(i, j, c as f64 * inv_n);
+            }
+        }
+        let suspects = cones
+            .iter()
+            .enumerate()
+            .map(|(si, cone)| {
+                let reach = cone.reachable_outputs().to_vec();
+                let mut err = ProbMatrix::zeros(reach.len(), patterns.len());
+                for (j, (_, s_counts, _)) in per_pattern.iter().enumerate() {
+                    for (k, &c) in s_counts[si].iter().enumerate() {
+                        err.set(k, j, c as f64 * inv_n);
+                    }
+                }
+                let joint = behavior.map(|_| {
+                    per_pattern
+                        .iter()
+                        .map(|(_, _, joint_counts)| joint_counts[si] as f64 * inv_n)
+                        .collect()
+                });
+                SuspectSignature {
+                    edge: cone.edge(),
+                    reachable: reach,
+                    err,
+                    joint,
+                }
+            })
+            .collect();
+        ProbabilisticDictionary {
+            clk,
+            m_crt,
+            suspects,
+        }
+    }
+
+    /// The cut-off period the probabilities refer to.
+    pub fn clk(&self) -> f64 {
+        self.clk
+    }
+
+    /// The defect-free critical probability matrix `M_crt`.
+    pub fn m_crt(&self) -> &ProbMatrix {
+        &self.m_crt
+    }
+
+    /// Number of outputs.
+    pub fn num_outputs(&self) -> usize {
+        self.m_crt.rows()
+    }
+
+    /// Number of patterns.
+    pub fn num_patterns(&self) -> usize {
+        self.m_crt.cols()
+    }
+
+    /// The suspect signatures, in the order the suspect arcs were given.
+    pub fn suspects(&self) -> &[SuspectSignature] {
+        &self.suspects
+    }
+
+    /// The signature probability `s_ij = err_ij − crt_ij` (clamped at 0)
+    /// for suspect `suspect`, reachable-output slot `slot` and pattern
+    /// `pattern`.
+    pub fn signature(&self, suspect: usize, slot: usize, pattern: usize) -> f64 {
+        let s = &self.suspects[suspect];
+        (s.err.get(slot, pattern) - self.m_crt.get(s.reachable[slot], pattern)).max(0.0)
+    }
+
+    /// The full (dense) signature column of one suspect under one
+    /// pattern: `s_ij` for every output `i` (zeros for unreachable
+    /// outputs). Mostly useful for inspection and the worked examples;
+    /// the diagnosis algorithms use the sparse form directly.
+    pub fn signature_column(&self, suspect: usize, pattern: usize) -> Vec<f64> {
+        let mut col = vec![0.0; self.num_outputs()];
+        let s = &self.suspects[suspect];
+        for (slot, &out) in s.reachable.iter().enumerate() {
+            col[out] = self.signature(suspect, slot, pattern);
+        }
+        col
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdd_atpg::TestPattern;
+    use sdd_netlist::{CircuitBuilder, GateKind};
+    use sdd_timing::{CellLibrary, VariationModel};
+
+    /// Two independent chains sharing nothing:
+    /// a -> g1 -> g2 (output 0), b -> h1 (output 1).
+    fn two_chains() -> (Circuit, CircuitTiming) {
+        let mut b = CircuitBuilder::new("tc");
+        let a = b.input("a");
+        let bb = b.input("b");
+        let g1 = b.gate("g1", GateKind::Not, &[a]).unwrap();
+        let g2 = b.gate("g2", GateKind::Not, &[g1]).unwrap();
+        let h1 = b.gate("h1", GateKind::Not, &[bb]).unwrap();
+        b.output(g2);
+        b.output(h1);
+        let c = b.finish().unwrap();
+        let t = CircuitTiming::characterize(
+            &c,
+            &CellLibrary::default_025um(),
+            VariationModel::new(0.03, 0.05),
+        );
+        (c, t)
+    }
+
+    fn both_rise() -> PatternSet {
+        [TestPattern::new(vec![false, false], vec![true, true])]
+            .into_iter()
+            .collect()
+    }
+
+    #[test]
+    fn signature_is_nonnegative_and_bounded() {
+        let (c, t) = two_chains();
+        let ps = both_rise();
+        let suspects: Vec<EdgeId> = c.edge_ids().collect();
+        let clk = 0.25; // between nominal (~0.2) and defective delays
+        let dict = ProbabilisticDictionary::build(
+            &c,
+            &t,
+            &Dist::Deterministic(0.2),
+            &ps,
+            &suspects,
+            clk,
+            DictionaryConfig {
+                n_samples: 100,
+                seed: 5,
+            },
+        );
+        assert!(dict.m_crt().is_stochastic());
+        for (si, s) in dict.suspects().iter().enumerate() {
+            for slot in 0..s.reachable_outputs().len() {
+                for j in 0..dict.num_patterns() {
+                    let sig = dict.signature(si, slot, j);
+                    assert!((0.0..=1.0).contains(&sig), "sig {sig}");
+                    assert!(s.err(slot, j) >= dict.m_crt().get(s.reachable_outputs()[slot], j));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn defect_on_chain_a_never_flags_output_b() {
+        let (c, t) = two_chains();
+        let ps = both_rise();
+        let suspects: Vec<EdgeId> = c.edge_ids().collect();
+        let dict = ProbabilisticDictionary::build(
+            &c,
+            &t,
+            &Dist::Deterministic(0.5),
+            &ps,
+            &suspects,
+            0.25,
+            DictionaryConfig {
+                n_samples: 50,
+                seed: 1,
+            },
+        );
+        // Arc a->g1 reaches only output 0 (g2).
+        let a_edge = c
+            .node(c.find("g1").unwrap())
+            .fanin_edges()[0];
+        let si = suspects.iter().position(|&e| e == a_edge).unwrap();
+        assert_eq!(dict.suspects()[si].reachable_outputs(), &[0]);
+        let col = dict.signature_column(si, 0);
+        assert_eq!(col.len(), 2);
+        assert_eq!(col[1], 0.0, "unreachable output has zero signature");
+    }
+
+    #[test]
+    fn large_defect_saturates_signature() {
+        let (c, t) = two_chains();
+        let ps = both_rise();
+        // clk generously above nominal so M_crt ≈ 0, huge defect so E ≈ 1.
+        let clk = 0.4;
+        let suspects: Vec<EdgeId> = c.edge_ids().collect();
+        let dict = ProbabilisticDictionary::build(
+            &c,
+            &t,
+            &Dist::Deterministic(10.0),
+            &ps,
+            &suspects,
+            clk,
+            DictionaryConfig {
+                n_samples: 60,
+                seed: 2,
+            },
+        );
+        assert!(dict.m_crt().max_entry() < 0.2);
+        for (si, s) in dict.suspects().iter().enumerate() {
+            for slot in 0..s.reachable_outputs().len() {
+                assert!(
+                    dict.signature(si, slot, 0) > 0.8,
+                    "suspect {si} slot {slot}: {}",
+                    dict.signature(si, slot, 0)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn zero_defect_gives_zero_signature() {
+        let (c, t) = two_chains();
+        let ps = both_rise();
+        let suspects: Vec<EdgeId> = c.edge_ids().collect();
+        let dict = ProbabilisticDictionary::build(
+            &c,
+            &t,
+            &Dist::Deterministic(0.0),
+            &ps,
+            &suspects,
+            0.25,
+            DictionaryConfig {
+                n_samples: 40,
+                seed: 3,
+            },
+        );
+        for (si, s) in dict.suspects().iter().enumerate() {
+            for slot in 0..s.reachable_outputs().len() {
+                assert_eq!(dict.signature(si, slot, 0), 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn build_is_deterministic() {
+        let (c, t) = two_chains();
+        let ps = both_rise();
+        let suspects: Vec<EdgeId> = c.edge_ids().take(3).collect();
+        let cfg = DictionaryConfig {
+            n_samples: 30,
+            seed: 9,
+        };
+        let a = ProbabilisticDictionary::build(
+            &c, &t, &Dist::Deterministic(0.1), &ps, &suspects, 0.25, cfg,
+        );
+        let b = ProbabilisticDictionary::build(
+            &c, &t, &Dist::Deterministic(0.1), &ps, &suspects, 0.25, cfg,
+        );
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_patterns_panic() {
+        let (c, t) = two_chains();
+        ProbabilisticDictionary::build(
+            &c,
+            &t,
+            &Dist::Deterministic(0.1),
+            &PatternSet::new(),
+            &[],
+            0.25,
+            DictionaryConfig::default(),
+        );
+    }
+}

@@ -1,0 +1,91 @@
+//! Error type for the diagnosis layer.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by diagnosis and the injection campaign.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum DiagnosisError {
+    /// The suspect set is empty (no arc is logically sensitized to a
+    /// failing output) — the behaviour cannot be explained by a single
+    /// delay defect under the given patterns.
+    NoSuspects,
+    /// The behaviour matrix shape does not match the pattern set /
+    /// circuit.
+    ShapeMismatch {
+        /// What mismatched.
+        what: String,
+    },
+    /// No test patterns could be generated for the target.
+    NoPatterns,
+    /// An underlying netlist error.
+    Netlist(sdd_netlist::NetlistError),
+    /// An underlying timing error.
+    Timing(sdd_timing::TimingError),
+    /// An underlying ATPG error.
+    Atpg(sdd_atpg::AtpgError),
+}
+
+impl fmt::Display for DiagnosisError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DiagnosisError::NoSuspects => {
+                write!(f, "no suspect arc is sensitized to a failing output")
+            }
+            DiagnosisError::ShapeMismatch { what } => write!(f, "shape mismatch: {what}"),
+            DiagnosisError::NoPatterns => write!(f, "no test patterns could be generated"),
+            DiagnosisError::Netlist(e) => write!(f, "netlist error: {e}"),
+            DiagnosisError::Timing(e) => write!(f, "timing error: {e}"),
+            DiagnosisError::Atpg(e) => write!(f, "atpg error: {e}"),
+        }
+    }
+}
+
+impl Error for DiagnosisError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            DiagnosisError::Netlist(e) => Some(e),
+            DiagnosisError::Timing(e) => Some(e),
+            DiagnosisError::Atpg(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<sdd_netlist::NetlistError> for DiagnosisError {
+    fn from(e: sdd_netlist::NetlistError) -> Self {
+        DiagnosisError::Netlist(e)
+    }
+}
+
+impl From<sdd_timing::TimingError> for DiagnosisError {
+    fn from(e: sdd_timing::TimingError) -> Self {
+        DiagnosisError::Timing(e)
+    }
+}
+
+impl From<sdd_atpg::AtpgError> for DiagnosisError {
+    fn from(e: sdd_atpg::AtpgError) -> Self {
+        DiagnosisError::Atpg(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = DiagnosisError::from(sdd_timing::TimingError::ZeroSamples);
+        assert!(e.to_string().contains("timing"));
+        assert!(e.source().is_some());
+        assert!(DiagnosisError::NoSuspects.source().is_none());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<DiagnosisError>();
+    }
+}

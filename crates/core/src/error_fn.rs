@@ -1,0 +1,283 @@
+//! Diagnosis error functions (Algorithm E.1 step 5–7 and Section F).
+//!
+//! For a suspect fault `i` and a pattern `j`, the per-pattern consistency
+//! probability is
+//!
+//! ```text
+//! φ_j = Π over outputs k of [ b_kj·s_kj + (1 − b_kj)·(1 − s_kj) ]
+//! ```
+//!
+//! (step 5–6: keep the signature probability where the chip failed, flip
+//! it where the chip passed). The error functions combine the `φ_j` into
+//! one score per suspect:
+//!
+//! * **Method I**: `℘ = 1 − Π (1 − φ_j)` — probability the suspect
+//!   explains *at least one* pattern; rank descending.
+//! * **Method II**: `℘ = mean(φ_j)` — average consistency; rank
+//!   descending.
+//! * **Method III**: `℘ = Π φ_j` — probability the suspect explains
+//!   *every* pattern; rank descending. (The paper finds this too
+//!   restrictive: one inconsistent pattern zeroes the score.)
+//! * **`Alg_rev` (equation (5))**: `℘ = Σ (1 − φ_j)²` — squared Euclidean
+//!   distance between the mismatch-probability vector and the ideal
+//!   all-zero outcome under the equivalence-checking model of Figure 3;
+//!   rank *ascending*.
+
+use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+
+/// The diagnosis error function used to score suspects.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ErrorFunction {
+    /// `Alg_sim` Method I: at-least-one-pattern consistency.
+    MethodI,
+    /// `Alg_sim` Method II: average consistency.
+    MethodII,
+    /// `Alg_sim` Method III: all-patterns consistency.
+    MethodIII,
+    /// `Alg_rev`: explicit Euclidean error (equation (5)).
+    Euclidean,
+    /// Extension (paper future-work direction 5): `Alg_rev`'s Euclidean
+    /// error computed over *joint* per-pattern consistency probabilities
+    /// estimated directly from Monte-Carlo samples
+    /// ([`SuspectSignature::joint_phi`](crate::SuspectSignature::joint_phi)),
+    /// instead of the output-independence product of step 6. Rank
+    /// ascending.
+    JointEuclidean,
+}
+
+impl ErrorFunction {
+    /// The paper's four functions, in the paper's order.
+    pub const ALL: [ErrorFunction; 4] = [
+        ErrorFunction::MethodI,
+        ErrorFunction::MethodII,
+        ErrorFunction::MethodIII,
+        ErrorFunction::Euclidean,
+    ];
+
+    /// The paper's four functions plus this crate's joint-probability
+    /// extension.
+    pub const EXTENDED: [ErrorFunction; 5] = [
+        ErrorFunction::MethodI,
+        ErrorFunction::MethodII,
+        ErrorFunction::MethodIII,
+        ErrorFunction::Euclidean,
+        ErrorFunction::JointEuclidean,
+    ];
+
+    /// A short display name matching the paper's tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            ErrorFunction::MethodI => "Alg_sim I",
+            ErrorFunction::MethodII => "Alg_sim II",
+            ErrorFunction::MethodIII => "Alg_sim III",
+            ErrorFunction::Euclidean => "Alg_rev",
+            ErrorFunction::JointEuclidean => "Alg_joint",
+        }
+    }
+
+    /// Combines the per-pattern consistency probabilities into a score.
+    pub fn combine(self, phis: &[f64]) -> f64 {
+        match self {
+            ErrorFunction::MethodI => {
+                1.0 - phis.iter().map(|&p| 1.0 - p).product::<f64>()
+            }
+            ErrorFunction::MethodII => {
+                if phis.is_empty() {
+                    0.0
+                } else {
+                    phis.iter().sum::<f64>() / phis.len() as f64
+                }
+            }
+            ErrorFunction::MethodIII => phis.iter().product(),
+            ErrorFunction::Euclidean | ErrorFunction::JointEuclidean => {
+                phis.iter().map(|&p| (1.0 - p) * (1.0 - p)).sum()
+            }
+        }
+    }
+
+    /// Returns `true` when *larger* scores indicate more probable
+    /// suspects (Methods I–III); `Alg_rev` minimizes its error instead.
+    pub fn higher_is_better(self) -> bool {
+        !matches!(
+            self,
+            ErrorFunction::Euclidean | ErrorFunction::JointEuclidean
+        )
+    }
+
+    /// Orders two scores from best to worst for this function.
+    pub fn compare(self, a: f64, b: f64) -> Ordering {
+        let ord = a.partial_cmp(&b).unwrap_or(Ordering::Equal);
+        if self.higher_is_better() {
+            ord.reverse()
+        } else {
+            ord
+        }
+    }
+}
+
+/// The per-pattern consistency probability `φ_j` from one suspect's
+/// signature column and the observed behaviour column (Algorithm E.1,
+/// steps 5–6).
+///
+/// `signature` and `behavior` are indexed by output position.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+///
+/// # Example
+///
+/// The paper's Example E.1: `B_j = [0, 1, 1]`, `S_j = [0.4, 0.3, 0.1]`
+/// gives `φ_j = 0.6 × 0.3 × 0.1 = 0.018`.
+///
+/// ```
+/// use sdd_core::error_fn::phi;
+///
+/// let f = phi(&[0.4, 0.3, 0.1], &[false, true, true]);
+/// assert!((f - 0.018).abs() < 1e-12);
+/// ```
+pub fn phi(signature: &[f64], behavior: &[bool]) -> f64 {
+    assert_eq!(
+        signature.len(),
+        behavior.len(),
+        "signature/behavior length mismatch"
+    );
+    signature
+        .iter()
+        .zip(behavior)
+        .map(|(&s, &b)| if b { s } else { 1.0 - s })
+        .product()
+}
+
+/// Sparse `φ_j`: the signature is given only on `reachable` output
+/// positions (`sig[k]` belongs to output `reachable[k]`); all other
+/// outputs have signature 0, so a failing output outside `reachable`
+/// forces `φ_j = 0` and a passing one contributes factor 1.
+///
+/// `failing` lists the failing output positions of pattern `j`, sorted
+/// ascending.
+pub fn phi_sparse(sig: &[f64], reachable: &[usize], failing: &[usize]) -> f64 {
+    // Any failing output not reachable from the suspect => inconsistent.
+    for &f in failing {
+        if !reachable.contains(&f) {
+            return 0.0;
+        }
+    }
+    let mut product = 1.0;
+    for (k, &out) in reachable.iter().enumerate() {
+        let b = failing.binary_search(&out).is_ok();
+        product *= if b { sig[k] } else { 1.0 - sig[k] };
+    }
+    product
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_example_e1() {
+        let f = phi(&[0.4, 0.3, 0.1], &[false, true, true]);
+        assert!((f - 0.018).abs() < 1e-12);
+    }
+
+    #[test]
+    fn phi_sparse_matches_dense() {
+        // 4 outputs; suspect reaches outputs 1 and 3.
+        let dense = {
+            let sig = [0.0, 0.4, 0.0, 0.3];
+            let b = [false, true, false, true];
+            phi(&sig, &b)
+        };
+        let sparse = phi_sparse(&[0.4, 0.3], &[1, 3], &[1, 3]);
+        assert!((dense - sparse).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unreachable_failing_output_zeroes_phi() {
+        assert_eq!(phi_sparse(&[0.9], &[0], &[0, 2]), 0.0);
+        // Dense equivalent: signature 0 at a failing output.
+        assert_eq!(phi(&[0.9, 0.0], &[true, true]), 0.0);
+    }
+
+    #[test]
+    fn all_pass_pattern_rewards_low_signature() {
+        // Chip passed; a suspect that predicts failure is inconsistent.
+        let quiet = phi_sparse(&[0.05], &[0], &[]);
+        let loud = phi_sparse(&[0.95], &[0], &[]);
+        assert!(quiet > loud);
+    }
+
+    #[test]
+    fn method_i_combines_as_noisy_or() {
+        let p = ErrorFunction::MethodI.combine(&[0.5, 0.5]);
+        assert!((p - 0.75).abs() < 1e-12);
+        assert_eq!(ErrorFunction::MethodI.combine(&[]), 0.0);
+    }
+
+    #[test]
+    fn method_ii_is_mean() {
+        let p = ErrorFunction::MethodII.combine(&[0.2, 0.4]);
+        assert!((p - 0.3).abs() < 1e-12);
+        assert_eq!(ErrorFunction::MethodII.combine(&[]), 0.0);
+    }
+
+    #[test]
+    fn method_iii_zeroes_on_any_mismatch() {
+        let p = ErrorFunction::MethodIII.combine(&[0.9, 0.0, 0.9]);
+        assert_eq!(p, 0.0);
+    }
+
+    #[test]
+    fn euclidean_prefers_consistent() {
+        let good = ErrorFunction::Euclidean.combine(&[0.9, 0.8]);
+        let bad = ErrorFunction::Euclidean.combine(&[0.1, 0.2]);
+        assert!(good < bad);
+        assert!(!ErrorFunction::Euclidean.higher_is_better());
+        assert_eq!(
+            ErrorFunction::Euclidean.compare(good, bad),
+            Ordering::Less
+        );
+    }
+
+    #[test]
+    fn ordering_directions() {
+        assert_eq!(ErrorFunction::MethodI.compare(0.9, 0.1), Ordering::Less);
+        assert_eq!(ErrorFunction::MethodI.compare(0.1, 0.9), Ordering::Greater);
+        assert_eq!(ErrorFunction::Euclidean.compare(0.1, 0.9), Ordering::Less);
+    }
+
+    #[test]
+    fn names_match_paper() {
+        assert_eq!(ErrorFunction::MethodI.name(), "Alg_sim I");
+        assert_eq!(ErrorFunction::Euclidean.name(), "Alg_rev");
+        assert_eq!(ErrorFunction::ALL.len(), 4);
+    }
+
+    #[test]
+    fn figure_2_ambiguity() {
+        // The paper's Figure 2: behaviour B (2 outputs × 2 patterns) is
+        // [[1,0],[0,1]]; fault 1 failing probabilities [[0.8,0.5],[0.4,0.6]],
+        // fault 2 [[0.6,0.2],[0.3,0.5]]. Matching only the "1" entries
+        // favors fault 1; matching the "0" entries favors fault 2.
+        let b1 = [true, false];
+        let b2 = [false, true];
+        // "1"-entry match strength: product of probabilities where B = 1.
+        let ones_1 = 0.8 * 0.6; // fault 1: p11, p22
+        let ones_2 = 0.6 * 0.5; // fault 2
+        assert!(ones_1 > ones_2, "1-matching should favor fault 1");
+        // "0"-entry match strength: product of (1 - p) where B = 0.
+        let zeros_1 = (1.0 - 0.4) * (1.0 - 0.5);
+        let zeros_2 = (1.0 - 0.3) * (1.0 - 0.2);
+        assert!(zeros_2 > zeros_1, "0-matching should favor fault 2");
+        // The combined per-pattern φ weighs both; with these numbers the
+        // "0" entries dominate and fault 2 wins under the product view —
+        // the ambiguity the paper's Figure 2 illustrates.
+        let f1 = [phi(&[0.8, 0.4], &b1), phi(&[0.5, 0.6], &b2)];
+        let f2 = [phi(&[0.6, 0.3], &b1), phi(&[0.2, 0.5], &b2)];
+        let m3_1 = ErrorFunction::MethodIII.combine(&f1);
+        let m3_2 = ErrorFunction::MethodIII.combine(&f2);
+        assert!(m3_2 > m3_1);
+    }
+}

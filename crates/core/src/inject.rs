@@ -1,0 +1,614 @@
+//! The statistical defect-injection campaign of Section I.
+//!
+//! For each circuit: manufacture `N` chip instances from the statistical
+//! timing model; on each, inject one delay defect with random location
+//! and random size (Definition D.10, sizes per Section I); generate
+//! path-delay tests through the fault site over its statistically-longest
+//! paths (Section H-4); observe the behaviour matrix at the cut-off
+//! period; diagnose with every error function; and score success = the
+//! injected arc is contained in the top-`K` answer.
+
+use crate::defect::SingleDefectModel;
+use crate::diagnoser::{Diagnoser, DiagnoserConfig, RankedSite};
+use crate::dictionary::DictionaryConfig;
+use crate::error_fn::ErrorFunction;
+use crate::evaluate::AccuracyReport;
+use crate::{BehaviorMatrix, CaptureModel, DiagnosisError};
+use sdd_atpg::fault::{PathDelayFault, TransitionDirection};
+use sdd_atpg::path_atpg::generate_robust_or_nonrobust;
+use sdd_atpg::podem::PodemConfig;
+use sdd_atpg::PatternSet;
+use sdd_netlist::generator::generate;
+use sdd_netlist::profiles::BenchmarkProfile;
+use sdd_netlist::{Circuit, EdgeId};
+use sdd_timing::{path, sta, CellLibrary, CircuitTiming, VariationModel};
+use serde::{Deserialize, Serialize};
+
+/// Configuration of a defect-injection campaign.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CampaignConfig {
+    /// Number of chip instances (`N = 20` in the paper).
+    pub n_instances: usize,
+    /// The `K` values to report.
+    pub k_values: Vec<usize>,
+    /// Statistically-longest paths selected through the fault site.
+    pub n_paths: usize,
+    /// Hard cap on the applied pattern count ("usually smaller than 20").
+    pub max_patterns: usize,
+    /// How the cut-off period `clk` is chosen.
+    pub clock: ClockPolicy,
+    /// Monte-Carlo samples for the clock estimate.
+    pub sta_samples: usize,
+    /// Monte-Carlo budget of the probabilistic dictionary.
+    pub dictionary: DictionaryConfig,
+    /// Process variation model.
+    pub variation: VariationModel,
+    /// Master seed; the whole campaign is deterministic given it.
+    pub seed: u64,
+    /// Redraws of the defect (location and size) when the injected chip
+    /// passes every pattern; a chip still passing afterwards scores a
+    /// failed diagnosis.
+    pub max_redraws: usize,
+    /// How the tester's capture is modelled when observing `B`.
+    pub capture: CaptureModel,
+    /// Backtrack budget per path-test justification (sensitizable paths
+    /// justify quickly; a tight budget bounds the cost of the many false
+    /// paths that cannot be justified at all).
+    pub path_backtracks: usize,
+    /// Backtrack budget per transition-fault PODEM run.
+    pub podem_backtracks: usize,
+    /// Extra ladder steps the clock sweep tightens past the first failing
+    /// level (more failing patterns, smaller ambiguity groups).
+    pub sweep_extra_steps: usize,
+}
+
+impl CampaignConfig {
+    /// The paper's Section I configuration: `N = 20`, ≤ 20 patterns.
+    pub fn paper(seed: u64) -> CampaignConfig {
+        CampaignConfig {
+            n_instances: 20,
+            k_values: vec![1, 3, 7],
+            n_paths: 8,
+            max_patterns: 20,
+            clock: ClockPolicy::default(),
+            sta_samples: 400,
+            dictionary: DictionaryConfig {
+                n_samples: 150,
+                seed,
+            },
+            variation: VariationModel::default(),
+            seed,
+            max_redraws: 10,
+            capture: CaptureModel::TransitionArrival,
+            path_backtracks: 120,
+            podem_backtracks: 500,
+            sweep_extra_steps: 2,
+        }
+    }
+
+    /// A reduced configuration for tests and examples (small budgets,
+    /// `N = 6`).
+    pub fn quick(seed: u64) -> CampaignConfig {
+        CampaignConfig {
+            n_instances: 6,
+            k_values: vec![1, 3],
+            n_paths: 4,
+            max_patterns: 10,
+            clock: ClockPolicy::default(),
+            sta_samples: 120,
+            dictionary: DictionaryConfig {
+                n_samples: 60,
+                seed,
+            },
+            variation: VariationModel::default(),
+            seed,
+            max_redraws: 6,
+            capture: CaptureModel::TransitionArrival,
+            path_backtracks: 100,
+            podem_backtracks: 300,
+            sweep_extra_steps: 2,
+        }
+    }
+}
+
+/// How the cut-off period (the at-speed test clock) is chosen.
+///
+/// The paper's defects are small — 50 % to 100 % of one cell delay
+/// (Section I) — so they are only observable when the test clock carries
+/// little margin over the paths the patterns actually exercise. The
+/// default policy therefore clocks each test session relative to the
+/// *tested subcircuit's* delay distribution `Δ(Induced(Path_TP))`
+/// (Definition D.5), which is what an at-speed tester of those paths
+/// does. A circuit-level policy (relative to `Δ(C)`) is available for
+/// ablation; under it, defects far from the critical path escape.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ClockPolicy {
+    /// `clk` = the given quantile of the circuit delay `Δ(C)`, fixed for
+    /// the whole campaign.
+    CircuitQuantile(f64),
+    /// `clk` = the given quantile of the distribution of
+    /// `max over patterns and outputs` of the dynamic arrival times of
+    /// the applied pattern set — recomputed per test session.
+    TestedQuantile(f64),
+    /// Clock sweep (the small-delay-defect testing practice this paper
+    /// pioneered): starting from a generous clock, tighten along a ladder
+    /// of tested-delay quantiles until the chip under test fails at least
+    /// one pattern; the first failing clock is used to record `B`. A
+    /// defective chip's earliest failures are the ones its defect pushed
+    /// to the top of the tested-delay range, so `B` is informative
+    /// without oracle knowledge of the defect.
+    Sweep,
+}
+
+impl Default for ClockPolicy {
+    fn default() -> Self {
+        ClockPolicy::Sweep
+    }
+}
+
+/// The quantile ladder walked by [`ClockPolicy::Sweep`], tightest last.
+pub const SWEEP_QUANTILES: [f64; 6] = [0.95, 0.8, 0.65, 0.5, 0.35, 0.2];
+
+/// Monte-Carlo samples of `Δ(Induced(Path_TP))` (Definition D.5): the
+/// maximum dynamic arrival time over all patterns and outputs, per
+/// manufactured model instance. The clock policies quantize this
+/// distribution.
+///
+/// # Panics
+///
+/// Panics if `n_samples == 0` or the pattern set is empty.
+pub fn tested_delay_samples(
+    circuit: &Circuit,
+    timing: &CircuitTiming,
+    patterns: &PatternSet,
+    n_samples: usize,
+    seed: u64,
+) -> sdd_timing::Samples {
+    assert!(n_samples > 0, "monte-carlo sample count must be positive");
+    assert!(!patterns.is_empty(), "pattern set must be non-empty");
+    let transitions: Vec<_> = patterns
+        .iter()
+        .map(|p| sdd_netlist::logic::simulate_pair(circuit, &p.v1, &p.v2))
+        .collect();
+    (0..n_samples)
+        .map(|i| {
+            let instance = timing.sample_instance_indexed(seed ^ 0x7E57, i as u64);
+            let mut worst = 0.0f64;
+            for t in &transitions {
+                let arr = sdd_timing::dynamic::transition_arrivals(circuit, t, &instance);
+                for &o in circuit.primary_outputs() {
+                    if arr[o.index()].is_finite() {
+                        worst = worst.max(arr[o.index()]);
+                    }
+                }
+            }
+            worst
+        })
+        .collect()
+}
+
+/// The clock for [`ClockPolicy::TestedQuantile`]: the given quantile of
+/// [`tested_delay_samples`].
+///
+/// # Panics
+///
+/// Panics if `n_samples == 0` or the pattern set is empty.
+pub fn tested_clock(
+    circuit: &Circuit,
+    timing: &CircuitTiming,
+    patterns: &PatternSet,
+    quantile: f64,
+    n_samples: usize,
+    seed: u64,
+) -> f64 {
+    tested_delay_samples(circuit, timing, patterns, n_samples, seed).quantile(quantile)
+}
+
+/// Outcome of diagnosing one injected chip (exposed for the worked
+/// examples and figure reproductions).
+#[derive(Debug, Clone)]
+pub struct InstanceOutcome {
+    /// The arc that actually carries the defect.
+    pub injected: EdgeId,
+    /// The injected defect size.
+    pub delta: f64,
+    /// Patterns applied.
+    pub n_patterns: usize,
+    /// Suspect-set size after pruning (0 when diagnosis failed).
+    pub n_suspects: usize,
+    /// Full ranking per error function ([`ErrorFunction::EXTENDED`] order);
+    /// empty when diagnosis failed.
+    pub rankings: Vec<Vec<RankedSite>>,
+}
+
+/// Generates delay tests through `site` (Section H-4): robust path tests
+/// over its statistically longest paths first, non-robust fallback, both
+/// launch directions; when single-path sensitization fails (long paths in
+/// reconvergent logic are frequently false paths — the very problem the
+/// paper's false-path-aware selection [17] addresses), transition-fault
+/// two-pattern tests through the site fill the budget. Transition tests
+/// launch the same transition through the segment but let it propagate
+/// along whatever paths the logic sensitizes.
+///
+/// Returns an empty set when the site is untestable altogether.
+pub fn patterns_through_site(
+    circuit: &Circuit,
+    timing: &CircuitTiming,
+    site: EdgeId,
+    n_paths: usize,
+    max_patterns: usize,
+    seed: u64,
+) -> PatternSet {
+    patterns_through_site_with(
+        circuit,
+        timing,
+        site,
+        n_paths,
+        max_patterns,
+        seed,
+        PodemConfig::bulk(),
+        PodemConfig {
+            max_backtracks: 500,
+            max_implications: 4000,
+        },
+    )
+}
+
+/// [`patterns_through_site`] with explicit search budgets: `path_config`
+/// bounds each path-test justification, `podem_config` each
+/// transition-fault PODEM run.
+#[allow(clippy::too_many_arguments)]
+pub fn patterns_through_site_with(
+    circuit: &Circuit,
+    timing: &CircuitTiming,
+    site: EdgeId,
+    n_paths: usize,
+    max_patterns: usize,
+    seed: u64,
+    path_config: PodemConfig,
+    podem_config: PodemConfig,
+) -> PatternSet {
+    let mut set = PatternSet::new();
+    // Scan more candidates than requested paths: the longest ones are
+    // often unsensitizable.
+    if let Ok(paths) = path::k_longest_through_edge(circuit, timing, site, n_paths * 2) {
+        let mut path_tests = 0usize;
+        'paths: for (pix, p) in paths.iter().enumerate() {
+            for (dix, launch) in [TransitionDirection::Rise, TransitionDirection::Fall]
+                .into_iter()
+                .enumerate()
+            {
+                let fault = PathDelayFault::new(p.clone(), launch);
+                let test_seed = seed
+                    .wrapping_mul(0x5851_F42D_4C95_7F2D)
+                    .wrapping_add((pix * 2 + dix) as u64);
+                if let Ok(pt) =
+                    generate_robust_or_nonrobust(circuit, &fault, path_config, test_seed)
+                {
+                    if set.push(pt.pattern) {
+                        path_tests += 1;
+                    }
+                    if path_tests >= n_paths || set.len() >= max_patterns {
+                        break 'paths;
+                    }
+                }
+            }
+        }
+    }
+    // Transition-fault tests through the segment: one PODEM search per
+    // direction, then several quiet fills of the resulting partial
+    // assignments (different fills sensitize different propagation
+    // paths).
+    let fills_per_direction = (max_patterns.saturating_sub(set.len())).max(2);
+    for (dix, direction) in [TransitionDirection::Rise, TransitionDirection::Fall]
+        .into_iter()
+        .enumerate()
+    {
+        let fault = sdd_atpg::fault::TransitionFault::new(site, direction);
+        // Several independent searches with randomized backtrace choices
+        // (structural diversity), two quiet fills each (value diversity).
+        let searches = fills_per_direction.div_ceil(2).min(4);
+        'searches: for si in 0..searches {
+            let decision_seed = seed
+                .wrapping_mul(0xD6E8_FEB8_6659_FD93)
+                .wrapping_add((dix * searches + si) as u64);
+            let Ok((v1, v2)) = sdd_atpg::podem::generate_transition_assignments_diverse(
+                circuit,
+                fault,
+                podem_config,
+                Some(decision_seed),
+            ) else {
+                continue;
+            };
+            let fills = fills_per_direction.div_ceil(searches).max(1);
+            for fill in 0..fills as u64 {
+                if set.len() >= max_patterns {
+                    break 'searches;
+                }
+                let test_seed = decision_seed.wrapping_add(1 + fill);
+                set.push(sdd_atpg::podem::fill_pattern_quiet(&v1, &v2, test_seed));
+            }
+        }
+    }
+    set
+}
+
+/// Runs the campaign on a profiled synthetic benchmark (generates the
+/// circuit, applies the scan cut, then calls [`run_campaign_on`]).
+///
+/// # Errors
+///
+/// Propagates circuit-generation errors.
+pub fn run_campaign(
+    profile: &BenchmarkProfile,
+    config: &CampaignConfig,
+) -> Result<AccuracyReport, DiagnosisError> {
+    let circuit = generate(&profile.to_config(config.seed))?.to_combinational()?;
+    run_campaign_on(&circuit, config)
+}
+
+/// Runs the campaign on an explicit combinational circuit.
+///
+/// # Errors
+///
+/// Returns an error for degenerate configurations; individual chips whose
+/// diagnosis fails are *scored* as failures, not errors.
+pub fn run_campaign_on(
+    circuit: &Circuit,
+    config: &CampaignConfig,
+) -> Result<AccuracyReport, DiagnosisError> {
+    let library = CellLibrary::default_025um();
+    let timing = CircuitTiming::characterize(circuit, &library, config.variation);
+    let circuit_clk = match config.clock {
+        ClockPolicy::CircuitQuantile(q) => Some(
+            sta::static_mc(circuit, &timing, config.sta_samples, config.seed)
+                .clock_at_quantile(q),
+        ),
+        ClockPolicy::TestedQuantile(_) | ClockPolicy::Sweep => None,
+    };
+    let defect_model = SingleDefectModel::paper_section_i(library.nominal_cell_delay());
+    let mut report = AccuracyReport::new(
+        circuit.name(),
+        config.k_values.clone(),
+        ErrorFunction::EXTENDED.to_vec(),
+    );
+    for i in 0..config.n_instances {
+        let outcome =
+            diagnose_one_instance(circuit, &timing, &defect_model, circuit_clk, config, i);
+        match outcome {
+            Some(o) if !o.rankings.is_empty() => {
+                report.record(o.injected, &o.rankings, o.n_suspects, o.n_patterns);
+            }
+            Some(o) => report.record_failure(o.n_patterns),
+            None => report.record_failure(0),
+        }
+    }
+    Ok(report)
+}
+
+/// Injects, observes and diagnoses the `index`-th chip of a campaign.
+/// Returns `None` when no observable failing configuration could be
+/// drawn within the redraw budget.
+///
+/// `circuit_clk` is the campaign-level clock for
+/// [`ClockPolicy::CircuitQuantile`]; pass `None` under
+/// [`ClockPolicy::TestedQuantile`] and the clock is estimated per test
+/// session.
+pub fn diagnose_one_instance(
+    circuit: &Circuit,
+    timing: &CircuitTiming,
+    defect_model: &SingleDefectModel,
+    circuit_clk: Option<f64>,
+    config: &CampaignConfig,
+    index: usize,
+) -> Option<InstanceOutcome> {
+    let chip = timing.sample_instance_indexed(config.seed ^ 0xC41F, index as u64);
+    for attempt in 0..config.max_redraws {
+        let defect_seed = config
+            .seed
+            .wrapping_add(1 + index as u64 * 131 + attempt as u64 * 7919);
+        let defect = defect_model.sample_defect(circuit, defect_seed);
+        let patterns = patterns_through_site_with(
+            circuit,
+            timing,
+            defect.edge,
+            config.n_paths,
+            config.max_patterns,
+            defect_seed,
+            PodemConfig {
+                max_backtracks: config.path_backtracks,
+                max_implications: config.path_backtracks * 4,
+            },
+            PodemConfig {
+                max_backtracks: config.podem_backtracks,
+                max_implications: config.podem_backtracks * 4,
+            },
+        );
+        if patterns.is_empty() {
+            continue;
+        }
+        let failing_chip = defect.apply(&chip);
+        let behavior = match (circuit_clk, config.clock) {
+            (Some(clk), _) => BehaviorMatrix::observe_with(
+                circuit,
+                &patterns,
+                &failing_chip,
+                clk,
+                config.capture,
+            ),
+            (None, ClockPolicy::TestedQuantile(q)) => {
+                let samples = tested_delay_samples(
+                    circuit,
+                    timing,
+                    &patterns,
+                    config.sta_samples.min(150),
+                    config.seed,
+                );
+                let clk = samples.quantile(q);
+                BehaviorMatrix::observe_with(
+                    circuit,
+                    &patterns,
+                    &failing_chip,
+                    clk,
+                    config.capture,
+                )
+            }
+            (None, ClockPolicy::Sweep) => {
+                let samples = tested_delay_samples(
+                    circuit,
+                    timing,
+                    &patterns,
+                    config.sta_samples.min(150),
+                    config.seed,
+                );
+                let mut found = None;
+                for (level, &q) in SWEEP_QUANTILES.iter().enumerate() {
+                    let clk = samples.quantile(q);
+                    let b = BehaviorMatrix::observe_with(
+                        circuit,
+                        &patterns,
+                        &failing_chip,
+                        clk,
+                        config.capture,
+                    );
+                    if !b.all_pass() {
+                        // Tighten extra steps (when available): the first
+                        // failing level often exposes only the chip's
+                        // single most critical tested path; going deeper
+                        // makes more of the defect's paths fail, which
+                        // shrinks the ambiguity group of arcs that could
+                        // explain the behaviour.
+                        let extra = (level + config.sweep_extra_steps)
+                            .min(SWEEP_QUANTILES.len() - 1);
+                        if extra > level {
+                            let clk2 = samples.quantile(SWEEP_QUANTILES[extra]);
+                            found = Some(BehaviorMatrix::observe_with(
+                                circuit,
+                                &patterns,
+                                &failing_chip,
+                                clk2,
+                                config.capture,
+                            ));
+                        } else {
+                            found = Some(b);
+                        }
+                        break;
+                    }
+                }
+                match found {
+                    Some(b) => b,
+                    None => continue,
+                }
+            }
+            (None, ClockPolicy::CircuitQuantile(_)) => {
+                unreachable!("campaign precomputes the circuit-level clock")
+            }
+        };
+        if behavior.all_pass() {
+            continue;
+        }
+        let diagnoser = Diagnoser::new(
+            circuit,
+            timing,
+            &patterns,
+            defect_model.size_dist(),
+            DiagnoserConfig {
+                dictionary: config.dictionary,
+            },
+        );
+        return Some(match diagnoser.diagnose_all(&behavior) {
+            Ok(all) => {
+                let n_suspects = all
+                    .first()
+                    .map(|(_, ranking)| ranking.len())
+                    .unwrap_or(0);
+                InstanceOutcome {
+                    injected: defect.edge,
+                    delta: defect.delta,
+                    n_patterns: patterns.len(),
+                    n_suspects,
+                    rankings: all.into_iter().map(|(_, r)| r).collect(),
+                }
+            }
+            Err(_) => InstanceOutcome {
+                injected: defect.edge,
+                delta: defect.delta,
+                n_patterns: patterns.len(),
+                n_suspects: 0,
+                rankings: Vec::new(),
+            },
+        });
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdd_netlist::generator::GeneratorConfig;
+    use sdd_netlist::profiles;
+
+    fn small_comb() -> Circuit {
+        generate(&GeneratorConfig::small("camp", 21))
+            .unwrap()
+            .to_combinational()
+            .unwrap()
+    }
+
+    #[test]
+    fn patterns_through_sites_are_generated() {
+        let c = small_comb();
+        let t = CircuitTiming::characterize(
+            &c,
+            &CellLibrary::default_025um(),
+            VariationModel::default(),
+        );
+        let mut produced = 0;
+        for e in c.edge_ids().take(12) {
+            let ps = patterns_through_site(&c, &t, e, 3, 8, 5);
+            produced += ps.len();
+            assert!(ps.len() <= 8);
+        }
+        assert!(produced > 0, "no pattern generated through any site");
+    }
+
+    #[test]
+    fn quick_campaign_runs_and_scores() {
+        let report = run_campaign(&profiles::S27, &CampaignConfig::quick(3)).unwrap();
+        assert_eq!(report.trials, 6);
+        assert_eq!(report.functions.len(), 5);
+        // Monotonic in K for every function.
+        for f_ix in 0..report.functions.len() {
+            let mut last = -1.0;
+            for k_ix in 0..report.k_values.len() {
+                let rate = report.success_percent(k_ix, f_ix);
+                assert!(rate >= last, "rate not monotone in K");
+                last = rate;
+            }
+        }
+    }
+
+    #[test]
+    fn campaign_is_deterministic() {
+        let a = run_campaign(&profiles::S27, &CampaignConfig::quick(8)).unwrap();
+        let b = run_campaign(&profiles::S27, &CampaignConfig::quick(8)).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn single_instance_outcome_is_coherent() {
+        let c = small_comb();
+        let library = CellLibrary::default_025um();
+        let t = CircuitTiming::characterize(&c, &library, VariationModel::default());
+        let clk = sta::static_mc(&c, &t, 100, 1).clock_at_quantile(0.95);
+        let model = SingleDefectModel::paper_section_i(library.nominal_cell_delay());
+        let cfg = CampaignConfig::quick(4);
+        if let Some(o) = diagnose_one_instance(&c, &t, &model, Some(clk), &cfg, 0) {
+            assert!(o.delta > 0.0);
+            assert!(o.n_patterns > 0);
+            if !o.rankings.is_empty() {
+                assert_eq!(o.rankings.len(), 5);
+            }
+        }
+    }
+}

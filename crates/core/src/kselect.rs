@@ -1,0 +1,155 @@
+//! Automatic selection of the answer-set size `K` (paper future-work
+//! direction 2: "develop heuristics to select K automatically").
+//!
+//! Table I reports success at user-chosen `K`; in practice the failure
+//! analysis lab wants the *smallest* candidate set that still probably
+//! contains the defect. Two heuristics are provided:
+//!
+//! * [`k_by_score_gap`] — cut the ranking at the largest relative score
+//!   gap: ambiguity groups (arcs on the same failing paths) have nearly
+//!   identical scores; the first large gap separates the plausible group
+//!   from the rest.
+//! * [`k_by_score_mass`] — for the probability-like functions (`Alg_sim`),
+//!   keep the smallest prefix holding a target fraction of the total
+//!   score mass.
+
+use crate::diagnoser::RankedSite;
+use crate::error_fn::ErrorFunction;
+
+/// Cuts a ranking at the largest relative gap between consecutive scores,
+/// searching positions `1..=max_k`. Returns the suggested `K ≥ 1`.
+///
+/// Scores are compared on the function's "goodness" axis: for ascending
+/// (error) functions the gap of interest is an *increase* in error.
+///
+/// Returns 1 for rankings of length 0 or 1.
+pub fn k_by_score_gap(ranking: &[RankedSite], function: ErrorFunction, max_k: usize) -> usize {
+    if ranking.len() < 2 {
+        return 1;
+    }
+    let limit = max_k.min(ranking.len() - 1).max(1);
+    let mut best_k = 1;
+    let mut best_gap = f64::NEG_INFINITY;
+    for k in 1..=limit {
+        let a = ranking[k - 1].score;
+        let b = ranking[k].score;
+        // Goodness drop from position k-1 to k.
+        let gap = if function.higher_is_better() {
+            a - b
+        } else {
+            b - a
+        };
+        // Normalize by local magnitude so the heuristic is scale-free.
+        let scale = a.abs().max(b.abs()).max(1e-12);
+        let rel = gap / scale;
+        if rel > best_gap {
+            best_gap = rel;
+            best_k = k;
+        }
+    }
+    best_k
+}
+
+/// Keeps the smallest prefix whose summed score reaches `mass_fraction`
+/// of the total (only meaningful for the descending, probability-like
+/// functions; returns `ranking.len().min(max_k)` when the total mass is
+/// zero).
+///
+/// # Panics
+///
+/// Panics if `mass_fraction` is outside `(0, 1]` or the function ranks
+/// ascending (use [`k_by_score_gap`] for `Alg_rev`-style functions).
+pub fn k_by_score_mass(
+    ranking: &[RankedSite],
+    function: ErrorFunction,
+    mass_fraction: f64,
+    max_k: usize,
+) -> usize {
+    assert!(
+        function.higher_is_better(),
+        "score-mass selection needs a descending (probability-like) function"
+    );
+    assert!(
+        mass_fraction > 0.0 && mass_fraction <= 1.0,
+        "mass fraction must be in (0, 1]"
+    );
+    let total: f64 = ranking.iter().map(|r| r.score.max(0.0)).sum();
+    let limit = max_k.min(ranking.len()).max(1);
+    if total <= 0.0 {
+        return limit;
+    }
+    let mut acc = 0.0;
+    for (i, r) in ranking.iter().take(limit).enumerate() {
+        acc += r.score.max(0.0);
+        if acc >= mass_fraction * total {
+            return i + 1;
+        }
+    }
+    limit
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdd_netlist::EdgeId;
+
+    fn ranking(scores: &[f64]) -> Vec<RankedSite> {
+        scores
+            .iter()
+            .enumerate()
+            .map(|(i, &score)| RankedSite {
+                edge: EdgeId::from_index(i),
+                score,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn gap_finds_the_cliff_descending() {
+        // Plausible group {0.9, 0.88, 0.87} then cliff to 0.2.
+        let r = ranking(&[0.9, 0.88, 0.87, 0.2, 0.15]);
+        assert_eq!(k_by_score_gap(&r, ErrorFunction::MethodII, 10), 3);
+    }
+
+    #[test]
+    fn gap_finds_the_cliff_ascending() {
+        // Alg_rev: small errors first, cliff upward after two.
+        let r = ranking(&[0.1, 0.12, 0.9, 1.0]);
+        assert_eq!(k_by_score_gap(&r, ErrorFunction::Euclidean, 10), 2);
+    }
+
+    #[test]
+    fn gap_respects_max_k() {
+        let r = ranking(&[0.9, 0.8, 0.7, 0.0]);
+        assert!(k_by_score_gap(&r, ErrorFunction::MethodI, 2) <= 2);
+    }
+
+    #[test]
+    fn gap_degenerate_inputs() {
+        assert_eq!(k_by_score_gap(&[], ErrorFunction::MethodI, 5), 1);
+        assert_eq!(
+            k_by_score_gap(&ranking(&[0.5]), ErrorFunction::MethodI, 5),
+            1
+        );
+    }
+
+    #[test]
+    fn mass_accumulates() {
+        let r = ranking(&[0.5, 0.3, 0.1, 0.1]);
+        assert_eq!(k_by_score_mass(&r, ErrorFunction::MethodII, 0.5, 10), 1);
+        assert_eq!(k_by_score_mass(&r, ErrorFunction::MethodII, 0.8, 10), 2);
+        assert_eq!(k_by_score_mass(&r, ErrorFunction::MethodII, 1.0, 10), 4);
+    }
+
+    #[test]
+    fn mass_zero_total_returns_limit() {
+        let r = ranking(&[0.0, 0.0, 0.0]);
+        assert_eq!(k_by_score_mass(&r, ErrorFunction::MethodIII, 0.9, 2), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "descending")]
+    fn mass_rejects_ascending_functions() {
+        k_by_score_mass(&ranking(&[0.1]), ErrorFunction::Euclidean, 0.9, 3);
+    }
+}

@@ -1,0 +1,62 @@
+//! # sdd-core
+//!
+//! Statistical delay defect diagnosis — the contribution of *Delay Defect
+//! Diagnosis Based Upon Statistical Timing Models — The First Step*
+//! (Krstic, Wang, Cheng, Liou, Abadir; DATE 2003).
+//!
+//! Given a failing chip instance (one sample of the statistical timing
+//! model plus one injected delay defect of unknown location and random
+//! size) and its observed pass/fail behaviour matrix `B`, rank candidate
+//! defect locations (circuit arcs):
+//!
+//! 1. [`suspects`] — cause–effect pruning in the logic domain: only arcs
+//!    logically sensitized to a failing output survive (Algorithm E.1,
+//!    step 1).
+//! 2. [`dictionary`] — the *probabilistic fault dictionary*: the
+//!    defect-free critical-probability matrix `M_crt` and, per suspect,
+//!    the defect-injected matrix `E_crt`, whose difference is the
+//!    signature probability matrix `S_crt` (Definition E.1), estimated by
+//!    Monte-Carlo statistical dynamic timing simulation.
+//! 3. [`error_fn`] — the diagnosis error functions: `Alg_sim` Methods
+//!    I/II/III (Algorithm E.1, step 7) and the explicit Euclidean error
+//!    of `Alg_rev` (Algorithm F.1 / equation (5)).
+//! 4. [`diagnoser`] — the end-to-end [`Diagnoser`](diagnoser::Diagnoser).
+//! 5. [`inject`] / [`evaluate`] — the statistical defect-injection
+//!    campaign and success-rate scoring of Section I (Table I).
+//!
+//! ## Example
+//!
+//! ```no_run
+//! use sdd_core::inject::{CampaignConfig, run_campaign};
+//! use sdd_netlist::profiles;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let profile = profiles::S27;
+//! let report = run_campaign(&profile, &CampaignConfig::quick(1))?;
+//! println!("{}", report.render_table());
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod behavior;
+pub mod defect;
+pub mod diagnoser;
+pub mod dictionary;
+mod error;
+pub mod error_fn;
+pub mod evaluate;
+pub mod inject;
+pub mod kselect;
+pub mod multi_defect;
+pub mod suspects;
+pub mod table;
+
+pub use behavior::{BehaviorMatrix, CaptureModel};
+pub use defect::{InjectedDefect, SingleDefectModel};
+pub use diagnoser::{Diagnoser, DiagnoserConfig, RankedSite};
+pub use dictionary::{DictionaryConfig, ProbabilisticDictionary, SuspectSignature};
+pub use error::DiagnosisError;
+pub use error_fn::ErrorFunction;

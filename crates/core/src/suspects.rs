@@ -1,0 +1,151 @@
+//! Cause–effect suspect pruning (Algorithm E.1, step 1).
+//!
+//! "Find a set of suspect faults `S ⊂ E` such that each fault in `S` is
+//! *logically* sensitized to a faulty output by at least one pattern."
+//! An arc survives when, under some pattern, both of its endpoints switch
+//! and its sink reaches a failing output through a chain of switching
+//! nodes — the exact condition under which extra delay on the arc can
+//! move a failing output's arrival time.
+
+use crate::BehaviorMatrix;
+use sdd_atpg::fault_sim::dynamically_active_edges;
+use sdd_atpg::PatternSet;
+use sdd_netlist::logic::simulate_pair;
+use sdd_netlist::{Circuit, EdgeId};
+
+/// Collects the suspect arcs for a failing chip: the union over failing
+/// patterns of the dynamically active arcs towards that pattern's failing
+/// outputs. Arcs are returned in id order, deduplicated.
+///
+/// Returns an empty vector when the chip passed everything (nothing to
+/// diagnose).
+///
+/// # Panics
+///
+/// Panics for sequential circuits or if `behavior`'s shape mismatches the
+/// pattern set.
+pub fn collect_suspects(
+    circuit: &Circuit,
+    patterns: &PatternSet,
+    behavior: &BehaviorMatrix,
+) -> Vec<EdgeId> {
+    assert_eq!(
+        behavior.num_patterns(),
+        patterns.len(),
+        "behavior/pattern count mismatch"
+    );
+    assert_eq!(
+        behavior.num_outputs(),
+        circuit.primary_outputs().len(),
+        "behavior/output count mismatch"
+    );
+    let mut is_suspect = vec![false; circuit.num_edges()];
+    for (j, p) in patterns.iter().enumerate() {
+        let failing = behavior.failing_outputs(j);
+        if failing.is_empty() {
+            continue;
+        }
+        let transitions = simulate_pair(circuit, &p.v1, &p.v2);
+        for e in dynamically_active_edges(circuit, &transitions, &failing) {
+            is_suspect[e.index()] = true;
+        }
+    }
+    (0..circuit.num_edges())
+        .filter(|&i| is_suspect[i])
+        .map(EdgeId::from_index)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdd_atpg::dictionary::BitMatrix;
+    use sdd_atpg::TestPattern;
+    use sdd_netlist::{CircuitBuilder, GateKind};
+
+    fn mux() -> Circuit {
+        let mut b = CircuitBuilder::new("mux");
+        let s = b.input("s");
+        let a = b.input("a");
+        let c = b.input("c");
+        let ns = b.gate("ns", GateKind::Not, &[s]).unwrap();
+        let t0 = b.gate("t0", GateKind::And, &[ns, a]).unwrap();
+        let t1 = b.gate("t1", GateKind::And, &[s, c]).unwrap();
+        let y = b.gate("y", GateKind::Or, &[t0, t1]).unwrap();
+        b.output(y);
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn failing_pattern_yields_active_chain() {
+        let c = mux();
+        let ps: PatternSet = [TestPattern::new(
+            vec![false, false, false],
+            vec![false, true, false],
+        )]
+        .into_iter()
+        .collect();
+        let mut bits = BitMatrix::zeros(1, 1);
+        bits.set(0, 0, true);
+        let b = BehaviorMatrix::from_bits(bits, 1.0);
+        let suspects = collect_suspects(&c, &ps, &b);
+        // Switching chain: a -> t0 -> y, two arcs.
+        assert_eq!(suspects.len(), 2);
+    }
+
+    #[test]
+    fn passing_chip_has_no_suspects() {
+        let c = mux();
+        let ps: PatternSet = [TestPattern::new(
+            vec![false, false, false],
+            vec![false, true, false],
+        )]
+        .into_iter()
+        .collect();
+        let b = BehaviorMatrix::from_bits(BitMatrix::zeros(1, 1), 1.0);
+        assert!(collect_suspects(&c, &ps, &b).is_empty());
+    }
+
+    #[test]
+    fn union_over_patterns() {
+        let c = mux();
+        let ps: PatternSet = [
+            // s=0, a rises: chain through t0.
+            TestPattern::new(vec![false, false, false], vec![false, true, false]),
+            // s=1, c rises: chain through t1.
+            TestPattern::new(vec![true, false, false], vec![true, false, true]),
+        ]
+        .into_iter()
+        .collect();
+        let mut bits = BitMatrix::zeros(1, 2);
+        bits.set(0, 0, true);
+        bits.set(0, 1, true);
+        let b = BehaviorMatrix::from_bits(bits, 1.0);
+        let both = collect_suspects(&c, &ps, &b);
+        assert_eq!(both.len(), 4);
+
+        // Only the first pattern failing halves the suspect set.
+        let mut bits = BitMatrix::zeros(1, 2);
+        bits.set(0, 0, true);
+        let b = BehaviorMatrix::from_bits(bits, 1.0);
+        let one = collect_suspects(&c, &ps, &b);
+        assert_eq!(one.len(), 2);
+        for e in &one {
+            assert!(both.contains(e));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "mismatch")]
+    fn shape_mismatch_panics() {
+        let c = mux();
+        let ps: PatternSet = [TestPattern::new(
+            vec![false, false, false],
+            vec![false, true, false],
+        )]
+        .into_iter()
+        .collect();
+        let b = BehaviorMatrix::from_bits(BitMatrix::zeros(1, 5), 1.0);
+        collect_suspects(&c, &ps, &b);
+    }
+}

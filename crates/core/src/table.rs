@@ -1,0 +1,81 @@
+//! Text rendering of Table-I-style accuracy reports.
+
+use crate::evaluate::AccuracyReport;
+use std::fmt::Write as _;
+
+/// Renders one or more campaign reports as a text table shaped like the
+/// paper's Table I: one row per `K` value, one column per error function.
+pub fn render_reports(reports: &[AccuracyReport]) -> String {
+    let mut out = String::new();
+    for report in reports {
+        let _ = writeln!(
+            out,
+            "{} (N = {}, avg suspects = {:.0}, avg patterns = {:.1})",
+            report.circuit, report.trials, report.avg_suspects, report.avg_patterns
+        );
+        let _ = write!(out, "  {:>4} |", "K");
+        for f in &report.functions {
+            let _ = write!(out, " {:>11} |", f.name());
+        }
+        let _ = writeln!(out);
+        let width = 8 + report.functions.len() * 15;
+        let _ = writeln!(out, "  {}", "-".repeat(width));
+        for (k_ix, &k) in report.k_values.iter().enumerate() {
+            let _ = write!(out, "  {k:>4} |");
+            for f_ix in 0..report.functions.len() {
+                let rate = if report.trials == 0 {
+                    0.0
+                } else {
+                    report.success_percent(k_ix, f_ix)
+                };
+                let _ = write!(out, " {rate:>10.0}% |");
+            }
+            let _ = writeln!(out);
+        }
+        let _ = writeln!(out);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diagnoser::RankedSite;
+    use crate::error_fn::ErrorFunction;
+    use sdd_netlist::EdgeId;
+
+    #[test]
+    fn renders_all_cells() {
+        let mut r = AccuracyReport::new(
+            "s1423",
+            vec![1, 2, 9],
+            vec![
+                ErrorFunction::MethodI,
+                ErrorFunction::MethodII,
+                ErrorFunction::Euclidean,
+            ],
+        );
+        let inj = EdgeId::from_index(0);
+        let hit = vec![RankedSite { edge: inj, score: 1.0 }];
+        let miss = vec![RankedSite {
+            edge: EdgeId::from_index(9),
+            score: 1.0,
+        }];
+        r.record(inj, &[hit.clone(), miss.clone(), hit.clone()], 5, 4);
+        let text = render_reports(&[r]);
+        assert!(text.contains("s1423"));
+        assert!(text.contains("Alg_rev"));
+        assert!(text.lines().count() >= 6);
+        // three K rows
+        for k in ["1", "2", "9"] {
+            assert!(text.lines().any(|l| l.trim_start().starts_with(k)));
+        }
+    }
+
+    #[test]
+    fn empty_campaign_renders_zeros() {
+        let r = AccuracyReport::new("x", vec![1], vec![ErrorFunction::MethodI]);
+        let text = render_reports(&[r]);
+        assert!(text.contains("0%"));
+    }
+}

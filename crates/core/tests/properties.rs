@@ -1,0 +1,205 @@
+//! Property-based tests for the diagnosis core: error-function laws,
+//! behaviour-matrix invariants, defect-model guarantees and report
+//! accounting.
+
+use proptest::prelude::*;
+use sdd_atpg::dictionary::BitMatrix;
+use sdd_core::defect::{observable_sites, SingleDefectModel};
+use sdd_core::diagnoser::RankedSite;
+use sdd_core::error_fn::{phi_sparse, ErrorFunction};
+use sdd_core::evaluate::{is_success, AccuracyReport};
+use sdd_core::BehaviorMatrix;
+use sdd_netlist::generator::{generate, GeneratorConfig};
+use sdd_netlist::EdgeId;
+use sdd_timing::Dist;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Method I dominates Method III for any φ vector (at-least-one vs
+    /// all-patterns), and both are bounded by probabilities.
+    #[test]
+    fn method_ordering(phis in proptest::collection::vec(0.0f64..=1.0, 1..10)) {
+        let m1 = ErrorFunction::MethodI.combine(&phis);
+        let m3 = ErrorFunction::MethodIII.combine(&phis);
+        prop_assert!(m1 >= m3 - 1e-12);
+        let m2 = ErrorFunction::MethodII.combine(&phis);
+        prop_assert!(m2 <= phis.iter().copied().fold(0.0, f64::max) + 1e-12);
+        prop_assert!(m2 >= phis.iter().copied().fold(1.0, f64::min) - 1e-12);
+    }
+
+    /// Improving any single φ never worsens any method's opinion of the
+    /// suspect (monotonicity of the error functions).
+    #[test]
+    fn error_functions_monotone(
+        phis in proptest::collection::vec(0.0f64..=1.0, 1..8),
+        which in 0usize..8,
+        bump in 0.0f64..1.0,
+    ) {
+        let i = which % phis.len();
+        let mut better = phis.clone();
+        better[i] = (better[i] + bump).min(1.0);
+        for f in ErrorFunction::EXTENDED {
+            let old = f.combine(&phis);
+            let new = f.combine(&better);
+            // "new" must be at least as good as "old".
+            prop_assert!(
+                f.compare(new, old) != std::cmp::Ordering::Greater,
+                "{}: {} vs {}", f.name(), new, old
+            );
+        }
+    }
+
+    /// φ_sparse is monotone in the signature at failing outputs and
+    /// antitone at passing outputs.
+    #[test]
+    fn phi_sparse_directional(
+        s in 0.0f64..1.0,
+        bump in 0.0f64..0.5,
+    ) {
+        let s_hi = (s + bump).min(1.0);
+        // One reachable output that fails:
+        prop_assert!(phi_sparse(&[s_hi], &[0], &[0]) >= phi_sparse(&[s], &[0], &[0]) - 1e-12);
+        // One reachable output that passes:
+        prop_assert!(phi_sparse(&[s_hi], &[0], &[]) <= phi_sparse(&[s], &[0], &[]) + 1e-12);
+    }
+
+    /// success@K is monotone in K, and containment implies success for
+    /// every larger K.
+    #[test]
+    fn success_monotone_in_k(
+        edges in proptest::collection::vec(0usize..50, 1..20),
+        injected in 0usize..50,
+    ) {
+        let mut seen = std::collections::HashSet::new();
+        let ranking: Vec<RankedSite> = edges
+            .into_iter()
+            .filter(|e| seen.insert(*e))
+            .map(|e| RankedSite { edge: EdgeId::from_index(e), score: 0.0 })
+            .collect();
+        let inj = EdgeId::from_index(injected);
+        let mut last = false;
+        for k in 0..=ranking.len() + 2 {
+            let now = is_success(&ranking, inj, k);
+            prop_assert!(!last || now, "success lost when K grew to {}", k);
+            last = now;
+        }
+    }
+
+    /// Report accounting: success percentages equal recorded counts.
+    #[test]
+    fn report_accounting(hits in proptest::collection::vec(any::<bool>(), 1..30)) {
+        let mut report = AccuracyReport::new("acc", vec![1], vec![ErrorFunction::MethodII]);
+        let inj = EdgeId::from_index(1);
+        let other = EdgeId::from_index(2);
+        for &hit in &hits {
+            let top = if hit { inj } else { other };
+            report.record(inj, &[vec![RankedSite { edge: top, score: 1.0 }]], 3, 2);
+        }
+        let expect = 100.0 * hits.iter().filter(|&&h| h).count() as f64 / hits.len() as f64;
+        prop_assert!((report.success_percent(0, 0) - expect).abs() < 1e-9);
+        prop_assert_eq!(report.trials, hits.len());
+    }
+
+    /// Defect sizes from the Section I model are nonnegative and centred
+    /// where configured.
+    #[test]
+    fn defect_sizes_nonnegative(cell in 0.01f64..1.0, seed in 0u64..200) {
+        use rand::SeedableRng;
+        let model = SingleDefectModel::paper_section_i(cell);
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+        for _ in 0..64 {
+            let d = model.sample_size(&mut rng);
+            prop_assert!(d >= 0.0);
+            prop_assert!(d <= 2.0 * cell, "size {} too large for cell {}", d, cell);
+        }
+    }
+
+    /// Every sampled defect lands on an observable site.
+    #[test]
+    fn sampled_defects_are_observable(seed in 0u64..200) {
+        let c = generate(&GeneratorConfig::small("obs", seed))
+            .expect("generates")
+            .to_combinational()
+            .expect("cut");
+        let sites = observable_sites(&c);
+        let model = SingleDefectModel::new(Dist::Deterministic(0.1));
+        for k in 0..8 {
+            let d = model.sample_defect(&c, seed.wrapping_add(k));
+            prop_assert!(sites.contains(&d.edge));
+        }
+    }
+
+    /// Behaviour matrices built from explicit bits report consistent
+    /// failing sets.
+    #[test]
+    fn behavior_failing_sets_consistent(
+        rows in 1usize..6,
+        cols in 1usize..6,
+        set_bits in proptest::collection::vec((0usize..6, 0usize..6), 0..12),
+    ) {
+        let mut bits = BitMatrix::zeros(rows, cols);
+        for (r, c) in set_bits {
+            bits.set(r % rows, c % cols, true);
+        }
+        let b = BehaviorMatrix::from_bits(bits.clone(), 1.0);
+        let mut total = 0;
+        for j in 0..cols {
+            let failing = b.failing_outputs(j);
+            total += failing.len();
+            for &i in &failing {
+                prop_assert!(b.fails(i, j));
+            }
+            for i in 0..rows {
+                prop_assert_eq!(failing.contains(&i), b.fails(i, j));
+            }
+        }
+        prop_assert_eq!(total as u32, b.num_failures());
+        prop_assert_eq!(b.all_pass(), total == 0);
+        prop_assert_eq!(b.failing_patterns().len(), (0..cols).filter(|&j| !b.failing_outputs(j).is_empty()).count());
+    }
+}
+
+/// Serde round-trips for the serializable data structures (a dictionary,
+/// a report, a behaviour matrix survive JSON).
+#[test]
+fn serde_roundtrips() {
+    use sdd_core::dictionary::{DictionaryConfig, ProbabilisticDictionary};
+    use sdd_timing::{CellLibrary, CircuitTiming, VariationModel};
+
+    let c = generate(&GeneratorConfig::small("serde", 4))
+        .unwrap()
+        .to_combinational()
+        .unwrap();
+    let t = CircuitTiming::characterize(&c, &CellLibrary::default_025um(), VariationModel::default());
+    let patterns = sdd_atpg::PatternSet::random(&c, 3, 1);
+    let suspects: Vec<EdgeId> = c.edge_ids().take(4).collect();
+    let dict = ProbabilisticDictionary::build(
+        &c,
+        &t,
+        &Dist::Deterministic(0.1),
+        &patterns,
+        &suspects,
+        0.5,
+        DictionaryConfig {
+            n_samples: 20,
+            seed: 1,
+        },
+    );
+    let json = serde_json::to_string(&dict).expect("serializes");
+    let back: ProbabilisticDictionary = serde_json::from_str(&json).expect("deserializes");
+    assert_eq!(dict, back);
+
+    let mut report = AccuracyReport::new("s", vec![1, 3], ErrorFunction::EXTENDED.to_vec());
+    report.record_failure(5);
+    let json = serde_json::to_string(&report).unwrap();
+    let back: AccuracyReport = serde_json::from_str(&json).unwrap();
+    assert_eq!(report, back);
+
+    let bits = BitMatrix::zeros(2, 3);
+    let b = BehaviorMatrix::from_bits(bits, 1.25);
+    let json = serde_json::to_string(&b).unwrap();
+    let back: BehaviorMatrix = serde_json::from_str(&json).unwrap();
+    assert_eq!(b, back);
+    assert_eq!(back.clk(), 1.25);
+}

@@ -1,0 +1,311 @@
+//! Reader and writer for the ISCAS-89 `.bench` netlist format.
+//!
+//! This is the format in which the benchmark circuits evaluated by the
+//! paper (s1196 … s15850) are distributed:
+//!
+//! ```text
+//! # comment
+//! INPUT(a)
+//! OUTPUT(y)
+//! q  = DFF(d)
+//! na = NOT(a)
+//! y  = NAND(na, q)
+//! d  = OR(a, q)
+//! ```
+//!
+//! Signals may be referenced before they are defined; the parser resolves
+//! forward references in a second pass.
+
+use crate::{Circuit, CircuitBuilder, GateKind, NetlistError, NodeId};
+use std::fmt::Write as _;
+
+/// Parses a `.bench` netlist into a [`Circuit`] named `name`.
+///
+/// # Errors
+///
+/// Returns [`NetlistError::Parse`] for malformed lines,
+/// [`NetlistError::UndefinedName`] for references to signals that are never
+/// defined, and the usual builder errors for arity/cycle problems.
+///
+/// # Example
+///
+/// ```
+/// use sdd_netlist::bench_format::parse;
+///
+/// # fn main() -> Result<(), sdd_netlist::NetlistError> {
+/// let src = "INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = NAND(a, b)\n";
+/// let c = parse("tiny", src)?;
+/// assert_eq!(c.num_gates(), 1);
+/// # Ok(())
+/// # }
+/// ```
+pub fn parse(name: &str, source: &str) -> Result<Circuit, NetlistError> {
+    struct GateLine {
+        line_no: usize,
+        target: String,
+        kind: GateKind,
+        args: Vec<String>,
+    }
+
+    let mut builder = CircuitBuilder::new(name);
+    let mut output_names: Vec<(usize, String)> = Vec::new();
+    let mut gate_lines: Vec<GateLine> = Vec::new();
+
+    for (ix, raw) in source.lines().enumerate() {
+        let line_no = ix + 1;
+        let line = match raw.find('#') {
+            Some(p) => &raw[..p],
+            None => raw,
+        }
+        .trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = strip_call(line, "INPUT") {
+            let sig = rest.trim();
+            if sig.is_empty() {
+                return parse_err(line_no, "empty INPUT()");
+            }
+            if builder.lookup(sig).is_some() {
+                return Err(NetlistError::DuplicateName(sig.to_owned()));
+            }
+            builder.input(sig);
+        } else if let Some(rest) = strip_call(line, "OUTPUT") {
+            let sig = rest.trim();
+            if sig.is_empty() {
+                return parse_err(line_no, "empty OUTPUT()");
+            }
+            output_names.push((line_no, sig.to_owned()));
+        } else if let Some(eq) = line.find('=') {
+            let target = line[..eq].trim().to_owned();
+            let rhs = line[eq + 1..].trim();
+            let open = rhs
+                .find('(')
+                .ok_or_else(|| parse_err_val(line_no, "missing `(` in gate expression"))?;
+            if !rhs.ends_with(')') {
+                return parse_err(line_no, "missing `)` in gate expression");
+            }
+            let kind_name = rhs[..open].trim();
+            let kind = GateKind::from_bench_name(kind_name).ok_or_else(|| {
+                parse_err_val(line_no, &format!("unknown gate kind `{kind_name}`"))
+            })?;
+            let args: Vec<String> = rhs[open + 1..rhs.len() - 1]
+                .split(',')
+                .map(|a| a.trim().to_owned())
+                .filter(|a| !a.is_empty())
+                .collect();
+            if args.is_empty() {
+                return parse_err(line_no, "gate with no fanins");
+            }
+            gate_lines.push(GateLine {
+                line_no,
+                target,
+                kind,
+                args,
+            });
+        } else {
+            return parse_err(line_no, "unrecognized line");
+        }
+    }
+
+    // Pass 1b: declare every gate target so forward references resolve.
+    let mut declared: Vec<NodeId> = Vec::with_capacity(gate_lines.len());
+    for gl in &gate_lines {
+        let id = builder.declare_gate(&gl.target, gl.kind)?;
+        declared.push(id);
+    }
+    // Pass 2: connect fanins.
+    for (gl, &id) in gate_lines.iter().zip(&declared) {
+        let mut fanins = Vec::with_capacity(gl.args.len());
+        for arg in &gl.args {
+            let f = builder
+                .lookup(arg)
+                .ok_or_else(|| NetlistError::UndefinedName(arg.clone()))?;
+            fanins.push(f);
+        }
+        builder.set_fanins(id, &fanins).map_err(|e| match e {
+            NetlistError::BadArity { node, kind, got } => NetlistError::Parse {
+                line: gl.line_no,
+                message: format!("gate `{node}` of kind {kind} has invalid fanin count {got}"),
+            },
+            other => other,
+        })?;
+    }
+    for (_line, sig) in &output_names {
+        let id = builder
+            .lookup(sig)
+            .ok_or_else(|| NetlistError::UndefinedName(sig.clone()))?;
+        builder.output(id);
+    }
+    builder.finish()
+}
+
+fn strip_call<'a>(line: &'a str, keyword: &str) -> Option<&'a str> {
+    let upper = line.to_ascii_uppercase();
+    if upper.starts_with(keyword) {
+        let rest = line[keyword.len()..].trim_start();
+        if let Some(inner) = rest.strip_prefix('(') {
+            return inner.strip_suffix(')');
+        }
+    }
+    None
+}
+
+fn parse_err<T>(line: usize, message: &str) -> Result<T, NetlistError> {
+    Err(parse_err_val(line, message))
+}
+
+fn parse_err_val(line: usize, message: &str) -> NetlistError {
+    NetlistError::Parse {
+        line,
+        message: message.to_owned(),
+    }
+}
+
+/// Serializes a [`Circuit`] to `.bench` text.
+///
+/// The output parses back (see [`parse`]) to an isomorphic circuit: same
+/// node names, kinds, connectivity and output list.
+pub fn write(circuit: &Circuit) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "# {}", circuit.name());
+    let _ = writeln!(
+        out,
+        "# {} inputs, {} outputs, {} dffs, {} gates",
+        circuit.primary_inputs().len(),
+        circuit.primary_outputs().len(),
+        circuit.num_dffs(),
+        circuit.num_gates()
+    );
+    for &pi in circuit.primary_inputs() {
+        let _ = writeln!(out, "INPUT({})", circuit.node(pi).name());
+    }
+    for &po in circuit.primary_outputs() {
+        let _ = writeln!(out, "OUTPUT({})", circuit.node(po).name());
+    }
+    for id in circuit.node_ids() {
+        let node = circuit.node(id);
+        if node.kind() == GateKind::Input {
+            continue;
+        }
+        let fanins: Vec<&str> = node
+            .fanins()
+            .iter()
+            .map(|&f| circuit.node(f).name())
+            .collect();
+        let _ = writeln!(
+            out,
+            "{} = {}({})",
+            node.name(),
+            node.kind().bench_name(),
+            fanins.join(", ")
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const S27_LIKE: &str = "
+# toy sequential circuit
+INPUT(G0)
+INPUT(G1)
+OUTPUT(G17)
+G5 = DFF(G10)
+G10 = NAND(G0, G5)
+G11 = NOT(G1)
+G17 = NOR(G10, G11)
+";
+
+    #[test]
+    fn parse_sequential() {
+        let c = parse("toy", S27_LIKE).unwrap();
+        assert_eq!(c.primary_inputs().len(), 2);
+        assert_eq!(c.primary_outputs().len(), 1);
+        assert_eq!(c.num_dffs(), 1);
+        assert_eq!(c.num_gates(), 3);
+    }
+
+    #[test]
+    fn forward_references_resolve() {
+        let src = "OUTPUT(y)\ny = AND(a, b)\nINPUT(a)\nINPUT(b)\n";
+        let c = parse("fwd", src).unwrap();
+        assert_eq!(c.num_gates(), 1);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_skipped() {
+        let src = "# header\n\nINPUT(a)\n  # indented comment\nOUTPUT(y)\ny = BUFF(a) # trailing\n";
+        let c = parse("c", src).unwrap();
+        assert_eq!(c.num_nodes(), 2);
+    }
+
+    #[test]
+    fn unknown_gate_rejected() {
+        let src = "INPUT(a)\nOUTPUT(y)\ny = FROB(a)\n";
+        let err = parse("bad", src).unwrap_err();
+        assert!(matches!(err, NetlistError::Parse { line: 3, .. }));
+    }
+
+    #[test]
+    fn undefined_signal_rejected() {
+        let src = "INPUT(a)\nOUTPUT(y)\ny = AND(a, ghost)\n";
+        let err = parse("bad", src).unwrap_err();
+        assert_eq!(err, NetlistError::UndefinedName("ghost".into()));
+    }
+
+    #[test]
+    fn missing_paren_rejected() {
+        let src = "INPUT(a)\nOUTPUT(y)\ny = AND(a\n";
+        assert!(matches!(
+            parse("bad", src).unwrap_err(),
+            NetlistError::Parse { line: 3, .. }
+        ));
+    }
+
+    #[test]
+    fn duplicate_input_rejected() {
+        let src = "INPUT(a)\nINPUT(a)\nOUTPUT(a)\n";
+        assert_eq!(
+            parse("bad", src).unwrap_err(),
+            NetlistError::DuplicateName("a".into())
+        );
+    }
+
+    #[test]
+    fn undefined_output_rejected() {
+        let src = "INPUT(a)\nOUTPUT(zz)\n";
+        assert_eq!(
+            parse("bad", src).unwrap_err(),
+            NetlistError::UndefinedName("zz".into())
+        );
+    }
+
+    #[test]
+    fn roundtrip_write_parse() {
+        let c = parse("toy", S27_LIKE).unwrap();
+        let text = write(&c);
+        let c2 = parse("toy", &text).unwrap();
+        assert_eq!(c.num_nodes(), c2.num_nodes());
+        assert_eq!(c.num_edges(), c2.num_edges());
+        assert_eq!(c.primary_outputs().len(), c2.primary_outputs().len());
+        for id in c.node_ids() {
+            let n1 = c.node(id);
+            let id2 = c2.find(n1.name()).unwrap();
+            let n2 = c2.node(id2);
+            assert_eq!(n1.kind(), n2.kind());
+            let f1: Vec<&str> = n1.fanins().iter().map(|&f| c.node(f).name()).collect();
+            let f2: Vec<&str> = n2.fanins().iter().map(|&f| c2.node(f).name()).collect();
+            assert_eq!(f1, f2);
+        }
+    }
+
+    #[test]
+    fn lowercase_keywords_accepted() {
+        let src = "input(a)\noutput(y)\ny = nand(a, a)\n";
+        let c = parse("lc", src).unwrap();
+        assert_eq!(c.num_gates(), 1);
+    }
+}

@@ -1,0 +1,302 @@
+//! Validated construction of [`Circuit`]s.
+
+use crate::circuit::Node;
+use crate::{Circuit, GateKind, NetlistError, NodeId};
+use std::collections::HashMap;
+
+/// Incremental, validated builder for a [`Circuit`].
+///
+/// Signals are created with [`CircuitBuilder::input`],
+/// [`CircuitBuilder::gate`] or (for forward references, as needed by netlist
+/// parsers) [`CircuitBuilder::declare_gate`] + [`CircuitBuilder::set_fanins`].
+/// [`CircuitBuilder::finish`] validates arities and acyclicity and produces
+/// the immutable circuit.
+///
+/// # Example
+///
+/// ```
+/// use sdd_netlist::{CircuitBuilder, GateKind};
+///
+/// # fn main() -> Result<(), sdd_netlist::NetlistError> {
+/// let mut b = CircuitBuilder::new("mux");
+/// let s = b.input("s");
+/// let a = b.input("a");
+/// let c = b.input("c");
+/// let ns = b.gate("ns", GateKind::Not, &[s])?;
+/// let t0 = b.gate("t0", GateKind::And, &[ns, a])?;
+/// let t1 = b.gate("t1", GateKind::And, &[s, c])?;
+/// let y = b.gate("y", GateKind::Or, &[t0, t1])?;
+/// b.output(y);
+/// let mux = b.finish()?;
+/// assert_eq!(mux.depth(), 3);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct CircuitBuilder {
+    name: String,
+    nodes: Vec<Node>,
+    names: HashMap<String, NodeId>,
+    outputs: Vec<NodeId>,
+    pending: Vec<NodeId>,
+}
+
+impl CircuitBuilder {
+    /// Creates an empty builder for a circuit called `name`.
+    pub fn new(name: impl Into<String>) -> Self {
+        CircuitBuilder {
+            name: name.into(),
+            nodes: Vec::new(),
+            names: HashMap::new(),
+            outputs: Vec::new(),
+            pending: Vec::new(),
+        }
+    }
+
+    fn add_node(&mut self, name: &str, kind: GateKind) -> Result<NodeId, NetlistError> {
+        if self.names.contains_key(name) {
+            return Err(NetlistError::DuplicateName(name.to_owned()));
+        }
+        let id = NodeId::from_index(self.nodes.len());
+        self.nodes.push(Node {
+            name: name.to_owned(),
+            kind,
+            fanins: Vec::new(),
+            fanin_edges: Vec::new(),
+        });
+        self.names.insert(name.to_owned(), id);
+        Ok(id)
+    }
+
+    /// Adds a primary input.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already defined (use [`CircuitBuilder::lookup`]
+    /// first when names may repeat).
+    pub fn input(&mut self, name: &str) -> NodeId {
+        self.add_node(name, GateKind::Input)
+            .expect("duplicate input name")
+    }
+
+    /// Adds a logic gate with its fanins, validating the arity.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::DuplicateName`] if `name` exists, or
+    /// [`NetlistError::BadArity`] if the fanin count is invalid for `kind`.
+    pub fn gate(
+        &mut self,
+        name: &str,
+        kind: GateKind,
+        fanins: &[NodeId],
+    ) -> Result<NodeId, NetlistError> {
+        let id = self.declare_gate(name, kind)?;
+        self.set_fanins(id, fanins)?;
+        Ok(id)
+    }
+
+    /// Declares a gate whose fanins will be supplied later with
+    /// [`CircuitBuilder::set_fanins`]. Needed by netlist parsers where
+    /// signals are referenced before definition.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::DuplicateName`] if `name` exists.
+    pub fn declare_gate(&mut self, name: &str, kind: GateKind) -> Result<NodeId, NetlistError> {
+        let id = self.add_node(name, kind)?;
+        self.pending.push(id);
+        Ok(id)
+    }
+
+    /// Connects the fanins of a previously declared gate.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::BadArity`] if the count is invalid for the
+    /// gate's kind, or [`NetlistError::NoSuchNode`] for a bad id.
+    pub fn set_fanins(&mut self, id: NodeId, fanins: &[NodeId]) -> Result<(), NetlistError> {
+        let n = self.nodes.len();
+        if id.index() >= n {
+            return Err(NetlistError::NoSuchNode(id.index()));
+        }
+        for f in fanins {
+            if f.index() >= n {
+                return Err(NetlistError::NoSuchNode(f.index()));
+            }
+        }
+        let kind = self.nodes[id.index()].kind;
+        let (lo, hi) = kind.arity();
+        if fanins.len() < lo || fanins.len() > hi {
+            return Err(NetlistError::BadArity {
+                node: self.nodes[id.index()].name.clone(),
+                kind: kind.to_string(),
+                got: fanins.len(),
+            });
+        }
+        self.nodes[id.index()].fanins = fanins.to_vec();
+        self.pending.retain(|&p| p != id);
+        Ok(())
+    }
+
+    /// Declares a D flip-flop whose data input will be connected later with
+    /// [`CircuitBuilder::set_dff_input`]. The flip-flop's *output* signal
+    /// carries `name`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already defined.
+    pub fn dff_placeholder(&mut self, name: &str) -> NodeId {
+        let id = self.add_node(name, GateKind::Dff).expect("duplicate dff name");
+        self.pending.push(id);
+        id
+    }
+
+    /// Connects the data input of a flip-flop declared with
+    /// [`CircuitBuilder::dff_placeholder`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::NoSuchNode`] for bad ids.
+    pub fn set_dff_input(&mut self, dff: NodeId, data: NodeId) -> Result<(), NetlistError> {
+        self.set_fanins(dff, &[data])
+    }
+
+    /// Marks a node as a primary output. Duplicate marks are ignored.
+    pub fn output(&mut self, id: NodeId) {
+        if !self.outputs.contains(&id) {
+            self.outputs.push(id);
+        }
+    }
+
+    /// Looks up a previously created signal by name.
+    pub fn lookup(&self, name: &str) -> Option<NodeId> {
+        self.names.get(name).copied()
+    }
+
+    /// Number of nodes added so far.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Returns `true` if no nodes have been added.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Validates and produces the immutable [`Circuit`].
+    ///
+    /// # Errors
+    ///
+    /// * [`NetlistError::BadArity`] if any declared gate never received its
+    ///   fanins.
+    /// * [`NetlistError::Cyclic`] if the combinational graph has a cycle.
+    /// * [`NetlistError::NoOutputs`] if no output was marked.
+    pub fn finish(self) -> Result<Circuit, NetlistError> {
+        if let Some(&id) = self.pending.first() {
+            let node = &self.nodes[id.index()];
+            return Err(NetlistError::BadArity {
+                node: node.name.clone(),
+                kind: node.kind.to_string(),
+                got: 0,
+            });
+        }
+        Circuit::from_parts(self.name, self.nodes, self.outputs, self.names)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn duplicate_gate_name_rejected() {
+        let mut b = CircuitBuilder::new("t");
+        let a = b.input("a");
+        b.gate("g", GateKind::Buf, &[a]).unwrap();
+        let err = b.gate("g", GateKind::Buf, &[a]).unwrap_err();
+        assert_eq!(err, NetlistError::DuplicateName("g".into()));
+    }
+
+    #[test]
+    fn bad_arity_rejected() {
+        let mut b = CircuitBuilder::new("t");
+        let a = b.input("a");
+        let c = b.input("c");
+        let err = b.gate("g", GateKind::Not, &[a, c]).unwrap_err();
+        assert!(matches!(err, NetlistError::BadArity { got: 2, .. }));
+    }
+
+    #[test]
+    fn undeclared_fanin_rejected() {
+        let mut b = CircuitBuilder::new("t");
+        let a = b.input("a");
+        let err = b
+            .gate("g", GateKind::And, &[a, NodeId::from_index(99)])
+            .unwrap_err();
+        assert_eq!(err, NetlistError::NoSuchNode(99));
+    }
+
+    #[test]
+    fn pending_gate_fails_finish() {
+        let mut b = CircuitBuilder::new("t");
+        let a = b.input("a");
+        b.declare_gate("g", GateKind::And).unwrap();
+        b.output(a);
+        assert!(matches!(
+            b.finish().unwrap_err(),
+            NetlistError::BadArity { got: 0, .. }
+        ));
+    }
+
+    #[test]
+    fn no_outputs_fails_finish() {
+        let mut b = CircuitBuilder::new("t");
+        b.input("a");
+        assert_eq!(b.finish().unwrap_err(), NetlistError::NoOutputs);
+    }
+
+    #[test]
+    fn combinational_cycle_detected() {
+        let mut b = CircuitBuilder::new("t");
+        let a = b.input("a");
+        let g1 = b.declare_gate("g1", GateKind::And).unwrap();
+        let g2 = b.gate("g2", GateKind::And, &[g1, a]).unwrap();
+        b.set_fanins(g1, &[g2, a]).unwrap();
+        b.output(g2);
+        assert!(matches!(b.finish().unwrap_err(), NetlistError::Cyclic { .. }));
+    }
+
+    #[test]
+    fn dff_feedback_loop_is_legal() {
+        let mut b = CircuitBuilder::new("t");
+        let a = b.input("a");
+        let q = b.dff_placeholder("q");
+        let d = b.gate("d", GateKind::Xor, &[a, q]).unwrap();
+        b.set_dff_input(q, d).unwrap();
+        b.output(d);
+        let c = b.finish().unwrap();
+        assert_eq!(c.num_dffs(), 1);
+    }
+
+    #[test]
+    fn duplicate_output_marks_ignored() {
+        let mut b = CircuitBuilder::new("t");
+        let a = b.input("a");
+        let g = b.gate("g", GateKind::Buf, &[a]).unwrap();
+        b.output(g);
+        b.output(g);
+        let c = b.finish().unwrap();
+        assert_eq!(c.primary_outputs(), &[g]);
+    }
+
+    #[test]
+    fn lookup_and_len() {
+        let mut b = CircuitBuilder::new("t");
+        assert!(b.is_empty());
+        let a = b.input("a");
+        assert_eq!(b.lookup("a"), Some(a));
+        assert_eq!(b.lookup("zz"), None);
+        assert_eq!(b.len(), 1);
+    }
+}

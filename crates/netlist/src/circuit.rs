@@ -1,0 +1,519 @@
+//! The immutable, validated circuit graph.
+
+use crate::{CircuitBuilder, EdgeId, GateKind, NetlistError, NodeId};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// One node of the circuit graph: a primary input, a logic cell or a D
+/// flip-flop.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Node {
+    pub(crate) name: String,
+    pub(crate) kind: GateKind,
+    pub(crate) fanins: Vec<NodeId>,
+    pub(crate) fanin_edges: Vec<EdgeId>,
+}
+
+impl Node {
+    /// The signal name driven by this node.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The gate kind.
+    pub fn kind(&self) -> GateKind {
+        self.kind
+    }
+
+    /// Driver nodes in pin order.
+    pub fn fanins(&self) -> &[NodeId] {
+        &self.fanins
+    }
+
+    /// Fanin arcs in pin order (parallel to [`Node::fanins`]).
+    pub fn fanin_edges(&self) -> &[EdgeId] {
+        &self.fanin_edges
+    }
+}
+
+/// One fanin arc: a pin-to-pin segment from a driver node to an input pin
+/// of a sink node. Delay random variables and delay defects attach here.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Edge {
+    pub(crate) from: NodeId,
+    pub(crate) to: NodeId,
+    pub(crate) pin: u32,
+}
+
+impl Edge {
+    /// The driving node.
+    pub fn from(&self) -> NodeId {
+        self.from
+    }
+
+    /// The sink node.
+    pub fn to(&self) -> NodeId {
+        self.to
+    }
+
+    /// The input pin index at the sink node.
+    pub fn pin(&self) -> u32 {
+        self.pin
+    }
+}
+
+/// An immutable cell-level netlist: the `(V, E, I, O)` part of the paper's
+/// circuit model (Definition D.1); the delay function `f` lives in
+/// `sdd-timing`.
+///
+/// Constructed through [`CircuitBuilder`] (or the `.bench` parser /
+/// synthetic generator), after which the graph is validated, topologically
+/// ordered and levelized.
+///
+/// Sequential circuits (containing [`GateKind::Dff`]) order flip-flop
+/// outputs like primary inputs; use [`Circuit::to_combinational`] to apply
+/// the full-scan cut before timing or test generation.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Circuit {
+    pub(crate) name: String,
+    pub(crate) nodes: Vec<Node>,
+    pub(crate) edges: Vec<Edge>,
+    pub(crate) inputs: Vec<NodeId>,
+    pub(crate) outputs: Vec<NodeId>,
+    pub(crate) topo: Vec<NodeId>,
+    pub(crate) fanouts: Vec<Vec<EdgeId>>,
+    pub(crate) levels: Vec<u32>,
+    pub(crate) name_map: HashMap<String, NodeId>,
+}
+
+impl Circuit {
+    /// The circuit's name (e.g. `"s1196"`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Total number of nodes (inputs + cells + flip-flops).
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Total number of fanin arcs.
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Number of logic cells (excludes inputs and flip-flops).
+    pub fn num_gates(&self) -> usize {
+        self.nodes.iter().filter(|n| n.kind.is_logic()).count()
+    }
+
+    /// Returns the node with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id.index()]
+    }
+
+    /// Returns the edge with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn edge(&self, id: EdgeId) -> &Edge {
+        &self.edges[id.index()]
+    }
+
+    /// Primary inputs (including pseudo primary inputs after a scan cut),
+    /// in declaration order.
+    pub fn primary_inputs(&self) -> &[NodeId] {
+        &self.inputs
+    }
+
+    /// Primary outputs (including pseudo primary outputs after a scan cut),
+    /// in declaration order.
+    pub fn primary_outputs(&self) -> &[NodeId] {
+        &self.outputs
+    }
+
+    /// Iterates over all node ids in creation order.
+    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.nodes.len()).map(NodeId::from_index)
+    }
+
+    /// Iterates over all edge ids in creation order.
+    pub fn edge_ids(&self) -> impl Iterator<Item = EdgeId> + '_ {
+        (0..self.edges.len()).map(EdgeId::from_index)
+    }
+
+    /// Nodes in topological order (drivers before sinks; flip-flop outputs
+    /// are sources like primary inputs).
+    pub fn topo_order(&self) -> &[NodeId] {
+        &self.topo
+    }
+
+    /// The logic level of a node: 0 for sources, otherwise
+    /// `1 + max(level of fanins)` (flip-flops are sources).
+    pub fn level(&self, id: NodeId) -> u32 {
+        self.levels[id.index()]
+    }
+
+    /// The maximum logic level in the circuit (its combinational depth).
+    pub fn depth(&self) -> u32 {
+        self.levels.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Outgoing arcs of a node.
+    pub fn fanout_edges(&self, id: NodeId) -> &[EdgeId] {
+        &self.fanouts[id.index()]
+    }
+
+    /// Looks a node up by signal name.
+    pub fn find(&self, name: &str) -> Option<NodeId> {
+        self.name_map.get(name).copied()
+    }
+
+    /// Returns `true` if the circuit contains no flip-flops.
+    pub fn is_combinational(&self) -> bool {
+        self.nodes.iter().all(|n| n.kind != GateKind::Dff)
+    }
+
+    /// Number of D flip-flops.
+    pub fn num_dffs(&self) -> usize {
+        self.nodes
+            .iter()
+            .filter(|n| n.kind == GateKind::Dff)
+            .count()
+    }
+
+    /// Returns the position of `id` in [`Circuit::primary_outputs`], if it
+    /// is a primary output.
+    pub fn output_position(&self, id: NodeId) -> Option<usize> {
+        self.outputs.iter().position(|&o| o == id)
+    }
+
+    /// Applies the full-scan cut: every D flip-flop becomes a pseudo
+    /// primary input (keeping its signal name) and its data input becomes a
+    /// pseudo primary output.
+    ///
+    /// The result is a purely combinational circuit on which logic
+    /// simulation, timing analysis, ATPG and diagnosis operate. A circuit
+    /// that is already combinational is returned unchanged (cheap clone).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the resulting combinational graph is invalid
+    /// (cannot normally happen for a validated sequential circuit).
+    pub fn to_combinational(&self) -> Result<Circuit, NetlistError> {
+        if self.is_combinational() {
+            return Ok(self.clone());
+        }
+        let mut b = CircuitBuilder::new(&self.name);
+        let mut map: Vec<Option<NodeId>> = vec![None; self.nodes.len()];
+        // Pass 1: declare every node; DFFs become inputs.
+        for id in self.node_ids() {
+            let node = self.node(id);
+            let new_id = match node.kind {
+                GateKind::Input | GateKind::Dff => b.input(&node.name),
+                kind => b.declare_gate(&node.name, kind)?,
+            };
+            map[id.index()] = Some(new_id);
+        }
+        // Pass 2: connect logic gates.
+        for id in self.node_ids() {
+            let node = self.node(id);
+            if node.kind.is_logic() {
+                let fanins: Vec<NodeId> =
+                    node.fanins.iter().map(|f| map[f.index()].unwrap()).collect();
+                b.set_fanins(map[id.index()].unwrap(), &fanins)?;
+            }
+        }
+        // Outputs: original POs plus each DFF's data input as pseudo-PO.
+        for &o in &self.outputs {
+            b.output(map[o.index()].unwrap());
+        }
+        for id in self.node_ids() {
+            let node = self.node(id);
+            if node.kind == GateKind::Dff {
+                b.output(map[node.fanins[0].index()].unwrap());
+            }
+        }
+        b.finish()
+    }
+
+    /// Collects every node in the transitive fanin cone of `seed`
+    /// (inclusive).
+    pub fn fanin_cone(&self, seed: NodeId) -> Vec<NodeId> {
+        let mut seen = vec![false; self.nodes.len()];
+        let mut stack = vec![seed];
+        let mut cone = Vec::new();
+        while let Some(id) = stack.pop() {
+            if seen[id.index()] {
+                continue;
+            }
+            seen[id.index()] = true;
+            cone.push(id);
+            for &f in &self.nodes[id.index()].fanins {
+                stack.push(f);
+            }
+        }
+        cone
+    }
+
+    /// Collects every node in the transitive fanout cone of `seed`
+    /// (inclusive).
+    pub fn fanout_cone(&self, seed: NodeId) -> Vec<NodeId> {
+        let mut seen = vec![false; self.nodes.len()];
+        let mut stack = vec![seed];
+        let mut cone = Vec::new();
+        while let Some(id) = stack.pop() {
+            if seen[id.index()] {
+                continue;
+            }
+            seen[id.index()] = true;
+            cone.push(id);
+            for &e in &self.fanouts[id.index()] {
+                stack.push(self.edges[e.index()].to);
+            }
+        }
+        cone
+    }
+
+    /// Primary outputs reachable from `seed` through the fanout cone.
+    pub fn reachable_outputs(&self, seed: NodeId) -> Vec<NodeId> {
+        let cone = self.fanout_cone(seed);
+        let mut in_cone = vec![false; self.nodes.len()];
+        for &n in &cone {
+            in_cone[n.index()] = true;
+        }
+        self.outputs
+            .iter()
+            .copied()
+            .filter(|o| in_cone[o.index()])
+            .collect()
+    }
+
+    /// Builds the validated circuit from raw parts. Used by the builder.
+    pub(crate) fn from_parts(
+        name: String,
+        nodes: Vec<Node>,
+        outputs: Vec<NodeId>,
+        name_map: HashMap<String, NodeId>,
+    ) -> Result<Circuit, NetlistError> {
+        if outputs.is_empty() {
+            return Err(NetlistError::NoOutputs);
+        }
+        let n = nodes.len();
+        // Assign edge ids and fanout lists.
+        let mut edges = Vec::new();
+        let mut fanouts: Vec<Vec<EdgeId>> = vec![Vec::new(); n];
+        let mut nodes = nodes;
+        for ix in 0..n {
+            let fanins = nodes[ix].fanins.clone();
+            let mut fanin_edges = Vec::with_capacity(fanins.len());
+            for (pin, &from) in fanins.iter().enumerate() {
+                let eid = EdgeId::from_index(edges.len());
+                edges.push(Edge {
+                    from,
+                    to: NodeId::from_index(ix),
+                    pin: pin as u32,
+                });
+                fanouts[from.index()].push(eid);
+                fanin_edges.push(eid);
+            }
+            nodes[ix].fanin_edges = fanin_edges;
+        }
+        // Kahn topological sort. Flip-flop fanin arcs do not create
+        // ordering dependencies (a DFF's output is a source).
+        let dep_count = |node: &Node| -> usize {
+            if node.kind == GateKind::Dff {
+                0
+            } else {
+                node.fanins.len()
+            }
+        };
+        let mut indeg: Vec<usize> = nodes.iter().map(dep_count).collect();
+        let mut queue: Vec<NodeId> = (0..n)
+            .filter(|&i| indeg[i] == 0)
+            .map(NodeId::from_index)
+            .collect();
+        let mut topo = Vec::with_capacity(n);
+        let mut head = 0;
+        while head < queue.len() {
+            let id = queue[head];
+            head += 1;
+            topo.push(id);
+            for &e in &fanouts[id.index()] {
+                let to = edges[e.index()].to;
+                if nodes[to.index()].kind == GateKind::Dff {
+                    continue;
+                }
+                indeg[to.index()] -= 1;
+                if indeg[to.index()] == 0 {
+                    queue.push(to);
+                }
+            }
+        }
+        if topo.len() != n {
+            let stuck = (0..n)
+                .find(|&i| indeg[i] > 0)
+                .map(|i| nodes[i].name.clone())
+                .unwrap_or_default();
+            return Err(NetlistError::Cyclic { node: stuck });
+        }
+        // Levelize.
+        let mut levels = vec![0u32; n];
+        for &id in &topo {
+            let node = &nodes[id.index()];
+            if node.kind == GateKind::Dff || node.kind == GateKind::Input {
+                levels[id.index()] = 0;
+            } else {
+                levels[id.index()] = node
+                    .fanins
+                    .iter()
+                    .map(|f| levels[f.index()] + 1)
+                    .max()
+                    .unwrap_or(0);
+            }
+        }
+        let inputs = (0..n)
+            .map(NodeId::from_index)
+            .filter(|id| nodes[id.index()].kind == GateKind::Input)
+            .collect();
+        Ok(Circuit {
+            name,
+            nodes,
+            edges,
+            inputs,
+            outputs,
+            topo,
+            fanouts,
+            levels,
+            name_map,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CircuitBuilder;
+
+    fn small() -> Circuit {
+        // a, b -> g1 = AND(a, b); g2 = NOT(g1); outputs g1, g2
+        let mut b = CircuitBuilder::new("small");
+        let a = b.input("a");
+        let bb = b.input("b");
+        let g1 = b.gate("g1", GateKind::And, &[a, bb]).unwrap();
+        let g2 = b.gate("g2", GateKind::Not, &[g1]).unwrap();
+        b.output(g1);
+        b.output(g2);
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn counts() {
+        let c = small();
+        assert_eq!(c.num_nodes(), 4);
+        assert_eq!(c.num_edges(), 3);
+        assert_eq!(c.num_gates(), 2);
+        assert_eq!(c.primary_inputs().len(), 2);
+        assert_eq!(c.primary_outputs().len(), 2);
+        assert!(c.is_combinational());
+    }
+
+    #[test]
+    fn topo_respects_dependencies() {
+        let c = small();
+        let pos: Vec<usize> = c
+            .node_ids()
+            .map(|id| c.topo_order().iter().position(|&t| t == id).unwrap())
+            .collect();
+        for e in c.edge_ids() {
+            let edge = c.edge(e);
+            assert!(pos[edge.from().index()] < pos[edge.to().index()]);
+        }
+    }
+
+    #[test]
+    fn levels() {
+        let c = small();
+        let g1 = c.find("g1").unwrap();
+        let g2 = c.find("g2").unwrap();
+        assert_eq!(c.level(c.find("a").unwrap()), 0);
+        assert_eq!(c.level(g1), 1);
+        assert_eq!(c.level(g2), 2);
+        assert_eq!(c.depth(), 2);
+    }
+
+    #[test]
+    fn cones() {
+        let c = small();
+        let g2 = c.find("g2").unwrap();
+        let cone = c.fanin_cone(g2);
+        assert_eq!(cone.len(), 4);
+        let a = c.find("a").unwrap();
+        let outs = c.reachable_outputs(a);
+        assert_eq!(outs.len(), 2);
+    }
+
+    #[test]
+    fn fanouts_consistent() {
+        let c = small();
+        let a = c.find("a").unwrap();
+        assert_eq!(c.fanout_edges(a).len(), 1);
+        let g1 = c.find("g1").unwrap();
+        // g1 drives only g2; being a primary output adds no arc.
+        assert_eq!(c.fanout_edges(g1).len(), 1);
+        let g2 = c.find("g2").unwrap();
+        assert!(c.fanout_edges(g2).is_empty());
+    }
+
+    #[test]
+    fn sequential_scan_cut() {
+        // PI a; DFF q with data input d; d = NAND(a, q); output d.
+        let mut b = CircuitBuilder::new("seq");
+        let a = b.input("a");
+        let q = b.dff_placeholder("q");
+        let d = b.gate("d", GateKind::Nand, &[a, q]).unwrap();
+        b.set_dff_input(q, d).unwrap();
+        b.output(d);
+        let c = b.finish().unwrap();
+        assert!(!c.is_combinational());
+        assert_eq!(c.num_dffs(), 1);
+
+        let comb = c.to_combinational().unwrap();
+        assert!(comb.is_combinational());
+        // q becomes a pseudo-PI; d is both the real PO and the pseudo-PO of
+        // the flip-flop, observed once.
+        assert_eq!(comb.primary_inputs().len(), 2);
+        assert_eq!(comb.primary_outputs().len(), 1);
+        assert_eq!(comb.num_dffs(), 0);
+    }
+
+    #[test]
+    fn combinational_cut_is_identity() {
+        let c = small();
+        let c2 = c.to_combinational().unwrap();
+        assert_eq!(c2.num_nodes(), c.num_nodes());
+        assert_eq!(c2.num_edges(), c.num_edges());
+    }
+
+    #[test]
+    fn output_position() {
+        let c = small();
+        let g1 = c.find("g1").unwrap();
+        let g2 = c.find("g2").unwrap();
+        assert_eq!(c.output_position(g1), Some(0));
+        assert_eq!(c.output_position(g2), Some(1));
+        assert_eq!(c.output_position(c.find("a").unwrap()), None);
+    }
+
+    #[test]
+    fn fanout_cone_of_output_is_itself() {
+        let c = small();
+        let g2 = c.find("g2").unwrap();
+        assert_eq!(c.fanout_cone(g2), vec![g2]);
+    }
+}

@@ -1,0 +1,88 @@
+//! Error type for netlist construction and parsing.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while building, validating or parsing a circuit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum NetlistError {
+    /// A gate was declared with a fanin count outside its kind's arity.
+    BadArity {
+        /// The offending node's name.
+        node: String,
+        /// The gate kind.
+        kind: String,
+        /// The fanin count supplied.
+        got: usize,
+    },
+    /// A signal name was defined twice.
+    DuplicateName(String),
+    /// A referenced signal name was never defined.
+    UndefinedName(String),
+    /// The combinational part of the netlist contains a cycle.
+    Cyclic {
+        /// Name of a node on the cycle.
+        node: String,
+    },
+    /// A node id referred to a node that does not exist.
+    NoSuchNode(usize),
+    /// A `.bench` line could not be parsed.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// Explanation of the problem.
+        message: String,
+    },
+    /// The circuit has no primary outputs.
+    NoOutputs,
+}
+
+impl fmt::Display for NetlistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetlistError::BadArity { node, kind, got } => {
+                write!(f, "gate `{node}` of kind {kind} has invalid fanin count {got}")
+            }
+            NetlistError::DuplicateName(name) => write!(f, "signal `{name}` defined twice"),
+            NetlistError::UndefinedName(name) => write!(f, "signal `{name}` is not defined"),
+            NetlistError::Cyclic { node } => {
+                write!(f, "combinational cycle through node `{node}`")
+            }
+            NetlistError::NoSuchNode(ix) => write!(f, "node index {ix} out of range"),
+            NetlistError::Parse { line, message } => {
+                write!(f, "parse error at line {line}: {message}")
+            }
+            NetlistError::NoOutputs => write!(f, "circuit has no primary outputs"),
+        }
+    }
+}
+
+impl Error for NetlistError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let e = NetlistError::BadArity {
+            node: "g1".into(),
+            kind: "NOT".into(),
+            got: 3,
+        };
+        assert!(e.to_string().contains("g1"));
+        assert!(e.to_string().contains('3'));
+        let e = NetlistError::Parse {
+            line: 12,
+            message: "missing `)`".into(),
+        };
+        assert!(e.to_string().contains("12"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<NetlistError>();
+    }
+}

@@ -1,0 +1,286 @@
+//! Gate (cell) kinds and their logic semantics.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The kind of a circuit node: a logic cell, a primary input or a D
+/// flip-flop.
+///
+/// The set matches what the ISCAS-89 `.bench` format can express, which is
+/// what the paper's benchmark circuits use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum GateKind {
+    /// Primary input (no fanin). Also used for pseudo primary inputs after
+    /// the scan cut.
+    Input,
+    /// D flip-flop (one fanin). Present only in sequential netlists; removed
+    /// by [`Circuit::to_combinational`](crate::Circuit::to_combinational).
+    Dff,
+    /// Buffer (one fanin).
+    Buf,
+    /// Inverter (one fanin).
+    Not,
+    /// N-input AND.
+    And,
+    /// N-input NAND.
+    Nand,
+    /// N-input OR.
+    Or,
+    /// N-input NOR.
+    Nor,
+    /// N-input XOR (odd parity).
+    Xor,
+    /// N-input XNOR (even parity).
+    Xnor,
+}
+
+impl GateKind {
+    /// All logic-cell kinds that can be instantiated with two or more
+    /// inputs, in a fixed order (used by the synthetic generator).
+    pub const MULTI_INPUT_KINDS: [GateKind; 6] = [
+        GateKind::And,
+        GateKind::Nand,
+        GateKind::Or,
+        GateKind::Nor,
+        GateKind::Xor,
+        GateKind::Xnor,
+    ];
+
+    /// Returns `true` for kinds that evaluate a logic function of their
+    /// fanins (everything except [`GateKind::Input`] and [`GateKind::Dff`]).
+    #[inline]
+    pub fn is_logic(self) -> bool {
+        !matches!(self, GateKind::Input | GateKind::Dff)
+    }
+
+    /// Returns the valid fanin arity range `(min, max)` for this kind.
+    /// `max == usize::MAX` means unbounded.
+    pub fn arity(self) -> (usize, usize) {
+        match self {
+            GateKind::Input => (0, 0),
+            GateKind::Dff | GateKind::Buf | GateKind::Not => (1, 1),
+            GateKind::And
+            | GateKind::Nand
+            | GateKind::Or
+            | GateKind::Nor
+            | GateKind::Xor
+            | GateKind::Xnor => (1, usize::MAX),
+        }
+    }
+
+    /// Evaluates the gate function over boolean fanin values.
+    ///
+    /// [`GateKind::Dff`] and [`GateKind::Buf`] pass their single input
+    /// through (a DFF in combinational evaluation is treated as transparent;
+    /// sequential behaviour is handled by the scan cut instead).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs` is empty for a kind requiring fanins.
+    pub fn eval(self, inputs: &[bool]) -> bool {
+        match self {
+            GateKind::Input => panic!("primary input has no logic function"),
+            GateKind::Dff | GateKind::Buf => inputs[0],
+            GateKind::Not => !inputs[0],
+            GateKind::And => inputs.iter().all(|&v| v),
+            GateKind::Nand => !inputs.iter().all(|&v| v),
+            GateKind::Or => inputs.iter().any(|&v| v),
+            GateKind::Nor => !inputs.iter().any(|&v| v),
+            GateKind::Xor => inputs.iter().fold(false, |acc, &v| acc ^ v),
+            GateKind::Xnor => !inputs.iter().fold(false, |acc, &v| acc ^ v),
+        }
+    }
+
+    /// Evaluates the gate function over 64 patterns at once, one per bit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs` is empty for a kind requiring fanins.
+    pub fn eval_words(self, inputs: &[u64]) -> u64 {
+        match self {
+            GateKind::Input => panic!("primary input has no logic function"),
+            GateKind::Dff | GateKind::Buf => inputs[0],
+            GateKind::Not => !inputs[0],
+            GateKind::And => inputs.iter().fold(!0u64, |acc, &v| acc & v),
+            GateKind::Nand => !inputs.iter().fold(!0u64, |acc, &v| acc & v),
+            GateKind::Or => inputs.iter().fold(0u64, |acc, &v| acc | v),
+            GateKind::Nor => !inputs.iter().fold(0u64, |acc, &v| acc | v),
+            GateKind::Xor => inputs.iter().fold(0u64, |acc, &v| acc ^ v),
+            GateKind::Xnor => !inputs.iter().fold(0u64, |acc, &v| acc ^ v),
+        }
+    }
+
+    /// Returns the controlling value of the gate, if it has one.
+    ///
+    /// A controlling value at any input determines the output regardless of
+    /// the other inputs (0 for AND/NAND, 1 for OR/NOR). XOR/XNOR, buffers
+    /// and inverters have none. Used by path sensitization: a side input
+    /// must carry a *non*-controlling value for a transition to propagate.
+    pub fn controlling_value(self) -> Option<bool> {
+        match self {
+            GateKind::And | GateKind::Nand => Some(false),
+            GateKind::Or | GateKind::Nor => Some(true),
+            _ => None,
+        }
+    }
+
+    /// Returns `true` if the gate inverts: an input change of direction `d`
+    /// produces an output change of direction `!d` (for single-input
+    /// propagation through a sensitized path).
+    pub fn inverts(self) -> bool {
+        matches!(self, GateKind::Not | GateKind::Nand | GateKind::Nor)
+    }
+
+    /// Parses an ISCAS-89 gate name (case-insensitive).
+    pub fn from_bench_name(name: &str) -> Option<GateKind> {
+        match name.to_ascii_uppercase().as_str() {
+            "AND" => Some(GateKind::And),
+            "NAND" => Some(GateKind::Nand),
+            "OR" => Some(GateKind::Or),
+            "NOR" => Some(GateKind::Nor),
+            "XOR" => Some(GateKind::Xor),
+            "XNOR" => Some(GateKind::Xnor),
+            "NOT" | "INV" => Some(GateKind::Not),
+            "BUF" | "BUFF" => Some(GateKind::Buf),
+            "DFF" => Some(GateKind::Dff),
+            _ => None,
+        }
+    }
+
+    /// The ISCAS-89 `.bench` spelling of this kind.
+    ///
+    /// # Panics
+    ///
+    /// Panics for [`GateKind::Input`], which is not written as a gate line.
+    pub fn bench_name(self) -> &'static str {
+        match self {
+            GateKind::Input => panic!("INPUT is not a bench gate"),
+            GateKind::Dff => "DFF",
+            GateKind::Buf => "BUFF",
+            GateKind::Not => "NOT",
+            GateKind::And => "AND",
+            GateKind::Nand => "NAND",
+            GateKind::Or => "OR",
+            GateKind::Nor => "NOR",
+            GateKind::Xor => "XOR",
+            GateKind::Xnor => "XNOR",
+        }
+    }
+}
+
+impl fmt::Display for GateKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GateKind::Input => write!(f, "INPUT"),
+            other => write!(f, "{}", other.bench_name()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eval_two_input_truth_tables() {
+        let cases = [
+            (GateKind::And, [false, false, false, true]),
+            (GateKind::Nand, [true, true, true, false]),
+            (GateKind::Or, [false, true, true, true]),
+            (GateKind::Nor, [true, false, false, false]),
+            (GateKind::Xor, [false, true, true, false]),
+            (GateKind::Xnor, [true, false, false, true]),
+        ];
+        for (kind, expect) in cases {
+            for (i, &e) in expect.iter().enumerate() {
+                let a = i & 1 != 0;
+                let b = i & 2 != 0;
+                assert_eq!(kind.eval(&[a, b]), e, "{kind} on ({a},{b})");
+            }
+        }
+    }
+
+    #[test]
+    fn eval_single_input() {
+        assert!(!GateKind::Not.eval(&[true]));
+        assert!(GateKind::Not.eval(&[false]));
+        assert!(GateKind::Buf.eval(&[true]));
+        assert!(GateKind::Dff.eval(&[true]));
+    }
+
+    #[test]
+    fn eval_words_matches_scalar() {
+        for kind in GateKind::MULTI_INPUT_KINDS {
+            for i in 0..8usize {
+                let bits = [(i & 1 != 0), (i & 2 != 0), (i & 4 != 0)];
+                let words: Vec<u64> = bits.iter().map(|&b| if b { !0 } else { 0 }).collect();
+                let scalar = kind.eval(&bits);
+                let word = kind.eval_words(&words);
+                assert_eq!(word, if scalar { !0 } else { 0 }, "{kind} on {bits:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn eval_words_is_per_bit() {
+        // bit 0: (1,0), bit 1: (1,1)
+        let a = 0b11u64;
+        let b = 0b10u64;
+        let out = GateKind::And.eval_words(&[a, b]);
+        assert_eq!(out & 0b11, 0b10);
+    }
+
+    #[test]
+    fn controlling_values() {
+        assert_eq!(GateKind::And.controlling_value(), Some(false));
+        assert_eq!(GateKind::Nand.controlling_value(), Some(false));
+        assert_eq!(GateKind::Or.controlling_value(), Some(true));
+        assert_eq!(GateKind::Nor.controlling_value(), Some(true));
+        assert_eq!(GateKind::Xor.controlling_value(), None);
+        assert_eq!(GateKind::Buf.controlling_value(), None);
+    }
+
+    #[test]
+    fn inversion_parity() {
+        assert!(GateKind::Nand.inverts());
+        assert!(GateKind::Nor.inverts());
+        assert!(GateKind::Not.inverts());
+        assert!(!GateKind::And.inverts());
+        assert!(!GateKind::Xor.inverts());
+    }
+
+    #[test]
+    fn bench_name_roundtrip() {
+        for kind in [
+            GateKind::Dff,
+            GateKind::Buf,
+            GateKind::Not,
+            GateKind::And,
+            GateKind::Nand,
+            GateKind::Or,
+            GateKind::Nor,
+            GateKind::Xor,
+            GateKind::Xnor,
+        ] {
+            assert_eq!(GateKind::from_bench_name(kind.bench_name()), Some(kind));
+        }
+        assert_eq!(GateKind::from_bench_name("inv"), Some(GateKind::Not));
+        assert_eq!(GateKind::from_bench_name("bogus"), None);
+    }
+
+    #[test]
+    fn arity_bounds() {
+        assert_eq!(GateKind::Input.arity(), (0, 0));
+        assert_eq!(GateKind::Not.arity(), (1, 1));
+        let (lo, hi) = GateKind::And.arity();
+        assert_eq!(lo, 1);
+        assert_eq!(hi, usize::MAX);
+    }
+
+    #[test]
+    fn xor_parity_many_inputs() {
+        assert!(GateKind::Xor.eval(&[true, true, true]));
+        assert!(!GateKind::Xor.eval(&[true, true, true, true]));
+        assert!(!GateKind::Xnor.eval(&[true, true, true]));
+    }
+}

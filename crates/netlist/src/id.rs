@@ -1,0 +1,98 @@
+//! Newtyped identifiers for circuit graph elements.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a node (cell, primary input, flip-flop) in a [`Circuit`].
+///
+/// `NodeId`s are dense indices assigned in creation order; they index
+/// directly into the circuit's node table.
+///
+/// [`Circuit`]: crate::Circuit
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct NodeId(pub(crate) u32);
+
+impl NodeId {
+    /// Returns the dense index of this node.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Creates a `NodeId` from a raw index.
+    ///
+    /// Intended for deserialization and test helpers; an id that does not
+    /// refer to an existing node will cause a panic on use, not UB.
+    #[inline]
+    pub fn from_index(index: usize) -> Self {
+        NodeId(index as u32)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// Identifier of a fanin arc (a cell pin-to-pin segment) in a [`Circuit`].
+///
+/// Every ordered pair *(driver, (sink, pin))* in the netlist is one edge.
+/// Edges are the `E` of the paper's circuit model `C = (V, E, I, O, f)`:
+/// delay random variables and delay defects both attach to edges.
+///
+/// [`Circuit`]: crate::Circuit
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct EdgeId(pub(crate) u32);
+
+impl EdgeId {
+    /// Returns the dense index of this edge.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Creates an `EdgeId` from a raw index.
+    #[inline]
+    pub fn from_index(index: usize) -> Self {
+        EdgeId(index as u32)
+    }
+}
+
+impl fmt::Display for EdgeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_id_roundtrip() {
+        let id = NodeId::from_index(42);
+        assert_eq!(id.index(), 42);
+        assert_eq!(id.to_string(), "n42");
+    }
+
+    #[test]
+    fn edge_id_roundtrip() {
+        let id = EdgeId::from_index(7);
+        assert_eq!(id.index(), 7);
+        assert_eq!(id.to_string(), "e7");
+    }
+
+    #[test]
+    fn ids_order_by_index() {
+        assert!(NodeId::from_index(1) < NodeId::from_index(2));
+        assert!(EdgeId::from_index(0) < EdgeId::from_index(9));
+    }
+
+    #[test]
+    fn ids_are_hashable() {
+        use std::collections::HashSet;
+        let set: HashSet<NodeId> = [0, 1, 2].into_iter().map(NodeId::from_index).collect();
+        assert_eq!(set.len(), 3);
+    }
+}

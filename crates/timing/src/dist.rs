@@ -1,0 +1,258 @@
+//! Parametric probability distributions for pin-to-pin delays.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A parametric distribution over `[0, +∞)` used for pin-to-pin delay
+/// random variables (the `f(e)` of Definition D.1) and for delay defect
+/// sizes (the `δ` of Definition D.9).
+///
+/// Sampling is generic over any [`rand::Rng`]; experiments use a seeded
+/// `ChaCha8Rng` for cross-platform reproducibility.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Dist {
+    /// A constant (a degenerate distribution).
+    Deterministic(f64),
+    /// Uniform on `[lo, hi]`.
+    Uniform {
+        /// Lower bound.
+        lo: f64,
+        /// Upper bound (≥ `lo`).
+        hi: f64,
+    },
+    /// Normal with the given mean and standard deviation. Samples are
+    /// clamped at zero (delays cannot be negative).
+    Normal {
+        /// Mean.
+        mean: f64,
+        /// Standard deviation (≥ 0).
+        std: f64,
+    },
+    /// Normal truncated (by re-clamping) to `[lo, hi]`.
+    TruncatedNormal {
+        /// Mean of the underlying normal.
+        mean: f64,
+        /// Standard deviation of the underlying normal.
+        std: f64,
+        /// Lower truncation bound.
+        lo: f64,
+        /// Upper truncation bound.
+        hi: f64,
+    },
+    /// Triangular on `[lo, hi]` with the given mode.
+    Triangular {
+        /// Lower bound.
+        lo: f64,
+        /// Mode (peak), in `[lo, hi]`.
+        mode: f64,
+        /// Upper bound.
+        hi: f64,
+    },
+}
+
+impl Dist {
+    /// Convenience constructor for the paper's defect-size model
+    /// (Section I): a normal with `3σ = 50 %` of the mean, clamped at zero.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use sdd_timing::Dist;
+    ///
+    /// let d = Dist::defect_size(0.6);
+    /// assert!((d.mean() - 0.6).abs() < 1e-12);
+    /// assert!((d.std() - 0.1).abs() < 1e-12);
+    /// ```
+    pub fn defect_size(mean: f64) -> Dist {
+        Dist::Normal {
+            mean,
+            std: mean * 0.5 / 3.0,
+        }
+    }
+
+    /// Draws one sample.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        match *self {
+            Dist::Deterministic(v) => v,
+            Dist::Uniform { lo, hi } => {
+                if hi > lo {
+                    rng.gen_range(lo..hi)
+                } else {
+                    lo
+                }
+            }
+            Dist::Normal { mean, std } => (mean + std * standard_normal(rng)).max(0.0),
+            Dist::TruncatedNormal { mean, std, lo, hi } => {
+                (mean + std * standard_normal(rng)).clamp(lo, hi)
+            }
+            Dist::Triangular { lo, mode, hi } => {
+                let u: f64 = rng.gen();
+                let c = if hi > lo { (mode - lo) / (hi - lo) } else { 0.0 };
+                if u < c {
+                    lo + ((hi - lo) * (mode - lo) * u).sqrt()
+                } else {
+                    hi - ((hi - lo) * (hi - mode) * (1.0 - u)).sqrt()
+                }
+            }
+        }
+    }
+
+    /// The distribution mean (of the untruncated/unclamped form; clamping
+    /// effects are negligible for the parameterizations used here).
+    pub fn mean(&self) -> f64 {
+        match *self {
+            Dist::Deterministic(v) => v,
+            Dist::Uniform { lo, hi } => 0.5 * (lo + hi),
+            Dist::Normal { mean, .. } | Dist::TruncatedNormal { mean, .. } => mean,
+            Dist::Triangular { lo, mode, hi } => (lo + mode + hi) / 3.0,
+        }
+    }
+
+    /// The distribution standard deviation (untruncated form).
+    pub fn std(&self) -> f64 {
+        match *self {
+            Dist::Deterministic(_) => 0.0,
+            Dist::Uniform { lo, hi } => (hi - lo) / 12f64.sqrt(),
+            Dist::Normal { std, .. } | Dist::TruncatedNormal { std, .. } => std,
+            Dist::Triangular { lo, mode, hi } => {
+                ((lo * lo + mode * mode + hi * hi - lo * mode - lo * hi - mode * hi) / 18.0).sqrt()
+            }
+        }
+    }
+
+    /// Scales both location and spread by `k` (e.g. to express a defect
+    /// size in multiples of a cell delay).
+    pub fn scaled(&self, k: f64) -> Dist {
+        match *self {
+            Dist::Deterministic(v) => Dist::Deterministic(v * k),
+            Dist::Uniform { lo, hi } => Dist::Uniform { lo: lo * k, hi: hi * k },
+            Dist::Normal { mean, std } => Dist::Normal { mean: mean * k, std: std * k },
+            Dist::TruncatedNormal { mean, std, lo, hi } => Dist::TruncatedNormal {
+                mean: mean * k,
+                std: std * k,
+                lo: lo * k,
+                hi: hi * k,
+            },
+            Dist::Triangular { lo, mode, hi } => Dist::Triangular {
+                lo: lo * k,
+                mode: mode * k,
+                hi: hi * k,
+            },
+        }
+    }
+}
+
+/// Draws a standard-normal sample via the Box-Muller transform (no
+/// dependency on `rand_distr`).
+pub(crate) fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    loop {
+        let u1: f64 = rng.gen();
+        if u1 <= f64::MIN_POSITIVE {
+            continue;
+        }
+        let u2: f64 = rng.gen();
+        return (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn empirical(dist: Dist, n: usize) -> (f64, f64) {
+        let mut rng = ChaCha8Rng::seed_from_u64(123);
+        let samples: Vec<f64> = (0..n).map(|_| dist.sample(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|s| (s - mean).powi(2)).sum::<f64>() / n as f64;
+        (mean, var.sqrt())
+    }
+
+    #[test]
+    fn deterministic_is_constant() {
+        let (m, s) = empirical(Dist::Deterministic(3.5), 100);
+        assert_eq!(m, 3.5);
+        assert_eq!(s, 0.0);
+    }
+
+    #[test]
+    fn uniform_moments() {
+        let d = Dist::Uniform { lo: 1.0, hi: 3.0 };
+        let (m, s) = empirical(d, 50_000);
+        assert!((m - d.mean()).abs() < 0.02, "mean {m}");
+        assert!((s - d.std()).abs() < 0.02, "std {s}");
+    }
+
+    #[test]
+    fn normal_moments() {
+        let d = Dist::Normal { mean: 10.0, std: 2.0 };
+        let (m, s) = empirical(d, 50_000);
+        assert!((m - 10.0).abs() < 0.05, "mean {m}");
+        assert!((s - 2.0).abs() < 0.05, "std {s}");
+    }
+
+    #[test]
+    fn normal_clamped_at_zero() {
+        let d = Dist::Normal { mean: 0.1, std: 1.0 };
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            assert!(d.sample(&mut rng) >= 0.0);
+        }
+    }
+
+    #[test]
+    fn truncated_normal_respects_bounds() {
+        let d = Dist::TruncatedNormal { mean: 5.0, std: 3.0, lo: 4.0, hi: 6.0 };
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        for _ in 0..10_000 {
+            let v = d.sample(&mut rng);
+            assert!((4.0..=6.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn triangular_moments() {
+        let d = Dist::Triangular { lo: 0.0, mode: 1.0, hi: 2.0 };
+        let (m, s) = empirical(d, 50_000);
+        assert!((m - 1.0).abs() < 0.02, "mean {m}");
+        assert!((s - d.std()).abs() < 0.02, "std {s}");
+    }
+
+    #[test]
+    fn defect_size_matches_paper_spec() {
+        // Section I: 3σ is 50 % of the mean.
+        let d = Dist::defect_size(1.2);
+        assert!((d.std() * 3.0 - 0.5 * 1.2).abs() < 1e-12);
+        let (m, _) = empirical(d, 50_000);
+        assert!((m - 1.2).abs() < 0.01);
+    }
+
+    #[test]
+    fn scaled_scales_moments() {
+        let d = Dist::Normal { mean: 2.0, std: 0.4 }.scaled(3.0);
+        assert!((d.mean() - 6.0).abs() < 1e-12);
+        assert!((d.std() - 1.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn standard_normal_is_standard() {
+        let mut rng = ChaCha8Rng::seed_from_u64(42);
+        let n = 100_000;
+        let samples: Vec<f64> = (0..n).map(|_| standard_normal(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|s| (s - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.02, "var {var}");
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_seed() {
+        let d = Dist::Normal { mean: 1.0, std: 0.1 };
+        let mut a = ChaCha8Rng::seed_from_u64(5);
+        let mut b = ChaCha8Rng::seed_from_u64(5);
+        for _ in 0..100 {
+            assert_eq!(d.sample(&mut a), d.sample(&mut b));
+        }
+    }
+}

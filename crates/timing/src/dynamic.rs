@@ -1,0 +1,365 @@
+//! Dynamic (per-pattern) timing simulation over the sensitized subcircuit.
+//!
+//! Dynamic timing simulation (Definition D.5) computes arrival times only
+//! for signals that actually *switch* under a two-vector test pattern —
+//! the induced circuit `Induced(Path_v)` of Definition D.3. This module
+//! implements the standard transition-mode approximation: a switching
+//! node's arrival is the latest arrival over its switching fanins plus the
+//! arc delay; non-switching nodes carry no event ([`NO_EVENT`]).
+//!
+//! For defect-injected re-analysis, [`DefectCone`] recomputes only the
+//! fanout cone of the defective arc against cached baseline arrivals,
+//! which is what makes probabilistic-dictionary construction tractable
+//! (hundreds of suspects × tens of patterns × hundreds of Monte-Carlo
+//! samples).
+//!
+//! The glitch-exact engine lives in [`crate::waveform`]; see the
+//! `engine_consistency` integration tests for the relationship between
+//! the two.
+
+use crate::TimingInstance;
+use sdd_netlist::logic::Transition;
+use sdd_netlist::{Circuit, EdgeId, GateKind, NodeId};
+
+/// Arrival-time marker for a node with no event under the pattern.
+pub const NO_EVENT: f64 = f64::NEG_INFINITY;
+
+/// Computes per-node transition arrival times for one pattern (described
+/// by its per-node [`Transition`] classification, from
+/// [`sdd_netlist::logic::simulate_pair`]) on one fixed chip instance.
+///
+/// Switching primary inputs launch at time 0; a switching gate arrives at
+/// `max over switching fanins (arrival + arc delay)`; non-switching nodes
+/// get [`NO_EVENT`].
+///
+/// # Panics
+///
+/// Panics if the circuit is sequential or `transitions.len()` mismatches.
+pub fn transition_arrivals(
+    circuit: &Circuit,
+    transitions: &[Transition],
+    instance: &TimingInstance,
+) -> Vec<f64> {
+    assert!(
+        circuit.is_combinational(),
+        "dynamic timing requires a combinational circuit"
+    );
+    assert_eq!(
+        transitions.len(),
+        circuit.num_nodes(),
+        "transition table length mismatch"
+    );
+    let mut arr = vec![NO_EVENT; circuit.num_nodes()];
+    for &id in circuit.topo_order() {
+        if !transitions[id.index()].is_event() {
+            continue;
+        }
+        let node = circuit.node(id);
+        if node.kind() == GateKind::Input {
+            arr[id.index()] = 0.0;
+            continue;
+        }
+        arr[id.index()] = gate_arrival(node.fanins(), node.fanin_edges(), &arr, instance, None);
+    }
+    arr
+}
+
+#[inline]
+fn gate_arrival(
+    fanins: &[NodeId],
+    fanin_edges: &[EdgeId],
+    arr: &[f64],
+    instance: &TimingInstance,
+    defect: Option<(EdgeId, f64)>,
+) -> f64 {
+    let mut best = NO_EVENT;
+    for (&from, &e) in fanins.iter().zip(fanin_edges) {
+        let upstream = arr[from.index()];
+        if upstream == NO_EVENT {
+            continue;
+        }
+        let mut d = instance.delay(e);
+        if let Some((de, delta)) = defect {
+            if de == e {
+                d += delta;
+            }
+        }
+        let cand = upstream + d;
+        if cand > best {
+            best = cand;
+        }
+    }
+    best
+}
+
+/// Extracts the per-output arrival times (in primary-output order) from a
+/// full arrival table.
+pub fn output_arrivals(circuit: &Circuit, arrivals: &[f64]) -> Vec<f64> {
+    circuit
+        .primary_outputs()
+        .iter()
+        .map(|o| arrivals[o.index()])
+        .collect()
+}
+
+/// Incremental re-evaluator for a delay defect on one arc.
+///
+/// Construction precomputes the fanout cone of the arc's sink in
+/// topological order plus the set of reachable primary outputs. Given
+/// baseline (defect-free) arrivals for a pattern and instance,
+/// [`DefectCone::apply`] recomputes only cone nodes with the defect's
+/// extra delay applied, writing into a caller-provided scratch buffer.
+#[derive(Debug, Clone)]
+pub struct DefectCone {
+    edge: EdgeId,
+    cone_topo: Vec<NodeId>,
+    in_cone: Vec<bool>,
+    reachable_outputs: Vec<usize>,
+}
+
+impl DefectCone {
+    /// Builds the cone for a defect on `edge`.
+    pub fn new(circuit: &Circuit, edge: EdgeId) -> DefectCone {
+        let sink = circuit.edge(edge).to();
+        let cone_nodes = circuit.fanout_cone(sink);
+        let mut in_cone = vec![false; circuit.num_nodes()];
+        for &n in &cone_nodes {
+            in_cone[n.index()] = true;
+        }
+        let cone_topo: Vec<NodeId> = circuit
+            .topo_order()
+            .iter()
+            .copied()
+            .filter(|n| in_cone[n.index()])
+            .collect();
+        let reachable_outputs = circuit
+            .primary_outputs()
+            .iter()
+            .enumerate()
+            .filter(|(_, o)| in_cone[o.index()])
+            .map(|(i, _)| i)
+            .collect();
+        DefectCone {
+            edge,
+            cone_topo,
+            in_cone,
+            reachable_outputs,
+        }
+    }
+
+    /// The defective arc.
+    pub fn edge(&self) -> EdgeId {
+        self.edge
+    }
+
+    /// Number of nodes in the cone.
+    pub fn len(&self) -> usize {
+        self.cone_topo.len()
+    }
+
+    /// Returns `true` if the cone is empty (cannot happen for a valid arc).
+    pub fn is_empty(&self) -> bool {
+        self.cone_topo.is_empty()
+    }
+
+    /// Positions (in [`Circuit::primary_outputs`] order) of the outputs
+    /// reachable from the defect site. Outputs not listed here are
+    /// provably unaffected by the defect: their error probabilities equal
+    /// the defect-free baseline.
+    pub fn reachable_outputs(&self) -> &[usize] {
+        &self.reachable_outputs
+    }
+
+    /// Recomputes arrivals of cone nodes with `delta` extra delay on the
+    /// defective arc, then returns the arrival at each reachable output
+    /// (in the order of [`DefectCone::reachable_outputs`]).
+    ///
+    /// `baseline` must be the defect-free arrival table for the same
+    /// pattern and instance (from [`transition_arrivals`]); `scratch` is a
+    /// reusable buffer of length `circuit.num_nodes()` whose cone entries
+    /// are overwritten.
+    ///
+    /// # Panics
+    ///
+    /// Panics if buffer lengths mismatch the circuit.
+    pub fn apply(
+        &self,
+        circuit: &Circuit,
+        transitions: &[Transition],
+        instance: &TimingInstance,
+        baseline: &[f64],
+        delta: f64,
+        scratch: &mut [f64],
+        out: &mut Vec<f64>,
+    ) {
+        assert_eq!(baseline.len(), circuit.num_nodes(), "baseline length mismatch");
+        assert_eq!(scratch.len(), circuit.num_nodes(), "scratch length mismatch");
+        for &id in &self.cone_topo {
+            if !transitions[id.index()].is_event() {
+                scratch[id.index()] = NO_EVENT;
+                continue;
+            }
+            let node = circuit.node(id);
+            if node.kind() == GateKind::Input {
+                scratch[id.index()] = 0.0;
+                continue;
+            }
+            let mut best = NO_EVENT;
+            for (&from, &e) in node.fanins().iter().zip(node.fanin_edges()) {
+                let upstream = if self.in_cone[from.index()] {
+                    scratch[from.index()]
+                } else {
+                    baseline[from.index()]
+                };
+                if upstream == NO_EVENT {
+                    continue;
+                }
+                let mut d = instance.delay(e);
+                if e == self.edge {
+                    d += delta;
+                }
+                let cand = upstream + d;
+                if cand > best {
+                    best = cand;
+                }
+            }
+            scratch[id.index()] = best;
+        }
+        out.clear();
+        let outputs = circuit.primary_outputs();
+        out.extend(
+            self.reachable_outputs
+                .iter()
+                .map(|&i| scratch[outputs[i].index()]),
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CellLibrary, CircuitTiming, VariationModel};
+    use sdd_netlist::generator::{generate, GeneratorConfig};
+    use sdd_netlist::logic::simulate_pair;
+    use sdd_netlist::{CircuitBuilder, GateKind};
+
+    fn reconv() -> (Circuit, CircuitTiming) {
+        // y = AND(BUF(a), NOT(c)); arcs: a->g1 (1.0), c->g2 (2.0),
+        // g1->y (0.5), g2->y (0.5)
+        let mut b = CircuitBuilder::new("r");
+        let a = b.input("a");
+        let c = b.input("c");
+        let g1 = b.gate("g1", GateKind::Buf, &[a]).unwrap();
+        let g2 = b.gate("g2", GateKind::Not, &[c]).unwrap();
+        let y = b.gate("y", GateKind::And, &[g1, g2]).unwrap();
+        b.output(y);
+        let circuit = b.finish().unwrap();
+        let timing =
+            CircuitTiming::from_means(vec![1.0, 2.0, 0.5, 0.5], VariationModel::none());
+        (circuit, timing)
+    }
+
+    #[test]
+    fn only_switching_nodes_get_events() {
+        let (c, t) = reconv();
+        // a rises (0->1), c stays 0: g1 rises, g2 stable 1, y rises.
+        let trans = simulate_pair(&c, &[false, false], &[true, false]);
+        let arr = transition_arrivals(&c, &trans, &t.nominal_instance());
+        let g2 = c.find("g2").unwrap();
+        assert_eq!(arr[g2.index()], NO_EVENT);
+        let y = c.find("y").unwrap();
+        assert!((arr[y.index()] - 1.5).abs() < 1e-12); // a->g1->y = 1.0 + 0.5
+    }
+
+    #[test]
+    fn latest_switching_fanin_wins() {
+        let (c, t) = reconv();
+        // a rises and c falls: g1 rises (arr 1.0), g2 rises (arr 2.0),
+        // y rises at max(1.0, 2.0) + 0.5 = 2.5.
+        let trans = simulate_pair(&c, &[false, true], &[true, false]);
+        let arr = transition_arrivals(&c, &trans, &t.nominal_instance());
+        let y = c.find("y").unwrap();
+        assert!((arr[y.index()] - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn defect_cone_matches_full_recompute() {
+        let c = generate(&GeneratorConfig::small("dc", 8))
+            .unwrap()
+            .to_combinational()
+            .unwrap();
+        let t = CircuitTiming::characterize(
+            &c,
+            &CellLibrary::default_025um(),
+            VariationModel::default(),
+        );
+        let instance = t.sample_instance_indexed(3, 0);
+        let n_pi = c.primary_inputs().len();
+        let v1 = vec![false; n_pi];
+        let v2 = vec![true; n_pi];
+        let trans = simulate_pair(&c, &v1, &v2);
+        let baseline = transition_arrivals(&c, &trans, &instance);
+
+        let mut scratch = vec![NO_EVENT; c.num_nodes()];
+        let mut got = Vec::new();
+        for eid in c.edge_ids().take(40) {
+            let delta = 0.33;
+            let cone = DefectCone::new(&c, eid);
+            cone.apply(&c, &trans, &instance, &baseline, delta, &mut scratch, &mut got);
+            // Reference: full recompute on a defective instance.
+            let defective = instance.with_extra_delay(eid, delta);
+            let full = transition_arrivals(&c, &trans, &defective);
+            let outputs = c.primary_outputs();
+            for (k, &oi) in cone.reachable_outputs().iter().enumerate() {
+                let want = full[outputs[oi].index()];
+                assert!(
+                    (got[k] - want).abs() < 1e-9 || (got[k] == NO_EVENT && want == NO_EVENT),
+                    "edge {eid} output {oi}: cone {} vs full {}",
+                    got[k],
+                    want
+                );
+            }
+            // Unreachable outputs must be untouched by the defect.
+            for (oi, o) in outputs.iter().enumerate() {
+                if !cone.reachable_outputs().contains(&oi) {
+                    assert_eq!(full[o.index()], baseline[o.index()]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn zero_delta_reproduces_baseline() {
+        let (c, t) = reconv();
+        let inst = t.nominal_instance();
+        let trans = simulate_pair(&c, &[false, true], &[true, false]);
+        let baseline = transition_arrivals(&c, &trans, &inst);
+        let cone = DefectCone::new(&c, EdgeId::from_index(0));
+        let mut scratch = vec![NO_EVENT; c.num_nodes()];
+        let mut got = Vec::new();
+        cone.apply(&c, &trans, &inst, &baseline, 0.0, &mut scratch, &mut got);
+        let outputs = c.primary_outputs();
+        for (k, &oi) in cone.reachable_outputs().iter().enumerate() {
+            assert_eq!(got[k], baseline[outputs[oi].index()]);
+        }
+    }
+
+    #[test]
+    fn cone_reachable_outputs_are_correct() {
+        let (c, _) = reconv();
+        // Defect on arc a->g1: reaches y (the only output).
+        let cone = DefectCone::new(&c, EdgeId::from_index(0));
+        assert_eq!(cone.reachable_outputs(), &[0]);
+        assert_eq!(cone.len(), 2); // g1, y
+        assert!(!cone.is_empty());
+    }
+
+    #[test]
+    fn stable_pattern_has_no_events() {
+        let (c, t) = reconv();
+        let trans = simulate_pair(&c, &[true, false], &[true, false]);
+        let arr = transition_arrivals(&c, &trans, &t.nominal_instance());
+        assert!(arr.iter().all(|&a| a == NO_EVENT));
+        assert_eq!(output_arrivals(&c, &arr), vec![NO_EVENT]);
+    }
+}

@@ -1,0 +1,100 @@
+//! Circuit instances: fixed delay assignments (Definition D.2).
+
+use sdd_netlist::EdgeId;
+use serde::{Deserialize, Serialize};
+
+/// A *circuit instance* `C_in = (V, E, I, O, f_in)` (Definition D.2): one
+/// manufactured chip, where every pin-to-pin delay is a fixed constant.
+///
+/// Instances are produced by sampling a
+/// [`CircuitTiming`](crate::CircuitTiming) model; a delay defect is
+/// injected by adding extra delay to one arc
+/// ([`TimingInstance::with_extra_delay`]).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TimingInstance {
+    delays: Vec<f64>,
+}
+
+impl TimingInstance {
+    /// Wraps a per-edge delay vector (indexed by [`EdgeId::index`]).
+    pub fn new(delays: Vec<f64>) -> Self {
+        TimingInstance { delays }
+    }
+
+    /// The fixed delay of one arc.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the edge index is out of range.
+    #[inline]
+    pub fn delay(&self, edge: EdgeId) -> f64 {
+        self.delays[edge.index()]
+    }
+
+    /// Number of arcs covered.
+    pub fn len(&self) -> usize {
+        self.delays.len()
+    }
+
+    /// Returns `true` if the instance covers no arcs.
+    pub fn is_empty(&self) -> bool {
+        self.delays.is_empty()
+    }
+
+    /// All per-edge delays, indexed by [`EdgeId::index`].
+    pub fn delays(&self) -> &[f64] {
+        &self.delays
+    }
+
+    /// Returns a copy with `delta` added to the delay of `edge` — the
+    /// physical effect of a (single) delay defect of size `delta` at that
+    /// segment (Definition D.10).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the edge index is out of range.
+    pub fn with_extra_delay(&self, edge: EdgeId, delta: f64) -> TimingInstance {
+        let mut delays = self.delays.clone();
+        delays[edge.index()] += delta;
+        TimingInstance { delays }
+    }
+
+    /// Adds `delta` to the delay of `edge` in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the edge index is out of range.
+    pub fn add_extra_delay(&mut self, edge: EdgeId, delta: f64) {
+        self.delays[edge.index()] += delta;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delay_lookup() {
+        let inst = TimingInstance::new(vec![0.1, 0.2, 0.3]);
+        assert_eq!(inst.delay(EdgeId::from_index(1)), 0.2);
+        assert_eq!(inst.len(), 3);
+        assert!(!inst.is_empty());
+    }
+
+    #[test]
+    fn defect_injection_is_additive() {
+        let inst = TimingInstance::new(vec![0.1, 0.2]);
+        let defective = inst.with_extra_delay(EdgeId::from_index(0), 0.5);
+        assert!((defective.delay(EdgeId::from_index(0)) - 0.6).abs() < 1e-12);
+        // original untouched
+        assert_eq!(inst.delay(EdgeId::from_index(0)), 0.1);
+        assert_eq!(defective.delay(EdgeId::from_index(1)), 0.2);
+    }
+
+    #[test]
+    fn in_place_injection() {
+        let mut inst = TimingInstance::new(vec![1.0]);
+        inst.add_extra_delay(EdgeId::from_index(0), 0.25);
+        assert_eq!(inst.delay(EdgeId::from_index(0)), 1.25);
+    }
+}

@@ -1,0 +1,210 @@
+//! Empirical random variables (Monte-Carlo sample sets).
+
+use serde::{Deserialize, Serialize};
+
+/// An empirical random variable: the set of Monte-Carlo samples of some
+/// quantity (an arrival time, a circuit delay, a timing length).
+///
+/// This is the concrete representation behind the paper's arrival-time
+/// random variables `Ar(o)` and circuit delay `Δ(C)`; the *critical
+/// probability* of Definition D.6 is [`Samples::critical_probability`].
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct Samples {
+    values: Vec<f64>,
+}
+
+impl Samples {
+    /// Wraps a vector of sample values.
+    pub fn new(values: Vec<f64>) -> Self {
+        Samples { values }
+    }
+
+    /// The raw samples.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Returns `true` if there are no samples.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Sample mean (0 for an empty set).
+    pub fn mean(&self) -> f64 {
+        if self.values.is_empty() {
+            return 0.0;
+        }
+        self.values.iter().sum::<f64>() / self.values.len() as f64
+    }
+
+    /// Sample standard deviation (population form; 0 for fewer than two
+    /// samples).
+    pub fn std(&self) -> f64 {
+        if self.values.len() < 2 {
+            return 0.0;
+        }
+        let m = self.mean();
+        (self.values.iter().map(|v| (v - m).powi(2)).sum::<f64>() / self.values.len() as f64)
+            .sqrt()
+    }
+
+    /// Minimum sample (`+∞` for an empty set).
+    pub fn min(&self) -> f64 {
+        self.values.iter().copied().fold(f64::INFINITY, f64::min)
+    }
+
+    /// Maximum sample (`-∞` for an empty set).
+    pub fn max(&self) -> f64 {
+        self.values
+            .iter()
+            .copied()
+            .fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// The empirical `q`-quantile (nearest-rank), `q ∈ [0, 1]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sample set is empty or `q` is outside `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> f64 {
+        assert!(!self.values.is_empty(), "quantile of empty sample set");
+        assert!((0.0..=1.0).contains(&q), "quantile order {q} outside [0, 1]");
+        let mut sorted = self.values.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN sample"));
+        let ix = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len()) - 1;
+        sorted[ix]
+    }
+
+    /// The critical probability `Prob(A > clk)` of Definition D.6: the
+    /// fraction of samples strictly exceeding the cut-off period.
+    ///
+    /// Returns 0 for an empty sample set (an unsensitized output never
+    /// fails, matching the paper's `crt_j = 0` default in Definition D.7).
+    pub fn critical_probability(&self, clk: f64) -> f64 {
+        if self.values.is_empty() {
+            return 0.0;
+        }
+        self.values.iter().filter(|&&v| v > clk).count() as f64 / self.values.len() as f64
+    }
+
+    /// Element-wise maximum with another sample set (the `Max` joint
+    /// distribution of arrival times; sample `i` of both sets must come
+    /// from the same Monte-Carlo draw for the joint semantics to hold).
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths differ.
+    pub fn max_with(&self, other: &Samples) -> Samples {
+        assert_eq!(self.len(), other.len(), "sample count mismatch");
+        Samples::new(
+            self.values
+                .iter()
+                .zip(&other.values)
+                .map(|(&a, &b)| a.max(b))
+                .collect(),
+        )
+    }
+
+    /// Element-wise sum with another sample set (the `Sum` joint
+    /// distribution of a path's segment delays).
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths differ.
+    pub fn sum_with(&self, other: &Samples) -> Samples {
+        assert_eq!(self.len(), other.len(), "sample count mismatch");
+        Samples::new(
+            self.values
+                .iter()
+                .zip(&other.values)
+                .map(|(&a, &b)| a + b)
+                .collect(),
+        )
+    }
+}
+
+impl FromIterator<f64> for Samples {
+    fn from_iter<T: IntoIterator<Item = f64>>(iter: T) -> Self {
+        Samples::new(iter.into_iter().collect())
+    }
+}
+
+impl Extend<f64> for Samples {
+    fn extend<T: IntoIterator<Item = f64>>(&mut self, iter: T) {
+        self.values.extend(iter);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn moments() {
+        let s = Samples::new(vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(s.mean(), 2.5);
+        assert!((s.std() - (1.25f64).sqrt()).abs() < 1e-12);
+        assert_eq!(s.min(), 1.0);
+        assert_eq!(s.max(), 4.0);
+        assert_eq!(s.len(), 4);
+    }
+
+    #[test]
+    fn empty_set_conventions() {
+        let s = Samples::default();
+        assert!(s.is_empty());
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.std(), 0.0);
+        assert_eq!(s.critical_probability(1.0), 0.0);
+    }
+
+    #[test]
+    fn critical_probability_counts_strict_exceedance() {
+        let s = Samples::new(vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(s.critical_probability(2.0), 0.5); // 3 and 4
+        assert_eq!(s.critical_probability(0.0), 1.0);
+        assert_eq!(s.critical_probability(4.0), 0.0);
+    }
+
+    #[test]
+    fn quantiles() {
+        let s = Samples::new(vec![4.0, 1.0, 3.0, 2.0]);
+        assert_eq!(s.quantile(0.0), 1.0);
+        assert_eq!(s.quantile(0.5), 2.0);
+        assert_eq!(s.quantile(1.0), 4.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn quantile_of_empty_panics() {
+        Samples::default().quantile(0.5);
+    }
+
+    #[test]
+    fn joint_max_and_sum() {
+        let a = Samples::new(vec![1.0, 5.0]);
+        let b = Samples::new(vec![2.0, 4.0]);
+        assert_eq!(a.max_with(&b).values(), &[2.0, 5.0]);
+        assert_eq!(a.sum_with(&b).values(), &[3.0, 9.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "mismatch")]
+    fn joint_ops_require_equal_lengths() {
+        let a = Samples::new(vec![1.0]);
+        let b = Samples::new(vec![1.0, 2.0]);
+        a.max_with(&b);
+    }
+
+    #[test]
+    fn collect_and_extend() {
+        let mut s: Samples = [1.0, 2.0].into_iter().collect();
+        s.extend([3.0]);
+        assert_eq!(s.len(), 3);
+    }
+}

@@ -1,0 +1,228 @@
+//! Monte-Carlo statistical *static* timing analysis (Definition D.5).
+//!
+//! Static analysis is value-blind: every structural path contributes. The
+//! goal is the circuit-delay random variable `Δ(C)` and the per-output
+//! arrival-time random variables `Ar(o_i)`, estimated by simulating many
+//! manufactured chip instances.
+
+use crate::{CircuitTiming, Samples, TimingInstance};
+use rayon::prelude::*;
+use sdd_netlist::{Circuit, GateKind, NodeId};
+
+/// Result of a Monte-Carlo static analysis.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StaResult {
+    /// `Ar(o_i)` for every primary output, in output order. Sample `k` of
+    /// every output comes from the same chip instance (joint samples).
+    pub output_arrivals: Vec<Samples>,
+    /// The circuit delay `Δ(C) = max_i Ar(o_i)`.
+    pub circuit_delay: Samples,
+}
+
+impl StaResult {
+    /// A suggested cut-off period: the `q`-quantile of `Δ(C)`. Experiments
+    /// in the paper observe behaviour at a clock near the upper tail of
+    /// the defect-free delay distribution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the analysis had zero samples or `q ∉ [0, 1]`.
+    pub fn clock_at_quantile(&self, q: f64) -> f64 {
+        self.circuit_delay.quantile(q)
+    }
+}
+
+/// Computes static arrival times of *every node* for one fixed instance:
+/// `arr(n) = max over fanins (arr(fanin) + delay(arc))`, sources at 0.
+///
+/// # Panics
+///
+/// Panics if the circuit is sequential.
+pub fn arrival_times(circuit: &Circuit, instance: &TimingInstance) -> Vec<f64> {
+    assert!(
+        circuit.is_combinational(),
+        "static timing requires a combinational circuit"
+    );
+    let mut arr = vec![0.0f64; circuit.num_nodes()];
+    for &id in circuit.topo_order() {
+        let node = circuit.node(id);
+        if node.kind() == GateKind::Input {
+            continue;
+        }
+        let mut best = 0.0f64;
+        for (&from, &e) in node.fanins().iter().zip(node.fanin_edges()) {
+            let cand = arr[from.index()] + instance.delay(e);
+            if cand > best {
+                best = cand;
+            }
+        }
+        arr[id.index()] = best;
+    }
+    arr
+}
+
+/// The static arrival time at one node for one instance.
+pub fn node_arrival(circuit: &Circuit, instance: &TimingInstance, node: NodeId) -> f64 {
+    arrival_times(circuit, instance)[node.index()]
+}
+
+/// Runs Monte-Carlo static statistical timing analysis with `n_samples`
+/// manufactured instances drawn from `timing` (seeded, reproducible,
+/// parallelized over instances).
+///
+/// # Panics
+///
+/// Panics if the circuit is sequential or `n_samples == 0`.
+///
+/// # Example
+///
+/// ```
+/// use sdd_netlist::generator::{generate, GeneratorConfig};
+/// use sdd_timing::{sta, CellLibrary, CircuitTiming, VariationModel};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let c = generate(&GeneratorConfig::small("t", 1))?.to_combinational()?;
+/// let timing = CircuitTiming::characterize(
+///     &c, &CellLibrary::default_025um(), VariationModel::default());
+/// let result = sta::static_mc(&c, &timing, 128, 7);
+/// let clk = result.clock_at_quantile(0.95);
+/// assert!(result.circuit_delay.critical_probability(clk) <= 0.05 + 1e-9);
+/// # Ok(())
+/// # }
+/// ```
+pub fn static_mc(
+    circuit: &Circuit,
+    timing: &CircuitTiming,
+    n_samples: usize,
+    seed: u64,
+) -> StaResult {
+    assert!(n_samples > 0, "monte-carlo sample count must be positive");
+    let outputs = circuit.primary_outputs();
+    let per_sample: Vec<Vec<f64>> = (0..n_samples)
+        .into_par_iter()
+        .map(|i| {
+            let instance = timing.sample_instance_indexed(seed, i as u64);
+            let arr = arrival_times(circuit, &instance);
+            outputs.iter().map(|o| arr[o.index()]).collect()
+        })
+        .collect();
+    let mut output_arrivals: Vec<Vec<f64>> = vec![Vec::with_capacity(n_samples); outputs.len()];
+    let mut delta = Vec::with_capacity(n_samples);
+    for row in &per_sample {
+        let mut worst = f64::NEG_INFINITY;
+        for (o, &v) in row.iter().enumerate() {
+            output_arrivals[o].push(v);
+            worst = worst.max(v);
+        }
+        delta.push(worst);
+    }
+    StaResult {
+        output_arrivals: output_arrivals.into_iter().map(Samples::new).collect(),
+        circuit_delay: Samples::new(delta),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CellLibrary, VariationModel};
+    use sdd_netlist::generator::{generate, GeneratorConfig};
+    use sdd_netlist::{CircuitBuilder, GateKind};
+
+    fn chain() -> (Circuit, CircuitTiming) {
+        // a -> g1(NOT) -> g2(NOT) -> g3(NOT), delays 1, 2, 3
+        let mut b = CircuitBuilder::new("chain");
+        let a = b.input("a");
+        let g1 = b.gate("g1", GateKind::Not, &[a]).unwrap();
+        let g2 = b.gate("g2", GateKind::Not, &[g1]).unwrap();
+        let g3 = b.gate("g3", GateKind::Not, &[g2]).unwrap();
+        b.output(g3);
+        let c = b.finish().unwrap();
+        let t = CircuitTiming::from_means(vec![1.0, 2.0, 3.0], VariationModel::none());
+        (c, t)
+    }
+
+    #[test]
+    fn chain_arrival_is_sum() {
+        let (c, t) = chain();
+        let arr = arrival_times(&c, &t.nominal_instance());
+        let g3 = c.find("g3").unwrap();
+        assert!((arr[g3.index()] - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reconvergent_max() {
+        // a -> g1 (d=5) -> y; a -> g2 (d=1) -> y; y = AND(g1, g2), arcs 2, 2
+        let mut b = CircuitBuilder::new("reconv");
+        let a = b.input("a");
+        let g1 = b.gate("g1", GateKind::Buf, &[a]).unwrap();
+        let g2 = b.gate("g2", GateKind::Not, &[a]).unwrap();
+        let y = b.gate("y", GateKind::And, &[g1, g2]).unwrap();
+        b.output(y);
+        let c = b.finish().unwrap();
+        // edges in creation order: a->g1, a->g2, g1->y, g2->y
+        let t = CircuitTiming::from_means(vec![5.0, 1.0, 2.0, 2.0], VariationModel::none());
+        let arr = arrival_times(&c, &t.nominal_instance());
+        assert!((arr[y.index()] - 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn static_mc_is_deterministic() {
+        let c = generate(&GeneratorConfig::small("t", 2))
+            .unwrap()
+            .to_combinational()
+            .unwrap();
+        let t = CircuitTiming::characterize(
+            &c,
+            &CellLibrary::default_025um(),
+            VariationModel::default(),
+        );
+        let r1 = static_mc(&c, &t, 64, 9);
+        let r2 = static_mc(&c, &t, 64, 9);
+        assert_eq!(r1, r2);
+    }
+
+    #[test]
+    fn circuit_delay_dominates_every_output() {
+        let c = generate(&GeneratorConfig::small("t", 4))
+            .unwrap()
+            .to_combinational()
+            .unwrap();
+        let t = CircuitTiming::characterize(
+            &c,
+            &CellLibrary::default_025um(),
+            VariationModel::default(),
+        );
+        let r = static_mc(&c, &t, 50, 1);
+        for k in 0..50 {
+            let max_out = r
+                .output_arrivals
+                .iter()
+                .map(|s| s.values()[k])
+                .fold(f64::NEG_INFINITY, f64::max);
+            assert_eq!(r.circuit_delay.values()[k], max_out);
+        }
+    }
+
+    #[test]
+    fn variation_spreads_the_delay() {
+        let c = generate(&GeneratorConfig::small("t", 6))
+            .unwrap()
+            .to_combinational()
+            .unwrap();
+        let lib = CellLibrary::default_025um();
+        let none = CircuitTiming::characterize(&c, &lib, VariationModel::none());
+        let var = CircuitTiming::characterize(&c, &lib, VariationModel::default());
+        let r0 = static_mc(&c, &none, 64, 3);
+        let r1 = static_mc(&c, &var, 64, 3);
+        assert!(r0.circuit_delay.std() < 1e-12);
+        assert!(r1.circuit_delay.std() > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_samples_panics() {
+        let (c, t) = chain();
+        static_mc(&c, &t, 0, 1);
+    }
+}

@@ -1,0 +1,320 @@
+//! Exact transport-delay waveform simulation.
+//!
+//! The transition-arrival engine in [`crate::dynamic`] is an approximation
+//! (it ignores hazards). This module simulates full signal waveforms under
+//! a two-vector pattern with per-arc transport delays: every input event
+//! of a gate, shifted by its arc delay, is a candidate output event, and
+//! the gate function is evaluated over the delayed input waveforms at
+//! each candidate time. Glitches therefore propagate exactly.
+//!
+//! The failing-chip behaviour observation in `sdd-core` uses this engine:
+//! what a tester samples at the clock edge is the waveform value at `clk`,
+//! not an abstract arrival time.
+
+use crate::TimingInstance;
+use sdd_netlist::{Circuit, GateKind};
+
+/// A two-vector signal waveform: an initial value and a sequence of
+/// value-change events at strictly increasing times.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Waveform {
+    initial: bool,
+    events: Vec<(f64, bool)>,
+}
+
+impl Waveform {
+    /// A constant waveform.
+    pub fn constant(value: bool) -> Waveform {
+        Waveform {
+            initial: value,
+            events: Vec::new(),
+        }
+    }
+
+    /// A waveform with explicit events. Events must have strictly
+    /// increasing times and alternating values (use
+    /// [`Waveform::normalized`] to enforce this from raw data).
+    pub fn new(initial: bool, events: Vec<(f64, bool)>) -> Waveform {
+        Waveform { initial, events }
+    }
+
+    /// Builds a waveform from possibly redundant events (equal-value
+    /// repeats are dropped).
+    pub fn normalized(initial: bool, events: Vec<(f64, bool)>) -> Waveform {
+        let mut w = Waveform::constant(initial);
+        for (t, v) in events {
+            w.push(t, v);
+        }
+        w
+    }
+
+    fn push(&mut self, t: f64, v: bool) {
+        let current = self.events.last().map(|&(_, lv)| lv).unwrap_or(self.initial);
+        if v != current {
+            self.events.push((t, v));
+        }
+    }
+
+    /// The value before any event.
+    pub fn initial_value(&self) -> bool {
+        self.initial
+    }
+
+    /// The value after all events settle.
+    pub fn final_value(&self) -> bool {
+        self.events.last().map(|&(_, v)| v).unwrap_or(self.initial)
+    }
+
+    /// The value observed when sampling at time `t` (events at exactly
+    /// `t` are captured).
+    pub fn value_at(&self, t: f64) -> bool {
+        let mut v = self.initial;
+        for &(et, ev) in &self.events {
+            if et > t {
+                break;
+            }
+            v = ev;
+        }
+        v
+    }
+
+    /// The time of the last event, if the signal switches at all.
+    pub fn last_event_time(&self) -> Option<f64> {
+        self.events.last().map(|&(t, _)| t)
+    }
+
+    /// The number of value changes (2 or more indicates a glitch for a
+    /// single-transition stimulus).
+    pub fn num_events(&self) -> usize {
+        self.events.len()
+    }
+
+    /// The raw event list.
+    pub fn events(&self) -> &[(f64, bool)] {
+        &self.events
+    }
+
+    /// Returns `true` if the waveform changes value more than once.
+    pub fn has_glitch(&self) -> bool {
+        self.events.len() > 1
+    }
+}
+
+/// Simulates the waveform at every node for the two-vector pattern
+/// `(v1, v2)` on one fixed chip instance. Primary inputs switch at time 0.
+///
+/// # Panics
+///
+/// Panics if the circuit is sequential or the vector lengths mismatch.
+///
+/// # Example
+///
+/// ```
+/// use sdd_netlist::{CircuitBuilder, GateKind};
+/// use sdd_timing::{waveform, TimingInstance};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut b = CircuitBuilder::new("inv");
+/// let a = b.input("a");
+/// let y = b.gate("y", GateKind::Not, &[a])?;
+/// b.output(y);
+/// let c = b.finish()?;
+/// let inst = TimingInstance::new(vec![0.3]);
+/// let waves = waveform::simulate(&c, &[false], &[true], &inst);
+/// assert_eq!(waves[y.index()].last_event_time(), Some(0.3));
+/// assert!(!waves[y.index()].final_value());
+/// # Ok(())
+/// # }
+/// ```
+pub fn simulate(
+    circuit: &Circuit,
+    v1: &[bool],
+    v2: &[bool],
+    instance: &TimingInstance,
+) -> Vec<Waveform> {
+    assert!(
+        circuit.is_combinational(),
+        "waveform simulation requires a combinational circuit"
+    );
+    assert_eq!(v1.len(), circuit.primary_inputs().len(), "v1 length mismatch");
+    assert_eq!(v2.len(), circuit.primary_inputs().len(), "v2 length mismatch");
+    let mut waves: Vec<Waveform> = vec![Waveform::constant(false); circuit.num_nodes()];
+    for (k, &pi) in circuit.primary_inputs().iter().enumerate() {
+        waves[pi.index()] = if v1[k] == v2[k] {
+            Waveform::constant(v1[k])
+        } else {
+            Waveform::new(v1[k], vec![(0.0, v2[k])])
+        };
+    }
+    let mut times: Vec<f64> = Vec::new();
+    // Per-fanin event streams shifted by the arc delay; comparing the
+    // shifted times directly (instead of recomputing `t - d`) keeps the
+    // event merge exact under floating point.
+    let mut shifted: Vec<Vec<(f64, bool)>> = Vec::new();
+    for &id in circuit.topo_order() {
+        let node = circuit.node(id);
+        if node.kind() == GateKind::Input {
+            continue;
+        }
+        shifted.clear();
+        times.clear();
+        for (&from, &e) in node.fanins().iter().zip(node.fanin_edges()) {
+            let d = instance.delay(e);
+            let stream: Vec<(f64, bool)> = waves[from.index()]
+                .events()
+                .iter()
+                .map(|&(t, v)| (t + d, v))
+                .collect();
+            times.extend(stream.iter().map(|&(t, _)| t));
+            shifted.push(stream);
+        }
+        times.sort_by(|a, b| a.partial_cmp(b).expect("NaN event time"));
+        times.dedup();
+        let mut in_vals: Vec<bool> = node
+            .fanins()
+            .iter()
+            .map(|f| waves[f.index()].initial_value())
+            .collect();
+        let mut cursors = vec![0usize; shifted.len()];
+        let mut out = Waveform::constant(node.kind().eval(&in_vals));
+        for &t in &times {
+            for (i, stream) in shifted.iter().enumerate() {
+                while cursors[i] < stream.len() && stream[cursors[i]].0 <= t {
+                    in_vals[i] = stream[cursors[i]].1;
+                    cursors[i] += 1;
+                }
+            }
+            out.push(t, node.kind().eval(&in_vals));
+        }
+        waves[id.index()] = out;
+    }
+    waves
+}
+
+/// The pass/fail observation of one output at the clock edge: `true`
+/// (fails) when the sampled value differs from the settled good value
+/// `expected`.
+pub fn fails_at(wave: &Waveform, clk: f64, expected: bool) -> bool {
+    wave.value_at(clk) != expected
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdd_netlist::logic::simulate_pair;
+    use sdd_netlist::{CircuitBuilder, GateKind};
+
+    #[test]
+    fn waveform_value_queries() {
+        let w = Waveform::new(false, vec![(1.0, true), (2.0, false)]);
+        assert!(!w.initial_value());
+        assert!(!w.final_value());
+        assert!(!w.value_at(0.5));
+        assert!(w.value_at(1.0)); // event at exactly t is captured
+        assert!(w.value_at(1.5));
+        assert!(!w.value_at(2.5));
+        assert!(w.has_glitch());
+        assert_eq!(w.last_event_time(), Some(2.0));
+    }
+
+    #[test]
+    fn normalized_drops_redundant_events() {
+        let w = Waveform::normalized(true, vec![(1.0, true), (2.0, false), (3.0, false)]);
+        assert_eq!(w.num_events(), 1);
+        assert_eq!(w.events(), &[(2.0, false)]);
+    }
+
+    #[test]
+    fn glitch_is_produced_by_unequal_path_delays() {
+        // y = XOR(a, BUF(a)): a rising produces a pulse of width = buffer
+        // path delay difference.
+        let mut b = CircuitBuilder::new("glitch");
+        let a = b.input("a");
+        let g = b.gate("g", GateKind::Buf, &[a]).unwrap();
+        let y = b.gate("y", GateKind::Xor, &[a, g]).unwrap();
+        b.output(y);
+        let c = b.finish().unwrap();
+        // edges: a->g (1.0), a->y (0.2), g->y (0.3)
+        let inst = TimingInstance::new(vec![1.0, 0.2, 0.3]);
+        let waves = simulate(&c, &[false], &[true], &inst);
+        let wy = &waves[y.index()];
+        // XOR sees a change at 0.2 (direct) and at 1.3 (through buffer):
+        // output pulses 1 between 0.2 and 1.3, settles at 0.
+        assert!(wy.has_glitch());
+        assert!(!wy.initial_value());
+        assert!(!wy.final_value());
+        assert!(wy.value_at(0.5));
+        assert!(!wy.value_at(1.5));
+        assert_eq!(wy.last_event_time(), Some(1.3));
+    }
+
+    #[test]
+    fn final_values_match_logic_simulation() {
+        use sdd_netlist::generator::{generate, GeneratorConfig};
+        let c = generate(&GeneratorConfig::small("wf", 5))
+            .unwrap()
+            .to_combinational()
+            .unwrap();
+        let n_edges = c.num_edges();
+        let inst = TimingInstance::new(
+            (0..n_edges).map(|i| 0.05 + 0.01 * (i % 7) as f64).collect(),
+        );
+        let n_pi = c.primary_inputs().len();
+        let v1: Vec<bool> = (0..n_pi).map(|i| i % 3 == 0).collect();
+        let v2: Vec<bool> = (0..n_pi).map(|i| i % 2 == 0).collect();
+        let waves = simulate(&c, &v1, &v2, &inst);
+        let trans = simulate_pair(&c, &v1, &v2);
+        for id in c.node_ids() {
+            assert_eq!(
+                waves[id.index()].final_value(),
+                trans[id.index()].final_value(),
+                "node {}",
+                c.node(id).name()
+            );
+            assert_eq!(
+                waves[id.index()].initial_value(),
+                trans[id.index()].initial_value(),
+                "node {}",
+                c.node(id).name()
+            );
+        }
+    }
+
+    #[test]
+    fn arrival_agrees_with_dynamic_engine_on_hazard_free_path() {
+        // Simple chain: exact waveform arrival == transition arrival.
+        let mut b = CircuitBuilder::new("chain");
+        let a = b.input("a");
+        let g1 = b.gate("g1", GateKind::Not, &[a]).unwrap();
+        let g2 = b.gate("g2", GateKind::Not, &[g1]).unwrap();
+        b.output(g2);
+        let c = b.finish().unwrap();
+        let inst = TimingInstance::new(vec![0.4, 0.6]);
+        let waves = simulate(&c, &[false], &[true], &inst);
+        let trans = simulate_pair(&c, &[false], &[true]);
+        let arr = crate::dynamic::transition_arrivals(&c, &trans, &inst);
+        let g2 = c.find("g2").unwrap();
+        assert!((waves[g2.index()].last_event_time().unwrap() - arr[g2.index()]).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fails_at_clock_sampling() {
+        let w = Waveform::new(true, vec![(2.0, false)]);
+        // Good machine settles to 0; sampling before the transition sees 1.
+        assert!(fails_at(&w, 1.0, false));
+        assert!(!fails_at(&w, 2.5, false));
+    }
+
+    #[test]
+    fn stable_inputs_produce_constant_waveforms() {
+        let mut b = CircuitBuilder::new("c");
+        let a = b.input("a");
+        let y = b.gate("y", GateKind::Not, &[a]).unwrap();
+        b.output(y);
+        let c = b.finish().unwrap();
+        let inst = TimingInstance::new(vec![0.1]);
+        let waves = simulate(&c, &[true], &[true], &inst);
+        assert_eq!(waves[y.index()].num_events(), 0);
+        assert!(!waves[y.index()].final_value());
+    }
+}

@@ -1,0 +1,134 @@
+//! Property-based tests for the timing substrate: distribution sampling,
+//! empirical random-variable algebra, and analysis invariants.
+
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use sdd_netlist::generator::{generate, GeneratorConfig};
+use sdd_timing::{sta, CellLibrary, CircuitTiming, Dist, Samples, VariationModel};
+
+fn arb_dist() -> impl Strategy<Value = Dist> {
+    prop_oneof![
+        (0.01f64..10.0).prop_map(Dist::Deterministic),
+        (0.01f64..5.0, 0.01f64..5.0).prop_map(|(a, b)| Dist::Uniform {
+            lo: a.min(a + b) - b,
+            hi: a + b,
+        }),
+        (0.1f64..10.0, 0.001f64..2.0).prop_map(|(mean, std)| Dist::Normal { mean, std }),
+        (0.5f64..10.0, 0.01f64..1.0).prop_map(|(mean, std)| Dist::TruncatedNormal {
+            mean,
+            std,
+            lo: mean - 2.0 * std,
+            hi: mean + 2.0 * std,
+        }),
+        (0.0f64..5.0, 0.0f64..3.0, 0.0f64..3.0).prop_map(|(lo, dm, dh)| Dist::Triangular {
+            lo,
+            mode: lo + dm,
+            hi: lo + dm + dh + 1e-6,
+        }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Sampling any distribution is deterministic per seed and finite.
+    #[test]
+    fn sampling_deterministic_and_finite(dist in arb_dist(), seed in 0u64..1000) {
+        let mut a = ChaCha8Rng::seed_from_u64(seed);
+        let mut b = ChaCha8Rng::seed_from_u64(seed);
+        for _ in 0..32 {
+            let x = dist.sample(&mut a);
+            let y = dist.sample(&mut b);
+            prop_assert_eq!(x, y);
+            prop_assert!(x.is_finite());
+        }
+    }
+
+    /// Truncated normals stay inside their bounds; normals stay ≥ 0.
+    #[test]
+    fn bounds_respected(mean in 0.1f64..5.0, std in 0.01f64..2.0, seed in 0u64..500) {
+        let tn = Dist::TruncatedNormal { mean, std, lo: mean - std, hi: mean + std };
+        let n = Dist::Normal { mean, std };
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        for _ in 0..64 {
+            let t = tn.sample(&mut rng);
+            prop_assert!(t >= mean - std - 1e-12 && t <= mean + std + 1e-12);
+            prop_assert!(n.sample(&mut rng) >= 0.0);
+        }
+    }
+
+    /// Scaling a distribution scales its moments linearly.
+    #[test]
+    fn scaled_moments(dist in arb_dist(), k in 0.1f64..10.0) {
+        let scaled = dist.scaled(k);
+        prop_assert!((scaled.mean() - dist.mean() * k).abs() < 1e-9 * (1.0 + dist.mean() * k).abs());
+        prop_assert!((scaled.std() - dist.std() * k).abs() < 1e-9 * (1.0 + dist.std() * k).abs());
+    }
+
+    /// Samples algebra: critical probability is monotone decreasing in
+    /// clk, quantiles are monotone in q, max_with dominates both inputs.
+    #[test]
+    fn samples_algebra(values in proptest::collection::vec(0.0f64..100.0, 1..50)) {
+        let s = Samples::new(values.clone());
+        let mut last = 1.0f64;
+        for clk in [0.0, 10.0, 50.0, 100.0] {
+            let crt = s.critical_probability(clk);
+            prop_assert!((0.0..=1.0).contains(&crt));
+            prop_assert!(crt <= last + 1e-12);
+            last = crt;
+        }
+        let q10 = s.quantile(0.1);
+        let q90 = s.quantile(0.9);
+        prop_assert!(q10 <= q90);
+        prop_assert!(s.min() <= q10 && q90 <= s.max());
+        let other = Samples::new(values.iter().rev().copied().collect());
+        let m = s.max_with(&other);
+        for ((&a, &b), &mx) in values.iter().zip(other.values()).zip(m.values()) {
+            prop_assert_eq!(mx, a.max(b));
+        }
+    }
+
+    /// Static MC: the circuit delay dominates every per-output arrival,
+    /// sample by sample, and scaling all means scales the delay.
+    #[test]
+    fn sta_domination(seed in 0u64..300) {
+        let c = generate(&GeneratorConfig::small("sta-prop", seed))
+            .expect("generates")
+            .to_combinational()
+            .expect("cut");
+        let t = CircuitTiming::characterize(
+            &c, &CellLibrary::default_025um(), VariationModel::default());
+        let r = sta::static_mc(&c, &t, 16, seed);
+        for k in 0..16 {
+            let max_out = r.output_arrivals.iter()
+                .map(|s| s.values()[k])
+                .fold(f64::NEG_INFINITY, f64::max);
+            prop_assert_eq!(r.circuit_delay.values()[k], max_out);
+        }
+    }
+
+    /// Variation model: correlation stays in [0, 1] and total combines in
+    /// quadrature.
+    #[test]
+    fn variation_model_math(g in 0.0f64..0.5, l in 0.0f64..0.5) {
+        let v = VariationModel::new(g, l);
+        let rho = v.pairwise_correlation();
+        prop_assert!((0.0..=1.0 + 1e-12).contains(&rho));
+        prop_assert!((v.total_frac().powi(2) - (g * g + l * l)).abs() < 1e-12);
+    }
+
+    /// Cell library: delay means grow with load and never degenerate.
+    #[test]
+    fn cell_library_monotone_in_load(load in 0usize..20, pin in 0u32..6) {
+        let lib = CellLibrary::default_025um();
+        for kind in sdd_netlist::GateKind::MULTI_INPUT_KINDS {
+            let d0 = lib.delay_mean(kind, pin, load);
+            let d1 = lib.delay_mean(kind, pin, load + 1);
+            prop_assert!(d1 >= d0);
+            prop_assert!(d0 >= 0.01);
+            let dist = lib.delay_dist(kind, pin, load);
+            prop_assert!(dist.mean() > 0.0 && dist.std() >= 0.0);
+        }
+    }
+}

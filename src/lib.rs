@@ -1,0 +1,24 @@
+//! # sdd — Statistical Delay Defect Diagnosis
+//!
+//! Facade crate re-exporting the full workspace: a production-quality Rust
+//! reproduction of *Delay Defect Diagnosis Based Upon Statistical Timing
+//! Models — The First Step* (Krstic, Wang, Cheng, Liou, Abadir; DATE 2003).
+//!
+//! * [`netlist`] — gate-level circuits, ISCAS-89 `.bench` I/O, synthetic
+//!   benchmark generation, logic simulation.
+//! * [`timing`] — statistical timing models, Monte-Carlo statistical STA,
+//!   dynamic timing simulation, path selection.
+//! * [`atpg`] — fault models, PODEM, path-delay test generation, logic
+//!   fault simulation.
+//! * [`diagnosis`] — the paper's contribution: probabilistic fault
+//!   dictionaries, defect injection, and the `Alg_sim` / `Alg_rev`
+//!   diagnosis algorithms.
+//!
+//! See `examples/quickstart.rs` for an end-to-end tour.
+
+#![warn(missing_docs)]
+
+pub use sdd_atpg as atpg;
+pub use sdd_core as diagnosis;
+pub use sdd_netlist as netlist;
+pub use sdd_timing as timing;

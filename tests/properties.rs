@@ -1,0 +1,243 @@
+//! Property-based tests (proptest) on cross-crate invariants: netlist
+//! round-trips, simulation equivalences, timing-analysis monotonicity and
+//! error-function bounds.
+
+use proptest::prelude::*;
+use sdd::atpg::PatternSet;
+use sdd::diagnosis::error_fn::{phi, phi_sparse, ErrorFunction};
+use sdd::netlist::generator::{generate, GeneratorConfig};
+use sdd::netlist::{bench_format, logic, Circuit, EdgeId};
+use sdd::timing::dynamic::{transition_arrivals, NO_EVENT};
+use sdd::timing::{path, sta, CellLibrary, CircuitTiming, TimingInstance, VariationModel};
+
+/// Strategy: a small random circuit configuration.
+fn config_strategy() -> impl Strategy<Value = GeneratorConfig> {
+    (2usize..10, 1usize..6, 0usize..5, 10usize..80, 3usize..9, 0u64..1000).prop_map(
+        |(inputs, outputs, dffs, gates, depth, seed)| GeneratorConfig {
+            name: format!("prop{seed}"),
+            inputs,
+            outputs,
+            dffs,
+            gates,
+            depth,
+            seed,
+        },
+    )
+}
+
+fn arb_circuit() -> impl Strategy<Value = Circuit> {
+    config_strategy().prop_map(|cfg| generate(&cfg).expect("valid config generates"))
+}
+
+fn arb_comb_circuit() -> impl Strategy<Value = Circuit> {
+    arb_circuit().prop_map(|c| c.to_combinational().expect("scan cut succeeds"))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// `.bench` write → parse is an isomorphism on generated circuits.
+    #[test]
+    fn bench_format_roundtrip(circuit in arb_circuit()) {
+        let text = bench_format::write(&circuit);
+        let parsed = bench_format::parse(circuit.name(), &text).expect("reparses");
+        prop_assert_eq!(circuit.num_nodes(), parsed.num_nodes());
+        prop_assert_eq!(circuit.num_edges(), parsed.num_edges());
+        prop_assert_eq!(
+            circuit.primary_outputs().len(),
+            parsed.primary_outputs().len()
+        );
+        for id in circuit.node_ids() {
+            let n1 = circuit.node(id);
+            let id2 = parsed.find(n1.name()).expect("name preserved");
+            let n2 = parsed.node(id2);
+            prop_assert_eq!(n1.kind(), n2.kind());
+            let f1: Vec<&str> = n1.fanins().iter().map(|&f| circuit.node(f).name()).collect();
+            let f2: Vec<&str> = n2.fanins().iter().map(|&f| parsed.node(f).name()).collect();
+            prop_assert_eq!(f1, f2);
+        }
+    }
+
+    /// Word-parallel logic simulation equals 64 scalar simulations.
+    #[test]
+    fn word_simulation_matches_scalar(circuit in arb_comb_circuit(), seed in 0u64..1000) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+        let n = circuit.primary_inputs().len();
+        let words: Vec<u64> = (0..n).map(|_| rng.gen()).collect();
+        let wvals = logic::simulate_words(&circuit, &words);
+        for bit in [0usize, 17, 63] {
+            let v: Vec<bool> = words.iter().map(|w| w >> bit & 1 == 1).collect();
+            let svals = logic::simulate(&circuit, &v);
+            for id in circuit.node_ids() {
+                prop_assert_eq!(
+                    wvals[id.index()] >> bit & 1 == 1,
+                    svals[id.index()],
+                    "bit {} node {}", bit, id
+                );
+            }
+        }
+    }
+
+    /// Static arrival times are monotone in every edge delay.
+    #[test]
+    fn static_arrivals_monotone_in_delay(circuit in arb_comb_circuit(), which in 0usize..1000, extra in 0.01f64..2.0) {
+        let timing = CircuitTiming::characterize(
+            &circuit, &CellLibrary::default_025um(), VariationModel::none());
+        let base = timing.nominal_instance();
+        let edge = EdgeId::from_index(which % circuit.num_edges());
+        let slowed = base.with_extra_delay(edge, extra);
+        let a0 = sta::arrival_times(&circuit, &base);
+        let a1 = sta::arrival_times(&circuit, &slowed);
+        for id in circuit.node_ids() {
+            prop_assert!(a1[id.index()] >= a0[id.index()] - 1e-12);
+        }
+        // The defective arc's sink is delayed... only if the arc is on
+        // its longest incoming path; but no node may ever get faster.
+    }
+
+    /// Dynamic arrivals: every switching node arrives no earlier than any
+    /// switching fanin (causality), and only switching nodes have events.
+    #[test]
+    fn dynamic_arrivals_causal(circuit in arb_comb_circuit(), seed in 0u64..500) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+        let n = circuit.primary_inputs().len();
+        let v1: Vec<bool> = (0..n).map(|_| rng.gen()).collect();
+        let v2: Vec<bool> = (0..n).map(|_| rng.gen()).collect();
+        let transitions = logic::simulate_pair(&circuit, &v1, &v2);
+        let timing = CircuitTiming::characterize(
+            &circuit, &CellLibrary::default_025um(), VariationModel::default());
+        let instance = timing.sample_instance_indexed(seed, 0);
+        let arr = transition_arrivals(&circuit, &transitions, &instance);
+        for id in circuit.node_ids() {
+            if !transitions[id.index()].is_event() {
+                prop_assert_eq!(arr[id.index()], NO_EVENT);
+                continue;
+            }
+            prop_assert!(arr[id.index()] >= 0.0);
+            for (&from, &e) in circuit.node(id).fanins().iter().zip(circuit.node(id).fanin_edges()) {
+                if transitions[from.index()].is_event() {
+                    prop_assert!(
+                        arr[id.index()] >= arr[from.index()] + instance.delay(e) - 1e-9
+                            || arr[id.index()] >= arr[from.index()] - 1e-9
+                    );
+                }
+            }
+        }
+    }
+
+    /// `TL(p)` of any selected path never exceeds the static arrival of
+    /// its sink, and paths through an arc are sorted by mean length.
+    #[test]
+    fn path_lengths_bounded_by_static(circuit in arb_comb_circuit(), which in 0usize..1000) {
+        let timing = CircuitTiming::characterize(
+            &circuit, &CellLibrary::default_025um(), VariationModel::none());
+        let edge = EdgeId::from_index(which % circuit.num_edges());
+        let Ok(paths) = path::k_longest_through_edge(&circuit, &timing, edge, 4) else {
+            return Ok(()); // dangling site: nothing to check
+        };
+        let nominal = timing.nominal_instance();
+        let arr = sta::arrival_times(&circuit, &nominal);
+        for w in paths.windows(2) {
+            prop_assert!(w[0].mean_length(&timing) >= w[1].mean_length(&timing) - 1e-12);
+        }
+        for p in &paths {
+            prop_assert!(p.contains_edge(edge));
+            let tl = p.timing_length(&nominal);
+            prop_assert!(tl <= arr[p.sink().index()] + 1e-9,
+                "TL {} exceeds static arrival {}", tl, arr[p.sink().index()]);
+        }
+    }
+
+    /// φ is always a probability, and the sparse form equals the dense
+    /// form on random instances.
+    #[test]
+    fn phi_is_probability_and_sparse_matches_dense(
+        sig in proptest::collection::vec(0.0f64..=1.0, 1..8),
+        fails in proptest::collection::vec(any::<bool>(), 1..8),
+    ) {
+        let n = sig.len().min(fails.len());
+        let sig = &sig[..n];
+        let fails = &fails[..n];
+        let dense = phi(sig, fails);
+        prop_assert!((0.0..=1.0).contains(&dense));
+        let reachable: Vec<usize> = (0..n).collect();
+        let failing: Vec<usize> = (0..n).filter(|&i| fails[i]).collect();
+        let sparse = phi_sparse(sig, &reachable, &failing);
+        prop_assert!((dense - sparse).abs() < 1e-12);
+    }
+
+    /// Every error function maps probability vectors into sane ranges and
+    /// respects its own ordering convention.
+    #[test]
+    fn error_functions_bounded(
+        phis in proptest::collection::vec(0.0f64..=1.0, 1..12),
+    ) {
+        for f in ErrorFunction::EXTENDED {
+            let score = f.combine(&phis);
+            prop_assert!(score.is_finite());
+            if f.higher_is_better() {
+                prop_assert!((0.0..=1.0 + 1e-12).contains(&score), "{}: {}", f.name(), score);
+            } else {
+                prop_assert!(score >= 0.0 && score <= phis.len() as f64 + 1e-12);
+            }
+            // Perfect consistency is optimal.
+            let perfect = f.combine(&vec![1.0; phis.len()]);
+            prop_assert!(f.compare(perfect, score) != std::cmp::Ordering::Greater);
+        }
+    }
+
+    /// Instance sampling respects the indexed-stream contract and keeps
+    /// delays positive under any variation scale.
+    #[test]
+    fn instances_positive_and_indexed(circuit in arb_comb_circuit(), g in 0.0f64..0.5, l in 0.0f64..0.5, seed in 0u64..100) {
+        let timing = CircuitTiming::characterize(
+            &circuit, &CellLibrary::default_025um(), VariationModel::new(g, l));
+        let a = timing.sample_instance_indexed(seed, 3);
+        let b = timing.sample_instance_indexed(seed, 3);
+        prop_assert_eq!(&a, &b);
+        for e in circuit.edge_ids() {
+            prop_assert!(a.delay(e) > 0.0);
+        }
+    }
+
+    /// Random pattern sets never contain duplicates and respect width.
+    #[test]
+    fn pattern_sets_dedup(circuit in arb_comb_circuit(), n in 1usize..30, seed in 0u64..100) {
+        let set = PatternSet::random(&circuit, n, seed);
+        prop_assert!(set.len() <= n);
+        let mut seen = std::collections::HashSet::new();
+        for p in set.iter() {
+            prop_assert_eq!(p.width(), circuit.primary_inputs().len());
+            prop_assert!(seen.insert((p.v1.clone(), p.v2.clone())));
+        }
+    }
+}
+
+/// Non-proptest check kept here because it spans the same invariants:
+/// the waveform engine's final values equal zero-delay logic simulation
+/// for arbitrary instances (sanity anchor for both engines).
+#[test]
+fn waveform_final_values_equal_logic() {
+    use rand::{Rng, SeedableRng};
+    let circuit = generate(&GeneratorConfig::small("wf-int", 8))
+        .unwrap()
+        .to_combinational()
+        .unwrap();
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(1);
+    let delays: Vec<f64> = (0..circuit.num_edges())
+        .map(|_| rng.gen_range(0.01..0.5))
+        .collect();
+    let instance = TimingInstance::new(delays);
+    let n = circuit.primary_inputs().len();
+    for _ in 0..10 {
+        let v1: Vec<bool> = (0..n).map(|_| rng.gen()).collect();
+        let v2: Vec<bool> = (0..n).map(|_| rng.gen()).collect();
+        let waves = sdd::timing::waveform::simulate(&circuit, &v1, &v2, &instance);
+        let expect = logic::simulate(&circuit, &v2);
+        for id in circuit.node_ids() {
+            assert_eq!(waves[id.index()].final_value(), expect[id.index()]);
+        }
+    }
+}
