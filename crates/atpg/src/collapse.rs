@@ -84,14 +84,14 @@ pub fn collapse(circuit: &Circuit) -> CollapsedFaults {
     // Union-find over (node, polarity).
     let n = circuit.num_nodes();
     let mut parent: Vec<usize> = (0..2 * n).collect();
-    fn find(parent: &mut Vec<usize>, mut x: usize) -> usize {
+    fn find(parent: &mut [usize], mut x: usize) -> usize {
         while parent[x] != x {
             parent[x] = parent[parent[x]];
             x = parent[x];
         }
         x
     }
-    fn union(parent: &mut Vec<usize>, a: usize, b: usize) {
+    fn union(parent: &mut [usize], a: usize, b: usize) {
         let ra = find(parent, a);
         let rb = find(parent, b);
         if ra != rb {
@@ -107,8 +107,7 @@ pub fn collapse(circuit: &Circuit) -> CollapsedFaults {
         let kind = node.kind();
         // Only merge input faults through single-fanout drivers: a stem
         // fault on a fanout point is distinct from its branch faults.
-        let single_fanout =
-            |f: NodeId| -> bool { circuit.fanout_edges(f).len() == 1 };
+        let single_fanout = |f: NodeId| -> bool { circuit.fanout_edges(f).len() == 1 };
         match kind {
             GateKind::And | GateKind::Nand => {
                 let out_value = if kind == GateKind::Nand {
@@ -137,15 +136,27 @@ pub fn collapse(circuit: &Circuit) -> CollapsedFaults {
             GateKind::Buf | GateKind::Dff => {
                 let f = node.fanins()[0];
                 if single_fanout(f) {
-                    union(&mut parent, ix(f, StuckValue::Zero), ix(id, StuckValue::Zero));
+                    union(
+                        &mut parent,
+                        ix(f, StuckValue::Zero),
+                        ix(id, StuckValue::Zero),
+                    );
                     union(&mut parent, ix(f, StuckValue::One), ix(id, StuckValue::One));
                 }
             }
             GateKind::Not => {
                 let f = node.fanins()[0];
                 if single_fanout(f) {
-                    union(&mut parent, ix(f, StuckValue::Zero), ix(id, StuckValue::One));
-                    union(&mut parent, ix(f, StuckValue::One), ix(id, StuckValue::Zero));
+                    union(
+                        &mut parent,
+                        ix(f, StuckValue::Zero),
+                        ix(id, StuckValue::One),
+                    );
+                    union(
+                        &mut parent,
+                        ix(f, StuckValue::One),
+                        ix(id, StuckValue::Zero),
+                    );
                 }
             }
             GateKind::Xor | GateKind::Xnor | GateKind::Input => {}
@@ -209,8 +220,14 @@ mod tests {
         assert_eq!(col.len(), 4);
         // a-sa0 ≡ y-sa0 ≡ c-sa0.
         let r = col.representative(StuckAtFault::new(y, StuckValue::Zero));
-        assert_eq!(r, col.representative(StuckAtFault::new(a, StuckValue::Zero)));
-        assert_eq!(r, col.representative(StuckAtFault::new(c, StuckValue::Zero)));
+        assert_eq!(
+            r,
+            col.representative(StuckAtFault::new(a, StuckValue::Zero))
+        );
+        assert_eq!(
+            r,
+            col.representative(StuckAtFault::new(c, StuckValue::Zero))
+        );
         // sa1 faults stay distinct.
         let r1 = col.representative(StuckAtFault::new(a, StuckValue::One));
         let r2 = col.representative(StuckAtFault::new(c, StuckValue::One));
@@ -273,7 +290,11 @@ mod tests {
         use rand::{Rng, SeedableRng};
         let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(3);
         let vectors: Vec<Vec<bool>> = (0..12)
-            .map(|_| (0..circuit.primary_inputs().len()).map(|_| rng.gen()).collect())
+            .map(|_| {
+                (0..circuit.primary_inputs().len())
+                    .map(|_| rng.gen())
+                    .collect()
+            })
             .collect();
         for fault in StuckAtFault::all(&circuit) {
             let rep = col.representative(fault);

@@ -28,7 +28,7 @@ impl BitMatrix {
         BitMatrix {
             rows,
             cols,
-            words: vec![0; (rows * cols + 63) / 64],
+            words: vec![0; (rows * cols).div_ceil(64)],
         }
     }
 

@@ -53,9 +53,11 @@ mod tests {
             backtracks: 1000,
         };
         assert!(e.to_string().contains("1000"));
-        assert!(AtpgError::Untestable { what: "fault f".into() }
-            .to_string()
-            .contains("untestable"));
+        assert!(AtpgError::Untestable {
+            what: "fault f".into()
+        }
+        .to_string()
+        .contains("untestable"));
     }
 
     #[test]

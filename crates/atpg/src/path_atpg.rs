@@ -86,10 +86,13 @@ pub fn verify_path_test(
     };
     let before = sdd_netlist::logic::simulate(circuit, &pattern.v1);
     let after = sdd_netlist::logic::simulate(circuit, &pattern.v2);
-    constraints.requirements().into_iter().all(|(ix, frame, value)| {
-        let sim = if frame == 0 { &before } else { &after };
-        sim[ix] == value
-    })
+    constraints
+        .requirements()
+        .into_iter()
+        .all(|(ix, frame, value)| {
+            let sim = if frame == 0 { &before } else { &after };
+            sim[ix] == value
+        })
 }
 
 /// PODEM-style justification of two-frame constraints.
@@ -130,7 +133,12 @@ fn justify_two_frames(
         }
         // Imply both frames.
         for frame in 0..2 {
-            simulate_v3(circuit, &assignment[frame], &pi_position, &mut values[frame]);
+            simulate_v3(
+                circuit,
+                &assignment[frame],
+                &pi_position,
+                &mut values[frame],
+            );
         }
         // Check constraints.
         let mut conflict = false;

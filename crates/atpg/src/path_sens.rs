@@ -78,7 +78,11 @@ impl Constraints {
 
     /// Number of constrained (node, frame) slots.
     pub fn len(&self) -> usize {
-        self.v1.iter().chain(&self.v2).filter(|v| v.is_some()).count()
+        self.v1
+            .iter()
+            .chain(&self.v2)
+            .filter(|v| v.is_some())
+            .count()
     }
 
     /// Returns `true` if nothing is constrained.
@@ -86,12 +90,7 @@ impl Constraints {
         self.len() == 0
     }
 
-    fn require(
-        &mut self,
-        node: NodeId,
-        frame: usize,
-        value: bool,
-    ) -> Result<(), AtpgError> {
+    fn require(&mut self, node: NodeId, frame: usize, value: bool) -> Result<(), AtpgError> {
         let slot = if frame == 0 {
             &mut self.v1[node.index()]
         } else {
@@ -99,9 +98,7 @@ impl Constraints {
         };
         match *slot {
             Some(existing) if existing != value => Err(AtpgError::Untestable {
-                what: format!(
-                    "conflicting sensitization requirement on {node} frame {frame}"
-                ),
+                what: format!("conflicting sensitization requirement on {node} frame {frame}"),
             }),
             _ => {
                 *slot = Some(value);
@@ -202,8 +199,7 @@ mod tests {
         let (c, p) = nand2();
         let side = c.find("c").unwrap();
         let (cons, dir) =
-            path_constraints(&c, &p, TransitionDirection::Rise, SensitizationMode::Robust)
-                .unwrap();
+            path_constraints(&c, &p, TransitionDirection::Rise, SensitizationMode::Robust).unwrap();
         // NAND controlling value is 0, so non-controlling is 1, both frames.
         assert_eq!(cons.v1(side), Some(true));
         assert_eq!(cons.v2(side), Some(true));
@@ -341,8 +337,7 @@ mod tests {
     fn requirements_enumeration() {
         let (c, p) = nand2();
         let (cons, _) =
-            path_constraints(&c, &p, TransitionDirection::Rise, SensitizationMode::Robust)
-                .unwrap();
+            path_constraints(&c, &p, TransitionDirection::Rise, SensitizationMode::Robust).unwrap();
         let reqs = cons.requirements();
         assert_eq!(reqs.len(), cons.len());
         assert!(!cons.is_empty());

@@ -75,7 +75,11 @@ pub fn fill_assignment(assignment: &PiAssignment, seed: u64) -> Vec<bool> {
 ///
 /// Panics if the assignments have different lengths.
 pub fn fill_pattern_quiet(v1: &PiAssignment, v2: &PiAssignment, seed: u64) -> TestPattern {
-    assert_eq!(v1.len(), v2.len(), "frame assignments must have equal length");
+    assert_eq!(
+        v1.len(),
+        v2.len(),
+        "frame assignments must have equal length"
+    );
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
     let mut a = Vec::with_capacity(v1.len());
     let mut b = Vec::with_capacity(v2.len());
@@ -165,7 +169,11 @@ pub fn justify(
     // the node reaches `value` and needs no propagation.
     let fault = StuckAtFault::new(
         node,
-        if value { StuckValue::Zero } else { StuckValue::One },
+        if value {
+            StuckValue::Zero
+        } else {
+            StuckValue::One
+        },
     );
     let mut engine = Engine::new(circuit, fault);
     engine.justify_only = true;
@@ -340,13 +348,11 @@ impl<'a> Engine<'a> {
     }
 
     fn activated(&self) -> bool {
-        self.values[self.fault.node.index()].good()
-            == V3::from_bool(self.activation_target())
+        self.values[self.fault.node.index()].good() == V3::from_bool(self.activation_target())
     }
 
     fn activation_conflicted(&self) -> bool {
-        self.values[self.fault.node.index()].good()
-            == V3::from_bool(!self.activation_target())
+        self.values[self.fault.node.index()].good() == V3::from_bool(!self.activation_target())
     }
 
     fn detected(&self) -> bool {
@@ -478,10 +484,7 @@ impl<'a> Engine<'a> {
                     }
                     backtracks += 1;
                     if backtracks > config.max_backtracks {
-                        return Err(AtpgError::Aborted {
-                            what,
-                            backtracks,
-                        });
+                        return Err(AtpgError::Aborted { what, backtracks });
                     }
                 }
             }
@@ -638,8 +641,12 @@ mod tests {
         b.output(d);
         let c = b.finish().unwrap();
         assert_eq!(
-            generate(&c, StuckAtFault::new(a, StuckValue::Zero), PodemConfig::default())
-                .unwrap_err(),
+            generate(
+                &c,
+                StuckAtFault::new(a, StuckValue::Zero),
+                PodemConfig::default()
+            )
+            .unwrap_err(),
             AtpgError::SequentialCircuit
         );
     }

@@ -45,6 +45,7 @@ impl V3 {
     }
 
     /// Logical negation (X stays X).
+    #[allow(clippy::should_implement_trait)]
     pub fn not(self) -> V3 {
         match self {
             V3::Zero => V3::One,

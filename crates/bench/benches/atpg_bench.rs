@@ -48,17 +48,14 @@ fn bench_transition_test(c: &mut Criterion) {
     let fault = TransitionFault::new(EdgeId::from_index(50), TransitionDirection::Rise);
     c.bench_function("transition_assignments_s1196", |b| {
         b.iter(|| {
-            black_box(
-                generate_transition_assignments(&circuit, fault, PodemConfig::default()).ok(),
-            )
+            black_box(generate_transition_assignments(&circuit, fault, PodemConfig::default()).ok())
         })
     });
 }
 
 fn bench_path_test(c: &mut Criterion) {
     let (circuit, timing) = setup();
-    let paths =
-        path::k_longest_through_edge(&circuit, &timing, EdgeId::from_index(50), 4).unwrap();
+    let paths = path::k_longest_through_edge(&circuit, &timing, EdgeId::from_index(50), 4).unwrap();
     c.bench_function("path_test_generation_s1196", |b| {
         b.iter(|| {
             for p in &paths {

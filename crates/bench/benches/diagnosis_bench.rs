@@ -5,11 +5,9 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use sdd_bench::bench_profile;
 use sdd_core::defect::SingleDefectModel;
-use sdd_core::inject::{patterns_through_site, tested_delay_samples};
-use sdd_core::{
-    BehaviorMatrix, Diagnoser, DiagnoserConfig, ErrorFunction,
-};
 use sdd_core::dictionary::DictionaryConfig;
+use sdd_core::inject::{patterns_through_site, tested_delay_samples};
+use sdd_core::{BehaviorMatrix, Diagnoser, DiagnoserConfig, ErrorFunction};
 use sdd_netlist::generator::generate;
 use sdd_netlist::{Circuit, EdgeId};
 use sdd_timing::{CellLibrary, CircuitTiming, VariationModel};
@@ -37,7 +35,9 @@ fn setup() -> Fixture {
     assert!(!patterns.is_empty(), "bench fixture needs patterns");
     let samples = tested_delay_samples(&circuit, &timing, &patterns, 100, 3);
     let clk = samples.quantile(0.35);
-    let chip = timing.sample_instance_indexed(9, 0).with_extra_delay(site, 0.12);
+    let chip = timing
+        .sample_instance_indexed(9, 0)
+        .with_extra_delay(site, 0.12);
     let behavior = BehaviorMatrix::observe(&circuit, &patterns, &chip, clk);
     Fixture {
         circuit,

@@ -69,6 +69,7 @@ fn main() {
             Ok(report) => {
                 println!("--- {label} ({:.1?})", t0.elapsed());
                 println!("{}", report.render_table());
+                println!("{}", report.metrics.render());
             }
             Err(e) => println!("--- {label}: failed: {e}\n"),
         }

@@ -21,8 +21,10 @@ use sdd_timing::dynamic::transition_arrivals;
 use sdd_timing::{CircuitTiming, Samples, VariationModel};
 
 fn main() {
+    let start = std::time::Instant::now();
     case1();
     case2();
+    println!("\ntotal wall clock: {:.1?}", start.elapsed());
 }
 
 /// Case 1: one fault site, a long and a short sensitizable path.
@@ -56,7 +58,10 @@ fn case1() {
 
     println!("=== Figure 1, case 1: critical probability vs defect size ===");
     println!("clk = {clk} ns; defect on the shared segment a->site\n");
-    println!("{:>12} | {:>22} | {:>23}", "defect (ns)", "P(fail), long-path v1", "P(fail), short-path v2");
+    println!(
+        "{:>12} | {:>22} | {:>23}",
+        "defect (ns)", "P(fail), long-path v1", "P(fail), short-path v2"
+    );
     for step in 0..7 {
         let delta = 0.15 * step as f64;
         let p_long = detection_probability(&circuit, &timing, &v_long, defect_edge, delta, clk);
@@ -92,7 +97,10 @@ fn case2() {
 
     println!("=== Figure 1, case 2: one pattern, two logically-equivalent faults ===");
     println!("clk = {clk} ns; y = AND(long(a), short(b)), both inputs rise\n");
-    println!("{:>12} | {:>16} | {:>17}", "defect (ns)", "P(fail) fault d1", "P(fail) fault d2");
+    println!(
+        "{:>12} | {:>16} | {:>17}",
+        "defect (ns)", "P(fail) fault d1", "P(fail) fault d2"
+    );
     for step in 0..6 {
         let delta = 0.12 * step as f64;
         let f1 = detection_probability(&circuit, &timing, &pattern, d1, delta, clk);

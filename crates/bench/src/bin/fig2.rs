@@ -30,6 +30,7 @@
 use sdd_core::error_fn::{phi, ErrorFunction};
 
 fn main() {
+    let start = std::time::Instant::now();
     // Column-major: per pattern, per output.
     let behavior: [[bool; 2]; 2] = [[true, false], [false, true]];
     let fault1: [[f64; 2]; 2] = [[0.8, 0.4], [0.5, 0.6]];
@@ -53,23 +54,31 @@ fn main() {
         (1.0 - f[0][1]) * (1.0 - f[1][0])
     };
     println!("matching only the '1' entries (product of p where b = 1):");
-    println!("  fault #1: {:.3}   fault #2: {:.3}   => fault #1 looks better", ones(&fault1), ones(&fault2));
+    println!(
+        "  fault #1: {:.3}   fault #2: {:.3}   => fault #1 looks better",
+        ones(&fault1),
+        ones(&fault2)
+    );
     println!("matching only the '0' entries (product of 1-p where b = 0):");
-    println!("  fault #1: {:.3}   fault #2: {:.3}   => fault #2 looks better\n", zeros(&fault1), zeros(&fault2));
+    println!(
+        "  fault #1: {:.3}   fault #2: {:.3}   => fault #2 looks better\n",
+        zeros(&fault1),
+        zeros(&fault2)
+    );
 
     // Full per-pattern consistency probabilities (Algorithm E.1 step 5-6).
-    let phis = |f: &[[f64; 2]; 2]| -> Vec<f64> {
-        (0..2)
-            .map(|j| phi(&f[j], &behavior[j]))
-            .collect()
-    };
+    let phis =
+        |f: &[[f64; 2]; 2]| -> Vec<f64> { (0..2).map(|j| phi(&f[j], &behavior[j])).collect() };
     let phi1 = phis(&fault1);
     let phi2 = phis(&fault2);
     println!("per-pattern consistency phi_j (step 6):");
     println!("  fault #1: {:?}", rounded(&phi1));
     println!("  fault #2: {:?}\n", rounded(&phi2));
 
-    println!("{:<12} | {:>9} | {:>9} | winner", "function", "fault #1", "fault #2");
+    println!(
+        "{:<12} | {:>9} | {:>9} | winner",
+        "function", "fault #1", "fault #2"
+    );
     println!("{}", "-".repeat(50));
     for f in ErrorFunction::ALL {
         let s1 = f.combine(&phi1);
@@ -83,6 +92,7 @@ fn main() {
     }
     println!("\n=> the diagnosis answer depends on the error function: defining");
     println!("   'better match' carefully is the first task of delay diagnosis.");
+    println!("\ntotal wall clock: {:.1?}", start.elapsed());
 }
 
 fn rounded(v: &[f64]) -> Vec<f64> {

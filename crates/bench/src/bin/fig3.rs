@@ -23,11 +23,12 @@
 //! ```
 
 use sdd_core::defect::SingleDefectModel;
-use sdd_core::inject::{diagnose_one_instance, CampaignConfig};
-use sdd_core::ErrorFunction;
+use sdd_core::inject::{diagnose_one_instance_cached, CampaignConfig};
+use sdd_core::{DictionaryCache, ErrorFunction, MetricsSink};
 use sdd_netlist::generator::generate;
 use sdd_netlist::profiles;
 use sdd_timing::{CellLibrary, CircuitTiming};
+use std::time::Instant;
 
 fn main() {
     let seed = 11;
@@ -42,12 +43,21 @@ fn main() {
     let model = SingleDefectModel::paper_section_i(library.nominal_cell_delay());
 
     println!("=== Figure 3: error under the equivalence-checking model ===\n");
-    println!("circuit: {} ({} gates, {} arcs)", circuit.name(), circuit.num_gates(), circuit.num_edges());
+    println!(
+        "circuit: {} ({} gates, {} arcs)",
+        circuit.name(),
+        circuit.num_gates(),
+        circuit.num_edges()
+    );
 
+    let start = Instant::now();
+    let cache = DictionaryCache::new();
+    let metrics = MetricsSink::new();
     let mut shown = 0;
     for index in 0..20 {
-        let Some(outcome) = diagnose_one_instance(&circuit, &timing, &model, None, &config, index)
-        else {
+        let Some(outcome) = diagnose_one_instance_cached(
+            &circuit, &timing, &model, None, &config, index, &cache, &metrics,
+        ) else {
             continue;
         };
         if outcome.rankings.is_empty() {
@@ -58,19 +68,43 @@ fn main() {
             .position(|&f| f == ErrorFunction::Euclidean)
             .expect("Alg_rev present");
         let ranking = &outcome.rankings[rev_ix];
-        println!("\nchip instance {index}: injected defect on {} (size {:.3} ns)", outcome.injected, outcome.delta);
-        println!("{} patterns applied, {} suspects\n", outcome.n_patterns, outcome.n_suspects);
+        println!(
+            "\nchip instance {index}: injected defect on {} (size {:.3} ns)",
+            outcome.injected, outcome.delta
+        );
+        println!(
+            "{} patterns applied, {} suspects\n",
+            outcome.n_patterns, outcome.n_suspects
+        );
         println!("Alg_rev ranking (Err_i = sum_j (1 - phi_j)^2, smaller = better):");
         println!("{:>5} | {:>8} | {:>10} | note", "rank", "arc", "Err_i");
         for (r, site) in ranking.iter().take(8).enumerate() {
-            let note = if site.edge == outcome.injected { "<== injected defect" } else { "" };
-            println!("{:>5} | {:>8} | {:>10.4} | {note}", r + 1, site.edge.to_string(), site.score);
+            let note = if site.edge == outcome.injected {
+                "<== injected defect"
+            } else {
+                ""
+            };
+            println!(
+                "{:>5} | {:>8} | {:>10.4} | {note}",
+                r + 1,
+                site.edge.to_string(),
+                site.score
+            );
         }
         if let Some(pos) = ranking.iter().position(|s| s.edge == outcome.injected) {
             if pos >= 8 {
-                println!("{:>5} | {:>8} | {:>10.4} | <== injected defect", pos + 1, outcome.injected.to_string(), ranking[pos].score);
+                println!(
+                    "{:>5} | {:>8} | {:>10.4} | <== injected defect",
+                    pos + 1,
+                    outcome.injected.to_string(),
+                    ranking[pos].score
+                );
             }
-            println!("\n=> the injected arc ranks {} of {} under the explicit error", pos + 1, ranking.len());
+            println!(
+                "\n=> the injected arc ranks {} of {} under the explicit error",
+                pos + 1,
+                ranking.len()
+            );
         } else {
             println!("\n=> the injected arc was pruned from the suspect set (not sensitized to a failing output)");
         }
@@ -85,4 +119,5 @@ fn main() {
     if shown == 0 {
         println!("no failing configuration produced — rerun with another --seed");
     }
+    println!("\n{}", metrics.snapshot(start.elapsed()).render());
 }

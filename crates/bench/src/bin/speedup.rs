@@ -1,0 +1,107 @@
+//! Measures the campaign-engine speedup: the shared-cache parallel
+//! [`run_campaign_on`] path against the serial seed path (one fresh
+//! dictionary per chip, no sharing), on the Table-I workload.
+//!
+//! Both paths produce the same per-chip outcomes — `diagnose_one_instance`
+//! is `diagnose_one_instance_cached` with a throwaway cache — so the
+//! comparison isolates the engine change. Prints both reports' success
+//! tables (they must agree), the phase/cache metrics and the ratio.
+//!
+//! ```text
+//! cargo run -p sdd-bench --release --bin speedup [-- --circuit s1196] [--seed 2]
+//! ```
+
+use sdd_core::evaluate::AccuracyReport;
+use sdd_core::inject::{
+    diagnose_one_instance, run_campaign_on, CampaignConfig, ClockPolicy, InstanceOutcome,
+};
+use sdd_core::ErrorFunction;
+use sdd_netlist::generator::generate;
+use sdd_netlist::profiles;
+use sdd_timing::sta;
+use sdd_timing::{CellLibrary, CircuitTiming};
+use std::time::Instant;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let seed: u64 = flag_value(&args, "--seed")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2);
+    let circuit_name = flag_value(&args, "--circuit").unwrap_or_else(|| "s1196".to_owned());
+    let profile = profiles::by_name(&circuit_name).expect("known circuit name");
+    let config = CampaignConfig::paper(seed);
+    let circuit = generate(&profile.to_config(seed))
+        .expect("profile generates")
+        .to_combinational()
+        .expect("scan cut succeeds");
+
+    println!("=== campaign engine speedup on {circuit_name} (seed {seed}) ===\n");
+
+    // Serial seed path: chips one at a time, fresh dictionary each.
+    let t0 = Instant::now();
+    let serial = run_serial_fresh(&circuit, &config);
+    let serial_elapsed = t0.elapsed();
+    println!("serial, fresh dictionaries : {serial_elapsed:>8.1?}");
+
+    // Shared cache + rayon fan-out.
+    let t0 = Instant::now();
+    let cached = run_campaign_on(&circuit, &config).expect("campaign runs");
+    let cached_elapsed = t0.elapsed();
+    println!("parallel, shared cache     : {cached_elapsed:>8.1?}");
+    println!(
+        "speedup                    : {:>7.2}x\n",
+        serial_elapsed.as_secs_f64() / cached_elapsed.as_secs_f64()
+    );
+
+    assert_eq!(
+        serial, cached,
+        "engine change altered the diagnosis results"
+    );
+    println!("results identical: yes\n");
+    println!("{}", cached.render_table());
+    println!("{}", cached.metrics.render());
+}
+
+/// The seed engine: the exact per-chip pipeline of [`run_campaign_on`],
+/// executed serially with no dictionary sharing.
+fn run_serial_fresh(
+    circuit: &sdd_netlist::Circuit,
+    config: &CampaignConfig,
+) -> AccuracyReport {
+    let library = CellLibrary::default_025um();
+    let timing = CircuitTiming::characterize(circuit, &library, config.variation);
+    let circuit_clk = match config.clock {
+        ClockPolicy::CircuitQuantile(q) => Some(
+            sta::static_mc(circuit, &timing, config.sta_samples, config.seed)
+                .expect("circuit has outputs")
+                .clock_at_quantile(q),
+        ),
+        ClockPolicy::TestedQuantile(_) | ClockPolicy::Sweep => None,
+    };
+    let defect_model =
+        sdd_core::SingleDefectModel::paper_section_i(library.nominal_cell_delay());
+    let mut report = AccuracyReport::new(
+        circuit.name(),
+        config.k_values.clone(),
+        ErrorFunction::EXTENDED.to_vec(),
+    );
+    for i in 0..config.n_instances {
+        let outcome: Option<InstanceOutcome> =
+            diagnose_one_instance(circuit, &timing, &defect_model, circuit_clk, config, i);
+        match outcome {
+            Some(o) if !o.rankings.is_empty() => {
+                report.record(o.injected, &o.rankings, o.n_suspects, o.n_patterns);
+            }
+            Some(o) => report.record_failure(o.n_patterns),
+            None => report.record_failure(0),
+        }
+    }
+    report
+}
+
+fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}

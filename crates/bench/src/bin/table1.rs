@@ -65,6 +65,7 @@ fn main() {
         match run_campaign(&profile, &config) {
             Ok(report) => {
                 println!("{}", report.render_table());
+                println!("{}\n", report.metrics.render());
                 if let Some(reference) = table1_reference(profile.name) {
                     println!("  paper reference (Alg_sim I / Alg_sim II / Alg_rev):");
                     for (k, rates) in reference {

@@ -1,0 +1,467 @@
+//! A campaign-wide cache of dictionary Monte-Carlo outcomes.
+//!
+//! The signature probability matrix `S_crt = E_crt − M_crt` depends only
+//! on (circuit, timing model, pattern set, `clk`, defect-size
+//! distribution, Monte-Carlo config) — *not* on the chip under
+//! diagnosis. A serial campaign nevertheless re-simulates it for every
+//! chip and every redraw attempt. [`DictionaryCache`] shares the work:
+//! it stores the raw per-(pattern, sample, suspect) fail *bit grids*
+//! (see [`simulate_fail_masks`](crate::dictionary)) keyed on a
+//! fingerprint of everything the simulation reads, and assembles
+//! per-chip dictionaries from them by pure counting.
+//!
+//! Storing grids rather than finished dictionaries matters twice over:
+//!
+//! * the *joint* consistency estimate
+//!   ([`SuspectSignature::joint_phi`](crate::dictionary::SuspectSignature::joint_phi))
+//!   is chip-specific (it conditions on the observed behaviour matrix),
+//!   but is recoverable from the grids without re-simulation;
+//! * different chips implicate different suspect subsets — banks
+//!   accumulate the union, and each request selects its rows. Because
+//!   defect sizes are keyed by suspect *arc* (not list position), a
+//!   subset assembled from the bank is bit-identical to a fresh build of
+//!   that subset.
+//!
+//! Concurrency: a `RwLock<HashMap>` maps keys to per-key banks behind
+//! `Arc<Mutex<_>>`. The outer lock is held only to look up or insert a
+//! bank; the per-key mutex is held across simulation, so concurrent
+//! requests for the *same* key block rather than duplicate the
+//! Monte-Carlo, while requests for different keys proceed in parallel.
+//! Keys are hashed with the std hasher — the cache is in-memory and
+//! per-process, so hash stability across processes is not required.
+
+use crate::dictionary::{
+    assemble_from_masks, simulate_fail_masks, BitGrid, DictionaryConfig, ProbabilisticDictionary,
+    SuspectMasks,
+};
+use crate::metrics::MetricsSink;
+use crate::BehaviorMatrix;
+use sdd_atpg::PatternSet;
+use sdd_netlist::{Circuit, EdgeId};
+use sdd_timing::dynamic::DefectCone;
+use sdd_timing::{CircuitTiming, Dist};
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::{Arc, Mutex, RwLock};
+
+/// Everything [`simulate_fail_masks`](crate::dictionary) reads, reduced
+/// to a hashable key. The circuit and timing model are deliberately
+/// absent: a cache is scoped to one (circuit, timing) pair by
+/// construction (one per campaign).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct CacheKey {
+    /// Fingerprint of the applied two-vector patterns.
+    patterns_fp: u64,
+    /// Exact bits of the cut-off period.
+    clk_bits: u64,
+    /// Monte-Carlo budget.
+    n_samples: usize,
+    /// Monte-Carlo base seed.
+    seed: u64,
+    /// Fingerprint of the defect-size distribution.
+    defect_fp: u64,
+}
+
+/// The cached grids for one key: the defect-free baseline plus one bank
+/// per suspect arc simulated so far.
+#[derive(Debug, Default)]
+struct Bank {
+    /// One grid per pattern (`n_samples` × all outputs); empty until the
+    /// first build against this key.
+    base: Vec<BitGrid>,
+    suspects: HashMap<EdgeId, SuspectMasks>,
+}
+
+/// A thread-safe, campaign-wide dictionary cache. See the module docs
+/// for the sharing and determinism story.
+#[derive(Debug, Default)]
+pub struct DictionaryCache {
+    banks: RwLock<HashMap<CacheKey, Arc<Mutex<Bank>>>>,
+}
+
+impl DictionaryCache {
+    /// An empty cache.
+    pub fn new() -> DictionaryCache {
+        DictionaryCache::default()
+    }
+
+    /// Number of distinct (pattern set, clk, config, defect dist) keys
+    /// populated so far.
+    pub fn num_keys(&self) -> usize {
+        self.banks.read().expect("cache lock").len()
+    }
+
+    /// Builds a dictionary through the cache: simulates only the
+    /// (baseline, suspect) grids missing under this key, then assembles
+    /// the result by counting. Bit-identical to
+    /// [`ProbabilisticDictionary::build_with_behavior`] with the same
+    /// arguments.
+    ///
+    /// `metrics`, when given, receives one cache hit (nothing simulated)
+    /// or miss, and the number of (pattern, sample) simulations run.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as
+    /// [`ProbabilisticDictionary::build_with_behavior`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn build_with_behavior(
+        &self,
+        circuit: &Circuit,
+        timing: &CircuitTiming,
+        defect_size: &Dist,
+        patterns: &PatternSet,
+        suspect_edges: &[EdgeId],
+        clk: f64,
+        config: DictionaryConfig,
+        behavior: Option<&BehaviorMatrix>,
+        metrics: Option<&MetricsSink>,
+    ) -> ProbabilisticDictionary {
+        assert!(
+            config.n_samples > 0,
+            "monte-carlo sample count must be positive"
+        );
+        assert!(!patterns.is_empty(), "pattern set must be non-empty");
+        if let Some(b) = behavior {
+            assert_eq!(
+                b.num_outputs(),
+                circuit.primary_outputs().len(),
+                "behavior/output count mismatch"
+            );
+            assert_eq!(
+                b.num_patterns(),
+                patterns.len(),
+                "behavior/pattern count mismatch"
+            );
+        }
+        let key = CacheKey {
+            patterns_fp: fingerprint_patterns(patterns),
+            clk_bits: clk.to_bits(),
+            n_samples: config.n_samples,
+            seed: config.seed,
+            defect_fp: fingerprint_dist(defect_size),
+        };
+        let cell = {
+            let read = self.banks.read().expect("cache lock");
+            match read.get(&key) {
+                Some(cell) => Arc::clone(cell),
+                None => {
+                    drop(read);
+                    let mut write = self.banks.write().expect("cache lock");
+                    Arc::clone(write.entry(key).or_default())
+                }
+            }
+        };
+        let mut bank = cell.lock().expect("bank lock");
+        let missing: Vec<EdgeId> = suspect_edges
+            .iter()
+            .copied()
+            .filter(|e| !bank.suspects.contains_key(e))
+            .collect();
+        if bank.base.is_empty() || !missing.is_empty() {
+            if let Some(m) = metrics {
+                m.record_cache_miss();
+                m.add_samples_simulated((patterns.len() * config.n_samples) as u64);
+            }
+            let cones: Vec<DefectCone> = missing
+                .iter()
+                .map(|&e| DefectCone::new(circuit, e))
+                .collect();
+            let per_pattern =
+                simulate_fail_masks(circuit, timing, defect_size, patterns, &cones, clk, config);
+            let record_base = bank.base.is_empty();
+            let mut banks: Vec<SuspectMasks> = cones
+                .iter()
+                .map(|c| SuspectMasks {
+                    reachable: c.reachable_outputs().to_vec(),
+                    fails: Vec::with_capacity(patterns.len()),
+                })
+                .collect();
+            for (base, fails) in per_pattern {
+                if record_base {
+                    bank.base.push(base);
+                }
+                for (ci, grid) in fails.into_iter().enumerate() {
+                    banks[ci].fails.push(grid);
+                }
+            }
+            for (edge, masks) in missing.iter().copied().zip(banks) {
+                bank.suspects.insert(edge, masks);
+            }
+        } else if let Some(m) = metrics {
+            m.record_cache_hit();
+        }
+        let base_refs: Vec<&BitGrid> = bank.base.iter().collect();
+        let ordered: Vec<(EdgeId, &SuspectMasks)> = suspect_edges
+            .iter()
+            .map(|&e| (e, &bank.suspects[&e]))
+            .collect();
+        assemble_from_masks(
+            clk,
+            circuit.primary_outputs().len(),
+            config.n_samples,
+            &base_refs,
+            &ordered,
+            behavior,
+        )
+    }
+}
+
+fn fingerprint_patterns(patterns: &PatternSet) -> u64 {
+    let mut h = DefaultHasher::new();
+    patterns.len().hash(&mut h);
+    for p in patterns.iter() {
+        p.v1.hash(&mut h);
+        p.v2.hash(&mut h);
+    }
+    h.finish()
+}
+
+fn fingerprint_dist(dist: &Dist) -> u64 {
+    // `Debug` for `Dist` prints variant name plus exact shortest-roundtrip
+    // float fields — distinct distributions give distinct strings.
+    let mut h = DefaultHasher::new();
+    format!("{dist:?}").hash(&mut h);
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::defect::InjectedDefect;
+    use crate::diagnoser::{Diagnoser, DiagnoserConfig};
+    use sdd_atpg::TestPattern;
+    use sdd_netlist::{CircuitBuilder, GateKind};
+    use sdd_timing::{CellLibrary, VariationModel};
+
+    fn two_chains() -> (Circuit, CircuitTiming) {
+        let mut b = CircuitBuilder::new("tc");
+        let a = b.input("a");
+        let bb = b.input("b");
+        let g1 = b.gate("g1", GateKind::Not, &[a]).unwrap();
+        let g2 = b.gate("g2", GateKind::Not, &[g1]).unwrap();
+        let h1 = b.gate("h1", GateKind::Not, &[bb]).unwrap();
+        let h2 = b.gate("h2", GateKind::Not, &[h1]).unwrap();
+        b.output(g2);
+        b.output(h2);
+        let c = b.finish().unwrap();
+        let t = CircuitTiming::characterize(
+            &c,
+            &CellLibrary::default_025um(),
+            VariationModel::new(0.03, 0.05),
+        );
+        (c, t)
+    }
+
+    fn both_rise() -> PatternSet {
+        [TestPattern::new(vec![false, false], vec![true, true])]
+            .into_iter()
+            .collect()
+    }
+
+    fn failing_behavior(c: &Circuit, t: &CircuitTiming, ps: &PatternSet) -> (BehaviorMatrix, f64) {
+        let sta = sdd_timing::sta::static_mc(c, t, 200, 1).expect("static MC runs");
+        let clk = sta.clock_at_quantile(0.99) * 1.05;
+        let chip = t.sample_instance_indexed(77, 0);
+        let defect = InjectedDefect {
+            edge: c.node(c.find("g1").unwrap()).fanin_edges()[0],
+            delta: 0.8,
+        };
+        (
+            BehaviorMatrix::observe(c, ps, &defect.apply(&chip), clk),
+            clk,
+        )
+    }
+
+    fn config() -> DictionaryConfig {
+        DictionaryConfig {
+            n_samples: 60,
+            seed: 12,
+        }
+    }
+
+    #[test]
+    fn cached_build_is_bit_identical_to_fresh() {
+        let (c, t) = two_chains();
+        let ps = both_rise();
+        let (behavior, _) = failing_behavior(&c, &t, &ps);
+        let suspects: Vec<EdgeId> = c.edge_ids().collect();
+        let size = Dist::defect_size(0.4);
+        let clk = behavior.clk();
+        let fresh = ProbabilisticDictionary::build_with_behavior(
+            &c,
+            &t,
+            &size,
+            &ps,
+            &suspects,
+            clk,
+            config(),
+            Some(&behavior),
+        );
+        let cache = DictionaryCache::new();
+        let metrics = MetricsSink::new();
+        // First pass simulates, second is served entirely from the bank.
+        let first = cache.build_with_behavior(
+            &c,
+            &t,
+            &size,
+            &ps,
+            &suspects,
+            clk,
+            config(),
+            Some(&behavior),
+            Some(&metrics),
+        );
+        let second = cache.build_with_behavior(
+            &c,
+            &t,
+            &size,
+            &ps,
+            &suspects,
+            clk,
+            config(),
+            Some(&behavior),
+            Some(&metrics),
+        );
+        assert_eq!(fresh, first);
+        assert_eq!(fresh, second);
+        let snap = metrics.snapshot(std::time::Duration::ZERO);
+        assert_eq!(snap.dict_cache_misses, 1);
+        assert_eq!(snap.dict_cache_hits, 1);
+        assert_eq!(cache.num_keys(), 1);
+    }
+
+    #[test]
+    fn subset_from_superset_bank_matches_fresh_subset_build() {
+        let (c, t) = two_chains();
+        let ps = both_rise();
+        let (behavior, _) = failing_behavior(&c, &t, &ps);
+        let all: Vec<EdgeId> = c.edge_ids().collect();
+        let subset: Vec<EdgeId> = all.iter().copied().take(3).collect();
+        let size = Dist::defect_size(0.4);
+        let clk = behavior.clk();
+        let cache = DictionaryCache::new();
+        // Populate the bank with the full suspect set, then request a
+        // subset: rows must equal a fresh build of just that subset.
+        cache.build_with_behavior(
+            &c,
+            &t,
+            &size,
+            &ps,
+            &all,
+            clk,
+            config(),
+            Some(&behavior),
+            None,
+        );
+        let from_cache = cache.build_with_behavior(
+            &c,
+            &t,
+            &size,
+            &ps,
+            &subset,
+            clk,
+            config(),
+            Some(&behavior),
+            None,
+        );
+        let fresh = ProbabilisticDictionary::build_with_behavior(
+            &c,
+            &t,
+            &size,
+            &ps,
+            &subset,
+            clk,
+            config(),
+            Some(&behavior),
+        );
+        assert_eq!(fresh, from_cache);
+    }
+
+    #[test]
+    fn incremental_suspects_extend_the_bank() {
+        let (c, t) = two_chains();
+        let ps = both_rise();
+        let all: Vec<EdgeId> = c.edge_ids().collect();
+        let first_half = &all[..all.len() / 2];
+        let size = Dist::defect_size(0.4);
+        let cache = DictionaryCache::new();
+        let metrics = MetricsSink::new();
+        cache.build_with_behavior(
+            &c,
+            &t,
+            &size,
+            &ps,
+            first_half,
+            0.25,
+            config(),
+            None,
+            Some(&metrics),
+        );
+        // New suspects under the same key: a miss (partial simulation),
+        // but the result still matches a fresh build.
+        let extended = cache.build_with_behavior(
+            &c,
+            &t,
+            &size,
+            &ps,
+            &all,
+            0.25,
+            config(),
+            None,
+            Some(&metrics),
+        );
+        let fresh = ProbabilisticDictionary::build(&c, &t, &size, &ps, &all, 0.25, config());
+        assert_eq!(fresh, extended);
+        assert_eq!(
+            metrics
+                .snapshot(std::time::Duration::ZERO)
+                .dict_cache_misses,
+            2
+        );
+    }
+
+    #[test]
+    fn distinct_clk_or_patterns_get_distinct_keys() {
+        let (c, t) = two_chains();
+        let ps = both_rise();
+        let suspects: Vec<EdgeId> = c.edge_ids().take(2).collect();
+        let size = Dist::defect_size(0.4);
+        let cache = DictionaryCache::new();
+        cache.build_with_behavior(&c, &t, &size, &ps, &suspects, 0.25, config(), None, None);
+        cache.build_with_behavior(&c, &t, &size, &ps, &suspects, 0.30, config(), None, None);
+        let other: PatternSet = [TestPattern::new(vec![true, true], vec![false, false])]
+            .into_iter()
+            .collect();
+        cache.build_with_behavior(&c, &t, &size, &other, &suspects, 0.25, config(), None, None);
+        assert_eq!(cache.num_keys(), 3);
+    }
+
+    #[test]
+    fn cached_rankings_match_fresh_rankings() {
+        let (c, t) = two_chains();
+        let ps = both_rise();
+        let (behavior, _) = failing_behavior(&c, &t, &ps);
+        let d = Diagnoser::new(
+            &c,
+            &t,
+            &ps,
+            Dist::defect_size(0.8),
+            DiagnoserConfig {
+                dictionary: config(),
+            },
+        );
+        let fresh = d.diagnose_all(&behavior).unwrap();
+        let cache = DictionaryCache::new();
+        let cached_diagnoser = d.clone().with_cache(&cache);
+        for _ in 0..2 {
+            let cached = cached_diagnoser.diagnose_all(&behavior).unwrap();
+            assert_eq!(fresh.len(), cached.len());
+            for ((ff, fr), (cf, cr)) in fresh.iter().zip(&cached) {
+                assert_eq!(ff, cf);
+                assert_eq!(fr, cr, "{} ranking diverged through the cache", ff.name());
+            }
+        }
+    }
+}

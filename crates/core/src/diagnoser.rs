@@ -1,7 +1,9 @@
 //! The end-to-end diagnosis engine (`Alg_sim` and `Alg_rev`).
 
+use crate::cache::DictionaryCache;
 use crate::dictionary::{DictionaryConfig, ProbabilisticDictionary};
 use crate::error_fn::{phi_sparse, ErrorFunction};
+use crate::metrics::MetricsSink;
 use crate::suspects::collect_suspects;
 use crate::{BehaviorMatrix, DiagnosisError};
 use sdd_atpg::PatternSet;
@@ -20,18 +22,10 @@ pub struct RankedSite {
 }
 
 /// Configuration of the diagnosis engine.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
 pub struct DiagnoserConfig {
     /// Monte-Carlo budget for the probabilistic dictionary.
     pub dictionary: DictionaryConfig,
-}
-
-impl Default for DiagnoserConfig {
-    fn default() -> Self {
-        DiagnoserConfig {
-            dictionary: DictionaryConfig::default(),
-        }
-    }
 }
 
 /// The diagnosis engine: bundles the circuit model, its statistical
@@ -48,6 +42,8 @@ pub struct Diagnoser<'a> {
     patterns: &'a PatternSet,
     defect_size: Dist,
     config: DiagnoserConfig,
+    cache: Option<&'a DictionaryCache>,
+    metrics: Option<&'a MetricsSink>,
 }
 
 impl<'a> Diagnoser<'a> {
@@ -65,7 +61,23 @@ impl<'a> Diagnoser<'a> {
             patterns,
             defect_size,
             config,
+            cache: None,
+            metrics: None,
         }
+    }
+
+    /// Routes dictionary construction through a shared
+    /// [`DictionaryCache`] (results stay bit-identical to uncached
+    /// builds; see the cache docs).
+    pub fn with_cache(mut self, cache: &'a DictionaryCache) -> Self {
+        self.cache = Some(cache);
+        self
+    }
+
+    /// Reports cache hits/misses and simulated samples to `metrics`.
+    pub fn with_metrics(mut self, metrics: &'a MetricsSink) -> Self {
+        self.metrics = Some(metrics);
+        self
     }
 
     /// Step 1 plus dictionary construction: prunes the suspect set from
@@ -85,16 +97,29 @@ impl<'a> Diagnoser<'a> {
         if suspects.is_empty() {
             return Err(DiagnosisError::NoSuspects);
         }
-        Ok(ProbabilisticDictionary::build_with_behavior(
-            self.circuit,
-            self.timing,
-            &self.defect_size,
-            self.patterns,
-            &suspects,
-            behavior.clk(),
-            self.config.dictionary,
-            Some(behavior),
-        ))
+        Ok(match self.cache {
+            Some(cache) => cache.build_with_behavior(
+                self.circuit,
+                self.timing,
+                &self.defect_size,
+                self.patterns,
+                &suspects,
+                behavior.clk(),
+                self.config.dictionary,
+                Some(behavior),
+                self.metrics,
+            ),
+            None => ProbabilisticDictionary::build_with_behavior(
+                self.circuit,
+                self.timing,
+                &self.defect_size,
+                self.patterns,
+                &suspects,
+                behavior.clk(),
+                self.config.dictionary,
+                Some(behavior),
+            ),
+        })
     }
 
     /// Ranks every suspect of a prebuilt dictionary against the observed
@@ -222,7 +247,7 @@ mod tests {
         defect_edge: EdgeId,
     ) -> BehaviorMatrix {
         // Clock above the defect-free upper tail, below defect + nominal.
-        let sta = sdd_timing::sta::static_mc(c, t, 200, 1);
+        let sta = sdd_timing::sta::static_mc(c, t, 200, 1).expect("static MC runs");
         let clk = sta.clock_at_quantile(0.99) * 1.05;
         let chip = t.sample_instance_indexed(77, 0);
         let defect = InjectedDefect {
@@ -288,9 +313,7 @@ mod tests {
             sdd_timing::Dist::defect_size(0.8),
             DiagnoserConfig::default(),
         );
-        let top1 = d
-            .diagnose(&behavior, ErrorFunction::Euclidean, 1)
-            .unwrap();
+        let top1 = d.diagnose(&behavior, ErrorFunction::Euclidean, 1).unwrap();
         assert_eq!(top1.len(), 1);
     }
 

@@ -16,7 +16,21 @@
 //!
 //! Outputs structurally unreachable from a suspect arc have
 //! `err_ij = crt_ij` (signature 0) and are stored implicitly.
+//!
+//! The build is two-phase: [`simulate_fail_masks`] records the raw
+//! pass/fail outcome of every (pattern, chip sample, suspect) as bit
+//! grids, and [`assemble_from_masks`] turns grids into probabilities
+//! (plus, optionally, the joint consistency estimate against an observed
+//! behaviour matrix). The chip-independent grids are what
+//! [`DictionaryCache`](crate::cache::DictionaryCache) shares across a
+//! campaign. Every random quantity is keyed, not sequenced: the chip
+//! sample by (seed, pattern, sample) and the defect size by (seed,
+//! pattern, sample, suspect *arc*) — so simulating any subset of
+//! suspects yields bit-identical grids to selecting the same rows from a
+//! superset build.
 
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
 use rayon::prelude::*;
 use sdd_atpg::PatternSet;
 use sdd_netlist::logic::simulate_pair;
@@ -24,8 +38,6 @@ use sdd_netlist::{Circuit, EdgeId};
 use sdd_timing::crit::ProbMatrix;
 use sdd_timing::dynamic::{transition_arrivals, DefectCone, NO_EVENT};
 use sdd_timing::{CircuitTiming, Dist};
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
 
 /// Monte-Carlo budget for dictionary construction.
@@ -154,7 +166,10 @@ impl ProbabilisticDictionary {
         config: DictionaryConfig,
         behavior: Option<&crate::BehaviorMatrix>,
     ) -> ProbabilisticDictionary {
-        assert!(config.n_samples > 0, "monte-carlo sample count must be positive");
+        assert!(
+            config.n_samples > 0,
+            "monte-carlo sample count must be positive"
+        );
         assert!(!patterns.is_empty(), "pattern set must be non-empty");
         if let Some(b) = behavior {
             assert_eq!(
@@ -162,141 +177,41 @@ impl ProbabilisticDictionary {
                 circuit.primary_outputs().len(),
                 "behavior/output count mismatch"
             );
-            assert_eq!(b.num_patterns(), patterns.len(), "behavior/pattern count mismatch");
+            assert_eq!(
+                b.num_patterns(),
+                patterns.len(),
+                "behavior/pattern count mismatch"
+            );
         }
         let n_out = circuit.primary_outputs().len();
-        let outputs = circuit.primary_outputs();
         let cones: Vec<DefectCone> = suspect_edges
             .iter()
             .map(|&e| DefectCone::new(circuit, e))
             .collect();
-
-        // Per pattern: (M counts per output, per suspect counts per
-        // reachable output, per suspect joint-match counts).
-        let per_pattern: Vec<(Vec<u32>, Vec<Vec<u32>>, Vec<u32>)> = patterns
-            .patterns()
-            .par_iter()
-            .enumerate()
-            .map(|(j, p)| {
-                let transitions = simulate_pair(circuit, &p.v1, &p.v2);
-                let mut m_counts = vec![0u32; n_out];
-                let mut s_counts: Vec<Vec<u32>> = cones
-                    .iter()
-                    .map(|c| vec![0u32; c.reachable_outputs().len()])
-                    .collect();
-                let mut joint_counts = vec![0u32; cones.len()];
-                let b_col: Option<Vec<bool>> = behavior
-                    .map(|b| (0..n_out).map(|i| b.fails(i, j)).collect());
-                let mut scratch = vec![NO_EVENT; circuit.num_nodes()];
-                let mut out_buf: Vec<f64> = Vec::new();
-                let mut base_fail = vec![false; n_out];
-                for s in 0..config.n_samples {
-                    let instance_index = (j * config.n_samples + s) as u64;
-                    let instance =
-                        timing.sample_instance_indexed(config.seed, instance_index);
-                    let baseline = transition_arrivals(circuit, &transitions, &instance);
-                    // Baseline failure flags and the total mismatch count
-                    // between the defect-free sample and the observed
-                    // column (used for O(|reachable|) joint matching).
-                    let mut base_mismatches = 0u32;
-                    for (i, &o) in outputs.iter().enumerate() {
-                        let fail = baseline[o.index()] > clk;
-                        base_fail[i] = fail;
-                        if fail {
-                            m_counts[i] += 1;
-                        }
-                        if let Some(col) = &b_col {
-                            if fail != col[i] {
-                                base_mismatches += 1;
-                            }
-                        }
-                    }
-                    let mut delta_rng = ChaCha8Rng::seed_from_u64(
-                        config
-                            .seed
-                            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
-                            .wrapping_add(instance_index),
-                    );
-                    for (si, cone) in cones.iter().enumerate() {
-                        let delta = defect_size.sample(&mut delta_rng).max(0.0);
-                        cone.apply(
-                            circuit,
-                            &transitions,
-                            &instance,
-                            &baseline,
-                            delta,
-                            &mut scratch,
-                            &mut out_buf,
-                        );
-                        let mut reach_base_mismatches = 0u32;
-                        let mut reach_match = true;
-                        for (k, &arr) in out_buf.iter().enumerate() {
-                            let fail = arr > clk;
-                            if fail {
-                                s_counts[si][k] += 1;
-                            }
-                            if let Some(col) = &b_col {
-                                let i = cone.reachable_outputs()[k];
-                                if base_fail[i] != col[i] {
-                                    reach_base_mismatches += 1;
-                                }
-                                if fail != col[i] {
-                                    reach_match = false;
-                                }
-                            }
-                        }
-                        if b_col.is_some()
-                            && reach_match
-                            && base_mismatches == reach_base_mismatches
-                        {
-                            // Reachable outputs all match the column with
-                            // the defect applied, and every defect-free
-                            // mismatch lay inside the reachable set.
-                            joint_counts[si] += 1;
-                        }
-                    }
-                }
-                (m_counts, s_counts, joint_counts)
+        let per_pattern =
+            simulate_fail_masks(circuit, timing, defect_size, patterns, &cones, clk, config);
+        // Transpose the per-pattern grids into per-suspect banks.
+        let mut base: Vec<BitGrid> = Vec::with_capacity(per_pattern.len());
+        let mut suspect_masks: Vec<SuspectMasks> = cones
+            .iter()
+            .map(|c| SuspectMasks {
+                reachable: c.reachable_outputs().to_vec(),
+                fails: Vec::with_capacity(patterns.len()),
             })
             .collect();
-
-        let inv_n = 1.0 / config.n_samples as f64;
-        let mut m_crt = ProbMatrix::zeros(n_out, patterns.len());
-        for (j, (m_counts, _, _)) in per_pattern.iter().enumerate() {
-            for (i, &c) in m_counts.iter().enumerate() {
-                m_crt.set(i, j, c as f64 * inv_n);
+        for (b, fails) in per_pattern {
+            base.push(b);
+            for (ci, grid) in fails.into_iter().enumerate() {
+                suspect_masks[ci].fails.push(grid);
             }
         }
-        let suspects = cones
+        let base_refs: Vec<&BitGrid> = base.iter().collect();
+        let ordered: Vec<(EdgeId, &SuspectMasks)> = cones
             .iter()
-            .enumerate()
-            .map(|(si, cone)| {
-                let reach = cone.reachable_outputs().to_vec();
-                let mut err = ProbMatrix::zeros(reach.len(), patterns.len());
-                for (j, (_, s_counts, _)) in per_pattern.iter().enumerate() {
-                    for (k, &c) in s_counts[si].iter().enumerate() {
-                        err.set(k, j, c as f64 * inv_n);
-                    }
-                }
-                let joint = behavior.map(|_| {
-                    per_pattern
-                        .iter()
-                        .map(|(_, _, joint_counts)| joint_counts[si] as f64 * inv_n)
-                        .collect()
-                });
-                SuspectSignature {
-                    edge: cone.edge(),
-                    reachable: reach,
-                    err,
-                    joint,
-                }
-            })
+            .zip(&suspect_masks)
+            .map(|(c, m)| (c.edge(), m))
             .collect();
-        ProbabilisticDictionary {
-            clk,
-            m_crt,
-            suspects,
-        }
+        assemble_from_masks(clk, n_out, config.n_samples, &base_refs, &ordered, behavior)
     }
 
     /// The cut-off period the probabilities refer to.
@@ -343,6 +258,223 @@ impl ProbabilisticDictionary {
             col[out] = self.signature(suspect, slot, pattern);
         }
         col
+    }
+}
+
+/// A dense bit matrix: `rows` Monte-Carlo samples × `width` outputs,
+/// one bit per (sample, output) failure outcome.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct BitGrid {
+    width: usize,
+    words_per_row: usize,
+    words: Vec<u64>,
+}
+
+impl BitGrid {
+    pub(crate) fn new(rows: usize, width: usize) -> BitGrid {
+        let words_per_row = width.div_ceil(64).max(1);
+        BitGrid {
+            width,
+            words_per_row,
+            words: vec![0u64; rows * words_per_row],
+        }
+    }
+
+    #[inline]
+    pub(crate) fn set(&mut self, row: usize, bit: usize) {
+        debug_assert!(bit < self.width);
+        self.words[row * self.words_per_row + bit / 64] |= 1u64 << (bit % 64);
+    }
+
+    #[inline]
+    pub(crate) fn get(&self, row: usize, bit: usize) -> bool {
+        debug_assert!(bit < self.width);
+        (self.words[row * self.words_per_row + bit / 64] >> (bit % 64)) & 1 != 0
+    }
+}
+
+/// The cached Monte-Carlo outcomes of one suspect arc: which reachable
+/// outputs failed, per pattern and chip sample.
+#[derive(Debug, Clone)]
+pub(crate) struct SuspectMasks {
+    /// Positions (into the circuit's primary outputs) of the outputs the
+    /// suspect can affect; grid columns follow this order.
+    pub(crate) reachable: Vec<usize>,
+    /// One grid per pattern: `n_samples` rows × `reachable.len()` bits.
+    pub(crate) fails: Vec<BitGrid>,
+}
+
+/// Draws the defect size for one (chip sample, suspect) cell. Keyed on
+/// the suspect *arc id*, not its position in the suspect list, so the
+/// draw is independent of which other suspects are simulated alongside.
+#[inline]
+fn sample_delta(seed: u64, instance_index: u64, edge: EdgeId, defect_size: &Dist) -> f64 {
+    let mut rng = ChaCha8Rng::seed_from_u64(
+        seed.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(instance_index)
+            .wrapping_mul(0xA24B_AED4_963E_E407)
+            .wrapping_add(edge.index() as u64),
+    );
+    defect_size.sample(&mut rng).max(0.0)
+}
+
+/// Phase 1 of the dictionary build: Monte-Carlo simulate every (pattern,
+/// chip sample) and record, as bit grids, which outputs exceed `clk` —
+/// defect-free (baseline) and with a random-size defect on each cone's
+/// arc. Parallelized over patterns. Returns, per pattern, the baseline
+/// grid (samples × all outputs) and one grid per cone (samples × its
+/// reachable outputs).
+pub(crate) fn simulate_fail_masks(
+    circuit: &Circuit,
+    timing: &CircuitTiming,
+    defect_size: &Dist,
+    patterns: &PatternSet,
+    cones: &[DefectCone],
+    clk: f64,
+    config: DictionaryConfig,
+) -> Vec<(BitGrid, Vec<BitGrid>)> {
+    let n_out = circuit.primary_outputs().len();
+    let outputs = circuit.primary_outputs();
+    patterns
+        .patterns()
+        .par_iter()
+        .enumerate()
+        .map(|(j, p)| {
+            let transitions = simulate_pair(circuit, &p.v1, &p.v2);
+            let mut base = BitGrid::new(config.n_samples, n_out);
+            let mut fails: Vec<BitGrid> = cones
+                .iter()
+                .map(|c| BitGrid::new(config.n_samples, c.reachable_outputs().len()))
+                .collect();
+            let mut scratch = vec![NO_EVENT; circuit.num_nodes()];
+            let mut out_buf: Vec<f64> = Vec::new();
+            for s in 0..config.n_samples {
+                let instance_index = (j * config.n_samples + s) as u64;
+                let instance = timing.sample_instance_indexed(config.seed, instance_index);
+                let baseline = transition_arrivals(circuit, &transitions, &instance);
+                for (i, &o) in outputs.iter().enumerate() {
+                    if baseline[o.index()] > clk {
+                        base.set(s, i);
+                    }
+                }
+                for (ci, cone) in cones.iter().enumerate() {
+                    let delta = sample_delta(config.seed, instance_index, cone.edge(), defect_size);
+                    cone.apply(
+                        circuit,
+                        &transitions,
+                        &instance,
+                        &baseline,
+                        delta,
+                        &mut scratch,
+                        &mut out_buf,
+                    );
+                    for (k, &arr) in out_buf.iter().enumerate() {
+                        if arr > clk {
+                            fails[ci].set(s, k);
+                        }
+                    }
+                }
+            }
+            (base, fails)
+        })
+        .collect()
+}
+
+/// Phase 2 of the dictionary build: turn fail grids into `M_crt`, per
+/// suspect `E_crt` and (against an observed behaviour matrix) the joint
+/// consistency estimate. Pure counting — no simulation — so a dictionary
+/// assembled from cached grids is bit-identical to a fresh build.
+pub(crate) fn assemble_from_masks(
+    clk: f64,
+    n_out: usize,
+    n_samples: usize,
+    base: &[&BitGrid],
+    suspects: &[(EdgeId, &SuspectMasks)],
+    behavior: Option<&crate::BehaviorMatrix>,
+) -> ProbabilisticDictionary {
+    let n_patterns = base.len();
+    let inv_n = 1.0 / n_samples as f64;
+    let mut m_crt = ProbMatrix::zeros(n_out, n_patterns);
+    for (j, grid) in base.iter().enumerate() {
+        for i in 0..n_out {
+            let mut c = 0u32;
+            for s in 0..n_samples {
+                if grid.get(s, i) {
+                    c += 1;
+                }
+            }
+            m_crt.set(i, j, c as f64 * inv_n);
+        }
+    }
+    let b_cols: Option<Vec<Vec<bool>>> = behavior.map(|b| {
+        (0..n_patterns)
+            .map(|j| (0..n_out).map(|i| b.fails(i, j)).collect())
+            .collect()
+    });
+    let suspects = suspects
+        .iter()
+        .map(|&(edge, masks)| {
+            let reach = masks.reachable.clone();
+            let mut err = ProbMatrix::zeros(reach.len(), n_patterns);
+            for (j, grid) in masks.fails.iter().enumerate() {
+                for (k, _) in reach.iter().enumerate() {
+                    let mut c = 0u32;
+                    for s in 0..n_samples {
+                        if grid.get(s, k) {
+                            c += 1;
+                        }
+                    }
+                    err.set(k, j, c as f64 * inv_n);
+                }
+            }
+            let joint = b_cols.as_ref().map(|cols| {
+                (0..n_patterns)
+                    .map(|j| {
+                        let col = &cols[j];
+                        let bgrid = base[j];
+                        let sgrid = &masks.fails[j];
+                        let mut count = 0u32;
+                        for s in 0..n_samples {
+                            // A sample matches the observed column iff
+                            // every reachable output matches with the
+                            // defect applied and every defect-free
+                            // mismatch lay inside the reachable set.
+                            let mut base_mismatches = 0u32;
+                            for (i, &b_i) in col.iter().enumerate().take(n_out) {
+                                if bgrid.get(s, i) != b_i {
+                                    base_mismatches += 1;
+                                }
+                            }
+                            let mut reach_base_mismatches = 0u32;
+                            let mut reach_match = true;
+                            for (k, &i) in reach.iter().enumerate() {
+                                if bgrid.get(s, i) != col[i] {
+                                    reach_base_mismatches += 1;
+                                }
+                                if sgrid.get(s, k) != col[i] {
+                                    reach_match = false;
+                                }
+                            }
+                            if reach_match && base_mismatches == reach_base_mismatches {
+                                count += 1;
+                            }
+                        }
+                        count as f64 * inv_n
+                    })
+                    .collect()
+            });
+            SuspectSignature {
+                edge,
+                reachable: reach,
+                err,
+                joint,
+            }
+        })
+        .collect();
+    ProbabilisticDictionary {
+        clk,
+        m_crt,
+        suspects,
     }
 }
 
@@ -427,9 +559,7 @@ mod tests {
             },
         );
         // Arc a->g1 reaches only output 0 (g2).
-        let a_edge = c
-            .node(c.find("g1").unwrap())
-            .fanin_edges()[0];
+        let a_edge = c.node(c.find("g1").unwrap()).fanin_edges()[0];
         let si = suspects.iter().position(|&e| e == a_edge).unwrap();
         assert_eq!(dict.suspects()[si].reachable_outputs(), &[0]);
         let col = dict.signature_column(si, 0);
@@ -502,10 +632,22 @@ mod tests {
             seed: 9,
         };
         let a = ProbabilisticDictionary::build(
-            &c, &t, &Dist::Deterministic(0.1), &ps, &suspects, 0.25, cfg,
+            &c,
+            &t,
+            &Dist::Deterministic(0.1),
+            &ps,
+            &suspects,
+            0.25,
+            cfg,
         );
         let b = ProbabilisticDictionary::build(
-            &c, &t, &Dist::Deterministic(0.1), &ps, &suspects, 0.25, cfg,
+            &c,
+            &t,
+            &Dist::Deterministic(0.1),
+            &ps,
+            &suspects,
+            0.25,
+            cfg,
         );
         assert_eq!(a, b);
     }

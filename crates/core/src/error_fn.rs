@@ -79,9 +79,7 @@ impl ErrorFunction {
     /// Combines the per-pattern consistency probabilities into a score.
     pub fn combine(self, phis: &[f64]) -> f64 {
         match self {
-            ErrorFunction::MethodI => {
-                1.0 - phis.iter().map(|&p| 1.0 - p).product::<f64>()
-            }
+            ErrorFunction::MethodI => 1.0 - phis.iter().map(|&p| 1.0 - p).product::<f64>(),
             ErrorFunction::MethodII => {
                 if phis.is_empty() {
                     0.0
@@ -235,10 +233,7 @@ mod tests {
         let bad = ErrorFunction::Euclidean.combine(&[0.1, 0.2]);
         assert!(good < bad);
         assert!(!ErrorFunction::Euclidean.higher_is_better());
-        assert_eq!(
-            ErrorFunction::Euclidean.compare(good, bad),
-            Ordering::Less
-        );
+        assert_eq!(ErrorFunction::Euclidean.compare(good, bad), Ordering::Less);
     }
 
     #[test]

@@ -7,6 +7,7 @@
 
 use crate::diagnoser::RankedSite;
 use crate::error_fn::ErrorFunction;
+use crate::metrics::CampaignMetrics;
 use sdd_netlist::EdgeId;
 use serde::{Deserialize, Serialize};
 
@@ -17,7 +18,11 @@ pub fn is_success(ranking: &[RankedSite], injected: EdgeId, k: usize) -> bool {
 
 /// Accuracy of a full injection campaign on one circuit: success counts
 /// per `(K, error function)` cell, Table-I style.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+///
+/// Equality compares the accuracy results only — [`CampaignMetrics`] is
+/// excluded, since two runs of the same campaign produce identical
+/// accuracy but different wall-clock timings.
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct AccuracyReport {
     /// Circuit name.
     pub circuit: String,
@@ -33,6 +38,21 @@ pub struct AccuracyReport {
     pub avg_suspects: f64,
     /// Mean number of applied test patterns.
     pub avg_patterns: f64,
+    /// Observability snapshot of the campaign that produced the report.
+    pub metrics: CampaignMetrics,
+}
+
+impl PartialEq for AccuracyReport {
+    fn eq(&self, other: &Self) -> bool {
+        // `metrics` deliberately excluded (timings vary run to run).
+        self.circuit == other.circuit
+            && self.k_values == other.k_values
+            && self.functions == other.functions
+            && self.successes == other.successes
+            && self.trials == other.trials
+            && self.avg_suspects == other.avg_suspects
+            && self.avg_patterns == other.avg_patterns
+    }
 }
 
 impl AccuracyReport {
@@ -51,6 +71,7 @@ impl AccuracyReport {
             trials: 0,
             avg_suspects: 0.0,
             avg_patterns: 0.0,
+            metrics: CampaignMetrics::default(),
         }
     }
 
@@ -157,6 +178,17 @@ mod tests {
         r.record_failure(5);
         assert_eq!(r.trials, 1);
         assert_eq!(r.success_percent(0, 0), 0.0);
+    }
+
+    #[test]
+    fn equality_ignores_metrics_but_not_results() {
+        let a = AccuracyReport::new("d", vec![1], vec![ErrorFunction::MethodI]);
+        let mut b = a.clone();
+        b.metrics.total_nanos = 999;
+        b.metrics.dict_cache_hits = 7;
+        assert_eq!(a, b, "metrics must not affect report equality");
+        b.record_failure(2);
+        assert_ne!(a, b, "accuracy results must affect report equality");
     }
 
     #[test]

@@ -8,12 +8,15 @@
 //! period; diagnose with every error function; and score success = the
 //! injected arc is contained in the top-`K` answer.
 
+use crate::cache::DictionaryCache;
 use crate::defect::SingleDefectModel;
 use crate::diagnoser::{Diagnoser, DiagnoserConfig, RankedSite};
 use crate::dictionary::DictionaryConfig;
 use crate::error_fn::ErrorFunction;
 use crate::evaluate::AccuracyReport;
+use crate::metrics::{MetricsSink, Phase};
 use crate::{BehaviorMatrix, CaptureModel, DiagnosisError};
+use rayon::prelude::*;
 use sdd_atpg::fault::{PathDelayFault, TransitionDirection};
 use sdd_atpg::path_atpg::generate_robust_or_nonrobust;
 use sdd_atpg::podem::PodemConfig;
@@ -21,8 +24,9 @@ use sdd_atpg::PatternSet;
 use sdd_netlist::generator::generate;
 use sdd_netlist::profiles::BenchmarkProfile;
 use sdd_netlist::{Circuit, EdgeId};
-use sdd_timing::{path, sta, CellLibrary, CircuitTiming, VariationModel};
+use sdd_timing::{path, sta, CellLibrary, CircuitTiming, TimingInstance, VariationModel};
 use serde::{Deserialize, Serialize};
+use std::time::Instant;
 
 /// Configuration of a defect-injection campaign.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -121,7 +125,7 @@ impl CampaignConfig {
 /// (Definition D.5), which is what an at-speed tester of those paths
 /// does. A circuit-level policy (relative to `Δ(C)`) is available for
 /// ablation; under it, defects far from the critical path escape.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
 pub enum ClockPolicy {
     /// `clk` = the given quantile of the circuit delay `Δ(C)`, fixed for
     /// the whole campaign.
@@ -137,13 +141,8 @@ pub enum ClockPolicy {
     /// defective chip's earliest failures are the ones its defect pushed
     /// to the top of the tested-delay range, so `B` is informative
     /// without oracle knowledge of the defect.
+    #[default]
     Sweep,
-}
-
-impl Default for ClockPolicy {
-    fn default() -> Self {
-        ClockPolicy::Sweep
-    }
 }
 
 /// The quantile ladder walked by [`ClockPolicy::Sweep`], tightest last.
@@ -349,6 +348,14 @@ pub fn run_campaign(
 
 /// Runs the campaign on an explicit combinational circuit.
 ///
+/// Chips fan out over the rayon thread pool and share one
+/// [`DictionaryCache`]: every random draw is keyed on the chip index or
+/// the defect site (never on shared RNG state), and outcomes are
+/// stitched back in index order, so the report is bit-identical for any
+/// thread count and any cache population order. Phase timers, cache
+/// counters and simulation counts land in
+/// [`AccuracyReport::metrics`](crate::evaluate::AccuracyReport).
+///
 /// # Errors
 ///
 /// Returns an error for degenerate configurations; individual chips whose
@@ -357,12 +364,12 @@ pub fn run_campaign_on(
     circuit: &Circuit,
     config: &CampaignConfig,
 ) -> Result<AccuracyReport, DiagnosisError> {
+    let start = Instant::now();
     let library = CellLibrary::default_025um();
     let timing = CircuitTiming::characterize(circuit, &library, config.variation);
     let circuit_clk = match config.clock {
         ClockPolicy::CircuitQuantile(q) => Some(
-            sta::static_mc(circuit, &timing, config.sta_samples, config.seed)
-                .clock_at_quantile(q),
+            sta::static_mc(circuit, &timing, config.sta_samples, config.seed)?.clock_at_quantile(q),
         ),
         ClockPolicy::TestedQuantile(_) | ClockPolicy::Sweep => None,
     };
@@ -372,9 +379,24 @@ pub fn run_campaign_on(
         config.k_values.clone(),
         ErrorFunction::EXTENDED.to_vec(),
     );
-    for i in 0..config.n_instances {
-        let outcome =
-            diagnose_one_instance(circuit, &timing, &defect_model, circuit_clk, config, i);
+    let cache = DictionaryCache::new();
+    let metrics = MetricsSink::new();
+    let outcomes: Vec<Option<InstanceOutcome>> = (0..config.n_instances)
+        .into_par_iter()
+        .map(|i| {
+            diagnose_one_instance_cached(
+                circuit,
+                &timing,
+                &defect_model,
+                circuit_clk,
+                config,
+                i,
+                &cache,
+                &metrics,
+            )
+        })
+        .collect();
+    for outcome in outcomes {
         match outcome {
             Some(o) if !o.rankings.is_empty() => {
                 report.record(o.injected, &o.rankings, o.n_suspects, o.n_patterns);
@@ -383,6 +405,7 @@ pub fn run_campaign_on(
             None => report.record_failure(0),
         }
     }
+    report.metrics = metrics.snapshot(start.elapsed());
     Ok(report)
 }
 
@@ -402,107 +425,84 @@ pub fn diagnose_one_instance(
     config: &CampaignConfig,
     index: usize,
 ) -> Option<InstanceOutcome> {
+    diagnose_one_instance_cached(
+        circuit,
+        timing,
+        defect_model,
+        circuit_clk,
+        config,
+        index,
+        &DictionaryCache::new(),
+        &MetricsSink::new(),
+    )
+}
+
+/// [`diagnose_one_instance`] sharing a campaign-wide [`DictionaryCache`]
+/// and reporting phase timings to a [`MetricsSink`]. This is what
+/// [`run_campaign_on`] fans out over the thread pool: diagnosing the
+/// same chip index through the same cache yields a bit-identical outcome
+/// regardless of thread count or cache population order.
+#[allow(clippy::too_many_arguments)]
+pub fn diagnose_one_instance_cached(
+    circuit: &Circuit,
+    timing: &CircuitTiming,
+    defect_model: &SingleDefectModel,
+    circuit_clk: Option<f64>,
+    config: &CampaignConfig,
+    index: usize,
+    cache: &DictionaryCache,
+    metrics: &MetricsSink,
+) -> Option<InstanceOutcome> {
     let chip = timing.sample_instance_indexed(config.seed ^ 0xC41F, index as u64);
     for attempt in 0..config.max_redraws {
         let defect_seed = config
             .seed
             .wrapping_add(1 + index as u64 * 131 + attempt as u64 * 7919);
         let defect = defect_model.sample_defect(circuit, defect_seed);
-        let patterns = patterns_through_site_with(
-            circuit,
-            timing,
-            defect.edge,
-            config.n_paths,
-            config.max_patterns,
-            defect_seed,
-            PodemConfig {
-                max_backtracks: config.path_backtracks,
-                max_implications: config.path_backtracks * 4,
-            },
-            PodemConfig {
-                max_backtracks: config.podem_backtracks,
-                max_implications: config.podem_backtracks * 4,
-            },
-        );
+        // Patterns (and with them the tested-delay clock ladder) are
+        // keyed on the hypothesized defect *site*, not the chip: chips
+        // drawing the same site share one pattern set and clock ladder,
+        // which is what lets the dictionary cache serve them all from a
+        // single Monte-Carlo build.
+        let site_seed = config
+            .seed
+            .wrapping_mul(0x94D0_49BB_1331_11EB)
+            .wrapping_add(defect.edge.index() as u64);
+        let patterns = metrics.time(Phase::Patterns, || {
+            patterns_through_site_with(
+                circuit,
+                timing,
+                defect.edge,
+                config.n_paths,
+                config.max_patterns,
+                site_seed,
+                PodemConfig {
+                    max_backtracks: config.path_backtracks,
+                    max_implications: config.path_backtracks * 4,
+                },
+                PodemConfig {
+                    max_backtracks: config.podem_backtracks,
+                    max_implications: config.podem_backtracks * 4,
+                },
+            )
+        });
         if patterns.is_empty() {
             continue;
         }
         let failing_chip = defect.apply(&chip);
-        let behavior = match (circuit_clk, config.clock) {
-            (Some(clk), _) => BehaviorMatrix::observe_with(
+        let behavior = metrics.time(Phase::Observe, || {
+            observe_behavior(
                 circuit,
+                timing,
                 &patterns,
                 &failing_chip,
-                clk,
-                config.capture,
-            ),
-            (None, ClockPolicy::TestedQuantile(q)) => {
-                let samples = tested_delay_samples(
-                    circuit,
-                    timing,
-                    &patterns,
-                    config.sta_samples.min(150),
-                    config.seed,
-                );
-                let clk = samples.quantile(q);
-                BehaviorMatrix::observe_with(
-                    circuit,
-                    &patterns,
-                    &failing_chip,
-                    clk,
-                    config.capture,
-                )
-            }
-            (None, ClockPolicy::Sweep) => {
-                let samples = tested_delay_samples(
-                    circuit,
-                    timing,
-                    &patterns,
-                    config.sta_samples.min(150),
-                    config.seed,
-                );
-                let mut found = None;
-                for (level, &q) in SWEEP_QUANTILES.iter().enumerate() {
-                    let clk = samples.quantile(q);
-                    let b = BehaviorMatrix::observe_with(
-                        circuit,
-                        &patterns,
-                        &failing_chip,
-                        clk,
-                        config.capture,
-                    );
-                    if !b.all_pass() {
-                        // Tighten extra steps (when available): the first
-                        // failing level often exposes only the chip's
-                        // single most critical tested path; going deeper
-                        // makes more of the defect's paths fail, which
-                        // shrinks the ambiguity group of arcs that could
-                        // explain the behaviour.
-                        let extra = (level + config.sweep_extra_steps)
-                            .min(SWEEP_QUANTILES.len() - 1);
-                        if extra > level {
-                            let clk2 = samples.quantile(SWEEP_QUANTILES[extra]);
-                            found = Some(BehaviorMatrix::observe_with(
-                                circuit,
-                                &patterns,
-                                &failing_chip,
-                                clk2,
-                                config.capture,
-                            ));
-                        } else {
-                            found = Some(b);
-                        }
-                        break;
-                    }
-                }
-                match found {
-                    Some(b) => b,
-                    None => continue,
-                }
-            }
-            (None, ClockPolicy::CircuitQuantile(_)) => {
-                unreachable!("campaign precomputes the circuit-level clock")
-            }
+                circuit_clk,
+                config,
+                metrics,
+            )
+        });
+        let Some(behavior) = behavior else {
+            continue;
         };
         if behavior.all_pass() {
             continue;
@@ -515,19 +515,25 @@ pub fn diagnose_one_instance(
             DiagnoserConfig {
                 dictionary: config.dictionary,
             },
-        );
-        return Some(match diagnoser.diagnose_all(&behavior) {
-            Ok(all) => {
-                let n_suspects = all
-                    .first()
-                    .map(|(_, ranking)| ranking.len())
-                    .unwrap_or(0);
+        )
+        .with_cache(cache)
+        .with_metrics(metrics);
+        let built = metrics.time(Phase::Dictionary, || diagnoser.build_dictionary(&behavior));
+        return Some(match built {
+            Ok(dictionary) => {
+                let rankings: Vec<Vec<RankedSite>> = metrics.time(Phase::Rank, || {
+                    ErrorFunction::EXTENDED
+                        .into_iter()
+                        .map(|f| diagnoser.rank(&dictionary, &behavior, f))
+                        .collect()
+                });
+                let n_suspects = rankings.first().map(|r| r.len()).unwrap_or(0);
                 InstanceOutcome {
                     injected: defect.edge,
                     delta: defect.delta,
                     n_patterns: patterns.len(),
                     n_suspects,
-                    rankings: all.into_iter().map(|(_, r)| r).collect(),
+                    rankings,
                 }
             }
             Err(_) => InstanceOutcome {
@@ -540,6 +546,82 @@ pub fn diagnose_one_instance(
         });
     }
     None
+}
+
+/// Chooses the cut-off period per the campaign's [`ClockPolicy`] and
+/// records the behaviour matrix. Returns `None` when a clock sweep never
+/// makes the chip fail (the caller redraws the defect).
+fn observe_behavior(
+    circuit: &Circuit,
+    timing: &CircuitTiming,
+    patterns: &PatternSet,
+    failing_chip: &TimingInstance,
+    circuit_clk: Option<f64>,
+    config: &CampaignConfig,
+    metrics: &MetricsSink,
+) -> Option<BehaviorMatrix> {
+    match (circuit_clk, config.clock) {
+        (Some(clk), _) => Some(BehaviorMatrix::observe_with(
+            circuit,
+            patterns,
+            failing_chip,
+            clk,
+            config.capture,
+        )),
+        (None, ClockPolicy::TestedQuantile(q)) => {
+            let n = config.sta_samples.min(150);
+            metrics.add_samples_simulated((n * patterns.len()) as u64);
+            let samples = tested_delay_samples(circuit, timing, patterns, n, config.seed);
+            let clk = samples.quantile(q);
+            Some(BehaviorMatrix::observe_with(
+                circuit,
+                patterns,
+                failing_chip,
+                clk,
+                config.capture,
+            ))
+        }
+        (None, ClockPolicy::Sweep) => {
+            let n = config.sta_samples.min(150);
+            metrics.add_samples_simulated((n * patterns.len()) as u64);
+            let samples = tested_delay_samples(circuit, timing, patterns, n, config.seed);
+            for (level, &q) in SWEEP_QUANTILES.iter().enumerate() {
+                let clk = samples.quantile(q);
+                let b = BehaviorMatrix::observe_with(
+                    circuit,
+                    patterns,
+                    failing_chip,
+                    clk,
+                    config.capture,
+                );
+                if !b.all_pass() {
+                    // Tighten extra steps (when available): the first
+                    // failing level often exposes only the chip's single
+                    // most critical tested path; going deeper makes more
+                    // of the defect's paths fail, which shrinks the
+                    // ambiguity group of arcs that could explain the
+                    // behaviour.
+                    let extra = (level + config.sweep_extra_steps).min(SWEEP_QUANTILES.len() - 1);
+                    return Some(if extra > level {
+                        let clk2 = samples.quantile(SWEEP_QUANTILES[extra]);
+                        BehaviorMatrix::observe_with(
+                            circuit,
+                            patterns,
+                            failing_chip,
+                            clk2,
+                            config.capture,
+                        )
+                    } else {
+                        b
+                    });
+                }
+            }
+            None
+        }
+        (None, ClockPolicy::CircuitQuantile(_)) => {
+            unreachable!("campaign precomputes the circuit-level clock")
+        }
+    }
 }
 
 #[cfg(test)]
@@ -596,11 +678,39 @@ mod tests {
     }
 
     #[test]
+    fn campaign_is_identical_across_thread_counts() {
+        let c = small_comb();
+        let cfg = CampaignConfig::quick(11);
+        let serial = rayon::ThreadPoolBuilder::new()
+            .num_threads(1)
+            .build()
+            .expect("pool builds")
+            .install(|| run_campaign_on(&c, &cfg))
+            .unwrap();
+        let parallel = rayon::ThreadPoolBuilder::new()
+            .num_threads(4)
+            .build()
+            .expect("pool builds")
+            .install(|| run_campaign_on(&c, &cfg))
+            .unwrap();
+        assert_eq!(serial, parallel, "report must not depend on thread count");
+        assert_eq!(serial.trials, cfg.n_instances);
+        // The shared dictionary cache must actually be exercised.
+        let m = &parallel.metrics;
+        assert!(
+            m.dict_cache_hits + m.dict_cache_misses > 0,
+            "campaign never consulted the dictionary cache"
+        );
+    }
+
+    #[test]
     fn single_instance_outcome_is_coherent() {
         let c = small_comb();
         let library = CellLibrary::default_025um();
         let t = CircuitTiming::characterize(&c, &library, VariationModel::default());
-        let clk = sta::static_mc(&c, &t, 100, 1).clock_at_quantile(0.95);
+        let clk = sta::static_mc(&c, &t, 100, 1)
+            .expect("static MC runs")
+            .clock_at_quantile(0.95);
         let model = SingleDefectModel::paper_section_i(library.nominal_cell_delay());
         let cfg = CampaignConfig::quick(4);
         if let Some(o) = diagnose_one_instance(&c, &t, &model, Some(clk), &cfg, 0) {

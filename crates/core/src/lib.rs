@@ -23,6 +23,11 @@
 //! 4. [`diagnoser`] — the end-to-end [`Diagnoser`](diagnoser::Diagnoser).
 //! 5. [`inject`] / [`evaluate`] — the statistical defect-injection
 //!    campaign and success-rate scoring of Section I (Table I).
+//! 6. [`cache`] / [`metrics`] — campaign-scale machinery: chips fan out
+//!    over a thread pool and share one
+//!    [`DictionaryCache`](cache::DictionaryCache) of Monte-Carlo
+//!    outcomes, with per-phase timers and cache counters surfaced in the
+//!    report.
 //!
 //! ## Example
 //!
@@ -42,6 +47,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod behavior;
+pub mod cache;
 pub mod defect;
 pub mod diagnoser;
 pub mod dictionary;
@@ -50,13 +56,16 @@ pub mod error_fn;
 pub mod evaluate;
 pub mod inject;
 pub mod kselect;
+pub mod metrics;
 pub mod multi_defect;
 pub mod suspects;
 pub mod table;
 
 pub use behavior::{BehaviorMatrix, CaptureModel};
+pub use cache::DictionaryCache;
 pub use defect::{InjectedDefect, SingleDefectModel};
 pub use diagnoser::{Diagnoser, DiagnoserConfig, RankedSite};
 pub use dictionary::{DictionaryConfig, ProbabilisticDictionary, SuspectSignature};
 pub use error::DiagnosisError;
 pub use error_fn::ErrorFunction;
+pub use metrics::{CampaignMetrics, MetricsSink, Phase};

@@ -1,0 +1,233 @@
+//! Campaign observability: per-phase wall-clock timers, dictionary-cache
+//! hit/miss counters and simulated-sample counters.
+//!
+//! A [`MetricsSink`] is the live, thread-safe accumulator threaded
+//! through a campaign (plain relaxed atomics — the counters are
+//! monotonic and independent, no cross-counter invariant is read back
+//! during the run). At the end of the campaign it is frozen into a
+//! [`CampaignMetrics`] snapshot carried by
+//! [`AccuracyReport`](crate::evaluate::AccuracyReport).
+//!
+//! Phase timers are summed across worker threads, so under a parallel
+//! campaign the per-phase totals measure aggregate CPU time and can
+//! exceed [`CampaignMetrics::total_nanos`], which is the single
+//! wall-clock span of the whole campaign.
+
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+/// The instrumented phases of one diagnosis (see
+/// [`crate::inject::diagnose_one_instance_cached`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    /// Test generation through the hypothesized site (ATPG).
+    Patterns,
+    /// Clock selection and behaviour-matrix observation.
+    Observe,
+    /// Suspect pruning plus probabilistic-dictionary construction.
+    Dictionary,
+    /// Error-function scoring of every suspect.
+    Rank,
+}
+
+/// Thread-safe metrics accumulator for one campaign.
+#[derive(Debug, Default)]
+pub struct MetricsSink {
+    patterns_nanos: AtomicU64,
+    observe_nanos: AtomicU64,
+    dictionary_nanos: AtomicU64,
+    rank_nanos: AtomicU64,
+    dict_cache_hits: AtomicU64,
+    dict_cache_misses: AtomicU64,
+    samples_simulated: AtomicU64,
+}
+
+impl MetricsSink {
+    /// A fresh sink with all counters at zero.
+    pub fn new() -> MetricsSink {
+        MetricsSink::default()
+    }
+
+    /// Runs `f`, charging its wall-clock time to `phase`.
+    pub fn time<T>(&self, phase: Phase, f: impl FnOnce() -> T) -> T {
+        let start = Instant::now();
+        let out = f();
+        let nanos = start.elapsed().as_nanos() as u64;
+        let counter = match phase {
+            Phase::Patterns => &self.patterns_nanos,
+            Phase::Observe => &self.observe_nanos,
+            Phase::Dictionary => &self.dictionary_nanos,
+            Phase::Rank => &self.rank_nanos,
+        };
+        counter.fetch_add(nanos, Ordering::Relaxed);
+        out
+    }
+
+    /// Records a dictionary-cache request served without simulation.
+    pub fn record_cache_hit(&self) {
+        self.dict_cache_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a dictionary-cache request that had to simulate.
+    pub fn record_cache_miss(&self) {
+        self.dict_cache_misses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Adds `n` full-circuit dynamic timing simulations (one per
+    /// (pattern, chip sample) pair) to the simulated-sample counter.
+    pub fn add_samples_simulated(&self, n: u64) {
+        self.samples_simulated.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Freezes the counters into a snapshot; `total` is the campaign's
+    /// wall-clock span.
+    pub fn snapshot(&self, total: Duration) -> CampaignMetrics {
+        CampaignMetrics {
+            patterns_nanos: self.patterns_nanos.load(Ordering::Relaxed),
+            observe_nanos: self.observe_nanos.load(Ordering::Relaxed),
+            dictionary_nanos: self.dictionary_nanos.load(Ordering::Relaxed),
+            rank_nanos: self.rank_nanos.load(Ordering::Relaxed),
+            total_nanos: total.as_nanos() as u64,
+            dict_cache_hits: self.dict_cache_hits.load(Ordering::Relaxed),
+            dict_cache_misses: self.dict_cache_misses.load(Ordering::Relaxed),
+            samples_simulated: self.samples_simulated.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Frozen campaign metrics, carried by
+/// [`AccuracyReport`](crate::evaluate::AccuracyReport).
+///
+/// Deliberately excluded from `AccuracyReport`'s equality: two runs of
+/// the same campaign produce identical accuracy numbers but different
+/// timings.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct CampaignMetrics {
+    /// Aggregate nanoseconds in ATPG (summed over threads).
+    pub patterns_nanos: u64,
+    /// Aggregate nanoseconds choosing clocks and observing `B`.
+    pub observe_nanos: u64,
+    /// Aggregate nanoseconds pruning suspects and building dictionaries.
+    pub dictionary_nanos: u64,
+    /// Aggregate nanoseconds ranking suspects.
+    pub rank_nanos: u64,
+    /// Wall-clock nanoseconds of the whole campaign.
+    pub total_nanos: u64,
+    /// Dictionary-cache requests served without simulation.
+    pub dict_cache_hits: u64,
+    /// Dictionary-cache requests that had to simulate at least one bank.
+    pub dict_cache_misses: u64,
+    /// Full-circuit dynamic timing simulations, one per (pattern, chip
+    /// sample) pair, across clock estimation and dictionary builds.
+    pub samples_simulated: u64,
+}
+
+impl CampaignMetrics {
+    /// Cache hit rate in percent (0 when the cache was never queried).
+    pub fn cache_hit_percent(&self) -> f64 {
+        let total = self.dict_cache_hits + self.dict_cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            100.0 * self.dict_cache_hits as f64 / total as f64
+        }
+    }
+
+    /// Renders the metrics as an indented text block for the bench
+    /// binaries.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "  campaign wall clock: {}\n",
+            fmt_nanos(self.total_nanos)
+        ));
+        out.push_str(&format!(
+            "  phase cpu (summed over threads): patterns {} | observe {} | dictionary {} | rank {}\n",
+            fmt_nanos(self.patterns_nanos),
+            fmt_nanos(self.observe_nanos),
+            fmt_nanos(self.dictionary_nanos),
+            fmt_nanos(self.rank_nanos),
+        ));
+        out.push_str(&format!(
+            "  dictionary cache: {} hits / {} misses ({:.0}% hit rate); {} samples simulated",
+            self.dict_cache_hits,
+            self.dict_cache_misses,
+            self.cache_hit_percent(),
+            self.samples_simulated,
+        ));
+        out
+    }
+}
+
+fn fmt_nanos(nanos: u64) -> String {
+    let s = nanos as f64 / 1e9;
+    if s >= 1.0 {
+        format!("{s:.2} s")
+    } else if s >= 1e-3 {
+        format!("{:.1} ms", s * 1e3)
+    } else {
+        format!("{:.0} µs", s * 1e6)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timers_accumulate_per_phase() {
+        let sink = MetricsSink::new();
+        let x = sink.time(Phase::Patterns, || 7);
+        assert_eq!(x, 7);
+        sink.time(Phase::Rank, || std::thread::sleep(Duration::from_millis(2)));
+        let snap = sink.snapshot(Duration::from_millis(5));
+        assert!(snap.rank_nanos >= 2_000_000);
+        assert_eq!(snap.observe_nanos, 0);
+        assert_eq!(snap.total_nanos, 5_000_000);
+    }
+
+    #[test]
+    fn cache_counters_and_hit_rate() {
+        let sink = MetricsSink::new();
+        sink.record_cache_hit();
+        sink.record_cache_hit();
+        sink.record_cache_miss();
+        sink.add_samples_simulated(120);
+        let snap = sink.snapshot(Duration::ZERO);
+        assert_eq!(snap.dict_cache_hits, 2);
+        assert_eq!(snap.dict_cache_misses, 1);
+        assert_eq!(snap.samples_simulated, 120);
+        assert!((snap.cache_hit_percent() - 200.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn render_mentions_cache_and_phases() {
+        let snap = CampaignMetrics {
+            total_nanos: 1_500_000_000,
+            dict_cache_hits: 5,
+            ..CampaignMetrics::default()
+        };
+        let text = snap.render();
+        assert!(text.contains("1.50 s"));
+        assert!(text.contains("5 hits"));
+        assert!(text.contains("dictionary"));
+    }
+
+    #[test]
+    fn snapshot_roundtrips_through_json() {
+        let snap = CampaignMetrics {
+            patterns_nanos: 1,
+            observe_nanos: 2,
+            dictionary_nanos: 3,
+            rank_nanos: 4,
+            total_nanos: 10,
+            dict_cache_hits: 5,
+            dict_cache_misses: 6,
+            samples_simulated: 7,
+        };
+        let json = serde_json::to_string(&snap).unwrap();
+        let back: CampaignMetrics = serde_json::from_str(&json).unwrap();
+        assert_eq!(snap, back);
+    }
+}

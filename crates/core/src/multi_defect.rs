@@ -12,9 +12,7 @@ use crate::defect::SingleDefectModel;
 use crate::diagnoser::{Diagnoser, DiagnoserConfig};
 use crate::error_fn::ErrorFunction;
 use crate::evaluate::is_success;
-use crate::inject::{
-    patterns_through_site, tested_delay_samples, CampaignConfig, SWEEP_QUANTILES,
-};
+use crate::inject::{patterns_through_site, tested_delay_samples, CampaignConfig, SWEEP_QUANTILES};
 use crate::{BehaviorMatrix, DiagnosisError};
 use sdd_netlist::{Circuit, EdgeId};
 use sdd_timing::{CellLibrary, CircuitTiming, TimingInstance};
@@ -139,13 +137,8 @@ fn observe_multi(
         let defects: Vec<_> = (0..m)
             .map(|d| defect_model.sample_defect(circuit, base_seed.wrapping_add(d as u64 * 31)))
             .collect();
-        let patterns = patterns_through_site_cfg(
-            circuit,
-            timing,
-            defects[0].edge,
-            config,
-            base_seed,
-        );
+        let patterns =
+            patterns_through_site_cfg(circuit, timing, defects[0].edge, config, base_seed);
         if patterns.is_empty() {
             continue;
         }
@@ -162,19 +155,12 @@ fn observe_multi(
         );
         for (level, &q) in SWEEP_QUANTILES.iter().enumerate() {
             let clk = samples.quantile(q);
-            let b =
-                BehaviorMatrix::observe_with(circuit, &patterns, &failing, clk, config.capture);
+            let b = BehaviorMatrix::observe_with(circuit, &patterns, &failing, clk, config.capture);
             if !b.all_pass() {
-                let extra =
-                    (level + config.sweep_extra_steps).min(SWEEP_QUANTILES.len() - 1);
+                let extra = (level + config.sweep_extra_steps).min(SWEEP_QUANTILES.len() - 1);
                 let clk = samples.quantile(SWEEP_QUANTILES[extra]);
-                let b = BehaviorMatrix::observe_with(
-                    circuit,
-                    &patterns,
-                    &failing,
-                    clk,
-                    config.capture,
-                );
+                let b =
+                    BehaviorMatrix::observe_with(circuit, &patterns, &failing, clk, config.capture);
                 return Some((defects.iter().map(|d| d.edge).collect(), patterns, b));
             }
         }

@@ -56,7 +56,10 @@ mod tests {
             ],
         );
         let inj = EdgeId::from_index(0);
-        let hit = vec![RankedSite { edge: inj, score: 1.0 }];
+        let hit = vec![RankedSite {
+            edge: inj,
+            score: 1.0,
+        }];
         let miss = vec![RankedSite {
             edge: EdgeId::from_index(9),
             score: 1.0,

@@ -171,7 +171,8 @@ fn serde_roundtrips() {
         .unwrap()
         .to_combinational()
         .unwrap();
-    let t = CircuitTiming::characterize(&c, &CellLibrary::default_025um(), VariationModel::default());
+    let t =
+        CircuitTiming::characterize(&c, &CellLibrary::default_025um(), VariationModel::default());
     let patterns = sdd_atpg::PatternSet::random(&c, 3, 1);
     let suspects: Vec<EdgeId> = c.edge_ids().take(4).collect();
     let dict = ProbabilisticDictionary::build(

@@ -147,7 +147,9 @@ impl CircuitBuilder {
     ///
     /// Panics if `name` is already defined.
     pub fn dff_placeholder(&mut self, name: &str) -> NodeId {
-        let id = self.add_node(name, GateKind::Dff).expect("duplicate dff name");
+        let id = self
+            .add_node(name, GateKind::Dff)
+            .expect("duplicate dff name");
         self.pending.push(id);
         id
     }
@@ -264,7 +266,10 @@ mod tests {
         let g2 = b.gate("g2", GateKind::And, &[g1, a]).unwrap();
         b.set_fanins(g1, &[g2, a]).unwrap();
         b.output(g2);
-        assert!(matches!(b.finish().unwrap_err(), NetlistError::Cyclic { .. }));
+        assert!(matches!(
+            b.finish().unwrap_err(),
+            NetlistError::Cyclic { .. }
+        ));
     }
 
     #[test]

@@ -224,8 +224,11 @@ impl Circuit {
         for id in self.node_ids() {
             let node = self.node(id);
             if node.kind.is_logic() {
-                let fanins: Vec<NodeId> =
-                    node.fanins.iter().map(|f| map[f.index()].unwrap()).collect();
+                let fanins: Vec<NodeId> = node
+                    .fanins
+                    .iter()
+                    .map(|f| map[f.index()].unwrap())
+                    .collect();
                 b.set_fanins(map[id.index()].unwrap(), &fanins)?;
             }
         }
@@ -309,10 +312,9 @@ impl Circuit {
         let mut edges = Vec::new();
         let mut fanouts: Vec<Vec<EdgeId>> = vec![Vec::new(); n];
         let mut nodes = nodes;
-        for ix in 0..n {
-            let fanins = nodes[ix].fanins.clone();
-            let mut fanin_edges = Vec::with_capacity(fanins.len());
-            for (pin, &from) in fanins.iter().enumerate() {
+        for (ix, node) in nodes.iter_mut().enumerate() {
+            let mut fanin_edges = Vec::with_capacity(node.fanins.len());
+            for (pin, &from) in node.fanins.iter().enumerate() {
                 let eid = EdgeId::from_index(edges.len());
                 edges.push(Edge {
                     from,
@@ -322,7 +324,7 @@ impl Circuit {
                 fanouts[from.index()].push(eid);
                 fanin_edges.push(eid);
             }
-            nodes[ix].fanin_edges = fanin_edges;
+            node.fanin_edges = fanin_edges;
         }
         // Kahn topological sort. Flip-flop fanin arcs do not create
         // ordering dependencies (a DFF's output is a source).

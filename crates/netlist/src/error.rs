@@ -42,7 +42,10 @@ impl fmt::Display for NetlistError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             NetlistError::BadArity { node, kind, got } => {
-                write!(f, "gate `{node}` of kind {kind} has invalid fanin count {got}")
+                write!(
+                    f,
+                    "gate `{node}` of kind {kind} has invalid fanin count {got}"
+                )
             }
             NetlistError::DuplicateName(name) => write!(f, "signal `{name}` defined twice"),
             NetlistError::UndefinedName(name) => write!(f, "signal `{name}` is not defined"),

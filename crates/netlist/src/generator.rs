@@ -351,8 +351,7 @@ mod tests {
             seed: 11,
         };
         let c = generate(&cfg).unwrap();
-        let observed: std::collections::HashSet<_> =
-            c.primary_outputs().iter().copied().collect();
+        let observed: std::collections::HashSet<_> = c.primary_outputs().iter().copied().collect();
         let dangling = c
             .node_ids()
             .filter(|&id| {

@@ -221,10 +221,7 @@ mod tests {
     fn transitions_classified() {
         assert_eq!(Transition::from_pair(false, true), Transition::Rise);
         assert_eq!(Transition::from_pair(true, false), Transition::Fall);
-        assert_eq!(
-            Transition::from_pair(true, true),
-            Transition::Stable(true)
-        );
+        assert_eq!(Transition::from_pair(true, true), Transition::Stable(true));
         assert!(Transition::Rise.is_event());
         assert!(!Transition::Stable(false).is_event());
         assert!(Transition::Rise.final_value());

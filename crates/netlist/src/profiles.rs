@@ -47,14 +47,70 @@ impl BenchmarkProfile {
 /// Profiles of the eight ISCAS-89 circuits evaluated in Table I of the
 /// paper, in the paper's order.
 pub const TABLE1_PROFILES: [BenchmarkProfile; 8] = [
-    BenchmarkProfile { name: "s1196", inputs: 14, outputs: 14, dffs: 18, gates: 529, depth: 24 },
-    BenchmarkProfile { name: "s1238", inputs: 14, outputs: 14, dffs: 18, gates: 508, depth: 22 },
-    BenchmarkProfile { name: "s1423", inputs: 17, outputs: 5, dffs: 74, gates: 657, depth: 59 },
-    BenchmarkProfile { name: "s1488", inputs: 8, outputs: 19, dffs: 6, gates: 653, depth: 17 },
-    BenchmarkProfile { name: "s5378", inputs: 35, outputs: 49, dffs: 179, gates: 2779, depth: 25 },
-    BenchmarkProfile { name: "s9234", inputs: 36, outputs: 39, dffs: 211, gates: 5597, depth: 58 },
-    BenchmarkProfile { name: "s13207", inputs: 62, outputs: 152, dffs: 638, gates: 7951, depth: 59 },
-    BenchmarkProfile { name: "s15850", inputs: 77, outputs: 150, dffs: 534, gates: 9772, depth: 82 },
+    BenchmarkProfile {
+        name: "s1196",
+        inputs: 14,
+        outputs: 14,
+        dffs: 18,
+        gates: 529,
+        depth: 24,
+    },
+    BenchmarkProfile {
+        name: "s1238",
+        inputs: 14,
+        outputs: 14,
+        dffs: 18,
+        gates: 508,
+        depth: 22,
+    },
+    BenchmarkProfile {
+        name: "s1423",
+        inputs: 17,
+        outputs: 5,
+        dffs: 74,
+        gates: 657,
+        depth: 59,
+    },
+    BenchmarkProfile {
+        name: "s1488",
+        inputs: 8,
+        outputs: 19,
+        dffs: 6,
+        gates: 653,
+        depth: 17,
+    },
+    BenchmarkProfile {
+        name: "s5378",
+        inputs: 35,
+        outputs: 49,
+        dffs: 179,
+        gates: 2779,
+        depth: 25,
+    },
+    BenchmarkProfile {
+        name: "s9234",
+        inputs: 36,
+        outputs: 39,
+        dffs: 211,
+        gates: 5597,
+        depth: 58,
+    },
+    BenchmarkProfile {
+        name: "s13207",
+        inputs: 62,
+        outputs: 152,
+        dffs: 638,
+        gates: 7951,
+        depth: 59,
+    },
+    BenchmarkProfile {
+        name: "s15850",
+        inputs: 77,
+        outputs: 150,
+        dffs: 534,
+        gates: 9772,
+        depth: 82,
+    },
 ];
 
 /// A small profile handy for fast tests and examples (s27-sized).
@@ -102,7 +158,11 @@ mod tests {
     #[test]
     fn profiles_have_positive_sizes() {
         for p in TABLE1_PROFILES {
-            assert!(p.inputs > 0 && p.outputs > 0 && p.gates > 0 && p.depth > 1, "{}", p.name);
+            assert!(
+                p.inputs > 0 && p.outputs > 0 && p.gates > 0 && p.depth > 1,
+                "{}",
+                p.name
+            );
         }
     }
 

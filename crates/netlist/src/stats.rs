@@ -106,10 +106,7 @@ impl CircuitStats {
             },
             max_fanout,
             dangling_gates: dangling,
-            kind_counts: kinds
-                .into_iter()
-                .map(|(k, n)| (k.to_string(), n))
-                .collect(),
+            kind_counts: kinds.into_iter().map(|(k, n)| (k.to_string(), n)).collect(),
         }
     }
 }
@@ -149,10 +146,7 @@ mod tests {
         assert_eq!(s.gates, c.num_gates());
         assert_eq!(s.edges, c.num_edges());
         assert_eq!(s.depth, c.depth());
-        assert_eq!(
-            s.kind_counts.iter().map(|(_, n)| n).sum::<usize>(),
-            s.gates
-        );
+        assert_eq!(s.kind_counts.iter().map(|(_, n)| n).sum::<usize>(), s.gates);
         assert!(s.avg_fanin >= 1.0 && s.avg_fanin <= 4.0);
     }
 
@@ -162,7 +156,11 @@ mod tests {
         // fanin ~2, bounded dangling logic.
         let c = generate(&profiles::by_name("s1196").unwrap().to_config(1)).unwrap();
         let s = CircuitStats::of(&c);
-        assert!(s.avg_fanin > 1.5 && s.avg_fanin < 2.8, "fanin {}", s.avg_fanin);
+        assert!(
+            s.avg_fanin > 1.5 && s.avg_fanin < 2.8,
+            "fanin {}",
+            s.avg_fanin
+        );
         assert!(
             s.dangling_gates * 10 <= s.gates,
             "{} of {} gates dangling",

@@ -52,7 +52,11 @@ impl GaussianArrival {
         let a2 = self.variance + other.variance;
         if a2 <= 1e-24 {
             // Degenerate: deterministic max.
-            return if self.mean >= other.mean { *self } else { *other };
+            return if self.mean >= other.mean {
+                *self
+            } else {
+                *other
+            };
         }
         let a = a2.sqrt();
         let alpha = (self.mean - other.mean) / a;
@@ -205,8 +209,14 @@ mod tests {
 
     #[test]
     fn clark_max_dominates_both_means() {
-        let x = GaussianArrival { mean: 1.0, variance: 0.04 };
-        let y = GaussianArrival { mean: 1.1, variance: 0.04 };
+        let x = GaussianArrival {
+            mean: 1.0,
+            variance: 0.04,
+        };
+        let y = GaussianArrival {
+            mean: 1.1,
+            variance: 0.04,
+        };
         let m = x.max_clark(&y);
         assert!(m.mean >= 1.1);
         assert!(m.mean < 1.5);
@@ -219,8 +229,14 @@ mod tests {
 
     #[test]
     fn clark_max_with_dominant_input_is_identity_like() {
-        let x = GaussianArrival { mean: 10.0, variance: 0.01 };
-        let y = GaussianArrival { mean: 1.0, variance: 0.01 };
+        let x = GaussianArrival {
+            mean: 10.0,
+            variance: 0.01,
+        };
+        let y = GaussianArrival {
+            mean: 1.0,
+            variance: 0.01,
+        };
         let m = x.max_clark(&y);
         assert!((m.mean - 10.0).abs() < 1e-6);
         assert!((m.variance - 0.01).abs() < 1e-6);
@@ -239,7 +255,7 @@ mod tests {
             VariationModel::new(0.0, 0.08),
         );
         let analytic = analyze(&c, &t).unwrap();
-        let mc = sta::static_mc(&c, &t, 3000, 11);
+        let mc = sta::static_mc(&c, &t, 3000, 11).expect("static MC runs");
         let mc_mean = mc.circuit_delay.mean();
         let rel = (analytic.circuit_delay.mean - mc_mean).abs() / mc_mean;
         assert!(
@@ -253,11 +269,17 @@ mod tests {
 
     #[test]
     fn critical_probability_analytic() {
-        let a = GaussianArrival { mean: 1.0, variance: 0.01 };
+        let a = GaussianArrival {
+            mean: 1.0,
+            variance: 0.01,
+        };
         assert!((a.critical_probability(1.0) - 0.5).abs() < 1e-9);
         assert!(a.critical_probability(0.5) > 0.999);
         assert!(a.critical_probability(1.5) < 0.001);
-        let det = GaussianArrival { mean: 1.0, variance: 0.0 };
+        let det = GaussianArrival {
+            mean: 1.0,
+            variance: 0.0,
+        };
         assert_eq!(det.critical_probability(0.9), 1.0);
         assert_eq!(det.critical_probability(1.1), 0.0);
     }

@@ -87,7 +87,11 @@ impl Dist {
             }
             Dist::Triangular { lo, mode, hi } => {
                 let u: f64 = rng.gen();
-                let c = if hi > lo { (mode - lo) / (hi - lo) } else { 0.0 };
+                let c = if hi > lo {
+                    (mode - lo) / (hi - lo)
+                } else {
+                    0.0
+                };
                 if u < c {
                     lo + ((hi - lo) * (mode - lo) * u).sqrt()
                 } else {
@@ -125,8 +129,14 @@ impl Dist {
     pub fn scaled(&self, k: f64) -> Dist {
         match *self {
             Dist::Deterministic(v) => Dist::Deterministic(v * k),
-            Dist::Uniform { lo, hi } => Dist::Uniform { lo: lo * k, hi: hi * k },
-            Dist::Normal { mean, std } => Dist::Normal { mean: mean * k, std: std * k },
+            Dist::Uniform { lo, hi } => Dist::Uniform {
+                lo: lo * k,
+                hi: hi * k,
+            },
+            Dist::Normal { mean, std } => Dist::Normal {
+                mean: mean * k,
+                std: std * k,
+            },
             Dist::TruncatedNormal { mean, std, lo, hi } => Dist::TruncatedNormal {
                 mean: mean * k,
                 std: std * k,
@@ -186,7 +196,10 @@ mod tests {
 
     #[test]
     fn normal_moments() {
-        let d = Dist::Normal { mean: 10.0, std: 2.0 };
+        let d = Dist::Normal {
+            mean: 10.0,
+            std: 2.0,
+        };
         let (m, s) = empirical(d, 50_000);
         assert!((m - 10.0).abs() < 0.05, "mean {m}");
         assert!((s - 2.0).abs() < 0.05, "std {s}");
@@ -194,7 +207,10 @@ mod tests {
 
     #[test]
     fn normal_clamped_at_zero() {
-        let d = Dist::Normal { mean: 0.1, std: 1.0 };
+        let d = Dist::Normal {
+            mean: 0.1,
+            std: 1.0,
+        };
         let mut rng = ChaCha8Rng::seed_from_u64(7);
         for _ in 0..10_000 {
             assert!(d.sample(&mut rng) >= 0.0);
@@ -203,7 +219,12 @@ mod tests {
 
     #[test]
     fn truncated_normal_respects_bounds() {
-        let d = Dist::TruncatedNormal { mean: 5.0, std: 3.0, lo: 4.0, hi: 6.0 };
+        let d = Dist::TruncatedNormal {
+            mean: 5.0,
+            std: 3.0,
+            lo: 4.0,
+            hi: 6.0,
+        };
         let mut rng = ChaCha8Rng::seed_from_u64(9);
         for _ in 0..10_000 {
             let v = d.sample(&mut rng);
@@ -213,7 +234,11 @@ mod tests {
 
     #[test]
     fn triangular_moments() {
-        let d = Dist::Triangular { lo: 0.0, mode: 1.0, hi: 2.0 };
+        let d = Dist::Triangular {
+            lo: 0.0,
+            mode: 1.0,
+            hi: 2.0,
+        };
         let (m, s) = empirical(d, 50_000);
         assert!((m - 1.0).abs() < 0.02, "mean {m}");
         assert!((s - d.std()).abs() < 0.02, "std {s}");
@@ -230,7 +255,11 @@ mod tests {
 
     #[test]
     fn scaled_scales_moments() {
-        let d = Dist::Normal { mean: 2.0, std: 0.4 }.scaled(3.0);
+        let d = Dist::Normal {
+            mean: 2.0,
+            std: 0.4,
+        }
+        .scaled(3.0);
         assert!((d.mean() - 6.0).abs() < 1e-12);
         assert!((d.std() - 1.2).abs() < 1e-12);
     }
@@ -248,7 +277,10 @@ mod tests {
 
     #[test]
     fn sampling_is_deterministic_per_seed() {
-        let d = Dist::Normal { mean: 1.0, std: 0.1 };
+        let d = Dist::Normal {
+            mean: 1.0,
+            std: 0.1,
+        };
         let mut a = ChaCha8Rng::seed_from_u64(5);
         let mut b = ChaCha8Rng::seed_from_u64(5);
         for _ in 0..100 {

@@ -182,6 +182,7 @@ impl DefectCone {
     /// # Panics
     ///
     /// Panics if buffer lengths mismatch the circuit.
+    #[allow(clippy::too_many_arguments)]
     pub fn apply(
         &self,
         circuit: &Circuit,
@@ -192,8 +193,16 @@ impl DefectCone {
         scratch: &mut [f64],
         out: &mut Vec<f64>,
     ) {
-        assert_eq!(baseline.len(), circuit.num_nodes(), "baseline length mismatch");
-        assert_eq!(scratch.len(), circuit.num_nodes(), "scratch length mismatch");
+        assert_eq!(
+            baseline.len(),
+            circuit.num_nodes(),
+            "baseline length mismatch"
+        );
+        assert_eq!(
+            scratch.len(),
+            circuit.num_nodes(),
+            "scratch length mismatch"
+        );
         for &id in &self.cone_topo {
             if !transitions[id.index()].is_event() {
                 scratch[id.index()] = NO_EVENT;
@@ -254,8 +263,7 @@ mod tests {
         let y = b.gate("y", GateKind::And, &[g1, g2]).unwrap();
         b.output(y);
         let circuit = b.finish().unwrap();
-        let timing =
-            CircuitTiming::from_means(vec![1.0, 2.0, 0.5, 0.5], VariationModel::none());
+        let timing = CircuitTiming::from_means(vec![1.0, 2.0, 0.5, 0.5], VariationModel::none());
         (circuit, timing)
     }
 
@@ -305,7 +313,15 @@ mod tests {
         for eid in c.edge_ids().take(40) {
             let delta = 0.33;
             let cone = DefectCone::new(&c, eid);
-            cone.apply(&c, &trans, &instance, &baseline, delta, &mut scratch, &mut got);
+            cone.apply(
+                &c,
+                &trans,
+                &instance,
+                &baseline,
+                delta,
+                &mut scratch,
+                &mut got,
+            );
             // Reference: full recompute on a defective instance.
             let defective = instance.with_extra_delay(eid, delta);
             let full = transition_arrivals(&c, &trans, &defective);

@@ -15,6 +15,9 @@ pub enum TimingError {
     NoSuchNode(usize),
     /// An analysis was requested with zero Monte-Carlo samples.
     ZeroSamples,
+    /// The circuit has no primary outputs, so arrival-time statistics
+    /// (and the circuit delay `Δ(C) = max_i Ar(o_i)`) are undefined.
+    NoOutputs,
     /// The requested path does not exist (e.g. no path through the site).
     NoPath {
         /// Human-readable description of the missing path.
@@ -31,6 +34,12 @@ impl fmt::Display for TimingError {
             TimingError::NoSuchEdge(ix) => write!(f, "edge index {ix} out of range"),
             TimingError::NoSuchNode(ix) => write!(f, "node index {ix} out of range"),
             TimingError::ZeroSamples => write!(f, "monte-carlo sample count must be positive"),
+            TimingError::NoOutputs => {
+                write!(
+                    f,
+                    "circuit has no primary outputs; circuit delay is undefined"
+                )
+            }
             TimingError::NoPath { what } => write!(f, "no path exists: {what}"),
         }
     }

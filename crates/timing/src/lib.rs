@@ -36,7 +36,7 @@
 //! let circuit = generate(&GeneratorConfig::small("demo", 1))?.to_combinational()?;
 //! let lib = CellLibrary::default_025um();
 //! let timing = CircuitTiming::characterize(&circuit, &lib, VariationModel::default());
-//! let sta = sta::static_mc(&circuit, &timing, 200, 42);
+//! let sta = sta::static_mc(&circuit, &timing, 200, 42)?;
 //! assert!(sta.circuit_delay.mean() > 0.0);
 //! # Ok(())
 //! # }

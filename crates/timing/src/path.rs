@@ -99,8 +99,7 @@ impl Path {
                     .map(|&e| {
                         let mean = timing.edge_mean(e);
                         let l = standard_normal(&mut rng);
-                        (mean * (1.0 + var.global_frac * g + var.local_frac * l))
-                            .max(mean * 0.05)
+                        (mean * (1.0 + var.global_frac * g + var.local_frac * l)).max(mean * 0.05)
                     })
                     .sum()
             })
@@ -191,18 +190,7 @@ pub fn k_longest_through_edge(
     combos.truncate(k);
     Ok(combos
         .into_iter()
-        .map(|(_, i, j)| {
-            assemble(
-                circuit,
-                &prefixes,
-                &suffixes,
-                e.from(),
-                i,
-                edge,
-                e.to(),
-                j,
-            )
-        })
+        .map(|(_, i, j)| assemble(circuit, &prefixes, &suffixes, e.from(), i, edge, e.to(), j))
         .collect())
 }
 
@@ -286,7 +274,10 @@ fn forward_top_k(circuit: &Circuit, timing: &CircuitTiming, k: usize) -> Vec<Vec
     for &id in circuit.topo_order() {
         let node = circuit.node(id);
         if node.kind() == GateKind::Input {
-            table[id.index()].push(Entry { len: 0.0, link: None });
+            table[id.index()].push(Entry {
+                len: 0.0,
+                link: None,
+            });
             continue;
         }
         let mut list: Vec<Entry> = Vec::new();
@@ -320,7 +311,10 @@ fn backward_top_k(circuit: &Circuit, timing: &CircuitTiming, k: usize) -> Vec<Ve
     for &id in circuit.topo_order().iter().rev() {
         let mut list: Vec<Entry> = Vec::new();
         if is_output[id.index()] {
-            list.push(Entry { len: 0.0, link: None });
+            list.push(Entry {
+                len: 0.0,
+                link: None,
+            });
         }
         for &e in circuit.fanout_edges(id) {
             let to = circuit.edge(e).to();
@@ -343,12 +337,7 @@ fn backward_top_k(circuit: &Circuit, timing: &CircuitTiming, k: usize) -> Vec<Ve
 
 /// Walks prefix links back from `(node, rank)` and returns nodes in
 /// source-to-`node` order.
-fn walk_back(
-    circuit: &Circuit,
-    prefixes: &[Vec<Entry>],
-    node: NodeId,
-    rank: usize,
-) -> Vec<NodeId> {
+fn walk_back(circuit: &Circuit, prefixes: &[Vec<Entry>], node: NodeId, rank: usize) -> Vec<NodeId> {
     let _ = circuit;
     let mut rev = vec![node];
     let mut cur = prefixes[node.index()][rank];
@@ -480,10 +469,8 @@ mod tests {
     #[test]
     fn length_samples_center_on_mean() {
         let (c, _) = diamond();
-        let t = CircuitTiming::from_means(
-            vec![3.0, 1.0, 0.5, 0.5],
-            VariationModel::new(0.05, 0.05),
-        );
+        let t =
+            CircuitTiming::from_means(vec![3.0, 1.0, 0.5, 0.5], VariationModel::new(0.05, 0.05));
         let p = longest_path(&c, &t).unwrap();
         let s = p.length_samples(&t, 4000, 9);
         assert!((s.mean() - 3.5).abs() < 0.05, "mean {}", s.mean());
@@ -525,17 +512,14 @@ mod tests {
 
     #[test]
     fn deep_k_longest_is_consistent() {
-        use sdd_netlist::generator::{generate, GeneratorConfig};
         use crate::CellLibrary;
+        use sdd_netlist::generator::{generate, GeneratorConfig};
         let c = generate(&GeneratorConfig::small("kl", 13))
             .unwrap()
             .to_combinational()
             .unwrap();
-        let t = CircuitTiming::characterize(
-            &c,
-            &CellLibrary::default_025um(),
-            VariationModel::none(),
-        );
+        let t =
+            CircuitTiming::characterize(&c, &CellLibrary::default_025um(), VariationModel::none());
         for eid in c.edge_ids().take(20) {
             let Ok(paths) = k_longest_through_edge(&c, &t, eid, 4) else {
                 continue;

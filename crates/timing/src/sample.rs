@@ -49,8 +49,7 @@ impl Samples {
             return 0.0;
         }
         let m = self.mean();
-        (self.values.iter().map(|v| (v - m).powi(2)).sum::<f64>() / self.values.len() as f64)
-            .sqrt()
+        (self.values.iter().map(|v| (v - m).powi(2)).sum::<f64>() / self.values.len() as f64).sqrt()
     }
 
     /// Minimum sample (`+∞` for an empty set).
@@ -73,7 +72,10 @@ impl Samples {
     /// Panics if the sample set is empty or `q` is outside `[0, 1]`.
     pub fn quantile(&self, q: f64) -> f64 {
         assert!(!self.values.is_empty(), "quantile of empty sample set");
-        assert!((0.0..=1.0).contains(&q), "quantile order {q} outside [0, 1]");
+        assert!(
+            (0.0..=1.0).contains(&q),
+            "quantile order {q} outside [0, 1]"
+        );
         let mut sorted = self.values.clone();
         sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN sample"));
         let ix = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len()) - 1;

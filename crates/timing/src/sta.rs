@@ -5,7 +5,7 @@
 //! arrival-time random variables `Ar(o_i)`, estimated by simulating many
 //! manufactured chip instances.
 
-use crate::{CircuitTiming, Samples, TimingInstance};
+use crate::{CircuitTiming, Samples, TimingError, TimingInstance};
 use rayon::prelude::*;
 use sdd_netlist::{Circuit, GateKind, NodeId};
 
@@ -39,14 +39,31 @@ impl StaResult {
 ///
 /// Panics if the circuit is sequential.
 pub fn arrival_times(circuit: &Circuit, instance: &TimingInstance) -> Vec<f64> {
+    let mut arr = vec![0.0f64; circuit.num_nodes()];
+    arrival_times_into(circuit, instance, &mut arr);
+    arr
+}
+
+/// Like [`arrival_times`], but writes into a caller-provided buffer so
+/// Monte-Carlo loops can reuse one allocation across instances.
+///
+/// # Panics
+///
+/// Panics if the circuit is sequential or `arr.len() != num_nodes()`.
+pub fn arrival_times_into(circuit: &Circuit, instance: &TimingInstance, arr: &mut [f64]) {
     assert!(
         circuit.is_combinational(),
         "static timing requires a combinational circuit"
     );
-    let mut arr = vec![0.0f64; circuit.num_nodes()];
+    assert_eq!(
+        arr.len(),
+        circuit.num_nodes(),
+        "arrival buffer must have one slot per node"
+    );
     for &id in circuit.topo_order() {
         let node = circuit.node(id);
         if node.kind() == GateKind::Input {
+            arr[id.index()] = 0.0;
             continue;
         }
         let mut best = 0.0f64;
@@ -58,7 +75,6 @@ pub fn arrival_times(circuit: &Circuit, instance: &TimingInstance) -> Vec<f64> {
         }
         arr[id.index()] = best;
     }
-    arr
 }
 
 /// The static arrival time at one node for one instance.
@@ -66,13 +82,26 @@ pub fn node_arrival(circuit: &Circuit, instance: &TimingInstance, node: NodeId) 
     arrival_times(circuit, instance)[node.index()]
 }
 
+/// Samples per parallel work unit of [`static_mc`]. Fixed (rather than
+/// derived from the thread count) so results are bit-identical no matter
+/// how the chunks are scheduled.
+const MC_CHUNK: usize = 32;
+
 /// Runs Monte-Carlo static statistical timing analysis with `n_samples`
 /// manufactured instances drawn from `timing` (seeded, reproducible,
 /// parallelized over instances).
 ///
-/// # Panics
+/// Instances are simulated in fixed-size chunks; each chunk reuses one
+/// arrival buffer and writes its output-major block directly, so the
+/// working set is `O(outputs × samples)` and the per-sample hot loop
+/// performs no allocation.
 ///
-/// Panics if the circuit is sequential or `n_samples == 0`.
+/// # Errors
+///
+/// * [`TimingError::SequentialCircuit`] — apply the scan cut first.
+/// * [`TimingError::ZeroSamples`] — `n_samples == 0`.
+/// * [`TimingError::NoOutputs`] — the circuit has no primary outputs, so
+///   `Δ(C) = max_i Ar(o_i)` is undefined (the max over an empty set).
 ///
 /// # Example
 ///
@@ -84,7 +113,7 @@ pub fn node_arrival(circuit: &Circuit, instance: &TimingInstance, node: NodeId) 
 /// let c = generate(&GeneratorConfig::small("t", 1))?.to_combinational()?;
 /// let timing = CircuitTiming::characterize(
 ///     &c, &CellLibrary::default_025um(), VariationModel::default());
-/// let result = sta::static_mc(&c, &timing, 128, 7);
+/// let result = sta::static_mc(&c, &timing, 128, 7)?;
 /// let clk = result.clock_at_quantile(0.95);
 /// assert!(result.circuit_delay.critical_probability(clk) <= 0.05 + 1e-9);
 /// # Ok(())
@@ -95,31 +124,58 @@ pub fn static_mc(
     timing: &CircuitTiming,
     n_samples: usize,
     seed: u64,
-) -> StaResult {
-    assert!(n_samples > 0, "monte-carlo sample count must be positive");
+) -> Result<StaResult, TimingError> {
+    if !circuit.is_combinational() {
+        return Err(TimingError::SequentialCircuit);
+    }
+    if n_samples == 0 {
+        return Err(TimingError::ZeroSamples);
+    }
     let outputs = circuit.primary_outputs();
-    let per_sample: Vec<Vec<f64>> = (0..n_samples)
+    if outputs.is_empty() {
+        return Err(TimingError::NoOutputs);
+    }
+    let n_chunks = n_samples.div_ceil(MC_CHUNK);
+    // Each chunk yields its output-major block `arrivals[o][j]`
+    // (flattened as `o * chunk_len + j`) plus the per-sample max, so no
+    // sample-major intermediate ever exists and no transpose pass is
+    // needed afterwards.
+    let blocks: Vec<(Vec<f64>, Vec<f64>)> = (0..n_chunks)
         .into_par_iter()
-        .map(|i| {
-            let instance = timing.sample_instance_indexed(seed, i as u64);
-            let arr = arrival_times(circuit, &instance);
-            outputs.iter().map(|o| arr[o.index()]).collect()
+        .map(|chunk| {
+            let lo = chunk * MC_CHUNK;
+            let hi = ((chunk + 1) * MC_CHUNK).min(n_samples);
+            let len = hi - lo;
+            let mut block = vec![0.0f64; outputs.len() * len];
+            let mut delta = Vec::with_capacity(len);
+            let mut arr = vec![0.0f64; circuit.num_nodes()];
+            for (j, i) in (lo..hi).enumerate() {
+                let instance = timing.sample_instance_indexed(seed, i as u64);
+                arrival_times_into(circuit, &instance, &mut arr);
+                let mut worst = f64::NEG_INFINITY;
+                for (o, out) in outputs.iter().enumerate() {
+                    let v = arr[out.index()];
+                    block[o * len + j] = v;
+                    worst = worst.max(v);
+                }
+                delta.push(worst);
+            }
+            (block, delta)
         })
         .collect();
     let mut output_arrivals: Vec<Vec<f64>> = vec![Vec::with_capacity(n_samples); outputs.len()];
     let mut delta = Vec::with_capacity(n_samples);
-    for row in &per_sample {
-        let mut worst = f64::NEG_INFINITY;
-        for (o, &v) in row.iter().enumerate() {
-            output_arrivals[o].push(v);
-            worst = worst.max(v);
+    for (block, chunk_delta) in blocks {
+        let len = chunk_delta.len();
+        for (o, arrivals) in output_arrivals.iter_mut().enumerate() {
+            arrivals.extend_from_slice(&block[o * len..(o + 1) * len]);
         }
-        delta.push(worst);
+        delta.extend(chunk_delta);
     }
-    StaResult {
+    Ok(StaResult {
         output_arrivals: output_arrivals.into_iter().map(Samples::new).collect(),
         circuit_delay: Samples::new(delta),
-    }
+    })
 }
 
 #[cfg(test)]
@@ -177,8 +233,8 @@ mod tests {
             &CellLibrary::default_025um(),
             VariationModel::default(),
         );
-        let r1 = static_mc(&c, &t, 64, 9);
-        let r2 = static_mc(&c, &t, 64, 9);
+        let r1 = static_mc(&c, &t, 64, 9).unwrap();
+        let r2 = static_mc(&c, &t, 64, 9).unwrap();
         assert_eq!(r1, r2);
     }
 
@@ -193,7 +249,7 @@ mod tests {
             &CellLibrary::default_025um(),
             VariationModel::default(),
         );
-        let r = static_mc(&c, &t, 50, 1);
+        let r = static_mc(&c, &t, 50, 1).unwrap();
         for k in 0..50 {
             let max_out = r
                 .output_arrivals
@@ -213,16 +269,66 @@ mod tests {
         let lib = CellLibrary::default_025um();
         let none = CircuitTiming::characterize(&c, &lib, VariationModel::none());
         let var = CircuitTiming::characterize(&c, &lib, VariationModel::default());
-        let r0 = static_mc(&c, &none, 64, 3);
-        let r1 = static_mc(&c, &var, 64, 3);
+        let r0 = static_mc(&c, &none, 64, 3).unwrap();
+        let r1 = static_mc(&c, &var, 64, 3).unwrap();
         assert!(r0.circuit_delay.std() < 1e-12);
         assert!(r1.circuit_delay.std() > 0.0);
     }
 
     #[test]
-    #[should_panic(expected = "positive")]
-    fn zero_samples_panics() {
+    fn zero_samples_is_an_error() {
         let (c, t) = chain();
-        static_mc(&c, &t, 0, 1);
+        assert_eq!(
+            static_mc(&c, &t, 0, 1).unwrap_err(),
+            TimingError::ZeroSamples
+        );
+    }
+
+    #[test]
+    fn zero_outputs_is_an_error_not_neg_infinity() {
+        // Δ(C) is a max over primary outputs; over zero outputs it would
+        // be -inf, poisoning every downstream quantile. The netlist layer
+        // refuses to construct such a circuit, and `static_mc` guards
+        // independently with [`TimingError::NoOutputs`] should one ever
+        // arrive through a future constructor.
+        let mut b = CircuitBuilder::new("no_outputs");
+        let a = b.input("a");
+        b.gate("g1", GateKind::Not, &[a]).unwrap();
+        assert_eq!(
+            b.finish().unwrap_err(),
+            sdd_netlist::NetlistError::NoOutputs
+        );
+        assert_eq!(
+            TimingError::NoOutputs.to_string(),
+            "circuit has no primary outputs; circuit delay is undefined"
+        );
+    }
+
+    #[test]
+    fn chunked_reduction_matches_reference_transpose() {
+        // Cross-check the chunk-folded implementation against a direct
+        // per-sample evaluation (the shape of the code it replaced).
+        let c = generate(&GeneratorConfig::small("t", 8))
+            .unwrap()
+            .to_combinational()
+            .unwrap();
+        let t = CircuitTiming::characterize(
+            &c,
+            &CellLibrary::default_025um(),
+            VariationModel::default(),
+        );
+        let n = MC_CHUNK * 2 + 7; // exercise a ragged final chunk
+        let r = static_mc(&c, &t, n, 11).unwrap();
+        let outputs = c.primary_outputs();
+        for i in 0..n {
+            let instance = t.sample_instance_indexed(11, i as u64);
+            let arr = arrival_times(&c, &instance);
+            let mut worst = f64::NEG_INFINITY;
+            for (o, out) in outputs.iter().enumerate() {
+                assert_eq!(r.output_arrivals[o].values()[i], arr[out.index()]);
+                worst = worst.max(arr[out.index()]);
+            }
+            assert_eq!(r.circuit_delay.values()[i], worst);
+        }
     }
 }

@@ -121,8 +121,7 @@ impl CircuitTiming {
             .iter()
             .map(|&mean| {
                 let l = standard_normal(rng);
-                let factor =
-                    1.0 + self.variation.global_frac * g + self.variation.local_frac * l;
+                let factor = 1.0 + self.variation.global_frac * g + self.variation.local_frac * l;
                 (mean * factor).max(mean * 0.05)
             })
             .collect();
@@ -133,7 +132,9 @@ impl CircuitTiming {
     /// is independent of `n` (instance streams are indexed, so campaigns
     /// can grow without re-sampling earlier chips).
     pub fn sample_instances(&self, n: usize, seed: u64) -> Vec<TimingInstance> {
-        (0..n).map(|i| self.sample_instance_indexed(seed, i as u64)).collect()
+        (0..n)
+            .map(|i| self.sample_instance_indexed(seed, i as u64))
+            .collect()
     }
 
     /// Manufactures the `index`-th instance of the stream identified by
@@ -186,8 +187,7 @@ mod tests {
         let instances = t.sample_instances(200, 11);
         let e = EdgeId::from_index(0);
         let mean = t.edge_mean(e);
-        let avg: f64 =
-            instances.iter().map(|i| i.delay(e)).sum::<f64>() / instances.len() as f64;
+        let avg: f64 = instances.iter().map(|i| i.delay(e)).sum::<f64>() / instances.len() as f64;
         assert!((avg - mean).abs() / mean < 0.05, "avg {avg} vs mean {mean}");
         let distinct: std::collections::HashSet<u64> =
             instances.iter().map(|i| i.delay(e).to_bits()).collect();

@@ -49,7 +49,11 @@ impl Waveform {
     }
 
     fn push(&mut self, t: f64, v: bool) {
-        let current = self.events.last().map(|&(_, lv)| lv).unwrap_or(self.initial);
+        let current = self
+            .events
+            .last()
+            .map(|&(_, lv)| lv)
+            .unwrap_or(self.initial);
         if v != current {
             self.events.push((t, v));
         }
@@ -136,8 +140,16 @@ pub fn simulate(
         circuit.is_combinational(),
         "waveform simulation requires a combinational circuit"
     );
-    assert_eq!(v1.len(), circuit.primary_inputs().len(), "v1 length mismatch");
-    assert_eq!(v2.len(), circuit.primary_inputs().len(), "v2 length mismatch");
+    assert_eq!(
+        v1.len(),
+        circuit.primary_inputs().len(),
+        "v1 length mismatch"
+    );
+    assert_eq!(
+        v2.len(),
+        circuit.primary_inputs().len(),
+        "v2 length mismatch"
+    );
     let mut waves: Vec<Waveform> = vec![Waveform::constant(false); circuit.num_nodes()];
     for (k, &pi) in circuit.primary_inputs().iter().enumerate() {
         waves[pi.index()] = if v1[k] == v2[k] {
@@ -256,9 +268,8 @@ mod tests {
             .to_combinational()
             .unwrap();
         let n_edges = c.num_edges();
-        let inst = TimingInstance::new(
-            (0..n_edges).map(|i| 0.05 + 0.01 * (i % 7) as f64).collect(),
-        );
+        let inst =
+            TimingInstance::new((0..n_edges).map(|i| 0.05 + 0.01 * (i % 7) as f64).collect());
         let n_pi = c.primary_inputs().len();
         let v1: Vec<bool> = (0..n_pi).map(|i| i % 3 == 0).collect();
         let v2: Vec<bool> = (0..n_pi).map(|i| i % 2 == 0).collect();

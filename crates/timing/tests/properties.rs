@@ -99,7 +99,7 @@ proptest! {
             .expect("cut");
         let t = CircuitTiming::characterize(
             &c, &CellLibrary::default_025um(), VariationModel::default());
-        let r = sta::static_mc(&c, &t, 16, seed);
+        let r = sta::static_mc(&c, &t, 16, seed).expect("static MC runs");
         for k in 0..16 {
             let max_out = r.output_arrivals.iter()
                 .map(|s| s.values()[k])

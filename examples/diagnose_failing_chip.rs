@@ -44,9 +44,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             continue;
         };
         if outcome.rankings.is_empty() {
-            println!(
-                "chip {chip}: fails but no arc is sensitized to a failing output"
-            );
+            println!("chip {chip}: fails but no arc is sensitized to a failing output");
             continue;
         }
         diagnosed += 1;

@@ -61,13 +61,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let failing_chip = defect.apply(&chip);
     let patterns = patterns_through_site(&circuit, &timing, defect.edge, 4, 12, 2);
     let tested = tested_delay_samples(&circuit, &timing, &patterns, 200, 1);
-    let mut behavior = BehaviorMatrix::observe(&circuit, &patterns, &failing_chip, tested.quantile(0.9));
+    let mut behavior =
+        BehaviorMatrix::observe(&circuit, &patterns, &failing_chip, tested.quantile(0.9));
     for q in [0.7, 0.5, 0.3, 0.15, 0.05] {
         if !behavior.all_pass() {
             break;
         }
-        behavior =
-            BehaviorMatrix::observe(&circuit, &patterns, &failing_chip, tested.quantile(q));
+        behavior = BehaviorMatrix::observe(&circuit, &patterns, &failing_chip, tested.quantile(q));
     }
     println!(
         "injected: {} (+{:.0} ps); {} patterns, {} failing entries at clk = {:.3} ns\n",
@@ -110,7 +110,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         Ok(ranking) => {
             println!("probabilistic dictionary (Alg_rev):");
             for (r, site) in ranking.iter().take(5).enumerate() {
-                println!("  rank {:>2}: {} (error {:.4})", r + 1, site.edge, site.score);
+                println!(
+                    "  rank {:>2}: {} (error {:.4})",
+                    r + 1,
+                    site.edge,
+                    site.score
+                );
             }
             let pos = ranking.iter().position(|s| s.edge == defect.edge);
             println!(

@@ -38,7 +38,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     //    correlated die-level + independent local variation.
     let library = CellLibrary::default_025um();
     let timing = CircuitTiming::characterize(&circuit, &library, VariationModel::default());
-    let sta_result = sta::static_mc(&circuit, &timing, 300, 1);
+    let sta_result = sta::static_mc(&circuit, &timing, 300, 1)?;
     println!(
         "circuit delay Δ(C): mean {:.3} ns, σ {:.3} ns",
         sta_result.circuit_delay.mean(),
@@ -52,7 +52,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let defect = defect_model.sample_defect(&circuit, 7);
     let chip = timing.sample_instance_indexed(99, 0);
     let failing_chip = defect.apply(&chip);
-    println!("injected defect: arc {} (+{:.3} ns)", defect.edge, defect.delta);
+    println!(
+        "injected defect: arc {} (+{:.3} ns)",
+        defect.edge, defect.delta
+    );
 
     // 4. Diagnostic patterns through the (in a real flow: hypothesized)
     //    defect site — path-delay tests over its statistically-longest

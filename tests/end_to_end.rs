@@ -173,10 +173,9 @@ fn behavior_capture_models_agree_on_hazard_free_chains() {
     let circuit = b.finish().unwrap();
     let library = CellLibrary::default_025um();
     let timing = CircuitTiming::characterize(&circuit, &library, VariationModel::default());
-    let patterns: sdd::atpg::PatternSet =
-        [sdd::atpg::TestPattern::new(vec![false], vec![true])]
-            .into_iter()
-            .collect();
+    let patterns: sdd::atpg::PatternSet = [sdd::atpg::TestPattern::new(vec![false], vec![true])]
+        .into_iter()
+        .collect();
     for i in 0..20 {
         let chip = timing.sample_instance_indexed(4, i);
         for clk in [0.2, 0.4, 0.6, 0.8] {

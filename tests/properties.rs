@@ -12,17 +12,25 @@ use sdd::timing::{path, sta, CellLibrary, CircuitTiming, TimingInstance, Variati
 
 /// Strategy: a small random circuit configuration.
 fn config_strategy() -> impl Strategy<Value = GeneratorConfig> {
-    (2usize..10, 1usize..6, 0usize..5, 10usize..80, 3usize..9, 0u64..1000).prop_map(
-        |(inputs, outputs, dffs, gates, depth, seed)| GeneratorConfig {
-            name: format!("prop{seed}"),
-            inputs,
-            outputs,
-            dffs,
-            gates,
-            depth,
-            seed,
-        },
+    (
+        2usize..10,
+        1usize..6,
+        0usize..5,
+        10usize..80,
+        3usize..9,
+        0u64..1000,
     )
+        .prop_map(
+            |(inputs, outputs, dffs, gates, depth, seed)| GeneratorConfig {
+                name: format!("prop{seed}"),
+                inputs,
+                outputs,
+                dffs,
+                gates,
+                depth,
+                seed,
+            },
+        )
 }
 
 fn arb_circuit() -> impl Strategy<Value = Circuit> {

@@ -1,0 +1,219 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Keeps the workspace's `[[bench]]` targets compiling and producing
+//! useful numbers without the real statistics engine: each benchmark is
+//! timed by running batches until the measurement budget is spent, then
+//! reporting the mean and best batch time per iteration. No HTML
+//! reports, no outlier analysis — wall-clock medians are enough for the
+//! regression eyeballing these benches exist for.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How per-iteration state is batched in
+/// [`Bencher::iter_batched`]; only a hint here.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small setup output; batch many iterations.
+    SmallInput,
+    /// Large setup output; batch few iterations.
+    LargeInput,
+    /// One setup call per iteration.
+    PerIteration,
+}
+
+/// The benchmark driver handed to `bench_function` closures.
+pub struct Bencher<'a> {
+    config: &'a Criterion,
+    /// (total duration, iterations) per measured batch.
+    batches: Vec<(Duration, u64)>,
+}
+
+impl Bencher<'_> {
+    /// Times `routine` repeatedly.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: run until the warm-up budget is spent, estimating the
+        // per-iteration cost to size measurement batches.
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u64;
+        while warm_start.elapsed() < self.config.warm_up_time {
+            black_box(routine());
+            warm_iters += 1;
+        }
+        let per_iter = self.config.warm_up_time.as_secs_f64() / warm_iters.max(1) as f64;
+        let budget = self.config.measurement_time.as_secs_f64() / self.config.sample_size as f64;
+        let batch_iters = ((budget / per_iter.max(1e-9)) as u64).max(1);
+
+        for _ in 0..self.config.sample_size {
+            let start = Instant::now();
+            for _ in 0..batch_iters {
+                black_box(routine());
+            }
+            self.batches.push((start.elapsed(), batch_iters));
+        }
+    }
+
+    /// Times `routine` on fresh state from `setup`, excluding setup time
+    /// (approximately: setup cost is measured once and subtracted).
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let warm_start = Instant::now();
+        while warm_start.elapsed() < self.config.warm_up_time {
+            let input = setup();
+            black_box(routine(input));
+        }
+
+        for _ in 0..self.config.sample_size {
+            // One setup + routine per sample; setup excluded from the
+            // measured window.
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.batches.push((start.elapsed(), 1));
+        }
+    }
+}
+
+/// The top-level bench context.
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 10,
+            measurement_time: Duration::from_secs(2),
+            warm_up_time: Duration::from_millis(500),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of measured batches.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets the total measurement budget.
+    pub fn measurement_time(mut self, t: Duration) -> Self {
+        self.measurement_time = t;
+        self
+    }
+
+    /// Sets the warm-up budget.
+    pub fn warm_up_time(mut self, t: Duration) -> Self {
+        self.warm_up_time = t;
+        self
+    }
+
+    /// Runs one named benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            config: self,
+            batches: Vec::new(),
+        };
+        f(&mut bencher);
+        let mut per_iter: Vec<f64> = bencher
+            .batches
+            .iter()
+            .map(|(time, iters)| time.as_secs_f64() / *iters as f64)
+            .collect();
+        per_iter.sort_by(|a, b| a.partial_cmp(b).expect("bench times are finite"));
+        let best = per_iter.first().copied().unwrap_or(0.0);
+        let median = per_iter.get(per_iter.len() / 2).copied().unwrap_or(0.0);
+        println!(
+            "{name:<44} median {:>12}  best {:>12}  ({} samples)",
+            format_time(median),
+            format_time(best),
+            per_iter.len()
+        );
+        self
+    }
+}
+
+fn format_time(seconds: f64) -> String {
+    if seconds >= 1.0 {
+        format!("{seconds:.3} s")
+    } else if seconds >= 1e-3 {
+        format!("{:.3} ms", seconds * 1e3)
+    } else if seconds >= 1e-6 {
+        format!("{:.3} µs", seconds * 1e6)
+    } else {
+        format!("{:.1} ns", seconds * 1e9)
+    }
+}
+
+/// Declares a bench group, mirroring criterion's two macro forms.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the bench `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_reports() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .measurement_time(Duration::from_millis(20))
+            .warm_up_time(Duration::from_millis(5));
+        let mut count = 0u64;
+        c.bench_function("noop", |b| {
+            b.iter(|| {
+                count += 1;
+                black_box(count)
+            })
+        });
+        assert!(count > 0);
+    }
+
+    #[test]
+    fn iter_batched_runs_setup_per_sample() {
+        let mut c = Criterion::default()
+            .sample_size(4)
+            .measurement_time(Duration::from_millis(10))
+            .warm_up_time(Duration::from_millis(2));
+        c.bench_function("batched", |b| {
+            b.iter_batched(
+                || vec![1u8, 2, 3],
+                |v| v.into_iter().map(u64::from).sum::<u64>(),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+}

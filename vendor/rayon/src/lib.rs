@@ -1,0 +1,495 @@
+//! Offline stand-in for `rayon`: order-preserving data parallelism on
+//! `std::thread::scope`.
+//!
+//! The workspace only needs indexed fan-out (`par_iter`/`into_par_iter`
+//! over slices and ranges, `map`, `enumerate`, `collect`), so this crate
+//! implements a *indexed producer* model: every parallel iterator knows
+//! its length and can produce the item at any index on any thread. The
+//! driver splits `0..len` into contiguous chunks, one per worker, and
+//! stitches the per-chunk outputs back together in index order. Results
+//! are therefore **bit-identical regardless of thread count** — the same
+//! guarantee real rayon gives for `collect` on indexed iterators, here
+//! by construction.
+//!
+//! `ThreadPoolBuilder::num_threads(n).build()?.install(f)` is supported
+//! via a thread-local override so tests can pin the worker count.
+//! Nested parallel calls inside a worker run serially (no work stealing,
+//! no deadlock).
+
+use std::cell::Cell;
+use std::sync::OnceLock;
+
+// ---------------------------------------------------------------------------
+// Thread-count plumbing
+// ---------------------------------------------------------------------------
+
+thread_local! {
+    /// Per-thread override installed by [`ThreadPool::install`].
+    static POOL_OVERRIDE: Cell<Option<usize>> = const { Cell::new(None) };
+    /// Set inside worker threads so nested parallel calls degrade to
+    /// serial execution instead of spawning recursively.
+    static IN_WORKER: Cell<bool> = const { Cell::new(false) };
+}
+
+fn default_num_threads() -> usize {
+    static DEFAULT: OnceLock<usize> = OnceLock::new();
+    *DEFAULT.get_or_init(|| {
+        if let Ok(value) = std::env::var("RAYON_NUM_THREADS") {
+            if let Ok(n) = value.trim().parse::<usize>() {
+                if n >= 1 {
+                    return n;
+                }
+            }
+        }
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    })
+}
+
+/// The number of threads parallel calls on this thread will use.
+pub fn current_num_threads() -> usize {
+    POOL_OVERRIDE
+        .with(Cell::get)
+        .unwrap_or_else(default_num_threads)
+}
+
+/// Error type returned by [`ThreadPoolBuilder::build`]; building never
+/// actually fails in this stand-in.
+#[derive(Debug)]
+pub struct ThreadPoolBuildError(());
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builder mirroring `rayon::ThreadPoolBuilder` for the `num_threads`
+/// knob.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: Option<usize>,
+}
+
+impl ThreadPoolBuilder {
+    /// Starts a builder with default settings.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Pins the number of worker threads (0 means "use the default").
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = if n == 0 { None } else { Some(n) };
+        self
+    }
+
+    /// Finalizes the pool.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool {
+            num_threads: self.num_threads.unwrap_or_else(default_num_threads),
+        })
+    }
+}
+
+/// A logical pool: parallel calls made inside [`ThreadPool::install`]
+/// use this pool's thread count.
+#[derive(Debug)]
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    /// Runs `op` with this pool's thread count active on the calling
+    /// thread.
+    pub fn install<R>(&self, op: impl FnOnce() -> R) -> R {
+        let previous = POOL_OVERRIDE.with(|cell| cell.replace(Some(self.num_threads)));
+        let result = op();
+        POOL_OVERRIDE.with(|cell| cell.set(previous));
+        result
+    }
+
+    /// This pool's thread count.
+    pub fn current_num_threads(&self) -> usize {
+        self.num_threads
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Indexed-producer parallel iterators
+// ---------------------------------------------------------------------------
+
+/// A parallel iterator over exactly `len()` items, able to produce the
+/// item at any index from a shared reference.
+pub trait ParallelIterator: Sized + Sync {
+    /// The element type.
+    type Item: Send;
+
+    /// Number of items.
+    fn len(&self) -> usize;
+
+    /// Whether the iterator is empty.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Produces the item at `index` (called from worker threads).
+    fn item_at(&self, index: usize) -> Self::Item;
+
+    /// Maps each item through `op`.
+    fn map<F, U>(self, op: F) -> Map<Self, F>
+    where
+        F: Fn(Self::Item) -> U + Sync,
+        U: Send,
+    {
+        Map { base: self, op }
+    }
+
+    /// Pairs each item with its index.
+    fn enumerate(self) -> Enumerate<Self> {
+        Enumerate { base: self }
+    }
+
+    /// Executes the pipeline across worker threads and gathers results
+    /// in index order.
+    fn collect<C: FromParallelIterator<Self::Item>>(self) -> C {
+        C::from_ordered_items(run_indexed(&self))
+    }
+
+    /// Runs `op` on every item (in parallel; completion order is not
+    /// observable because `op` returns nothing).
+    fn for_each<F>(self, op: F)
+    where
+        F: Fn(Self::Item) + Sync,
+    {
+        let _ = self.map(op).collect::<Vec<()>>();
+    }
+
+    /// Sums the items.
+    fn sum<S>(self) -> S
+    where
+        S: std::iter::Sum<Self::Item>,
+    {
+        run_indexed(&self).into_iter().sum()
+    }
+
+    /// Folds items pairwise with `op`, starting from `identity()`.
+    /// Chunk results are combined left-to-right, so with associative
+    /// `op` the result is thread-count independent.
+    fn reduce<ID, F>(self, identity: ID, op: F) -> Self::Item
+    where
+        ID: Fn() -> Self::Item + Sync,
+        F: Fn(Self::Item, Self::Item) -> Self::Item + Sync,
+    {
+        run_indexed(&self).into_iter().fold(identity(), &op)
+    }
+}
+
+/// Chunked execution: contiguous index ranges per worker, outputs
+/// concatenated in order.
+fn run_indexed<P: ParallelIterator>(producer: &P) -> Vec<P::Item> {
+    let n = producer.len();
+    let threads = current_num_threads().min(n.max(1));
+    let nested = IN_WORKER.with(Cell::get);
+    if threads <= 1 || n <= 1 || nested {
+        return (0..n).map(|i| producer.item_at(i)).collect();
+    }
+    let chunk = n.div_ceil(threads);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let lo = t * chunk;
+                let hi = ((t + 1) * chunk).min(n);
+                scope.spawn(move || {
+                    IN_WORKER.with(|cell| cell.set(true));
+                    (lo..hi).map(|i| producer.item_at(i)).collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        let mut out = Vec::with_capacity(n);
+        for handle in handles {
+            out.extend(handle.join().expect("rayon stand-in worker panicked"));
+        }
+        out
+    })
+}
+
+/// Collection targets for [`ParallelIterator::collect`].
+pub trait FromParallelIterator<T> {
+    /// Builds the collection from items already in index order.
+    fn from_ordered_items(items: Vec<T>) -> Self;
+}
+
+impl<T> FromParallelIterator<T> for Vec<T> {
+    fn from_ordered_items(items: Vec<T>) -> Self {
+        items
+    }
+}
+
+/// `map` adapter.
+pub struct Map<B, F> {
+    base: B,
+    op: F,
+}
+
+impl<B, F, U> ParallelIterator for Map<B, F>
+where
+    B: ParallelIterator,
+    F: Fn(B::Item) -> U + Sync,
+    U: Send,
+{
+    type Item = U;
+
+    fn len(&self) -> usize {
+        self.base.len()
+    }
+
+    fn item_at(&self, index: usize) -> U {
+        (self.op)(self.base.item_at(index))
+    }
+}
+
+/// `enumerate` adapter.
+pub struct Enumerate<B> {
+    base: B,
+}
+
+impl<B: ParallelIterator> ParallelIterator for Enumerate<B> {
+    type Item = (usize, B::Item);
+
+    fn len(&self) -> usize {
+        self.base.len()
+    }
+
+    fn item_at(&self, index: usize) -> (usize, B::Item) {
+        (index, self.base.item_at(index))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Sources
+// ---------------------------------------------------------------------------
+
+/// Conversion into a parallel iterator (by value).
+pub trait IntoParallelIterator {
+    /// The resulting iterator.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// The element type.
+    type Item: Send;
+    /// Converts `self`.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+/// Conversion into a parallel iterator over references.
+pub trait IntoParallelRefIterator<'data> {
+    /// The resulting iterator.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// The element type (a reference).
+    type Item: Send + 'data;
+    /// Borrows `self`.
+    fn par_iter(&'data self) -> Self::Iter;
+}
+
+/// Parallel iterator over a `usize` range.
+pub struct RangePar {
+    start: usize,
+    len: usize,
+}
+
+impl ParallelIterator for RangePar {
+    type Item = usize;
+
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn item_at(&self, index: usize) -> usize {
+        self.start + index
+    }
+}
+
+impl IntoParallelIterator for std::ops::Range<usize> {
+    type Iter = RangePar;
+    type Item = usize;
+
+    fn into_par_iter(self) -> RangePar {
+        RangePar {
+            start: self.start,
+            len: self.end.saturating_sub(self.start),
+        }
+    }
+}
+
+/// Parallel iterator over a slice.
+pub struct SlicePar<'data, T: Sync> {
+    slice: &'data [T],
+}
+
+impl<'data, T: Sync> ParallelIterator for SlicePar<'data, T> {
+    type Item = &'data T;
+
+    fn len(&self) -> usize {
+        self.slice.len()
+    }
+
+    fn item_at(&self, index: usize) -> &'data T {
+        &self.slice[index]
+    }
+}
+
+impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for [T] {
+    type Iter = SlicePar<'data, T>;
+    type Item = &'data T;
+
+    fn par_iter(&'data self) -> SlicePar<'data, T> {
+        SlicePar { slice: self }
+    }
+}
+
+impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for Vec<T> {
+    type Iter = SlicePar<'data, T>;
+    type Item = &'data T;
+
+    fn par_iter(&'data self) -> SlicePar<'data, T> {
+        SlicePar { slice: self }
+    }
+}
+
+impl<'data, T: Sync + 'data> IntoParallelIterator for &'data [T] {
+    type Iter = SlicePar<'data, T>;
+    type Item = &'data T;
+
+    fn into_par_iter(self) -> SlicePar<'data, T> {
+        SlicePar { slice: self }
+    }
+}
+
+impl<'data, T: Sync + 'data> IntoParallelIterator for &'data Vec<T> {
+    type Iter = SlicePar<'data, T>;
+    type Item = &'data T;
+
+    fn into_par_iter(self) -> SlicePar<'data, T> {
+        SlicePar { slice: self }
+    }
+}
+
+/// Parallel iterator that owns a `Vec` (items are moved out exactly
+/// once; indices are produced in order per chunk, so the `Option`
+/// slots are a formality).
+pub struct VecPar<T: Send + Sync> {
+    items: Vec<std::sync::Mutex<Option<T>>>,
+}
+
+impl<T: Send + Sync> ParallelIterator for VecPar<T> {
+    type Item = T;
+
+    fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    fn item_at(&self, index: usize) -> T {
+        self.items[index]
+            .lock()
+            .expect("VecPar slot poisoned")
+            .take()
+            .expect("VecPar item taken twice")
+    }
+}
+
+impl<T: Send + Sync> IntoParallelIterator for Vec<T> {
+    type Iter = VecPar<T>;
+    type Item = T;
+
+    fn into_par_iter(self) -> VecPar<T> {
+        VecPar {
+            items: self
+                .into_iter()
+                .map(|item| std::sync::Mutex::new(Some(item)))
+                .collect(),
+        }
+    }
+}
+
+/// The conventional prelude.
+pub mod prelude {
+    pub use crate::{
+        FromParallelIterator, IntoParallelIterator, IntoParallelRefIterator, ParallelIterator,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn range_map_collect_preserves_order() {
+        let out: Vec<usize> = (0..1000).into_par_iter().map(|i| i * 2).collect();
+        let expected: Vec<usize> = (0..1000).map(|i| i * 2).collect();
+        assert_eq!(out, expected);
+    }
+
+    #[test]
+    fn slice_par_iter_enumerate() {
+        let data: Vec<u32> = (0..257).collect();
+        let out: Vec<(usize, u32)> = data.par_iter().map(|&x| x + 1).enumerate().collect();
+        for (i, (idx, val)) in out.iter().enumerate() {
+            assert_eq!(*idx, i);
+            assert_eq!(*val, i as u32 + 1);
+        }
+    }
+
+    #[test]
+    fn identical_across_thread_counts() {
+        let serial: Vec<u64> = ThreadPoolBuilder::new()
+            .num_threads(1)
+            .build()
+            .unwrap()
+            .install(|| (0..999).into_par_iter().map(|i| (i as u64) * 3).collect());
+        let parallel: Vec<u64> = ThreadPoolBuilder::new()
+            .num_threads(7)
+            .build()
+            .unwrap()
+            .install(|| (0..999).into_par_iter().map(|i| (i as u64) * 3).collect());
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn nested_calls_run_serially() {
+        let out: Vec<usize> = (0..16)
+            .into_par_iter()
+            .map(|i| {
+                (0..8)
+                    .into_par_iter()
+                    .map(move |j| i * 8 + j)
+                    .sum::<usize>()
+            })
+            .collect();
+        let expected: Vec<usize> = (0..16)
+            .map(|i| (0..8).map(|j| i * 8 + j).sum::<usize>())
+            .collect();
+        assert_eq!(out, expected);
+    }
+
+    #[test]
+    fn owned_vec_into_par_iter_moves_items() {
+        let strings: Vec<String> = (0..64).map(|i| i.to_string()).collect();
+        let out: Vec<usize> = strings.into_par_iter().map(|s| s.len()).collect();
+        assert_eq!(out.len(), 64);
+        assert_eq!(out[0], 1);
+        assert_eq!(out[63], 2);
+    }
+
+    #[test]
+    fn install_restores_previous_count() {
+        let before = current_num_threads();
+        ThreadPoolBuilder::new()
+            .num_threads(3)
+            .build()
+            .unwrap()
+            .install(|| assert_eq!(current_num_threads(), 3));
+        assert_eq!(current_num_threads(), before);
+    }
+}

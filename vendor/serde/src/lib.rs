@@ -1,0 +1,481 @@
+//! Offline stand-in for `serde`.
+//!
+//! Instead of serde's zero-copy visitor architecture, this crate uses a
+//! concrete [`Value`] tree as the interchange model: `Serialize` lowers
+//! a type to a `Value`, `Deserialize` lifts it back, and `serde_json`
+//! renders/parses `Value` ⇄ JSON text. That is a fraction of real
+//! serde's performance surface but supports the same derive-based
+//! ergonomics and externally-tagged wire shapes for everything this
+//! workspace serializes.
+
+use std::collections::HashMap;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// The self-describing interchange tree (maps keep insertion order so
+/// struct field order is stable in output).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// A non-negative integer.
+    UInt(u64),
+    /// A negative integer.
+    Int(i64),
+    /// A float.
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object; keys are strings as in JSON.
+    Map(Vec<(String, Value)>),
+}
+
+impl Value {
+    fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::UInt(_) | Value::Int(_) => "integer",
+            Value::Float(_) => "float",
+            Value::Str(_) => "string",
+            Value::Array(_) => "array",
+            Value::Map(_) => "map",
+        }
+    }
+}
+
+/// Deserialization error.
+#[derive(Debug, Clone)]
+pub struct Error {
+    message: String,
+}
+
+impl Error {
+    /// An error with the given message.
+    pub fn custom(message: impl Into<String>) -> Error {
+        Error {
+            message: message.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Types that can lower themselves to a [`Value`].
+pub trait Serialize {
+    /// Lowers `self` to the interchange tree.
+    fn to_value(&self) -> Value;
+}
+
+/// Types that can be lifted back from a [`Value`].
+pub trait Deserialize: Sized {
+    /// Lifts a value of this type from the interchange tree.
+    fn from_value(value: Value) -> Result<Self, Error>;
+}
+
+// ---------------------------------------------------------------------------
+// Serialize impls for std types
+// ---------------------------------------------------------------------------
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+macro_rules! serialize_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::UInt(*self as u64)
+            }
+        }
+    )*};
+}
+serialize_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! serialize_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                let v = *self as i64;
+                if v >= 0 {
+                    Value::UInt(v as u64)
+                } else {
+                    Value::Int(v)
+                }
+            }
+        }
+    )*};
+}
+serialize_int!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        // JSON has no non-finite numbers; mirror serde_json's `null`.
+        if self.is_finite() {
+            Value::Float(*self)
+        } else {
+            Value::Null
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        (*self as f64).to_value()
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            None => Value::Null,
+            Some(inner) => inner.to_value(),
+        }
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn to_value(&self) -> Value {
+        Value::Array(vec![self.0.to_value(), self.1.to_value()])
+    }
+}
+
+impl<A: Serialize, B: Serialize, C: Serialize> Serialize for (A, B, C) {
+    fn to_value(&self) -> Value {
+        Value::Array(vec![
+            self.0.to_value(),
+            self.1.to_value(),
+            self.2.to_value(),
+        ])
+    }
+}
+
+impl<V: Serialize, S> Serialize for HashMap<String, V, S> {
+    fn to_value(&self) -> Value {
+        // HashMap iteration order is unspecified; sort keys so output is
+        // deterministic (and diffs/fingerprints are stable).
+        let mut entries: Vec<(String, Value)> = self
+            .iter()
+            .map(|(k, v)| (k.clone(), v.to_value()))
+            .collect();
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        Value::Map(entries)
+    }
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Deserialize impls for std types
+// ---------------------------------------------------------------------------
+
+impl Deserialize for bool {
+    fn from_value(value: Value) -> Result<bool, Error> {
+        match value {
+            Value::Bool(b) => Ok(b),
+            other => Err(type_error("bool", &other)),
+        }
+    }
+}
+
+macro_rules! deserialize_uint {
+    ($($t:ty),*) => {$(
+        impl Deserialize for $t {
+            fn from_value(value: Value) -> Result<$t, Error> {
+                let wide = match value {
+                    Value::UInt(u) => u,
+                    Value::Int(i) if i >= 0 => i as u64,
+                    other => return Err(type_error(stringify!($t), &other)),
+                };
+                <$t>::try_from(wide)
+                    .map_err(|_| Error::custom(format!(
+                        "integer {wide} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+deserialize_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! deserialize_int {
+    ($($t:ty),*) => {$(
+        impl Deserialize for $t {
+            fn from_value(value: Value) -> Result<$t, Error> {
+                let wide: i64 = match value {
+                    Value::Int(i) => i,
+                    Value::UInt(u) => i64::try_from(u).map_err(|_| {
+                        Error::custom(format!("integer {u} out of range for i64"))
+                    })?,
+                    other => return Err(type_error(stringify!($t), &other)),
+                };
+                <$t>::try_from(wide)
+                    .map_err(|_| Error::custom(format!(
+                        "integer {wide} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+deserialize_int!(i8, i16, i32, i64, isize);
+
+impl Deserialize for f64 {
+    fn from_value(value: Value) -> Result<f64, Error> {
+        match value {
+            Value::Float(f) => Ok(f),
+            Value::UInt(u) => Ok(u as f64),
+            Value::Int(i) => Ok(i as f64),
+            // Round-trip of the non-finite → null encoding.
+            Value::Null => Ok(f64::NAN),
+            other => Err(type_error("f64", &other)),
+        }
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(value: Value) -> Result<f32, Error> {
+        f64::from_value(value).map(|f| f as f32)
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(value: Value) -> Result<String, Error> {
+        match value {
+            Value::Str(s) => Ok(s),
+            other => Err(type_error("string", &other)),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(value: Value) -> Result<Vec<T>, Error> {
+        match value {
+            Value::Array(items) => items.into_iter().map(T::from_value).collect(),
+            other => Err(type_error("array", &other)),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(value: Value) -> Result<Option<T>, Error> {
+        match value {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<A: Deserialize, B: Deserialize> Deserialize for (A, B) {
+    fn from_value(value: Value) -> Result<(A, B), Error> {
+        let mut items = de::seq(value, 2, "2-tuple")?.into_iter();
+        Ok((
+            A::from_value(items.next().unwrap())?,
+            B::from_value(items.next().unwrap())?,
+        ))
+    }
+}
+
+impl<A: Deserialize, B: Deserialize, C: Deserialize> Deserialize for (A, B, C) {
+    fn from_value(value: Value) -> Result<(A, B, C), Error> {
+        let mut items = de::seq(value, 3, "3-tuple")?.into_iter();
+        Ok((
+            A::from_value(items.next().unwrap())?,
+            B::from_value(items.next().unwrap())?,
+            C::from_value(items.next().unwrap())?,
+        ))
+    }
+}
+
+impl<V: Deserialize, S: std::hash::BuildHasher + Default> Deserialize for HashMap<String, V, S> {
+    fn from_value(value: Value) -> Result<Self, Error> {
+        match value {
+            Value::Map(entries) => entries
+                .into_iter()
+                .map(|(k, v)| Ok((k, V::from_value(v)?)))
+                .collect(),
+            other => Err(type_error("map", &other)),
+        }
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(value: Value) -> Result<Value, Error> {
+        Ok(value)
+    }
+}
+
+fn type_error(expected: &str, found: &Value) -> Error {
+    Error::custom(format!("expected {expected}, found {}", found.kind()))
+}
+
+/// Helpers targeted by derive-generated code.
+pub mod de {
+    use super::{Deserialize, Error, Value};
+
+    /// Field-by-field access to a map value for struct deserialization.
+    pub struct MapAccess {
+        type_name: &'static str,
+        entries: Vec<(String, Value)>,
+    }
+
+    impl MapAccess {
+        /// Starts consuming `value`, which must be a map.
+        pub fn new(value: Value, type_name: &'static str) -> Result<MapAccess, Error> {
+            match value {
+                Value::Map(entries) => Ok(MapAccess { type_name, entries }),
+                other => Err(Error::custom(format!(
+                    "expected map for {type_name}, found {}",
+                    other.kind()
+                ))),
+            }
+        }
+
+        /// Removes and deserializes the named field.
+        pub fn field<T: Deserialize>(&mut self, name: &str) -> Result<T, Error> {
+            let position = self
+                .entries
+                .iter()
+                .position(|(key, _)| key == name)
+                .ok_or_else(|| {
+                    Error::custom(format!("missing field `{name}` for {}", self.type_name))
+                })?;
+            T::from_value(self.entries.swap_remove(position).1)
+        }
+    }
+
+    /// Unpacks a fixed-length array value.
+    pub fn seq(value: Value, expected_len: usize, what: &str) -> Result<Vec<Value>, Error> {
+        match value {
+            Value::Array(items) if items.len() == expected_len => Ok(items),
+            Value::Array(items) => Err(Error::custom(format!(
+                "expected {expected_len} elements for {what}, found {}",
+                items.len()
+            ))),
+            other => Err(Error::custom(format!(
+                "expected array for {what}, found {}",
+                other.kind()
+            ))),
+        }
+    }
+
+    /// Splits an externally-tagged enum value into `(variant, payload)`.
+    pub fn enum_parts(value: Value, type_name: &str) -> Result<(String, Option<Value>), Error> {
+        match value {
+            Value::Str(tag) => Ok((tag, None)),
+            Value::Map(mut entries) if entries.len() == 1 => {
+                let (tag, payload) = entries.pop().expect("len checked");
+                Ok((tag, Some(payload)))
+            }
+            other => Err(Error::custom(format!(
+                "expected string or single-entry map for enum {type_name}, found {}",
+                other.kind()
+            ))),
+        }
+    }
+
+    /// Asserts a unit variant carries no payload.
+    pub fn expect_no_payload(payload: Option<Value>, what: &str) -> Result<(), Error> {
+        match payload {
+            None | Some(Value::Null) => Ok(()),
+            Some(other) => Err(Error::custom(format!(
+                "unexpected payload for unit variant {what}: {}",
+                other.kind()
+            ))),
+        }
+    }
+
+    /// Extracts the payload of a data-carrying variant.
+    pub fn expect_payload(payload: Option<Value>, what: &str) -> Result<Value, Error> {
+        payload.ok_or_else(|| Error::custom(format!("missing payload for variant {what}")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitive_roundtrips() {
+        assert_eq!(u64::from_value(42u64.to_value()).unwrap(), 42);
+        assert_eq!(i32::from_value((-7i32).to_value()).unwrap(), -7);
+        assert_eq!(f64::from_value(1.5f64.to_value()).unwrap(), 1.5);
+        assert!(bool::from_value(true.to_value()).unwrap());
+        let v: Vec<u32> = Deserialize::from_value(vec![1u32, 2, 3].to_value()).unwrap();
+        assert_eq!(v, vec![1, 2, 3]);
+        let o: Option<u32> = Deserialize::from_value(Option::<u32>::None.to_value()).unwrap();
+        assert_eq!(o, None);
+        let t: (u32, String) =
+            Deserialize::from_value((5u32, String::from("x")).to_value()).unwrap();
+        assert_eq!(t, (5, String::from("x")));
+    }
+
+    #[test]
+    fn u64_beyond_i64_survives() {
+        let big = u64::MAX - 3;
+        assert_eq!(u64::from_value(big.to_value()).unwrap(), big);
+    }
+
+    #[test]
+    fn hashmap_roundtrip_sorted() {
+        let mut m = std::collections::HashMap::new();
+        m.insert(String::from("b"), 2u32);
+        m.insert(String::from("a"), 1u32);
+        let v = m.to_value();
+        if let Value::Map(entries) = &v {
+            assert_eq!(entries[0].0, "a");
+        } else {
+            panic!("expected map");
+        }
+        let back: std::collections::HashMap<String, u32> = Deserialize::from_value(v).unwrap();
+        assert_eq!(back, m);
+    }
+}

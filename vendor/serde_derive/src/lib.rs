@@ -1,0 +1,445 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]` for the
+//! item shapes this workspace actually contains — non-generic structs
+//! (named, tuple, unit) and enums (unit, tuple, struct variants) — by
+//! walking raw `proc_macro` token trees, so no `syn`/`quote` dependency
+//! is needed. Field *types* are never inspected: the generated code
+//! calls `::serde::Deserialize::from_value(..)` and lets inference pick
+//! the impl, which is exactly what makes this approach viable.
+//!
+//! The wire shape matches serde's externally-tagged defaults: named
+//! structs are maps, one-field tuple structs are transparent newtypes,
+//! unit enum variants are strings, payload variants are
+//! single-entry maps.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+use std::fmt::Write as _;
+use std::iter::Peekable;
+
+// ---------------------------------------------------------------------------
+// Item model
+// ---------------------------------------------------------------------------
+
+struct Item {
+    name: String,
+    data: Data,
+}
+
+enum Data {
+    NamedStruct(Vec<String>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    shape: Shape,
+}
+
+enum Shape {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+// ---------------------------------------------------------------------------
+// Token-tree parsing
+// ---------------------------------------------------------------------------
+
+type Tokens = Peekable<proc_macro::token_stream::IntoIter>;
+
+/// Consumes attributes (`#[...]`, which is also how doc comments arrive)
+/// and visibility (`pub`, `pub(...)`) at the current position.
+fn skip_attrs_and_vis(tokens: &mut Tokens) {
+    loop {
+        match tokens.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                tokens.next();
+                match tokens.next() {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {}
+                    other => panic!("serde derive: malformed attribute near {other:?}"),
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                tokens.next();
+                if let Some(TokenTree::Group(g)) = tokens.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        tokens.next();
+                    }
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut tokens = input.into_iter().peekable();
+    skip_attrs_and_vis(&mut tokens);
+    let is_enum = match tokens.next() {
+        Some(TokenTree::Ident(id)) => match id.to_string().as_str() {
+            "struct" => false,
+            "enum" => true,
+            // e.g. `r#` raw markers never occur here; anything else
+            // before the keyword (unsafe, etc.) is unexpected.
+            other => panic!("serde derive: unsupported item starting with `{other}`"),
+        },
+        other => panic!("serde derive: expected struct/enum, found {other:?}"),
+    };
+    let name = match tokens.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde derive: expected item name, found {other:?}"),
+    };
+    if let Some(TokenTree::Punct(p)) = tokens.peek() {
+        if p.as_char() == '<' {
+            panic!("serde derive stand-in does not support generic type `{name}`");
+        }
+    }
+    let data = if is_enum {
+        match tokens.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Data::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("serde derive: expected enum body, found {other:?}"),
+        }
+    } else {
+        match tokens.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Data::NamedStruct(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Data::TupleStruct(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Data::UnitStruct,
+            other => panic!("serde derive: expected struct body, found {other:?}"),
+        }
+    };
+    Item { name, data }
+}
+
+/// Parses `name: Type, ...` lists, returning the field names in order.
+/// Types are skipped with angle-bracket depth tracking so commas inside
+/// `Vec<(A, B)>`-style types don't split fields (parenthesised tuples
+/// arrive as opaque groups; only `<`/`>` need counting).
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let mut tokens = stream.into_iter().peekable();
+    let mut fields = Vec::new();
+    loop {
+        skip_attrs_and_vis(&mut tokens);
+        let name = match tokens.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => panic!("serde derive: expected field name, found {other:?}"),
+        };
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("serde derive: expected `:` after `{name}`, found {other:?}"),
+        }
+        let mut angle_depth = 0i32;
+        for token in tokens.by_ref() {
+            match token {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => break,
+                _ => {}
+            }
+        }
+        fields.push(name);
+    }
+    fields
+}
+
+/// Counts the fields of a tuple struct / tuple variant.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut count = 0usize;
+    let mut segment_nonempty = false;
+    let mut angle_depth = 0i32;
+    for token in stream {
+        match token {
+            TokenTree::Punct(p) if p.as_char() == '<' => {
+                angle_depth += 1;
+                segment_nonempty = true;
+            }
+            TokenTree::Punct(p) if p.as_char() == '>' => {
+                angle_depth -= 1;
+                segment_nonempty = true;
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                if segment_nonempty {
+                    count += 1;
+                }
+                segment_nonempty = false;
+            }
+            _ => segment_nonempty = true,
+        }
+    }
+    if segment_nonempty {
+        count += 1;
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let mut tokens = stream.into_iter().peekable();
+    let mut variants = Vec::new();
+    loop {
+        skip_attrs_and_vis(&mut tokens);
+        let name = match tokens.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => panic!("serde derive: expected variant name, found {other:?}"),
+        };
+        let shape = match tokens.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let count = count_tuple_fields(g.stream());
+                tokens.next();
+                Shape::Tuple(count)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream());
+                tokens.next();
+                Shape::Named(fields)
+            }
+            _ => Shape::Unit,
+        };
+        // Skip anything up to the variant separator (covers explicit
+        // discriminants, which this workspace doesn't use).
+        for token in tokens.by_ref() {
+            if let TokenTree::Punct(p) = token {
+                if p.as_char() == ',' {
+                    break;
+                }
+            }
+        }
+        variants.push(Variant { name, shape });
+    }
+    variants
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let name = &item.name;
+    let mut body = String::new();
+    match &item.data {
+        Data::NamedStruct(fields) => {
+            body.push_str("let mut __serde_fields = ::std::vec::Vec::new();\n");
+            for field in fields {
+                let _ = writeln!(
+                    body,
+                    "__serde_fields.push((::std::string::String::from(\"{field}\"), \
+                     ::serde::Serialize::to_value(&self.{field})));"
+                );
+            }
+            body.push_str("::serde::Value::Map(__serde_fields)\n");
+        }
+        Data::TupleStruct(1) => {
+            body.push_str("::serde::Serialize::to_value(&self.0)\n");
+        }
+        Data::TupleStruct(n) => {
+            body.push_str("let mut __serde_items = ::std::vec::Vec::new();\n");
+            for i in 0..*n {
+                let _ = writeln!(
+                    body,
+                    "__serde_items.push(::serde::Serialize::to_value(&self.{i}));"
+                );
+            }
+            body.push_str("::serde::Value::Array(__serde_items)\n");
+        }
+        Data::UnitStruct => {
+            body.push_str("::serde::Value::Null\n");
+        }
+        Data::Enum(variants) => {
+            body.push_str("match self {\n");
+            for variant in variants {
+                let vname = &variant.name;
+                match &variant.shape {
+                    Shape::Unit => {
+                        let _ = writeln!(
+                            body,
+                            "{name}::{vname} => ::serde::Value::Str(\
+                             ::std::string::String::from(\"{vname}\")),"
+                        );
+                    }
+                    Shape::Tuple(n) => {
+                        let binders: Vec<String> =
+                            (0..*n).map(|i| format!("__serde_f{i}")).collect();
+                        let payload = if *n == 1 {
+                            format!("::serde::Serialize::to_value({})", binders[0])
+                        } else {
+                            format!(
+                                "::serde::Value::Array(::std::vec![{}])",
+                                binders
+                                    .iter()
+                                    .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                    .collect::<Vec<_>>()
+                                    .join(", ")
+                            )
+                        };
+                        let _ = writeln!(
+                            body,
+                            "{name}::{vname}({binds}) => ::serde::Value::Map(::std::vec![(\
+                             ::std::string::String::from(\"{vname}\"), {payload})]),",
+                            binds = binders.join(", ")
+                        );
+                    }
+                    Shape::Named(fields) => {
+                        let entries = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "(::std::string::String::from(\"{f}\"), \
+                                     ::serde::Serialize::to_value({f}))"
+                                )
+                            })
+                            .collect::<Vec<_>>()
+                            .join(", ");
+                        let _ = writeln!(
+                            body,
+                            "{name}::{vname} {{ {binds} }} => ::serde::Value::Map(::std::vec![(\
+                             ::std::string::String::from(\"{vname}\"), \
+                             ::serde::Value::Map(::std::vec![{entries}]))]),",
+                            binds = fields.join(", ")
+                        );
+                    }
+                }
+            }
+            body.push_str("}\n");
+        }
+    }
+    let output = format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n\
+         }}\n"
+    );
+    output
+        .parse()
+        .expect("serde derive: generated invalid Serialize impl")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let name = &item.name;
+    let mut body = String::new();
+    match &item.data {
+        Data::NamedStruct(fields) => {
+            let _ = writeln!(
+                body,
+                "let mut __serde_map = ::serde::de::MapAccess::new(__serde_value, \"{name}\")?;"
+            );
+            body.push_str("::std::result::Result::Ok(");
+            let _ = write!(body, "{name} {{ ");
+            for field in fields {
+                let _ = write!(body, "{field}: __serde_map.field(\"{field}\")?, ");
+            }
+            body.push_str("})\n");
+        }
+        Data::TupleStruct(1) => {
+            let _ = writeln!(
+                body,
+                "::std::result::Result::Ok({name}(::serde::Deserialize::from_value(__serde_value)?))"
+            );
+        }
+        Data::TupleStruct(n) => {
+            let _ = writeln!(
+                body,
+                "let mut __serde_seq = ::serde::de::seq(__serde_value, {n}, \"{name}\")?.into_iter();"
+            );
+            body.push_str("::std::result::Result::Ok(");
+            let _ = write!(body, "{name}(");
+            for _ in 0..*n {
+                body.push_str("::serde::Deserialize::from_value(__serde_seq.next().unwrap())?, ");
+            }
+            body.push_str("))\n");
+        }
+        Data::UnitStruct => {
+            let _ = writeln!(
+                body,
+                "let _ = __serde_value; ::std::result::Result::Ok({name})"
+            );
+        }
+        Data::Enum(variants) => {
+            let _ = writeln!(
+                body,
+                "let (__serde_tag, __serde_payload) = \
+                 ::serde::de::enum_parts(__serde_value, \"{name}\")?;"
+            );
+            body.push_str("match __serde_tag.as_str() {\n");
+            for variant in variants {
+                let vname = &variant.name;
+                match &variant.shape {
+                    Shape::Unit => {
+                        let _ = writeln!(
+                            body,
+                            "\"{vname}\" => {{ \
+                             ::serde::de::expect_no_payload(__serde_payload, \"{name}::{vname}\")?; \
+                             ::std::result::Result::Ok({name}::{vname}) }}"
+                        );
+                    }
+                    Shape::Tuple(1) => {
+                        let _ = writeln!(
+                            body,
+                            "\"{vname}\" => {{ \
+                             let __serde_inner = ::serde::de::expect_payload(__serde_payload, \"{name}::{vname}\")?; \
+                             ::std::result::Result::Ok({name}::{vname}(\
+                             ::serde::Deserialize::from_value(__serde_inner)?)) }}"
+                        );
+                    }
+                    Shape::Tuple(n) => {
+                        let _ = writeln!(
+                            body,
+                            "\"{vname}\" => {{ \
+                             let __serde_inner = ::serde::de::expect_payload(__serde_payload, \"{name}::{vname}\")?; \
+                             let mut __serde_seq = ::serde::de::seq(__serde_inner, {n}, \"{name}::{vname}\")?.into_iter(); \
+                             ::std::result::Result::Ok({name}::{vname}({args})) }}",
+                            args = (0..*n)
+                                .map(|_| "::serde::Deserialize::from_value(\
+                                          __serde_seq.next().unwrap())?"
+                                    .to_string())
+                                .collect::<Vec<_>>()
+                                .join(", ")
+                        );
+                    }
+                    Shape::Named(fields) => {
+                        let field_parses = fields
+                            .iter()
+                            .map(|f| format!("{f}: __serde_map.field(\"{f}\")?"))
+                            .collect::<Vec<_>>()
+                            .join(", ");
+                        let _ = writeln!(
+                            body,
+                            "\"{vname}\" => {{ \
+                             let __serde_inner = ::serde::de::expect_payload(__serde_payload, \"{name}::{vname}\")?; \
+                             let mut __serde_map = ::serde::de::MapAccess::new(__serde_inner, \"{name}::{vname}\")?; \
+                             ::std::result::Result::Ok({name}::{vname} {{ {field_parses} }}) }}"
+                        );
+                    }
+                }
+            }
+            let _ = writeln!(
+                body,
+                "__serde_other => ::std::result::Result::Err(::serde::Error::custom(\
+                 ::std::format!(\"unknown {name} variant `{{__serde_other}}`\")))"
+            );
+            body.push_str("}\n");
+        }
+    }
+    let output = format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(__serde_value: ::serde::Value) -> \
+             ::std::result::Result<Self, ::serde::Error> {{\n{body}\n}}\n\
+         }}\n"
+    );
+    output
+        .parse()
+        .expect("serde derive: generated invalid Deserialize impl")
+}
