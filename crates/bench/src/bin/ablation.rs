@@ -13,7 +13,8 @@
 //! cargo run -p sdd-bench --release --bin ablation [-- --seed 2] [--circuit s1196]
 //! ```
 
-use sdd_core::inject::{run_campaign, CampaignConfig, ClockPolicy};
+use sdd_core::engine::DiagnosisEngine;
+use sdd_core::inject::{CampaignConfig, ClockPolicy};
 use sdd_core::CaptureModel;
 use sdd_netlist::profiles;
 use std::time::Instant;
@@ -63,9 +64,13 @@ fn main() {
         }),
     ];
 
+    // One engine across all variants: dictionary banks are keyed on
+    // everything the simulation reads, so variants that only change the
+    // observation side (e.g. the capture model) legitimately share them.
+    let engine = DiagnosisEngine::new();
     for (label, config) in variants {
         let t0 = Instant::now();
-        match run_campaign(&profile, &config) {
+        match engine.run_campaign(&profile, &config) {
             Ok(report) => {
                 println!("--- {label} ({:.1?})", t0.elapsed());
                 println!("{}", report.render_table());

@@ -12,15 +12,33 @@
 //!   pattern differentiates the faults in the timing domain.
 //!
 //! ```text
-//! cargo run -p sdd-bench --release --bin fig1
+//! cargo run -p sdd-bench --release --bin fig1 [-- --store DIR]
 //! ```
+//!
+//! `--store <dir>` is accepted for CLI uniformity with the other bench
+//! binaries; this figure estimates critical probabilities directly and
+//! builds no fault dictionaries, so the store is opened but stays idle.
 
+use sdd_core::DictionaryStore;
 use sdd_netlist::logic::simulate_pair;
 use sdd_netlist::{CircuitBuilder, GateKind};
 use sdd_timing::dynamic::transition_arrivals;
 use sdd_timing::{CircuitTiming, Samples, VariationModel};
 
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if let Some(dir) = args
+        .iter()
+        .position(|a| a == "--store")
+        .and_then(|i| args.get(i + 1))
+    {
+        let store = DictionaryStore::open(dir).expect("store directory opens");
+        println!(
+            "note: --store {} accepted, but fig1 builds no fault dictionaries ({} checkpoints untouched)\n",
+            store.dir().display(),
+            store.num_checkpoints()
+        );
+    }
     let start = std::time::Instant::now();
     case1();
     case2();

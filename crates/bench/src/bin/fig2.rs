@@ -24,12 +24,30 @@
 //! resolves it.
 //!
 //! ```text
-//! cargo run -p sdd-bench --release --bin fig2
+//! cargo run -p sdd-bench --release --bin fig2 [-- --store DIR]
 //! ```
+//!
+//! `--store <dir>` is accepted for CLI uniformity with the other bench
+//! binaries; this figure works on the paper's literal 2×2 example and
+//! builds no fault dictionaries, so the store is opened but stays idle.
 
 use sdd_core::error_fn::{phi, ErrorFunction};
+use sdd_core::DictionaryStore;
 
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if let Some(dir) = args
+        .iter()
+        .position(|a| a == "--store")
+        .and_then(|i| args.get(i + 1))
+    {
+        let store = DictionaryStore::open(dir).expect("store directory opens");
+        println!(
+            "note: --store {} accepted, but fig2 builds no fault dictionaries ({} checkpoints untouched)\n",
+            store.dir().display(),
+            store.num_checkpoints()
+        );
+    }
     let start = std::time::Instant::now();
     // Column-major: per pattern, per output.
     let behavior: [[bool; 2]; 2] = [[true, false], [false, true]];

@@ -19,18 +19,23 @@
 //! minimizes the error.
 //!
 //! ```text
-//! cargo run -p sdd-bench --release --bin fig3
+//! cargo run -p sdd-bench --release --bin fig3 [-- --store DIR]
 //! ```
+//!
+//! With `--store <dir>`, the per-chip dictionaries are checkpointed to
+//! (and on a re-run loaded from) disk.
 
 use sdd_core::defect::SingleDefectModel;
-use sdd_core::inject::{diagnose_one_instance_cached, CampaignConfig};
-use sdd_core::{DictionaryCache, ErrorFunction, MetricsSink};
+use sdd_core::engine::DiagnosisEngine;
+use sdd_core::inject::CampaignConfig;
+use sdd_core::ErrorFunction;
 use sdd_netlist::generator::generate;
 use sdd_netlist::profiles;
 use sdd_timing::{CellLibrary, CircuitTiming};
 use std::time::Instant;
 
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
     let seed = 11;
     let config = CampaignConfig::paper(seed);
     let profile = profiles::by_name("s1196").expect("profile exists");
@@ -51,13 +56,16 @@ fn main() {
     );
 
     let start = Instant::now();
-    let cache = DictionaryCache::new();
-    let metrics = MetricsSink::new();
+    let mut builder = DiagnosisEngine::builder();
+    if let Some(dir) = flag_value(&args, "--store") {
+        builder = builder.store_dir(dir);
+    }
+    let engine = builder.build().expect("engine builds");
     let mut shown = 0;
     for index in 0..20 {
-        let Some(outcome) = diagnose_one_instance_cached(
-            &circuit, &timing, &model, None, &config, index, &cache, &metrics,
-        ) else {
+        let Some(outcome) =
+            engine.diagnose_instance(&circuit, &timing, &model, None, &config, index)
+        else {
             continue;
         };
         if outcome.rankings.is_empty() {
@@ -119,5 +127,13 @@ fn main() {
     if shown == 0 {
         println!("no failing configuration produced — rerun with another --seed");
     }
-    println!("\n{}", metrics.snapshot(start.elapsed()).render());
+    engine.sync_store();
+    println!("\n{}", engine.metrics().snapshot(start.elapsed()).render());
+}
+
+fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
 }

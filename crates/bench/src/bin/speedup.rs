@@ -1,20 +1,26 @@
 //! Measures the campaign-engine speedup: the shared-cache parallel
-//! [`run_campaign_on`] path against the serial seed path (one fresh
+//! [`DiagnosisEngine`] path against the serial seed path (one fresh
 //! dictionary per chip, no sharing), on the Table-I workload.
 //!
 //! Both paths produce the same per-chip outcomes — `diagnose_one_instance`
-//! is `diagnose_one_instance_cached` with a throwaway cache — so the
+//! is the engine's per-chip pipeline with a throwaway cache — so the
 //! comparison isolates the engine change. Prints both reports' success
 //! tables (they must agree), the phase/cache metrics and the ratio.
 //!
+//! With `--store <dir>`, dictionary Monte-Carlo banks persist across
+//! runs: the first invocation simulates and checkpoints them, a second
+//! identical invocation loads them from disk (watch the `dictionary
+//! store:` metrics line and the dictionary phase time) and still
+//! produces the identical report.
+//!
 //! ```text
-//! cargo run -p sdd-bench --release --bin speedup [-- --circuit s1196] [--seed 2]
+//! cargo run -p sdd-bench --release --bin speedup \
+//!     [-- --circuit s1196] [--seed 2] [--store DIR]
 //! ```
 
+use sdd_core::engine::DiagnosisEngine;
 use sdd_core::evaluate::AccuracyReport;
-use sdd_core::inject::{
-    diagnose_one_instance, run_campaign_on, CampaignConfig, ClockPolicy, InstanceOutcome,
-};
+use sdd_core::inject::{diagnose_one_instance, CampaignConfig, ClockPolicy, InstanceOutcome};
 use sdd_core::ErrorFunction;
 use sdd_netlist::generator::generate;
 use sdd_netlist::profiles;
@@ -28,6 +34,7 @@ fn main() {
         .and_then(|s| s.parse().ok())
         .unwrap_or(2);
     let circuit_name = flag_value(&args, "--circuit").unwrap_or_else(|| "s1196".to_owned());
+    let store_dir = flag_value(&args, "--store");
     let profile = profiles::by_name(&circuit_name).expect("known circuit name");
     let config = CampaignConfig::paper(seed);
     let circuit = generate(&profile.to_config(seed))
@@ -43,9 +50,16 @@ fn main() {
     let serial_elapsed = t0.elapsed();
     println!("serial, fresh dictionaries : {serial_elapsed:>8.1?}");
 
-    // Shared cache + rayon fan-out.
+    // Shared cache + rayon fan-out, optionally store-backed.
+    let mut builder = DiagnosisEngine::builder();
+    if let Some(dir) = &store_dir {
+        builder = builder.store_dir(dir);
+    }
+    let engine = builder.build().expect("engine builds");
     let t0 = Instant::now();
-    let cached = run_campaign_on(&circuit, &config).expect("campaign runs");
+    let cached = engine
+        .run_campaign_on(&circuit, &config)
+        .expect("campaign runs");
     let cached_elapsed = t0.elapsed();
     println!("parallel, shared cache     : {cached_elapsed:>8.1?}");
     println!(
@@ -58,16 +72,22 @@ fn main() {
         "engine change altered the diagnosis results"
     );
     println!("results identical: yes\n");
+    if let Some(store) = engine.store() {
+        println!(
+            "dictionary store           : {} ({} checkpoints, {} loaded this run)",
+            store.dir().display(),
+            store.num_checkpoints(),
+            cached.metrics.store_hits,
+        );
+        println!();
+    }
     println!("{}", cached.render_table());
     println!("{}", cached.metrics.render());
 }
 
-/// The seed engine: the exact per-chip pipeline of [`run_campaign_on`],
+/// The seed engine: the exact per-chip pipeline of the campaign,
 /// executed serially with no dictionary sharing.
-fn run_serial_fresh(
-    circuit: &sdd_netlist::Circuit,
-    config: &CampaignConfig,
-) -> AccuracyReport {
+fn run_serial_fresh(circuit: &sdd_netlist::Circuit, config: &CampaignConfig) -> AccuracyReport {
     let library = CellLibrary::default_025um();
     let timing = CircuitTiming::characterize(circuit, &library, config.variation);
     let circuit_clk = match config.clock {
@@ -78,8 +98,7 @@ fn run_serial_fresh(
         ),
         ClockPolicy::TestedQuantile(_) | ClockPolicy::Sweep => None,
     };
-    let defect_model =
-        sdd_core::SingleDefectModel::paper_section_i(library.nominal_cell_delay());
+    let defect_model = sdd_core::SingleDefectModel::paper_section_i(library.nominal_cell_delay());
     let mut report = AccuracyReport::new(
         circuit.name(),
         config.k_values.clone(),

@@ -6,8 +6,14 @@
 //! Usage:
 //!
 //! ```text
-//! cargo run -p sdd-bench --release --bin table1 [-- --quick] [--circuit s1196] [--seed 2]
+//! cargo run -p sdd-bench --release --bin table1 \
+//!     [-- --quick] [--circuit s1196] [--seed 2] [--store DIR]
 //! ```
+//!
+//! With `--store <dir>`, dictionary Monte-Carlo banks are checkpointed
+//! to (and reloaded from) disk, so regenerating the table after a crash
+//! or re-running a subset of circuits skips the dictionary phase for
+//! everything already computed.
 //!
 //! Prints, per circuit, the measured success rates for all five error
 //! functions (the paper's four plus the `Alg_joint` extension) next to
@@ -18,7 +24,8 @@
 //! error-function algorithms are competitive.
 
 use sdd_bench::{table1_k_values, table1_reference};
-use sdd_core::inject::{run_campaign, CampaignConfig};
+use sdd_core::engine::DiagnosisEngine;
+use sdd_core::inject::CampaignConfig;
 use sdd_netlist::profiles::TABLE1_PROFILES;
 use std::time::Instant;
 
@@ -29,12 +36,24 @@ fn main() {
     let seed: u64 = flag_value(&args, "--seed")
         .and_then(|s| s.parse().ok())
         .unwrap_or(2);
+    let mut builder = DiagnosisEngine::builder();
+    if let Some(dir) = flag_value(&args, "--store") {
+        builder = builder.store_dir(dir);
+    }
+    let engine = builder.build().expect("engine builds");
 
     println!("=== Table I reproduction: diagnosis accuracy on benchmark examples ===");
     println!(
         "mode: {}, seed: {seed}\n",
         if quick { "quick" } else { "paper (N = 20)" }
     );
+    if let Some(store) = engine.store() {
+        println!(
+            "dictionary store: {} ({} checkpoints)\n",
+            store.dir().display(),
+            store.num_checkpoints()
+        );
+    }
 
     let total = Instant::now();
     for profile in TABLE1_PROFILES {
@@ -62,7 +81,7 @@ fn main() {
             config.n_paths = 4;
         }
         let t0 = Instant::now();
-        match run_campaign(&profile, &config) {
+        match engine.run_campaign(&profile, &config) {
             Ok(report) => {
                 println!("{}", report.render_table());
                 println!("{}\n", report.metrics.render());

@@ -27,41 +27,29 @@
 //! bank; the per-key mutex is held across simulation, so concurrent
 //! requests for the *same* key block rather than duplicate the
 //! Monte-Carlo, while requests for different keys proceed in parallel.
-//! Keys are hashed with the std hasher — the cache is in-memory and
-//! per-process, so hash stability across processes is not required.
+//!
+//! Keys are [`StoreKey`]s: stable FNV-1a fingerprints of everything the
+//! simulation reads — *including* the circuit and timing model, so one
+//! cache (or one long-lived [`crate::engine::DiagnosisEngine`]) can
+//! safely serve many campaigns over different circuits. The same key
+//! identifies a checkpoint file in an optional [`DictionaryStore`]:
+//! attach one with [`DictionaryCache::with_store`] and banks are loaded
+//! from disk instead of simulated when a valid checkpoint exists, and
+//! checkpointed in the background whenever simulation extends them.
 
 use crate::dictionary::{
     assemble_from_masks, simulate_fail_masks, BitGrid, DictionaryConfig, ProbabilisticDictionary,
     SuspectMasks,
 };
 use crate::metrics::MetricsSink;
+use crate::store::{DictionaryStore, StoreKey};
 use crate::BehaviorMatrix;
 use sdd_atpg::PatternSet;
 use sdd_netlist::{Circuit, EdgeId};
 use sdd_timing::dynamic::DefectCone;
 use sdd_timing::{CircuitTiming, Dist};
-use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
-use std::hash::{Hash, Hasher};
 use std::sync::{Arc, Mutex, RwLock};
-
-/// Everything [`simulate_fail_masks`](crate::dictionary) reads, reduced
-/// to a hashable key. The circuit and timing model are deliberately
-/// absent: a cache is scoped to one (circuit, timing) pair by
-/// construction (one per campaign).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-struct CacheKey {
-    /// Fingerprint of the applied two-vector patterns.
-    patterns_fp: u64,
-    /// Exact bits of the cut-off period.
-    clk_bits: u64,
-    /// Monte-Carlo budget.
-    n_samples: usize,
-    /// Monte-Carlo base seed.
-    seed: u64,
-    /// Fingerprint of the defect-size distribution.
-    defect_fp: u64,
-}
 
 /// The cached grids for one key: the defect-free baseline plus one bank
 /// per suspect arc simulated so far.
@@ -73,21 +61,38 @@ struct Bank {
     suspects: HashMap<EdgeId, SuspectMasks>,
 }
 
-/// A thread-safe, campaign-wide dictionary cache. See the module docs
-/// for the sharing and determinism story.
+/// A thread-safe, campaign-wide dictionary cache, optionally backed by
+/// an on-disk [`DictionaryStore`]. See the module docs for the sharing,
+/// determinism and persistence story.
 #[derive(Debug, Default)]
 pub struct DictionaryCache {
-    banks: RwLock<HashMap<CacheKey, Arc<Mutex<Bank>>>>,
+    banks: RwLock<HashMap<StoreKey, Arc<Mutex<Bank>>>>,
+    store: Option<Arc<DictionaryStore>>,
 }
 
 impl DictionaryCache {
-    /// An empty cache.
+    /// An empty, memory-only cache.
     pub fn new() -> DictionaryCache {
         DictionaryCache::default()
     }
 
-    /// Number of distinct (pattern set, clk, config, defect dist) keys
-    /// populated so far.
+    /// An empty cache backed by `store`: bank misses first try loading
+    /// the key's checkpoint from disk, and every simulation that extends
+    /// a bank re-checkpoints it in the background.
+    pub fn with_store(store: Arc<DictionaryStore>) -> DictionaryCache {
+        DictionaryCache {
+            banks: RwLock::default(),
+            store: Some(store),
+        }
+    }
+
+    /// The backing store, if one is attached.
+    pub fn store(&self) -> Option<&Arc<DictionaryStore>> {
+        self.store.as_ref()
+    }
+
+    /// Number of distinct (model, pattern set, clk, config, defect dist)
+    /// keys populated so far.
     pub fn num_keys(&self) -> usize {
         self.banks.read().expect("cache lock").len()
     }
@@ -135,13 +140,7 @@ impl DictionaryCache {
                 "behavior/pattern count mismatch"
             );
         }
-        let key = CacheKey {
-            patterns_fp: fingerprint_patterns(patterns),
-            clk_bits: clk.to_bits(),
-            n_samples: config.n_samples,
-            seed: config.seed,
-            defect_fp: fingerprint_dist(defect_size),
-        };
+        let key = StoreKey::compute(circuit, timing, defect_size, patterns, clk, config);
         let cell = {
             let read = self.banks.read().expect("cache lock");
             match read.get(&key) {
@@ -154,12 +153,28 @@ impl DictionaryCache {
             }
         };
         let mut bank = cell.lock().expect("bank lock");
+        // A never-touched bank may have a checkpoint on disk from an
+        // earlier run; a load replaces the entire Monte-Carlo phase.
+        if bank.base.is_empty() {
+            if let Some(store) = &self.store {
+                if let Some(loaded) = store.load(
+                    &key,
+                    patterns.len(),
+                    circuit.primary_outputs().len(),
+                    metrics,
+                ) {
+                    bank.base = loaded.base;
+                    bank.suspects = loaded.suspects.into_iter().collect();
+                }
+            }
+        }
         let missing: Vec<EdgeId> = suspect_edges
             .iter()
             .copied()
             .filter(|e| !bank.suspects.contains_key(e))
             .collect();
-        if bank.base.is_empty() || !missing.is_empty() {
+        let simulated = bank.base.is_empty() || !missing.is_empty();
+        if simulated {
             if let Some(m) = metrics {
                 m.record_cache_miss();
                 m.add_samples_simulated((patterns.len() * config.n_samples) as u64);
@@ -192,6 +207,18 @@ impl DictionaryCache {
         } else if let Some(m) = metrics {
             m.record_cache_hit();
         }
+        if simulated {
+            if let Some(store) = &self.store {
+                // Checkpoint the grown bank (serialization happens here,
+                // under the bank lock, so the snapshot is consistent;
+                // only the file I/O runs in the background). Suspects go
+                // out in arc order so byte output is deterministic.
+                let mut sorted: Vec<(EdgeId, &SuspectMasks)> =
+                    bank.suspects.iter().map(|(e, m)| (*e, m)).collect();
+                sorted.sort_by_key(|(e, _)| e.index());
+                store.flush(&key, &bank.base, &sorted, metrics);
+            }
+        }
         let base_refs: Vec<&BitGrid> = bank.base.iter().collect();
         let ordered: Vec<(EdgeId, &SuspectMasks)> = suspect_edges
             .iter()
@@ -206,24 +233,6 @@ impl DictionaryCache {
             behavior,
         )
     }
-}
-
-fn fingerprint_patterns(patterns: &PatternSet) -> u64 {
-    let mut h = DefaultHasher::new();
-    patterns.len().hash(&mut h);
-    for p in patterns.iter() {
-        p.v1.hash(&mut h);
-        p.v2.hash(&mut h);
-    }
-    h.finish()
-}
-
-fn fingerprint_dist(dist: &Dist) -> u64 {
-    // `Debug` for `Dist` prints variant name plus exact shortest-roundtrip
-    // float fields — distinct distributions give distinct strings.
-    let mut h = DefaultHasher::new();
-    format!("{dist:?}").hash(&mut h);
-    h.finish()
 }
 
 #[cfg(test)]
@@ -436,6 +445,61 @@ mod tests {
             .collect();
         cache.build_with_behavior(&c, &t, &size, &other, &suspects, 0.25, config(), None, None);
         assert_eq!(cache.num_keys(), 3);
+    }
+
+    #[test]
+    fn store_backed_cache_reloads_banks_across_cache_lifetimes() {
+        let (c, t) = two_chains();
+        let ps = both_rise();
+        let (behavior, _) = failing_behavior(&c, &t, &ps);
+        let suspects: Vec<EdgeId> = c.edge_ids().collect();
+        let size = Dist::defect_size(0.4);
+        let clk = behavior.clk();
+        let dir = std::env::temp_dir().join(format!("sdd-cache-store-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+
+        let store = Arc::new(crate::store::DictionaryStore::open(&dir).unwrap());
+        let warm = DictionaryCache::with_store(Arc::clone(&store));
+        let m1 = MetricsSink::new();
+        let first = warm.build_with_behavior(
+            &c,
+            &t,
+            &size,
+            &ps,
+            &suspects,
+            clk,
+            config(),
+            Some(&behavior),
+            Some(&m1),
+        );
+        drop(warm);
+        store.sync();
+        let s1 = m1.snapshot(std::time::Duration::ZERO);
+        assert_eq!(s1.store_misses, 1, "cold run misses the store");
+        assert_eq!(s1.store_flushes, 1, "cold run checkpoints its bank");
+
+        // A brand-new cache over the same directory: the Monte-Carlo
+        // phase is replaced entirely by the checkpoint load.
+        let cold = DictionaryCache::with_store(Arc::new(
+            crate::store::DictionaryStore::open(&dir).unwrap(),
+        ));
+        let m2 = MetricsSink::new();
+        let second = cold.build_with_behavior(
+            &c,
+            &t,
+            &size,
+            &ps,
+            &suspects,
+            clk,
+            config(),
+            Some(&behavior),
+            Some(&m2),
+        );
+        assert_eq!(first, second, "loaded bank diverged from simulated bank");
+        let s2 = m2.snapshot(std::time::Duration::ZERO);
+        assert_eq!(s2.store_hits, 1, "warm run loads from disk");
+        assert_eq!(s2.samples_simulated, 0, "warm run simulates nothing");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -17,9 +17,9 @@
 //! Outputs structurally unreachable from a suspect arc have
 //! `err_ij = crt_ij` (signature 0) and are stored implicitly.
 //!
-//! The build is two-phase: [`simulate_fail_masks`] records the raw
+//! The build is two-phase: `simulate_fail_masks` records the raw
 //! pass/fail outcome of every (pattern, chip sample, suspect) as bit
-//! grids, and [`assemble_from_masks`] turns grids into probabilities
+//! grids, and `assemble_from_masks` turns grids into probabilities
 //! (plus, optionally, the joint consistency estimate against an observed
 //! behaviour matrix). The chip-independent grids are what
 //! [`DictionaryCache`](crate::cache::DictionaryCache) shares across a
@@ -290,6 +290,31 @@ impl BitGrid {
     pub(crate) fn get(&self, row: usize, bit: usize) -> bool {
         debug_assert!(bit < self.width);
         (self.words[row * self.words_per_row + bit / 64] >> (bit % 64)) & 1 != 0
+    }
+
+    /// Bit width of one row (number of tracked outputs).
+    pub(crate) fn width(&self) -> usize {
+        self.width
+    }
+
+    /// The backing words, row-major (for store serialization).
+    pub(crate) fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Rebuilds a grid from its width and backing words (store
+    /// deserialization). Returns `None` when the word count is not a
+    /// whole number of rows for that width.
+    pub(crate) fn from_words(width: usize, words: Vec<u64>) -> Option<BitGrid> {
+        let words_per_row = width.div_ceil(64).max(1);
+        if !words.len().is_multiple_of(words_per_row) {
+            return None;
+        }
+        Some(BitGrid {
+            width,
+            words_per_row,
+            words,
+        })
     }
 }
 

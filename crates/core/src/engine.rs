@@ -1,0 +1,335 @@
+//! The [`DiagnosisEngine`] facade: one owned object for everything a
+//! diagnosis application needs.
+//!
+//! Historically the campaign API was a set of free functions
+//! ([`run_campaign`](crate::inject::run_campaign) and friends) that each
+//! conjured their own [`DictionaryCache`] and [`MetricsSink`], so nothing
+//! survived from one campaign to the next and there was no place to hang
+//! cross-cutting concerns (dictionary persistence, thread-pool control).
+//! The engine owns all of that:
+//!
+//! * a [`DictionaryCache`] that outlives individual campaigns — repeated
+//!   campaigns over the same circuit and configuration share Monte-Carlo
+//!   banks in memory;
+//! * optionally, a [`DictionaryStore`] behind the cache — banks persist
+//!   across *processes* and are loaded instead of re-simulated;
+//! * a [`MetricsSink`] accumulating across everything the engine runs,
+//!   while each report still carries its own per-campaign delta;
+//! * optionally, a dedicated rayon thread pool sized at build time.
+//!
+//! ```no_run
+//! use sdd_core::engine::DiagnosisEngine;
+//! use sdd_core::inject::CampaignConfig;
+//! use sdd_netlist::profiles;
+//!
+//! # fn main() -> Result<(), sdd_core::SddError> {
+//! let engine = DiagnosisEngine::builder()
+//!     .store_dir("dict-store")
+//!     .build()?;
+//! let report = engine.run_campaign(&profiles::S27, &CampaignConfig::quick(1))?;
+//! println!("{}", report.render_table());
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::cache::DictionaryCache;
+use crate::defect::SingleDefectModel;
+use crate::evaluate::AccuracyReport;
+use crate::inject::{
+    diagnose_instance_impl, run_campaign_on_with, CampaignConfig, InstanceOutcome,
+};
+use crate::metrics::MetricsSink;
+use crate::store::DictionaryStore;
+use crate::SddError;
+use sdd_netlist::generator::generate;
+use sdd_netlist::profiles::BenchmarkProfile;
+use sdd_netlist::Circuit;
+use sdd_timing::CircuitTiming;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+/// Configures and builds a [`DiagnosisEngine`]. Obtained from
+/// [`DiagnosisEngine::builder`].
+#[derive(Debug, Default)]
+pub struct DiagnosisEngineBuilder {
+    store_dir: Option<PathBuf>,
+    store: Option<Arc<DictionaryStore>>,
+    num_threads: Option<usize>,
+}
+
+impl DiagnosisEngineBuilder {
+    /// Backs the engine's dictionary cache with an on-disk store rooted
+    /// at `dir` (created if absent). Monte-Carlo banks are loaded from
+    /// it instead of re-simulated, and checkpointed back whenever
+    /// simulation extends them.
+    pub fn store_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.store_dir = Some(dir.into());
+        self
+    }
+
+    /// Backs the engine with an already-open [`DictionaryStore`] (e.g.
+    /// one shared between engines). Takes precedence over
+    /// [`store_dir`](Self::store_dir).
+    pub fn store(mut self, store: Arc<DictionaryStore>) -> Self {
+        self.store = Some(store);
+        self
+    }
+
+    /// Runs campaigns on a dedicated rayon pool of `n` threads instead
+    /// of the global pool. `1` gives a fully serial engine.
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = Some(n);
+        self
+    }
+
+    /// Builds the engine.
+    ///
+    /// # Errors
+    ///
+    /// [`SddError::Store`] when the store directory cannot be opened;
+    /// [`SddError::Config`] when the thread pool cannot be built.
+    pub fn build(self) -> Result<DiagnosisEngine, SddError> {
+        let store = match (self.store, self.store_dir) {
+            (Some(handle), _) => Some(handle),
+            (None, Some(dir)) => Some(Arc::new(DictionaryStore::open(dir)?)),
+            (None, None) => None,
+        };
+        let cache = match store {
+            Some(store) => DictionaryCache::with_store(store),
+            None => DictionaryCache::new(),
+        };
+        let pool = self
+            .num_threads
+            .map(|n| {
+                rayon::ThreadPoolBuilder::new()
+                    .num_threads(n)
+                    .build()
+                    .map_err(|e| SddError::Config(format!("thread pool: {e}")))
+            })
+            .transpose()?;
+        Ok(DiagnosisEngine {
+            cache,
+            metrics: MetricsSink::new(),
+            pool,
+        })
+    }
+}
+
+/// The unified entry point for diagnosis campaigns: owns the dictionary
+/// cache (optionally store-backed), the metrics sink and the thread-pool
+/// policy. See the module docs for what that buys over the deprecated
+/// free functions.
+#[derive(Debug)]
+pub struct DiagnosisEngine {
+    cache: DictionaryCache,
+    metrics: MetricsSink,
+    pool: Option<rayon::ThreadPool>,
+}
+
+impl Default for DiagnosisEngine {
+    fn default() -> Self {
+        DiagnosisEngine::new()
+    }
+}
+
+impl DiagnosisEngine {
+    /// An engine with default policy: in-memory cache only, global
+    /// rayon pool. Equivalent to the deprecated free functions, plus a
+    /// cache that persists across its campaigns.
+    pub fn new() -> DiagnosisEngine {
+        DiagnosisEngine::builder()
+            .build()
+            .expect("default engine construction is infallible")
+    }
+
+    /// Starts configuring an engine.
+    pub fn builder() -> DiagnosisEngineBuilder {
+        DiagnosisEngineBuilder::default()
+    }
+
+    /// The engine's dictionary cache.
+    pub fn cache(&self) -> &DictionaryCache {
+        &self.cache
+    }
+
+    /// The engine's accumulating metrics sink (reports additionally
+    /// carry per-campaign deltas).
+    pub fn metrics(&self) -> &MetricsSink {
+        &self.metrics
+    }
+
+    /// The backing dictionary store, if the engine was built with one.
+    pub fn store(&self) -> Option<&Arc<DictionaryStore>> {
+        self.cache.store()
+    }
+
+    /// Blocks until all background dictionary checkpoints written so far
+    /// are on disk. A no-op for store-less engines. Campaign entry
+    /// points call this on completion; dropping the engine also syncs.
+    pub fn sync_store(&self) {
+        if let Some(store) = self.cache.store() {
+            store.sync();
+        }
+    }
+
+    /// Runs the defect-injection campaign on a profiled synthetic
+    /// benchmark (generates the circuit, applies the scan cut, then runs
+    /// [`run_campaign_on`](Self::run_campaign_on)).
+    ///
+    /// # Errors
+    ///
+    /// Propagates circuit-generation errors.
+    pub fn run_campaign(
+        &self,
+        profile: &BenchmarkProfile,
+        config: &CampaignConfig,
+    ) -> Result<AccuracyReport, SddError> {
+        let circuit = generate(&profile.to_config(config.seed))?.to_combinational()?;
+        self.run_campaign_on(&circuit, config)
+    }
+
+    /// Runs the defect-injection campaign on an explicit combinational
+    /// circuit, through the engine's cache, store and thread pool.
+    ///
+    /// Chips fan out in parallel yet the report is bit-identical for any
+    /// thread count, any cache population order, and — because loaded
+    /// checkpoints store exact grid words — whether banks were simulated
+    /// in this process or loaded from the store.
+    /// [`AccuracyReport::metrics`] carries this campaign's delta
+    /// (timers, cache and store counters), not the engine's lifetime
+    /// totals.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for degenerate configurations; individual chips
+    /// whose diagnosis fails are *scored* as failures, not errors.
+    pub fn run_campaign_on(
+        &self,
+        circuit: &Circuit,
+        config: &CampaignConfig,
+    ) -> Result<AccuracyReport, SddError> {
+        let run = || run_campaign_on_with(circuit, config, &self.cache, &self.metrics);
+        let report = match &self.pool {
+            Some(pool) => pool.install(run),
+            None => run(),
+        }?;
+        // Make the campaign's checkpoints durable before reporting: a
+        // caller that exits right after this call must find them on the
+        // next run.
+        self.sync_store();
+        Ok(report)
+    }
+
+    /// Injects, observes and diagnoses the `index`-th chip of a
+    /// campaign, through the engine's cache and metrics. Returns `None`
+    /// when no observable failing configuration could be drawn within
+    /// the redraw budget (see [`CampaignConfig::max_redraws`]).
+    ///
+    /// `circuit_clk` is the campaign-level clock for
+    /// [`crate::inject::ClockPolicy::CircuitQuantile`]; pass `None`
+    /// under the tested-quantile and sweep policies.
+    pub fn diagnose_instance(
+        &self,
+        circuit: &Circuit,
+        timing: &CircuitTiming,
+        defect_model: &SingleDefectModel,
+        circuit_clk: Option<f64>,
+        config: &CampaignConfig,
+        index: usize,
+    ) -> Option<InstanceOutcome> {
+        let run = || {
+            diagnose_instance_impl(
+                circuit,
+                timing,
+                defect_model,
+                circuit_clk,
+                config,
+                index,
+                &self.cache,
+                &self.metrics,
+            )
+        };
+        match &self.pool {
+            Some(pool) => pool.install(run),
+            None => run(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdd_netlist::profiles;
+
+    #[test]
+    fn engine_reports_per_campaign_metric_deltas() {
+        let engine = DiagnosisEngine::new();
+        let cfg = CampaignConfig::quick(9);
+        let first = engine.run_campaign(&profiles::S27, &cfg).unwrap();
+        let second = engine.run_campaign(&profiles::S27, &cfg).unwrap();
+        assert_eq!(first.trials, second.trials);
+        // The engine-level sink accumulates, but each report is a delta:
+        // the second campaign is served from the warm in-memory cache,
+        // so it records hits without re-counting the first campaign's.
+        assert!(second.metrics.dict_cache_hits > 0, "warm cache unused");
+        assert_eq!(
+            second.metrics.dict_cache_misses, 0,
+            "second identical campaign should simulate nothing"
+        );
+        let lifetime = engine.metrics().snapshot(std::time::Duration::ZERO);
+        assert_eq!(
+            lifetime.dict_cache_hits + lifetime.dict_cache_misses,
+            first.metrics.dict_cache_hits
+                + first.metrics.dict_cache_misses
+                + second.metrics.dict_cache_hits
+                + second.metrics.dict_cache_misses
+        );
+    }
+
+    #[test]
+    fn store_backed_engines_reload_across_engine_lifetimes() {
+        let dir = std::env::temp_dir().join(format!("sdd-engine-store-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cfg = CampaignConfig::quick(2);
+
+        let cold = DiagnosisEngine::builder()
+            .store_dir(&dir)
+            .build()
+            .expect("engine builds");
+        let first = cold.run_campaign(&profiles::S27, &cfg).unwrap();
+        assert!(
+            first.metrics.store_flushes > 0,
+            "cold campaign never checkpointed"
+        );
+        drop(cold);
+
+        // A brand-new engine over the same directory: dictionaries come
+        // from disk, and the report stays bit-identical.
+        let warm = DiagnosisEngine::builder()
+            .store_dir(&dir)
+            .build()
+            .expect("engine builds");
+        let second = warm.run_campaign(&profiles::S27, &cfg).unwrap();
+        assert_eq!(first, second, "loaded dictionaries changed the report");
+        assert!(second.metrics.store_hits > 0, "warm campaign never loaded");
+        assert_eq!(
+            second.metrics.dict_cache_misses, 0,
+            "every first bank touch should be served by a store load"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn builder_store_handle_takes_precedence() {
+        let dir = std::env::temp_dir().join(format!("sdd-engine-handle-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let handle = Arc::new(DictionaryStore::open(&dir).unwrap());
+        let engine = DiagnosisEngine::builder()
+            .store(Arc::clone(&handle))
+            .store_dir("/nonexistent/never/created")
+            .build()
+            .expect("handle wins over dir");
+        assert_eq!(engine.store().unwrap().dir(), handle.dir());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

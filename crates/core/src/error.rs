@@ -1,7 +1,15 @@
-//! Error type for the diagnosis layer.
+//! Error types for the diagnosis layer.
+//!
+//! Two levels exist. [`DiagnosisError`] is the historical, fine-grained
+//! error of the per-instance diagnosis path. [`SddError`] is the unified
+//! top-level error of the whole stack: every layer's error — netlist,
+//! timing, ATPG, diagnosis, dictionary store — converts into it via
+//! `From`, so application code (and the [`crate::engine::DiagnosisEngine`]
+//! facade) can use one `Result<_, SddError>` end to end with `?`.
 
 use std::error::Error;
 use std::fmt;
+use std::path::PathBuf;
 
 /// Errors produced by diagnosis and the injection campaign.
 #[derive(Debug)]
@@ -71,6 +79,113 @@ impl From<sdd_atpg::AtpgError> for DiagnosisError {
     }
 }
 
+/// The unified error of the whole SDD stack.
+///
+/// Every per-layer error converts into this via `From`, so `?` works
+/// uniformly whether the failure came from netlist parsing, timing
+/// analysis, pattern generation, diagnosis proper, or the on-disk
+/// dictionary store.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum SddError {
+    /// A netlist-layer error (parsing, topology).
+    Netlist(sdd_netlist::NetlistError),
+    /// A timing-layer error (statistical model, simulation).
+    Timing(sdd_timing::TimingError),
+    /// An ATPG-layer error (pattern generation).
+    Atpg(sdd_atpg::AtpgError),
+    /// A diagnosis-layer error (suspects, campaign shapes).
+    Diagnosis(DiagnosisError),
+    /// The dictionary store directory could not be opened or managed.
+    /// Note that *file-level* store problems (corruption, version skew)
+    /// never surface as errors — they degrade to recomputation.
+    Store {
+        /// The store directory involved.
+        path: PathBuf,
+        /// The underlying I/O error.
+        source: std::io::Error,
+    },
+    /// An engine configuration problem (e.g. an unbuildable thread pool).
+    Config(String),
+}
+
+impl fmt::Display for SddError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SddError::Netlist(e) => write!(f, "netlist error: {e}"),
+            SddError::Timing(e) => write!(f, "timing error: {e}"),
+            SddError::Atpg(e) => write!(f, "atpg error: {e}"),
+            SddError::Diagnosis(e) => write!(f, "diagnosis error: {e}"),
+            SddError::Store { path, source } => {
+                write!(f, "dictionary store at {}: {source}", path.display())
+            }
+            SddError::Config(what) => write!(f, "engine configuration: {what}"),
+        }
+    }
+}
+
+impl Error for SddError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SddError::Netlist(e) => Some(e),
+            SddError::Timing(e) => Some(e),
+            SddError::Atpg(e) => Some(e),
+            SddError::Diagnosis(e) => Some(e),
+            SddError::Store { source, .. } => Some(source),
+            SddError::Config(_) => None,
+        }
+    }
+}
+
+impl From<sdd_netlist::NetlistError> for SddError {
+    fn from(e: sdd_netlist::NetlistError) -> Self {
+        SddError::Netlist(e)
+    }
+}
+
+impl From<sdd_timing::TimingError> for SddError {
+    fn from(e: sdd_timing::TimingError) -> Self {
+        SddError::Timing(e)
+    }
+}
+
+impl From<sdd_atpg::AtpgError> for SddError {
+    fn from(e: sdd_atpg::AtpgError) -> Self {
+        SddError::Atpg(e)
+    }
+}
+
+impl From<DiagnosisError> for SddError {
+    fn from(e: DiagnosisError) -> Self {
+        // Keep the most specific wrapper: a DiagnosisError that itself
+        // wraps a lower layer is lifted to that layer's SddError variant.
+        match e {
+            DiagnosisError::Netlist(e) => SddError::Netlist(e),
+            DiagnosisError::Timing(e) => SddError::Timing(e),
+            DiagnosisError::Atpg(e) => SddError::Atpg(e),
+            other => SddError::Diagnosis(other),
+        }
+    }
+}
+
+impl From<SddError> for DiagnosisError {
+    /// Back-conversion for the deprecated campaign wrappers, which still
+    /// advertise [`DiagnosisError`]. Store and config failures cannot
+    /// occur on those store-less default paths; if they ever do, they
+    /// are reported as a shape mismatch carrying the message.
+    fn from(e: SddError) -> Self {
+        match e {
+            SddError::Netlist(e) => DiagnosisError::Netlist(e),
+            SddError::Timing(e) => DiagnosisError::Timing(e),
+            SddError::Atpg(e) => DiagnosisError::Atpg(e),
+            SddError::Diagnosis(e) => e,
+            other => DiagnosisError::ShapeMismatch {
+                what: other.to_string(),
+            },
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -87,5 +202,30 @@ mod tests {
     fn error_is_send_sync() {
         fn assert_send_sync<T: Send + Sync>() {}
         assert_send_sync::<DiagnosisError>();
+        assert_send_sync::<SddError>();
+    }
+
+    #[test]
+    fn sdd_error_lifts_and_lowers_layer_errors() {
+        let up = SddError::from(DiagnosisError::from(sdd_timing::TimingError::ZeroSamples));
+        assert!(matches!(up, SddError::Timing(_)));
+        let down = DiagnosisError::from(SddError::Config("bad pool".into()));
+        assert!(matches!(down, DiagnosisError::ShapeMismatch { .. }));
+        let roundtrip = DiagnosisError::from(SddError::from(DiagnosisError::NoSuspects));
+        assert!(matches!(roundtrip, DiagnosisError::NoSuspects));
+    }
+
+    #[test]
+    fn sdd_error_display_and_source_cover_variants() {
+        let store = SddError::Store {
+            path: PathBuf::from("/tmp/x"),
+            source: std::io::Error::other("boom"),
+        };
+        assert!(store.to_string().contains("/tmp/x"));
+        assert!(store.source().is_some());
+        assert!(SddError::Config("x".into()).source().is_none());
+        assert!(SddError::from(sdd_atpg::AtpgError::SequentialCircuit)
+            .to_string()
+            .contains("atpg"));
     }
 }

@@ -21,7 +21,6 @@ use sdd_atpg::fault::{PathDelayFault, TransitionDirection};
 use sdd_atpg::path_atpg::generate_robust_or_nonrobust;
 use sdd_atpg::podem::PodemConfig;
 use sdd_atpg::PatternSet;
-use sdd_netlist::generator::generate;
 use sdd_netlist::profiles::BenchmarkProfile;
 use sdd_netlist::{Circuit, EdgeId};
 use sdd_timing::{path, sta, CellLibrary, CircuitTiming, TimingInstance, VariationModel};
@@ -224,7 +223,7 @@ pub struct InstanceOutcome {
 /// over its statistically longest paths first, non-robust fallback, both
 /// launch directions; when single-path sensitization fails (long paths in
 /// reconvergent logic are frequently false paths — the very problem the
-/// paper's false-path-aware selection [17] addresses), transition-fault
+/// paper's false-path-aware selection \[17\] addresses), transition-fault
 /// two-pattern tests through the site fill the budget. Transition tests
 /// launch the same transition through the segment but let it propagate
 /// along whatever paths the logic sensitizes.
@@ -338,12 +337,16 @@ pub fn patterns_through_site_with(
 /// # Errors
 ///
 /// Propagates circuit-generation errors.
+#[deprecated(note = "build a `sdd_core::DiagnosisEngine` and call \
+                     `run_campaign` on it — the engine adds dictionary \
+                     persistence and thread-pool control")]
 pub fn run_campaign(
     profile: &BenchmarkProfile,
     config: &CampaignConfig,
 ) -> Result<AccuracyReport, DiagnosisError> {
-    let circuit = generate(&profile.to_config(config.seed))?.to_combinational()?;
-    run_campaign_on(&circuit, config)
+    crate::engine::DiagnosisEngine::new()
+        .run_campaign(profile, config)
+        .map_err(DiagnosisError::from)
 }
 
 /// Runs the campaign on an explicit combinational circuit.
@@ -360,11 +363,31 @@ pub fn run_campaign(
 ///
 /// Returns an error for degenerate configurations; individual chips whose
 /// diagnosis fails are *scored* as failures, not errors.
+#[deprecated(note = "build a `sdd_core::DiagnosisEngine` and call \
+                     `run_campaign_on` on it — the engine adds dictionary \
+                     persistence and thread-pool control")]
 pub fn run_campaign_on(
     circuit: &Circuit,
     config: &CampaignConfig,
 ) -> Result<AccuracyReport, DiagnosisError> {
+    crate::engine::DiagnosisEngine::new()
+        .run_campaign_on(circuit, config)
+        .map_err(DiagnosisError::from)
+}
+
+/// The campaign body shared by the [`crate::engine::DiagnosisEngine`]
+/// and the deprecated free-function wrappers: fan chips out over the
+/// *current* rayon pool against the given cache and metrics sink. The
+/// report's metrics are the delta against the sink's state at entry, so
+/// a long-lived engine reports per-campaign numbers.
+pub(crate) fn run_campaign_on_with(
+    circuit: &Circuit,
+    config: &CampaignConfig,
+    cache: &DictionaryCache,
+    metrics: &MetricsSink,
+) -> Result<AccuracyReport, DiagnosisError> {
     let start = Instant::now();
+    let baseline = metrics.snapshot(std::time::Duration::ZERO);
     let library = CellLibrary::default_025um();
     let timing = CircuitTiming::characterize(circuit, &library, config.variation);
     let circuit_clk = match config.clock {
@@ -379,20 +402,18 @@ pub fn run_campaign_on(
         config.k_values.clone(),
         ErrorFunction::EXTENDED.to_vec(),
     );
-    let cache = DictionaryCache::new();
-    let metrics = MetricsSink::new();
     let outcomes: Vec<Option<InstanceOutcome>> = (0..config.n_instances)
         .into_par_iter()
         .map(|i| {
-            diagnose_one_instance_cached(
+            diagnose_instance_impl(
                 circuit,
                 &timing,
                 &defect_model,
                 circuit_clk,
                 config,
                 i,
-                &cache,
-                &metrics,
+                cache,
+                metrics,
             )
         })
         .collect();
@@ -405,7 +426,8 @@ pub fn run_campaign_on(
             None => report.record_failure(0),
         }
     }
-    report.metrics = metrics.snapshot(start.elapsed());
+    let elapsed = start.elapsed();
+    report.metrics = metrics.snapshot(elapsed).since(&baseline, elapsed);
     Ok(report)
 }
 
@@ -425,7 +447,7 @@ pub fn diagnose_one_instance(
     config: &CampaignConfig,
     index: usize,
 ) -> Option<InstanceOutcome> {
-    diagnose_one_instance_cached(
+    diagnose_instance_impl(
         circuit,
         timing,
         defect_model,
@@ -438,12 +460,41 @@ pub fn diagnose_one_instance(
 }
 
 /// [`diagnose_one_instance`] sharing a campaign-wide [`DictionaryCache`]
-/// and reporting phase timings to a [`MetricsSink`]. This is what
-/// [`run_campaign_on`] fans out over the thread pool: diagnosing the
-/// same chip index through the same cache yields a bit-identical outcome
+/// and reporting phase timings to a [`MetricsSink`]. This is what the
+/// campaign fans out over the thread pool: diagnosing the same chip
+/// index through the same cache yields a bit-identical outcome
 /// regardless of thread count or cache population order.
+#[deprecated(note = "build a `sdd_core::DiagnosisEngine` (which owns the \
+                     cache and metrics sink) and call `diagnose_instance` \
+                     on it")]
 #[allow(clippy::too_many_arguments)]
 pub fn diagnose_one_instance_cached(
+    circuit: &Circuit,
+    timing: &CircuitTiming,
+    defect_model: &SingleDefectModel,
+    circuit_clk: Option<f64>,
+    config: &CampaignConfig,
+    index: usize,
+    cache: &DictionaryCache,
+    metrics: &MetricsSink,
+) -> Option<InstanceOutcome> {
+    diagnose_instance_impl(
+        circuit,
+        timing,
+        defect_model,
+        circuit_clk,
+        config,
+        index,
+        cache,
+        metrics,
+    )
+}
+
+/// The per-chip body behind [`diagnose_one_instance`],
+/// [`diagnose_one_instance_cached`] and
+/// [`crate::engine::DiagnosisEngine::diagnose_instance`].
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn diagnose_instance_impl(
     circuit: &Circuit,
     timing: &CircuitTiming,
     defect_model: &SingleDefectModel,
@@ -627,7 +678,8 @@ fn observe_behavior(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use sdd_netlist::generator::GeneratorConfig;
+    use crate::engine::DiagnosisEngine;
+    use sdd_netlist::generator::{generate, GeneratorConfig};
     use sdd_netlist::profiles;
 
     fn small_comb() -> Circuit {
@@ -656,7 +708,9 @@ mod tests {
 
     #[test]
     fn quick_campaign_runs_and_scores() {
-        let report = run_campaign(&profiles::S27, &CampaignConfig::quick(3)).unwrap();
+        let report = DiagnosisEngine::new()
+            .run_campaign(&profiles::S27, &CampaignConfig::quick(3))
+            .unwrap();
         assert_eq!(report.trials, 6);
         assert_eq!(report.functions.len(), 5);
         // Monotonic in K for every function.
@@ -672,26 +726,43 @@ mod tests {
 
     #[test]
     fn campaign_is_deterministic() {
-        let a = run_campaign(&profiles::S27, &CampaignConfig::quick(8)).unwrap();
-        let b = run_campaign(&profiles::S27, &CampaignConfig::quick(8)).unwrap();
+        let engine = DiagnosisEngine::new();
+        let a = engine
+            .run_campaign(&profiles::S27, &CampaignConfig::quick(8))
+            .unwrap();
+        let b = engine
+            .run_campaign(&profiles::S27, &CampaignConfig::quick(8))
+            .unwrap();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_wrappers_match_the_engine() {
+        // The thin wrappers must stay bit-identical to the engine path
+        // until they are removed.
+        let via_engine = DiagnosisEngine::new()
+            .run_campaign(&profiles::S27, &CampaignConfig::quick(5))
+            .unwrap();
+        let via_wrapper = run_campaign(&profiles::S27, &CampaignConfig::quick(5)).unwrap();
+        assert_eq!(via_engine, via_wrapper);
     }
 
     #[test]
     fn campaign_is_identical_across_thread_counts() {
         let c = small_comb();
         let cfg = CampaignConfig::quick(11);
-        let serial = rayon::ThreadPoolBuilder::new()
+        let serial = DiagnosisEngine::builder()
             .num_threads(1)
             .build()
-            .expect("pool builds")
-            .install(|| run_campaign_on(&c, &cfg))
+            .expect("engine builds")
+            .run_campaign_on(&c, &cfg)
             .unwrap();
-        let parallel = rayon::ThreadPoolBuilder::new()
+        let parallel = DiagnosisEngine::builder()
             .num_threads(4)
             .build()
-            .expect("pool builds")
-            .install(|| run_campaign_on(&c, &cfg))
+            .expect("engine builds")
+            .run_campaign_on(&c, &cfg)
             .unwrap();
         assert_eq!(serial, parallel, "report must not depend on thread count");
         assert_eq!(serial.trials, cfg.n_instances);

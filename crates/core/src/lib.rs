@@ -20,24 +20,30 @@
 //! 3. [`error_fn`] — the diagnosis error functions: `Alg_sim` Methods
 //!    I/II/III (Algorithm E.1, step 7) and the explicit Euclidean error
 //!    of `Alg_rev` (Algorithm F.1 / equation (5)).
-//! 4. [`diagnoser`] — the end-to-end [`Diagnoser`](diagnoser::Diagnoser).
+//! 4. [`diagnoser`] — the end-to-end [`Diagnoser`].
 //! 5. [`inject`] / [`evaluate`] — the statistical defect-injection
 //!    campaign and success-rate scoring of Section I (Table I).
 //! 6. [`cache`] / [`metrics`] — campaign-scale machinery: chips fan out
 //!    over a thread pool and share one
-//!    [`DictionaryCache`](cache::DictionaryCache) of Monte-Carlo
+//!    [`DictionaryCache`] of Monte-Carlo
 //!    outcomes, with per-phase timers and cache counters surfaced in the
 //!    report.
+//! 7. [`engine`] / [`store`] — the [`DiagnosisEngine`]
+//!    facade owning cache, metrics and thread-pool policy, and the
+//!    on-disk [`DictionaryStore`] that persists
+//!    dictionary Monte-Carlo banks across processes (format in
+//!    [`mod@format`]).
 //!
 //! ## Example
 //!
 //! ```no_run
-//! use sdd_core::inject::{CampaignConfig, run_campaign};
+//! use sdd_core::engine::DiagnosisEngine;
+//! use sdd_core::inject::CampaignConfig;
 //! use sdd_netlist::profiles;
 //!
-//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
-//! let profile = profiles::S27;
-//! let report = run_campaign(&profile, &CampaignConfig::quick(1))?;
+//! # fn main() -> Result<(), sdd_core::SddError> {
+//! let engine = DiagnosisEngine::new();
+//! let report = engine.run_campaign(&profiles::S27, &CampaignConfig::quick(1))?;
 //! println!("{}", report.render_table());
 //! # Ok(())
 //! # }
@@ -51,13 +57,16 @@ pub mod cache;
 pub mod defect;
 pub mod diagnoser;
 pub mod dictionary;
+pub mod engine;
 mod error;
 pub mod error_fn;
 pub mod evaluate;
+pub mod format;
 pub mod inject;
 pub mod kselect;
 pub mod metrics;
 pub mod multi_defect;
+pub mod store;
 pub mod suspects;
 pub mod table;
 
@@ -66,6 +75,8 @@ pub use cache::DictionaryCache;
 pub use defect::{InjectedDefect, SingleDefectModel};
 pub use diagnoser::{Diagnoser, DiagnoserConfig, RankedSite};
 pub use dictionary::{DictionaryConfig, ProbabilisticDictionary, SuspectSignature};
-pub use error::DiagnosisError;
+pub use engine::{DiagnosisEngine, DiagnosisEngineBuilder};
+pub use error::{DiagnosisError, SddError};
 pub use error_fn::ErrorFunction;
 pub use metrics::{CampaignMetrics, MetricsSink, Phase};
+pub use store::{DictionaryStore, StoreKey};

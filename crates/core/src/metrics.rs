@@ -41,6 +41,10 @@ pub struct MetricsSink {
     dict_cache_hits: AtomicU64,
     dict_cache_misses: AtomicU64,
     samples_simulated: AtomicU64,
+    store_hits: AtomicU64,
+    store_misses: AtomicU64,
+    store_flushes: AtomicU64,
+    store_load_nanos: AtomicU64,
 }
 
 impl MetricsSink {
@@ -80,6 +84,25 @@ impl MetricsSink {
         self.samples_simulated.fetch_add(n, Ordering::Relaxed);
     }
 
+    /// Records a dictionary bank loaded intact from the on-disk store
+    /// (`nanos` of load/validate time), skipping its Monte-Carlo build.
+    pub fn record_store_hit(&self, nanos: u64) {
+        self.store_hits.fetch_add(1, Ordering::Relaxed);
+        self.store_load_nanos.fetch_add(nanos, Ordering::Relaxed);
+    }
+
+    /// Records a store probe that found no usable checkpoint (absent,
+    /// truncated, corrupt or mismatched file — all degrade to recompute).
+    pub fn record_store_miss(&self, nanos: u64) {
+        self.store_misses.fetch_add(1, Ordering::Relaxed);
+        self.store_load_nanos.fetch_add(nanos, Ordering::Relaxed);
+    }
+
+    /// Records one dictionary bank checkpointed to the on-disk store.
+    pub fn record_store_flush(&self) {
+        self.store_flushes.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Freezes the counters into a snapshot; `total` is the campaign's
     /// wall-clock span.
     pub fn snapshot(&self, total: Duration) -> CampaignMetrics {
@@ -92,6 +115,10 @@ impl MetricsSink {
             dict_cache_hits: self.dict_cache_hits.load(Ordering::Relaxed),
             dict_cache_misses: self.dict_cache_misses.load(Ordering::Relaxed),
             samples_simulated: self.samples_simulated.load(Ordering::Relaxed),
+            store_hits: self.store_hits.load(Ordering::Relaxed),
+            store_misses: self.store_misses.load(Ordering::Relaxed),
+            store_flushes: self.store_flushes.load(Ordering::Relaxed),
+            store_load_nanos: self.store_load_nanos.load(Ordering::Relaxed),
         }
     }
 }
@@ -121,9 +148,53 @@ pub struct CampaignMetrics {
     /// Full-circuit dynamic timing simulations, one per (pattern, chip
     /// sample) pair, across clock estimation and dictionary builds.
     pub samples_simulated: u64,
+    /// Dictionary banks loaded intact from the on-disk store (each one a
+    /// full Monte-Carlo build skipped).
+    pub store_hits: u64,
+    /// Store probes that found no usable checkpoint (absent, corrupt or
+    /// mismatched files all count here — they degrade to recomputation).
+    pub store_misses: u64,
+    /// Dictionary banks checkpointed to the on-disk store.
+    pub store_flushes: u64,
+    /// Aggregate nanoseconds spent reading and validating store files.
+    pub store_load_nanos: u64,
 }
 
 impl CampaignMetrics {
+    /// The counters accumulated *since* `baseline` (field-wise
+    /// saturating difference), with `total` as the wall-clock span.
+    ///
+    /// A long-lived [`crate::engine::DiagnosisEngine`] keeps one
+    /// [`MetricsSink`] across campaigns; each campaign's report carries
+    /// the delta between the sink before and after, so per-campaign
+    /// numbers stay comparable to the single-campaign free functions.
+    pub fn since(&self, baseline: &CampaignMetrics, total: Duration) -> CampaignMetrics {
+        CampaignMetrics {
+            patterns_nanos: self.patterns_nanos.saturating_sub(baseline.patterns_nanos),
+            observe_nanos: self.observe_nanos.saturating_sub(baseline.observe_nanos),
+            dictionary_nanos: self
+                .dictionary_nanos
+                .saturating_sub(baseline.dictionary_nanos),
+            rank_nanos: self.rank_nanos.saturating_sub(baseline.rank_nanos),
+            total_nanos: total.as_nanos() as u64,
+            dict_cache_hits: self
+                .dict_cache_hits
+                .saturating_sub(baseline.dict_cache_hits),
+            dict_cache_misses: self
+                .dict_cache_misses
+                .saturating_sub(baseline.dict_cache_misses),
+            samples_simulated: self
+                .samples_simulated
+                .saturating_sub(baseline.samples_simulated),
+            store_hits: self.store_hits.saturating_sub(baseline.store_hits),
+            store_misses: self.store_misses.saturating_sub(baseline.store_misses),
+            store_flushes: self.store_flushes.saturating_sub(baseline.store_flushes),
+            store_load_nanos: self
+                .store_load_nanos
+                .saturating_sub(baseline.store_load_nanos),
+        }
+    }
+
     /// Cache hit rate in percent (0 when the cache was never queried).
     pub fn cache_hit_percent(&self) -> f64 {
         let total = self.dict_cache_hits + self.dict_cache_misses;
@@ -156,6 +227,15 @@ impl CampaignMetrics {
             self.cache_hit_percent(),
             self.samples_simulated,
         ));
+        if self.store_hits + self.store_misses + self.store_flushes > 0 {
+            out.push_str(&format!(
+                "\n  dictionary store: {} loads / {} misses ({} spent loading); {} banks flushed",
+                self.store_hits,
+                self.store_misses,
+                fmt_nanos(self.store_load_nanos),
+                self.store_flushes,
+            ));
+        }
         out
     }
 }
@@ -215,6 +295,50 @@ mod tests {
     }
 
     #[test]
+    fn store_counters_accumulate_and_render() {
+        let sink = MetricsSink::new();
+        sink.record_store_hit(1_000);
+        sink.record_store_miss(500);
+        sink.record_store_flush();
+        sink.record_store_flush();
+        let snap = sink.snapshot(Duration::ZERO);
+        assert_eq!(snap.store_hits, 1);
+        assert_eq!(snap.store_misses, 1);
+        assert_eq!(snap.store_flushes, 2);
+        assert_eq!(snap.store_load_nanos, 1_500);
+        let text = snap.render();
+        assert!(text.contains("dictionary store"));
+        assert!(text.contains("2 banks flushed"));
+        // A run with no store configured stays silent about it.
+        assert!(!MetricsSink::new()
+            .snapshot(Duration::ZERO)
+            .render()
+            .contains("dictionary store"));
+    }
+
+    #[test]
+    fn since_subtracts_baseline_fieldwise() {
+        let sink = MetricsSink::new();
+        sink.record_cache_miss();
+        sink.add_samples_simulated(100);
+        sink.record_store_flush();
+        let baseline = sink.snapshot(Duration::ZERO);
+        sink.record_cache_hit();
+        sink.record_cache_miss();
+        sink.add_samples_simulated(40);
+        sink.record_store_hit(9);
+        let delta = sink
+            .snapshot(Duration::ZERO)
+            .since(&baseline, Duration::from_nanos(77));
+        assert_eq!(delta.dict_cache_hits, 1);
+        assert_eq!(delta.dict_cache_misses, 1);
+        assert_eq!(delta.samples_simulated, 40);
+        assert_eq!(delta.store_hits, 1);
+        assert_eq!(delta.store_flushes, 0);
+        assert_eq!(delta.total_nanos, 77);
+    }
+
+    #[test]
     fn snapshot_roundtrips_through_json() {
         let snap = CampaignMetrics {
             patterns_nanos: 1,
@@ -225,6 +349,10 @@ mod tests {
             dict_cache_hits: 5,
             dict_cache_misses: 6,
             samples_simulated: 7,
+            store_hits: 8,
+            store_misses: 9,
+            store_flushes: 10,
+            store_load_nanos: 11,
         };
         let json = serde_json::to_string(&snap).unwrap();
         let back: CampaignMetrics = serde_json::from_str(&json).unwrap();

@@ -1,7 +1,7 @@
 //! Analytic block-based statistical static timing analysis.
 //!
 //! The Monte-Carlo engine in [`crate::sta`] is the reference (it is what
-//! the paper's framework [5] uses); this module provides the classic
+//! the paper's framework \[5\] uses); this module provides the classic
 //! *analytic* alternative: propagate `(mean, variance)` pairs through the
 //! circuit, approximating `max` with Clark's Gaussian moment-matching
 //! (C. E. Clark, "The greatest of a finite set of random variables",

@@ -1,7 +1,7 @@
 //! # sdd-timing
 //!
 //! Statistical timing substrate for delay defect diagnosis, reproducing the
-//! framework of the paper's references [5] and [17] (Monte-Carlo, cell-based
+//! framework of the paper's references \[5\] and \[17\] (Monte-Carlo, cell-based
 //! statistical timing analysis):
 //!
 //! * [`Dist`] — parametric delay distributions (the pin-to-pin delay random

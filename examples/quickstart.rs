@@ -5,16 +5,12 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use sdd::diagnosis::defect::SingleDefectModel;
-use sdd::diagnosis::inject::{patterns_through_site, tested_delay_samples};
-use sdd::diagnosis::{BehaviorMatrix, Diagnoser, DiagnoserConfig, ErrorFunction};
-use sdd::netlist::generator::{generate, GeneratorConfig};
-use sdd::timing::{sta, CellLibrary, CircuitTiming, VariationModel};
+use sdd::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    // 1. A circuit: here synthetic; `sdd::netlist::bench_format::parse`
-    //    loads real ISCAS-89 netlists. The scan cut turns flip-flops into
-    //    pseudo primary inputs/outputs.
+    // 1. A circuit: here synthetic; `bench_format::parse` loads real
+    //    ISCAS-89 netlists. The scan cut turns flip-flops into pseudo
+    //    primary inputs/outputs.
     let circuit = generate(&GeneratorConfig {
         name: "quickstart".into(),
         inputs: 10,

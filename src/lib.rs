@@ -14,7 +14,19 @@
 //!   dictionaries, defect injection, and the `Alg_sim` / `Alg_rev`
 //!   diagnosis algorithms.
 //!
-//! See `examples/quickstart.rs` for an end-to-end tour.
+//! See `examples/quickstart.rs` for an end-to-end tour, or start from
+//! [`prelude`]:
+//!
+//! ```no_run
+//! use sdd::prelude::*;
+//!
+//! fn main() -> Result<(), SddError> {
+//!     let engine = DiagnosisEngine::builder().store_dir("dict-store").build()?;
+//!     let report = engine.run_campaign(&profiles::S27, &CampaignConfig::quick(1))?;
+//!     println!("{}", report.render_table());
+//!     Ok(())
+//! }
+//! ```
 
 #![warn(missing_docs)]
 
@@ -22,3 +34,27 @@ pub use sdd_atpg as atpg;
 pub use sdd_core as diagnosis;
 pub use sdd_netlist as netlist;
 pub use sdd_timing as timing;
+
+pub mod prelude {
+    //! Everything a typical diagnosis application needs, one import away.
+    //!
+    //! Covers the quickstart flow end to end: build or parse a circuit,
+    //! characterize its statistical timing, inject a defect, generate
+    //! patterns, observe behaviour, and diagnose — either step by step
+    //! through [`Diagnoser`], or wholesale through [`DiagnosisEngine`]
+    //! campaigns (with optional on-disk dictionary persistence via
+    //! [`DictionaryStore`]).
+
+    pub use sdd_core::defect::SingleDefectModel;
+    pub use sdd_core::inject::{
+        patterns_through_site, tested_delay_samples, CampaignConfig, ClockPolicy,
+    };
+    pub use sdd_core::{
+        BehaviorMatrix, CampaignMetrics, Diagnoser, DiagnoserConfig, DiagnosisEngine,
+        DictionaryCache, DictionaryConfig, DictionaryStore, ErrorFunction, SddError,
+    };
+    pub use sdd_netlist::bench_format;
+    pub use sdd_netlist::generator::{generate, GeneratorConfig};
+    pub use sdd_netlist::{profiles, Circuit, EdgeId};
+    pub use sdd_timing::{sta, CellLibrary, CircuitTiming, Dist, VariationModel};
+}

@@ -1,15 +1,9 @@
 //! End-to-end integration tests: the full diagnosis pipeline across all
 //! four crates, on small fixtures where the expected outcome is known.
 
-use sdd::diagnosis::defect::{InjectedDefect, SingleDefectModel};
-use sdd::diagnosis::inject::{
-    diagnose_one_instance, patterns_through_site, run_campaign, tested_delay_samples,
-    CampaignConfig,
-};
-use sdd::diagnosis::{BehaviorMatrix, Diagnoser, DiagnoserConfig, ErrorFunction};
-use sdd::netlist::generator::{generate, GeneratorConfig};
-use sdd::netlist::profiles;
-use sdd::timing::{CellLibrary, CircuitTiming, VariationModel};
+use sdd::diagnosis::defect::InjectedDefect;
+use sdd::diagnosis::inject::diagnose_one_instance;
+use sdd::prelude::*;
 
 fn fixture() -> (sdd::netlist::Circuit, CircuitTiming, CellLibrary) {
     let circuit = generate(&GeneratorConfig {
@@ -120,8 +114,9 @@ fn big_defect_on_isolated_cone_is_pinned_down() {
 #[test]
 fn campaign_on_profile_is_deterministic_and_monotone() {
     let config = CampaignConfig::quick(9);
-    let r1 = run_campaign(&profiles::S27, &config).unwrap();
-    let r2 = run_campaign(&profiles::S27, &config).unwrap();
+    let engine = DiagnosisEngine::new();
+    let r1 = engine.run_campaign(&profiles::S27, &config).unwrap();
+    let r2 = engine.run_campaign(&profiles::S27, &config).unwrap();
     assert_eq!(r1, r2, "campaigns must be reproducible");
     for f_ix in 0..r1.functions.len() {
         let mut last = -1.0;
