@@ -74,6 +74,7 @@ fn bench_dictionary_build(c: &mut Criterion) {
             dictionary: DictionaryConfig {
                 n_samples: 60,
                 seed: 1,
+                ..DictionaryConfig::default()
             },
         },
     );
@@ -93,6 +94,7 @@ fn bench_rank_all_functions(c: &mut Criterion) {
             dictionary: DictionaryConfig {
                 n_samples: 60,
                 seed: 1,
+                ..DictionaryConfig::default()
             },
         },
     );

@@ -1,27 +1,35 @@
 //! Measures the campaign-engine speedup: the shared-cache parallel
 //! [`DiagnosisEngine`] path against the serial seed path (one fresh
-//! dictionary per chip, no sharing), on the Table-I workload.
+//! dictionary per chip, no sharing), on the Table-I workload — and the
+//! batched sample-major Monte-Carlo kernel against the scalar oracle.
 //!
-//! Both paths produce the same per-chip outcomes — `diagnose_one_instance`
-//! is the engine's per-chip pipeline with a throwaway cache — so the
-//! comparison isolates the engine change. Prints both reports' success
-//! tables (they must agree), the phase/cache metrics and the ratio.
+//! All paths produce bit-identical per-chip outcomes — the serial leg is
+//! the engine's per-chip pipeline with a throwaway cache, and the two
+//! kernels perform the same keyed draws in the same float order — so
+//! each comparison isolates one change. Prints the success tables (they
+//! must agree), the phase/cache/kernel metrics and the ratios.
 //!
 //! With `--store <dir>`, dictionary Monte-Carlo banks persist across
 //! runs: the first invocation simulates and checkpoints them, a second
 //! identical invocation loads them from disk (watch the `dictionary
 //! store:` metrics line and the dictionary phase time) and still
-//! produces the identical report.
+//! produces the identical report. The store applies only to the final
+//! (batched) leg so the other legs keep simulating.
+//!
+//! `--quick` swaps the paper-scale workload for the reduced test
+//! configuration — the CI sanity mode. `--kernel scalar|batched` skips
+//! the kernel comparison and runs a single kernel (for profiling).
 //!
 //! ```text
 //! cargo run -p sdd-bench --release --bin speedup \
-//!     [-- --circuit s1196] [--seed 2] [--store DIR]
+//!     [-- --circuit s1196] [--seed 2] [--store DIR] [--quick] \
+//!     [--kernel scalar|batched|both]
 //! ```
 
 use sdd_core::engine::DiagnosisEngine;
 use sdd_core::evaluate::AccuracyReport;
 use sdd_core::inject::{diagnose_one_instance, CampaignConfig, ClockPolicy, InstanceOutcome};
-use sdd_core::ErrorFunction;
+use sdd_core::{ErrorFunction, SimKernel};
 use sdd_netlist::generator::generate;
 use sdd_netlist::profiles;
 use sdd_timing::sta;
@@ -35,54 +43,105 @@ fn main() {
         .unwrap_or(2);
     let circuit_name = flag_value(&args, "--circuit").unwrap_or_else(|| "s1196".to_owned());
     let store_dir = flag_value(&args, "--store");
+    let quick = args.iter().any(|a| a == "--quick");
+    let kernels: Vec<SimKernel> = match flag_value(&args, "--kernel").as_deref() {
+        Some("scalar") => vec![SimKernel::Scalar],
+        Some("batched") => vec![SimKernel::Batched],
+        Some("both") | None => vec![SimKernel::Scalar, SimKernel::Batched],
+        Some(other) => panic!("unknown --kernel `{other}` (scalar|batched|both)"),
+    };
     let profile = profiles::by_name(&circuit_name).expect("known circuit name");
-    let config = CampaignConfig::paper(seed);
+    let mut config = if quick {
+        CampaignConfig::quick(seed)
+    } else {
+        CampaignConfig::paper(seed)
+    };
     let circuit = generate(&profile.to_config(seed))
         .expect("profile generates")
         .to_combinational()
         .expect("scan cut succeeds");
 
-    println!("=== campaign engine speedup on {circuit_name} (seed {seed}) ===\n");
+    let mode = if quick { "quick" } else { "paper" };
+    println!("=== campaign engine speedup on {circuit_name} (seed {seed}, {mode} workload) ===\n");
 
-    // Serial seed path: chips one at a time, fresh dictionary each.
+    // Serial seed path: chips one at a time, fresh dictionary each,
+    // using the last (production) kernel.
+    config.dictionary.kernel = *kernels.last().expect("at least one kernel");
     let t0 = Instant::now();
     let serial = run_serial_fresh(&circuit, &config);
     let serial_elapsed = t0.elapsed();
     println!("serial, fresh dictionaries : {serial_elapsed:>8.1?}");
 
-    // Shared cache + rayon fan-out, optionally store-backed.
-    let mut builder = DiagnosisEngine::builder();
-    if let Some(dir) = &store_dir {
-        builder = builder.store_dir(dir);
+    // Shared cache + rayon fan-out, once per requested kernel. Only the
+    // final leg may be store-backed: a store hit skips simulation, which
+    // would turn the comparison legs into no-ops.
+    let mut reports: Vec<(SimKernel, AccuracyReport, std::time::Duration)> = Vec::new();
+    for (i, &kernel) in kernels.iter().enumerate() {
+        let mut builder = DiagnosisEngine::builder();
+        let store_backed = i + 1 == kernels.len();
+        if store_backed {
+            if let Some(dir) = &store_dir {
+                builder = builder.store_dir(dir);
+            }
+        }
+        let engine = builder.build().expect("engine builds");
+        config.dictionary.kernel = kernel;
+        let t0 = Instant::now();
+        let report = engine
+            .run_campaign_on(&circuit, &config)
+            .expect("campaign runs");
+        let elapsed = t0.elapsed();
+        println!("parallel, {:<7?} kernel  : {elapsed:>8.1?}", kernel);
+        if store_backed {
+            if let Some(store) = engine.store() {
+                println!(
+                    "dictionary store           : {} ({} checkpoints, {} loaded this run)",
+                    store.dir().display(),
+                    store.num_checkpoints(),
+                    report.metrics.store_hits,
+                );
+            }
+        }
+        reports.push((kernel, report, elapsed));
     }
-    let engine = builder.build().expect("engine builds");
-    let t0 = Instant::now();
-    let cached = engine
-        .run_campaign_on(&circuit, &config)
-        .expect("campaign runs");
-    let cached_elapsed = t0.elapsed();
-    println!("parallel, shared cache     : {cached_elapsed:>8.1?}");
+
+    let (_, primary, primary_elapsed) = reports.last().expect("at least one leg");
     println!(
-        "speedup                    : {:>7.2}x\n",
-        serial_elapsed.as_secs_f64() / cached_elapsed.as_secs_f64()
+        "speedup vs serial          : {:>7.2}x",
+        serial_elapsed.as_secs_f64() / primary_elapsed.as_secs_f64()
     );
 
-    assert_eq!(
-        serial, cached,
-        "engine change altered the diagnosis results"
-    );
-    println!("results identical: yes\n");
-    if let Some(store) = engine.store() {
-        println!(
-            "dictionary store           : {} ({} checkpoints, {} loaded this run)",
-            store.dir().display(),
-            store.num_checkpoints(),
-            cached.metrics.store_hits,
+    // Every leg must agree bit-for-bit with the serial oracle.
+    for (kernel, report, _) in &reports {
+        assert_eq!(
+            &serial, report,
+            "{kernel:?} kernel altered the diagnosis results"
         );
-        println!();
     }
-    println!("{}", cached.render_table());
-    println!("{}", cached.metrics.render());
+    println!(
+        "results identical          : yes ({} legs)\n",
+        reports.len() + 1
+    );
+
+    if let [(_, scalar, _), (_, batched, _)] = reports.as_slice() {
+        let dict_ratio =
+            scalar.metrics.dictionary_nanos as f64 / batched.metrics.dictionary_nanos.max(1) as f64;
+        let kernel_ratio =
+            scalar.metrics.kernel_nanos as f64 / batched.metrics.kernel_nanos.max(1) as f64;
+        println!(
+            "dictionary phase           : scalar {:.2?} vs batched {:.2?} ({dict_ratio:.2}x)",
+            std::time::Duration::from_nanos(scalar.metrics.dictionary_nanos),
+            std::time::Duration::from_nanos(batched.metrics.dictionary_nanos),
+        );
+        println!("kernel inner loop          : scalar {:.2?} vs batched {:.2?} ({kernel_ratio:.2}x), {} cone evals\n",
+            std::time::Duration::from_nanos(scalar.metrics.kernel_nanos),
+            std::time::Duration::from_nanos(batched.metrics.kernel_nanos),
+            batched.metrics.cone_evals,
+        );
+    }
+
+    println!("{}", primary.render_table());
+    println!("{}", primary.metrics.render());
 }
 
 /// The seed engine: the exact per-chip pipeline of the campaign,

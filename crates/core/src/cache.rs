@@ -38,8 +38,8 @@
 //! checkpointed in the background whenever simulation extends them.
 
 use crate::dictionary::{
-    assemble_from_masks, simulate_fail_masks, BitGrid, DictionaryConfig, ProbabilisticDictionary,
-    SuspectMasks,
+    assemble_from_masks, simulate_fail_masks, BatchCache, BitGrid, DictionaryConfig,
+    ProbabilisticDictionary, SuspectMasks,
 };
 use crate::metrics::MetricsSink;
 use crate::store::{DictionaryStore, StoreKey};
@@ -68,6 +68,10 @@ struct Bank {
 pub struct DictionaryCache {
     banks: RwLock<HashMap<StoreKey, Arc<Mutex<Bank>>>>,
     store: Option<Arc<DictionaryStore>>,
+    /// Memoized chip-instance batches shared by every simulation this
+    /// cache runs (batched kernel only; bit-identity preserving — see
+    /// [`BatchCache`]).
+    batches: BatchCache,
 }
 
 impl DictionaryCache {
@@ -83,6 +87,7 @@ impl DictionaryCache {
         DictionaryCache {
             banks: RwLock::default(),
             store: Some(store),
+            batches: BatchCache::default(),
         }
     }
 
@@ -183,8 +188,17 @@ impl DictionaryCache {
                 .iter()
                 .map(|&e| DefectCone::new(circuit, e))
                 .collect();
-            let per_pattern =
-                simulate_fail_masks(circuit, timing, defect_size, patterns, &cones, clk, config);
+            let per_pattern = simulate_fail_masks(
+                circuit,
+                timing,
+                defect_size,
+                patterns,
+                &cones,
+                clk,
+                config,
+                Some(&self.batches),
+                metrics,
+            );
             let record_base = bank.base.is_empty();
             let mut banks: Vec<SuspectMasks> = cones
                 .iter()
@@ -287,6 +301,7 @@ mod tests {
         DictionaryConfig {
             n_samples: 60,
             seed: 12,
+            ..DictionaryConfig::default()
         }
     }
 

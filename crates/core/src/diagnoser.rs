@@ -134,30 +134,34 @@ impl<'a> Diagnoser<'a> {
         let failing_per_pattern: Vec<Vec<usize>> = (0..behavior.num_patterns())
             .map(|j| behavior.failing_outputs(j))
             .collect();
-        let mut ranked: Vec<RankedSite> = dictionary
-            .suspects()
-            .iter()
-            .enumerate()
-            .map(|(si, suspect)| {
-                let phis: Vec<f64> = (0..dictionary.num_patterns())
-                    .map(|j| {
-                        if function == ErrorFunction::JointEuclidean {
-                            if let Some(p) = suspect.joint_phi(j) {
-                                return p;
-                            }
-                        }
-                        let sig: Vec<f64> = (0..suspect.reachable_outputs().len())
-                            .map(|slot| dictionary.signature(si, slot, j))
-                            .collect();
-                        phi_sparse(&sig, suspect.reachable_outputs(), &failing_per_pattern[j])
-                    })
-                    .collect();
-                RankedSite {
-                    edge: suspect.edge(),
-                    score: function.combine(&phis),
+        // `sig` and `phis` are reused across every (suspect, pattern)
+        // pair: the rank phase runs once per error function per
+        // diagnosis, and the old per-pattern Vec allocation dominated it
+        // on large suspect lists.
+        let mut sig: Vec<f64> = Vec::new();
+        let mut phis: Vec<f64> = Vec::new();
+        let mut ranked: Vec<RankedSite> = Vec::with_capacity(dictionary.suspects().len());
+        for (si, suspect) in dictionary.suspects().iter().enumerate() {
+            phis.clear();
+            for (j, failing) in failing_per_pattern.iter().enumerate() {
+                if function == ErrorFunction::JointEuclidean {
+                    if let Some(p) = suspect.joint_phi(j) {
+                        phis.push(p);
+                        continue;
+                    }
                 }
-            })
-            .collect();
+                sig.clear();
+                sig.extend(
+                    (0..suspect.reachable_outputs().len())
+                        .map(|slot| dictionary.signature(si, slot, j)),
+                );
+                phis.push(phi_sparse(&sig, suspect.reachable_outputs(), failing));
+            }
+            ranked.push(RankedSite {
+                edge: suspect.edge(),
+                score: function.combine(&phis),
+            });
+        }
         ranked.sort_by(|a, b| {
             function
                 .compare(a.score, b.score)
@@ -275,6 +279,7 @@ mod tests {
                 dictionary: DictionaryConfig {
                     n_samples: 100,
                     seed: 3,
+                    ..DictionaryConfig::default()
                 },
             },
         );

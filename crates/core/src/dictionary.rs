@@ -36,9 +36,37 @@ use sdd_atpg::PatternSet;
 use sdd_netlist::logic::simulate_pair;
 use sdd_netlist::{Circuit, EdgeId};
 use sdd_timing::crit::ProbMatrix;
-use sdd_timing::dynamic::{transition_arrivals, DefectCone, NO_EVENT};
-use sdd_timing::{CircuitTiming, Dist};
+use sdd_timing::dynamic::{transition_arrivals, transition_arrivals_batch, DefectCone, NO_EVENT};
+use sdd_timing::{CircuitTiming, Dist, InstanceBatch};
 use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+/// Which Monte-Carlo kernel evaluates the dictionary's fail masks.
+///
+/// Both kernels perform, per (pattern, chip sample, suspect), the exact
+/// same keyed random draws and the same per-sample sequence of
+/// floating-point operations, so their bit grids — and therefore every
+/// stored `.sdds` checkpoint and every ranking — are bit-identical. The
+/// scalar kernel is kept as the simple oracle the batched kernel is
+/// differentially tested against (see the `batch_kernel` integration
+/// tests); the batched kernel is the production default.
+///
+/// The kernel choice deliberately does **not** enter
+/// [`StoreKey`](crate::store::StoreKey): grids simulated by one kernel
+/// are valid checkpoints for the other.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SimKernel {
+    /// Sample-major batched evaluation: one pass over the cone topology
+    /// per (pattern, suspect) covering every chip sample
+    /// ([`DefectCone::apply_batch`]), reading delays from a contiguous
+    /// [`sdd_timing::InstanceBatch`].
+    #[default]
+    Batched,
+    /// One isolated [`DefectCone::apply`] walk per (pattern, sample,
+    /// suspect) — the original seed path, retained as the oracle.
+    Scalar,
+}
 
 /// Monte-Carlo budget for dictionary construction.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -47,6 +75,9 @@ pub struct DictionaryConfig {
     pub n_samples: usize,
     /// Base seed; the full build is deterministic given the seed.
     pub seed: u64,
+    /// The fail-mask kernel (bit-identical either way; see [`SimKernel`]).
+    #[serde(default)]
+    pub kernel: SimKernel,
 }
 
 impl Default for DictionaryConfig {
@@ -54,6 +85,7 @@ impl Default for DictionaryConfig {
         DictionaryConfig {
             n_samples: 200,
             seed: 0xD1C7,
+            kernel: SimKernel::default(),
         }
     }
 }
@@ -188,8 +220,17 @@ impl ProbabilisticDictionary {
             .iter()
             .map(|&e| DefectCone::new(circuit, e))
             .collect();
-        let per_pattern =
-            simulate_fail_masks(circuit, timing, defect_size, patterns, &cones, clk, config);
+        let per_pattern = simulate_fail_masks(
+            circuit,
+            timing,
+            defect_size,
+            patterns,
+            &cones,
+            clk,
+            config,
+            None,
+            None,
+        );
         // Transpose the per-pattern grids into per-suspect banks.
         let mut base: Vec<BitGrid> = Vec::with_capacity(per_pattern.len());
         let mut suspect_masks: Vec<SuspectMasks> = cones
@@ -329,6 +370,85 @@ pub(crate) struct SuspectMasks {
     pub(crate) fails: Vec<BitGrid>,
 }
 
+/// Memoizes manufactured [`InstanceBatch`]es across dictionary builds.
+///
+/// Chip-instance draws are keyed by `(seed, pattern position, sample)` —
+/// never by pattern content or `clk` — so the sample-major delay matrix
+/// of pattern position `j` is a pure function of (timing model, seed,
+/// `n_samples`, `j`). A campaign re-simulates the same positions for
+/// every chip and every swept clock level; memoizing the batches removes
+/// the Box-Muller sampling cost from all but the first build, and
+/// because a memoized batch holds the exact values resampling would
+/// produce, the resulting grids stay bit-identical.
+///
+/// Memory-bounded: when an insertion would push the cached delay count
+/// past `cap_f64`, the whole map is dropped (epoch flush). A campaign
+/// touches one circuit and at most `max_patterns` positions, so flushes
+/// only happen when an engine moves between large circuits.
+#[derive(Debug)]
+pub(crate) struct BatchCache {
+    /// Budget in cached `f64` delay values (≈ 8 bytes each).
+    cap_f64: usize,
+    inner: Mutex<BatchCacheInner>,
+}
+
+#[derive(Debug, Default)]
+struct BatchCacheInner {
+    used_f64: usize,
+    map: HashMap<(u64, u64, u64, u64), Arc<InstanceBatch>>,
+}
+
+impl Default for BatchCache {
+    /// 32 Mi delay values ≈ 256 MiB: roughly eight paper-scale pattern
+    /// positions of the largest Table-I circuit.
+    fn default() -> Self {
+        BatchCache::with_capacity(32 << 20)
+    }
+}
+
+impl BatchCache {
+    pub(crate) fn with_capacity(cap_f64: usize) -> BatchCache {
+        BatchCache {
+            cap_f64,
+            inner: Mutex::default(),
+        }
+    }
+
+    /// The batch for pattern position `j` under `config`, sampling it on
+    /// first use. Sampling runs outside the lock, so concurrent misses
+    /// on one key may sample twice; both produce identical values and
+    /// only one is kept.
+    fn get_or_sample(
+        &self,
+        model_fp: u64,
+        timing: &CircuitTiming,
+        config: DictionaryConfig,
+        j: usize,
+    ) -> Arc<InstanceBatch> {
+        let key = (model_fp, config.seed, config.n_samples as u64, j as u64);
+        if let Some(hit) = self.inner.lock().expect("batch cache lock").map.get(&key) {
+            return Arc::clone(hit);
+        }
+        let batch = Arc::new(timing.sample_instance_batch(
+            config.seed,
+            (j * config.n_samples) as u64,
+            config.n_samples,
+        ));
+        let size = batch.n_edges() * batch.n_samples();
+        let mut inner = self.inner.lock().expect("batch cache lock");
+        if let Some(hit) = inner.map.get(&key) {
+            return Arc::clone(hit);
+        }
+        if inner.used_f64 + size > self.cap_f64 {
+            inner.map.clear();
+            inner.used_f64 = 0;
+        }
+        inner.used_f64 += size;
+        inner.map.insert(key, Arc::clone(&batch));
+        batch
+    }
+}
+
 /// Draws the defect size for one (chip sample, suspect) cell. Keyed on
 /// the suspect *arc id*, not its position in the suspect list, so the
 /// draw is independent of which other suspects are simulated alongside.
@@ -346,9 +466,17 @@ fn sample_delta(seed: u64, instance_index: u64, edge: EdgeId, defect_size: &Dist
 /// Phase 1 of the dictionary build: Monte-Carlo simulate every (pattern,
 /// chip sample) and record, as bit grids, which outputs exceed `clk` —
 /// defect-free (baseline) and with a random-size defect on each cone's
-/// arc. Parallelized over patterns. Returns, per pattern, the baseline
-/// grid (samples × all outputs) and one grid per cone (samples × its
-/// reachable outputs).
+/// arc. Parallelized over patterns; dispatches to the kernel selected by
+/// [`DictionaryConfig::kernel`] (bit-identical outcomes either way).
+/// Returns, per pattern, the baseline grid (samples × all outputs) and
+/// one grid per cone (samples × its reachable outputs).
+///
+/// `metrics`, when given, accumulates the kernel wall-clock (summed over
+/// worker threads) and the number of (pattern, sample, suspect) cone
+/// evaluations. `batches`, when given, memoizes the manufactured chip
+/// batches across calls (batched kernel only — the scalar oracle stays
+/// the plain seed path).
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn simulate_fail_masks(
     circuit: &Circuit,
     timing: &CircuitTiming,
@@ -357,6 +485,50 @@ pub(crate) fn simulate_fail_masks(
     cones: &[DefectCone],
     clk: f64,
     config: DictionaryConfig,
+    batches: Option<&BatchCache>,
+    metrics: Option<&crate::metrics::MetricsSink>,
+) -> Vec<(BitGrid, Vec<BitGrid>)> {
+    if let Some(m) = metrics {
+        m.add_cone_evals((patterns.len() * config.n_samples * cones.len()) as u64);
+    }
+    match config.kernel {
+        SimKernel::Batched => simulate_fail_masks_batched(
+            circuit,
+            timing,
+            defect_size,
+            patterns,
+            cones,
+            clk,
+            config,
+            batches,
+            metrics,
+        ),
+        SimKernel::Scalar => simulate_fail_masks_scalar(
+            circuit,
+            timing,
+            defect_size,
+            patterns,
+            cones,
+            clk,
+            config,
+            metrics,
+        ),
+    }
+}
+
+/// The original per-sample kernel: one full arrival pass plus one
+/// [`DefectCone::apply`] walk per (pattern, sample, suspect). Kept as
+/// the differential oracle for [`simulate_fail_masks_batched`].
+#[allow(clippy::too_many_arguments)]
+fn simulate_fail_masks_scalar(
+    circuit: &Circuit,
+    timing: &CircuitTiming,
+    defect_size: &Dist,
+    patterns: &PatternSet,
+    cones: &[DefectCone],
+    clk: f64,
+    config: DictionaryConfig,
+    metrics: Option<&crate::metrics::MetricsSink>,
 ) -> Vec<(BitGrid, Vec<BitGrid>)> {
     let n_out = circuit.primary_outputs().len();
     let outputs = circuit.primary_outputs();
@@ -365,6 +537,7 @@ pub(crate) fn simulate_fail_masks(
         .par_iter()
         .enumerate()
         .map(|(j, p)| {
+            let t_kernel = std::time::Instant::now();
             let transitions = simulate_pair(circuit, &p.v1, &p.v2);
             let mut base = BitGrid::new(config.n_samples, n_out);
             let mut fails: Vec<BitGrid> = cones
@@ -399,6 +572,91 @@ pub(crate) fn simulate_fail_masks(
                         }
                     }
                 }
+            }
+            if let Some(m) = metrics {
+                m.add_kernel_nanos(t_kernel.elapsed().as_nanos() as u64);
+            }
+            (base, fails)
+        })
+        .collect()
+}
+
+/// The batched sample-major kernel: per pattern, manufacture the whole
+/// chip-sample batch once (sample-major delay matrix), run one batched
+/// baseline arrival pass, then one [`DefectCone::apply_batch`] per
+/// suspect covering every sample. The cone topology walk, transition
+/// checks and scratch allocation are hoisted out of the sample loop —
+/// that hoisting, plus contiguous per-edge delay reads, is where the
+/// dictionary-phase wall-clock goes.
+///
+/// Every random quantity uses the same keyed draws as the scalar kernel
+/// (chip sample by `(seed, pattern, sample)`, defect size by `(seed,
+/// pattern, sample, arc)`), and every per-sample float operation runs in
+/// the same order, so the produced grids are bit-identical.
+#[allow(clippy::too_many_arguments)]
+fn simulate_fail_masks_batched(
+    circuit: &Circuit,
+    timing: &CircuitTiming,
+    defect_size: &Dist,
+    patterns: &PatternSet,
+    cones: &[DefectCone],
+    clk: f64,
+    config: DictionaryConfig,
+    batches: Option<&BatchCache>,
+    metrics: Option<&crate::metrics::MetricsSink>,
+) -> Vec<(BitGrid, Vec<BitGrid>)> {
+    let n_out = circuit.primary_outputs().len();
+    let outputs = circuit.primary_outputs();
+    let n = config.n_samples;
+    // One O(edges) hash buys memo lookups for every pattern position.
+    let model_fp = batches.map(|_| crate::store::fingerprint_model(circuit, timing));
+    patterns
+        .patterns()
+        .par_iter()
+        .enumerate()
+        .map(|(j, p)| {
+            let t_kernel = std::time::Instant::now();
+            let transitions = simulate_pair(circuit, &p.v1, &p.v2);
+            let batch = match (batches, model_fp) {
+                (Some(bc), Some(fp)) => bc.get_or_sample(fp, timing, config, j),
+                _ => Arc::new(timing.sample_instance_batch(config.seed, (j * n) as u64, n)),
+            };
+            let baseline = transition_arrivals_batch(circuit, &transitions, &batch);
+            let mut base = BitGrid::new(n, n_out);
+            for (i, &o) in outputs.iter().enumerate() {
+                let row = &baseline[o.index() * n..(o.index() + 1) * n];
+                for (s, &arr) in row.iter().enumerate() {
+                    if arr > clk {
+                        base.set(s, i);
+                    }
+                }
+            }
+            let mut scratch: Vec<f64> = Vec::new();
+            let mut deltas: Vec<f64> = Vec::with_capacity(n);
+            let fails: Vec<BitGrid> = cones
+                .iter()
+                .map(|cone| {
+                    let mut grid = BitGrid::new(n, cone.reachable_outputs().len());
+                    deltas.clear();
+                    deltas.extend((0..n).map(|s| {
+                        let instance_index = (j * n + s) as u64;
+                        sample_delta(config.seed, instance_index, cone.edge(), defect_size)
+                    }));
+                    cone.apply_batch(
+                        circuit,
+                        &transitions,
+                        &batch,
+                        &baseline,
+                        &deltas,
+                        clk,
+                        &mut scratch,
+                        |s, k| grid.set(s, k),
+                    );
+                    grid
+                })
+                .collect();
+            if let Some(m) = metrics {
+                m.add_kernel_nanos(t_kernel.elapsed().as_nanos() as u64);
             }
             (base, fails)
         })
@@ -552,6 +810,7 @@ mod tests {
             DictionaryConfig {
                 n_samples: 100,
                 seed: 5,
+                ..DictionaryConfig::default()
             },
         );
         assert!(dict.m_crt().is_stochastic());
@@ -581,6 +840,7 @@ mod tests {
             DictionaryConfig {
                 n_samples: 50,
                 seed: 1,
+                ..DictionaryConfig::default()
             },
         );
         // Arc a->g1 reaches only output 0 (g2).
@@ -609,6 +869,7 @@ mod tests {
             DictionaryConfig {
                 n_samples: 60,
                 seed: 2,
+                ..DictionaryConfig::default()
             },
         );
         assert!(dict.m_crt().max_entry() < 0.2);
@@ -638,6 +899,7 @@ mod tests {
             DictionaryConfig {
                 n_samples: 40,
                 seed: 3,
+                ..DictionaryConfig::default()
             },
         );
         for (si, s) in dict.suspects().iter().enumerate() {
@@ -655,6 +917,7 @@ mod tests {
         let cfg = DictionaryConfig {
             n_samples: 30,
             seed: 9,
+            ..DictionaryConfig::default()
         };
         let a = ProbabilisticDictionary::build(
             &c,
@@ -675,6 +938,79 @@ mod tests {
             cfg,
         );
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn batched_and_scalar_kernels_produce_identical_grids() {
+        // Grid-level differential check: the raw fail masks — baseline
+        // and per-suspect — must be bit-identical between kernels, on a
+        // generated circuit large enough to exercise multi-fanin cones.
+        let c = sdd_netlist::generator::generate(&sdd_netlist::generator::GeneratorConfig::small(
+            "kern", 17,
+        ))
+        .unwrap()
+        .to_combinational()
+        .unwrap();
+        let t = CircuitTiming::characterize(
+            &c,
+            &CellLibrary::default_025um(),
+            VariationModel::new(0.05, 0.08),
+        );
+        let ps = PatternSet::random(&c, 6, 0xA5);
+        let cones: Vec<DefectCone> = c
+            .edge_ids()
+            .step_by(3)
+            .map(|e| DefectCone::new(&c, e))
+            .collect();
+        assert!(cones.len() >= 4, "want several cones, got {}", cones.len());
+        let clk = 0.3;
+        let defect = Dist::Normal {
+            mean: 0.2,
+            std: 0.08,
+        };
+        let mk = |kernel| {
+            simulate_fail_masks(
+                &c,
+                &t,
+                &defect,
+                &ps,
+                &cones,
+                clk,
+                DictionaryConfig {
+                    n_samples: 37, // odd, not a multiple of the word size
+                    seed: 0xBEEF,
+                    kernel,
+                },
+                None,
+                None,
+            )
+        };
+        let batched = mk(SimKernel::Batched);
+        let scalar = mk(SimKernel::Scalar);
+        assert_eq!(batched.len(), scalar.len());
+        for (j, ((bb, bf), (sb, sf))) in batched.iter().zip(&scalar).enumerate() {
+            assert_eq!(bb, sb, "baseline grid differs at pattern {j}");
+            assert_eq!(bf, sf, "suspect grids differ at pattern {j}");
+        }
+    }
+
+    #[test]
+    fn config_without_kernel_field_deserializes_to_batched() {
+        // Configs serialized before the kernel flag existed must keep
+        // loading (and pick the production default).
+        let json = r#"{"n_samples": 42, "seed": 7}"#;
+        let cfg: DictionaryConfig = serde_json::from_str(json).unwrap();
+        assert_eq!(cfg.n_samples, 42);
+        assert_eq!(cfg.seed, 7);
+        assert_eq!(cfg.kernel, SimKernel::Batched);
+        // And the full roundtrip preserves a non-default kernel.
+        let scalar = DictionaryConfig {
+            kernel: SimKernel::Scalar,
+            ..DictionaryConfig::default()
+        };
+        let back: DictionaryConfig =
+            serde_json::from_str(&serde_json::to_string(&scalar).unwrap()).unwrap();
+        assert_eq!(back, scalar);
     }
 
     #[test]

@@ -104,12 +104,23 @@ impl ErrorFunction {
     }
 
     /// Orders two scores from best to worst for this function.
+    ///
+    /// NaN scores (a degenerate signature can produce one) sort strictly
+    /// worse than every real score in *both* ranking directions, so a
+    /// broken suspect never ties with — or outranks — a scored one.
     pub fn compare(self, a: f64, b: f64) -> Ordering {
-        let ord = a.partial_cmp(&b).unwrap_or(Ordering::Equal);
-        if self.higher_is_better() {
-            ord.reverse()
-        } else {
-            ord
+        match (a.is_nan(), b.is_nan()) {
+            (true, true) => Ordering::Equal,
+            (true, false) => Ordering::Greater,
+            (false, true) => Ordering::Less,
+            (false, false) => {
+                let ord = a.total_cmp(&b);
+                if self.higher_is_better() {
+                    ord.reverse()
+                } else {
+                    ord
+                }
+            }
         }
     }
 }
@@ -153,19 +164,32 @@ pub fn phi(signature: &[f64], behavior: &[bool]) -> f64 {
 /// outputs have signature 0, so a failing output outside `reachable`
 /// forces `φ_j = 0` and a passing one contributes factor 1.
 ///
-/// `failing` lists the failing output positions of pattern `j`, sorted
-/// ascending.
+/// `reachable` and `failing` both list output positions sorted
+/// ascending ([`DefectCone::reachable_outputs`] and the behaviour
+/// matrix's failing-output lists are built that way), which lets a
+/// single merge walk replace the per-failing-output membership scan.
+///
+/// [`DefectCone::reachable_outputs`]: sdd_timing::dynamic::DefectCone::reachable_outputs
 pub fn phi_sparse(sig: &[f64], reachable: &[usize], failing: &[usize]) -> f64 {
-    // Any failing output not reachable from the suspect => inconsistent.
-    for &f in failing {
-        if !reachable.contains(&f) {
+    // Merge walk over the two ascending lists. Factors multiply in
+    // `reachable` order, so the product is bit-identical to the old
+    // binary-search formulation; a failing output skipped by the walk
+    // (or left over at the end) is unreachable from the suspect and
+    // forces φ_j = 0.
+    let mut product = 1.0;
+    let mut f = 0;
+    for (k, &out) in reachable.iter().enumerate() {
+        if f < failing.len() && failing[f] < out {
             return 0.0;
         }
+        let fails = f < failing.len() && failing[f] == out;
+        if fails {
+            f += 1;
+        }
+        product *= if fails { sig[k] } else { 1.0 - sig[k] };
     }
-    let mut product = 1.0;
-    for (k, &out) in reachable.iter().enumerate() {
-        let b = failing.binary_search(&out).is_ok();
-        product *= if b { sig[k] } else { 1.0 - sig[k] };
+    if f < failing.len() {
+        return 0.0;
     }
     product
 }
@@ -241,6 +265,49 @@ mod tests {
         assert_eq!(ErrorFunction::MethodI.compare(0.9, 0.1), Ordering::Less);
         assert_eq!(ErrorFunction::MethodI.compare(0.1, 0.9), Ordering::Greater);
         assert_eq!(ErrorFunction::Euclidean.compare(0.1, 0.9), Ordering::Less);
+    }
+
+    #[test]
+    fn nan_scores_rank_worst_in_both_directions() {
+        // A NaN score must lose to any real score regardless of ranking
+        // direction — the old partial_cmp fallback treated NaN as *equal*
+        // to everything, letting a broken suspect float to the top of a
+        // sorted ranking.
+        for f in ErrorFunction::EXTENDED {
+            assert_eq!(f.compare(1.0, f64::NAN), Ordering::Less, "{}", f.name());
+            assert_eq!(f.compare(f64::NAN, 1.0), Ordering::Greater, "{}", f.name());
+            assert_eq!(f.compare(0.0, f64::NAN), Ordering::Less, "{}", f.name());
+            assert_eq!(
+                f.compare(f64::NAN, f64::NAN),
+                Ordering::Equal,
+                "{}",
+                f.name()
+            );
+        }
+        // A sort using compare puts the NaN last for both directions.
+        let mut scores = [f64::NAN, 0.4, 0.9];
+        scores.sort_by(|a, b| ErrorFunction::MethodI.compare(*a, *b));
+        assert_eq!(scores[0], 0.9);
+        assert!(scores[2].is_nan());
+        scores.sort_by(|a, b| ErrorFunction::Euclidean.compare(*a, *b));
+        assert_eq!(scores[0], 0.4);
+        assert!(scores[2].is_nan());
+    }
+
+    #[test]
+    fn phi_sparse_merge_walk_edge_cases() {
+        // Unmatched failing output *before* every reachable one.
+        assert_eq!(phi_sparse(&[0.9], &[3], &[1]), 0.0);
+        // Unmatched failing output *between* reachable ones.
+        assert_eq!(phi_sparse(&[0.9, 0.8], &[1, 5], &[1, 3]), 0.0);
+        // Trailing unmatched failing output.
+        assert_eq!(phi_sparse(&[0.9], &[0], &[0, 4]), 0.0);
+        // Fully matched interleaving stays the plain product.
+        let p = phi_sparse(&[0.4, 0.3, 0.1], &[0, 2, 5], &[2]);
+        assert!((p - (1.0 - 0.4) * 0.3 * (1.0 - 0.1)).abs() < 1e-15);
+        // Empty failing list: all factors flip.
+        let q = phi_sparse(&[0.4, 0.3], &[1, 2], &[]);
+        assert!((q - 0.6 * 0.7).abs() < 1e-15);
     }
 
     #[test]

@@ -78,6 +78,7 @@ impl CampaignConfig {
             dictionary: DictionaryConfig {
                 n_samples: 150,
                 seed,
+                ..DictionaryConfig::default()
             },
             variation: VariationModel::default(),
             seed,
@@ -102,6 +103,7 @@ impl CampaignConfig {
             dictionary: DictionaryConfig {
                 n_samples: 60,
                 seed,
+                ..DictionaryConfig::default()
             },
             variation: VariationModel::default(),
             seed,

@@ -22,14 +22,21 @@ use crate::error_fn::ErrorFunction;
 /// Scores are compared on the function's "goodness" axis: for ascending
 /// (error) functions the gap of interest is an *increase* in error.
 ///
+/// Only a *strictly positive* relative gap can serve as a cut point: a
+/// ranking whose candidate scores are all tied carries no gap signal,
+/// and cutting it at `K = 1` would silently discard the rest of an
+/// ambiguity group. With no gap anywhere in the searched prefix the
+/// heuristic falls back to `max_k` (clamped to the ranking length) —
+/// "no evidence to shrink the answer set".
+///
 /// Returns 1 for rankings of length 0 or 1.
 pub fn k_by_score_gap(ranking: &[RankedSite], function: ErrorFunction, max_k: usize) -> usize {
     if ranking.len() < 2 {
         return 1;
     }
     let limit = max_k.min(ranking.len() - 1).max(1);
-    let mut best_k = 1;
-    let mut best_gap = f64::NEG_INFINITY;
+    let mut best_k = None;
+    let mut best_gap = 0.0;
     for k in 1..=limit {
         let a = ranking[k - 1].score;
         let b = ranking[k].score;
@@ -44,10 +51,10 @@ pub fn k_by_score_gap(ranking: &[RankedSite], function: ErrorFunction, max_k: us
         let rel = gap / scale;
         if rel > best_gap {
             best_gap = rel;
-            best_k = k;
+            best_k = Some(k);
         }
     }
-    best_k
+    best_k.unwrap_or_else(|| max_k.min(ranking.len()).max(1))
 }
 
 /// Keeps the smallest prefix whose summed score reaches `mass_fraction`
@@ -131,6 +138,29 @@ mod tests {
             k_by_score_gap(&ranking(&[0.5]), ErrorFunction::MethodI, 5),
             1
         );
+    }
+
+    #[test]
+    fn gap_all_tied_falls_back_to_max_k() {
+        // An ambiguity group with identical scores has no gap to cut at;
+        // the old behaviour returned K = 1 and threw away the rest of
+        // the group.
+        let r = ranking(&[0.7, 0.7, 0.7, 0.7]);
+        assert_eq!(k_by_score_gap(&r, ErrorFunction::MethodII, 3), 3);
+        assert_eq!(k_by_score_gap(&r, ErrorFunction::Euclidean, 10), 4);
+        // All-zero Alg_sim III rankings are the common degenerate case.
+        let z = ranking(&[0.0, 0.0, 0.0]);
+        assert_eq!(k_by_score_gap(&z, ErrorFunction::MethodIII, 5), 3);
+    }
+
+    #[test]
+    fn gap_single_gap_is_found() {
+        // Exactly one strictly positive gap: the cut lands on it even
+        // when every other adjacent pair is tied.
+        let r = ranking(&[0.8, 0.8, 0.8, 0.3, 0.3]);
+        assert_eq!(k_by_score_gap(&r, ErrorFunction::MethodII, 10), 3);
+        let e = ranking(&[0.1, 0.1, 0.6, 0.6]);
+        assert_eq!(k_by_score_gap(&e, ErrorFunction::Euclidean, 10), 2);
     }
 
     #[test]

@@ -74,7 +74,7 @@ pub use behavior::{BehaviorMatrix, CaptureModel};
 pub use cache::DictionaryCache;
 pub use defect::{InjectedDefect, SingleDefectModel};
 pub use diagnoser::{Diagnoser, DiagnoserConfig, RankedSite};
-pub use dictionary::{DictionaryConfig, ProbabilisticDictionary, SuspectSignature};
+pub use dictionary::{DictionaryConfig, ProbabilisticDictionary, SimKernel, SuspectSignature};
 pub use engine::{DiagnosisEngine, DiagnosisEngineBuilder};
 pub use error::{DiagnosisError, SddError};
 pub use error_fn::ErrorFunction;

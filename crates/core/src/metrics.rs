@@ -41,6 +41,8 @@ pub struct MetricsSink {
     dict_cache_hits: AtomicU64,
     dict_cache_misses: AtomicU64,
     samples_simulated: AtomicU64,
+    kernel_nanos: AtomicU64,
+    cone_evals: AtomicU64,
     store_hits: AtomicU64,
     store_misses: AtomicU64,
     store_flushes: AtomicU64,
@@ -84,6 +86,19 @@ impl MetricsSink {
         self.samples_simulated.fetch_add(n, Ordering::Relaxed);
     }
 
+    /// Adds `nanos` spent inside the Monte-Carlo dictionary kernel (the
+    /// per-pattern sampling + cone-evaluation inner loop, excluding
+    /// suspect pruning and grid post-processing).
+    pub fn add_kernel_nanos(&self, nanos: u64) {
+        self.kernel_nanos.fetch_add(nanos, Ordering::Relaxed);
+    }
+
+    /// Adds `n` cone evaluations (one per (pattern, chip sample,
+    /// suspect) triple) to the kernel workload counter.
+    pub fn add_cone_evals(&self, n: u64) {
+        self.cone_evals.fetch_add(n, Ordering::Relaxed);
+    }
+
     /// Records a dictionary bank loaded intact from the on-disk store
     /// (`nanos` of load/validate time), skipping its Monte-Carlo build.
     pub fn record_store_hit(&self, nanos: u64) {
@@ -115,6 +130,8 @@ impl MetricsSink {
             dict_cache_hits: self.dict_cache_hits.load(Ordering::Relaxed),
             dict_cache_misses: self.dict_cache_misses.load(Ordering::Relaxed),
             samples_simulated: self.samples_simulated.load(Ordering::Relaxed),
+            kernel_nanos: self.kernel_nanos.load(Ordering::Relaxed),
+            cone_evals: self.cone_evals.load(Ordering::Relaxed),
             store_hits: self.store_hits.load(Ordering::Relaxed),
             store_misses: self.store_misses.load(Ordering::Relaxed),
             store_flushes: self.store_flushes.load(Ordering::Relaxed),
@@ -148,6 +165,14 @@ pub struct CampaignMetrics {
     /// Full-circuit dynamic timing simulations, one per (pattern, chip
     /// sample) pair, across clock estimation and dictionary builds.
     pub samples_simulated: u64,
+    /// Aggregate nanoseconds inside the Monte-Carlo dictionary kernel
+    /// (summed over threads); a subset of `dictionary_nanos`.
+    #[serde(default)]
+    pub kernel_nanos: u64,
+    /// Defect-cone evaluations, one per (pattern, chip sample, suspect)
+    /// triple, across all dictionary builds.
+    #[serde(default)]
+    pub cone_evals: u64,
     /// Dictionary banks loaded intact from the on-disk store (each one a
     /// full Monte-Carlo build skipped).
     pub store_hits: u64,
@@ -186,6 +211,8 @@ impl CampaignMetrics {
             samples_simulated: self
                 .samples_simulated
                 .saturating_sub(baseline.samples_simulated),
+            kernel_nanos: self.kernel_nanos.saturating_sub(baseline.kernel_nanos),
+            cone_evals: self.cone_evals.saturating_sub(baseline.cone_evals),
             store_hits: self.store_hits.saturating_sub(baseline.store_hits),
             store_misses: self.store_misses.saturating_sub(baseline.store_misses),
             store_flushes: self.store_flushes.saturating_sub(baseline.store_flushes),
@@ -227,6 +254,13 @@ impl CampaignMetrics {
             self.cache_hit_percent(),
             self.samples_simulated,
         ));
+        if self.cone_evals > 0 {
+            out.push_str(&format!(
+                "\n  dictionary kernel: {} cone evals in {}",
+                self.cone_evals,
+                fmt_nanos(self.kernel_nanos),
+            ));
+        }
         if self.store_hits + self.store_misses + self.store_flushes > 0 {
             out.push_str(&format!(
                 "\n  dictionary store: {} loads / {} misses ({} spent loading); {} banks flushed",
@@ -339,6 +373,24 @@ mod tests {
     }
 
     #[test]
+    fn kernel_counters_accumulate_and_render() {
+        let sink = MetricsSink::new();
+        sink.add_kernel_nanos(2_000_000);
+        sink.add_kernel_nanos(1_000_000);
+        sink.add_cone_evals(640);
+        let snap = sink.snapshot(Duration::ZERO);
+        assert_eq!(snap.kernel_nanos, 3_000_000);
+        assert_eq!(snap.cone_evals, 640);
+        let text = snap.render();
+        assert!(text.contains("640 cone evals"));
+        // A run that never built a dictionary stays silent about the kernel.
+        assert!(!MetricsSink::new()
+            .snapshot(Duration::ZERO)
+            .render()
+            .contains("cone evals"));
+    }
+
+    #[test]
     fn snapshot_roundtrips_through_json() {
         let snap = CampaignMetrics {
             patterns_nanos: 1,
@@ -349,6 +401,8 @@ mod tests {
             dict_cache_hits: 5,
             dict_cache_misses: 6,
             samples_simulated: 7,
+            kernel_nanos: 12,
+            cone_evals: 13,
             store_hits: 8,
             store_misses: 9,
             store_flushes: 10,

@@ -131,7 +131,7 @@ impl StoreKey {
 /// Fingerprint of (circuit, timing model): store files must never be
 /// resurrected against a different netlist or characterization, even if
 /// every other knob coincides.
-fn fingerprint_model(circuit: &Circuit, timing: &CircuitTiming) -> u64 {
+pub(crate) fn fingerprint_model(circuit: &Circuit, timing: &CircuitTiming) -> u64 {
     let mut h = StableHasher::new();
     h.write(circuit.name().as_bytes());
     h.write_usize(circuit.num_nodes());

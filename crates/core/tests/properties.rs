@@ -185,6 +185,7 @@ fn serde_roundtrips() {
         DictionaryConfig {
             n_samples: 20,
             seed: 1,
+            ..DictionaryConfig::default()
         },
     );
     let json = serde_json::to_string(&dict).expect("serializes");

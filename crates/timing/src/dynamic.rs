@@ -17,9 +17,13 @@
 //! `engine_consistency` integration tests for the relationship between
 //! the two.
 
-use crate::TimingInstance;
+use crate::{InstanceBatch, TimingInstance};
 use sdd_netlist::logic::Transition;
 use sdd_netlist::{Circuit, EdgeId, GateKind, NodeId};
+
+/// Sentinel in [`DefectCone`]'s node-to-slot map for nodes outside the
+/// cone.
+const NOT_IN_CONE: u32 = u32::MAX;
 
 /// Arrival-time marker for a node with no event under the pattern.
 pub const NO_EVENT: f64 = f64::NEG_INFINITY;
@@ -59,7 +63,7 @@ pub fn transition_arrivals(
             arr[id.index()] = 0.0;
             continue;
         }
-        arr[id.index()] = gate_arrival(node.fanins(), node.fanin_edges(), &arr, instance, None);
+        arr[id.index()] = gate_arrival(node.fanins(), node.fanin_edges(), &arr, instance);
     }
     arr
 }
@@ -70,7 +74,6 @@ fn gate_arrival(
     fanin_edges: &[EdgeId],
     arr: &[f64],
     instance: &TimingInstance,
-    defect: Option<(EdgeId, f64)>,
 ) -> f64 {
     let mut best = NO_EVENT;
     for (&from, &e) in fanins.iter().zip(fanin_edges) {
@@ -78,18 +81,73 @@ fn gate_arrival(
         if upstream == NO_EVENT {
             continue;
         }
-        let mut d = instance.delay(e);
-        if let Some((de, delta)) = defect {
-            if de == e {
-                d += delta;
-            }
-        }
-        let cand = upstream + d;
+        let cand = upstream + instance.delay(e);
         if cand > best {
             best = cand;
         }
     }
     best
+}
+
+/// Computes per-node transition arrival times for one pattern across a
+/// whole [`InstanceBatch`] of chip instances in one pass.
+///
+/// Returns the node-major, sample-contiguous arrival matrix
+/// `arr[node.index() * n_samples + s]` — the batched counterpart of the
+/// vector [`transition_arrivals`] returns, and bit-identical to running
+/// that function once per sample: each sample sees the same sequence of
+/// add/max operations, only the loop nest is interchanged.
+///
+/// # Panics
+///
+/// Panics if the circuit is sequential or `transitions.len()` mismatches.
+pub fn transition_arrivals_batch(
+    circuit: &Circuit,
+    transitions: &[Transition],
+    batch: &InstanceBatch,
+) -> Vec<f64> {
+    assert!(
+        circuit.is_combinational(),
+        "dynamic timing requires a combinational circuit"
+    );
+    assert_eq!(
+        transitions.len(),
+        circuit.num_nodes(),
+        "transition table length mismatch"
+    );
+    let n = batch.n_samples();
+    let mut arr = vec![NO_EVENT; circuit.num_nodes() * n];
+    // Node indices are not topologically ordered, so a node's row and a
+    // fanin's row cannot be split borrow-wise; accumulate into a scratch
+    // row and copy it into place.
+    let mut row = vec![NO_EVENT; n];
+    for &id in circuit.topo_order() {
+        if !transitions[id.index()].is_event() {
+            continue;
+        }
+        let node = circuit.node(id);
+        if node.kind() == GateKind::Input {
+            arr[id.index() * n..(id.index() + 1) * n].fill(0.0);
+            continue;
+        }
+        row.fill(NO_EVENT);
+        for (&from, &e) in node.fanins().iter().zip(node.fanin_edges()) {
+            let ups = &arr[from.index() * n..(from.index() + 1) * n];
+            let ds = batch.edge_delays(e);
+            for s in 0..n {
+                let upstream = ups[s];
+                if upstream == NO_EVENT {
+                    continue;
+                }
+                let cand = upstream + ds[s];
+                if cand > row[s] {
+                    row[s] = cand;
+                }
+            }
+        }
+        arr[id.index() * n..(id.index() + 1) * n].copy_from_slice(&row);
+    }
+    arr
 }
 
 /// Extracts the per-output arrival times (in primary-output order) from a
@@ -113,7 +171,8 @@ pub fn output_arrivals(circuit: &Circuit, arrivals: &[f64]) -> Vec<f64> {
 pub struct DefectCone {
     edge: EdgeId,
     cone_topo: Vec<NodeId>,
-    in_cone: Vec<bool>,
+    /// Node index → position in `cone_topo`, [`NOT_IN_CONE`] outside.
+    slot: Vec<u32>,
     reachable_outputs: Vec<usize>,
 }
 
@@ -132,6 +191,10 @@ impl DefectCone {
             .copied()
             .filter(|n| in_cone[n.index()])
             .collect();
+        let mut slot = vec![NOT_IN_CONE; circuit.num_nodes()];
+        for (i, &n) in cone_topo.iter().enumerate() {
+            slot[n.index()] = i as u32;
+        }
         let reachable_outputs = circuit
             .primary_outputs()
             .iter()
@@ -142,7 +205,7 @@ impl DefectCone {
         DefectCone {
             edge,
             cone_topo,
-            in_cone,
+            slot,
             reachable_outputs,
         }
     }
@@ -215,7 +278,7 @@ impl DefectCone {
             }
             let mut best = NO_EVENT;
             for (&from, &e) in node.fanins().iter().zip(node.fanin_edges()) {
-                let upstream = if self.in_cone[from.index()] {
+                let upstream = if self.slot[from.index()] != NOT_IN_CONE {
                     scratch[from.index()]
                 } else {
                     baseline[from.index()]
@@ -241,6 +304,110 @@ impl DefectCone {
                 .iter()
                 .map(|&i| scratch[outputs[i].index()]),
         );
+    }
+
+    /// Batched, sample-major counterpart of [`DefectCone::apply`]:
+    /// recomputes the cone's arrivals for *every* sample of an
+    /// [`InstanceBatch`] in one pass over the cone topology, then tests
+    /// each reachable output against the cut-off period `clk` and calls
+    /// `on_fail(sample, slot)` for every sample whose arrival at
+    /// reachable-output slot `slot` strictly exceeds it.
+    ///
+    /// The per-(pattern, suspect) invariants — cone walk, transition
+    /// lookups, fanin/edge dereferences — are hoisted out of the sample
+    /// loop, and every per-edge delay read is one contiguous slice; that
+    /// relayout is the entire speedup. Per sample, the arithmetic is the
+    /// exact operation sequence of [`DefectCone::apply`], so the pass/fail
+    /// outcomes are bit-identical to the scalar path.
+    ///
+    /// * `baseline` — the defect-free arrival matrix for the same pattern
+    ///   and batch, from [`transition_arrivals_batch`] (node-major,
+    ///   sample-contiguous).
+    /// * `deltas` — the defect size per sample (length `n_samples`).
+    /// * `scratch` — a reusable buffer, resized to
+    ///   `cone.len() × n_samples` (cone-slot-major) and overwritten.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `baseline` or `deltas` mismatch the circuit/batch shape.
+    #[allow(clippy::too_many_arguments)]
+    pub fn apply_batch(
+        &self,
+        circuit: &Circuit,
+        transitions: &[Transition],
+        batch: &InstanceBatch,
+        baseline: &[f64],
+        deltas: &[f64],
+        clk: f64,
+        scratch: &mut Vec<f64>,
+        mut on_fail: impl FnMut(usize, usize),
+    ) {
+        let n = batch.n_samples();
+        assert_eq!(
+            baseline.len(),
+            circuit.num_nodes() * n,
+            "baseline matrix shape mismatch"
+        );
+        assert_eq!(deltas.len(), n, "delta count mismatch");
+        scratch.clear();
+        scratch.resize(self.cone_topo.len() * n, NO_EVENT);
+        for (slot, &id) in self.cone_topo.iter().enumerate() {
+            // Cone fanins always sit at earlier slots (topological
+            // order), so the scratch matrix splits cleanly at this row.
+            let (earlier, rest) = scratch.split_at_mut(slot * n);
+            let row = &mut rest[..n];
+            if !transitions[id.index()].is_event() {
+                continue; // row stays NO_EVENT
+            }
+            let node = circuit.node(id);
+            if node.kind() == GateKind::Input {
+                row.fill(0.0);
+                continue;
+            }
+            for (&from, &e) in node.fanins().iter().zip(node.fanin_edges()) {
+                let from_slot = self.slot[from.index()];
+                let ups: &[f64] = if from_slot != NOT_IN_CONE {
+                    let base = from_slot as usize * n;
+                    &earlier[base..base + n]
+                } else {
+                    &baseline[from.index() * n..(from.index() + 1) * n]
+                };
+                let ds = batch.edge_delays(e);
+                if e == self.edge {
+                    for s in 0..n {
+                        let upstream = ups[s];
+                        if upstream == NO_EVENT {
+                            continue;
+                        }
+                        let cand = upstream + (ds[s] + deltas[s]);
+                        if cand > row[s] {
+                            row[s] = cand;
+                        }
+                    }
+                } else {
+                    for s in 0..n {
+                        let upstream = ups[s];
+                        if upstream == NO_EVENT {
+                            continue;
+                        }
+                        let cand = upstream + ds[s];
+                        if cand > row[s] {
+                            row[s] = cand;
+                        }
+                    }
+                }
+            }
+        }
+        let outputs = circuit.primary_outputs();
+        for (k, &oi) in self.reachable_outputs.iter().enumerate() {
+            let slot = self.slot[outputs[oi].index()] as usize;
+            let row = &scratch[slot * n..(slot + 1) * n];
+            for (s, &arr) in row.iter().enumerate() {
+                if arr > clk {
+                    on_fail(s, k);
+                }
+            }
+        }
     }
 }
 
@@ -368,6 +535,105 @@ mod tests {
         assert_eq!(cone.reachable_outputs(), &[0]);
         assert_eq!(cone.len(), 2); // g1, y
         assert!(!cone.is_empty());
+    }
+
+    #[test]
+    fn batch_arrivals_match_scalar_bit_for_bit() {
+        let c = generate(&GeneratorConfig::small("ba", 5))
+            .unwrap()
+            .to_combinational()
+            .unwrap();
+        let t = CircuitTiming::characterize(
+            &c,
+            &CellLibrary::default_025um(),
+            VariationModel::default(),
+        );
+        let instances: Vec<_> = (0..7).map(|s| t.sample_instance_indexed(11, s)).collect();
+        let batch = InstanceBatch::from_instances(&instances);
+        let n_pi = c.primary_inputs().len();
+        let trans = simulate_pair(&c, &vec![false; n_pi], &vec![true; n_pi]);
+        let arr = transition_arrivals_batch(&c, &trans, &batch);
+        for (s, inst) in instances.iter().enumerate() {
+            let scalar = transition_arrivals(&c, &trans, inst);
+            for (node, &want) in scalar.iter().enumerate() {
+                assert_eq!(
+                    arr[node * 7 + s].to_bits(),
+                    want.to_bits(),
+                    "node {node} sample {s}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn batch_cone_fail_bits_match_scalar() {
+        let c = generate(&GeneratorConfig::small("bc", 9))
+            .unwrap()
+            .to_combinational()
+            .unwrap();
+        let t = CircuitTiming::characterize(
+            &c,
+            &CellLibrary::default_025um(),
+            VariationModel::default(),
+        );
+        let n = 9usize;
+        let instances: Vec<_> = (0..n)
+            .map(|s| t.sample_instance_indexed(4, s as u64))
+            .collect();
+        let batch = InstanceBatch::from_instances(&instances);
+        let n_pi = c.primary_inputs().len();
+        let trans = simulate_pair(&c, &vec![false; n_pi], &vec![true; n_pi]);
+        let baseline_matrix = transition_arrivals_batch(&c, &trans, &batch);
+        // A clk near the nominal upper tail so both outcomes occur.
+        let clk = instances
+            .iter()
+            .map(|i| {
+                transition_arrivals(&c, &trans, i)
+                    .iter()
+                    .copied()
+                    .filter(|a| a.is_finite())
+                    .fold(0.0f64, f64::max)
+            })
+            .sum::<f64>()
+            / n as f64;
+        let mut scratch_scalar = vec![NO_EVENT; c.num_nodes()];
+        let mut scratch_batch = Vec::new();
+        let mut out = Vec::new();
+        for eid in c.edge_ids().take(30) {
+            let cone = DefectCone::new(&c, eid);
+            let deltas: Vec<f64> = (0..n).map(|s| 0.05 * (s as f64 + 1.0)).collect();
+            let mut batched = vec![vec![false; cone.reachable_outputs().len()]; n];
+            cone.apply_batch(
+                &c,
+                &trans,
+                &batch,
+                &baseline_matrix,
+                &deltas,
+                clk,
+                &mut scratch_batch,
+                |s, k| batched[s][k] = true,
+            );
+            for (s, inst) in instances.iter().enumerate() {
+                let baseline = transition_arrivals(&c, &trans, inst);
+                cone.apply(
+                    &c,
+                    &trans,
+                    inst,
+                    &baseline,
+                    deltas[s],
+                    &mut scratch_scalar,
+                    &mut out,
+                );
+                for (k, &arr) in out.iter().enumerate() {
+                    assert_eq!(
+                        batched[s][k],
+                        arr > clk,
+                        "edge {eid} sample {s} slot {k}: batch {} vs scalar arrival {arr}",
+                        batched[s][k]
+                    );
+                }
+            }
+        }
     }
 
     #[test]

@@ -69,6 +69,84 @@ impl TimingInstance {
     }
 }
 
+/// A *batch* of circuit instances in sample-major layout: the delays of
+/// one arc across every Monte-Carlo sample sit contiguously in memory.
+///
+/// [`TimingInstance`] is the right shape for evaluating one chip at a
+/// time; the dictionary's Monte-Carlo kernel instead evaluates every
+/// sample of one (pattern, suspect) together, and its inner loop runs
+/// over samples for a fixed arc. `InstanceBatch` stores the transposed
+/// `n_edges × n_samples` delay matrix so that loop reads one contiguous
+/// slice ([`InstanceBatch::edge_delays`]) instead of striding across
+/// `n_samples` separate delay vectors.
+///
+/// The batch is a pure re-layout: `batch.delay(e, s)` equals
+/// `instances[s].delay(e)` bit-for-bit, so kernels reading from it stay
+/// bit-identical to per-instance evaluation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InstanceBatch {
+    n_edges: usize,
+    n_samples: usize,
+    /// Edge-major, sample-contiguous: `delays[e * n_samples + s]`.
+    delays: Vec<f64>,
+}
+
+impl InstanceBatch {
+    /// Transposes per-sample instances into the sample-major matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the instances cover differing numbers of arcs.
+    pub fn from_instances(instances: &[TimingInstance]) -> InstanceBatch {
+        let n_samples = instances.len();
+        let n_edges = instances.first().map(|i| i.len()).unwrap_or(0);
+        let mut delays = vec![0.0; n_edges * n_samples];
+        for (s, inst) in instances.iter().enumerate() {
+            assert_eq!(inst.len(), n_edges, "instance {s} arc count mismatch");
+            for (e, &d) in inst.delays().iter().enumerate() {
+                delays[e * n_samples + s] = d;
+            }
+        }
+        InstanceBatch {
+            n_edges,
+            n_samples,
+            delays,
+        }
+    }
+
+    /// Number of samples (chip instances) in the batch.
+    pub fn n_samples(&self) -> usize {
+        self.n_samples
+    }
+
+    /// Number of arcs covered by each instance.
+    pub fn n_edges(&self) -> usize {
+        self.n_edges
+    }
+
+    /// The delays of one arc across all samples (contiguous).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the edge index is out of range.
+    #[inline]
+    pub fn edge_delays(&self, edge: EdgeId) -> &[f64] {
+        let base = edge.index() * self.n_samples;
+        &self.delays[base..base + self.n_samples]
+    }
+
+    /// The delay of one arc in one sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of range.
+    #[inline]
+    pub fn delay(&self, edge: EdgeId, sample: usize) -> f64 {
+        assert!(sample < self.n_samples, "sample index out of range");
+        self.delays[edge.index() * self.n_samples + sample]
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -96,5 +174,39 @@ mod tests {
         let mut inst = TimingInstance::new(vec![1.0]);
         inst.add_extra_delay(EdgeId::from_index(0), 0.25);
         assert_eq!(inst.delay(EdgeId::from_index(0)), 1.25);
+    }
+
+    #[test]
+    fn batch_transposes_bit_exactly() {
+        let instances = vec![
+            TimingInstance::new(vec![0.1, 0.2, 0.3]),
+            TimingInstance::new(vec![1.1, 1.2, 1.3]),
+        ];
+        let batch = InstanceBatch::from_instances(&instances);
+        assert_eq!(batch.n_samples(), 2);
+        assert_eq!(batch.n_edges(), 3);
+        for (s, inst) in instances.iter().enumerate() {
+            for e in 0..3 {
+                let e = EdgeId::from_index(e);
+                assert_eq!(batch.delay(e, s).to_bits(), inst.delay(e).to_bits());
+            }
+        }
+        assert_eq!(batch.edge_delays(EdgeId::from_index(1)), &[0.2, 1.2]);
+    }
+
+    #[test]
+    fn empty_batch_is_well_formed() {
+        let batch = InstanceBatch::from_instances(&[]);
+        assert_eq!(batch.n_samples(), 0);
+        assert_eq!(batch.n_edges(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "arc count mismatch")]
+    fn ragged_batch_panics() {
+        InstanceBatch::from_instances(&[
+            TimingInstance::new(vec![0.1]),
+            TimingInstance::new(vec![0.1, 0.2]),
+        ]);
     }
 }

@@ -62,7 +62,7 @@ pub mod waveform;
 pub use cell_lib::CellLibrary;
 pub use dist::Dist;
 pub use error::TimingError;
-pub use instance::TimingInstance;
+pub use instance::{InstanceBatch, TimingInstance};
 pub use sample::Samples;
 pub use timing_model::CircuitTiming;
 pub use variation::VariationModel;

@@ -143,6 +143,23 @@ impl CircuitTiming {
         let mut rng = ChaCha8Rng::seed_from_u64(seed ^ index.wrapping_mul(0x9E37_79B9_7F4A_7C15));
         self.sample_instance(&mut rng)
     }
+
+    /// Manufactures instances `first_index..first_index + n` of the
+    /// stream identified by `seed`, transposed into the sample-major
+    /// layout the batched dictionary kernel reads. Draws are keyed per
+    /// index, so `batch.delay(e, s)` is bit-identical to
+    /// `sample_instance_indexed(seed, first_index + s).delay(e)`.
+    pub fn sample_instance_batch(
+        &self,
+        seed: u64,
+        first_index: u64,
+        n: usize,
+    ) -> crate::InstanceBatch {
+        let instances: Vec<TimingInstance> = (0..n as u64)
+            .map(|s| self.sample_instance_indexed(seed, first_index + s))
+            .collect();
+        crate::InstanceBatch::from_instances(&instances)
+    }
 }
 
 #[cfg(test)]

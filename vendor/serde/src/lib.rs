@@ -390,6 +390,19 @@ pub mod de {
                 })?;
             T::from_value(self.entries.swap_remove(position).1)
         }
+
+        /// Removes and deserializes the named field, falling back to
+        /// `T::default()` when absent — the behaviour of serde's
+        /// `#[serde(default)]` field attribute.
+        pub fn field_or_default<T: Deserialize + Default>(
+            &mut self,
+            name: &str,
+        ) -> Result<T, Error> {
+            match self.entries.iter().position(|(key, _)| key == name) {
+                Some(position) => T::from_value(self.entries.swap_remove(position).1),
+                None => Ok(T::default()),
+            }
+        }
     }
 
     /// Unpacks a fixed-length array value.

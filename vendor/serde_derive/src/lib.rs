@@ -12,6 +12,13 @@
 //! structs are maps, one-field tuple structs are transparent newtypes,
 //! unit enum variants are strings, payload variants are
 //! single-entry maps.
+//!
+//! One field attribute is honoured: `#[serde(default)]` on a named
+//! struct field makes deserialization fall back to `Default::default()`
+//! when the field is absent from the map (real serde's behaviour), so
+//! structs can grow fields without invalidating previously serialized
+//! values. Other `#[serde(...)]` attributes are rejected rather than
+//! silently ignored.
 
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 use std::fmt::Write as _;
@@ -27,10 +34,16 @@ struct Item {
 }
 
 enum Data {
-    NamedStruct(Vec<String>),
+    NamedStruct(Vec<Field>),
     TupleStruct(usize),
     UnitStruct,
     Enum(Vec<Variant>),
+}
+
+struct Field {
+    name: String,
+    /// `#[serde(default)]` was present on the field.
+    default: bool,
 }
 
 struct Variant {
@@ -41,7 +54,7 @@ struct Variant {
 enum Shape {
     Unit,
     Tuple(usize),
-    Named(Vec<String>),
+    Named(Vec<Field>),
 }
 
 // ---------------------------------------------------------------------------
@@ -51,14 +64,29 @@ enum Shape {
 type Tokens = Peekable<proc_macro::token_stream::IntoIter>;
 
 /// Consumes attributes (`#[...]`, which is also how doc comments arrive)
-/// and visibility (`pub`, `pub(...)`) at the current position.
-fn skip_attrs_and_vis(tokens: &mut Tokens) {
+/// and visibility (`pub`, `pub(...)`) at the current position, returning
+/// whether a `#[serde(default)]` attribute was among them. Any other
+/// `#[serde(...)]` attribute is rejected: this stand-in implements none
+/// of them, and ignoring one (rename, skip, flatten, ...) would silently
+/// change the wire format.
+fn skip_attrs_and_vis(tokens: &mut Tokens) -> bool {
+    let mut has_default = false;
     loop {
         match tokens.peek() {
             Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
                 tokens.next();
                 match tokens.next() {
-                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {}
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {
+                        if let Some(body) = serde_attr_body(g.stream()) {
+                            match body.as_str() {
+                                "default" => has_default = true,
+                                other => panic!(
+                                    "serde derive stand-in only supports \
+                                     #[serde(default)], found #[serde({other})]"
+                                ),
+                            }
+                        }
+                    }
                     other => panic!("serde derive: malformed attribute near {other:?}"),
                 }
             }
@@ -70,8 +98,24 @@ fn skip_attrs_and_vis(tokens: &mut Tokens) {
                     }
                 }
             }
-            _ => return,
+            _ => return has_default,
         }
+    }
+}
+
+/// If the bracketed attribute tokens are `serde(...)`, renders the inner
+/// tokens to a string (e.g. `"default"`); otherwise `None`.
+fn serde_attr_body(stream: TokenStream) -> Option<String> {
+    let mut tokens = stream.into_iter();
+    match tokens.next() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {}
+        _ => return None,
+    }
+    match tokens.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            Some(g.stream().to_string())
+        }
+        _ => None,
     }
 }
 
@@ -123,11 +167,11 @@ fn parse_item(input: TokenStream) -> Item {
 /// Types are skipped with angle-bracket depth tracking so commas inside
 /// `Vec<(A, B)>`-style types don't split fields (parenthesised tuples
 /// arrive as opaque groups; only `<`/`>` need counting).
-fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
     let mut tokens = stream.into_iter().peekable();
     let mut fields = Vec::new();
     loop {
-        skip_attrs_and_vis(&mut tokens);
+        let default = skip_attrs_and_vis(&mut tokens);
         let name = match tokens.next() {
             Some(TokenTree::Ident(id)) => id.to_string(),
             None => break,
@@ -146,7 +190,7 @@ fn parse_named_fields(stream: TokenStream) -> Vec<String> {
                 _ => {}
             }
         }
-        fields.push(name);
+        fields.push(Field { name, default });
     }
     fields
 }
@@ -222,7 +266,7 @@ fn parse_variants(stream: TokenStream) -> Vec<Variant> {
 // Code generation
 // ---------------------------------------------------------------------------
 
-#[proc_macro_derive(Serialize)]
+#[proc_macro_derive(Serialize, attributes(serde))]
 pub fn derive_serialize(input: TokenStream) -> TokenStream {
     let item = parse_item(input);
     let name = &item.name;
@@ -231,6 +275,7 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
         Data::NamedStruct(fields) => {
             body.push_str("let mut __serde_fields = ::std::vec::Vec::new();\n");
             for field in fields {
+                let field = &field.name;
                 let _ = writeln!(
                     body,
                     "__serde_fields.push((::std::string::String::from(\"{field}\"), \
@@ -295,7 +340,8 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
                             .map(|f| {
                                 format!(
                                     "(::std::string::String::from(\"{f}\"), \
-                                     ::serde::Serialize::to_value({f}))"
+                                     ::serde::Serialize::to_value({f}))",
+                                    f = f.name
                                 )
                             })
                             .collect::<Vec<_>>()
@@ -305,7 +351,11 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
                             "{name}::{vname} {{ {binds} }} => ::serde::Value::Map(::std::vec![(\
                              ::std::string::String::from(\"{vname}\"), \
                              ::serde::Value::Map(::std::vec![{entries}]))]),",
-                            binds = fields.join(", ")
+                            binds = fields
+                                .iter()
+                                .map(|f| f.name.clone())
+                                .collect::<Vec<_>>()
+                                .join(", ")
                         );
                     }
                 }
@@ -324,7 +374,7 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
         .expect("serde derive: generated invalid Serialize impl")
 }
 
-#[proc_macro_derive(Deserialize)]
+#[proc_macro_derive(Deserialize, attributes(serde))]
 pub fn derive_deserialize(input: TokenStream) -> TokenStream {
     let item = parse_item(input);
     let name = &item.name;
@@ -338,7 +388,16 @@ pub fn derive_deserialize(input: TokenStream) -> TokenStream {
             body.push_str("::std::result::Result::Ok(");
             let _ = write!(body, "{name} {{ ");
             for field in fields {
-                let _ = write!(body, "{field}: __serde_map.field(\"{field}\")?, ");
+                let accessor = if field.default {
+                    "field_or_default"
+                } else {
+                    "field"
+                };
+                let _ = write!(
+                    body,
+                    "{field}: __serde_map.{accessor}(\"{field}\")?, ",
+                    field = field.name
+                );
             }
             body.push_str("})\n");
         }
@@ -411,7 +470,14 @@ pub fn derive_deserialize(input: TokenStream) -> TokenStream {
                     Shape::Named(fields) => {
                         let field_parses = fields
                             .iter()
-                            .map(|f| format!("{f}: __serde_map.field(\"{f}\")?"))
+                            .map(|f| {
+                                let accessor = if f.default {
+                                    "field_or_default"
+                                } else {
+                                    "field"
+                                };
+                                format!("{f}: __serde_map.{accessor}(\"{f}\")?", f = f.name)
+                            })
                             .collect::<Vec<_>>()
                             .join(", ");
                         let _ = writeln!(
