@@ -10,12 +10,18 @@
 //! reports the success rates, isolating the contribution of each choice.
 //!
 //! ```text
-//! cargo run -p sdd-bench --release --bin ablation [-- --seed 2] [--circuit s1196]
+//! cargo run -p sdd-bench --release --bin ablation \
+//!     [-- --seed 2] [--circuit s1196] [--metrics-json PATH]
 //! ```
+//!
+//! With `--metrics-json <path>`, one [`sdd_core::MetricsReport`] per
+//! completed variant (its `circuit` field tagged `circuit / label`) is
+//! written as a combined [`sdd_core::MetricsExport`] document.
 
+use sdd_bench::{flag_value, write_metrics_export};
 use sdd_core::engine::DiagnosisEngine;
 use sdd_core::inject::{CampaignConfig, ClockPolicy};
-use sdd_core::CaptureModel;
+use sdd_core::{CaptureModel, MetricsReport};
 use sdd_netlist::profiles;
 use std::time::Instant;
 
@@ -68,10 +74,14 @@ fn main() {
     // everything the simulation reads, so variants that only change the
     // observation side (e.g. the capture model) legitimately share them.
     let engine = DiagnosisEngine::new();
+    let mut metrics_reports: Vec<MetricsReport> = Vec::new();
     for (label, config) in variants {
         let t0 = Instant::now();
         match engine.run_campaign(&profile, &config) {
             Ok(report) => {
+                let mut m = MetricsReport::from_report(&report);
+                m.circuit = format!("{} / {label}", m.circuit);
+                metrics_reports.push(m);
                 println!("--- {label} ({:.1?})", t0.elapsed());
                 println!("{}", report.render_table());
                 println!("{}", report.metrics.render());
@@ -83,11 +93,7 @@ fn main() {
     println!("defects invisible (near-zero rates); the waveform capture adds");
     println!("hazard failures the dictionary cannot explain; the sweep depth and");
     println!("Monte-Carlo budget trade accuracy against runtime.");
-}
-
-fn flag_value(args: &[String], flag: &str) -> Option<String> {
-    args.iter()
-        .position(|a| a == flag)
-        .and_then(|i| args.get(i + 1))
-        .cloned()
+    if let Some(path) = flag_value(&args, "--metrics-json") {
+        write_metrics_export(&path, metrics_reports);
+    }
 }

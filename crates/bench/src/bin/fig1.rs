@@ -12,13 +12,15 @@
 //!   pattern differentiates the faults in the timing domain.
 //!
 //! ```text
-//! cargo run -p sdd-bench --release --bin fig1 [-- --store DIR]
+//! cargo run -p sdd-bench --release --bin fig1 [-- --store DIR] [--metrics-json PATH]
 //! ```
 //!
-//! `--store <dir>` is accepted for CLI uniformity with the other bench
-//! binaries; this figure estimates critical probabilities directly and
-//! builds no fault dictionaries, so the store is opened but stays idle.
+//! `--store <dir>` and `--metrics-json <path>` are accepted for CLI
+//! uniformity with the other bench binaries; this figure estimates
+//! critical probabilities directly and builds no fault dictionaries, so
+//! the store stays idle and the metrics export carries zero reports.
 
+use sdd_bench::{flag_value, write_metrics_export};
 use sdd_core::DictionaryStore;
 use sdd_netlist::logic::simulate_pair;
 use sdd_netlist::{CircuitBuilder, GateKind};
@@ -27,11 +29,7 @@ use sdd_timing::{CircuitTiming, Samples, VariationModel};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    if let Some(dir) = args
-        .iter()
-        .position(|a| a == "--store")
-        .and_then(|i| args.get(i + 1))
-    {
+    if let Some(dir) = flag_value(&args, "--store") {
         let store = DictionaryStore::open(dir).expect("store directory opens");
         println!(
             "note: --store {} accepted, but fig1 builds no fault dictionaries ({} checkpoints untouched)\n",
@@ -43,6 +41,11 @@ fn main() {
     case1();
     case2();
     println!("\ntotal wall clock: {:.1?}", start.elapsed());
+    if let Some(path) = flag_value(&args, "--metrics-json") {
+        // No diagnosis campaign runs here; emit the uniform top-level
+        // document with an empty report list.
+        write_metrics_export(&path, Vec::new());
+    }
 }
 
 /// Case 1: one fault site, a long and a short sensitizable path.

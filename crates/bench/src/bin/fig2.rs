@@ -24,23 +24,21 @@
 //! resolves it.
 //!
 //! ```text
-//! cargo run -p sdd-bench --release --bin fig2 [-- --store DIR]
+//! cargo run -p sdd-bench --release --bin fig2 [-- --store DIR] [--metrics-json PATH]
 //! ```
 //!
-//! `--store <dir>` is accepted for CLI uniformity with the other bench
-//! binaries; this figure works on the paper's literal 2×2 example and
-//! builds no fault dictionaries, so the store is opened but stays idle.
+//! `--store <dir>` and `--metrics-json <path>` are accepted for CLI
+//! uniformity with the other bench binaries; this figure works on the
+//! paper's literal 2×2 example and builds no fault dictionaries, so the
+//! store stays idle and the metrics export carries zero reports.
 
+use sdd_bench::{flag_value, write_metrics_export};
 use sdd_core::error_fn::{phi, ErrorFunction};
 use sdd_core::DictionaryStore;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    if let Some(dir) = args
-        .iter()
-        .position(|a| a == "--store")
-        .and_then(|i| args.get(i + 1))
-    {
+    if let Some(dir) = flag_value(&args, "--store") {
         let store = DictionaryStore::open(dir).expect("store directory opens");
         println!(
             "note: --store {} accepted, but fig2 builds no fault dictionaries ({} checkpoints untouched)\n",
@@ -111,6 +109,11 @@ fn main() {
     println!("\n=> the diagnosis answer depends on the error function: defining");
     println!("   'better match' carefully is the first task of delay diagnosis.");
     println!("\ntotal wall clock: {:.1?}", start.elapsed());
+    if let Some(path) = flag_value(&args, "--metrics-json") {
+        // No diagnosis campaign runs here; emit the uniform top-level
+        // document with an empty report list.
+        write_metrics_export(&path, Vec::new());
+    }
 }
 
 fn rounded(v: &[f64]) -> Vec<f64> {

@@ -19,12 +19,16 @@
 //! minimizes the error.
 //!
 //! ```text
-//! cargo run -p sdd-bench --release --bin fig3 [-- --store DIR]
+//! cargo run -p sdd-bench --release --bin fig3 [-- --store DIR] [--metrics-json PATH]
 //! ```
 //!
 //! With `--store <dir>`, the per-chip dictionaries are checkpointed to
-//! (and on a re-run loaded from) disk.
+//! (and on a re-run loaded from) disk. With `--metrics-json <path>`,
+//! the engine's lifetime [`sdd_core::MetricsReport`] — covering every
+//! `diagnose_instance` call above — is written as a
+//! [`sdd_core::MetricsExport`] document.
 
+use sdd_bench::{flag_value, write_metrics_export};
 use sdd_core::defect::SingleDefectModel;
 use sdd_core::engine::DiagnosisEngine;
 use sdd_core::inject::CampaignConfig;
@@ -129,11 +133,7 @@ fn main() {
     }
     engine.sync_store();
     println!("\n{}", engine.metrics().snapshot(start.elapsed()).render());
-}
-
-fn flag_value(args: &[String], flag: &str) -> Option<String> {
-    args.iter()
-        .position(|a| a == flag)
-        .and_then(|i| args.get(i + 1))
-        .cloned()
+    if let Some(path) = flag_value(&args, "--metrics-json") {
+        write_metrics_export(&path, vec![engine.metrics_report()]);
+    }
 }

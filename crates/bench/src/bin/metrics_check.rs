@@ -1,0 +1,69 @@
+//! CI assertion binary for the `--metrics-json` artifacts the bench
+//! binaries write: parses each file as a [`sdd_core::MetricsExport`],
+//! re-runs every schema invariant (histogram counts == trials, trace
+//! sums == aggregate counters, percentile monotonicity, ...) and prints
+//! a per-report summary. Exits nonzero on any violation, so a CI step
+//! can pipeline `speedup --quick --metrics-json out.json` straight into
+//! `metrics_check out.json`.
+//!
+//! ```text
+//! cargo run -p sdd-bench --release --bin metrics_check -- PATH [PATH ...]
+//! ```
+
+use sdd_core::{MetricsExport, Phase};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        eprintln!("usage: metrics_check <metrics.json> [more.json ...]");
+        return ExitCode::FAILURE;
+    }
+    let mut ok = true;
+    for path in &args {
+        ok &= check(path);
+    }
+    if ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn check(path: &str) -> bool {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("{path}: unreadable: {e}");
+            return false;
+        }
+    };
+    let export = match MetricsExport::from_json(&text) {
+        Ok(x) => x,
+        Err(e) => {
+            eprintln!("{path}: parse error: {e}");
+            return false;
+        }
+    };
+    if let Err(e) = export.validate() {
+        eprintln!("{path}: invariant violated: {e}");
+        return false;
+    }
+    println!(
+        "{path}: ok — schema v{}, {} report(s)",
+        export.schema_version,
+        export.reports.len()
+    );
+    for r in &export.reports {
+        let dict = r.counters.phase_latency.get(Phase::Dictionary);
+        println!(
+            "  {}: {} trials, {} traces, dictionary p50/p99 = {}/{} ns",
+            r.circuit,
+            r.trials,
+            r.traces.len(),
+            dict.p50().unwrap_or(0),
+            dict.p99().unwrap_or(0),
+        );
+    }
+    true
+}

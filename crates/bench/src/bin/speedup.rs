@@ -19,17 +19,21 @@
 //! `--quick` swaps the paper-scale workload for the reduced test
 //! configuration — the CI sanity mode. `--kernel scalar|batched` skips
 //! the kernel comparison and runs a single kernel (for profiling).
+//! `--metrics-json <path>` additionally writes the primary leg's
+//! counters, per-phase latency histograms and per-instance traces as a
+//! [`sdd_core::MetricsExport`] document (see `metrics_check`).
 //!
 //! ```text
 //! cargo run -p sdd-bench --release --bin speedup \
 //!     [-- --circuit s1196] [--seed 2] [--store DIR] [--quick] \
-//!     [--kernel scalar|batched|both]
+//!     [--kernel scalar|batched|both] [--metrics-json PATH]
 //! ```
 
+use sdd_bench::{flag_value, write_metrics_export};
 use sdd_core::engine::DiagnosisEngine;
 use sdd_core::evaluate::AccuracyReport;
 use sdd_core::inject::{diagnose_one_instance, CampaignConfig, ClockPolicy, InstanceOutcome};
-use sdd_core::{ErrorFunction, SimKernel};
+use sdd_core::{ErrorFunction, MetricsReport, SimKernel};
 use sdd_netlist::generator::generate;
 use sdd_netlist::profiles;
 use sdd_timing::sta;
@@ -142,6 +146,10 @@ fn main() {
 
     println!("{}", primary.render_table());
     println!("{}", primary.metrics.render());
+
+    if let Some(path) = flag_value(&args, "--metrics-json") {
+        write_metrics_export(&path, vec![MetricsReport::from_report(primary)]);
+    }
 }
 
 /// The seed engine: the exact per-chip pipeline of the campaign,
@@ -175,11 +183,4 @@ fn run_serial_fresh(circuit: &sdd_netlist::Circuit, config: &CampaignConfig) -> 
         }
     }
     report
-}
-
-fn flag_value(args: &[String], flag: &str) -> Option<String> {
-    args.iter()
-        .position(|a| a == flag)
-        .and_then(|i| args.get(i + 1))
-        .cloned()
 }

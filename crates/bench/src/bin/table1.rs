@@ -7,13 +7,16 @@
 //!
 //! ```text
 //! cargo run -p sdd-bench --release --bin table1 \
-//!     [-- --quick] [--circuit s1196] [--seed 2] [--store DIR]
+//!     [-- --quick] [--circuit s1196] [--seed 2] [--store DIR] \
+//!     [--metrics-json PATH]
 //! ```
 //!
 //! With `--store <dir>`, dictionary Monte-Carlo banks are checkpointed
 //! to (and reloaded from) disk, so regenerating the table after a crash
 //! or re-running a subset of circuits skips the dictionary phase for
-//! everything already computed.
+//! everything already computed. With `--metrics-json <path>`, one
+//! [`sdd_core::MetricsReport`] per successfully-completed circuit is
+//! written as a combined [`sdd_core::MetricsExport`] document.
 //!
 //! Prints, per circuit, the measured success rates for all five error
 //! functions (the paper's four plus the `Alg_joint` extension) next to
@@ -23,9 +26,10 @@
 //! grow with `K`, Method III is degenerate, and the explicit
 //! error-function algorithms are competitive.
 
-use sdd_bench::{table1_k_values, table1_reference};
+use sdd_bench::{flag_value, table1_k_values, table1_reference, write_metrics_export};
 use sdd_core::engine::DiagnosisEngine;
 use sdd_core::inject::CampaignConfig;
+use sdd_core::MetricsReport;
 use sdd_netlist::profiles::TABLE1_PROFILES;
 use std::time::Instant;
 
@@ -56,6 +60,7 @@ fn main() {
     }
 
     let total = Instant::now();
+    let mut metrics_reports: Vec<MetricsReport> = Vec::new();
     for profile in TABLE1_PROFILES {
         if let Some(filter) = &circuit_filter {
             if profile.name != filter {
@@ -83,6 +88,7 @@ fn main() {
         let t0 = Instant::now();
         match engine.run_campaign(&profile, &config) {
             Ok(report) => {
+                metrics_reports.push(MetricsReport::from_report(&report));
                 println!("{}", report.render_table());
                 println!("{}\n", report.metrics.render());
                 if let Some(reference) = table1_reference(profile.name) {
@@ -100,11 +106,7 @@ fn main() {
         }
     }
     println!("total wall clock: {:.1?}", total.elapsed());
-}
-
-fn flag_value(args: &[String], flag: &str) -> Option<String> {
-    args.iter()
-        .position(|a| a == flag)
-        .and_then(|i| args.get(i + 1))
-        .cloned()
+    if let Some(path) = flag_value(&args, "--metrics-json") {
+        write_metrics_export(&path, metrics_reports);
+    }
 }

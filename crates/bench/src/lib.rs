@@ -16,6 +16,11 @@
 //! `table1` accepts `--quick` (reduced budgets), `--circuit <name>` (one
 //! circuit only) and `--seed <n>`.
 //!
+//! Every binary accepts `--metrics-json <path>` and writes a
+//! [`sdd_core::MetricsExport`] document — the same top-level schema
+//! (`{schema_version, reports: [...]}`) regardless of which binary
+//! produced it, so one parser (`metrics_check`) covers them all.
+//!
 //! Criterion benches (`cargo bench -p sdd-bench`):
 //!
 //! * `timing_bench` — Monte-Carlo static analysis, dynamic simulation,
@@ -26,7 +31,32 @@
 
 #![warn(missing_docs)]
 
+use sdd_core::{MetricsExport, MetricsReport};
 use sdd_netlist::profiles::BenchmarkProfile;
+
+/// Extracts the value following `--flag` from a raw argument list, the
+/// shared flag convention of every bench binary.
+pub fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+/// Validates and writes a [`MetricsExport`] to `path`, printing one
+/// confirmation line. Bench binaries want loud failures, not silently
+/// bad artifacts, so validation or I/O errors panic with context.
+pub fn write_metrics_export(path: &str, reports: Vec<MetricsReport>) {
+    let export = MetricsExport::new(reports);
+    export
+        .validate()
+        .unwrap_or_else(|e| panic!("metrics export failed validation: {e}"));
+    std::fs::write(path, export.to_json()).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+    println!(
+        "metrics: wrote {} report(s) to {path}",
+        export.reports.len()
+    );
+}
 
 /// The `K` triplets the paper reports per circuit in Table I.
 pub fn table1_k_values(circuit: &str) -> Vec<usize> {
@@ -69,6 +99,17 @@ pub fn bench_profile() -> BenchmarkProfile {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn flag_value_extracts_the_following_argument() {
+        let args: Vec<String> = ["--seed", "7", "--quick"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        assert_eq!(flag_value(&args, "--seed").as_deref(), Some("7"));
+        assert_eq!(flag_value(&args, "--quick"), None, "boolean flag, no value");
+        assert_eq!(flag_value(&args, "--store"), None, "absent flag");
+    }
 
     #[test]
     fn k_values_match_paper_rows() {

@@ -470,10 +470,9 @@ mod tests {
         let suspects: Vec<EdgeId> = c.edge_ids().collect();
         let size = Dist::defect_size(0.4);
         let clk = behavior.clk();
-        let dir = std::env::temp_dir().join(format!("sdd-cache-store-{}", std::process::id()));
-        let _ = std::fs::remove_dir_all(&dir);
+        let dir = crate::testutil::TestDir::new("cache-store");
 
-        let store = Arc::new(crate::store::DictionaryStore::open(&dir).unwrap());
+        let store = Arc::new(crate::store::DictionaryStore::open(dir.path()).unwrap());
         let warm = DictionaryCache::with_store(Arc::clone(&store));
         let m1 = MetricsSink::new();
         let first = warm.build_with_behavior(
@@ -496,7 +495,7 @@ mod tests {
         // A brand-new cache over the same directory: the Monte-Carlo
         // phase is replaced entirely by the checkpoint load.
         let cold = DictionaryCache::with_store(Arc::new(
-            crate::store::DictionaryStore::open(&dir).unwrap(),
+            crate::store::DictionaryStore::open(dir.path()).unwrap(),
         ));
         let m2 = MetricsSink::new();
         let second = cold.build_with_behavior(
@@ -514,7 +513,6 @@ mod tests {
         let s2 = m2.snapshot(std::time::Duration::ZERO);
         assert_eq!(s2.store_hits, 1, "warm run loads from disk");
         assert_eq!(s2.samples_simulated, 0, "warm run simulates nothing");
-        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -38,7 +38,7 @@ use crate::evaluate::AccuracyReport;
 use crate::inject::{
     diagnose_instance_impl, run_campaign_on_with, CampaignConfig, InstanceOutcome,
 };
-use crate::metrics::MetricsSink;
+use crate::metrics::{MetricsReport, MetricsSink, METRICS_SCHEMA_VERSION};
 use crate::store::DictionaryStore;
 use crate::SddError;
 use sdd_netlist::generator::generate;
@@ -161,6 +161,25 @@ impl DiagnosisEngine {
     /// The backing dictionary store, if the engine was built with one.
     pub fn store(&self) -> Option<&Arc<DictionaryStore>> {
         self.cache.store()
+    }
+
+    /// A machine-readable observability report over the engine's whole
+    /// lifetime: aggregate counters, per-phase latency histograms and
+    /// the (bounded) per-instance trace ring, across every campaign and
+    /// instance the engine has run. `trials` is the number of instances
+    /// diagnosed; `total_nanos` is 0 because the engine does not track
+    /// a lifetime wall clock (per-campaign spans live in each
+    /// [`AccuracyReport::metrics`]).
+    pub fn metrics_report(&self) -> MetricsReport {
+        let counters = self.metrics.snapshot(std::time::Duration::ZERO);
+        let trials = counters.phase_latency.patterns.count();
+        MetricsReport {
+            schema_version: METRICS_SCHEMA_VERSION,
+            circuit: "engine-lifetime".into(),
+            trials,
+            counters,
+            traces: self.metrics.traces_since(0),
+        }
     }
 
     /// Blocks until all background dictionary checkpoints written so far
@@ -288,12 +307,11 @@ mod tests {
 
     #[test]
     fn store_backed_engines_reload_across_engine_lifetimes() {
-        let dir = std::env::temp_dir().join(format!("sdd-engine-store-{}", std::process::id()));
-        let _ = std::fs::remove_dir_all(&dir);
+        let dir = crate::testutil::TestDir::new("engine-store");
         let cfg = CampaignConfig::quick(2);
 
         let cold = DiagnosisEngine::builder()
-            .store_dir(&dir)
+            .store_dir(dir.path())
             .build()
             .expect("engine builds");
         let first = cold.run_campaign(&profiles::S27, &cfg).unwrap();
@@ -306,7 +324,7 @@ mod tests {
         // A brand-new engine over the same directory: dictionaries come
         // from disk, and the report stays bit-identical.
         let warm = DiagnosisEngine::builder()
-            .store_dir(&dir)
+            .store_dir(dir.path())
             .build()
             .expect("engine builds");
         let second = warm.run_campaign(&profiles::S27, &cfg).unwrap();
@@ -316,20 +334,37 @@ mod tests {
             second.metrics.dict_cache_misses, 0,
             "every first bank touch should be served by a store load"
         );
-        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]
     fn builder_store_handle_takes_precedence() {
-        let dir = std::env::temp_dir().join(format!("sdd-engine-handle-{}", std::process::id()));
-        let _ = std::fs::remove_dir_all(&dir);
-        let handle = Arc::new(DictionaryStore::open(&dir).unwrap());
+        let dir = crate::testutil::TestDir::new("engine-handle");
+        let handle = Arc::new(DictionaryStore::open(dir.path()).unwrap());
         let engine = DiagnosisEngine::builder()
             .store(Arc::clone(&handle))
             .store_dir("/nonexistent/never/created")
             .build()
             .expect("handle wins over dir");
         assert_eq!(engine.store().unwrap().dir(), handle.dir());
-        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn lifetime_metrics_report_is_consistent() {
+        let engine = DiagnosisEngine::new();
+        let cfg = CampaignConfig::quick(7);
+        let report = engine.run_campaign(&profiles::S27, &cfg).unwrap();
+        let lifetime = engine.metrics_report();
+        assert_eq!(lifetime.trials, report.trials as u64);
+        assert_eq!(lifetime.traces.len(), report.traces.len());
+        lifetime
+            .validate()
+            .expect("lifetime metrics report validates");
+        // A second campaign doubles the instance count.
+        engine.run_campaign(&profiles::S27, &cfg).unwrap();
+        let lifetime = engine.metrics_report();
+        assert_eq!(lifetime.trials, 2 * report.trials as u64);
+        lifetime
+            .validate()
+            .expect("two-campaign lifetime report validates");
     }
 }

@@ -7,7 +7,7 @@
 
 use crate::diagnoser::RankedSite;
 use crate::error_fn::ErrorFunction;
-use crate::metrics::CampaignMetrics;
+use crate::metrics::{CampaignMetrics, InstanceTrace};
 use sdd_netlist::EdgeId;
 use serde::{Deserialize, Serialize};
 
@@ -40,11 +40,17 @@ pub struct AccuracyReport {
     pub avg_patterns: f64,
     /// Observability snapshot of the campaign that produced the report.
     pub metrics: CampaignMetrics,
+    /// Per-instance diagnosis traces, sorted by chip index (bounded by
+    /// [`crate::metrics::TRACE_RING_CAPACITY`]; empty for reports built
+    /// without a campaign). Like `metrics`, excluded from equality.
+    #[serde(default)]
+    pub traces: Vec<InstanceTrace>,
 }
 
 impl PartialEq for AccuracyReport {
     fn eq(&self, other: &Self) -> bool {
-        // `metrics` deliberately excluded (timings vary run to run).
+        // `metrics` and `traces` deliberately excluded (timings vary
+        // run to run).
         self.circuit == other.circuit
             && self.k_values == other.k_values
             && self.functions == other.functions
@@ -72,6 +78,7 @@ impl AccuracyReport {
             avg_suspects: 0.0,
             avg_patterns: 0.0,
             metrics: CampaignMetrics::default(),
+            traces: Vec::new(),
         }
     }
 
@@ -187,6 +194,24 @@ mod tests {
         b.metrics.total_nanos = 999;
         b.metrics.dict_cache_hits = 7;
         assert_eq!(a, b, "metrics must not affect report equality");
+        b.traces.push(crate::metrics::InstanceTrace {
+            chip_index: 0,
+            redraws: 0,
+            injected_edge: None,
+            n_suspects: 0,
+            n_patterns: 0,
+            clk: None,
+            patterns_nanos: 1,
+            observe_nanos: 2,
+            dictionary_nanos: 3,
+            rank_nanos: 4,
+            dict_cache_hits: 0,
+            dict_cache_misses: 0,
+            store_hits: 0,
+            store_misses: 0,
+            outcome: crate::metrics::TraceOutcome::Undetected,
+        });
+        assert_eq!(a, b, "traces must not affect report equality");
         b.record_failure(2);
         assert_ne!(a, b, "accuracy results must affect report equality");
     }

@@ -14,7 +14,7 @@ use crate::diagnoser::{Diagnoser, DiagnoserConfig, RankedSite};
 use crate::dictionary::DictionaryConfig;
 use crate::error_fn::ErrorFunction;
 use crate::evaluate::AccuracyReport;
-use crate::metrics::{MetricsSink, Phase};
+use crate::metrics::{InstanceTrace, MetricsSink, Phase, TraceOutcome};
 use crate::{BehaviorMatrix, CaptureModel, DiagnosisError};
 use rayon::prelude::*;
 use sdd_atpg::fault::{PathDelayFault, TransitionDirection};
@@ -219,6 +219,9 @@ pub struct InstanceOutcome {
     /// Full ranking per error function ([`ErrorFunction::EXTENDED`] order);
     /// empty when diagnosis failed.
     pub rankings: Vec<Vec<RankedSite>>,
+    /// Where this instance's time went and how the cache/store served
+    /// it (also folded into the campaign's shared [`MetricsSink`]).
+    pub trace: InstanceTrace,
 }
 
 /// Generates delay tests through `site` (Section H-4): robust path tests
@@ -390,6 +393,7 @@ pub(crate) fn run_campaign_on_with(
 ) -> Result<AccuracyReport, DiagnosisError> {
     let start = Instant::now();
     let baseline = metrics.snapshot(std::time::Duration::ZERO);
+    let trace_baseline = metrics.trace_seq();
     let library = CellLibrary::default_025um();
     let timing = CircuitTiming::characterize(circuit, &library, config.variation);
     let circuit_clk = match config.clock {
@@ -430,6 +434,10 @@ pub(crate) fn run_campaign_on_with(
     }
     let elapsed = start.elapsed();
     report.metrics = metrics.snapshot(elapsed).since(&baseline, elapsed);
+    // Chip-index order, not worker completion order: the trace list is
+    // part of the report's deterministic content (equality still
+    // ignores it, like `metrics`).
+    report.traces = metrics.traces_since(trace_baseline);
     Ok(report)
 }
 
@@ -495,6 +503,13 @@ pub fn diagnose_one_instance_cached(
 /// The per-chip body behind [`diagnose_one_instance`],
 /// [`diagnose_one_instance_cached`] and
 /// [`crate::engine::DiagnosisEngine::diagnose_instance`].
+///
+/// Every timer, cache event and store event of this instance lands in a
+/// private scratch [`MetricsSink`] first;
+/// [`MetricsSink::record_instance`] then folds the scratch snapshot
+/// into the shared sink and derives the per-phase latency histograms
+/// and the [`InstanceTrace`] from the very same numbers — so the
+/// aggregate counters, the histograms and the traces agree exactly.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn diagnose_instance_impl(
     circuit: &Circuit,
@@ -506,12 +521,21 @@ pub(crate) fn diagnose_instance_impl(
     cache: &DictionaryCache,
     metrics: &MetricsSink,
 ) -> Option<InstanceOutcome> {
+    let local = MetricsSink::new();
     let chip = timing.sample_instance_indexed(config.seed ^ 0xC41F, index as u64);
+    let mut draws: u64 = 0;
+    let mut last_edge: Option<EdgeId> = None;
+    let mut last_delta = 0.0f64;
+    let mut last_patterns = 0usize;
+    let mut observed: Option<(PatternSet, crate::BehaviorMatrix)> = None;
     for attempt in 0..config.max_redraws {
+        draws += 1;
         let defect_seed = config
             .seed
             .wrapping_add(1 + index as u64 * 131 + attempt as u64 * 7919);
         let defect = defect_model.sample_defect(circuit, defect_seed);
+        last_edge = Some(defect.edge);
+        last_delta = defect.delta;
         // Patterns (and with them the tested-delay clock ladder) are
         // keyed on the hypothesized defect *site*, not the chip: chips
         // drawing the same site share one pattern set and clock ladder,
@@ -521,7 +545,7 @@ pub(crate) fn diagnose_instance_impl(
             .seed
             .wrapping_mul(0x94D0_49BB_1331_11EB)
             .wrapping_add(defect.edge.index() as u64);
-        let patterns = metrics.time(Phase::Patterns, || {
+        let patterns = local.time(Phase::Patterns, || {
             patterns_through_site_with(
                 circuit,
                 timing,
@@ -539,11 +563,12 @@ pub(crate) fn diagnose_instance_impl(
                 },
             )
         });
+        last_patterns = patterns.len();
         if patterns.is_empty() {
             continue;
         }
         let failing_chip = defect.apply(&chip);
-        let behavior = metrics.time(Phase::Observe, || {
+        let behavior = local.time(Phase::Observe, || {
             observe_behavior(
                 circuit,
                 timing,
@@ -551,7 +576,7 @@ pub(crate) fn diagnose_instance_impl(
                 &failing_chip,
                 circuit_clk,
                 config,
-                metrics,
+                &local,
             )
         });
         let Some(behavior) = behavior else {
@@ -560,45 +585,76 @@ pub(crate) fn diagnose_instance_impl(
         if behavior.all_pass() {
             continue;
         }
-        let diagnoser = Diagnoser::new(
-            circuit,
-            timing,
-            &patterns,
-            defect_model.size_dist(),
-            DiagnoserConfig {
-                dictionary: config.dictionary,
-            },
-        )
-        .with_cache(cache)
-        .with_metrics(metrics);
-        let built = metrics.time(Phase::Dictionary, || diagnoser.build_dictionary(&behavior));
-        return Some(match built {
-            Ok(dictionary) => {
-                let rankings: Vec<Vec<RankedSite>> = metrics.time(Phase::Rank, || {
-                    ErrorFunction::EXTENDED
-                        .into_iter()
-                        .map(|f| diagnoser.rank(&dictionary, &behavior, f))
-                        .collect()
-                });
-                let n_suspects = rankings.first().map(|r| r.len()).unwrap_or(0);
-                InstanceOutcome {
-                    injected: defect.edge,
-                    delta: defect.delta,
-                    n_patterns: patterns.len(),
-                    n_suspects,
-                    rankings,
-                }
-            }
-            Err(_) => InstanceOutcome {
-                injected: defect.edge,
-                delta: defect.delta,
-                n_patterns: patterns.len(),
-                n_suspects: 0,
-                rankings: Vec::new(),
-            },
-        });
+        observed = Some((patterns, behavior));
+        break;
     }
-    None
+    let (outcome, clk, n_suspects, rankings) = match &observed {
+        Some((patterns, behavior)) => {
+            let diagnoser = Diagnoser::new(
+                circuit,
+                timing,
+                patterns,
+                defect_model.size_dist(),
+                DiagnoserConfig {
+                    dictionary: config.dictionary,
+                },
+            )
+            .with_cache(cache)
+            .with_metrics(&local);
+            let built = local.time(Phase::Dictionary, || diagnoser.build_dictionary(behavior));
+            match built {
+                Ok(dictionary) => {
+                    let rankings: Vec<Vec<RankedSite>> = local.time(Phase::Rank, || {
+                        ErrorFunction::EXTENDED
+                            .into_iter()
+                            .map(|f| diagnoser.rank(&dictionary, behavior, f))
+                            .collect()
+                    });
+                    let n_suspects = rankings.first().map(|r| r.len()).unwrap_or(0);
+                    (
+                        TraceOutcome::Diagnosed,
+                        Some(behavior.clk()),
+                        n_suspects,
+                        rankings,
+                    )
+                }
+                Err(_) => (
+                    TraceOutcome::DictionaryFailed,
+                    Some(behavior.clk()),
+                    0,
+                    Vec::new(),
+                ),
+            }
+        }
+        None => (TraceOutcome::Undetected, None, 0, Vec::new()),
+    };
+    let scratch = local.snapshot(std::time::Duration::ZERO);
+    let trace = InstanceTrace {
+        chip_index: index as u64,
+        redraws: draws.saturating_sub(1),
+        injected_edge: last_edge.map(|e| e.index() as u64),
+        n_suspects: n_suspects as u64,
+        n_patterns: last_patterns as u64,
+        clk,
+        patterns_nanos: scratch.patterns_nanos,
+        observe_nanos: scratch.observe_nanos,
+        dictionary_nanos: scratch.dictionary_nanos,
+        rank_nanos: scratch.rank_nanos,
+        dict_cache_hits: scratch.dict_cache_hits,
+        dict_cache_misses: scratch.dict_cache_misses,
+        store_hits: scratch.store_hits,
+        store_misses: scratch.store_misses,
+        outcome,
+    };
+    metrics.record_instance(&scratch, trace.clone());
+    observed.map(|_| InstanceOutcome {
+        injected: last_edge.expect("observed implies a defect was drawn"),
+        delta: last_delta,
+        n_patterns: last_patterns,
+        n_suspects,
+        rankings,
+        trace,
+    })
 }
 
 /// Chooses the cut-off period per the campaign's [`ClockPolicy`] and

@@ -69,6 +69,7 @@ pub mod multi_defect;
 pub mod store;
 pub mod suspects;
 pub mod table;
+pub mod testutil;
 
 pub use behavior::{BehaviorMatrix, CaptureModel};
 pub use cache::DictionaryCache;
@@ -78,5 +79,9 @@ pub use dictionary::{DictionaryConfig, ProbabilisticDictionary, SimKernel, Suspe
 pub use engine::{DiagnosisEngine, DiagnosisEngineBuilder};
 pub use error::{DiagnosisError, SddError};
 pub use error_fn::ErrorFunction;
-pub use metrics::{CampaignMetrics, MetricsSink, Phase};
+pub use metrics::{
+    CampaignMetrics, HistogramSnapshot, InstanceTrace, LatencyHistogram, MetricsExport,
+    MetricsReport, MetricsSink, Phase, PhaseLatencies, TraceOutcome, METRICS_SCHEMA_VERSION,
+    TRACE_RING_CAPACITY,
+};
 pub use store::{DictionaryStore, StoreKey};

@@ -1,24 +1,34 @@
-//! Campaign observability: per-phase wall-clock timers, dictionary-cache
-//! hit/miss counters and simulated-sample counters.
+//! Campaign observability: per-phase wall-clock timers, per-instance
+//! latency histograms and traces, dictionary-cache hit/miss counters and
+//! simulated-sample counters.
 //!
 //! A [`MetricsSink`] is the live, thread-safe accumulator threaded
 //! through a campaign (plain relaxed atomics — the counters are
 //! monotonic and independent, no cross-counter invariant is read back
 //! during the run). At the end of the campaign it is frozen into a
-//! [`CampaignMetrics`] snapshot carried by
-//! [`AccuracyReport`](crate::evaluate::AccuracyReport).
+//! [`CampaignMetrics`] snapshot carried by [`AccuracyReport`].
 //!
 //! Phase timers are summed across worker threads, so under a parallel
 //! campaign the per-phase totals measure aggregate CPU time and can
 //! exceed [`CampaignMetrics::total_nanos`], which is the single
 //! wall-clock span of the whole campaign.
+//!
+//! Summed timers cannot answer tail-latency questions ("p99 dictionary
+//! build time"), so each diagnosed instance additionally records one
+//! observation per phase into a [`LatencyHistogram`] and emits an
+//! [`InstanceTrace`] into a bounded ring ([`TRACE_RING_CAPACITY`]).
+//! Both are exported machine-readably through [`MetricsReport`] /
+//! [`MetricsExport`] (the `--metrics-json` flag of the bench binaries).
 
+use crate::evaluate::AccuracyReport;
 use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 /// The instrumented phases of one diagnosis (see
-/// [`crate::inject::diagnose_one_instance_cached`]).
+/// [`crate::engine::DiagnosisEngine::diagnose_instance`]).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Phase {
     /// Test generation through the hypothesized site (ATPG).
@@ -31,7 +41,389 @@ pub enum Phase {
     Rank,
 }
 
-/// Thread-safe metrics accumulator for one campaign.
+impl Phase {
+    /// Every phase, in pipeline order.
+    pub const ALL: [Phase; 4] = [
+        Phase::Patterns,
+        Phase::Observe,
+        Phase::Dictionary,
+        Phase::Rank,
+    ];
+
+    /// Stable lower-case name (used in reports and JSON).
+    pub fn name(self) -> &'static str {
+        match self {
+            Phase::Patterns => "patterns",
+            Phase::Observe => "observe",
+            Phase::Dictionary => "dictionary",
+            Phase::Rank => "rank",
+        }
+    }
+
+    fn ix(self) -> usize {
+        match self {
+            Phase::Patterns => 0,
+            Phase::Observe => 1,
+            Phase::Dictionary => 2,
+            Phase::Rank => 3,
+        }
+    }
+}
+
+/// Sub-bucket resolution of [`LatencyHistogram`]: each power-of-two
+/// octave is split into `2^SUB_BITS` linear sub-buckets, bounding the
+/// relative quantization error at `2^-SUB_BITS` (25 %).
+const SUB_BITS: u32 = 2;
+const SUB_BUCKETS: u64 = 1 << SUB_BITS;
+/// Total bucket count: indices `0..4` hold the exact values `0..4`,
+/// then 4 sub-buckets per octave up to `u64::MAX`
+/// (`bucket_index(u64::MAX) == 251`).
+const NUM_BUCKETS: usize = 252;
+
+fn bucket_index(v: u64) -> usize {
+    if v < SUB_BUCKETS {
+        return v as usize;
+    }
+    let msb = 63 - v.leading_zeros();
+    let octave = msb - SUB_BITS;
+    let sub = (v >> octave) & (SUB_BUCKETS - 1);
+    (((octave + 1) << SUB_BITS) + sub as u32) as usize
+}
+
+/// Inclusive `(lower, upper)` value range of bucket `ix`.
+fn bucket_bounds(ix: u32) -> (u64, u64) {
+    if u64::from(ix) < SUB_BUCKETS {
+        return (u64::from(ix), u64::from(ix));
+    }
+    let octave = (ix >> SUB_BITS) - 1;
+    let sub = u64::from(ix) & (SUB_BUCKETS - 1);
+    let lower = (SUB_BUCKETS + sub) << octave;
+    // `((1 << octave) - 1)` first: the top bucket's upper bound is
+    // exactly `u64::MAX`, so `lower + (1 << octave)` would overflow.
+    (lower, lower + ((1u64 << octave) - 1))
+}
+
+/// A fixed-size log-spaced latency histogram over relaxed atomics:
+/// lock-free recording from any number of worker threads, mergeable,
+/// frozen into a [`HistogramSnapshot`] for percentile queries and
+/// serialization.
+///
+/// Layout (HdrHistogram-style): values `0..4` get exact unit buckets;
+/// every power-of-two octave above is split into 4 linear sub-buckets,
+/// so any `u64` lands in one of 252 fixed buckets with at most 25 %
+/// relative error. `max` is tracked exactly, and percentile queries
+/// clamp to it.
+#[derive(Debug)]
+pub struct LatencyHistogram {
+    buckets: [AtomicU64; NUM_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+}
+
+impl LatencyHistogram {
+    /// A fresh, empty histogram.
+    pub fn new() -> LatencyHistogram {
+        LatencyHistogram::default()
+    }
+
+    /// Records one observation.
+    pub fn record(&self, value: u64) {
+        self.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// Adds every observation of `other` into `self` (bucket-wise; the
+    /// exact `sum`/`max` are merged too).
+    pub fn merge_from(&self, other: &LatencyHistogram) {
+        for (mine, theirs) in self.buckets.iter().zip(other.buckets.iter()) {
+            let n = theirs.load(Ordering::Relaxed);
+            if n > 0 {
+                mine.fetch_add(n, Ordering::Relaxed);
+            }
+        }
+        self.count
+            .fetch_add(other.count.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.sum
+            .fetch_add(other.sum.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.max
+            .fetch_max(other.max.load(Ordering::Relaxed), Ordering::Relaxed);
+    }
+
+    /// Freezes the histogram into a queryable, serializable snapshot.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut buckets = Vec::new();
+        for (ix, b) in self.buckets.iter().enumerate() {
+            let n = b.load(Ordering::Relaxed);
+            if n > 0 {
+                buckets.push((ix as u32, n));
+            }
+        }
+        HistogramSnapshot {
+            buckets,
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Frozen form of a [`LatencyHistogram`]: sparse `(bucket index, count)`
+/// pairs in ascending index order plus exact `count`, `sum` and `max`.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct HistogramSnapshot {
+    /// Non-empty buckets as `(bucket index, observation count)`,
+    /// ascending by index.
+    pub buckets: Vec<(u32, u64)>,
+    /// Total observations.
+    pub count: u64,
+    /// Exact sum of all observed values.
+    pub sum: u64,
+    /// Exact maximum observed value (0 when empty).
+    pub max: u64,
+}
+
+impl HistogramSnapshot {
+    /// Total observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Exact sum of all observed values.
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Exact maximum observed value; `None` when empty.
+    pub fn max(&self) -> Option<u64> {
+        if self.is_empty() {
+            None
+        } else {
+            Some(self.max)
+        }
+    }
+
+    /// The value at or below which `pct` percent of observations fall
+    /// (bucket upper bound, clamped to the exact maximum); `None` when
+    /// empty. `pct` is clamped to `[0, 100]`.
+    pub fn percentile(&self, pct: f64) -> Option<u64> {
+        if self.is_empty() {
+            return None;
+        }
+        let pct = pct.clamp(0.0, 100.0);
+        let target = ((pct / 100.0) * self.count as f64).ceil() as u64;
+        let target = target.clamp(1, self.count);
+        let mut cum = 0u64;
+        for &(ix, n) in &self.buckets {
+            cum += n;
+            if cum >= target {
+                return Some(bucket_bounds(ix).1.min(self.max));
+            }
+        }
+        Some(self.max)
+    }
+
+    /// Median latency; `None` when empty.
+    pub fn p50(&self) -> Option<u64> {
+        self.percentile(50.0)
+    }
+
+    /// 90th-percentile latency; `None` when empty.
+    pub fn p90(&self) -> Option<u64> {
+        self.percentile(90.0)
+    }
+
+    /// 99th-percentile latency; `None` when empty.
+    pub fn p99(&self) -> Option<u64> {
+        self.percentile(99.0)
+    }
+
+    /// Adds every observation of `other` into `self` (bucket-wise merge
+    /// of the two sorted sparse vectors).
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        let mut merged = Vec::with_capacity(self.buckets.len() + other.buckets.len());
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < self.buckets.len() || j < other.buckets.len() {
+            match (self.buckets.get(i), other.buckets.get(j)) {
+                (Some(&(a, na)), Some(&(b, nb))) if a == b => {
+                    merged.push((a, na + nb));
+                    i += 1;
+                    j += 1;
+                }
+                (Some(&(a, na)), Some(&(b, _))) if a < b => {
+                    merged.push((a, na));
+                    i += 1;
+                }
+                (Some(_), Some(&(b, nb))) => {
+                    merged.push((b, nb));
+                    j += 1;
+                }
+                (Some(&(a, na)), None) => {
+                    merged.push((a, na));
+                    i += 1;
+                }
+                (None, Some(&(b, nb))) => {
+                    merged.push((b, nb));
+                    j += 1;
+                }
+                (None, None) => unreachable!(),
+            }
+        }
+        self.buckets = merged;
+        self.count += other.count;
+        self.sum += other.sum;
+        self.max = self.max.max(other.max);
+    }
+
+    /// The observations accumulated *since* `baseline` (bucket-wise
+    /// saturating difference — exact, because bucket counts are
+    /// monotonic). The delta's `max` is conservative: the smaller of the
+    /// lifetime maximum and the upper bound of the highest surviving
+    /// bucket.
+    pub fn since(&self, baseline: &HistogramSnapshot) -> HistogramSnapshot {
+        let mut buckets = Vec::with_capacity(self.buckets.len());
+        let mut j = 0usize;
+        for &(ix, n) in &self.buckets {
+            while j < baseline.buckets.len() && baseline.buckets[j].0 < ix {
+                j += 1;
+            }
+            let base = match baseline.buckets.get(j) {
+                Some(&(bix, bn)) if bix == ix => bn,
+                _ => 0,
+            };
+            let delta = n.saturating_sub(base);
+            if delta > 0 {
+                buckets.push((ix, delta));
+            }
+        }
+        let count = self.count.saturating_sub(baseline.count);
+        let max = match buckets.last() {
+            Some(&(ix, _)) => bucket_bounds(ix).1.min(self.max),
+            None => 0,
+        };
+        HistogramSnapshot {
+            buckets,
+            count,
+            sum: self.sum.saturating_sub(baseline.sum),
+            max,
+        }
+    }
+}
+
+/// One [`HistogramSnapshot`] per diagnosis phase: the distribution of
+/// per-instance latencies, as opposed to the summed
+/// `CampaignMetrics::*_nanos` totals.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct PhaseLatencies {
+    /// Per-instance ATPG latency distribution.
+    pub patterns: HistogramSnapshot,
+    /// Per-instance clock-selection/observation latency distribution.
+    pub observe: HistogramSnapshot,
+    /// Per-instance dictionary-build latency distribution.
+    pub dictionary: HistogramSnapshot,
+    /// Per-instance ranking latency distribution.
+    pub rank: HistogramSnapshot,
+}
+
+impl PhaseLatencies {
+    /// The snapshot for `phase`.
+    pub fn get(&self, phase: Phase) -> &HistogramSnapshot {
+        match phase {
+            Phase::Patterns => &self.patterns,
+            Phase::Observe => &self.observe,
+            Phase::Dictionary => &self.dictionary,
+            Phase::Rank => &self.rank,
+        }
+    }
+
+    /// Field-wise [`HistogramSnapshot::since`].
+    pub fn since(&self, baseline: &PhaseLatencies) -> PhaseLatencies {
+        PhaseLatencies {
+            patterns: self.patterns.since(&baseline.patterns),
+            observe: self.observe.since(&baseline.observe),
+            dictionary: self.dictionary.since(&baseline.dictionary),
+            rank: self.rank.since(&baseline.rank),
+        }
+    }
+}
+
+/// How one instance's diagnosis ended (see [`InstanceTrace`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TraceOutcome {
+    /// A dictionary was built and every error function produced a
+    /// ranking.
+    Diagnosed,
+    /// A failing behaviour was observed but dictionary construction
+    /// failed (no suspects) — scored as a diagnosis failure.
+    DictionaryFailed,
+    /// No observable failing configuration within the redraw budget.
+    Undetected,
+}
+
+/// Per-instance diagnosis trace: what one chip did, where its time
+/// went, and how the cache/store served it. Collected into
+/// [`AccuracyReport::traces`] (bounded by [`TRACE_RING_CAPACITY`]).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct InstanceTrace {
+    /// Campaign chip index.
+    pub chip_index: u64,
+    /// Defect draws beyond the first (0 = first draw was observable).
+    pub redraws: u64,
+    /// Edge index of the last injected defect site (`None` only when
+    /// the redraw budget was zero).
+    pub injected_edge: Option<u64>,
+    /// Suspect-set size after pruning (0 unless diagnosed).
+    pub n_suspects: u64,
+    /// Patterns applied in the last attempt.
+    pub n_patterns: u64,
+    /// The cut-off period `B` was recorded at (`None` when the chip
+    /// never failed).
+    pub clk: Option<f64>,
+    /// Nanoseconds this instance spent in ATPG (all attempts).
+    pub patterns_nanos: u64,
+    /// Nanoseconds this instance spent observing behaviour.
+    pub observe_nanos: u64,
+    /// Nanoseconds this instance spent building dictionaries.
+    pub dictionary_nanos: u64,
+    /// Nanoseconds this instance spent ranking suspects.
+    pub rank_nanos: u64,
+    /// Dictionary-cache requests this instance hit.
+    pub dict_cache_hits: u64,
+    /// Dictionary-cache requests this instance missed.
+    pub dict_cache_misses: u64,
+    /// Dictionary banks this instance loaded from the on-disk store.
+    pub store_hits: u64,
+    /// Store probes by this instance that found no usable checkpoint.
+    pub store_misses: u64,
+    /// How the diagnosis ended.
+    pub outcome: TraceOutcome,
+}
+
+/// Upper bound on retained [`InstanceTrace`]s per [`MetricsSink`]: a
+/// ring that keeps the most recent traces, so paper-scale campaigns
+/// stay cheap while quick runs keep every instance.
+pub const TRACE_RING_CAPACITY: usize = 4096;
+
+/// Thread-safe metrics accumulator for one campaign (or one engine's
+/// lifetime).
 #[derive(Debug, Default)]
 pub struct MetricsSink {
     patterns_nanos: AtomicU64,
@@ -47,6 +439,9 @@ pub struct MetricsSink {
     store_misses: AtomicU64,
     store_flushes: AtomicU64,
     store_load_nanos: AtomicU64,
+    phase_hists: [LatencyHistogram; 4],
+    traces: Mutex<VecDeque<(u64, InstanceTrace)>>,
+    trace_seq: AtomicU64,
 }
 
 impl MetricsSink {
@@ -118,6 +513,76 @@ impl MetricsSink {
         self.store_flushes.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Folds one diagnosed instance into the sink: every counter of
+    /// `instance` (a snapshot of a per-instance scratch sink; its
+    /// `total_nanos` is ignored) is added to the aggregates, each phase
+    /// total is recorded as one observation in that phase's latency
+    /// histogram, and `trace` enters the bounded trace ring.
+    ///
+    /// Because the same numbers feed the aggregate counters, the
+    /// histograms and the trace, the three views agree *exactly*: the
+    /// per-phase histogram `sum` equals the summed phase counter, and a
+    /// complete trace set sums to the aggregates.
+    pub fn record_instance(&self, instance: &CampaignMetrics, trace: InstanceTrace) {
+        self.patterns_nanos
+            .fetch_add(instance.patterns_nanos, Ordering::Relaxed);
+        self.observe_nanos
+            .fetch_add(instance.observe_nanos, Ordering::Relaxed);
+        self.dictionary_nanos
+            .fetch_add(instance.dictionary_nanos, Ordering::Relaxed);
+        self.rank_nanos
+            .fetch_add(instance.rank_nanos, Ordering::Relaxed);
+        self.dict_cache_hits
+            .fetch_add(instance.dict_cache_hits, Ordering::Relaxed);
+        self.dict_cache_misses
+            .fetch_add(instance.dict_cache_misses, Ordering::Relaxed);
+        self.samples_simulated
+            .fetch_add(instance.samples_simulated, Ordering::Relaxed);
+        self.kernel_nanos
+            .fetch_add(instance.kernel_nanos, Ordering::Relaxed);
+        self.cone_evals
+            .fetch_add(instance.cone_evals, Ordering::Relaxed);
+        self.store_hits
+            .fetch_add(instance.store_hits, Ordering::Relaxed);
+        self.store_misses
+            .fetch_add(instance.store_misses, Ordering::Relaxed);
+        self.store_flushes
+            .fetch_add(instance.store_flushes, Ordering::Relaxed);
+        self.store_load_nanos
+            .fetch_add(instance.store_load_nanos, Ordering::Relaxed);
+        self.phase_hists[Phase::Patterns.ix()].record(instance.patterns_nanos);
+        self.phase_hists[Phase::Observe.ix()].record(instance.observe_nanos);
+        self.phase_hists[Phase::Dictionary.ix()].record(instance.dictionary_nanos);
+        self.phase_hists[Phase::Rank.ix()].record(instance.rank_nanos);
+        let mut ring = self.traces.lock().expect("trace ring poisoned");
+        let seq = self.trace_seq.fetch_add(1, Ordering::Relaxed);
+        ring.push_back((seq, trace));
+        while ring.len() > TRACE_RING_CAPACITY {
+            ring.pop_front();
+        }
+    }
+
+    /// The next trace sequence number (equivalently: traces ever
+    /// recorded). Capture before a campaign, pass to
+    /// [`traces_since`](Self::traces_since) after.
+    pub fn trace_seq(&self) -> u64 {
+        self.trace_seq.load(Ordering::Relaxed)
+    }
+
+    /// The traces recorded at or after sequence number `seq` and still
+    /// in the ring, sorted by chip index (deterministic regardless of
+    /// worker interleaving).
+    pub fn traces_since(&self, seq: u64) -> Vec<InstanceTrace> {
+        let ring = self.traces.lock().expect("trace ring poisoned");
+        let mut out: Vec<InstanceTrace> = ring
+            .iter()
+            .filter(|(s, _)| *s >= seq)
+            .map(|(_, t)| t.clone())
+            .collect();
+        out.sort_by_key(|t| t.chip_index);
+        out
+    }
+
     /// Freezes the counters into a snapshot; `total` is the campaign's
     /// wall-clock span.
     pub fn snapshot(&self, total: Duration) -> CampaignMetrics {
@@ -136,12 +601,17 @@ impl MetricsSink {
             store_misses: self.store_misses.load(Ordering::Relaxed),
             store_flushes: self.store_flushes.load(Ordering::Relaxed),
             store_load_nanos: self.store_load_nanos.load(Ordering::Relaxed),
+            phase_latency: PhaseLatencies {
+                patterns: self.phase_hists[Phase::Patterns.ix()].snapshot(),
+                observe: self.phase_hists[Phase::Observe.ix()].snapshot(),
+                dictionary: self.phase_hists[Phase::Dictionary.ix()].snapshot(),
+                rank: self.phase_hists[Phase::Rank.ix()].snapshot(),
+            },
         }
     }
 }
 
-/// Frozen campaign metrics, carried by
-/// [`AccuracyReport`](crate::evaluate::AccuracyReport).
+/// Frozen campaign metrics, carried by [`AccuracyReport`].
 ///
 /// Deliberately excluded from `AccuracyReport`'s equality: two runs of
 /// the same campaign produce identical accuracy numbers but different
@@ -183,6 +653,11 @@ pub struct CampaignMetrics {
     pub store_flushes: u64,
     /// Aggregate nanoseconds spent reading and validating store files.
     pub store_load_nanos: u64,
+    /// Per-instance latency distribution of each phase (one observation
+    /// per diagnosed instance; the summed `*_nanos` fields above are the
+    /// corresponding totals).
+    #[serde(default)]
+    pub phase_latency: PhaseLatencies,
 }
 
 impl CampaignMetrics {
@@ -219,16 +694,18 @@ impl CampaignMetrics {
             store_load_nanos: self
                 .store_load_nanos
                 .saturating_sub(baseline.store_load_nanos),
+            phase_latency: self.phase_latency.since(&baseline.phase_latency),
         }
     }
 
-    /// Cache hit rate in percent (0 when the cache was never queried).
-    pub fn cache_hit_percent(&self) -> f64 {
+    /// Cache hit rate in percent; `None` when the cache was never
+    /// queried (distinct from a genuinely cold cache reporting 0 %).
+    pub fn cache_hit_percent(&self) -> Option<f64> {
         let total = self.dict_cache_hits + self.dict_cache_misses;
         if total == 0 {
-            0.0
+            None
         } else {
-            100.0 * self.dict_cache_hits as f64 / total as f64
+            Some(100.0 * self.dict_cache_hits as f64 / total as f64)
         }
     }
 
@@ -247,12 +724,30 @@ impl CampaignMetrics {
             fmt_nanos(self.dictionary_nanos),
             fmt_nanos(self.rank_nanos),
         ));
+        if !self.phase_latency.patterns.is_empty() {
+            let f = |h: &HistogramSnapshot| {
+                format!(
+                    "{}/{}/{}",
+                    fmt_nanos(h.p50().unwrap_or(0)),
+                    fmt_nanos(h.p99().unwrap_or(0)),
+                    fmt_nanos(h.max().unwrap_or(0)),
+                )
+            };
+            out.push_str(&format!(
+                "  per-instance latency (p50/p99/max): patterns {} | observe {} | dictionary {} | rank {}\n",
+                f(&self.phase_latency.patterns),
+                f(&self.phase_latency.observe),
+                f(&self.phase_latency.dictionary),
+                f(&self.phase_latency.rank),
+            ));
+        }
+        let hit_rate = match self.cache_hit_percent() {
+            Some(pct) => format!("{pct:.0}% hit rate"),
+            None => "hit rate n/a".to_string(),
+        };
         out.push_str(&format!(
-            "  dictionary cache: {} hits / {} misses ({:.0}% hit rate); {} samples simulated",
-            self.dict_cache_hits,
-            self.dict_cache_misses,
-            self.cache_hit_percent(),
-            self.samples_simulated,
+            "  dictionary cache: {} hits / {} misses ({hit_rate}); {} samples simulated",
+            self.dict_cache_hits, self.dict_cache_misses, self.samples_simulated,
         ));
         if self.cone_evals > 0 {
             out.push_str(&format!(
@@ -274,14 +769,254 @@ impl CampaignMetrics {
     }
 }
 
+/// Schema version stamped into [`MetricsReport`] and [`MetricsExport`];
+/// bumped whenever their JSON layout changes incompatibly.
+pub const METRICS_SCHEMA_VERSION: u32 = 1;
+
+/// Machine-readable observability report of one campaign (or one
+/// engine lifetime): counters, per-phase latency histograms and the
+/// per-instance traces. Written by the bench binaries' `--metrics-json`
+/// flag and validated by the `metrics_check` binary / CI.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MetricsReport {
+    /// [`METRICS_SCHEMA_VERSION`] at the time of writing.
+    pub schema_version: u32,
+    /// Circuit (or scope) the report covers.
+    pub circuit: String,
+    /// Diagnosed chip instances (the histograms' expected `count`).
+    pub trials: u64,
+    /// Aggregate counters plus per-phase latency histograms.
+    pub counters: CampaignMetrics,
+    /// Per-instance traces (possibly truncated to the most recent
+    /// [`TRACE_RING_CAPACITY`]).
+    pub traces: Vec<InstanceTrace>,
+}
+
+impl MetricsReport {
+    /// Builds the report carried by a finished campaign.
+    pub fn from_report(report: &AccuracyReport) -> MetricsReport {
+        MetricsReport {
+            schema_version: METRICS_SCHEMA_VERSION,
+            circuit: report.circuit.clone(),
+            trials: report.trials as u64,
+            counters: report.metrics.clone(),
+            traces: report.traces.clone(),
+        }
+    }
+
+    /// Checks the report's internal invariants: schema version, per-phase
+    /// histogram `count == trials` and `sum ==` the summed phase counter,
+    /// percentile monotonicity (`p50 ≤ p90 ≤ p99 ≤ max`), bucket-count
+    /// consistency, `kernel_nanos ⊆ dictionary_nanos`, and — when the
+    /// trace set is complete — per-trace sums equal to the aggregates.
+    ///
+    /// # Errors
+    ///
+    /// A description of the first violated invariant.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.schema_version != METRICS_SCHEMA_VERSION {
+            return Err(format!(
+                "schema_version {} != supported {METRICS_SCHEMA_VERSION}",
+                self.schema_version
+            ));
+        }
+        for phase in Phase::ALL {
+            let name = phase.name();
+            let h = self.counters.phase_latency.get(phase);
+            if h.count() != self.trials {
+                return Err(format!(
+                    "{name} histogram count {} != trials {}",
+                    h.count(),
+                    self.trials
+                ));
+            }
+            let bucket_total: u64 = h.buckets.iter().map(|&(_, n)| n).sum();
+            if bucket_total != h.count() {
+                return Err(format!(
+                    "{name} histogram buckets sum to {bucket_total}, count says {}",
+                    h.count()
+                ));
+            }
+            let aggregate = match phase {
+                Phase::Patterns => self.counters.patterns_nanos,
+                Phase::Observe => self.counters.observe_nanos,
+                Phase::Dictionary => self.counters.dictionary_nanos,
+                Phase::Rank => self.counters.rank_nanos,
+            };
+            if h.sum() != aggregate {
+                return Err(format!(
+                    "{name} histogram sum {} != aggregate counter {aggregate}",
+                    h.sum()
+                ));
+            }
+            if let (Some(p50), Some(p90), Some(p99), Some(max)) =
+                (h.p50(), h.p90(), h.p99(), h.max())
+            {
+                if !(p50 <= p90 && p90 <= p99 && p99 <= max) {
+                    return Err(format!(
+                        "{name} percentiles not monotone: p50 {p50}, p90 {p90}, p99 {p99}, max {max}"
+                    ));
+                }
+            }
+        }
+        if self.counters.kernel_nanos > self.counters.dictionary_nanos {
+            return Err(format!(
+                "kernel_nanos {} exceeds dictionary_nanos {}",
+                self.counters.kernel_nanos, self.counters.dictionary_nanos
+            ));
+        }
+        if self.traces.len() as u64 > self.trials {
+            return Err(format!(
+                "{} traces but only {} trials",
+                self.traces.len(),
+                self.trials
+            ));
+        }
+        if self.traces.len() as u64 == self.trials {
+            let sums = |f: fn(&InstanceTrace) -> u64| self.traces.iter().map(f).sum::<u64>();
+            let checks: [(&str, u64, u64); 8] = [
+                (
+                    "patterns_nanos",
+                    sums(|t| t.patterns_nanos),
+                    self.counters.patterns_nanos,
+                ),
+                (
+                    "observe_nanos",
+                    sums(|t| t.observe_nanos),
+                    self.counters.observe_nanos,
+                ),
+                (
+                    "dictionary_nanos",
+                    sums(|t| t.dictionary_nanos),
+                    self.counters.dictionary_nanos,
+                ),
+                (
+                    "rank_nanos",
+                    sums(|t| t.rank_nanos),
+                    self.counters.rank_nanos,
+                ),
+                (
+                    "dict_cache_hits",
+                    sums(|t| t.dict_cache_hits),
+                    self.counters.dict_cache_hits,
+                ),
+                (
+                    "dict_cache_misses",
+                    sums(|t| t.dict_cache_misses),
+                    self.counters.dict_cache_misses,
+                ),
+                (
+                    "store_hits",
+                    sums(|t| t.store_hits),
+                    self.counters.store_hits,
+                ),
+                (
+                    "store_misses",
+                    sums(|t| t.store_misses),
+                    self.counters.store_misses,
+                ),
+            ];
+            for (what, traced, aggregate) in checks {
+                if traced != aggregate {
+                    return Err(format!(
+                        "trace sum of {what} is {traced}, aggregate counter says {aggregate}"
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Top-level `--metrics-json` document: one [`MetricsReport`] per
+/// campaign the binary ran (bins that run no campaign write an empty
+/// list, keeping the flag uniform across all of them).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MetricsExport {
+    /// [`METRICS_SCHEMA_VERSION`] at the time of writing.
+    pub schema_version: u32,
+    /// One report per campaign, in execution order.
+    pub reports: Vec<MetricsReport>,
+}
+
+impl MetricsExport {
+    /// Wraps campaign reports into an export document.
+    pub fn new(reports: Vec<MetricsReport>) -> MetricsExport {
+        MetricsExport {
+            schema_version: METRICS_SCHEMA_VERSION,
+            reports,
+        }
+    }
+
+    /// Validates the document and every contained report.
+    ///
+    /// # Errors
+    ///
+    /// A description of the first violated invariant.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.schema_version != METRICS_SCHEMA_VERSION {
+            return Err(format!(
+                "schema_version {} != supported {METRICS_SCHEMA_VERSION}",
+                self.schema_version
+            ));
+        }
+        for (ix, report) in self.reports.iter().enumerate() {
+            report
+                .validate()
+                .map_err(|e| format!("report {ix} ({}): {e}", report.circuit))?;
+        }
+        Ok(())
+    }
+
+    /// Serializes the document to JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("metrics export serializes")
+    }
+
+    /// Parses a document produced by [`to_json`](Self::to_json).
+    ///
+    /// # Errors
+    ///
+    /// A description of the JSON or shape mismatch.
+    pub fn from_json(text: &str) -> Result<MetricsExport, String> {
+        serde_json::from_str(text).map_err(|e| format!("metrics export: {e:?}"))
+    }
+}
+
+/// Renders a nanosecond count at a human scale: integral `ns` below a
+/// microsecond, one decimal of `µs`/`ms`, two decimals of `s`, and
+/// `min` above a minute. Decimals round half away from zero, so
+/// `1250 ns` is `1.3 µs` (not the banker's `1.2`).
 fn fmt_nanos(nanos: u64) -> String {
-    let s = nanos as f64 / 1e9;
-    if s >= 1.0 {
-        format!("{s:.2} s")
-    } else if s >= 1e-3 {
-        format!("{:.1} ms", s * 1e3)
+    const US: u64 = 1_000;
+    const MS: u64 = 1_000_000;
+    const SEC: u64 = 1_000_000_000;
+    const MIN: u64 = 60 * SEC;
+    // Integer half-up rounding: float formatting rounds half to even
+    // (1.25 → "1.2") and a `(v * scale + 0.5).floor()` dance inherits
+    // representation error (1.255 * 100 is 125.499…); scaling in u128
+    // keeps ties exact at every magnitude.
+    let scaled = |divisor: u64, decimals: u32, unit: &str| -> String {
+        let pow = 10u64.pow(decimals);
+        let scaled = ((u128::from(nanos) * u128::from(pow) + u128::from(divisor / 2))
+            / u128::from(divisor)) as u64;
+        format!(
+            "{}.{:0width$} {unit}",
+            scaled / pow,
+            scaled % pow,
+            width = decimals as usize
+        )
+    };
+    if nanos < US {
+        format!("{nanos} ns")
+    } else if nanos < MS {
+        scaled(US, 1, "µs")
+    } else if nanos < SEC {
+        scaled(MS, 1, "ms")
+    } else if nanos < MIN {
+        scaled(SEC, 2, "s")
     } else {
-        format!("{:.0} µs", s * 1e6)
+        scaled(MIN, 2, "min")
     }
 }
 
@@ -312,7 +1047,23 @@ mod tests {
         assert_eq!(snap.dict_cache_hits, 2);
         assert_eq!(snap.dict_cache_misses, 1);
         assert_eq!(snap.samples_simulated, 120);
-        assert!((snap.cache_hit_percent() - 200.0 / 3.0).abs() < 1e-9);
+        let pct = snap.cache_hit_percent().expect("cache was queried");
+        assert!((pct - 200.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unqueried_cache_has_no_hit_rate() {
+        let snap = CampaignMetrics::default();
+        assert_eq!(snap.cache_hit_percent(), None);
+        assert!(snap.render().contains("hit rate n/a"));
+        // As soon as the cache is consulted, a percentage appears.
+        let warm = CampaignMetrics {
+            dict_cache_hits: 3,
+            dict_cache_misses: 1,
+            ..CampaignMetrics::default()
+        };
+        assert_eq!(warm.cache_hit_percent(), Some(75.0));
+        assert!(warm.render().contains("75% hit rate"));
     }
 
     #[test]
@@ -392,6 +1143,9 @@ mod tests {
 
     #[test]
     fn snapshot_roundtrips_through_json() {
+        let hist = LatencyHistogram::new();
+        hist.record(5);
+        hist.record(1_000_000);
         let snap = CampaignMetrics {
             patterns_nanos: 1,
             observe_nanos: 2,
@@ -407,9 +1161,332 @@ mod tests {
             store_misses: 9,
             store_flushes: 10,
             store_load_nanos: 11,
+            phase_latency: PhaseLatencies {
+                patterns: hist.snapshot(),
+                ..PhaseLatencies::default()
+            },
         };
         let json = serde_json::to_string(&snap).unwrap();
         let back: CampaignMetrics = serde_json::from_str(&json).unwrap();
         assert_eq!(snap, back);
+    }
+
+    // --- fmt_nanos tiers (pinning the boundaries) ---
+
+    #[test]
+    fn fmt_nanos_tier_boundaries() {
+        assert_eq!(fmt_nanos(0), "0 ns");
+        assert_eq!(fmt_nanos(1), "1 ns");
+        assert_eq!(fmt_nanos(999), "999 ns");
+        assert_eq!(fmt_nanos(1_000), "1.0 µs");
+        assert_eq!(fmt_nanos(999_949), "999.9 µs");
+        assert_eq!(fmt_nanos(1_000_000), "1.0 ms");
+        assert_eq!(fmt_nanos(999_949_999), "999.9 ms");
+        assert_eq!(fmt_nanos(1_000_000_000), "1.00 s");
+        assert_eq!(fmt_nanos(59_994_999_999), "59.99 s");
+        assert_eq!(fmt_nanos(60_000_000_000), "1.00 min");
+        // An hour-and-a-half campaign no longer prints thousands of
+        // seconds.
+        assert_eq!(fmt_nanos(5_400_000_000_000), "90.00 min");
+    }
+
+    #[test]
+    fn fmt_nanos_rounds_half_up() {
+        // `{:.1}` alone rounds half to even (1.25 → "1.2"); the half-up
+        // rule makes ties predictable.
+        assert_eq!(fmt_nanos(1_250), "1.3 µs");
+        assert_eq!(fmt_nanos(1_350), "1.4 µs");
+        assert_eq!(fmt_nanos(2_500_000), "2.5 ms");
+        assert_eq!(fmt_nanos(1_255_000_000), "1.26 s");
+    }
+
+    // --- LatencyHistogram ---
+
+    #[test]
+    fn histogram_bucket_boundaries() {
+        // Values 0..4 are exact unit buckets.
+        for v in 0..4u64 {
+            assert_eq!(bucket_index(v), v as usize);
+            assert_eq!(bucket_bounds(v as u32), (v, v));
+        }
+        // First sub-bucketed octave: 4..8 in steps of 1.
+        assert_eq!(bucket_index(4), 4);
+        assert_eq!(bucket_index(7), 7);
+        assert_eq!(bucket_bounds(4), (4, 4));
+        // 8..16 in steps of 2: 8 and 9 share a bucket, 10 starts the next.
+        assert_eq!(bucket_index(8), bucket_index(9));
+        assert_ne!(bucket_index(9), bucket_index(10));
+        assert_eq!(bucket_bounds(bucket_index(8) as u32), (8, 9));
+        // Every value lands inside its bucket's bounds, and bucket
+        // indices are monotone across octave boundaries.
+        let probes = [
+            0u64,
+            1,
+            3,
+            4,
+            7,
+            8,
+            15,
+            16,
+            17,
+            1_023,
+            1_024,
+            1_025,
+            u64::MAX / 2,
+            u64::MAX - 1,
+            u64::MAX,
+        ];
+        let mut last_ix = 0usize;
+        for &v in &probes {
+            let ix = bucket_index(v);
+            assert!(ix < NUM_BUCKETS, "index {ix} out of range for {v}");
+            let (lo, hi) = bucket_bounds(ix as u32);
+            assert!(lo <= v && v <= hi, "{v} outside bucket [{lo}, {hi}]");
+            assert!(ix >= last_ix, "bucket index not monotone at {v}");
+            last_ix = ix;
+        }
+        assert_eq!(bucket_index(u64::MAX), NUM_BUCKETS - 1);
+        assert_eq!(bucket_bounds((NUM_BUCKETS - 1) as u32).1, u64::MAX);
+    }
+
+    #[test]
+    fn histogram_records_and_reports_percentiles() {
+        let h = LatencyHistogram::new();
+        for v in 1..=100u64 {
+            h.record(v * 1_000);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count(), 100);
+        assert_eq!(s.sum(), (1..=100u64).map(|v| v * 1_000).sum::<u64>());
+        assert_eq!(s.max(), Some(100_000));
+        // Log-bucket quantization error is bounded by 25 %.
+        let p50 = s.p50().unwrap();
+        assert!((50_000..=62_500).contains(&p50), "p50 {p50} out of range");
+        let p99 = s.p99().unwrap();
+        assert!(p99 <= 100_000, "p99 {p99} exceeds the exact max");
+    }
+
+    #[test]
+    fn histogram_percentiles_are_monotone() {
+        let h = LatencyHistogram::new();
+        let mut seed = 0x9E3779B97F4A7C15u64;
+        for _ in 0..500 {
+            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+            h.record(seed >> 40);
+        }
+        let s = h.snapshot();
+        let mut last = 0u64;
+        for pct in [0.0, 10.0, 25.0, 50.0, 75.0, 90.0, 99.0, 100.0] {
+            let v = s.percentile(pct).unwrap();
+            assert!(v >= last, "percentile({pct}) = {v} < {last}");
+            last = v;
+        }
+        assert_eq!(s.percentile(100.0), s.max());
+    }
+
+    #[test]
+    fn empty_histogram_accessors() {
+        let s = LatencyHistogram::new().snapshot();
+        assert!(s.is_empty());
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.sum(), 0);
+        assert_eq!(s.max(), None);
+        assert_eq!(s.p50(), None);
+        assert_eq!(s.p90(), None);
+        assert_eq!(s.p99(), None);
+        assert_eq!(s.percentile(0.0), None);
+    }
+
+    #[test]
+    fn histogram_merge_is_associative() {
+        let make = |values: &[u64]| {
+            let h = LatencyHistogram::new();
+            for &v in values {
+                h.record(v);
+            }
+            h.snapshot()
+        };
+        let a = make(&[1, 5, 9, 1_000]);
+        let b = make(&[2, 9, 500_000]);
+        let c = make(&[0, 3, 9, u64::MAX]);
+        // (a ⊕ b) ⊕ c == a ⊕ (b ⊕ c)
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ab_c = ab.clone();
+        ab_c.merge(&c);
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut a_bc = a.clone();
+        a_bc.merge(&bc);
+        assert_eq!(ab_c, a_bc);
+        // And equal to recording everything into one histogram.
+        let all = make(&[1, 5, 9, 1_000, 2, 9, 500_000, 0, 3, 9, u64::MAX]);
+        assert_eq!(ab_c, all);
+        // The live merge agrees with the snapshot merge.
+        let live = LatencyHistogram::new();
+        for &v in &[1u64, 5, 9, 1_000] {
+            live.record(v);
+        }
+        let other = LatencyHistogram::new();
+        for &v in &[2u64, 9, 500_000] {
+            other.record(v);
+        }
+        live.merge_from(&other);
+        assert_eq!(live.snapshot(), ab);
+    }
+
+    #[test]
+    fn histogram_since_subtracts_bucketwise() {
+        let h = LatencyHistogram::new();
+        h.record(10);
+        h.record(2_000);
+        let baseline = h.snapshot();
+        h.record(10);
+        h.record(64);
+        let delta = h.snapshot().since(&baseline);
+        assert_eq!(delta.count(), 2);
+        assert_eq!(delta.sum(), 74);
+        // The max is conservative but bounded by the highest delta
+        // bucket (64 lives in [64, 79]).
+        let max = delta.max().unwrap();
+        assert!((64..=79).contains(&max), "delta max {max} out of range");
+        // Nothing recorded → empty delta.
+        let snap = h.snapshot();
+        assert!(snap.since(&snap).is_empty());
+    }
+
+    // --- instance traces ---
+
+    fn trace(chip: u64) -> InstanceTrace {
+        InstanceTrace {
+            chip_index: chip,
+            redraws: 0,
+            injected_edge: Some(3),
+            n_suspects: 4,
+            n_patterns: 6,
+            clk: Some(1.25),
+            patterns_nanos: 100,
+            observe_nanos: 200,
+            dictionary_nanos: 300,
+            rank_nanos: 400,
+            dict_cache_hits: 1,
+            dict_cache_misses: 0,
+            store_hits: 0,
+            store_misses: 0,
+            outcome: TraceOutcome::Diagnosed,
+        }
+    }
+
+    #[test]
+    fn record_instance_feeds_counters_histograms_and_ring() {
+        let sink = MetricsSink::new();
+        let per_instance = CampaignMetrics {
+            patterns_nanos: 100,
+            observe_nanos: 200,
+            dictionary_nanos: 300,
+            rank_nanos: 400,
+            dict_cache_hits: 1,
+            samples_simulated: 60,
+            ..CampaignMetrics::default()
+        };
+        sink.record_instance(&per_instance, trace(0));
+        sink.record_instance(&per_instance, trace(1));
+        let snap = sink.snapshot(Duration::ZERO);
+        assert_eq!(snap.patterns_nanos, 200);
+        assert_eq!(snap.rank_nanos, 800);
+        assert_eq!(snap.dict_cache_hits, 2);
+        assert_eq!(snap.samples_simulated, 120);
+        for phase in Phase::ALL {
+            assert_eq!(snap.phase_latency.get(phase).count(), 2);
+        }
+        assert_eq!(snap.phase_latency.dictionary.sum(), snap.dictionary_nanos);
+        assert_eq!(sink.trace_seq(), 2);
+        let traces = sink.traces_since(0);
+        assert_eq!(traces.len(), 2);
+        assert_eq!(traces[0].chip_index, 0);
+        assert_eq!(traces[1].chip_index, 1);
+        // A later baseline only sees later traces.
+        assert!(sink.traces_since(2).is_empty());
+    }
+
+    #[test]
+    fn trace_ring_is_bounded() {
+        let sink = MetricsSink::new();
+        let zero = CampaignMetrics::default();
+        let n = TRACE_RING_CAPACITY as u64 + 10;
+        for chip in 0..n {
+            sink.record_instance(&zero, trace(chip));
+        }
+        assert_eq!(sink.trace_seq(), n);
+        let kept = sink.traces_since(0);
+        assert_eq!(kept.len(), TRACE_RING_CAPACITY);
+        // The ring keeps the most recent traces.
+        assert_eq!(kept.first().unwrap().chip_index, 10);
+        assert_eq!(kept.last().unwrap().chip_index, n - 1);
+    }
+
+    // --- MetricsReport / MetricsExport ---
+
+    fn consistent_report() -> MetricsReport {
+        let sink = MetricsSink::new();
+        let per_instance = CampaignMetrics {
+            patterns_nanos: 100,
+            observe_nanos: 200,
+            dictionary_nanos: 300,
+            rank_nanos: 400,
+            dict_cache_hits: 1,
+            ..CampaignMetrics::default()
+        };
+        sink.record_instance(&per_instance, trace(0));
+        sink.record_instance(&per_instance, trace(1));
+        MetricsReport {
+            schema_version: METRICS_SCHEMA_VERSION,
+            circuit: "demo".into(),
+            trials: 2,
+            counters: sink.snapshot(Duration::ZERO),
+            traces: sink.traces_since(0),
+        }
+    }
+
+    #[test]
+    fn metrics_report_validates_and_roundtrips_through_json() {
+        let report = consistent_report();
+        report.validate().expect("consistent report validates");
+        let export = MetricsExport::new(vec![report]);
+        export.validate().expect("export validates");
+        let back = MetricsExport::from_json(&export.to_json()).expect("json parses");
+        assert_eq!(export, back);
+        back.validate().expect("round-tripped export validates");
+    }
+
+    #[test]
+    fn metrics_report_validation_catches_inconsistencies() {
+        let good = consistent_report();
+
+        let mut wrong_version = good.clone();
+        wrong_version.schema_version = 99;
+        assert!(wrong_version.validate().unwrap_err().contains("schema"));
+
+        let mut wrong_trials = good.clone();
+        wrong_trials.trials = 5;
+        assert!(wrong_trials.validate().unwrap_err().contains("count"));
+
+        let mut wrong_sum = good.clone();
+        wrong_sum.counters.rank_nanos += 1;
+        assert!(wrong_sum.validate().is_err());
+
+        let mut kernel_overflow = good.clone();
+        kernel_overflow.counters.kernel_nanos = kernel_overflow.counters.dictionary_nanos + 1;
+        assert!(kernel_overflow
+            .validate()
+            .unwrap_err()
+            .contains("kernel_nanos"));
+
+        let mut wrong_trace_sum = good.clone();
+        wrong_trace_sum.traces[0].dict_cache_hits += 1;
+        assert!(wrong_trace_sum
+            .validate()
+            .unwrap_err()
+            .contains("dict_cache_hits"));
     }
 }

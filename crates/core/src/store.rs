@@ -619,9 +619,8 @@ mod tests {
 
     #[test]
     fn store_load_and_flush_roundtrip_on_disk() {
-        let dir = std::env::temp_dir().join(format!("sdd-store-unit-{}", std::process::id()));
-        let _ = fs::remove_dir_all(&dir);
-        let store = DictionaryStore::open(&dir).expect("opens");
+        let dir = crate::testutil::TestDir::new("store-unit");
+        let store = DictionaryStore::open(dir.path()).expect("opens");
         let key = demo_key();
         let metrics = MetricsSink::new();
         assert!(
@@ -646,12 +645,11 @@ mod tests {
         assert_eq!(snap.store_hits, 1);
         assert_eq!(snap.store_flushes, 1);
         // A second open sweeps temp files and still sees the checkpoint.
-        fs::write(dir.join(".orphan.tmp"), b"junk").unwrap();
+        fs::write(dir.path().join(".orphan.tmp"), b"junk").unwrap();
         drop(store);
-        let store = DictionaryStore::open(&dir).expect("reopens");
+        let store = DictionaryStore::open(dir.path()).expect("reopens");
         assert_eq!(store.num_checkpoints(), 1);
-        assert!(!dir.join(".orphan.tmp").exists(), "temp file swept");
-        let _ = fs::remove_dir_all(&dir);
+        assert!(!dir.path().join(".orphan.tmp").exists(), "temp file swept");
     }
 
     #[test]

@@ -1,0 +1,127 @@
+//! Test-support utilities shared by unit and integration tests.
+//!
+//! A plain `pub mod` (not `#[cfg(test)]`) because integration tests in
+//! `tests/` compile against the library like any external crate and
+//! cannot see test-gated items. Nothing here is part of the diagnosis
+//! API proper.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static NEXT_DIR: AtomicU64 = AtomicU64::new(0);
+
+/// An RAII temporary directory for store-backed tests.
+///
+/// The historical pattern — `temp_dir().join(format!("...-{}",
+/// process::id()))` with a `remove_dir_all` at the end of the test —
+/// leaked the directory whenever an assertion failed (the cleanup line
+/// was never reached), and PID reuse then handed the *next* run a stale
+/// dictionary store, masking or fabricating store-hit assertions.
+///
+/// `TestDir` fixes both failure modes:
+///
+/// * the path is unique per (tag, process, creation counter), and any
+///   leftover directory at that path is removed *before* use, so a
+///   leaked dir from a killed process can never leak state into a new
+///   test;
+/// * cleanup happens in `Drop`, which also runs during panic unwinding,
+///   so failing tests clean up after themselves.
+///
+/// ```
+/// use sdd_core::testutil::TestDir;
+///
+/// let dir = TestDir::new("doc-example");
+/// std::fs::write(dir.path().join("probe"), b"x").unwrap();
+/// // removed when `dir` drops, even if the test panics first
+/// ```
+#[derive(Debug)]
+pub struct TestDir {
+    path: PathBuf,
+}
+
+impl TestDir {
+    /// Creates (and empties, if a stale leftover exists) a fresh
+    /// directory under the system temp dir, named after `tag`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the directory cannot be created.
+    pub fn new(tag: &str) -> TestDir {
+        let n = NEXT_DIR.fetch_add(1, Ordering::Relaxed);
+        let path = std::env::temp_dir().join(format!("sdd-test-{tag}-{}-{n}", std::process::id()));
+        TestDir::at(path)
+    }
+
+    fn at(path: PathBuf) -> TestDir {
+        let _ = std::fs::remove_dir_all(&path);
+        std::fs::create_dir_all(&path).expect("create test dir");
+        TestDir { path }
+    }
+
+    /// The directory's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+impl AsRef<Path> for TestDir {
+    fn as_ref(&self) -> &Path {
+        &self.path
+    }
+}
+
+impl Drop for TestDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.path);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distinct_dirs_per_call_even_with_one_tag() {
+        let a = TestDir::new("dup");
+        let b = TestDir::new("dup");
+        assert_ne!(a.path(), b.path());
+        assert!(a.path().is_dir());
+        assert!(b.path().is_dir());
+    }
+
+    #[test]
+    fn cleans_up_on_drop() {
+        let path = {
+            let dir = TestDir::new("drop");
+            std::fs::write(dir.path().join("file"), b"x").unwrap();
+            dir.path().to_path_buf()
+        };
+        assert!(!path.exists(), "drop must remove the directory");
+    }
+
+    #[test]
+    fn cleans_up_on_panic() {
+        let observed = std::sync::Arc::new(std::sync::Mutex::new(PathBuf::new()));
+        let seen = std::sync::Arc::clone(&observed);
+        let result = std::panic::catch_unwind(move || {
+            let dir = TestDir::new("panic");
+            *seen.lock().unwrap() = dir.path().to_path_buf();
+            panic!("boom");
+        });
+        assert!(result.is_err());
+        let path = observed.lock().unwrap().clone();
+        assert!(!path.as_os_str().is_empty());
+        assert!(!path.exists(), "unwinding must remove the directory");
+    }
+
+    #[test]
+    fn scrubs_stale_leftovers_at_creation() {
+        // Simulate a PID-reuse collision: plant a stale store where the
+        // guard is about to live and check it is emptied before use.
+        let path = std::env::temp_dir().join(format!("sdd-test-scrub-{}", std::process::id()));
+        std::fs::create_dir_all(&path).unwrap();
+        std::fs::write(path.join("stale-checkpoint"), b"old").unwrap();
+        let dir = TestDir::at(path);
+        assert!(std::fs::read_dir(dir.path()).unwrap().next().is_none());
+    }
+}

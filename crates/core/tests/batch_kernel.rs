@@ -6,13 +6,12 @@
 use sdd_core::engine::DiagnosisEngine;
 use sdd_core::evaluate::AccuracyReport;
 use sdd_core::inject::CampaignConfig;
+use sdd_core::testutil::TestDir;
 use sdd_core::{DictionaryConfig, ProbabilisticDictionary, SimKernel};
 use sdd_netlist::generator::generate;
 use sdd_netlist::profiles::BenchmarkProfile;
 use sdd_netlist::{Circuit, EdgeId};
 use sdd_timing::{CellLibrary, CircuitTiming, Dist, VariationModel};
-use std::fs;
-use std::path::PathBuf;
 
 /// Two differently-shaped generated circuits: a shallow wide one and a
 /// deeper one with flip-flop boundaries (converted to combinational).
@@ -49,10 +48,6 @@ fn quick_config(kernel: SimKernel, seed: u64) -> CampaignConfig {
     let mut cfg = CampaignConfig::quick(seed);
     cfg.dictionary.kernel = kernel;
     cfg
-}
-
-fn tmpdir(tag: &str) -> PathBuf {
-    std::env::temp_dir().join(format!("sdd-batch-kernel-{tag}-{}", std::process::id()))
 }
 
 #[test]
@@ -115,12 +110,11 @@ fn store_miss_and_store_hit_paths_agree_across_kernels() {
     // (store-hit path), and both cold runs (store-miss path) must agree
     // with each other.
     let (_, c) = circuits().remove(1);
-    let dir = tmpdir("crosskernel");
-    let _ = fs::remove_dir_all(&dir);
+    let dir = TestDir::new("batch-kernel-crosskernel");
 
     let run = |kernel, store: bool| -> AccuracyReport {
         let builder = if store {
-            DiagnosisEngine::builder().store_dir(&dir)
+            DiagnosisEngine::builder().store_dir(dir.path())
         } else {
             DiagnosisEngine::builder()
         };
@@ -158,8 +152,6 @@ fn store_miss_and_store_hit_paths_agree_across_kernels() {
     // A store-less scalar run (so it actually simulates) agrees too.
     let fresh_scalar = run(SimKernel::Scalar, false);
     assert_eq!(cold_batched, fresh_scalar, "cold reports differ");
-
-    let _ = fs::remove_dir_all(&dir);
 }
 
 #[test]

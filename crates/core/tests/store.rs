@@ -5,13 +5,10 @@
 use sdd_core::engine::DiagnosisEngine;
 use sdd_core::evaluate::AccuracyReport;
 use sdd_core::inject::CampaignConfig;
+use sdd_core::testutil::TestDir;
 use sdd_netlist::profiles;
 use std::fs;
 use std::path::{Path, PathBuf};
-
-fn tmpdir(tag: &str) -> PathBuf {
-    std::env::temp_dir().join(format!("sdd-store-it-{tag}-{}", std::process::id()))
-}
 
 fn checkpoint_files(dir: &Path) -> Vec<PathBuf> {
     let mut files: Vec<PathBuf> = fs::read_dir(dir)
@@ -38,53 +35,53 @@ fn run(dir: &Path, seed: u64) -> AccuracyReport {
 
 #[test]
 fn corrupted_checkpoints_degrade_to_recomputation() {
-    let dir = tmpdir("corrupt");
-    let _ = fs::remove_dir_all(&dir);
+    let guard = TestDir::new("store-it-corrupt");
+    let dir = guard.path();
 
     // Cold run populates the store; a warm run must reuse it and still
     // produce the bit-identical report (the round-trip determinism
     // contract of the store).
-    let baseline = run(&dir, 7);
+    let baseline = run(dir, 7);
     assert!(
-        !checkpoint_files(&dir).is_empty(),
+        !checkpoint_files(dir).is_empty(),
         "campaign left no checkpoints"
     );
-    let warm = run(&dir, 7);
+    let warm = run(dir, 7);
     assert_eq!(baseline, warm, "loaded dictionaries changed the report");
     assert!(warm.metrics.store_hits > 0, "warm run never loaded");
     assert_eq!(warm.metrics.store_misses, 0);
 
     // Truncated files: cut every checkpoint in half.
-    for f in checkpoint_files(&dir) {
+    for f in checkpoint_files(dir) {
         let bytes = fs::read(&f).unwrap();
         fs::write(&f, &bytes[..bytes.len() / 2]).unwrap();
     }
-    let after_truncation = run(&dir, 7);
+    let after_truncation = run(dir, 7);
     assert_eq!(baseline, after_truncation, "truncation changed the report");
     assert_eq!(after_truncation.metrics.store_hits, 0);
     assert!(after_truncation.metrics.store_misses > 0);
 
     // Flipped byte: one bit of payload somewhere mid-file (the previous
     // run re-checkpointed, so the files are whole again).
-    for f in checkpoint_files(&dir) {
+    for f in checkpoint_files(dir) {
         let mut bytes = fs::read(&f).unwrap();
         let mid = bytes.len() / 2;
         bytes[mid] ^= 0x20;
         fs::write(&f, &bytes).unwrap();
     }
-    let after_flip = run(&dir, 7);
+    let after_flip = run(dir, 7);
     assert_eq!(baseline, after_flip, "a flipped byte changed the report");
     assert_eq!(after_flip.metrics.store_hits, 0);
     assert!(after_flip.metrics.store_misses > 0);
 
     // Wrong version: stamp an unknown format version into the header
     // (bytes 8..12, after the 8-byte magic).
-    for f in checkpoint_files(&dir) {
+    for f in checkpoint_files(dir) {
         let mut bytes = fs::read(&f).unwrap();
         bytes[8] = 0xFE;
         fs::write(&f, &bytes).unwrap();
     }
-    let after_version = run(&dir, 7);
+    let after_version = run(dir, 7);
     assert_eq!(baseline, after_version, "version skew changed the report");
     assert_eq!(after_version.metrics.store_hits, 0);
     assert!(after_version.metrics.store_misses > 0);
@@ -92,21 +89,19 @@ fn corrupted_checkpoints_degrade_to_recomputation() {
     // Wrong fingerprint: swap the contents of two checkpoints. Each file
     // is internally valid but its embedded key no longer matches the key
     // its name promises, so both must be rejected as misses.
-    let files = checkpoint_files(&dir);
+    let files = checkpoint_files(dir);
     if files.len() >= 2 {
         let a = fs::read(&files[0]).unwrap();
         let b = fs::read(&files[1]).unwrap();
         fs::write(&files[0], &b).unwrap();
         fs::write(&files[1], &a).unwrap();
-        let after_swap = run(&dir, 7);
+        let after_swap = run(dir, 7);
         assert_eq!(baseline, after_swap, "a key mismatch changed the report");
         assert!(
             after_swap.metrics.store_misses >= 2,
             "both swapped checkpoints should be rejected"
         );
     }
-
-    let _ = fs::remove_dir_all(&dir);
 }
 
 #[test]
@@ -114,15 +109,13 @@ fn store_roundtrip_reports_are_bit_identical_across_processes_worth_of_state() {
     // The tentpole acceptance check in miniature: two engines, two
     // lifetimes, one directory — the second run's dictionaries come from
     // disk and the reports match exactly.
-    let dir = tmpdir("roundtrip");
-    let _ = fs::remove_dir_all(&dir);
-    let cold = run(&dir, 21);
-    let warm = run(&dir, 21);
+    let dir = TestDir::new("store-it-roundtrip");
+    let cold = run(dir.path(), 21);
+    let warm = run(dir.path(), 21);
     assert_eq!(cold, warm);
     assert!(warm.metrics.store_hits > 0);
     assert_eq!(
         warm.metrics.dict_cache_misses, 0,
         "warm run should simulate no dictionary banks"
     );
-    let _ = fs::remove_dir_all(&dir);
 }
