@@ -11,6 +11,7 @@
 use crate::fault::{TransitionDirection, TransitionFault};
 use crate::fault_sim::transition_detects;
 use crate::pattern::PatternSet;
+use rayon::prelude::*;
 use sdd_netlist::{Circuit, EdgeId};
 use serde::{Deserialize, Serialize};
 
@@ -128,10 +129,20 @@ impl TransitionDictionary {
     ) -> TransitionDictionary {
         let n_outputs = circuit.primary_outputs().len();
         let n_patterns = patterns.len();
-        let mut entries = Vec::with_capacity(sites.len() * 2);
-        for &edge in sites {
-            for direction in [TransitionDirection::Rise, TransitionDirection::Fall] {
-                let fault = TransitionFault::new(edge, direction);
+        // Each (site, direction) entry is independent of every other, so
+        // simulate them concurrently; the order-preserving collect keeps
+        // the entry vector identical to the old serial double loop at
+        // any thread count.
+        let targets: Vec<TransitionFault> = sites
+            .iter()
+            .flat_map(|&edge| {
+                [TransitionDirection::Rise, TransitionDirection::Fall]
+                    .map(|direction| TransitionFault::new(edge, direction))
+            })
+            .collect();
+        let entries: Vec<(TransitionFault, BitMatrix)> = targets
+            .par_iter()
+            .map(|&fault| {
                 let mut m = BitMatrix::zeros(n_outputs, n_patterns);
                 for (j, p) in patterns.iter().enumerate() {
                     if let Some(det) = transition_detects(circuit, fault, p) {
@@ -142,9 +153,9 @@ impl TransitionDictionary {
                         }
                     }
                 }
-                entries.push((fault, m));
-            }
-        }
+                (fault, m)
+            })
+            .collect();
         TransitionDictionary {
             n_outputs,
             n_patterns,

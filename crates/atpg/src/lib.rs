@@ -40,4 +40,6 @@ pub mod value;
 
 pub use error::AtpgError;
 pub use fault::{PathDelayFault, StuckAtFault, StuckValue, TransitionDirection, TransitionFault};
+pub use path_atpg::generate_candidate_tests;
 pub use pattern::{PatternSet, TestPattern};
+pub use podem::{stuck_at_test_set, StuckAtTestSet};

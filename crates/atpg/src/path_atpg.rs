@@ -13,6 +13,7 @@ use crate::pattern::TestPattern;
 use crate::podem::PodemConfig;
 use crate::value::V3;
 use crate::AtpgError;
+use rayon::prelude::*;
 use sdd_netlist::{Circuit, GateKind, NodeId};
 
 /// A generated path test together with the sensitization mode achieved.
@@ -71,6 +72,25 @@ pub fn generate_robust_or_nonrobust(
             })
         }
     }
+}
+
+/// Runs [`generate_robust_or_nonrobust`] over a slice of `(fault, seed)`
+/// candidates concurrently, returning the outcomes in candidate order
+/// (`None` for untestable/aborted candidates).
+///
+/// Each search is pure in its `(circuit, fault, config, seed)` inputs,
+/// so the result vector is bit-identical to a serial loop at any thread
+/// count; callers replay their acceptance logic (ordering, early exit,
+/// dedup) over the returned slice serially.
+pub fn generate_candidate_tests(
+    circuit: &Circuit,
+    candidates: &[(PathDelayFault, u64)],
+    config: PodemConfig,
+) -> Vec<Option<PathTest>> {
+    candidates
+        .par_iter()
+        .map(|(fault, seed)| generate_robust_or_nonrobust(circuit, fault, config, *seed).ok())
+        .collect()
 }
 
 /// Checks that a pattern actually satisfies the sensitization

@@ -4,6 +4,8 @@ use rand::prelude::*;
 use rand_chacha::ChaCha8Rng;
 use sdd_netlist::Circuit;
 use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+use std::hash::{BuildHasherDefault, Hasher};
 
 /// A two-vector (launch/capture) delay test pattern.
 ///
@@ -48,12 +50,71 @@ impl TestPattern {
     }
 }
 
+/// 64-bit FNV-1a as a [`std::hash::Hasher`], so the dedup set below is
+/// process- and platform-stable (the std `DefaultHasher` promises
+/// neither). Nothing here reaches disk, but stable hashing keeps probe
+/// order — and therefore any iteration-dependent behaviour — identical
+/// across runs.
+#[derive(Debug, Clone)]
+pub struct FnvHasher(u64);
+
+impl Default for FnvHasher {
+    fn default() -> Self {
+        FnvHasher(0xcbf2_9ce4_8422_2325)
+    }
+}
+
+impl Hasher for FnvHasher {
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
 /// An ordered set of test patterns (the `TP` of the paper). Duplicate
 /// patterns are rejected on insertion so every column of the error
 /// matrices is distinct.
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+///
+/// Insertion order is preserved in `patterns`; membership checks go
+/// through an FNV-hashed set, so [`push`](PatternSet::push) is O(1)
+/// expected instead of the O(n) scan a `Vec::contains` would cost on
+/// every insertion.
+#[derive(Debug, Clone, Default)]
 pub struct PatternSet {
     patterns: Vec<TestPattern>,
+    dedup: HashSet<TestPattern, BuildHasherDefault<FnvHasher>>,
+}
+
+impl PartialEq for PatternSet {
+    fn eq(&self, other: &PatternSet) -> bool {
+        // The dedup set is derived state; two sets are equal iff their
+        // ordered patterns are.
+        self.patterns == other.patterns
+    }
+}
+
+impl Eq for PatternSet {}
+
+impl Serialize for PatternSet {
+    fn to_value(&self) -> serde::Value {
+        // Wire-compatible with the former derived form: a map with one
+        // `patterns` field. The dedup set is rebuilt on the way in.
+        serde::Value::Map(vec![("patterns".to_string(), self.patterns.to_value())])
+    }
+}
+
+impl Deserialize for PatternSet {
+    fn from_value(value: serde::Value) -> Result<Self, serde::Error> {
+        let mut map = serde::de::MapAccess::new(value, "PatternSet")?;
+        let patterns: Vec<TestPattern> = map.field("patterns")?;
+        Ok(patterns.into_iter().collect())
+    }
 }
 
 impl PatternSet {
@@ -65,11 +126,11 @@ impl PatternSet {
     /// Adds a pattern; returns `false` (and drops it) if an identical
     /// pattern is already present.
     pub fn push(&mut self, pattern: TestPattern) -> bool {
-        if self.patterns.contains(&pattern) {
-            false
-        } else {
+        if self.dedup.insert(pattern.clone()) {
             self.patterns.push(pattern);
             true
+        } else {
+            false
         }
     }
 
@@ -187,6 +248,44 @@ mod tests {
         let set = PatternSet::random(&c, 100, 1);
         assert!(set.len() <= 16);
         assert!(set.len() >= 10);
+    }
+
+    #[test]
+    fn dedup_survives_clone_and_serde_roundtrip() {
+        let mut set = PatternSet::new();
+        let a = TestPattern::new(vec![true, false], vec![false, false]);
+        let b = TestPattern::new(vec![false, true], vec![true, true]);
+        assert!(set.push(a.clone()));
+        assert!(set.push(b.clone()));
+
+        let mut cloned = set.clone();
+        assert!(!cloned.push(a.clone()), "clone lost dedup state");
+
+        let back = PatternSet::from_value(set.to_value()).expect("roundtrips");
+        assert_eq!(back, set);
+        let mut back = back;
+        assert!(!back.push(b), "deserialized set lost dedup state");
+        assert!(back.push(TestPattern::new(vec![true, true], vec![false, true])));
+        assert_eq!(back.len(), 3);
+    }
+
+    #[test]
+    fn large_set_keeps_insertion_order() {
+        // Push order must be exactly preserved (downstream matrices are
+        // indexed by pattern position).
+        let mut set = PatternSet::new();
+        let mut expected = Vec::new();
+        for i in 0..200usize {
+            let bits: Vec<bool> = (0..8).map(|b| (i >> b) & 1 == 1).collect();
+            let p = TestPattern::new(bits.clone(), bits.iter().map(|x| !x).collect());
+            expected.push(p.clone());
+            assert!(set.push(p));
+        }
+        assert_eq!(set.patterns(), expected.as_slice());
+        // And every duplicate is still rejected.
+        for p in expected {
+            assert!(!set.push(p));
+        }
     }
 
     #[test]

@@ -1,0 +1,155 @@
+//! Thread-count determinism of the parallel ATPG entry points: every
+//! result must be bit-identical at 1 vs 4 rayon threads. The parallel
+//! paths speculate pure searches and replay acceptance serially, so
+//! this is the contract the core pattern cache (and the paper's
+//! reproducibility claims) rest on.
+
+use sdd_atpg::dictionary::TransitionDictionary;
+use sdd_atpg::fault::{PathDelayFault, StuckAtFault, TransitionDirection};
+use sdd_atpg::path_atpg::generate_candidate_tests;
+use sdd_atpg::pattern::PatternSet;
+use sdd_atpg::podem::{fill_assignment, generate, stuck_at_test_set, PodemConfig};
+use sdd_netlist::generator::{generate as gen_circuit, GeneratorConfig};
+use sdd_netlist::Circuit;
+use sdd_timing::{CellLibrary, CircuitTiming, VariationModel};
+
+fn bench_circuit(seed: u64) -> Circuit {
+    gen_circuit(&GeneratorConfig {
+        name: "det".into(),
+        inputs: 12,
+        outputs: 6,
+        dffs: 0,
+        gates: 120,
+        depth: 9,
+        seed,
+    })
+    .expect("generates")
+    .to_combinational()
+    .expect("cut")
+}
+
+fn at_threads<T>(n: usize, f: impl FnOnce() -> T + Send) -> T
+where
+    T: Send,
+{
+    rayon::ThreadPoolBuilder::new()
+        .num_threads(n)
+        .build()
+        .expect("pool builds")
+        .install(f)
+}
+
+#[test]
+fn stuck_at_test_set_is_thread_count_invariant() {
+    let c = bench_circuit(11);
+    let faults = StuckAtFault::all(&c);
+    let serial = at_threads(1, || {
+        stuck_at_test_set(&c, &faults, PodemConfig::default(), 5)
+    });
+    let parallel = at_threads(4, || {
+        stuck_at_test_set(&c, &faults, PodemConfig::default(), 5)
+    });
+    assert_eq!(serial, parallel);
+    assert!(serial.generated > 0, "no tests generated at all");
+    assert!(serial.dropped > 0, "fault dropping never fired");
+}
+
+/// The wave-parallel fault-list loop must also equal a plain serial
+/// drop-check/generate loop written with the public single-fault API.
+#[test]
+fn stuck_at_test_set_matches_single_fault_api() {
+    let c = bench_circuit(23);
+    let faults = StuckAtFault::all(&c);
+    let seed = 9u64;
+    let fast = stuck_at_test_set(&c, &faults, PodemConfig::bulk(), seed);
+
+    let mut patterns = PatternSet::new();
+    let mut accepted: Vec<Vec<u64>> = Vec::new(); // one packed word group per 64 vectors
+    let mut lanes_in_last = 0u32;
+    let n_pi = c.primary_inputs().len();
+    for (ix, &fault) in faults.iter().enumerate() {
+        let covered = accepted.iter().enumerate().any(|(g, words)| {
+            let lanes = if g + 1 == accepted.len() {
+                lanes_in_last
+            } else {
+                64
+            };
+            let valid = if lanes == 64 {
+                !0u64
+            } else {
+                (1u64 << lanes) - 1
+            };
+            sdd_atpg::fault_sim::stuck_at_detects_words(&c, fault, words)
+                .iter()
+                .any(|&w| w & valid != 0)
+        });
+        if covered {
+            continue;
+        }
+        let Ok(assignment) = generate(&c, fault, PodemConfig::bulk()) else {
+            continue;
+        };
+        let fill_seed = seed
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(ix as u64);
+        let vector = fill_assignment(&assignment, fill_seed);
+        if accepted.is_empty() || lanes_in_last == 64 {
+            accepted.push(vec![0u64; n_pi]);
+            lanes_in_last = 0;
+        }
+        let group = accepted.last_mut().unwrap();
+        for (word, &bit) in group.iter_mut().zip(&vector) {
+            if bit {
+                *word |= 1u64 << lanes_in_last;
+            }
+        }
+        lanes_in_last += 1;
+        patterns.push(sdd_atpg::TestPattern::new(vector.clone(), vector));
+    }
+    assert_eq!(fast.patterns, patterns);
+}
+
+#[test]
+fn candidate_path_tests_are_thread_count_invariant() {
+    let c = bench_circuit(31);
+    let t = CircuitTiming::characterize(&c, &CellLibrary::default_025um(), VariationModel::none());
+    let mut candidates: Vec<(PathDelayFault, u64)> = Vec::new();
+    for (k, eid) in c.edge_ids().enumerate() {
+        let Ok(paths) = sdd_timing::path::k_longest_through_edge(&c, &t, eid, 2) else {
+            continue;
+        };
+        for (pix, path) in paths.into_iter().enumerate() {
+            for (dix, launch) in [TransitionDirection::Rise, TransitionDirection::Fall]
+                .into_iter()
+                .enumerate()
+            {
+                candidates.push((
+                    PathDelayFault::new(path.clone(), launch),
+                    (k * 4 + pix * 2 + dix) as u64,
+                ));
+            }
+        }
+        if candidates.len() >= 48 {
+            break;
+        }
+    }
+    assert!(candidates.len() >= 8, "too few candidates to exercise");
+    let serial = at_threads(1, || {
+        generate_candidate_tests(&c, &candidates, PodemConfig::bulk())
+    });
+    let parallel = at_threads(4, || {
+        generate_candidate_tests(&c, &candidates, PodemConfig::bulk())
+    });
+    assert_eq!(serial, parallel);
+    assert!(serial.iter().any(|t| t.is_some()), "no candidate succeeded");
+}
+
+#[test]
+fn transition_dictionary_build_is_thread_count_invariant() {
+    let c = bench_circuit(47);
+    let patterns = PatternSet::random(&c, 24, 3);
+    let serial = at_threads(1, || TransitionDictionary::build(&c, &patterns));
+    let parallel = at_threads(4, || TransitionDictionary::build(&c, &patterns));
+    assert_eq!(serial, parallel);
+    assert_eq!(serial.len(), c.num_edges() * 2);
+}

@@ -9,19 +9,29 @@
 //! each comparison isolates one change. Prints the success tables (they
 //! must agree), the phase/cache/kernel metrics and the ratios.
 //!
-//! With `--store <dir>`, dictionary Monte-Carlo banks persist across
-//! runs: the first invocation simulates and checkpoints them, a second
-//! identical invocation loads them from disk (watch the `dictionary
-//! store:` metrics line and the dictionary phase time) and still
+//! With `--store <dir>`, dictionary Monte-Carlo banks *and per-site
+//! ATPG pattern sets* persist across runs: the first invocation
+//! computes and checkpoints them, a second identical invocation loads
+//! them from disk (watch the `dictionary store:` / `pattern store:`
+//! metrics lines and the dictionary/patterns phase times) and still
 //! produces the identical report. The store applies only to the final
 //! (batched) leg so the other legs keep simulating.
+//!
+//! After the kernel legs, a dedicated **patterns leg** re-runs the
+//! primary configuration against warm pattern state — a second engine
+//! over the store when one is attached (disk-warm), the primary engine
+//! itself otherwise (memory-warm) — asserts the report is bit-identical
+//! to the serial oracle, and asserts the Patterns phase actually got
+//! faster (≥ 3× under a warm store at paper scale).
 //!
 //! `--quick` swaps the paper-scale workload for the reduced test
 //! configuration — the CI sanity mode. `--kernel scalar|batched` skips
 //! the kernel comparison and runs a single kernel (for profiling).
-//! `--metrics-json <path>` additionally writes the primary leg's
-//! counters, per-phase latency histograms and per-instance traces as a
-//! [`sdd_core::MetricsExport`] document (see `metrics_check`).
+//! `--metrics-json <path>` additionally writes the primary and warm
+//! legs' counters, per-phase latency histograms and per-instance traces
+//! as a [`sdd_core::MetricsExport`] document (see `metrics_check`); with
+//! `--quick` the same document is also written to `BENCH_speedup.json`
+//! at the repository root, the committed CI artifact.
 //!
 //! ```text
 //! cargo run -p sdd-bench --release --bin speedup \
@@ -80,6 +90,7 @@ fn main() {
     // final leg may be store-backed: a store hit skips simulation, which
     // would turn the comparison legs into no-ops.
     let mut reports: Vec<(SimKernel, AccuracyReport, std::time::Duration)> = Vec::new();
+    let mut primary_engine: Option<DiagnosisEngine> = None;
     for (i, &kernel) in kernels.iter().enumerate() {
         let mut builder = DiagnosisEngine::builder();
         let store_backed = i + 1 == kernels.len();
@@ -99,12 +110,15 @@ fn main() {
         if store_backed {
             if let Some(store) = engine.store() {
                 println!(
-                    "dictionary store           : {} ({} checkpoints, {} loaded this run)",
+                    "dictionary store           : {} ({} dict + {} pattern checkpoints, {} dict / {} pattern loads this run)",
                     store.dir().display(),
                     store.num_checkpoints(),
+                    store.num_pattern_checkpoints(),
                     report.metrics.store_hits,
+                    report.metrics.pattern_store_hits,
                 );
             }
+            primary_engine = Some(engine);
         }
         reports.push((kernel, report, elapsed));
     }
@@ -144,11 +158,101 @@ fn main() {
         );
     }
 
+    // Patterns leg: the same configuration against warm pattern state.
+    // With a store, a brand-new engine over the same directory (pattern
+    // sets come from disk); without one, the primary engine itself
+    // (pattern sets come from its in-memory cache).
+    let engine = primary_engine.expect("primary leg ran");
+    let (warm, warm_elapsed, warm_kind) = match &store_dir {
+        Some(dir) => {
+            let warm_engine = DiagnosisEngine::builder()
+                .store_dir(dir)
+                .build()
+                .expect("warm engine builds");
+            let t0 = Instant::now();
+            let report = warm_engine
+                .run_campaign_on(&circuit, &config)
+                .expect("warm campaign runs");
+            (report, t0.elapsed(), "store-warm")
+        }
+        None => {
+            let t0 = Instant::now();
+            let report = engine
+                .run_campaign_on(&circuit, &config)
+                .expect("warm campaign runs");
+            (report, t0.elapsed(), "memory-warm")
+        }
+    };
+    assert_eq!(
+        &serial, &warm,
+        "warm pattern state altered the diagnosis results"
+    );
+    let cold_pat = primary.metrics.patterns_nanos;
+    let warm_pat = warm.metrics.patterns_nanos;
+    let pat_ratio = cold_pat as f64 / warm_pat.max(1) as f64;
+    println!(
+        "patterns phase ({warm_kind:>11}): cold {:.2?} vs warm {:.2?} ({pat_ratio:.2}x), total {warm_elapsed:.1?}",
+        std::time::Duration::from_nanos(cold_pat),
+        std::time::Duration::from_nanos(warm_pat),
+    );
+    match warm_kind {
+        "store-warm" => {
+            assert!(
+                warm.metrics.pattern_store_hits > 0,
+                "warm leg never loaded a pattern checkpoint"
+            );
+            // Only a genuinely cold primary leg gives a fair ratio: on a
+            // second invocation over the same store the primary leg is
+            // already warm and the comparison is warm-vs-warm.
+            if primary.metrics.pattern_store_hits == 0 {
+                if quick {
+                    assert!(
+                        warm_pat < cold_pat,
+                        "warm pattern store is not faster ({warm_pat} ns vs {cold_pat} ns)"
+                    );
+                } else {
+                    assert!(
+                        cold_pat >= 3 * warm_pat,
+                        "warm pattern store under 3x: {warm_pat} ns vs {cold_pat} ns cold"
+                    );
+                }
+            }
+        }
+        _ => {
+            assert!(
+                warm.metrics.pattern_cache_hits > 0,
+                "memory-warm leg never hit the pattern cache"
+            );
+            assert_eq!(
+                warm.metrics.pattern_cache_misses, 0,
+                "memory-warm leg regenerated patterns"
+            );
+            assert!(
+                warm_pat <= cold_pat,
+                "memory-warm patterns phase is not faster ({warm_pat} ns vs {cold_pat} ns)"
+            );
+        }
+    }
+    println!("results identical (warm)   : yes\n");
+
     println!("{}", primary.render_table());
     println!("{}", primary.metrics.render());
 
+    let exports = || {
+        vec![
+            MetricsReport::from_report(primary),
+            MetricsReport::from_report(&warm),
+        ]
+    };
     if let Some(path) = flag_value(&args, "--metrics-json") {
-        write_metrics_export(&path, vec![MetricsReport::from_report(primary)]);
+        write_metrics_export(&path, exports());
+        if quick {
+            // The committed CI artifact at the repository root: the quick
+            // workload is deterministic, so `metrics_check` can validate
+            // this file on every run.
+            let root = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_speedup.json");
+            write_metrics_export(root, exports());
+        }
     }
 }
 

@@ -11,9 +11,10 @@
 //!     [--metrics-json PATH]
 //! ```
 //!
-//! With `--store <dir>`, dictionary Monte-Carlo banks are checkpointed
-//! to (and reloaded from) disk, so regenerating the table after a crash
-//! or re-running a subset of circuits skips the dictionary phase for
+//! With `--store <dir>`, dictionary Monte-Carlo banks and per-site ATPG
+//! pattern sets are checkpointed to (and reloaded from) disk, so
+//! regenerating the table after a crash or re-running a subset of
+//! circuits skips the dictionary and pattern-generation phases for
 //! everything already computed. With `--metrics-json <path>`, one
 //! [`sdd_core::MetricsReport`] per successfully-completed circuit is
 //! written as a combined [`sdd_core::MetricsExport`] document.
@@ -53,9 +54,10 @@ fn main() {
     );
     if let Some(store) = engine.store() {
         println!(
-            "dictionary store: {} ({} checkpoints)\n",
+            "dictionary store: {} ({} dict + {} pattern checkpoints)\n",
             store.dir().display(),
-            store.num_checkpoints()
+            store.num_checkpoints(),
+            store.num_pattern_checkpoints()
         );
     }
 

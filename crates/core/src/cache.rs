@@ -41,8 +41,9 @@ use crate::dictionary::{
     assemble_from_masks, simulate_fail_masks, BatchCache, BitGrid, DictionaryConfig,
     ProbabilisticDictionary, SuspectMasks,
 };
+use crate::inject::AtpgConfig;
 use crate::metrics::MetricsSink;
-use crate::store::{DictionaryStore, StoreKey};
+use crate::store::{fingerprint_model, DictionaryStore, PatternKey, StoreKey};
 use crate::BehaviorMatrix;
 use sdd_atpg::PatternSet;
 use sdd_netlist::{Circuit, EdgeId};
@@ -61,12 +62,22 @@ struct Bank {
     suspects: HashMap<EdgeId, SuspectMasks>,
 }
 
+/// One pattern-set slot: `None` until the first request for its key
+/// finishes a store load or an ATPG run.
+type PatternSlot = Arc<Mutex<Option<Arc<PatternSet>>>>;
+
 /// A thread-safe, campaign-wide dictionary cache, optionally backed by
 /// an on-disk [`DictionaryStore`]. See the module docs for the sharing,
 /// determinism and persistence story.
 #[derive(Debug, Default)]
 pub struct DictionaryCache {
     banks: RwLock<HashMap<StoreKey, Arc<Mutex<Bank>>>>,
+    /// Per-site ATPG pattern sets, keyed on everything pattern
+    /// generation reads ([`PatternKey`]). Same locking discipline as
+    /// `banks`: the outer map lock is held only to find or insert a
+    /// slot; the per-key mutex is held across generation, so concurrent
+    /// requests for the same site share one ATPG run.
+    patterns: RwLock<HashMap<PatternKey, PatternSlot>>,
     store: Option<Arc<DictionaryStore>>,
     /// Memoized chip-instance batches shared by every simulation this
     /// cache runs (batched kernel only; bit-identity preserving — see
@@ -86,6 +97,7 @@ impl DictionaryCache {
     pub fn with_store(store: Arc<DictionaryStore>) -> DictionaryCache {
         DictionaryCache {
             banks: RwLock::default(),
+            patterns: RwLock::default(),
             store: Some(store),
             batches: BatchCache::default(),
         }
@@ -100,6 +112,90 @@ impl DictionaryCache {
     /// keys populated so far.
     pub fn num_keys(&self) -> usize {
         self.banks.read().expect("cache lock").len()
+    }
+
+    /// Number of distinct (model, site, ATPG config, seed) pattern sets
+    /// held so far.
+    pub fn num_pattern_keys(&self) -> usize {
+        self.patterns.read().expect("pattern cache lock").len()
+    }
+
+    /// Returns the ATPG patterns through `site`, generating them at most
+    /// once per [`PatternKey`] for the cache's lifetime. Patterns depend
+    /// only on (circuit, timing model, site, ATPG knobs, seed) — never on
+    /// a chip's sampled delays — so every chip and redraw that implicates
+    /// the same site shares one
+    /// [`patterns_through_site_with`](crate::inject::patterns_through_site_with)
+    /// run. Bit-identical to calling it directly.
+    ///
+    /// With a store attached, a memory miss first tries the key's
+    /// `pat-*.sdds` checkpoint (corruption degrades to a recorded miss,
+    /// exactly like dictionary banks) and a generated set is
+    /// checkpointed in the background.
+    ///
+    /// `metrics`, when given, receives one pattern-cache hit or miss,
+    /// plus store hit/miss/flush counts when a store is attached.
+    pub fn patterns_for_site(
+        &self,
+        circuit: &Circuit,
+        timing: &CircuitTiming,
+        site: EdgeId,
+        config: &AtpgConfig,
+        seed: u64,
+        metrics: Option<&MetricsSink>,
+    ) -> Arc<PatternSet> {
+        let key = PatternKey {
+            model_fp: fingerprint_model(circuit, timing),
+            edge: site.index() as u64,
+            atpg_fp: config.fingerprint(),
+            seed,
+        };
+        let cell = {
+            let read = self.patterns.read().expect("pattern cache lock");
+            match read.get(&key) {
+                Some(cell) => Arc::clone(cell),
+                None => {
+                    drop(read);
+                    let mut write = self.patterns.write().expect("pattern cache lock");
+                    Arc::clone(write.entry(key).or_default())
+                }
+            }
+        };
+        let mut slot = cell.lock().expect("pattern slot lock");
+        if let Some(set) = slot.as_ref() {
+            if let Some(m) = metrics {
+                m.record_pattern_cache_hit();
+            }
+            return Arc::clone(set);
+        }
+        if let Some(m) = metrics {
+            m.record_pattern_cache_miss();
+        }
+        let loaded = self
+            .store
+            .as_ref()
+            .and_then(|s| s.load_patterns(&key, circuit.primary_inputs().len(), metrics));
+        let set = Arc::new(match loaded {
+            Some(set) => set,
+            None => {
+                let set = crate::inject::patterns_through_site_with(
+                    circuit,
+                    timing,
+                    site,
+                    config.n_paths,
+                    config.max_patterns,
+                    seed,
+                    config.path_config,
+                    config.podem_config,
+                );
+                if let Some(store) = &self.store {
+                    store.flush_patterns(&key, &set, metrics);
+                }
+                set
+            }
+        });
+        *slot = Some(Arc::clone(&set));
+        set
     }
 
     /// Builds a dictionary through the cache: simulates only the
@@ -513,6 +609,74 @@ mod tests {
         let s2 = m2.snapshot(std::time::Duration::ZERO);
         assert_eq!(s2.store_hits, 1, "warm run loads from disk");
         assert_eq!(s2.samples_simulated, 0, "warm run simulates nothing");
+    }
+
+    #[test]
+    fn pattern_cache_serves_memory_then_store_then_generates() {
+        let c = sdd_netlist::generator::generate(&sdd_netlist::generator::GeneratorConfig::small(
+            "patcache", 17,
+        ))
+        .unwrap()
+        .to_combinational()
+        .unwrap();
+        let t = CircuitTiming::characterize(
+            &c,
+            &CellLibrary::default_025um(),
+            VariationModel::new(0.03, 0.05),
+        );
+        let atpg = AtpgConfig {
+            n_paths: 3,
+            max_patterns: 8,
+            path_config: sdd_atpg::podem::PodemConfig::bulk(),
+            podem_config: sdd_atpg::podem::PodemConfig::bulk(),
+        };
+        let site = c.edge_ids().nth(4).unwrap();
+        let fresh = crate::inject::patterns_through_site_with(
+            &c,
+            &t,
+            site,
+            atpg.n_paths,
+            atpg.max_patterns,
+            5,
+            atpg.path_config,
+            atpg.podem_config,
+        );
+
+        let dir = crate::testutil::TestDir::new("pattern-cache");
+        let store = Arc::new(crate::store::DictionaryStore::open(dir.path()).unwrap());
+        let cache = DictionaryCache::with_store(Arc::clone(&store));
+        let m = MetricsSink::new();
+        let first = cache.patterns_for_site(&c, &t, site, &atpg, 5, Some(&m));
+        assert_eq!(*first, fresh, "cached generation diverged from direct call");
+        let second = cache.patterns_for_site(&c, &t, site, &atpg, 5, Some(&m));
+        assert!(Arc::ptr_eq(&first, &second), "memory hit re-generated");
+        let snap = m.snapshot(std::time::Duration::ZERO);
+        assert_eq!(snap.pattern_cache_misses, 1);
+        assert_eq!(snap.pattern_cache_hits, 1);
+        assert_eq!(snap.pattern_store_misses, 1, "cold store probed once");
+        assert_eq!(snap.pattern_store_flushes, 1);
+        assert_eq!(cache.num_pattern_keys(), 1);
+        drop(cache);
+        store.sync();
+
+        // A brand-new cache over the same directory loads the checkpoint
+        // instead of re-running ATPG.
+        let cold = DictionaryCache::with_store(Arc::new(
+            crate::store::DictionaryStore::open(dir.path()).unwrap(),
+        ));
+        let m2 = MetricsSink::new();
+        let reloaded = cold.patterns_for_site(&c, &t, site, &atpg, 5, Some(&m2));
+        assert_eq!(*reloaded, fresh, "stored patterns diverged");
+        let snap2 = m2.snapshot(std::time::Duration::ZERO);
+        assert_eq!(snap2.pattern_store_hits, 1, "warm run loads from disk");
+        assert_eq!(
+            snap2.pattern_store_flushes, 0,
+            "a loaded set is not re-flushed"
+        );
+
+        // A different seed or site is a distinct key.
+        cold.patterns_for_site(&c, &t, site, &atpg, 6, None);
+        assert_eq!(cold.num_pattern_keys(), 2);
     }
 
     #[test]

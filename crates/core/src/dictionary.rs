@@ -382,9 +382,12 @@ pub(crate) struct SuspectMasks {
 /// produce, the resulting grids stay bit-identical.
 ///
 /// Memory-bounded: when an insertion would push the cached delay count
-/// past `cap_f64`, the whole map is dropped (epoch flush). A campaign
-/// touches one circuit and at most `max_patterns` positions, so flushes
-/// only happen when an engine moves between large circuits.
+/// past `cap_f64`, least-recently-used entries are evicted (oldest touch
+/// first, key order on ties) until the newcomer fits. A campaign touches
+/// one circuit and at most `max_patterns` positions, so eviction only
+/// fires when an engine moves between large circuits — and then it
+/// sheds the stale circuit's batches while the hot ones survive, instead
+/// of dropping the whole map and resampling everything.
 #[derive(Debug)]
 pub(crate) struct BatchCache {
     /// Budget in cached `f64` delay values (≈ 8 bytes each).
@@ -395,7 +398,43 @@ pub(crate) struct BatchCache {
 #[derive(Debug, Default)]
 struct BatchCacheInner {
     used_f64: usize,
-    map: HashMap<(u64, u64, u64, u64), Arc<InstanceBatch>>,
+    /// Monotonic touch counter; every hit or insert stamps its entry.
+    tick: u64,
+    map: HashMap<(u64, u64, u64, u64), BatchSlot>,
+}
+
+#[derive(Debug)]
+struct BatchSlot {
+    batch: Arc<InstanceBatch>,
+    /// Delay values held by this batch (`n_edges × n_samples`).
+    size_f64: usize,
+    last_used: u64,
+}
+
+impl BatchCacheInner {
+    fn touch(&mut self, key: &(u64, u64, u64, u64)) -> Option<Arc<InstanceBatch>> {
+        let tick = self.tick;
+        let slot = self.map.get_mut(key)?;
+        slot.last_used = tick;
+        self.tick += 1;
+        Some(Arc::clone(&slot.batch))
+    }
+
+    /// Evicts least-recently-used entries until `incoming` fits under
+    /// `cap_f64` (or the map is empty — one oversized batch is still
+    /// cached rather than resampled every call).
+    fn make_room(&mut self, incoming: usize, cap_f64: usize) {
+        while self.used_f64 + incoming > cap_f64 && !self.map.is_empty() {
+            let oldest = self
+                .map
+                .iter()
+                .min_by_key(|(key, slot)| (slot.last_used, **key))
+                .map(|(key, _)| *key)
+                .expect("non-empty map has a minimum");
+            let evicted = self.map.remove(&oldest).expect("key just found");
+            self.used_f64 -= evicted.size_f64;
+        }
+    }
 }
 
 impl Default for BatchCache {
@@ -426,8 +465,8 @@ impl BatchCache {
         j: usize,
     ) -> Arc<InstanceBatch> {
         let key = (model_fp, config.seed, config.n_samples as u64, j as u64);
-        if let Some(hit) = self.inner.lock().expect("batch cache lock").map.get(&key) {
-            return Arc::clone(hit);
+        if let Some(hit) = self.inner.lock().expect("batch cache lock").touch(&key) {
+            return hit;
         }
         let batch = Arc::new(timing.sample_instance_batch(
             config.seed,
@@ -436,15 +475,21 @@ impl BatchCache {
         ));
         let size = batch.n_edges() * batch.n_samples();
         let mut inner = self.inner.lock().expect("batch cache lock");
-        if let Some(hit) = inner.map.get(&key) {
-            return Arc::clone(hit);
+        if let Some(hit) = inner.touch(&key) {
+            return hit;
         }
-        if inner.used_f64 + size > self.cap_f64 {
-            inner.map.clear();
-            inner.used_f64 = 0;
-        }
+        inner.make_room(size, self.cap_f64);
         inner.used_f64 += size;
-        inner.map.insert(key, Arc::clone(&batch));
+        let tick = inner.tick;
+        inner.tick += 1;
+        inner.map.insert(
+            key,
+            BatchSlot {
+                batch: Arc::clone(&batch),
+                size_f64: size,
+                last_used: tick,
+            },
+        );
         batch
     }
 }
@@ -792,6 +837,58 @@ mod tests {
         [TestPattern::new(vec![false, false], vec![true, true])]
             .into_iter()
             .collect()
+    }
+
+    #[test]
+    fn batch_cache_evicts_oldest_and_keeps_hot_keys() {
+        let (_, t) = two_chains();
+        let config = DictionaryConfig {
+            n_samples: 16,
+            seed: 3,
+            ..DictionaryConfig::default()
+        };
+        // Measure one batch, then build a cache that holds exactly two.
+        let probe = BatchCache::with_capacity(usize::MAX);
+        let one = probe.get_or_sample(1, &t, config, 0);
+        let size = one.n_edges() * one.n_samples();
+        let cache = BatchCache::with_capacity(2 * size);
+
+        let a = cache.get_or_sample(1, &t, config, 0);
+        let b = cache.get_or_sample(1, &t, config, 1);
+        // Touch A: B is now the least recently used entry.
+        assert!(Arc::ptr_eq(&a, &cache.get_or_sample(1, &t, config, 0)));
+        // Inserting C must evict B (oldest), not the whole map.
+        cache.get_or_sample(1, &t, config, 2);
+        assert!(
+            Arc::ptr_eq(&a, &cache.get_or_sample(1, &t, config, 0)),
+            "hot key was evicted"
+        );
+        let b2 = cache.get_or_sample(1, &t, config, 1);
+        assert!(
+            !Arc::ptr_eq(&b, &b2),
+            "LRU key survived past the capacity limit"
+        );
+        // Determinism: the resampled batch equals the evicted one.
+        assert_eq!(*b, *b2);
+    }
+
+    #[test]
+    fn batch_cache_still_caches_one_oversized_batch() {
+        let (_, t) = two_chains();
+        let config = DictionaryConfig {
+            n_samples: 16,
+            seed: 3,
+            ..DictionaryConfig::default()
+        };
+        let cache = BatchCache::with_capacity(1);
+        let a = cache.get_or_sample(1, &t, config, 0);
+        assert!(
+            Arc::ptr_eq(&a, &cache.get_or_sample(1, &t, config, 0)),
+            "an oversized batch should still be memoized until displaced"
+        );
+        // A second oversized key displaces it rather than leaking memory.
+        cache.get_or_sample(1, &t, config, 1);
+        assert!(!Arc::ptr_eq(&a, &cache.get_or_sample(1, &t, config, 0)));
     }
 
     #[test]

@@ -10,9 +10,10 @@
 //!
 //! * a [`DictionaryCache`] that outlives individual campaigns — repeated
 //!   campaigns over the same circuit and configuration share Monte-Carlo
-//!   banks in memory;
-//! * optionally, a [`DictionaryStore`] behind the cache — banks persist
-//!   across *processes* and are loaded instead of re-simulated;
+//!   banks *and per-site ATPG pattern sets* in memory;
+//! * optionally, a [`DictionaryStore`] behind the cache — banks and
+//!   pattern sets persist across *processes* and are loaded instead of
+//!   re-simulated / re-generated;
 //! * a [`MetricsSink`] accumulating across everything the engine runs,
 //!   while each report still carries its own per-campaign delta;
 //! * optionally, a dedicated rayon thread pool sized at build time.
@@ -182,9 +183,10 @@ impl DiagnosisEngine {
         }
     }
 
-    /// Blocks until all background dictionary checkpoints written so far
-    /// are on disk. A no-op for store-less engines. Campaign entry
-    /// points call this on completion; dropping the engine also syncs.
+    /// Blocks until all background checkpoints written so far —
+    /// dictionary banks and pattern sets alike — are on disk. A no-op
+    /// for store-less engines. Campaign entry points call this on
+    /// completion; dropping the engine also syncs.
     pub fn sync_store(&self) {
         if let Some(store) = self.cache.store() {
             store.sync();
@@ -295,6 +297,16 @@ mod tests {
             second.metrics.dict_cache_misses, 0,
             "second identical campaign should simulate nothing"
         );
+        // The pattern cache warms the same way: every site the second
+        // campaign implicates was already generated by the first.
+        assert!(
+            second.metrics.pattern_cache_hits > 0,
+            "warm pattern cache unused"
+        );
+        assert_eq!(
+            second.metrics.pattern_cache_misses, 0,
+            "second identical campaign should run no ATPG"
+        );
         let lifetime = engine.metrics().snapshot(std::time::Duration::ZERO);
         assert_eq!(
             lifetime.dict_cache_hits + lifetime.dict_cache_misses,
@@ -319,6 +331,10 @@ mod tests {
             first.metrics.store_flushes > 0,
             "cold campaign never checkpointed"
         );
+        assert!(
+            first.metrics.pattern_store_flushes > 0,
+            "cold campaign never checkpointed patterns"
+        );
         drop(cold);
 
         // A brand-new engine over the same directory: dictionaries come
@@ -333,6 +349,14 @@ mod tests {
         assert_eq!(
             second.metrics.dict_cache_misses, 0,
             "every first bank touch should be served by a store load"
+        );
+        assert!(
+            second.metrics.pattern_store_hits > 0,
+            "warm campaign never loaded a pattern checkpoint"
+        );
+        assert_eq!(
+            second.metrics.pattern_store_misses, 0,
+            "every first pattern touch should be served by a store load"
         );
     }
 

@@ -209,6 +209,10 @@ mod tests {
             dict_cache_misses: 0,
             store_hits: 0,
             store_misses: 0,
+            pattern_cache_hits: 0,
+            pattern_cache_misses: 0,
+            pattern_store_hits: 0,
+            pattern_store_misses: 0,
             outcome: crate::metrics::TraceOutcome::Undetected,
         });
         assert_eq!(a, b, "traces must not affect report equality");

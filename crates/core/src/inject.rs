@@ -18,8 +18,8 @@ use crate::metrics::{InstanceTrace, MetricsSink, Phase, TraceOutcome};
 use crate::{BehaviorMatrix, CaptureModel, DiagnosisError};
 use rayon::prelude::*;
 use sdd_atpg::fault::{PathDelayFault, TransitionDirection};
-use sdd_atpg::path_atpg::generate_robust_or_nonrobust;
-use sdd_atpg::podem::PodemConfig;
+use sdd_atpg::path_atpg::generate_candidate_tests;
+use sdd_atpg::podem::{PiAssignment, PodemConfig};
 use sdd_atpg::PatternSet;
 use sdd_netlist::profiles::BenchmarkProfile;
 use sdd_netlist::{Circuit, EdgeId};
@@ -113,6 +113,56 @@ impl CampaignConfig {
             podem_backtracks: 300,
             sweep_extra_steps: 2,
         }
+    }
+}
+
+/// The knobs pattern generation actually depends on, split out of
+/// [`CampaignConfig`] so pattern reuse can be keyed on them: the tests
+/// through a site are a pure function of
+/// `(circuit, site, AtpgConfig, seed)` and never see a chip's sampled
+/// delays — which is what makes them cacheable and persistable at all.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AtpgConfig {
+    /// Statistically-longest paths targeted through the site.
+    pub n_paths: usize,
+    /// Hard cap on the applied pattern count.
+    pub max_patterns: usize,
+    /// Search budget per path-test justification.
+    pub path_config: PodemConfig,
+    /// Search budget per transition-fault PODEM run.
+    pub podem_config: PodemConfig,
+}
+
+impl AtpgConfig {
+    /// The pattern-generation slice of a campaign configuration — the
+    /// exact budgets the campaign body has always derived from it.
+    pub fn from_campaign(config: &CampaignConfig) -> AtpgConfig {
+        AtpgConfig {
+            n_paths: config.n_paths,
+            max_patterns: config.max_patterns,
+            path_config: PodemConfig {
+                max_backtracks: config.path_backtracks,
+                max_implications: config.path_backtracks * 4,
+            },
+            podem_config: PodemConfig {
+                max_backtracks: config.podem_backtracks,
+                max_implications: config.podem_backtracks * 4,
+            },
+        }
+    }
+
+    /// Stable FNV-1a fingerprint over every field, for pattern cache and
+    /// store keys (two configs agree iff they generate identical sets
+    /// from identical circuits and seeds).
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = crate::format::StableHasher::new();
+        h.write_usize(self.n_paths);
+        h.write_usize(self.max_patterns);
+        h.write_usize(self.path_config.max_backtracks);
+        h.write_usize(self.path_config.max_implications);
+        h.write_usize(self.podem_config.max_backtracks);
+        h.write_usize(self.podem_config.max_implications);
+        h.finish()
     }
 }
 
@@ -260,6 +310,14 @@ pub fn patterns_through_site(
 /// [`patterns_through_site`] with explicit search budgets: `path_config`
 /// bounds each path-test justification, `podem_config` each
 /// transition-fault PODEM run.
+///
+/// Both pattern sources run their searches concurrently over the rayon
+/// pool, then replay acceptance (push order, dedup, early exit) serially
+/// in canonical candidate order. Every search is pure in its inputs and
+/// every test seed is keyed on the candidate's *position*, never on how
+/// many candidates were accepted before it — so the returned set is
+/// bit-identical to the historical serial loop at any thread count; the
+/// only cost of speculation is wasted work past an early exit.
 #[allow(clippy::too_many_arguments)]
 pub fn patterns_through_site_with(
     circuit: &Circuit,
@@ -275,52 +333,72 @@ pub fn patterns_through_site_with(
     // Scan more candidates than requested paths: the longest ones are
     // often unsensitizable.
     if let Ok(paths) = path::k_longest_through_edge(circuit, timing, site, n_paths * 2) {
+        let candidates: Vec<(PathDelayFault, u64)> = paths
+            .iter()
+            .enumerate()
+            .flat_map(|(pix, p)| {
+                [TransitionDirection::Rise, TransitionDirection::Fall]
+                    .into_iter()
+                    .enumerate()
+                    .map(move |(dix, launch)| {
+                        let test_seed = seed
+                            .wrapping_mul(0x5851_F42D_4C95_7F2D)
+                            .wrapping_add((pix * 2 + dix) as u64);
+                        (PathDelayFault::new(p.clone(), launch), test_seed)
+                    })
+            })
+            .collect();
+        let tests = generate_candidate_tests(circuit, &candidates, path_config);
         let mut path_tests = 0usize;
-        'paths: for (pix, p) in paths.iter().enumerate() {
-            for (dix, launch) in [TransitionDirection::Rise, TransitionDirection::Fall]
-                .into_iter()
-                .enumerate()
-            {
-                let fault = PathDelayFault::new(p.clone(), launch);
-                let test_seed = seed
-                    .wrapping_mul(0x5851_F42D_4C95_7F2D)
-                    .wrapping_add((pix * 2 + dix) as u64);
-                if let Ok(pt) =
-                    generate_robust_or_nonrobust(circuit, &fault, path_config, test_seed)
-                {
-                    if set.push(pt.pattern) {
-                        path_tests += 1;
-                    }
-                    if path_tests >= n_paths || set.len() >= max_patterns {
-                        break 'paths;
-                    }
-                }
+        for pt in tests.into_iter().flatten() {
+            if set.push(pt.pattern) {
+                path_tests += 1;
+            }
+            if path_tests >= n_paths || set.len() >= max_patterns {
+                break;
             }
         }
     }
     // Transition-fault tests through the segment: one PODEM search per
     // direction, then several quiet fills of the resulting partial
     // assignments (different fills sensitize different propagation
-    // paths).
+    // paths). Several independent searches per direction with randomized
+    // backtrace choices (structural diversity), two quiet fills each
+    // (value diversity).
     let fills_per_direction = (max_patterns.saturating_sub(set.len())).max(2);
-    for (dix, direction) in [TransitionDirection::Rise, TransitionDirection::Fall]
-        .into_iter()
-        .enumerate()
-    {
-        let fault = sdd_atpg::fault::TransitionFault::new(site, direction);
-        // Several independent searches with randomized backtrace choices
-        // (structural diversity), two quiet fills each (value diversity).
-        let searches = fills_per_direction.div_ceil(2).min(4);
-        'searches: for si in 0..searches {
-            let decision_seed = seed
-                .wrapping_mul(0xD6E8_FEB8_6659_FD93)
-                .wrapping_add((dix * searches + si) as u64);
-            let Ok((v1, v2)) = sdd_atpg::podem::generate_transition_assignments_diverse(
+    let searches = fills_per_direction.div_ceil(2).min(4);
+    let targets: Vec<(sdd_atpg::fault::TransitionFault, u64)> =
+        [TransitionDirection::Rise, TransitionDirection::Fall]
+            .into_iter()
+            .enumerate()
+            .flat_map(|(dix, direction)| {
+                (0..searches).map(move |si| {
+                    let decision_seed = seed
+                        .wrapping_mul(0xD6E8_FEB8_6659_FD93)
+                        .wrapping_add((dix * searches + si) as u64);
+                    (
+                        sdd_atpg::fault::TransitionFault::new(site, direction),
+                        decision_seed,
+                    )
+                })
+            })
+            .collect();
+    let assignments: Vec<Option<(PiAssignment, PiAssignment)>> = targets
+        .par_iter()
+        .map(|&(fault, decision_seed)| {
+            sdd_atpg::podem::generate_transition_assignments_diverse(
                 circuit,
                 fault,
                 podem_config,
                 Some(decision_seed),
-            ) else {
+            )
+            .ok()
+        })
+        .collect();
+    for dix in 0..2usize {
+        'searches: for si in 0..searches {
+            let (_, decision_seed) = targets[dix * searches + si];
+            let Some((v1, v2)) = &assignments[dix * searches + si] else {
                 continue;
             };
             let fills = fills_per_direction.div_ceil(searches).max(1);
@@ -329,7 +407,7 @@ pub fn patterns_through_site_with(
                     break 'searches;
                 }
                 let test_seed = decision_seed.wrapping_add(1 + fill);
-                set.push(sdd_atpg::podem::fill_pattern_quiet(&v1, &v2, test_seed));
+                set.push(sdd_atpg::podem::fill_pattern_quiet(v1, v2, test_seed));
             }
         }
     }
@@ -523,11 +601,12 @@ pub(crate) fn diagnose_instance_impl(
 ) -> Option<InstanceOutcome> {
     let local = MetricsSink::new();
     let chip = timing.sample_instance_indexed(config.seed ^ 0xC41F, index as u64);
+    let atpg = AtpgConfig::from_campaign(config);
     let mut draws: u64 = 0;
     let mut last_edge: Option<EdgeId> = None;
     let mut last_delta = 0.0f64;
     let mut last_patterns = 0usize;
-    let mut observed: Option<(PatternSet, crate::BehaviorMatrix)> = None;
+    let mut observed: Option<(std::sync::Arc<PatternSet>, crate::BehaviorMatrix)> = None;
     for attempt in 0..config.max_redraws {
         draws += 1;
         let defect_seed = config
@@ -546,22 +625,7 @@ pub(crate) fn diagnose_instance_impl(
             .wrapping_mul(0x94D0_49BB_1331_11EB)
             .wrapping_add(defect.edge.index() as u64);
         let patterns = local.time(Phase::Patterns, || {
-            patterns_through_site_with(
-                circuit,
-                timing,
-                defect.edge,
-                config.n_paths,
-                config.max_patterns,
-                site_seed,
-                PodemConfig {
-                    max_backtracks: config.path_backtracks,
-                    max_implications: config.path_backtracks * 4,
-                },
-                PodemConfig {
-                    max_backtracks: config.podem_backtracks,
-                    max_implications: config.podem_backtracks * 4,
-                },
-            )
+            cache.patterns_for_site(circuit, timing, defect.edge, &atpg, site_seed, Some(&local))
         });
         last_patterns = patterns.len();
         if patterns.is_empty() {
@@ -644,6 +708,10 @@ pub(crate) fn diagnose_instance_impl(
         dict_cache_misses: scratch.dict_cache_misses,
         store_hits: scratch.store_hits,
         store_misses: scratch.store_misses,
+        pattern_cache_hits: scratch.pattern_cache_hits,
+        pattern_cache_misses: scratch.pattern_cache_misses,
+        pattern_store_hits: scratch.pattern_store_hits,
+        pattern_store_misses: scratch.pattern_store_misses,
         outcome,
     };
     metrics.record_instance(&scratch, trace.clone());

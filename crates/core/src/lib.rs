@@ -79,9 +79,10 @@ pub use dictionary::{DictionaryConfig, ProbabilisticDictionary, SimKernel, Suspe
 pub use engine::{DiagnosisEngine, DiagnosisEngineBuilder};
 pub use error::{DiagnosisError, SddError};
 pub use error_fn::ErrorFunction;
+pub use inject::AtpgConfig;
 pub use metrics::{
     CampaignMetrics, HistogramSnapshot, InstanceTrace, LatencyHistogram, MetricsExport,
     MetricsReport, MetricsSink, Phase, PhaseLatencies, TraceOutcome, METRICS_SCHEMA_VERSION,
     TRACE_RING_CAPACITY,
 };
-pub use store::{DictionaryStore, StoreKey};
+pub use store::{DictionaryStore, PatternKey, StoreKey};

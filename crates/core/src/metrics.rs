@@ -413,6 +413,20 @@ pub struct InstanceTrace {
     pub store_hits: u64,
     /// Store probes by this instance that found no usable checkpoint.
     pub store_misses: u64,
+    /// Pattern-cache requests this instance served from memory.
+    #[serde(default)]
+    pub pattern_cache_hits: u64,
+    /// Pattern-cache requests this instance had to generate (or load
+    /// from the store) for.
+    #[serde(default)]
+    pub pattern_cache_misses: u64,
+    /// Pattern sets this instance loaded from the on-disk store.
+    #[serde(default)]
+    pub pattern_store_hits: u64,
+    /// Pattern-store probes by this instance that found no usable
+    /// checkpoint.
+    #[serde(default)]
+    pub pattern_store_misses: u64,
     /// How the diagnosis ended.
     pub outcome: TraceOutcome,
 }
@@ -439,6 +453,12 @@ pub struct MetricsSink {
     store_misses: AtomicU64,
     store_flushes: AtomicU64,
     store_load_nanos: AtomicU64,
+    pattern_cache_hits: AtomicU64,
+    pattern_cache_misses: AtomicU64,
+    pattern_store_hits: AtomicU64,
+    pattern_store_misses: AtomicU64,
+    pattern_store_flushes: AtomicU64,
+    pattern_store_load_nanos: AtomicU64,
     phase_hists: [LatencyHistogram; 4],
     traces: Mutex<VecDeque<(u64, InstanceTrace)>>,
     trace_seq: AtomicU64,
@@ -513,6 +533,40 @@ impl MetricsSink {
         self.store_flushes.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Records a pattern-cache request served from memory (no ATPG, no
+    /// store I/O).
+    pub fn record_pattern_cache_hit(&self) {
+        self.pattern_cache_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a pattern-cache request that was not in memory (the set
+    /// was then either loaded from the store or regenerated).
+    pub fn record_pattern_cache_miss(&self) {
+        self.pattern_cache_misses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a pattern set loaded intact from the on-disk store
+    /// (`nanos` of load/validate time), skipping its ATPG run.
+    pub fn record_pattern_store_hit(&self, nanos: u64) {
+        self.pattern_store_hits.fetch_add(1, Ordering::Relaxed);
+        self.pattern_store_load_nanos
+            .fetch_add(nanos, Ordering::Relaxed);
+    }
+
+    /// Records a pattern-store probe that found no usable checkpoint
+    /// (absent, truncated, corrupt or mismatched file — all degrade to
+    /// regeneration).
+    pub fn record_pattern_store_miss(&self, nanos: u64) {
+        self.pattern_store_misses.fetch_add(1, Ordering::Relaxed);
+        self.pattern_store_load_nanos
+            .fetch_add(nanos, Ordering::Relaxed);
+    }
+
+    /// Records one pattern set checkpointed to the on-disk store.
+    pub fn record_pattern_store_flush(&self) {
+        self.pattern_store_flushes.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Folds one diagnosed instance into the sink: every counter of
     /// `instance` (a snapshot of a per-instance scratch sink; its
     /// `total_nanos` is ignored) is added to the aggregates, each phase
@@ -550,6 +604,18 @@ impl MetricsSink {
             .fetch_add(instance.store_flushes, Ordering::Relaxed);
         self.store_load_nanos
             .fetch_add(instance.store_load_nanos, Ordering::Relaxed);
+        self.pattern_cache_hits
+            .fetch_add(instance.pattern_cache_hits, Ordering::Relaxed);
+        self.pattern_cache_misses
+            .fetch_add(instance.pattern_cache_misses, Ordering::Relaxed);
+        self.pattern_store_hits
+            .fetch_add(instance.pattern_store_hits, Ordering::Relaxed);
+        self.pattern_store_misses
+            .fetch_add(instance.pattern_store_misses, Ordering::Relaxed);
+        self.pattern_store_flushes
+            .fetch_add(instance.pattern_store_flushes, Ordering::Relaxed);
+        self.pattern_store_load_nanos
+            .fetch_add(instance.pattern_store_load_nanos, Ordering::Relaxed);
         self.phase_hists[Phase::Patterns.ix()].record(instance.patterns_nanos);
         self.phase_hists[Phase::Observe.ix()].record(instance.observe_nanos);
         self.phase_hists[Phase::Dictionary.ix()].record(instance.dictionary_nanos);
@@ -601,6 +667,12 @@ impl MetricsSink {
             store_misses: self.store_misses.load(Ordering::Relaxed),
             store_flushes: self.store_flushes.load(Ordering::Relaxed),
             store_load_nanos: self.store_load_nanos.load(Ordering::Relaxed),
+            pattern_cache_hits: self.pattern_cache_hits.load(Ordering::Relaxed),
+            pattern_cache_misses: self.pattern_cache_misses.load(Ordering::Relaxed),
+            pattern_store_hits: self.pattern_store_hits.load(Ordering::Relaxed),
+            pattern_store_misses: self.pattern_store_misses.load(Ordering::Relaxed),
+            pattern_store_flushes: self.pattern_store_flushes.load(Ordering::Relaxed),
+            pattern_store_load_nanos: self.pattern_store_load_nanos.load(Ordering::Relaxed),
             phase_latency: PhaseLatencies {
                 patterns: self.phase_hists[Phase::Patterns.ix()].snapshot(),
                 observe: self.phase_hists[Phase::Observe.ix()].snapshot(),
@@ -653,6 +725,27 @@ pub struct CampaignMetrics {
     pub store_flushes: u64,
     /// Aggregate nanoseconds spent reading and validating store files.
     pub store_load_nanos: u64,
+    /// Pattern-cache requests served from memory (no ATPG, no store I/O).
+    #[serde(default)]
+    pub pattern_cache_hits: u64,
+    /// Pattern-cache requests not in memory (each one either a store
+    /// load or a fresh ATPG run).
+    #[serde(default)]
+    pub pattern_cache_misses: u64,
+    /// Pattern sets loaded intact from the on-disk store (each one a
+    /// full ATPG run skipped).
+    #[serde(default)]
+    pub pattern_store_hits: u64,
+    /// Pattern-store probes that found no usable checkpoint (absent,
+    /// corrupt or mismatched files — they degrade to regeneration).
+    #[serde(default)]
+    pub pattern_store_misses: u64,
+    /// Pattern sets checkpointed to the on-disk store.
+    #[serde(default)]
+    pub pattern_store_flushes: u64,
+    /// Aggregate nanoseconds reading and validating pattern checkpoints.
+    #[serde(default)]
+    pub pattern_store_load_nanos: u64,
     /// Per-instance latency distribution of each phase (one observation
     /// per diagnosed instance; the summed `*_nanos` fields above are the
     /// corresponding totals).
@@ -694,6 +787,24 @@ impl CampaignMetrics {
             store_load_nanos: self
                 .store_load_nanos
                 .saturating_sub(baseline.store_load_nanos),
+            pattern_cache_hits: self
+                .pattern_cache_hits
+                .saturating_sub(baseline.pattern_cache_hits),
+            pattern_cache_misses: self
+                .pattern_cache_misses
+                .saturating_sub(baseline.pattern_cache_misses),
+            pattern_store_hits: self
+                .pattern_store_hits
+                .saturating_sub(baseline.pattern_store_hits),
+            pattern_store_misses: self
+                .pattern_store_misses
+                .saturating_sub(baseline.pattern_store_misses),
+            pattern_store_flushes: self
+                .pattern_store_flushes
+                .saturating_sub(baseline.pattern_store_flushes),
+            pattern_store_load_nanos: self
+                .pattern_store_load_nanos
+                .saturating_sub(baseline.pattern_store_load_nanos),
             phase_latency: self.phase_latency.since(&baseline.phase_latency),
         }
     }
@@ -706,6 +817,18 @@ impl CampaignMetrics {
             None
         } else {
             Some(100.0 * self.dict_cache_hits as f64 / total as f64)
+        }
+    }
+
+    /// Pattern-cache hit rate in percent, under the same convention as
+    /// [`cache_hit_percent`](Self::cache_hit_percent): `None` when the
+    /// pattern cache was never queried, never a misleading `0.0`.
+    pub fn pattern_cache_hit_percent(&self) -> Option<f64> {
+        let total = self.pattern_cache_hits + self.pattern_cache_misses;
+        if total == 0 {
+            None
+        } else {
+            Some(100.0 * self.pattern_cache_hits as f64 / total as f64)
         }
     }
 
@@ -749,6 +872,25 @@ impl CampaignMetrics {
             "  dictionary cache: {} hits / {} misses ({hit_rate}); {} samples simulated",
             self.dict_cache_hits, self.dict_cache_misses, self.samples_simulated,
         ));
+        if self.pattern_cache_hits + self.pattern_cache_misses > 0 {
+            let pattern_rate = match self.pattern_cache_hit_percent() {
+                Some(pct) => format!("{pct:.0}% hit rate"),
+                None => "hit rate n/a".to_string(),
+            };
+            out.push_str(&format!(
+                "\n  pattern cache: {} hits / {} misses ({pattern_rate})",
+                self.pattern_cache_hits, self.pattern_cache_misses,
+            ));
+        }
+        if self.pattern_store_hits + self.pattern_store_misses + self.pattern_store_flushes > 0 {
+            out.push_str(&format!(
+                "\n  pattern store: {} loads / {} misses ({} spent loading); {} sets flushed",
+                self.pattern_store_hits,
+                self.pattern_store_misses,
+                fmt_nanos(self.pattern_store_load_nanos),
+                self.pattern_store_flushes,
+            ));
+        }
         if self.cone_evals > 0 {
             out.push_str(&format!(
                 "\n  dictionary kernel: {} cone evals in {}",
@@ -874,7 +1016,7 @@ impl MetricsReport {
         }
         if self.traces.len() as u64 == self.trials {
             let sums = |f: fn(&InstanceTrace) -> u64| self.traces.iter().map(f).sum::<u64>();
-            let checks: [(&str, u64, u64); 8] = [
+            let checks: [(&str, u64, u64); 12] = [
                 (
                     "patterns_nanos",
                     sums(|t| t.patterns_nanos),
@@ -914,6 +1056,26 @@ impl MetricsReport {
                     "store_misses",
                     sums(|t| t.store_misses),
                     self.counters.store_misses,
+                ),
+                (
+                    "pattern_cache_hits",
+                    sums(|t| t.pattern_cache_hits),
+                    self.counters.pattern_cache_hits,
+                ),
+                (
+                    "pattern_cache_misses",
+                    sums(|t| t.pattern_cache_misses),
+                    self.counters.pattern_cache_misses,
+                ),
+                (
+                    "pattern_store_hits",
+                    sums(|t| t.pattern_store_hits),
+                    self.counters.pattern_store_hits,
+                ),
+                (
+                    "pattern_store_misses",
+                    sums(|t| t.pattern_store_misses),
+                    self.counters.pattern_store_misses,
                 ),
             ];
             for (what, traced, aggregate) in checks {
@@ -1161,6 +1323,12 @@ mod tests {
             store_misses: 9,
             store_flushes: 10,
             store_load_nanos: 11,
+            pattern_cache_hits: 14,
+            pattern_cache_misses: 15,
+            pattern_store_hits: 16,
+            pattern_store_misses: 17,
+            pattern_store_flushes: 18,
+            pattern_store_load_nanos: 19,
             phase_latency: PhaseLatencies {
                 patterns: hist.snapshot(),
                 ..PhaseLatencies::default()
@@ -1373,6 +1541,10 @@ mod tests {
             dict_cache_misses: 0,
             store_hits: 0,
             store_misses: 0,
+            pattern_cache_hits: 0,
+            pattern_cache_misses: 0,
+            pattern_store_hits: 0,
+            pattern_store_misses: 0,
             outcome: TraceOutcome::Diagnosed,
         }
     }

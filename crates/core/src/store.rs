@@ -40,7 +40,7 @@ use crate::format::{
     MAGIC,
 };
 use crate::metrics::MetricsSink;
-use sdd_atpg::PatternSet;
+use sdd_atpg::{PatternSet, TestPattern};
 use sdd_netlist::{Circuit, EdgeId};
 use sdd_timing::{CircuitTiming, Dist};
 use std::collections::HashMap;
@@ -57,8 +57,18 @@ const SECTION_KEY: u32 = 0x5344_4B31; // "SDK1"
 const SECTION_BASE: u32 = 0x5344_4231; // "SDB1"
 const SECTION_SUSPECTS: u32 = 0x5344_5331; // "SDS1"
 
+/// Section tags of the pattern-checkpoint layout (see DESIGN.md §4.6).
+const SECTION_PATTERN_KEY: u32 = 0x5350_4B31; // "SPK1"
+const SECTION_PATTERNS: u32 = 0x5350_5431; // "SPT1"
+
 /// File extension of dictionary checkpoints.
 const STORE_EXT: &str = "sdds";
+
+/// XOR'd into a [`PatternKey`] fingerprint before it enters the shared
+/// commit-sequence map, so a (vanishingly unlikely) fingerprint collision
+/// between a dictionary key and a pattern key cannot entangle their
+/// flush ordering.
+const PATTERN_COMMIT_NAMESPACE: u64 = 0x5350_4154_5345_5431; // "SPATSET1"
 
 /// Everything a cached dictionary bank depends on, reduced to stable
 /// 64-bit fingerprints. This is both the in-memory cache key of
@@ -172,6 +182,45 @@ pub(crate) fn fingerprint_dist(dist: &Dist) -> u64 {
     h.finish()
 }
 
+/// Everything a per-site ATPG pattern set depends on, reduced to stable
+/// fingerprints. Patterns are a pure function of (circuit, suspected
+/// arc, ATPG knobs, site seed) — never of a chip's sampled delays — so
+/// this key is both the in-memory pattern-cache key and the identity of
+/// a `pat-*.sdds` checkpoint file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PatternKey {
+    /// Fingerprint of the circuit and its statistical timing model
+    /// (shared with [`StoreKey::model_fp`]).
+    pub model_fp: u64,
+    /// Index of the suspected arc the patterns target.
+    pub edge: u64,
+    /// Fingerprint of the ATPG configuration
+    /// ([`AtpgConfig::fingerprint`](crate::inject::AtpgConfig::fingerprint)).
+    pub atpg_fp: u64,
+    /// The per-site ATPG seed.
+    pub seed: u64,
+}
+
+impl PatternKey {
+    /// Collapses the key to one fingerprint (the file name stem).
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = StableHasher::new();
+        for field in self.fields() {
+            h.write_u64(field);
+        }
+        h.finish()
+    }
+
+    /// File name of this key's checkpoint inside a store directory.
+    pub fn file_name(&self) -> String {
+        format!("pat-{:016x}.{STORE_EXT}", self.fingerprint())
+    }
+
+    fn fields(&self) -> [u64; 4] {
+        [self.model_fp, self.edge, self.atpg_fp, self.seed]
+    }
+}
+
 /// A deserialized checkpoint: the defect-free baseline grids plus the
 /// per-suspect fail grids, exactly as the in-memory cache banks hold
 /// them.
@@ -233,13 +282,18 @@ impl DictionaryStore {
         &self.dir
     }
 
-    /// Number of checkpoint files currently in the store.
+    /// Number of dictionary checkpoint files (`dict-*.sdds`) currently
+    /// in the store.
     pub fn num_checkpoints(&self) -> usize {
         fs::read_dir(&self.dir)
             .map(|entries| {
                 entries
                     .flatten()
-                    .filter(|e| e.path().extension().and_then(|x| x.to_str()) == Some(STORE_EXT))
+                    .filter(|e| {
+                        let name = e.file_name();
+                        let name = name.to_string_lossy();
+                        name.starts_with("dict-") && name.ends_with(STORE_EXT)
+                    })
                     .count()
             })
             .unwrap_or(0)
@@ -301,6 +355,86 @@ impl DictionaryStore {
             // (a subset of the bank) must never land after — and thereby
             // clobber — a later one. The lock is held across the rename
             // so check-then-commit is atomic.
+            let mut committed = committed.lock().expect("store commit lock");
+            let newest = committed.get(&fingerprint).copied();
+            if newest.is_some_and(|n| n > seq) {
+                return;
+            }
+            if write_atomic(&tmp_path, &final_path, &bytes).is_ok() {
+                committed.insert(fingerprint, seq);
+            }
+        });
+        self.pending.lock().expect("store flush lock").push(handle);
+    }
+
+    /// Number of pattern checkpoint files (`pat-*.sdds`) in the store.
+    pub fn num_pattern_checkpoints(&self) -> usize {
+        fs::read_dir(&self.dir)
+            .map(|entries| {
+                entries
+                    .flatten()
+                    .filter(|e| {
+                        let name = e.file_name();
+                        let name = name.to_string_lossy();
+                        name.starts_with("pat-") && name.ends_with(STORE_EXT)
+                    })
+                    .count()
+            })
+            .unwrap_or(0)
+    }
+
+    /// Loads the pattern checkpoint for `key`, if a valid one exists.
+    /// Same degradation contract as [`DictionaryStore::load`]: *any*
+    /// failure — absent file, truncation, bit flip, version skew, key
+    /// mismatch, width mismatch — is a recorded miss, never a panic, and
+    /// the caller regenerates.
+    pub(crate) fn load_patterns(
+        &self,
+        key: &PatternKey,
+        width: usize,
+        metrics: Option<&MetricsSink>,
+    ) -> Option<PatternSet> {
+        let start = Instant::now();
+        let patterns = fs::read(self.dir.join(key.file_name()))
+            .ok()
+            .and_then(|bytes| decode_patterns(&bytes, key).ok())
+            .filter(|set| set.iter().all(|p| p.width() == width));
+        if let Some(m) = metrics {
+            let nanos = start.elapsed().as_nanos() as u64;
+            match patterns {
+                Some(_) => m.record_pattern_store_hit(nanos),
+                None => m.record_pattern_store_miss(nanos),
+            }
+        }
+        patterns
+    }
+
+    /// Checkpoints one per-site pattern set. Serialization is immediate;
+    /// the atomic write happens on a background thread under the same
+    /// commit-sequence discipline as dictionary banks (namespaced so the
+    /// two kinds of checkpoint never contend on a sequence slot). Write
+    /// failures are swallowed — the store is an accelerator.
+    pub(crate) fn flush_patterns(
+        &self,
+        key: &PatternKey,
+        patterns: &PatternSet,
+        metrics: Option<&MetricsSink>,
+    ) {
+        let bytes = encode_patterns(key, patterns);
+        let fingerprint = key.fingerprint() ^ PATTERN_COMMIT_NAMESPACE;
+        let seq = self.tmp_counter.fetch_add(1, Ordering::Relaxed);
+        let final_path = self.dir.join(key.file_name());
+        let tmp_path = self.dir.join(format!(
+            ".{:016x}-{}-{}.tmp",
+            fingerprint,
+            std::process::id(),
+            seq,
+        ));
+        if let Some(m) = metrics {
+            m.record_pattern_store_flush();
+        }
+        let committed = Arc::clone(&self.committed);
+        let handle = std::thread::spawn(move || {
             let mut committed = committed.lock().expect("store commit lock");
             let newest = committed.get(&fingerprint).copied();
             if newest.is_some_and(|n| n > seq) {
@@ -473,6 +607,89 @@ pub(crate) fn decode_bank(bytes: &[u8], want: &StoreKey) -> Result<StoredBank, F
         return Err(FormatError::Malformed("trailing bytes after last section"));
     }
     Ok(StoredBank { base, suspects })
+}
+
+/// Serializes one per-site pattern set. Layout mirrors the dictionary
+/// bank files: `MAGIC`, version, a framed key section ("SPK1") and a
+/// framed payload section ("SPT1"), each checksummed by
+/// [`write_section`]. Vectors are stored one byte per bit — the files
+/// are a few kilobytes, so packing is not worth the decode branch.
+pub(crate) fn encode_patterns(key: &PatternKey, patterns: &PatternSet) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(&MAGIC);
+    out.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+
+    let mut kw = ByteWriter::new();
+    for field in key.fields() {
+        kw.put_u64(field);
+    }
+    write_section(&mut out, SECTION_PATTERN_KEY, &kw.into_bytes());
+
+    let mut pw = ByteWriter::new();
+    pw.put_usize(patterns.len());
+    for p in patterns.iter() {
+        pw.put_usize(p.width());
+        let bytes: Vec<u8> = p.v1.iter().chain(&p.v2).map(|&b| b as u8).collect();
+        pw.put_bytes(&bytes);
+    }
+    write_section(&mut out, SECTION_PATTERNS, &pw.into_bytes());
+    out
+}
+
+/// Parses and validates a pattern checkpoint against the wanted key.
+pub(crate) fn decode_patterns(bytes: &[u8], want: &PatternKey) -> Result<PatternSet, FormatError> {
+    let mut r = ByteReader::new(bytes);
+    if r.take(MAGIC.len())? != MAGIC {
+        return Err(FormatError::BadMagic);
+    }
+    let version = r.get_u32()?;
+    if version != FORMAT_VERSION {
+        return Err(FormatError::BadVersion { found: version });
+    }
+
+    let key_payload = r.read_section(SECTION_PATTERN_KEY)?;
+    let mut kr = ByteReader::new(key_payload);
+    let mut found = [0u64; 4];
+    for slot in &mut found {
+        *slot = kr.get_u64()?;
+    }
+    if found != want.fields() {
+        return Err(FormatError::Malformed("pattern key mismatch"));
+    }
+
+    let payload = r.read_section(SECTION_PATTERNS)?;
+    let mut pr = ByteReader::new(payload);
+    let n_patterns = pr.get_usize()?;
+    let mut set = PatternSet::new();
+    for _ in 0..n_patterns {
+        let width = pr.get_usize()?;
+        if width > pr.remaining() / 2 {
+            return Err(FormatError::Truncated);
+        }
+        let decode_bits = |raw: &[u8]| -> Result<Vec<bool>, FormatError> {
+            raw.iter()
+                .map(|&b| match b {
+                    0 => Ok(false),
+                    1 => Ok(true),
+                    _ => Err(FormatError::Malformed("pattern bit not 0/1")),
+                })
+                .collect()
+        };
+        let v1 = decode_bits(pr.take(width)?)?;
+        let v2 = decode_bits(pr.take(width)?)?;
+        if !set.push(TestPattern::new(v1, v2)) {
+            // The writer serialized a deduplicated set; a duplicate here
+            // means the bytes are not a faithful pattern-set image.
+            return Err(FormatError::Malformed("duplicate pattern in checkpoint"));
+        }
+    }
+    if pr.remaining() != 0 {
+        return Err(FormatError::Malformed("trailing bytes in pattern section"));
+    }
+    if r.remaining() != 0 {
+        return Err(FormatError::Malformed("trailing bytes after last section"));
+    }
+    Ok(set)
 }
 
 fn put_grid(w: &mut ByteWriter, grid: &BitGrid) {
@@ -650,6 +867,110 @@ mod tests {
         let store = DictionaryStore::open(dir.path()).expect("reopens");
         assert_eq!(store.num_checkpoints(), 1);
         assert!(!dir.path().join(".orphan.tmp").exists(), "temp file swept");
+    }
+
+    fn demo_pattern_key() -> PatternKey {
+        PatternKey {
+            model_fp: 21,
+            edge: 7,
+            atpg_fp: 9,
+            seed: 4,
+        }
+    }
+
+    fn demo_patterns() -> PatternSet {
+        let mut set = PatternSet::new();
+        set.push(TestPattern::new(
+            vec![false, true, true],
+            vec![true, true, false],
+        ));
+        set.push(TestPattern::new(
+            vec![true, false, false],
+            vec![true, true, true],
+        ));
+        set
+    }
+
+    #[test]
+    fn pattern_encode_decode_roundtrip_is_exact() {
+        let set = demo_patterns();
+        let bytes = encode_patterns(&demo_pattern_key(), &set);
+        let back = decode_patterns(&bytes, &demo_pattern_key()).expect("decodes");
+        assert_eq!(set, back);
+    }
+
+    #[test]
+    fn pattern_checkpoint_rejects_corruption_truncation_and_wrong_key() {
+        let clean = encode_patterns(&demo_pattern_key(), &demo_patterns());
+        let reference = decode_patterns(&clean, &demo_pattern_key()).unwrap();
+        for i in 0..clean.len() {
+            let mut bad = clean.clone();
+            bad[i] ^= 0x40;
+            if let Ok(set) = decode_patterns(&bad, &demo_pattern_key()) {
+                assert_eq!(set, reference, "byte {i} changed patterns silently");
+            }
+        }
+        for len in 0..clean.len() {
+            assert!(
+                decode_patterns(&clean[..len], &demo_pattern_key()).is_err(),
+                "prefix of {len} bytes decoded"
+            );
+        }
+        let mut other = demo_pattern_key();
+        other.seed ^= 1;
+        assert!(matches!(
+            decode_patterns(&clean, &other),
+            Err(FormatError::Malformed("pattern key mismatch"))
+        ));
+    }
+
+    #[test]
+    fn pattern_store_load_and_flush_roundtrip_on_disk() {
+        let dir = crate::testutil::TestDir::new("pattern-store-unit");
+        let store = DictionaryStore::open(dir.path()).expect("opens");
+        let key = demo_pattern_key();
+        let metrics = MetricsSink::new();
+        assert!(store.load_patterns(&key, 3, Some(&metrics)).is_none());
+        let set = demo_patterns();
+        store.flush_patterns(&key, &set, Some(&metrics));
+        store.sync();
+        assert_eq!(store.num_pattern_checkpoints(), 1);
+        assert_eq!(
+            store.load_patterns(&key, 3, Some(&metrics)).as_ref(),
+            Some(&set)
+        );
+        // Width mismatches are misses even though the file is valid.
+        assert!(store.load_patterns(&key, 2, None).is_none());
+        let snap = metrics.snapshot(std::time::Duration::ZERO);
+        assert_eq!(snap.pattern_store_misses, 1);
+        assert_eq!(snap.pattern_store_hits, 1);
+        assert_eq!(snap.pattern_store_flushes, 1);
+        // Pattern and dictionary checkpoints coexist in one directory
+        // without being counted as each other.
+        assert_eq!(store.num_checkpoints(), 0);
+        let (base, suspects) = demo_bank();
+        let refs: Vec<(EdgeId, &SuspectMasks)> = suspects.iter().map(|(e, m)| (*e, m)).collect();
+        store.flush(&demo_key(), &base, &refs, None);
+        store.sync();
+        assert_eq!(store.num_checkpoints(), 1);
+        assert_eq!(store.num_pattern_checkpoints(), 1);
+    }
+
+    #[test]
+    fn pattern_key_fingerprints_separate_every_field() {
+        let base = demo_pattern_key();
+        let mut seen = std::collections::HashSet::new();
+        seen.insert(base.fingerprint());
+        for field in 0..4 {
+            let mut k = base;
+            match field {
+                0 => k.model_fp ^= 1,
+                1 => k.edge ^= 1,
+                2 => k.atpg_fp ^= 1,
+                _ => k.seed ^= 1,
+            }
+            assert!(seen.insert(k.fingerprint()), "field {field} not separated");
+        }
     }
 
     #[test]

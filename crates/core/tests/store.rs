@@ -24,6 +24,17 @@ fn checkpoint_files(dir: &Path) -> Vec<PathBuf> {
     files
 }
 
+fn pattern_checkpoint_files(dir: &Path) -> Vec<PathBuf> {
+    checkpoint_files(dir)
+        .into_iter()
+        .filter(|p| {
+            p.file_name()
+                .map(|n| n.to_string_lossy().starts_with("pat-"))
+                .unwrap_or(false)
+        })
+        .collect()
+}
+
 fn run(dir: &Path, seed: u64) -> AccuracyReport {
     DiagnosisEngine::builder()
         .store_dir(dir)
@@ -102,6 +113,55 @@ fn corrupted_checkpoints_degrade_to_recomputation() {
             "both swapped checkpoints should be rejected"
         );
     }
+}
+
+#[test]
+fn corrupted_pattern_checkpoints_degrade_to_regeneration() {
+    let guard = TestDir::new("store-it-pattern-corrupt");
+    let dir = guard.path();
+
+    let baseline = run(dir, 11);
+    assert!(
+        !pattern_checkpoint_files(dir).is_empty(),
+        "campaign left no pattern checkpoints"
+    );
+    let warm = run(dir, 11);
+    assert_eq!(baseline, warm, "loaded patterns changed the report");
+    assert!(warm.metrics.pattern_store_hits > 0, "warm run never loaded");
+    assert_eq!(warm.metrics.pattern_store_misses, 0);
+
+    // Corrupt *only* the pattern checkpoints (truncate half, flip a byte
+    // in the rest): every one must be rejected and silently regenerated
+    // while dictionary banks keep loading from their untouched files.
+    for (i, f) in pattern_checkpoint_files(dir).into_iter().enumerate() {
+        let mut bytes = fs::read(&f).unwrap();
+        if i % 2 == 0 {
+            bytes.truncate(bytes.len() / 2);
+        } else {
+            let mid = bytes.len() / 2;
+            bytes[mid] ^= 0x10;
+        }
+        fs::write(&f, &bytes).unwrap();
+    }
+    let after = run(dir, 11);
+    assert_eq!(baseline, after, "pattern corruption changed the report");
+    assert_eq!(after.metrics.pattern_store_hits, 0);
+    assert!(after.metrics.pattern_store_misses > 0);
+    assert!(
+        after.metrics.pattern_store_flushes > 0,
+        "regenerated patterns were not re-checkpointed"
+    );
+    assert!(
+        after.metrics.store_hits > 0,
+        "dictionary checkpoints should be unaffected"
+    );
+
+    // The regeneration re-flushed valid checkpoints: one more run loads
+    // them all again.
+    let healed = run(dir, 11);
+    assert_eq!(baseline, healed);
+    assert!(healed.metrics.pattern_store_hits > 0);
+    assert_eq!(healed.metrics.pattern_store_misses, 0);
 }
 
 #[test]
