@@ -11,8 +11,16 @@
 //!
 //! ```text
 //! cargo run -p sdd-bench --release --bin ablation \
-//!     [-- --seed 2] [--circuit s1196] [--metrics-json PATH]
+//!     [-- --seed 2] [--circuit s1196] \
+//!     [--kernel scalar|batched|analytic] [--metrics-json PATH]
 //! ```
+//!
+//! `--kernel` swaps the dictionary simulation kernel under *every*
+//! variant (default: batched Monte-Carlo), so the whole ablation can be
+//! re-read under the analytic moment-propagation dictionary. The two
+//! Monte-Carlo budget variants are only meaningful for the MC kernels —
+//! the analytic kernel ignores `n_samples` — and will simply repeat the
+//! baseline numbers under `--kernel analytic`.
 //!
 //! With `--metrics-json <path>`, one [`sdd_core::MetricsReport`] per
 //! completed variant (its `circuit` field tagged `circuit / label`) is
@@ -21,7 +29,7 @@
 use sdd_bench::{flag_value, write_metrics_export};
 use sdd_core::engine::DiagnosisEngine;
 use sdd_core::inject::{CampaignConfig, ClockPolicy};
-use sdd_core::{CaptureModel, MetricsReport};
+use sdd_core::{CaptureModel, MetricsReport, SimKernel};
 use sdd_netlist::profiles;
 use std::time::Instant;
 
@@ -31,11 +39,18 @@ fn main() {
         .and_then(|s| s.parse().ok())
         .unwrap_or(2);
     let circuit = flag_value(&args, "--circuit").unwrap_or_else(|| "s1196".to_owned());
+    let kernel = match flag_value(&args, "--kernel").as_deref() {
+        None | Some("batched") => SimKernel::Batched,
+        Some("scalar") => SimKernel::Scalar,
+        Some("analytic") => SimKernel::Analytic,
+        Some(other) => panic!("unknown --kernel `{other}` (scalar|batched|analytic)"),
+    };
     let profile = profiles::by_name(&circuit).expect("known circuit name");
 
-    println!("=== ablation on {circuit} (seed {seed}) ===\n");
+    println!("=== ablation on {circuit} (seed {seed}, kernel {kernel:?}) ===\n");
 
-    let base = CampaignConfig::paper(seed);
+    let mut base = CampaignConfig::paper(seed);
+    base.dictionary.kernel = kernel;
     let variants: Vec<(&str, CampaignConfig)> = vec![
         ("baseline (sweep + arrival capture + 150 MC)", base.clone()),
         ("capture = glitch-exact waveform", {

@@ -25,18 +25,27 @@
 //! faster (≥ 3× under a warm store at paper scale).
 //!
 //! `--quick` swaps the paper-scale workload for the reduced test
-//! configuration — the CI sanity mode. `--kernel scalar|batched` skips
-//! the kernel comparison and runs a single kernel (for profiling).
+//! configuration — the CI sanity mode. `--kernel scalar|batched|analytic`
+//! skips the kernel comparison and runs a single kernel (for profiling);
+//! `--kernel all` runs the analytic leg ahead of the two MC legs. The
+//! analytic kernel is *not* bit-identical to MC (it is sampling-free
+//! moment propagation), so its leg is checked structurally instead —
+//! zero MC cone evals, zero samples simulated, analytic counters
+//! populated — and compared on wall-clock; bit-identity continues to be
+//! asserted among the MC legs (and for the analytic leg against its own
+//! serial oracle when it is the only kernel).
 //! `--metrics-json <path>` additionally writes the primary and warm
 //! legs' counters, per-phase latency histograms and per-instance traces
 //! as a [`sdd_core::MetricsExport`] document (see `metrics_check`); with
-//! `--quick` the same document is also written to `BENCH_speedup.json`
-//! at the repository root, the committed CI artifact.
+//! `--quick` under the default kernel selection the same document is
+//! also written to `BENCH_speedup.json` at the repository root, the
+//! committed CI artifact (non-default `--kernel` runs never overwrite
+//! it).
 //!
 //! ```text
 //! cargo run -p sdd-bench --release --bin speedup \
 //!     [-- --circuit s1196] [--seed 2] [--store DIR] [--quick] \
-//!     [--kernel scalar|batched|both] [--metrics-json PATH]
+//!     [--kernel scalar|batched|analytic|both|all] [--metrics-json PATH]
 //! ```
 
 use sdd_bench::{flag_value, write_metrics_export};
@@ -58,12 +67,21 @@ fn main() {
     let circuit_name = flag_value(&args, "--circuit").unwrap_or_else(|| "s1196".to_owned());
     let store_dir = flag_value(&args, "--store");
     let quick = args.iter().any(|a| a == "--quick");
-    let kernels: Vec<SimKernel> = match flag_value(&args, "--kernel").as_deref() {
+    let kernel_flag = flag_value(&args, "--kernel");
+    // The analytic leg always runs first: the *last* leg is the serial
+    // oracle's kernel and may be store-backed, both of which must stay
+    // with the production MC kernel whenever one is requested.
+    let kernels: Vec<SimKernel> = match kernel_flag.as_deref() {
         Some("scalar") => vec![SimKernel::Scalar],
         Some("batched") => vec![SimKernel::Batched],
+        Some("analytic") => vec![SimKernel::Analytic],
         Some("both") | None => vec![SimKernel::Scalar, SimKernel::Batched],
-        Some(other) => panic!("unknown --kernel `{other}` (scalar|batched|both)"),
+        Some("all") => vec![SimKernel::Analytic, SimKernel::Scalar, SimKernel::Batched],
+        Some(other) => panic!("unknown --kernel `{other}` (scalar|batched|analytic|both|all)"),
     };
+    // Only the default kernel selection may refresh the committed CI
+    // artifact at the repo root.
+    let canonical_kernels = matches!(kernel_flag.as_deref(), None | Some("both"));
     let profile = profiles::by_name(&circuit_name).expect("known circuit name");
     let mut config = if quick {
         CampaignConfig::quick(seed)
@@ -129,19 +147,46 @@ fn main() {
         serial_elapsed.as_secs_f64() / primary_elapsed.as_secs_f64()
     );
 
-    // Every leg must agree bit-for-bit with the serial oracle.
+    // Every MC leg must agree bit-for-bit with the serial oracle, which
+    // runs the last (MC when any is present) kernel. The analytic leg is
+    // only bit-comparable when it *is* the oracle's kernel — otherwise
+    // it is checked structurally: a genuinely sampling-free dictionary
+    // phase, with the analytic counters carrying the work instead.
+    let serial_kernel = *kernels.last().expect("at least one kernel");
+    let mut identical_legs = 1; // the serial leg itself
     for (kernel, report, _) in &reports {
-        assert_eq!(
-            &serial, report,
-            "{kernel:?} kernel altered the diagnosis results"
-        );
+        if *kernel == SimKernel::Analytic {
+            // The clock-sweep STA phase still draws tested-delay
+            // samples, so `samples_simulated` stays nonzero; the
+            // dictionary-phase draws are exactly what `cone_evals` /
+            // `kernel_nanos` count, and those must read zero.
+            assert_eq!(
+                report.metrics.cone_evals, 0,
+                "analytic kernel booked MC cone evaluations"
+            );
+            assert_eq!(
+                report.metrics.kernel_nanos, 0,
+                "analytic kernel booked MC kernel time"
+            );
+            assert!(
+                report.metrics.analytic_evals > 0,
+                "analytic kernel booked no cone propagations"
+            );
+        }
+        if *kernel == serial_kernel || *kernel != SimKernel::Analytic {
+            assert_eq!(
+                &serial, report,
+                "{kernel:?} kernel altered the diagnosis results"
+            );
+            identical_legs += 1;
+        }
     }
-    println!(
-        "results identical          : yes ({} legs)\n",
-        reports.len() + 1
-    );
+    println!("results identical          : yes ({identical_legs} legs)\n");
 
-    if let [(_, scalar, _), (_, batched, _)] = reports.as_slice() {
+    let leg = |k: SimKernel| reports.iter().find(|(kernel, _, _)| *kernel == k);
+    if let (Some((_, scalar, _)), Some((_, batched, _))) =
+        (leg(SimKernel::Scalar), leg(SimKernel::Batched))
+    {
         let dict_ratio =
             scalar.metrics.dictionary_nanos as f64 / batched.metrics.dictionary_nanos.max(1) as f64;
         let kernel_ratio =
@@ -156,6 +201,21 @@ fn main() {
             std::time::Duration::from_nanos(batched.metrics.kernel_nanos),
             batched.metrics.cone_evals,
         );
+    }
+    if let Some((_, analytic, _)) = leg(SimKernel::Analytic) {
+        println!(
+            "analytic dictionary phase  : {:.2?} ({} cone propagations in {:.2?}, 0 samples drawn)",
+            std::time::Duration::from_nanos(analytic.metrics.dictionary_nanos),
+            analytic.metrics.analytic_evals,
+            std::time::Duration::from_nanos(analytic.metrics.analytic_nanos),
+        );
+        if let Some((_, batched, _)) = leg(SimKernel::Batched) {
+            let ratio = batched.metrics.dictionary_nanos as f64
+                / analytic.metrics.dictionary_nanos.max(1) as f64;
+            println!("analytic vs batched (cold) : {ratio:>7.2}x dictionary-phase speedup\n");
+        } else {
+            println!();
+        }
     }
 
     // Patterns leg: the same configuration against warm pattern state.
@@ -246,7 +306,7 @@ fn main() {
     };
     if let Some(path) = flag_value(&args, "--metrics-json") {
         write_metrics_export(&path, exports());
-        if quick {
+        if quick && canonical_kernels {
             // The committed CI artifact at the repository root: the quick
             // workload is deterministic, so `metrics_check` can validate
             // this file on every run.

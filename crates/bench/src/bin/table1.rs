@@ -8,8 +8,14 @@
 //! ```text
 //! cargo run -p sdd-bench --release --bin table1 \
 //!     [-- --quick] [--circuit s1196] [--seed 2] [--store DIR] \
-//!     [--metrics-json PATH]
+//!     [--kernel scalar|batched|analytic] [--metrics-json PATH]
 //! ```
+//!
+//! `--kernel` selects the dictionary simulation kernel (default:
+//! batched Monte-Carlo). `analytic` replaces the Monte-Carlo dictionary
+//! with sampling-free moment propagation — success rates then reflect
+//! the analytic error model rather than the paper's MC dictionaries, so
+//! compare, don't substitute.
 //!
 //! With `--store <dir>`, dictionary Monte-Carlo banks and per-site ATPG
 //! pattern sets are checkpointed to (and reloaded from) disk, so
@@ -30,7 +36,7 @@
 use sdd_bench::{flag_value, table1_k_values, table1_reference, write_metrics_export};
 use sdd_core::engine::DiagnosisEngine;
 use sdd_core::inject::CampaignConfig;
-use sdd_core::MetricsReport;
+use sdd_core::{MetricsReport, SimKernel};
 use sdd_netlist::profiles::TABLE1_PROFILES;
 use std::time::Instant;
 
@@ -41,6 +47,12 @@ fn main() {
     let seed: u64 = flag_value(&args, "--seed")
         .and_then(|s| s.parse().ok())
         .unwrap_or(2);
+    let kernel = match flag_value(&args, "--kernel").as_deref() {
+        None | Some("batched") => SimKernel::Batched,
+        Some("scalar") => SimKernel::Scalar,
+        Some("analytic") => SimKernel::Analytic,
+        Some(other) => panic!("unknown --kernel `{other}` (scalar|batched|analytic)"),
+    };
     let mut builder = DiagnosisEngine::builder();
     if let Some(dir) = flag_value(&args, "--store") {
         builder = builder.store_dir(dir);
@@ -49,7 +61,7 @@ fn main() {
 
     println!("=== Table I reproduction: diagnosis accuracy on benchmark examples ===");
     println!(
-        "mode: {}, seed: {seed}\n",
+        "mode: {}, seed: {seed}, kernel: {kernel:?}\n",
         if quick { "quick" } else { "paper (N = 20)" }
     );
     if let Some(store) = engine.store() {
@@ -70,6 +82,7 @@ fn main() {
             }
         }
         let mut config = CampaignConfig::paper(seed);
+        config.dictionary.kernel = kernel;
         config.k_values = table1_k_values(profile.name);
         // Scale Monte-Carlo budgets down on the largest circuits so the
         // full table regenerates in minutes; accuracy is insensitive to

@@ -38,8 +38,9 @@
 //! checkpointed in the background whenever simulation extends them.
 
 use crate::dictionary::{
-    assemble_from_masks, simulate_fail_masks, BatchCache, BitGrid, DictionaryConfig,
-    ProbabilisticDictionary, SuspectMasks,
+    assemble_from_masks, assemble_from_probs, simulate_fail_masks, simulate_fail_probs_analytic,
+    AnalyticSuspect, BatchCache, BitGrid, DictionaryConfig, ProbabilisticDictionary, SimKernel,
+    SuspectMasks,
 };
 use crate::inject::AtpgConfig;
 use crate::metrics::MetricsSink;
@@ -62,6 +63,18 @@ struct Bank {
     suspects: HashMap<EdgeId, SuspectMasks>,
 }
 
+/// The cached *analytic* results for one key: probability matrices, not
+/// bit grids. Kept in a separate section from the Monte-Carlo [`Bank`]s
+/// because [`StoreKey`] is deliberately kernel-blind — analytic matrices
+/// are not bit-identical to MC grids and must never satisfy (or pollute)
+/// an MC lookup, nor be checkpointed to the on-disk `.sdds` store.
+#[derive(Debug, Default)]
+struct AnalyticBank {
+    /// `M_crt`; `None` until the first build against this key.
+    base: Option<sdd_timing::crit::ProbMatrix>,
+    suspects: HashMap<EdgeId, AnalyticSuspect>,
+}
+
 /// One pattern-set slot: `None` until the first request for its key
 /// finishes a store load or an ATPG run.
 type PatternSlot = Arc<Mutex<Option<Arc<PatternSet>>>>;
@@ -78,6 +91,9 @@ pub struct DictionaryCache {
     /// slot; the per-key mutex is held across generation, so concurrent
     /// requests for the same site share one ATPG run.
     patterns: RwLock<HashMap<PatternKey, PatternSlot>>,
+    /// Analytic-kernel results, in their own section (memory-only, never
+    /// store-backed; see [`AnalyticBank`]).
+    analytic: RwLock<HashMap<StoreKey, Arc<Mutex<AnalyticBank>>>>,
     store: Option<Arc<DictionaryStore>>,
     /// Memoized chip-instance batches shared by every simulation this
     /// cache runs (batched kernel only; bit-identity preserving — see
@@ -98,6 +114,7 @@ impl DictionaryCache {
         DictionaryCache {
             banks: RwLock::default(),
             patterns: RwLock::default(),
+            analytic: RwLock::default(),
             store: Some(store),
             batches: BatchCache::default(),
         }
@@ -241,6 +258,18 @@ impl DictionaryCache {
                 "behavior/pattern count mismatch"
             );
         }
+        if config.kernel == SimKernel::Analytic {
+            return self.build_analytic(
+                circuit,
+                timing,
+                defect_size,
+                patterns,
+                suspect_edges,
+                clk,
+                config,
+                metrics,
+            );
+        }
         let key = StoreKey::compute(circuit, timing, defect_size, patterns, clk, config);
         let cell = {
             let read = self.banks.read().expect("cache lock");
@@ -341,6 +370,83 @@ impl DictionaryCache {
             &base_refs,
             &ordered,
             behavior,
+        )
+    }
+
+    /// The analytic-kernel build path: probability matrices cached in
+    /// their own memory-only section (no `.sdds` store traffic, no MC
+    /// counters), missing suspects propagated incrementally. Assembly is
+    /// pure repackaging of deterministic matrices, so a cached build is
+    /// bit-identical to
+    /// [`ProbabilisticDictionary::build_with_behavior`] with the same
+    /// arguments. The behaviour matrix plays no role here — the joint
+    /// estimate needs per-sample outcomes, which the analytic kernel
+    /// does not produce.
+    #[allow(clippy::too_many_arguments)]
+    fn build_analytic(
+        &self,
+        circuit: &Circuit,
+        timing: &CircuitTiming,
+        defect_size: &Dist,
+        patterns: &PatternSet,
+        suspect_edges: &[EdgeId],
+        clk: f64,
+        config: DictionaryConfig,
+        metrics: Option<&MetricsSink>,
+    ) -> ProbabilisticDictionary {
+        let key = StoreKey::compute(circuit, timing, defect_size, patterns, clk, config);
+        let cell = {
+            let read = self.analytic.read().expect("analytic cache lock");
+            match read.get(&key) {
+                Some(cell) => Arc::clone(cell),
+                None => {
+                    drop(read);
+                    let mut write = self.analytic.write().expect("analytic cache lock");
+                    Arc::clone(write.entry(key).or_default())
+                }
+            }
+        };
+        let mut bank = cell.lock().expect("analytic bank lock");
+        let missing: Vec<EdgeId> = suspect_edges
+            .iter()
+            .copied()
+            .filter(|e| !bank.suspects.contains_key(e))
+            .collect();
+        let simulated = bank.base.is_none() || !missing.is_empty();
+        if simulated {
+            if let Some(m) = metrics {
+                m.record_cache_miss();
+            }
+            let cones: Vec<DefectCone> = missing
+                .iter()
+                .map(|&e| DefectCone::new(circuit, e))
+                .collect();
+            let (m_crt, suspects) = simulate_fail_probs_analytic(
+                circuit,
+                timing,
+                defect_size,
+                patterns,
+                &cones,
+                clk,
+                metrics,
+            );
+            if bank.base.is_none() {
+                bank.base = Some(m_crt);
+            }
+            for (edge, s) in missing.iter().copied().zip(suspects) {
+                bank.suspects.insert(edge, s);
+            }
+        } else if let Some(m) = metrics {
+            m.record_cache_hit();
+        }
+        let ordered: Vec<(EdgeId, AnalyticSuspect)> = suspect_edges
+            .iter()
+            .map(|&e| (e, bank.suspects[&e].clone()))
+            .collect();
+        assemble_from_probs(
+            clk,
+            bank.base.clone().expect("analytic baseline populated"),
+            ordered,
         )
     }
 }

@@ -42,19 +42,30 @@ use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
 
-/// Which Monte-Carlo kernel evaluates the dictionary's fail masks.
+/// Which kernel evaluates the dictionary's fail probabilities.
 ///
-/// Both kernels perform, per (pattern, chip sample, suspect), the exact
-/// same keyed random draws and the same per-sample sequence of
-/// floating-point operations, so their bit grids — and therefore every
-/// stored `.sdds` checkpoint and every ranking — are bit-identical. The
-/// scalar kernel is kept as the simple oracle the batched kernel is
-/// differentially tested against (see the `batch_kernel` integration
-/// tests); the batched kernel is the production default.
+/// The two *Monte-Carlo* kernels (`Batched`, `Scalar`) perform, per
+/// (pattern, chip sample, suspect), the exact same keyed random draws
+/// and the same per-sample sequence of floating-point operations, so
+/// their bit grids — and therefore every stored `.sdds` checkpoint and
+/// every ranking — are bit-identical. The scalar kernel is kept as the
+/// simple oracle the batched kernel is differentially tested against
+/// (see the `batch_kernel` integration tests); the batched kernel is the
+/// production default.
+///
+/// The `Analytic` kernel draws **no** instances at all: it propagates
+/// `(mean, variance)` moments through each defect cone
+/// ([`sdd_timing::analytic`]) and fills the probability matrices from
+/// normal-CDF tails. Its grids are *not* bit-identical to MC — they
+/// agree within a bounded divergence (the `analytic_kernel` differential
+/// suite, DESIGN.md §4.7) — so analytic results never touch the on-disk
+/// `.sdds` store and are cached in a separate in-memory section.
 ///
 /// The kernel choice deliberately does **not** enter
-/// [`StoreKey`](crate::store::StoreKey): grids simulated by one kernel
-/// are valid checkpoints for the other.
+/// [`StoreKey`](crate::store::StoreKey): grids simulated by one MC
+/// kernel are valid checkpoints for the other, and keeping the key
+/// kernel-blind is exactly why the analytic kernel must bypass the
+/// store.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum SimKernel {
     /// Sample-major batched evaluation: one pass over the cone topology
@@ -66,16 +77,22 @@ pub enum SimKernel {
     /// One isolated [`DefectCone::apply`] walk per (pattern, sample,
     /// suspect) — the original seed path, retained as the oracle.
     Scalar,
+    /// Sampling-free moment propagation: Gauss–Hermite quadrature over
+    /// the die-level factor, Clark max per merge, normal-CDF tails
+    /// ([`sdd_timing::analytic::pattern_fail_probs`]).
+    Analytic,
 }
 
 /// Monte-Carlo budget for dictionary construction.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct DictionaryConfig {
-    /// Chip samples per pattern.
+    /// Chip samples per pattern (ignored by [`SimKernel::Analytic`],
+    /// which draws no samples).
     pub n_samples: usize,
-    /// Base seed; the full build is deterministic given the seed.
+    /// Base seed; the full build is deterministic given the seed (the
+    /// analytic kernel is deterministic regardless).
     pub seed: u64,
-    /// The fail-mask kernel (bit-identical either way; see [`SimKernel`]).
+    /// The fail-probability kernel (see [`SimKernel`]).
     #[serde(default)]
     pub kernel: SimKernel,
 }
@@ -183,6 +200,11 @@ impl ProbabilisticDictionary {
     /// against an observed behaviour matrix (see
     /// [`SuspectSignature::joint_phi`]).
     ///
+    /// The joint estimate is a per-sample frequency, so it only exists
+    /// for the Monte-Carlo kernels; under [`SimKernel::Analytic`] every
+    /// `joint_phi` stays `None` and the diagnoser falls back to the
+    /// independent-output product.
+    ///
     /// # Panics
     ///
     /// Same conditions as [`ProbabilisticDictionary::build`]; also panics
@@ -220,6 +242,20 @@ impl ProbabilisticDictionary {
             .iter()
             .map(|&e| DefectCone::new(circuit, e))
             .collect();
+        if config.kernel == SimKernel::Analytic {
+            let (m_crt, suspects) = simulate_fail_probs_analytic(
+                circuit,
+                timing,
+                defect_size,
+                patterns,
+                &cones,
+                clk,
+                None,
+            );
+            let ordered: Vec<(EdgeId, AnalyticSuspect)> =
+                cones.iter().map(|c| c.edge()).zip(suspects).collect();
+            return assemble_from_probs(clk, m_crt, ordered);
+        }
         let per_pattern = simulate_fail_masks(
             circuit,
             timing,
@@ -558,6 +594,118 @@ pub(crate) fn simulate_fail_masks(
             config,
             metrics,
         ),
+        // The analytic kernel produces probabilities, not per-sample bit
+        // grids; it has its own entry point and must never be routed
+        // through the mask path (which books MC cone evals).
+        SimKernel::Analytic => {
+            panic!("analytic kernel has no fail masks; use simulate_fail_probs_analytic")
+        }
+    }
+}
+
+/// The per-suspect output of the analytic kernel: the suspect's `E_crt`
+/// restricted to its reachable outputs, as probabilities (no per-sample
+/// grids exist).
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct AnalyticSuspect {
+    /// Positions (into the circuit's primary outputs) of the outputs the
+    /// suspect can affect; matrix rows follow this order.
+    pub(crate) reachable: Vec<usize>,
+    /// `reachable.len()` rows × `n_patterns` columns of
+    /// `Prob(arrival > clk)` with the defect applied.
+    pub(crate) err: ProbMatrix,
+}
+
+/// The analytic counterpart of [`simulate_fail_masks`]: fills `M_crt`
+/// and the per-suspect `E_crt` probability matrices directly by moment
+/// propagation ([`sdd_timing::analytic::pattern_fail_probs`]) — zero
+/// instance draws, parallelized over patterns. Deterministic: the result
+/// depends only on (circuit, timing, defect-size moments, patterns,
+/// `clk`), never on `n_samples` or `seed`.
+///
+/// `metrics`, when given, accumulates the analytic wall-clock (summed
+/// over worker threads) and the number of cone propagations — the
+/// analytic counters, *not* the MC `cone_evals`/`kernel_nanos`, which
+/// must stay at zero under this kernel.
+pub(crate) fn simulate_fail_probs_analytic(
+    circuit: &Circuit,
+    timing: &CircuitTiming,
+    defect_size: &Dist,
+    patterns: &PatternSet,
+    cones: &[DefectCone],
+    clk: f64,
+    metrics: Option<&crate::metrics::MetricsSink>,
+) -> (ProbMatrix, Vec<AnalyticSuspect>) {
+    use sdd_timing::analytic::{pattern_fail_probs, GaussHermite};
+    use sdd_timing::block_sta::GaussianArrival;
+
+    let n_out = circuit.primary_outputs().len();
+    let n_patterns = patterns.len();
+    let quad = GaussHermite::for_variation(&timing.variation());
+    // Censoring-aware defect moments: what the MC kernels' sample_delta
+    // actually draws, not the nominal parameters.
+    let (delta_mean, delta_var) = defect_size.moments();
+    let delta = GaussianArrival {
+        mean: delta_mean,
+        variance: delta_var,
+    };
+    let columns: Vec<(Vec<f64>, Vec<Vec<f64>>)> = patterns
+        .patterns()
+        .par_iter()
+        .map(|p| {
+            let t_kernel = std::time::Instant::now();
+            let transitions = simulate_pair(circuit, &p.v1, &p.v2);
+            let r = pattern_fail_probs(circuit, timing, &transitions, cones, delta, clk, &quad);
+            if let Some(m) = metrics {
+                m.add_analytic_evals(r.cone_walks);
+                m.add_analytic_nanos(t_kernel.elapsed().as_nanos() as u64);
+            }
+            (r.baseline, r.per_cone)
+        })
+        .collect();
+    let mut m_crt = ProbMatrix::zeros(n_out, n_patterns);
+    let mut suspects: Vec<AnalyticSuspect> = cones
+        .iter()
+        .map(|c| AnalyticSuspect {
+            reachable: c.reachable_outputs().to_vec(),
+            err: ProbMatrix::zeros(c.reachable_outputs().len(), n_patterns),
+        })
+        .collect();
+    for (j, (baseline, per_cone)) in columns.into_iter().enumerate() {
+        for (i, p) in baseline.into_iter().enumerate() {
+            m_crt.set(i, j, p);
+        }
+        for (ci, col) in per_cone.into_iter().enumerate() {
+            for (k, p) in col.into_iter().enumerate() {
+                suspects[ci].err.set(k, j, p);
+            }
+        }
+    }
+    (m_crt, suspects)
+}
+
+/// Phase 2 of the analytic build: wrap the probability matrices into a
+/// [`ProbabilisticDictionary`]. Pure repackaging — a dictionary
+/// assembled from cached analytic matrices is bit-identical to a fresh
+/// build. `joint_phi` is always `None` (no per-sample outcomes exist to
+/// count).
+pub(crate) fn assemble_from_probs(
+    clk: f64,
+    m_crt: ProbMatrix,
+    suspects: Vec<(EdgeId, AnalyticSuspect)>,
+) -> ProbabilisticDictionary {
+    ProbabilisticDictionary {
+        clk,
+        m_crt,
+        suspects: suspects
+            .into_iter()
+            .map(|(edge, s)| SuspectSignature {
+                edge,
+                reachable: s.reachable,
+                err: s.err,
+                joint: None,
+            })
+            .collect(),
     }
 }
 

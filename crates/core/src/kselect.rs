@@ -30,7 +30,17 @@ use crate::error_fn::ErrorFunction;
 /// "no evidence to shrink the answer set".
 ///
 /// Returns 1 for rankings of length 0 or 1.
+///
+/// # Panics
+///
+/// Panics if `max_k == 0`: an answer set must hold at least one suspect,
+/// and silently searching position 1 anyway (the old behaviour) masked
+/// caller bugs.
 pub fn k_by_score_gap(ranking: &[RankedSite], function: ErrorFunction, max_k: usize) -> usize {
+    assert!(
+        max_k >= 1,
+        "max_k must be at least 1 (answer sets are non-empty)"
+    );
     if ranking.len() < 2 {
         return 1;
     }
@@ -64,14 +74,19 @@ pub fn k_by_score_gap(ranking: &[RankedSite], function: ErrorFunction, max_k: us
 ///
 /// # Panics
 ///
-/// Panics if `mass_fraction` is outside `(0, 1]` or the function ranks
-/// ascending (use [`k_by_score_gap`] for `Alg_rev`-style functions).
+/// Panics if `max_k == 0`, if `mass_fraction` is outside `(0, 1]`, or if
+/// the function ranks ascending (use [`k_by_score_gap`] for
+/// `Alg_rev`-style functions).
 pub fn k_by_score_mass(
     ranking: &[RankedSite],
     function: ErrorFunction,
     mass_fraction: f64,
     max_k: usize,
 ) -> usize {
+    assert!(
+        max_k >= 1,
+        "max_k must be at least 1 (answer sets are non-empty)"
+    );
     assert!(
         function.higher_is_better(),
         "score-mass selection needs a descending (probability-like) function"
@@ -161,6 +176,38 @@ mod tests {
         assert_eq!(k_by_score_gap(&r, ErrorFunction::MethodII, 10), 3);
         let e = ranking(&[0.1, 0.1, 0.6, 0.6]);
         assert_eq!(k_by_score_gap(&e, ErrorFunction::Euclidean, 10), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "max_k must be at least 1")]
+    fn gap_rejects_zero_max_k() {
+        k_by_score_gap(&ranking(&[0.9, 0.2]), ErrorFunction::MethodII, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "max_k must be at least 1")]
+    fn mass_rejects_zero_max_k() {
+        k_by_score_mass(&ranking(&[0.9, 0.2]), ErrorFunction::MethodII, 0.9, 0);
+    }
+
+    #[test]
+    fn gap_max_k_one_is_pinned() {
+        // With max_k = 1 only the cut after position 1 is searched: a
+        // gap there selects K = 1 …
+        let r = ranking(&[0.9, 0.2, 0.15]);
+        assert_eq!(k_by_score_gap(&r, ErrorFunction::MethodII, 1), 1);
+        // … and an all-tied prefix falls back to K = 1 too.
+        let tied = ranking(&[0.7, 0.7, 0.7]);
+        assert_eq!(k_by_score_gap(&tied, ErrorFunction::MethodII, 1), 1);
+        // Degenerate rankings still return 1.
+        assert_eq!(k_by_score_gap(&[], ErrorFunction::MethodII, 1), 1);
+    }
+
+    #[test]
+    fn mass_max_k_one_is_pinned() {
+        let r = ranking(&[0.5, 0.5]);
+        assert_eq!(k_by_score_mass(&r, ErrorFunction::MethodII, 0.4, 1), 1);
+        assert_eq!(k_by_score_mass(&r, ErrorFunction::MethodII, 1.0, 1), 1);
     }
 
     #[test]

@@ -449,6 +449,8 @@ pub struct MetricsSink {
     samples_simulated: AtomicU64,
     kernel_nanos: AtomicU64,
     cone_evals: AtomicU64,
+    analytic_nanos: AtomicU64,
+    analytic_evals: AtomicU64,
     store_hits: AtomicU64,
     store_misses: AtomicU64,
     store_flushes: AtomicU64,
@@ -512,6 +514,20 @@ impl MetricsSink {
     /// suspect) triple) to the kernel workload counter.
     pub fn add_cone_evals(&self, n: u64) {
         self.cone_evals.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adds `nanos` spent inside the analytic dictionary kernel (moment
+    /// propagation + CDF tails; disjoint from `kernel_nanos`, which
+    /// tracks the Monte-Carlo kernels only).
+    pub fn add_analytic_nanos(&self, nanos: u64) {
+        self.analytic_nanos.fetch_add(nanos, Ordering::Relaxed);
+    }
+
+    /// Adds `n` analytic cone propagations (one per (pattern, suspect,
+    /// quadrature point) triple) — the analytic counterpart of
+    /// [`MetricsSink::add_cone_evals`].
+    pub fn add_analytic_evals(&self, n: u64) {
+        self.analytic_evals.fetch_add(n, Ordering::Relaxed);
     }
 
     /// Records a dictionary bank loaded intact from the on-disk store
@@ -596,6 +612,10 @@ impl MetricsSink {
             .fetch_add(instance.kernel_nanos, Ordering::Relaxed);
         self.cone_evals
             .fetch_add(instance.cone_evals, Ordering::Relaxed);
+        self.analytic_nanos
+            .fetch_add(instance.analytic_nanos, Ordering::Relaxed);
+        self.analytic_evals
+            .fetch_add(instance.analytic_evals, Ordering::Relaxed);
         self.store_hits
             .fetch_add(instance.store_hits, Ordering::Relaxed);
         self.store_misses
@@ -663,6 +683,8 @@ impl MetricsSink {
             samples_simulated: self.samples_simulated.load(Ordering::Relaxed),
             kernel_nanos: self.kernel_nanos.load(Ordering::Relaxed),
             cone_evals: self.cone_evals.load(Ordering::Relaxed),
+            analytic_nanos: self.analytic_nanos.load(Ordering::Relaxed),
+            analytic_evals: self.analytic_evals.load(Ordering::Relaxed),
             store_hits: self.store_hits.load(Ordering::Relaxed),
             store_misses: self.store_misses.load(Ordering::Relaxed),
             store_flushes: self.store_flushes.load(Ordering::Relaxed),
@@ -715,6 +737,16 @@ pub struct CampaignMetrics {
     /// triple, across all dictionary builds.
     #[serde(default)]
     pub cone_evals: u64,
+    /// Aggregate nanoseconds inside the analytic dictionary kernel
+    /// (summed over threads); a subset of `dictionary_nanos`, disjoint
+    /// from `kernel_nanos`.
+    #[serde(default)]
+    pub analytic_nanos: u64,
+    /// Analytic cone propagations, one per (pattern, suspect, quadrature
+    /// point) triple, across all analytic dictionary builds. Zero unless
+    /// `SimKernel::Analytic` ran.
+    #[serde(default)]
+    pub analytic_evals: u64,
     /// Dictionary banks loaded intact from the on-disk store (each one a
     /// full Monte-Carlo build skipped).
     pub store_hits: u64,
@@ -781,6 +813,8 @@ impl CampaignMetrics {
                 .saturating_sub(baseline.samples_simulated),
             kernel_nanos: self.kernel_nanos.saturating_sub(baseline.kernel_nanos),
             cone_evals: self.cone_evals.saturating_sub(baseline.cone_evals),
+            analytic_nanos: self.analytic_nanos.saturating_sub(baseline.analytic_nanos),
+            analytic_evals: self.analytic_evals.saturating_sub(baseline.analytic_evals),
             store_hits: self.store_hits.saturating_sub(baseline.store_hits),
             store_misses: self.store_misses.saturating_sub(baseline.store_misses),
             store_flushes: self.store_flushes.saturating_sub(baseline.store_flushes),
@@ -898,6 +932,13 @@ impl CampaignMetrics {
                 fmt_nanos(self.kernel_nanos),
             ));
         }
+        if self.analytic_evals > 0 {
+            out.push_str(&format!(
+                "\n  analytic kernel: {} cone propagations in {}",
+                self.analytic_evals,
+                fmt_nanos(self.analytic_nanos),
+            ));
+        }
         if self.store_hits + self.store_misses + self.store_flushes > 0 {
             out.push_str(&format!(
                 "\n  dictionary store: {} loads / {} misses ({} spent loading); {} banks flushed",
@@ -1005,6 +1046,12 @@ impl MetricsReport {
             return Err(format!(
                 "kernel_nanos {} exceeds dictionary_nanos {}",
                 self.counters.kernel_nanos, self.counters.dictionary_nanos
+            ));
+        }
+        if self.counters.analytic_nanos > self.counters.dictionary_nanos {
+            return Err(format!(
+                "analytic_nanos {} exceeds dictionary_nanos {}",
+                self.counters.analytic_nanos, self.counters.dictionary_nanos
             ));
         }
         if self.traces.len() as u64 > self.trials {
@@ -1304,6 +1351,26 @@ mod tests {
     }
 
     #[test]
+    fn analytic_counters_accumulate_and_render() {
+        let sink = MetricsSink::new();
+        sink.add_analytic_nanos(4_000_000);
+        sink.add_analytic_evals(96);
+        let snap = sink.snapshot(Duration::ZERO);
+        assert_eq!(snap.analytic_nanos, 4_000_000);
+        assert_eq!(snap.analytic_evals, 96);
+        // The MC counters stay untouched: the analytic kernel must not
+        // masquerade as Monte-Carlo work.
+        assert_eq!(snap.kernel_nanos, 0);
+        assert_eq!(snap.cone_evals, 0);
+        let text = snap.render();
+        assert!(text.contains("96 cone propagations"));
+        assert!(!MetricsSink::new()
+            .snapshot(Duration::ZERO)
+            .render()
+            .contains("cone propagations"));
+    }
+
+    #[test]
     fn snapshot_roundtrips_through_json() {
         let hist = LatencyHistogram::new();
         hist.record(5);
@@ -1319,6 +1386,8 @@ mod tests {
             samples_simulated: 7,
             kernel_nanos: 12,
             cone_evals: 13,
+            analytic_nanos: 20,
+            analytic_evals: 21,
             store_hits: 8,
             store_misses: 9,
             store_flushes: 10,
@@ -1653,6 +1722,13 @@ mod tests {
             .validate()
             .unwrap_err()
             .contains("kernel_nanos"));
+
+        let mut analytic_overflow = good.clone();
+        analytic_overflow.counters.analytic_nanos = analytic_overflow.counters.dictionary_nanos + 1;
+        assert!(analytic_overflow
+            .validate()
+            .unwrap_err()
+            .contains("analytic_nanos"));
 
         let mut wrong_trace_sum = good.clone();
         wrong_trace_sum.traces[0].dict_cache_hits += 1;

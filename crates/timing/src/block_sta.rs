@@ -83,13 +83,15 @@ impl GaussianArrival {
     }
 }
 
-fn standard_normal_pdf(x: f64) -> f64 {
+/// The standard-normal density `φ(x)`.
+pub fn standard_normal_pdf(x: f64) -> f64 {
     (-(x * x) / 2.0).exp() / (2.0 * std::f64::consts::PI).sqrt()
 }
 
-/// Abramowitz–Stegun style erf-based CDF (double-precision accurate to
-/// ~1e-7, ample for screening).
-fn standard_normal_cdf(x: f64) -> f64 {
+/// The standard-normal CDF `Φ(x)`, via an Abramowitz–Stegun style erf
+/// approximation (accurate to ~1e-7, ample for screening and for the
+/// analytic dictionary kernel's tail probabilities).
+pub fn standard_normal_cdf(x: f64) -> f64 {
     0.5 * (1.0 + erf(x / std::f64::consts::SQRT_2))
 }
 

@@ -76,7 +76,8 @@ impl Dist {
             Dist::Deterministic(v) => v,
             Dist::Uniform { lo, hi } => {
                 if hi > lo {
-                    rng.gen_range(lo..hi)
+                    // Inclusive: the type documents a closed [lo, hi].
+                    rng.gen_range(lo..=hi)
                 } else {
                     lo
                 }
@@ -101,8 +102,14 @@ impl Dist {
         }
     }
 
-    /// The distribution mean (of the untruncated/unclamped form; clamping
-    /// effects are negligible for the parameterizations used here).
+    /// The *nominal* distribution mean — of the untruncated/unclamped
+    /// form. For `Normal` (zero-clamped at sample time) and
+    /// `TruncatedNormal` this differs from the mean of what [`sample`]
+    /// actually draws; use [`moments`] when the censoring matters (the
+    /// analytic dictionary kernel does).
+    ///
+    /// [`sample`]: Dist::sample
+    /// [`moments`]: Dist::moments
     pub fn mean(&self) -> f64 {
         match *self {
             Dist::Deterministic(v) => v,
@@ -112,7 +119,9 @@ impl Dist {
         }
     }
 
-    /// The distribution standard deviation (untruncated form).
+    /// The *nominal* standard deviation (untruncated form); see
+    /// [`Dist::mean`] for the caveat and [`Dist::moments`] for the
+    /// censoring-aware values.
     pub fn std(&self) -> f64 {
         match *self {
             Dist::Deterministic(_) => 0.0,
@@ -121,6 +130,36 @@ impl Dist {
             Dist::Triangular { lo, mode, hi } => {
                 ((lo * lo + mode * mode + hi * hi - lo * mode - lo * hi - mode * hi) / 18.0).sqrt()
             }
+        }
+    }
+
+    /// Mean and **variance** of what [`Dist::sample`] actually draws,
+    /// accounting for the zero-clamp on `Normal` and the `[lo, hi]` clamp
+    /// on `TruncatedNormal` — both are *censored* normals (out-of-range
+    /// mass piles up on the bounds rather than being redrawn), so their
+    /// true moments differ from the nominal [`Dist::mean`]/[`Dist::std`].
+    /// Exact for the remaining variants. This is the moment source for
+    /// the analytic dictionary kernel, where the error would otherwise be
+    /// load-bearing.
+    pub fn moments(&self) -> (f64, f64) {
+        match *self {
+            Dist::Deterministic(v) => (v, 0.0),
+            Dist::Uniform { lo, hi } => {
+                if hi > lo {
+                    let w = hi - lo;
+                    (0.5 * (lo + hi), w * w / 12.0)
+                } else {
+                    (lo, 0.0)
+                }
+            }
+            Dist::Normal { mean, std } => censored_normal_moments(mean, std, 0.0, f64::INFINITY),
+            Dist::TruncatedNormal { mean, std, lo, hi } => {
+                censored_normal_moments(mean, std, lo, hi)
+            }
+            Dist::Triangular { lo, mode, hi } => (
+                (lo + mode + hi) / 3.0,
+                (lo * lo + mode * mode + hi * hi - lo * mode - lo * hi - mode * hi) / 18.0,
+            ),
         }
     }
 
@@ -150,6 +189,54 @@ impl Dist {
             },
         }
     }
+}
+
+/// Mean and variance of `clamp(Y, lo, hi)` for `Y ~ Normal(mu, sigma)`:
+/// the censored normal, whose out-of-range probability mass sits as point
+/// masses on the bounds. Either bound may be infinite (the corresponding
+/// point-mass terms vanish).
+fn censored_normal_moments(mu: f64, sigma: f64, lo: f64, hi: f64) -> (f64, f64) {
+    use crate::block_sta::{standard_normal_cdf as cdf, standard_normal_pdf as pdf};
+    if sigma <= 0.0 {
+        return (mu.clamp(lo, hi), 0.0);
+    }
+    let a = (lo - mu) / sigma;
+    let b = (hi - mu) / sigma;
+    // Guard every term that multiplies an infinite bound: the paired
+    // probability/density factor is exactly zero there, and the naive
+    // product would be NaN.
+    let (phi_a, cap_a) = if a.is_finite() {
+        (pdf(a), cdf(a))
+    } else {
+        (0.0, 0.0)
+    };
+    let (phi_b, cap_b) = if b.is_finite() {
+        (pdf(b), cdf(b))
+    } else {
+        (0.0, 1.0)
+    };
+    let p = cap_b - cap_a;
+    let lo_mass = if lo.is_finite() { lo * cap_a } else { 0.0 };
+    let hi_mass = if hi.is_finite() {
+        hi * (1.0 - cap_b)
+    } else {
+        0.0
+    };
+    let e1 = lo_mass + hi_mass + mu * p + sigma * (phi_a - phi_b);
+    let lo_mass2 = if lo.is_finite() { lo * lo * cap_a } else { 0.0 };
+    let hi_mass2 = if hi.is_finite() {
+        hi * hi * (1.0 - cap_b)
+    } else {
+        0.0
+    };
+    let a_phi_a = if a.is_finite() { a * phi_a } else { 0.0 };
+    let b_phi_b = if b.is_finite() { b * phi_b } else { 0.0 };
+    let e2 = lo_mass2
+        + hi_mass2
+        + mu * mu * p
+        + 2.0 * mu * sigma * (phi_a - phi_b)
+        + sigma * sigma * (p + a_phi_a - b_phi_b);
+    (e1, (e2 - e1 * e1).max(0.0))
 }
 
 /// Draws a standard-normal sample via the Box-Muller transform (no
@@ -192,6 +279,88 @@ mod tests {
         let (m, s) = empirical(d, 50_000);
         assert!((m - d.mean()).abs() < 0.02, "mean {m}");
         assert!((s - d.std()).abs() < 0.02, "std {s}");
+    }
+
+    #[test]
+    fn uniform_hi_is_attainable_for_degenerate_width() {
+        // A width of one ULP makes the half-open-vs-closed distinction
+        // observable: `gen_range(lo..hi)` can never return `hi`, the
+        // documented closed interval must.
+        let lo = 1.0_f64;
+        let hi = f64::from_bits(lo.to_bits() + 1);
+        let d = Dist::Uniform { lo, hi };
+        let mut rng = ChaCha8Rng::seed_from_u64(31);
+        let mut saw_hi = false;
+        for _ in 0..4096 {
+            let v = d.sample(&mut rng);
+            assert!((lo..=hi).contains(&v));
+            saw_hi |= v == hi;
+        }
+        assert!(saw_hi, "closed upper bound {hi} never drawn");
+    }
+
+    #[test]
+    fn uniform_moments_are_exact() {
+        let d = Dist::Uniform { lo: 1.0, hi: 3.0 };
+        let (m, v) = d.moments();
+        assert!((m - 2.0).abs() < 1e-12);
+        assert!((v - 4.0 / 12.0).abs() < 1e-12);
+        // Degenerate interval collapses to a point mass at `lo`.
+        let (m0, v0) = Dist::Uniform { lo: 2.0, hi: 2.0 }.moments();
+        assert_eq!((m0, v0), (2.0, 0.0));
+    }
+
+    #[test]
+    fn censored_normal_moments_match_empirical() {
+        // Heavy censoring: nominal mean 0.1, σ 1.0 → ~46 % of the mass
+        // is clamped to zero. The nominal accessors are far off; the
+        // censoring-aware moments must track what sample() draws.
+        let d = Dist::Normal {
+            mean: 0.1,
+            std: 1.0,
+        };
+        let (m, v) = d.moments();
+        let (em, es) = empirical(d, 400_000);
+        assert!((m - em).abs() < 0.01, "moments mean {m} vs empirical {em}");
+        assert!(
+            (v.sqrt() - es).abs() < 0.01,
+            "moments std {} vs empirical {es}",
+            v.sqrt()
+        );
+        assert!(
+            (m - d.mean()).abs() > 0.3,
+            "censoring should move the mean well away from nominal"
+        );
+    }
+
+    #[test]
+    fn truncated_normal_moments_match_empirical() {
+        let d = Dist::TruncatedNormal {
+            mean: 5.0,
+            std: 3.0,
+            lo: 4.0,
+            hi: 6.0,
+        };
+        let (m, v) = d.moments();
+        let (em, es) = empirical(d, 400_000);
+        assert!((m - em).abs() < 0.01, "moments mean {m} vs empirical {em}");
+        assert!(
+            (v.sqrt() - es).abs() < 0.01,
+            "moments std {} vs empirical {es}",
+            v.sqrt()
+        );
+        assert!(v.sqrt() < d.std(), "clamping must shrink the spread");
+    }
+
+    #[test]
+    fn defect_size_moments_nearly_nominal() {
+        // The paper's defect-size parameterization (3σ = 50 % of mean)
+        // keeps the zero-clamp 6σ away: censoring is negligible and
+        // moments() agrees with the nominal accessors.
+        let d = Dist::defect_size(0.6);
+        let (m, v) = d.moments();
+        assert!((m - 0.6).abs() < 1e-6);
+        assert!((v.sqrt() - 0.1).abs() < 1e-6);
     }
 
     #[test]

@@ -215,6 +215,22 @@ impl DefectCone {
         self.edge
     }
 
+    /// The cone's nodes in topological order (the walk order of
+    /// [`DefectCone::apply`]); exposed for the analytic kernel, which
+    /// replays the same induced-cone walk on moments instead of samples.
+    pub fn cone_topo(&self) -> &[NodeId] {
+        &self.cone_topo
+    }
+
+    /// The cone-local slot of `node`, or `None` if the node is outside
+    /// the cone (its arrival is never touched by this defect).
+    pub fn slot_of(&self, node: NodeId) -> Option<usize> {
+        match self.slot[node.index()] {
+            NOT_IN_CONE => None,
+            s => Some(s as usize),
+        }
+    }
+
     /// Number of nodes in the cone.
     pub fn len(&self) -> usize {
         self.cone_topo.len()

@@ -25,6 +25,9 @@
 //!   used to observe the behaviour of failing chip instances.
 //! * [`path`] — paths, timing length `TL(p)`, and statistically-longest
 //!   path selection through a defect site (Section H-4).
+//! * [`analytic`] — sampling-free moment propagation over the sensitized
+//!   subcircuit (Gauss–Hermite over the die-level factor, Clark max per
+//!   merge), powering the analytic dictionary kernel.
 //!
 //! ## Example
 //!
@@ -45,6 +48,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod analytic;
 pub mod block_sta;
 mod cell_lib;
 pub mod crit;
