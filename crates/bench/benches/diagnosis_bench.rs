@@ -70,13 +70,7 @@ fn bench_dictionary_build(c: &mut Criterion) {
         &f.timing,
         &f.patterns,
         f.model.size_dist(),
-        DiagnoserConfig {
-            dictionary: DictionaryConfig {
-                n_samples: 60,
-                seed: 1,
-                ..DictionaryConfig::default()
-            },
-        },
+        DiagnoserConfig::new(DictionaryConfig::new().with_samples(60).with_seed(1)),
     );
     c.bench_function("dictionary_build_60_samples_s1196", |b| {
         b.iter(|| black_box(diagnoser.build_dictionary(&f.behavior).ok()))
@@ -90,13 +84,7 @@ fn bench_rank_all_functions(c: &mut Criterion) {
         &f.timing,
         &f.patterns,
         f.model.size_dist(),
-        DiagnoserConfig {
-            dictionary: DictionaryConfig {
-                n_samples: 60,
-                seed: 1,
-                ..DictionaryConfig::default()
-            },
-        },
+        DiagnoserConfig::new(DictionaryConfig::new().with_samples(60).with_seed(1)),
     );
     let dictionary = diagnoser
         .build_dictionary(&f.behavior)

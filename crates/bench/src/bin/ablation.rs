@@ -27,8 +27,8 @@
 //! written as a combined [`sdd_core::MetricsExport`] document.
 
 use sdd_bench::{flag_value, write_metrics_export};
-use sdd_core::engine::DiagnosisEngine;
 use sdd_core::inject::{CampaignConfig, ClockPolicy};
+use sdd_core::session::ArtifactLayer;
 use sdd_core::{CaptureModel, MetricsReport, SimKernel};
 use sdd_netlist::profiles;
 use std::time::Instant;
@@ -85,14 +85,15 @@ fn main() {
         }),
     ];
 
-    // One engine across all variants: dictionary banks are keyed on
-    // everything the simulation reads, so variants that only change the
-    // observation side (e.g. the capture model) legitimately share them.
-    let engine = DiagnosisEngine::new();
+    // One session over one layer across all variants: dictionary banks
+    // are keyed on everything the simulation reads, so variants that
+    // only change the observation side (e.g. the capture model)
+    // legitimately share them.
+    let session = ArtifactLayer::new().session("ablation");
     let mut metrics_reports: Vec<MetricsReport> = Vec::new();
     for (label, config) in variants {
         let t0 = Instant::now();
-        match engine.run_campaign(&profile, &config) {
+        match session.run_campaign(&profile, &config) {
             Ok(report) => {
                 let mut m = MetricsReport::from_report(&report);
                 m.circuit = format!("{} / {label}", m.circuit);

@@ -24,14 +24,14 @@
 //!
 //! With `--store <dir>`, the per-chip dictionaries are checkpointed to
 //! (and on a re-run loaded from) disk. With `--metrics-json <path>`,
-//! the engine's lifetime [`sdd_core::MetricsReport`] — covering every
+//! the session's lifetime [`sdd_core::MetricsReport`] — covering every
 //! `diagnose_instance` call above — is written as a
 //! [`sdd_core::MetricsExport`] document.
 
 use sdd_bench::{flag_value, write_metrics_export};
 use sdd_core::defect::SingleDefectModel;
-use sdd_core::engine::DiagnosisEngine;
 use sdd_core::inject::CampaignConfig;
+use sdd_core::session::ArtifactLayer;
 use sdd_core::ErrorFunction;
 use sdd_netlist::generator::generate;
 use sdd_netlist::profiles;
@@ -60,15 +60,16 @@ fn main() {
     );
 
     let start = Instant::now();
-    let mut builder = DiagnosisEngine::builder();
+    let mut builder = ArtifactLayer::builder();
     if let Some(dir) = flag_value(&args, "--store") {
         builder = builder.store_dir(dir);
     }
-    let engine = builder.build().expect("engine builds");
+    let layer = builder.build().expect("layer builds");
+    let session = layer.session("fig3");
     let mut shown = 0;
     for index in 0..20 {
         let Some(outcome) =
-            engine.diagnose_instance(&circuit, &timing, &model, None, &config, index)
+            session.diagnose_instance(&circuit, &timing, &model, None, &config, index)
         else {
             continue;
         };
@@ -131,9 +132,9 @@ fn main() {
     if shown == 0 {
         println!("no failing configuration produced — rerun with another --seed");
     }
-    engine.sync_store();
-    println!("\n{}", engine.metrics().snapshot(start.elapsed()).render());
+    layer.sync_store();
+    println!("\n{}", session.metrics().snapshot(start.elapsed()).render());
     if let Some(path) = flag_value(&args, "--metrics-json") {
-        write_metrics_export(&path, vec![engine.metrics_report()]);
+        write_metrics_export(&path, vec![session.metrics_report()]);
     }
 }

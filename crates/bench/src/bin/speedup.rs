@@ -1,10 +1,10 @@
-//! Measures the campaign-engine speedup: the shared-cache parallel
-//! [`DiagnosisEngine`] path against the serial seed path (one fresh
+//! Measures the campaign speedup: the shared-cache parallel
+//! [`DiagnosisSession`] path against the serial seed path (one fresh
 //! dictionary per chip, no sharing), on the Table-I workload — and the
 //! batched sample-major Monte-Carlo kernel against the scalar oracle.
 //!
 //! All paths produce bit-identical per-chip outcomes — the serial leg is
-//! the engine's per-chip pipeline with a throwaway cache, and the two
+//! the session's per-chip pipeline with a throwaway cache, and the two
 //! kernels perform the same keyed draws in the same float order — so
 //! each comparison isolates one change. Prints the success tables (they
 //! must agree), the phase/cache/kernel metrics and the ratios.
@@ -18,8 +18,8 @@
 //! (batched) leg so the other legs keep simulating.
 //!
 //! After the kernel legs, a dedicated **patterns leg** re-runs the
-//! primary configuration against warm pattern state — a second engine
-//! over the store when one is attached (disk-warm), the primary engine
+//! primary configuration against warm pattern state — a second layer
+//! over the store when one is attached (disk-warm), the primary session
 //! itself otherwise (memory-warm) — asserts the report is bit-identical
 //! to the serial oracle, and asserts the Patterns phase actually got
 //! faster (≥ 3× under a warm store at paper scale).
@@ -49,9 +49,9 @@
 //! ```
 
 use sdd_bench::{flag_value, write_metrics_export};
-use sdd_core::engine::DiagnosisEngine;
 use sdd_core::evaluate::AccuracyReport;
 use sdd_core::inject::{diagnose_one_instance, CampaignConfig, ClockPolicy, InstanceOutcome};
+use sdd_core::session::{ArtifactLayer, DiagnosisSession};
 use sdd_core::{ErrorFunction, MetricsReport, SimKernel};
 use sdd_netlist::generator::generate;
 use sdd_netlist::profiles;
@@ -108,25 +108,26 @@ fn main() {
     // final leg may be store-backed: a store hit skips simulation, which
     // would turn the comparison legs into no-ops.
     let mut reports: Vec<(SimKernel, AccuracyReport, std::time::Duration)> = Vec::new();
-    let mut primary_engine: Option<DiagnosisEngine> = None;
+    let mut primary_session: Option<DiagnosisSession> = None;
     for (i, &kernel) in kernels.iter().enumerate() {
-        let mut builder = DiagnosisEngine::builder();
+        let mut builder = ArtifactLayer::builder();
         let store_backed = i + 1 == kernels.len();
         if store_backed {
             if let Some(dir) = &store_dir {
                 builder = builder.store_dir(dir);
             }
         }
-        let engine = builder.build().expect("engine builds");
+        let layer = builder.build().expect("layer builds");
+        let session = layer.session("speedup");
         config.dictionary.kernel = kernel;
         let t0 = Instant::now();
-        let report = engine
+        let report = session
             .run_campaign_on(&circuit, &config)
             .expect("campaign runs");
         let elapsed = t0.elapsed();
         println!("parallel, {:<7?} kernel  : {elapsed:>8.1?}", kernel);
         if store_backed {
-            if let Some(store) = engine.store() {
+            if let Some(store) = session.layer().store() {
                 println!(
                     "dictionary store           : {} ({} dict + {} pattern checkpoints, {} dict / {} pattern loads this run)",
                     store.dir().display(),
@@ -136,7 +137,7 @@ fn main() {
                     report.metrics.pattern_store_hits,
                 );
             }
-            primary_engine = Some(engine);
+            primary_session = Some(session);
         }
         reports.push((kernel, report, elapsed));
     }
@@ -219,25 +220,26 @@ fn main() {
     }
 
     // Patterns leg: the same configuration against warm pattern state.
-    // With a store, a brand-new engine over the same directory (pattern
-    // sets come from disk); without one, the primary engine itself
-    // (pattern sets come from its in-memory cache).
-    let engine = primary_engine.expect("primary leg ran");
+    // With a store, a brand-new layer over the same directory (pattern
+    // sets come from disk); without one, the primary session itself
+    // (pattern sets come from its layer's in-memory cache).
+    let session = primary_session.expect("primary leg ran");
     let (warm, warm_elapsed, warm_kind) = match &store_dir {
         Some(dir) => {
-            let warm_engine = DiagnosisEngine::builder()
+            let warm_session = ArtifactLayer::builder()
                 .store_dir(dir)
                 .build()
-                .expect("warm engine builds");
+                .expect("warm layer builds")
+                .session("speedup-warm");
             let t0 = Instant::now();
-            let report = warm_engine
+            let report = warm_session
                 .run_campaign_on(&circuit, &config)
                 .expect("warm campaign runs");
             (report, t0.elapsed(), "store-warm")
         }
         None => {
             let t0 = Instant::now();
-            let report = engine
+            let report = session
                 .run_campaign_on(&circuit, &config)
                 .expect("warm campaign runs");
             (report, t0.elapsed(), "memory-warm")

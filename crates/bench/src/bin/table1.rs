@@ -34,8 +34,8 @@
 //! error-function algorithms are competitive.
 
 use sdd_bench::{flag_value, table1_k_values, table1_reference, write_metrics_export};
-use sdd_core::engine::DiagnosisEngine;
 use sdd_core::inject::CampaignConfig;
+use sdd_core::session::ArtifactLayer;
 use sdd_core::{MetricsReport, SimKernel};
 use sdd_netlist::profiles::TABLE1_PROFILES;
 use std::time::Instant;
@@ -53,18 +53,19 @@ fn main() {
         Some("analytic") => SimKernel::Analytic,
         Some(other) => panic!("unknown --kernel `{other}` (scalar|batched|analytic)"),
     };
-    let mut builder = DiagnosisEngine::builder();
+    let mut builder = ArtifactLayer::builder();
     if let Some(dir) = flag_value(&args, "--store") {
         builder = builder.store_dir(dir);
     }
-    let engine = builder.build().expect("engine builds");
+    let layer = builder.build().expect("layer builds");
+    let session = layer.session("table1");
 
     println!("=== Table I reproduction: diagnosis accuracy on benchmark examples ===");
     println!(
         "mode: {}, seed: {seed}, kernel: {kernel:?}\n",
         if quick { "quick" } else { "paper (N = 20)" }
     );
-    if let Some(store) = engine.store() {
+    if let Some(store) = layer.store() {
         println!(
             "dictionary store: {} ({} dict + {} pattern checkpoints)\n",
             store.dir().display(),
@@ -101,7 +102,7 @@ fn main() {
             config.n_paths = 4;
         }
         let t0 = Instant::now();
-        match engine.run_campaign(&profile, &config) {
+        match session.run_campaign(&profile, &config) {
             Ok(report) => {
                 metrics_reports.push(MetricsReport::from_report(&report));
                 println!("{}", report.render_table());

@@ -22,10 +22,21 @@ pub struct RankedSite {
 }
 
 /// Configuration of the diagnosis engine.
+///
+/// Non-exhaustive: construct via [`DiagnoserConfig::new`] or
+/// [`DiagnoserConfig::default`], then adjust fields.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+#[non_exhaustive]
 pub struct DiagnoserConfig {
     /// Monte-Carlo budget for the probabilistic dictionary.
     pub dictionary: DictionaryConfig,
+}
+
+impl DiagnoserConfig {
+    /// A configuration using the given dictionary settings.
+    pub fn new(dictionary: DictionaryConfig) -> DiagnoserConfig {
+        DiagnoserConfig { dictionary }
+    }
 }
 
 /// The diagnosis engine: bundles the circuit model, its statistical

@@ -84,7 +84,22 @@ pub enum SimKernel {
 }
 
 /// Monte-Carlo budget for dictionary construction.
+///
+/// Non-exhaustive: construct via [`DictionaryConfig::default`] (or
+/// [`DictionaryConfig::new`]) and refine with the `with_*` builders —
+/// fields stay readable and assignable.
+///
+/// ```
+/// use sdd_core::dictionary::{DictionaryConfig, SimKernel};
+///
+/// let cfg = DictionaryConfig::new()
+///     .with_samples(60)
+///     .with_seed(7)
+///     .with_kernel(SimKernel::Analytic);
+/// assert_eq!(cfg.n_samples, 60);
+/// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[non_exhaustive]
 pub struct DictionaryConfig {
     /// Chip samples per pattern (ignored by [`SimKernel::Analytic`],
     /// which draws no samples).
@@ -104,6 +119,31 @@ impl Default for DictionaryConfig {
             seed: 0xD1C7,
             kernel: SimKernel::default(),
         }
+    }
+}
+
+impl DictionaryConfig {
+    /// The default budget (alias of [`DictionaryConfig::default`]).
+    pub fn new() -> DictionaryConfig {
+        DictionaryConfig::default()
+    }
+
+    /// Sets the chip-sample budget per pattern.
+    pub fn with_samples(mut self, n_samples: usize) -> Self {
+        self.n_samples = n_samples;
+        self
+    }
+
+    /// Sets the base seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the fail-probability kernel.
+    pub fn with_kernel(mut self, kernel: SimKernel) -> Self {
+        self.kernel = kernel;
+        self
     }
 }
 

@@ -1,12 +1,16 @@
 //! The [`DiagnosisEngine`] facade: one owned object for everything a
-//! diagnosis application needs.
+//! single-tenant diagnosis application needs.
 //!
-//! Historically the campaign API was a set of free functions
-//! ([`run_campaign`](crate::inject::run_campaign) and friends) that each
+//! Historically the campaign API was a set of free functions that each
 //! conjured their own [`DictionaryCache`] and [`MetricsSink`], so nothing
 //! survived from one campaign to the next and there was no place to hang
 //! cross-cutting concerns (dictionary persistence, thread-pool control).
-//! The engine owns all of that:
+//! Today the engine is a thin facade over the two-layer serving API in
+//! [`crate::session`]: it owns an [`ArtifactLayer`] (cache + optional
+//! store + thread-pool policy) with exactly one [`DiagnosisSession`] on
+//! top. Multi-client applications should hold an [`ArtifactLayer`]
+//! directly and open one session per tenant; the engine remains the
+//! convenient single-client spelling:
 //!
 //! * a [`DictionaryCache`] that outlives individual campaigns — repeated
 //!   campaigns over the same circuit and configuration share Monte-Carlo
@@ -36,13 +40,11 @@
 use crate::cache::DictionaryCache;
 use crate::defect::SingleDefectModel;
 use crate::evaluate::AccuracyReport;
-use crate::inject::{
-    diagnose_instance_impl, run_campaign_on_with, CampaignConfig, InstanceOutcome,
-};
-use crate::metrics::{MetricsReport, MetricsSink, METRICS_SCHEMA_VERSION};
+use crate::inject::{CampaignConfig, InstanceOutcome};
+use crate::metrics::{MetricsReport, MetricsSink};
+use crate::session::{ArtifactLayer, DiagnosisSession};
 use crate::store::DictionaryStore;
 use crate::SddError;
-use sdd_netlist::generator::generate;
 use sdd_netlist::profiles::BenchmarkProfile;
 use sdd_netlist::Circuit;
 use sdd_timing::CircuitTiming;
@@ -90,41 +92,32 @@ impl DiagnosisEngineBuilder {
     /// [`SddError::Store`] when the store directory cannot be opened;
     /// [`SddError::Config`] when the thread pool cannot be built.
     pub fn build(self) -> Result<DiagnosisEngine, SddError> {
-        let store = match (self.store, self.store_dir) {
-            (Some(handle), _) => Some(handle),
-            (None, Some(dir)) => Some(Arc::new(DictionaryStore::open(dir)?)),
-            (None, None) => None,
-        };
-        let cache = match store {
-            Some(store) => DictionaryCache::with_store(store),
-            None => DictionaryCache::new(),
-        };
-        let pool = self
-            .num_threads
-            .map(|n| {
-                rayon::ThreadPoolBuilder::new()
-                    .num_threads(n)
-                    .build()
-                    .map_err(|e| SddError::Config(format!("thread pool: {e}")))
-            })
-            .transpose()?;
+        let mut layer = ArtifactLayer::builder();
+        if let Some(store) = self.store {
+            layer = layer.store(store);
+        }
+        if let Some(dir) = self.store_dir {
+            layer = layer.store_dir(dir);
+        }
+        if let Some(n) = self.num_threads {
+            layer = layer.num_threads(n);
+        }
+        // The untenanted session keeps engine traces untagged, exactly
+        // as they were before the layer split.
         Ok(DiagnosisEngine {
-            cache,
-            metrics: MetricsSink::new(),
-            pool,
+            session: layer.build()?.session(""),
         })
     }
 }
 
-/// The unified entry point for diagnosis campaigns: owns the dictionary
-/// cache (optionally store-backed), the metrics sink and the thread-pool
-/// policy. See the module docs for what that buys over the deprecated
-/// free functions.
+/// The single-tenant entry point for diagnosis campaigns: an
+/// [`ArtifactLayer`] plus one [`DiagnosisSession`], presented as one
+/// object. See the module docs for what that buys over the old free
+/// functions, and [`crate::session`] for the multi-tenant API
+/// underneath.
 #[derive(Debug)]
 pub struct DiagnosisEngine {
-    cache: DictionaryCache,
-    metrics: MetricsSink,
-    pool: Option<rayon::ThreadPool>,
+    session: DiagnosisSession,
 }
 
 impl Default for DiagnosisEngine {
@@ -135,8 +128,7 @@ impl Default for DiagnosisEngine {
 
 impl DiagnosisEngine {
     /// An engine with default policy: in-memory cache only, global
-    /// rayon pool. Equivalent to the deprecated free functions, plus a
-    /// cache that persists across its campaigns.
+    /// rayon pool, plus a cache that persists across its campaigns.
     pub fn new() -> DiagnosisEngine {
         DiagnosisEngine::builder()
             .build()
@@ -148,20 +140,32 @@ impl DiagnosisEngine {
         DiagnosisEngineBuilder::default()
     }
 
+    /// The shared artifact layer underneath this engine. Cloning it (and
+    /// calling [`ArtifactLayer::session`]) opens further tenants over
+    /// the same warm cache, store and thread pool.
+    pub fn layer(&self) -> &ArtifactLayer {
+        self.session.layer()
+    }
+
+    /// The engine's own (untenanted) session.
+    pub fn session(&self) -> &DiagnosisSession {
+        &self.session
+    }
+
     /// The engine's dictionary cache.
     pub fn cache(&self) -> &DictionaryCache {
-        &self.cache
+        self.session.layer().cache()
     }
 
     /// The engine's accumulating metrics sink (reports additionally
     /// carry per-campaign deltas).
     pub fn metrics(&self) -> &MetricsSink {
-        &self.metrics
+        self.session.metrics()
     }
 
     /// The backing dictionary store, if the engine was built with one.
     pub fn store(&self) -> Option<&Arc<DictionaryStore>> {
-        self.cache.store()
+        self.session.layer().store()
     }
 
     /// A machine-readable observability report over the engine's whole
@@ -172,15 +176,9 @@ impl DiagnosisEngine {
     /// a lifetime wall clock (per-campaign spans live in each
     /// [`AccuracyReport::metrics`]).
     pub fn metrics_report(&self) -> MetricsReport {
-        let counters = self.metrics.snapshot(std::time::Duration::ZERO);
-        let trials = counters.phase_latency.patterns.count();
-        MetricsReport {
-            schema_version: METRICS_SCHEMA_VERSION,
-            circuit: "engine-lifetime".into(),
-            trials,
-            counters,
-            traces: self.metrics.traces_since(0),
-        }
+        let mut report = self.session.metrics_report();
+        report.circuit = "engine-lifetime".into();
+        report
     }
 
     /// Blocks until all background checkpoints written so far —
@@ -188,9 +186,7 @@ impl DiagnosisEngine {
     /// for store-less engines. Campaign entry points call this on
     /// completion; dropping the engine also syncs.
     pub fn sync_store(&self) {
-        if let Some(store) = self.cache.store() {
-            store.sync();
-        }
+        self.session.layer().sync_store();
     }
 
     /// Runs the defect-injection campaign on a profiled synthetic
@@ -205,8 +201,7 @@ impl DiagnosisEngine {
         profile: &BenchmarkProfile,
         config: &CampaignConfig,
     ) -> Result<AccuracyReport, SddError> {
-        let circuit = generate(&profile.to_config(config.seed))?.to_combinational()?;
-        self.run_campaign_on(&circuit, config)
+        self.session.run_campaign(profile, config)
     }
 
     /// Runs the defect-injection campaign on an explicit combinational
@@ -229,16 +224,7 @@ impl DiagnosisEngine {
         circuit: &Circuit,
         config: &CampaignConfig,
     ) -> Result<AccuracyReport, SddError> {
-        let run = || run_campaign_on_with(circuit, config, &self.cache, &self.metrics);
-        let report = match &self.pool {
-            Some(pool) => pool.install(run),
-            None => run(),
-        }?;
-        // Make the campaign's checkpoints durable before reporting: a
-        // caller that exits right after this call must find them on the
-        // next run.
-        self.sync_store();
-        Ok(report)
+        self.session.run_campaign_on(circuit, config)
     }
 
     /// Injects, observes and diagnoses the `index`-th chip of a
@@ -258,22 +244,8 @@ impl DiagnosisEngine {
         config: &CampaignConfig,
         index: usize,
     ) -> Option<InstanceOutcome> {
-        let run = || {
-            diagnose_instance_impl(
-                circuit,
-                timing,
-                defect_model,
-                circuit_clk,
-                config,
-                index,
-                &self.cache,
-                &self.metrics,
-            )
-        };
-        match &self.pool {
-            Some(pool) => pool.install(run),
-            None => run(),
-        }
+        self.session
+            .diagnose_instance(circuit, timing, defect_model, circuit_clk, config, index)
     }
 }
 
@@ -378,8 +350,13 @@ mod tests {
         let cfg = CampaignConfig::quick(7);
         let report = engine.run_campaign(&profiles::S27, &cfg).unwrap();
         let lifetime = engine.metrics_report();
+        assert_eq!(lifetime.circuit, "engine-lifetime");
         assert_eq!(lifetime.trials, report.trials as u64);
         assert_eq!(lifetime.traces.len(), report.traces.len());
+        assert!(
+            lifetime.traces.iter().all(|t| t.tenant.is_empty()),
+            "engine traces must stay untenanted"
+        );
         lifetime
             .validate()
             .expect("lifetime metrics report validates");
@@ -390,5 +367,22 @@ mod tests {
         lifetime
             .validate()
             .expect("two-campaign lifetime report validates");
+    }
+
+    #[test]
+    fn engine_layer_opens_additional_sessions_over_the_same_cache() {
+        let engine = DiagnosisEngine::new();
+        let cfg = CampaignConfig::quick(4);
+        let first = engine.run_campaign(&profiles::S27, &cfg).unwrap();
+        let tenant = engine.layer().session("extra");
+        let second = tenant.run_campaign(&profiles::S27, &cfg).unwrap();
+        assert_eq!(first, second);
+        assert_eq!(second.metrics.dict_cache_misses, 0);
+        // The extra tenant's traces never leak into the engine's sink.
+        assert!(engine
+            .metrics_report()
+            .traces
+            .iter()
+            .all(|t| t.tenant.is_empty()));
     }
 }

@@ -168,24 +168,6 @@ impl From<DiagnosisError> for SddError {
     }
 }
 
-impl From<SddError> for DiagnosisError {
-    /// Back-conversion for the deprecated campaign wrappers, which still
-    /// advertise [`DiagnosisError`]. Store and config failures cannot
-    /// occur on those store-less default paths; if they ever do, they
-    /// are reported as a shape mismatch carrying the message.
-    fn from(e: SddError) -> Self {
-        match e {
-            SddError::Netlist(e) => DiagnosisError::Netlist(e),
-            SddError::Timing(e) => DiagnosisError::Timing(e),
-            SddError::Atpg(e) => DiagnosisError::Atpg(e),
-            SddError::Diagnosis(e) => e,
-            other => DiagnosisError::ShapeMismatch {
-                what: other.to_string(),
-            },
-        }
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -206,13 +188,16 @@ mod tests {
     }
 
     #[test]
-    fn sdd_error_lifts_and_lowers_layer_errors() {
+    fn sdd_error_lifts_layer_errors() {
+        // The lift keeps the most specific wrapper: a DiagnosisError that
+        // itself wraps a lower layer surfaces as that layer's variant.
         let up = SddError::from(DiagnosisError::from(sdd_timing::TimingError::ZeroSamples));
         assert!(matches!(up, SddError::Timing(_)));
-        let down = DiagnosisError::from(SddError::Config("bad pool".into()));
-        assert!(matches!(down, DiagnosisError::ShapeMismatch { .. }));
-        let roundtrip = DiagnosisError::from(SddError::from(DiagnosisError::NoSuspects));
-        assert!(matches!(roundtrip, DiagnosisError::NoSuspects));
+        let plain = SddError::from(DiagnosisError::NoSuspects);
+        assert!(matches!(
+            plain,
+            SddError::Diagnosis(DiagnosisError::NoSuspects)
+        ));
     }
 
     #[test]

@@ -21,14 +21,18 @@ use sdd_atpg::fault::{PathDelayFault, TransitionDirection};
 use sdd_atpg::path_atpg::generate_candidate_tests;
 use sdd_atpg::podem::{PiAssignment, PodemConfig};
 use sdd_atpg::PatternSet;
-use sdd_netlist::profiles::BenchmarkProfile;
 use sdd_netlist::{Circuit, EdgeId};
 use sdd_timing::{path, sta, CellLibrary, CircuitTiming, TimingInstance, VariationModel};
 use serde::{Deserialize, Serialize};
 use std::time::Instant;
 
 /// Configuration of a defect-injection campaign.
+///
+/// Non-exhaustive: construct via [`CampaignConfig::paper`] or
+/// [`CampaignConfig::quick`] and refine with the `with_*` builders (or
+/// direct field assignment — fields stay public).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[non_exhaustive]
 pub struct CampaignConfig {
     /// Number of chip instances (`N = 20` in the paper).
     pub n_instances: usize,
@@ -113,6 +117,30 @@ impl CampaignConfig {
             podem_backtracks: 300,
             sweep_extra_steps: 2,
         }
+    }
+
+    /// Sets the number of manufactured chip instances.
+    pub fn with_instances(mut self, n_instances: usize) -> Self {
+        self.n_instances = n_instances;
+        self
+    }
+
+    /// Replaces the dictionary budget (samples, seed and kernel).
+    pub fn with_dictionary(mut self, dictionary: DictionaryConfig) -> Self {
+        self.dictionary = dictionary;
+        self
+    }
+
+    /// Sets only the dictionary's fail-probability kernel.
+    pub fn with_kernel(mut self, kernel: crate::dictionary::SimKernel) -> Self {
+        self.dictionary.kernel = kernel;
+        self
+    }
+
+    /// Sets the clock policy.
+    pub fn with_clock(mut self, clock: ClockPolicy) -> Self {
+        self.clock = clock;
+        self
     }
 }
 
@@ -414,53 +442,9 @@ pub fn patterns_through_site_with(
     set
 }
 
-/// Runs the campaign on a profiled synthetic benchmark (generates the
-/// circuit, applies the scan cut, then calls [`run_campaign_on`]).
-///
-/// # Errors
-///
-/// Propagates circuit-generation errors.
-#[deprecated(note = "build a `sdd_core::DiagnosisEngine` and call \
-                     `run_campaign` on it — the engine adds dictionary \
-                     persistence and thread-pool control")]
-pub fn run_campaign(
-    profile: &BenchmarkProfile,
-    config: &CampaignConfig,
-) -> Result<AccuracyReport, DiagnosisError> {
-    crate::engine::DiagnosisEngine::new()
-        .run_campaign(profile, config)
-        .map_err(DiagnosisError::from)
-}
-
-/// Runs the campaign on an explicit combinational circuit.
-///
-/// Chips fan out over the rayon thread pool and share one
-/// [`DictionaryCache`]: every random draw is keyed on the chip index or
-/// the defect site (never on shared RNG state), and outcomes are
-/// stitched back in index order, so the report is bit-identical for any
-/// thread count and any cache population order. Phase timers, cache
-/// counters and simulation counts land in
-/// [`AccuracyReport::metrics`](crate::evaluate::AccuracyReport).
-///
-/// # Errors
-///
-/// Returns an error for degenerate configurations; individual chips whose
-/// diagnosis fails are *scored* as failures, not errors.
-#[deprecated(note = "build a `sdd_core::DiagnosisEngine` and call \
-                     `run_campaign_on` on it — the engine adds dictionary \
-                     persistence and thread-pool control")]
-pub fn run_campaign_on(
-    circuit: &Circuit,
-    config: &CampaignConfig,
-) -> Result<AccuracyReport, DiagnosisError> {
-    crate::engine::DiagnosisEngine::new()
-        .run_campaign_on(circuit, config)
-        .map_err(DiagnosisError::from)
-}
-
-/// The campaign body shared by the [`crate::engine::DiagnosisEngine`]
-/// and the deprecated free-function wrappers: fan chips out over the
-/// *current* rayon pool against the given cache and metrics sink. The
+/// The campaign body shared by [`crate::session::DiagnosisSession`] and
+/// (through it) the [`crate::engine::DiagnosisEngine`] facade: fan chips
+/// out over the *current* rayon pool against the given cache and metrics sink. The
 /// report's metrics are the delta against the sink's state at entry, so
 /// a long-lived engine reports per-campaign numbers.
 pub(crate) fn run_campaign_on_with(
@@ -547,40 +531,12 @@ pub fn diagnose_one_instance(
     )
 }
 
-/// [`diagnose_one_instance`] sharing a campaign-wide [`DictionaryCache`]
-/// and reporting phase timings to a [`MetricsSink`]. This is what the
-/// campaign fans out over the thread pool: diagnosing the same chip
+/// The per-chip body behind [`diagnose_one_instance`] and
+/// [`crate::session::DiagnosisSession::diagnose_instance`] (and thus
+/// [`crate::engine::DiagnosisEngine::diagnose_instance`]). This is what
+/// the campaign fans out over the thread pool: diagnosing the same chip
 /// index through the same cache yields a bit-identical outcome
 /// regardless of thread count or cache population order.
-#[deprecated(note = "build a `sdd_core::DiagnosisEngine` (which owns the \
-                     cache and metrics sink) and call `diagnose_instance` \
-                     on it")]
-#[allow(clippy::too_many_arguments)]
-pub fn diagnose_one_instance_cached(
-    circuit: &Circuit,
-    timing: &CircuitTiming,
-    defect_model: &SingleDefectModel,
-    circuit_clk: Option<f64>,
-    config: &CampaignConfig,
-    index: usize,
-    cache: &DictionaryCache,
-    metrics: &MetricsSink,
-) -> Option<InstanceOutcome> {
-    diagnose_instance_impl(
-        circuit,
-        timing,
-        defect_model,
-        circuit_clk,
-        config,
-        index,
-        cache,
-        metrics,
-    )
-}
-
-/// The per-chip body behind [`diagnose_one_instance`],
-/// [`diagnose_one_instance_cached`] and
-/// [`crate::engine::DiagnosisEngine::diagnose_instance`].
 ///
 /// Every timer, cache event and store event of this instance lands in a
 /// private scratch [`MetricsSink`] first;
@@ -712,6 +668,7 @@ pub(crate) fn diagnose_instance_impl(
         pattern_cache_misses: scratch.pattern_cache_misses,
         pattern_store_hits: scratch.pattern_store_hits,
         pattern_store_misses: scratch.pattern_store_misses,
+        tenant: String::new(),
         outcome,
     };
     metrics.record_instance(&scratch, trace.clone());
@@ -863,15 +820,17 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_wrappers_match_the_engine() {
-        // The thin wrappers must stay bit-identical to the engine path
-        // until they are removed.
+    fn session_api_matches_the_engine() {
+        // The engine facade and a raw session over a fresh layer must
+        // stay bit-identical.
         let via_engine = DiagnosisEngine::new()
             .run_campaign(&profiles::S27, &CampaignConfig::quick(5))
             .unwrap();
-        let via_wrapper = run_campaign(&profiles::S27, &CampaignConfig::quick(5)).unwrap();
-        assert_eq!(via_engine, via_wrapper);
+        let via_session = crate::session::ArtifactLayer::new()
+            .session("inject-test")
+            .run_campaign(&profiles::S27, &CampaignConfig::quick(5))
+            .unwrap();
+        assert_eq!(via_engine, via_session);
     }
 
     #[test]

@@ -66,6 +66,7 @@ pub mod inject;
 pub mod kselect;
 pub mod metrics;
 pub mod multi_defect;
+pub mod session;
 pub mod store;
 pub mod suspects;
 pub mod table;
@@ -85,4 +86,5 @@ pub use metrics::{
     MetricsReport, MetricsSink, Phase, PhaseLatencies, TraceOutcome, METRICS_SCHEMA_VERSION,
     TRACE_RING_CAPACITY,
 };
+pub use session::{ArtifactLayer, ArtifactLayerBuilder, DiagnosisSession};
 pub use store::{DictionaryStore, PatternKey, StoreKey};

@@ -427,6 +427,11 @@ pub struct InstanceTrace {
     /// checkpoint.
     #[serde(default)]
     pub pattern_store_misses: u64,
+    /// Tenant whose session committed this trace (empty for untenanted
+    /// sinks; stamped by [`MetricsSink::record_instance`] when the sink
+    /// was built via [`MetricsSink::for_tenant`]).
+    #[serde(default)]
+    pub tenant: String,
     /// How the diagnosis ended.
     pub outcome: TraceOutcome,
 }
@@ -462,14 +467,41 @@ pub struct MetricsSink {
     pattern_store_flushes: AtomicU64,
     pattern_store_load_nanos: AtomicU64,
     phase_hists: [LatencyHistogram; 4],
+    session_hist: LatencyHistogram,
     traces: Mutex<VecDeque<(u64, InstanceTrace)>>,
     trace_seq: AtomicU64,
+    tenant: String,
 }
 
 impl MetricsSink {
     /// A fresh sink with all counters at zero.
     pub fn new() -> MetricsSink {
         MetricsSink::default()
+    }
+
+    /// A fresh sink whose committed traces are tagged with `tenant`
+    /// (see [`InstanceTrace::tenant`]). A
+    /// [`crate::session::DiagnosisSession`] builds its private sink this
+    /// way so a multi-tenant export can attribute every trace.
+    pub fn for_tenant(tenant: impl Into<String>) -> MetricsSink {
+        MetricsSink {
+            tenant: tenant.into(),
+            ..MetricsSink::default()
+        }
+    }
+
+    /// The tenant label stamped into committed traces (empty for plain
+    /// sinks).
+    pub fn tenant(&self) -> &str {
+        &self.tenant
+    }
+
+    /// Records the wall-clock latency of one session-level request (an
+    /// instance diagnosis, a behaviour diagnosis, or a whole campaign)
+    /// into the session-latency histogram surfaced as
+    /// [`CampaignMetrics::session_latency`].
+    pub fn record_session_latency(&self, nanos: u64) {
+        self.session_hist.record(nanos);
     }
 
     /// Runs `f`, charging its wall-clock time to `phase`.
@@ -594,6 +626,10 @@ impl MetricsSink {
     /// per-phase histogram `sum` equals the summed phase counter, and a
     /// complete trace set sums to the aggregates.
     pub fn record_instance(&self, instance: &CampaignMetrics, trace: InstanceTrace) {
+        let mut trace = trace;
+        if trace.tenant.is_empty() && !self.tenant.is_empty() {
+            trace.tenant = self.tenant.clone();
+        }
         self.patterns_nanos
             .fetch_add(instance.patterns_nanos, Ordering::Relaxed);
         self.observe_nanos
@@ -701,6 +737,7 @@ impl MetricsSink {
                 dictionary: self.phase_hists[Phase::Dictionary.ix()].snapshot(),
                 rank: self.phase_hists[Phase::Rank.ix()].snapshot(),
             },
+            session_latency: self.session_hist.snapshot(),
         }
     }
 }
@@ -783,6 +820,14 @@ pub struct CampaignMetrics {
     /// corresponding totals).
     #[serde(default)]
     pub phase_latency: PhaseLatencies,
+    /// Wall-clock latency distribution of session-level requests (one
+    /// observation per [`crate::session::DiagnosisSession`] entry-point
+    /// call — instance diagnosis, behaviour diagnosis or campaign).
+    /// Unlike the per-phase histograms its count is *not* tied to the
+    /// diagnosed-instance count: a campaign is one request covering many
+    /// instances. Empty for sinks never driven through a session.
+    #[serde(default)]
+    pub session_latency: HistogramSnapshot,
 }
 
 impl CampaignMetrics {
@@ -840,6 +885,7 @@ impl CampaignMetrics {
                 .pattern_store_load_nanos
                 .saturating_sub(baseline.pattern_store_load_nanos),
             phase_latency: self.phase_latency.since(&baseline.phase_latency),
+            session_latency: self.session_latency.since(&baseline.session_latency),
         }
     }
 
@@ -896,6 +942,15 @@ impl CampaignMetrics {
                 f(&self.phase_latency.observe),
                 f(&self.phase_latency.dictionary),
                 f(&self.phase_latency.rank),
+            ));
+        }
+        if !self.session_latency.is_empty() {
+            out.push_str(&format!(
+                "  session latency (p50/p99/max): {} / {} / {} over {} requests\n",
+                fmt_nanos(self.session_latency.p50().unwrap_or(0)),
+                fmt_nanos(self.session_latency.p99().unwrap_or(0)),
+                fmt_nanos(self.session_latency.max().unwrap_or(0)),
+                self.session_latency.count(),
             ));
         }
         let hit_rate = match self.cache_hit_percent() {
@@ -1040,6 +1095,21 @@ impl MetricsReport {
                         "{name} percentiles not monotone: p50 {p50}, p90 {p90}, p99 {p99}, max {max}"
                     ));
                 }
+            }
+        }
+        let s = &self.counters.session_latency;
+        let session_bucket_total: u64 = s.buckets.iter().map(|&(_, n)| n).sum();
+        if session_bucket_total != s.count() {
+            return Err(format!(
+                "session latency buckets sum to {session_bucket_total}, count says {}",
+                s.count()
+            ));
+        }
+        if let (Some(p50), Some(p90), Some(p99), Some(max)) = (s.p50(), s.p90(), s.p99(), s.max()) {
+            if !(p50 <= p90 && p90 <= p99 && p99 <= max) {
+                return Err(format!(
+                    "session latency percentiles not monotone: p50 {p50}, p90 {p90}, p99 {p99}, max {max}"
+                ));
             }
         }
         if self.counters.kernel_nanos > self.counters.dictionary_nanos {
@@ -1402,6 +1472,7 @@ mod tests {
                 patterns: hist.snapshot(),
                 ..PhaseLatencies::default()
             },
+            session_latency: hist.snapshot(),
         };
         let json = serde_json::to_string(&snap).unwrap();
         let back: CampaignMetrics = serde_json::from_str(&json).unwrap();
@@ -1614,6 +1685,7 @@ mod tests {
             pattern_cache_misses: 0,
             pattern_store_hits: 0,
             pattern_store_misses: 0,
+            tenant: String::new(),
             outcome: TraceOutcome::Diagnosed,
         }
     }

@@ -127,11 +127,10 @@ fn analytic_dictionary_tracks_scalar_mc_within_epsilon() {
                 &ps,
                 &suspects,
                 0.3,
-                DictionaryConfig {
-                    n_samples,
-                    seed: 0xD1FF,
-                    kernel,
-                },
+                DictionaryConfig::new()
+                    .with_samples(n_samples)
+                    .with_seed(0xD1FF)
+                    .with_kernel(kernel),
             )
         };
         let analytic = build(SimKernel::Analytic, 150);
@@ -175,11 +174,10 @@ fn analytic_dictionary_is_deterministic_and_ignores_mc_knobs() {
             &ps,
             &suspects,
             0.28,
-            DictionaryConfig {
-                n_samples,
-                seed,
-                kernel: SimKernel::Analytic,
-            },
+            DictionaryConfig::new()
+                .with_samples(n_samples)
+                .with_seed(seed)
+                .with_kernel(SimKernel::Analytic),
         )
     };
     let a = build(150, 0xD1FF);

@@ -71,11 +71,10 @@ fn dictionaries_are_bit_identical_across_kernels() {
                 &ps,
                 &suspects,
                 0.3,
-                DictionaryConfig {
-                    n_samples: 45,
-                    seed: 0xD1FF,
-                    kernel,
-                },
+                DictionaryConfig::new()
+                    .with_samples(45)
+                    .with_seed(0xD1FF)
+                    .with_kernel(kernel),
             )
         };
         let batched = build(SimKernel::Batched);

@@ -182,11 +182,7 @@ fn serde_roundtrips() {
         &patterns,
         &suspects,
         0.5,
-        DictionaryConfig {
-            n_samples: 20,
-            seed: 1,
-            ..DictionaryConfig::default()
-        },
+        DictionaryConfig::new().with_samples(20).with_seed(1),
     );
     let json = serde_json::to_string(&dict).expect("serializes");
     let back: ProbabilisticDictionary = serde_json::from_str(&json).expect("deserializes");

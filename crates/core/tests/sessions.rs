@@ -1,0 +1,122 @@
+//! Multi-session concurrency contracts over one [`ArtifactLayer`]:
+//! sessions with different kernels stay bit-identical to solo runs even
+//! when racing on the shared pool, and a second "client" over a warm
+//! layer (or a warm on-disk store) records loads with zero misses.
+
+use sdd_core::dictionary::SimKernel;
+use sdd_core::inject::CampaignConfig;
+use sdd_core::session::ArtifactLayer;
+use sdd_core::testutil::TestDir;
+use sdd_netlist::profiles;
+
+#[test]
+fn racing_sessions_with_different_kernels_match_their_solo_runs() {
+    let config = CampaignConfig::quick(3);
+    let shared = ArtifactLayer::new();
+    let kernels = [SimKernel::Batched, SimKernel::Analytic];
+
+    // Solo baselines: each kernel alone on a private layer.
+    let solo: Vec<_> = kernels
+        .iter()
+        .map(|&k| {
+            ArtifactLayer::new()
+                .session("solo")
+                .with_kernel(k)
+                .run_campaign(&profiles::S27, &config)
+                .expect("solo campaign")
+        })
+        .collect();
+
+    // The same two campaigns racing on one shared layer.
+    let raced = std::thread::scope(|scope| {
+        let handles: Vec<_> = kernels
+            .iter()
+            .map(|&k| {
+                let shared = &shared;
+                let config = &config;
+                scope.spawn(move || {
+                    shared
+                        .session(format!("tenant-{k:?}"))
+                        .with_kernel(k)
+                        .run_campaign(&profiles::S27, config)
+                        .expect("shared campaign")
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("no panic"))
+            .collect::<Vec<_>>()
+    });
+
+    for ((kernel, solo), raced) in kernels.iter().zip(&solo).zip(&raced) {
+        assert_eq!(
+            solo, raced,
+            "{kernel:?} must be unaffected by a racing session with another kernel"
+        );
+    }
+}
+
+#[test]
+fn second_session_over_a_warm_layer_records_zero_misses() {
+    let config = CampaignConfig::quick(9);
+    let layer = ArtifactLayer::new();
+
+    let first = layer.session("first");
+    first
+        .run_campaign(&profiles::S27, &config)
+        .expect("first campaign");
+    let cold = first.metrics_report();
+    assert!(
+        cold.counters.dict_cache_misses > 0,
+        "first client fills the pool"
+    );
+
+    let second = layer.session("second");
+    second
+        .run_campaign(&profiles::S27, &config)
+        .expect("second campaign");
+    let warm = second.metrics_report();
+    assert!(
+        warm.counters.dict_cache_hits > 0,
+        "second client reads the pool"
+    );
+    assert_eq!(warm.counters.dict_cache_misses, 0, "dictionary misses");
+    assert_eq!(warm.counters.pattern_cache_misses, 0, "pattern misses");
+}
+
+#[test]
+fn second_layer_over_a_warm_store_loads_with_zero_misses() {
+    let dir = TestDir::new("sessions-store-warm");
+    let config = CampaignConfig::quick(13);
+
+    let report_cold = {
+        let layer = ArtifactLayer::builder()
+            .store_dir(dir.path())
+            .build()
+            .expect("cold layer");
+        layer
+            .session("writer")
+            .run_campaign(&profiles::S27, &config)
+            .expect("cold campaign")
+    };
+
+    // A fresh process over the same store: pattern sets come off disk,
+    // never recomputed — loads > 0, misses == 0 — and the report stays
+    // bit-identical to the store-cold run.
+    let layer = ArtifactLayer::builder()
+        .store_dir(dir.path())
+        .build()
+        .expect("warm layer");
+    let reader = layer.session("reader");
+    let report_warm = reader
+        .run_campaign(&profiles::S27, &config)
+        .expect("warm campaign");
+    let metrics = reader.metrics_report();
+    assert!(metrics.counters.pattern_store_hits > 0, "store loads");
+    assert_eq!(metrics.counters.pattern_store_misses, 0, "store misses");
+    assert_eq!(
+        report_cold, report_warm,
+        "store-warm run must stay bit-identical"
+    );
+}

@@ -1,0 +1,73 @@
+//! `sdd-server`: serve statistical delay-defect diagnosis over
+//! JSON-lines TCP.
+//!
+//! ```text
+//! sdd-server [--addr HOST:PORT] [--store DIR] [--queue N] [--workers N]
+//!            [--metrics-json FILE]
+//! ```
+
+use sdd_server::{Server, ServerConfig};
+use std::io::Write;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut config = ServerConfig::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |flag: &str| {
+            args.next()
+                .unwrap_or_else(|| die(&format!("{flag} needs a value")))
+        };
+        match arg.as_str() {
+            "--addr" => config.addr = value("--addr"),
+            "--store" => config.store_dir = Some(value("--store").into()),
+            "--queue" => {
+                config.queue_capacity = value("--queue")
+                    .parse()
+                    .unwrap_or_else(|_| die("--queue needs an integer"))
+            }
+            "--workers" => {
+                config.workers = value("--workers")
+                    .parse()
+                    .unwrap_or_else(|_| die("--workers needs an integer"))
+            }
+            "--metrics-json" => config.metrics_json = Some(value("--metrics-json").into()),
+            "--help" | "-h" => {
+                println!(
+                    "usage: sdd-server [--addr HOST:PORT] [--store DIR] [--queue N] \
+                     [--workers N] [--metrics-json FILE]"
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => die(&format!("unknown flag {other:?} (try --help)")),
+        }
+    }
+
+    let server = match Server::bind(config) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("sdd-server: bind failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("sdd-server listening on {}", server.addr());
+    let _ = std::io::stdout().flush();
+    match server.run() {
+        Ok(export) => {
+            println!(
+                "sdd-server: shut down cleanly ({} tenant report(s))",
+                export.reports.len()
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("sdd-server: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn die(message: &str) -> ! {
+    eprintln!("sdd-server: {message}");
+    std::process::exit(2)
+}

@@ -1,0 +1,116 @@
+//! Protocol-robustness regression tests: malformed, oversized or
+//! garbage request lines must each produce a structured `error`
+//! response and leave the connection serving follow-up requests.
+
+use sdd_server::{Client, Request, Response, Server, ServerConfig, MAX_LINE_BYTES};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+fn start_server() -> SocketAddr {
+    let server = Server::bind(ServerConfig::default()).expect("bind");
+    let addr = server.addr();
+    std::thread::spawn(move || server.run());
+    addr
+}
+
+fn connect(addr: SocketAddr) -> Client {
+    Client::connect_with_retry(&addr.to_string(), Duration::from_secs(5)).expect("connect")
+}
+
+/// The connection must answer a ping after whatever abuse preceded it.
+fn assert_alive(client: &mut Client) {
+    let pong = client.request(&Request::new("ping")).expect("ping");
+    assert_eq!(pong.op, "pong", "connection must stay alive: {pong:?}");
+}
+
+#[test]
+fn malformed_json_yields_error_and_connection_survives() {
+    let mut client = connect(start_server());
+    for bad in [
+        "{not json",
+        "[1, 2, 3]",
+        "42",
+        "\"just a string\"",
+        "{\"v\": 1}",                      // missing mandatory `op`
+        "{\"op\": 7}",                     // op of the wrong type
+        "{\"op\": \"no-such-op\"}",        // unknown op
+        "{\"op\": \"submit\", \"v\": 99}", // unsupported protocol version
+        "null",
+    ] {
+        client.send_raw(bad).expect("send");
+        let response = client.recv().expect("recv").expect("response");
+        assert_eq!(response.op, "error", "for line {bad:?}: {response:?}");
+        assert!(!response.error.is_empty(), "error text for {bad:?}");
+    }
+    assert_alive(&mut client);
+}
+
+#[test]
+fn oversized_line_is_drained_not_fatal() {
+    let mut client = connect(start_server());
+    let huge = format!(
+        "{{\"op\": \"ping\", \"tenant\": \"{}\"}}",
+        "x".repeat(MAX_LINE_BYTES)
+    );
+    client.send_raw(&huge).expect("send");
+    let response = client.recv().expect("recv").expect("response");
+    assert_eq!(response.op, "error");
+    assert!(response.error.contains("exceeds"), "{response:?}");
+    assert_alive(&mut client);
+}
+
+#[test]
+fn invalid_utf8_yields_error_not_disconnect() {
+    let addr = start_server();
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .write_all(&[0xff, 0xfe, 0x80, b'{', b'}', b'\n'])
+        .expect("write");
+    stream.flush().expect("flush");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("read");
+    let response: Response = serde_json::from_str(&line).expect("structured response");
+    assert_eq!(response.op, "error");
+    assert!(response.error.contains("UTF-8"), "{response:?}");
+
+    // Follow-up on the same socket still works.
+    stream.write_all(b"{\"op\": \"ping\"}\n").expect("write");
+    line.clear();
+    reader.read_line(&mut line).expect("read");
+    let response: Response = serde_json::from_str(&line).expect("structured response");
+    assert_eq!(response.op, "pong");
+}
+
+/// Deterministic fuzz sweep: every garbage line gets exactly one
+/// structured response and never kills the connection.
+#[test]
+fn garbage_lines_always_get_one_structured_response() {
+    let mut client = connect(start_server());
+    let alphabet: &[u8] = b"{}[]\",:xyz0189 \\ttrue";
+    let mut state: u64 = 0x5DD_CAFE;
+    for round in 0..64 {
+        let len = 1 + (state % 97) as usize;
+        let line: String = (0..len)
+            .map(|_| {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                alphabet[(state >> 33) as usize % alphabet.len()] as char
+            })
+            .collect();
+        if line.trim().is_empty() {
+            continue; // blank lines are legitimately ignored
+        }
+        client.send_raw(&line).expect("send");
+        let response = client.recv().expect("recv").expect("response");
+        // Random bytes never form a valid request, so every line must
+        // come back as a structured error (round {round}).
+        assert_eq!(
+            response.op, "error",
+            "round {round}, line {line:?}: {response:?}"
+        );
+    }
+    assert_alive(&mut client);
+}

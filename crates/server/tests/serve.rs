@@ -1,0 +1,209 @@
+//! End-to-end serving tests: served rankings are bit-identical to an
+//! in-process session over the same configuration, a second tenant runs
+//! fully warm (0 artifact misses), the bounded admission queue answers
+//! `busy`, and graceful shutdown writes a validating per-tenant
+//! metrics export.
+
+use sdd_core::defect::SingleDefectModel;
+use sdd_core::inject::CampaignConfig;
+use sdd_core::metrics::MetricsExport;
+use sdd_core::session::ArtifactLayer;
+use sdd_core::testutil::TestDir;
+use sdd_netlist::profiles;
+use sdd_server::{Client, Request, Server, ServerConfig};
+use sdd_timing::{CellLibrary, CircuitTiming};
+use std::net::SocketAddr;
+use std::time::Duration;
+
+fn start(
+    config: ServerConfig,
+) -> (
+    SocketAddr,
+    std::thread::JoinHandle<std::io::Result<MetricsExport>>,
+) {
+    let server = Server::bind(config).expect("bind");
+    let addr = server.addr();
+    (addr, std::thread::spawn(move || server.run()))
+}
+
+fn connect(addr: SocketAddr) -> Client {
+    Client::connect_with_retry(&addr.to_string(), Duration::from_secs(5)).expect("connect")
+}
+
+fn submit_request(tenant: &str, chips: Vec<u64>, config: &CampaignConfig) -> Request {
+    let mut r = Request::new("submit");
+    r.tenant = tenant.into();
+    r.circuit = "s27".into();
+    r.chips = chips;
+    r.config = Some(config.clone());
+    r
+}
+
+fn tenant_metrics(client: &mut Client, tenant: &str) -> sdd_core::metrics::MetricsReport {
+    let mut r = Request::new("metrics");
+    r.tenant = tenant.into();
+    let response = client.request(&r).expect("metrics");
+    assert_eq!(response.op, "metrics", "{response:?}");
+    response.metrics.expect("metrics payload")
+}
+
+#[test]
+fn served_rankings_match_an_in_process_session_bit_for_bit() {
+    let config = CampaignConfig::quick(5);
+    let (addr, handle) = start(ServerConfig::default());
+    let mut client = connect(addr);
+    let responses = client
+        .submit(&submit_request("alpha", vec![0, 1, 2], &config))
+        .expect("submit");
+    assert_eq!(responses.len(), 3, "one outcome per chip: {responses:?}");
+
+    // Replicate the campaign environment the server derives per submit.
+    let profile = profiles::by_name("s27").unwrap();
+    let circuit = sdd_netlist::generator::generate(&profile.to_config(config.seed))
+        .unwrap()
+        .to_combinational()
+        .unwrap();
+    let library = CellLibrary::default_025um();
+    let timing = CircuitTiming::characterize(&circuit, &library, config.variation);
+    let model = SingleDefectModel::paper_section_i(library.nominal_cell_delay());
+    let session = ArtifactLayer::new().session("local");
+
+    let mut compared = 0;
+    for (chip, response) in responses.iter().enumerate() {
+        assert_eq!(response.op, "outcome");
+        assert_eq!(response.chip, chip as u64);
+        let local = session.diagnose_instance(&circuit, &timing, &model, None, &config, chip);
+        match local {
+            Some(local) => {
+                assert_eq!(response.injected, Some(local.injected.index() as u64));
+                assert_eq!(
+                    response.rankings, local.rankings,
+                    "served rankings for chip {chip} must be bit-identical"
+                );
+                compared += 1;
+            }
+            None => assert_eq!(
+                response.injected, None,
+                "chip {chip} undetectable both ways"
+            ),
+        }
+    }
+    assert!(compared > 0, "at least one chip must produce a ranking");
+    client.request(&Request::new("shutdown")).expect("shutdown");
+    handle.join().unwrap().expect("clean shutdown");
+}
+
+#[test]
+fn second_tenant_runs_fully_warm_with_zero_misses() {
+    let store = TestDir::new("server-warm");
+    let config = CampaignConfig::quick(7);
+    let (addr, handle) = start(ServerConfig {
+        store_dir: Some(store.path().to_path_buf()),
+        ..ServerConfig::default()
+    });
+
+    let mut alpha = connect(addr);
+    alpha
+        .submit(&submit_request("alpha", vec![0, 1], &config))
+        .expect("alpha submit");
+
+    let mut beta = connect(addr);
+    beta.submit(&submit_request("beta", vec![0, 1], &config))
+        .expect("beta submit");
+
+    let warm = tenant_metrics(&mut beta, "beta");
+    assert_eq!(warm.counters.dict_cache_misses, 0, "beta dictionary misses");
+    assert_eq!(warm.counters.pattern_cache_misses, 0, "beta pattern misses");
+    assert!(
+        warm.counters.dict_cache_hits > 0,
+        "beta must hit the shared pool"
+    );
+    assert_eq!(warm.circuit, "tenant:beta");
+
+    let cold = tenant_metrics(&mut alpha, "alpha");
+    assert!(
+        cold.counters.dict_cache_misses > 0,
+        "alpha populated the pool"
+    );
+
+    alpha.request(&Request::new("shutdown")).expect("shutdown");
+    handle.join().unwrap().expect("clean shutdown");
+}
+
+#[test]
+fn full_admission_queue_answers_busy_instead_of_blocking() {
+    let (addr, handle) = start(ServerConfig {
+        queue_capacity: 1,
+        workers: 1,
+        ..ServerConfig::default()
+    });
+    let config = CampaignConfig::quick(3);
+    let mut client = connect(addr);
+    let total = 12;
+    for _ in 0..total {
+        client
+            .send(&submit_request("alpha", vec![0, 1, 2, 3], &config))
+            .expect("send");
+    }
+    let mut done = 0;
+    let mut busy = 0;
+    while done + busy < total {
+        let response = client.recv().expect("recv").expect("response");
+        match response.op.as_str() {
+            "done" => done += 1,
+            "busy" => {
+                busy += 1;
+                assert!(!response.error.is_empty(), "busy carries a hint");
+            }
+            "outcome" => {}
+            other => panic!("unexpected op {other:?}: {response:?}"),
+        }
+    }
+    assert!(
+        busy > 0,
+        "a 1-deep queue under {total} rapid submits must shed load"
+    );
+    assert!(done > 0, "admitted work still completes");
+    client.request(&Request::new("shutdown")).expect("shutdown");
+    handle.join().unwrap().expect("clean shutdown");
+}
+
+#[test]
+fn shutdown_flushes_a_validating_per_tenant_export() {
+    let store = TestDir::new("server-export");
+    let export_path = store.path().join("metrics.json");
+    let config = CampaignConfig::quick(11);
+    let (addr, handle) = start(ServerConfig {
+        store_dir: Some(store.path().join("store")),
+        metrics_json: Some(export_path.clone()),
+        ..ServerConfig::default()
+    });
+
+    let mut client = connect(addr);
+    client
+        .submit(&submit_request("beta", vec![0], &config))
+        .expect("beta submit");
+    client
+        .submit(&submit_request("alpha", vec![0, 1], &config))
+        .expect("alpha submit");
+    client.request(&Request::new("shutdown")).expect("shutdown");
+
+    let export = handle.join().unwrap().expect("clean shutdown");
+    export.validate().expect("returned export validates");
+    let tenants: Vec<&str> = export.reports.iter().map(|r| r.circuit.as_str()).collect();
+    assert_eq!(
+        tenants,
+        ["tenant:alpha", "tenant:beta"],
+        "sorted per-tenant reports"
+    );
+    assert!(export
+        .reports
+        .iter()
+        .all(|r| r.counters.session_latency.count > 0));
+
+    let written: MetricsExport =
+        serde_json::from_str(&std::fs::read_to_string(&export_path).expect("export file"))
+            .expect("export parses");
+    written.validate().expect("written export validates");
+    assert_eq!(written.reports.len(), 2);
+}

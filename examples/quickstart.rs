@@ -5,6 +5,7 @@
 //! cargo run --release --example quickstart
 //! ```
 
+use sdd::diagnosis::inject::{patterns_through_site, tested_delay_samples};
 use sdd::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {

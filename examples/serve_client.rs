@@ -1,0 +1,88 @@
+//! A minimal JSON-lines client for `sdd-server`.
+//!
+//! ```text
+//! cargo run --example serve_client -- --addr 127.0.0.1:7878 \
+//!     --tenant alpha --circuit s1196 --chips 0,1,2 [--kernel batched] \
+//!     [--shutdown]
+//! ```
+//!
+//! Submits the chips as one request, prints each streamed outcome, then
+//! fetches and renders the tenant's metrics report (the cache-counter
+//! lines show whether this client ran against a warm artifact pool).
+
+use sdd_server::{Client, Request};
+use std::time::Duration;
+
+fn main() -> std::io::Result<()> {
+    let mut addr = "127.0.0.1:7878".to_string();
+    let mut tenant = "example".to_string();
+    let mut circuit = "s27".to_string();
+    let mut chips: Vec<u64> = vec![0];
+    let mut kernel = String::new();
+    let mut shutdown = false;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |flag: &str| args.next().expect(flag);
+        match arg.as_str() {
+            "--addr" => addr = value("--addr needs a value"),
+            "--tenant" => tenant = value("--tenant needs a value"),
+            "--circuit" => circuit = value("--circuit needs a value"),
+            "--chips" => {
+                chips = value("--chips needs a value")
+                    .split(',')
+                    .map(|s| s.trim().parse().expect("--chips needs integers"))
+                    .collect()
+            }
+            "--kernel" => kernel = value("--kernel needs a value"),
+            "--shutdown" => shutdown = true,
+            other => panic!("unknown flag {other:?}"),
+        }
+    }
+
+    let mut client = Client::connect_with_retry(&addr, Duration::from_secs(10))?;
+
+    let mut submit = Request::new("submit");
+    submit.tenant = tenant.clone();
+    submit.circuit = circuit.clone();
+    submit.chips = chips;
+    submit.kernel = kernel;
+    println!(
+        "[{tenant}] submitting {} against {circuit}",
+        submit.chips.len()
+    );
+    for response in client.submit(&submit)? {
+        match response.op.as_str() {
+            "outcome" => {
+                let top = response
+                    .rankings
+                    .first()
+                    .and_then(|r| r.first())
+                    .map(|s| format!("top suspect edge {} (score {:.4})", s.edge, s.score))
+                    .unwrap_or_else(|| "no suspects".into());
+                println!(
+                    "[{tenant}] chip {}: detected={} injected={:?} {top}",
+                    response.chip, response.detected, response.injected
+                );
+            }
+            other => println!("[{tenant}] {other}: {}", response.error),
+        }
+    }
+
+    let mut metrics = Request::new("metrics");
+    metrics.tenant = tenant.clone();
+    let response = client.request(&metrics)?;
+    match response.metrics {
+        Some(report) => {
+            println!("[{tenant}] metrics report ({}):", report.circuit);
+            println!("{}", report.counters.render());
+        }
+        None => println!("[{tenant}] no metrics: {}", response.error),
+    }
+
+    if shutdown {
+        let bye = client.request(&Request::new("shutdown"))?;
+        println!("[{tenant}] server said {:?}", bye.op);
+    }
+    Ok(())
+}

@@ -21,12 +21,19 @@
 //! use sdd::prelude::*;
 //!
 //! fn main() -> Result<(), SddError> {
-//!     let engine = DiagnosisEngine::builder().store_dir("dict-store").build()?;
-//!     let report = engine.run_campaign(&profiles::S27, &CampaignConfig::quick(1))?;
+//!     let layer = ArtifactLayer::builder().store_dir("dict-store").build()?;
+//!     let session = layer.session("quickstart");
+//!     let report = session.run_campaign(&profiles::S27, &CampaignConfig::quick(1))?;
 //!     println!("{}", report.render_table());
 //!     Ok(())
 //! }
 //! ```
+//!
+//! Multiple clients share one warm artifact pool by opening one
+//! [`prelude::DiagnosisSession`] per tenant on a single
+//! [`prelude::ArtifactLayer`]; the single-client
+//! [`prelude::DiagnosisEngine`] facade remains for simple applications.
+//! `sdd-server` serves the same session API over JSON-lines TCP.
 
 #![warn(missing_docs)]
 
@@ -38,20 +45,22 @@ pub use sdd_timing as timing;
 pub mod prelude {
     //! Everything a typical diagnosis application needs, one import away.
     //!
-    //! Covers the quickstart flow end to end: build or parse a circuit,
-    //! characterize its statistical timing, inject a defect, generate
-    //! patterns, observe behaviour, and diagnose — either step by step
-    //! through [`Diagnoser`], or wholesale through [`DiagnosisEngine`]
-    //! campaigns (with optional on-disk dictionary persistence via
-    //! [`DictionaryStore`]).
+    //! Centered on the two-layer serving API: an [`ArtifactLayer`] owns
+    //! the shared caches, store and thread-pool policy; each client holds
+    //! a [`DiagnosisSession`] (tenant id, kernel choice, private
+    //! metrics). The quickstart flow still works step by step — build or
+    //! parse a circuit, characterize its statistical timing, inject a
+    //! defect, generate patterns, observe behaviour, and diagnose through
+    //! [`Diagnoser`] — and the single-client [`DiagnosisEngine`] facade
+    //! wraps a layer plus one session for simple applications (with
+    //! optional on-disk dictionary persistence via [`DictionaryStore`]).
 
     pub use sdd_core::defect::SingleDefectModel;
-    pub use sdd_core::inject::{
-        patterns_through_site, tested_delay_samples, CampaignConfig, ClockPolicy,
-    };
+    pub use sdd_core::inject::{CampaignConfig, ClockPolicy};
     pub use sdd_core::{
-        BehaviorMatrix, CampaignMetrics, Diagnoser, DiagnoserConfig, DiagnosisEngine,
-        DictionaryCache, DictionaryConfig, DictionaryStore, ErrorFunction, SddError,
+        ArtifactLayer, BehaviorMatrix, CampaignMetrics, Diagnoser, DiagnoserConfig,
+        DiagnosisEngine, DiagnosisError, DiagnosisSession, DictionaryCache, DictionaryConfig,
+        DictionaryStore, ErrorFunction, MetricsReport, RankedSite, SddError, SimKernel,
     };
     pub use sdd_netlist::bench_format;
     pub use sdd_netlist::generator::{generate, GeneratorConfig};

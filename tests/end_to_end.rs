@@ -2,7 +2,7 @@
 //! four crates, on small fixtures where the expected outcome is known.
 
 use sdd::diagnosis::defect::InjectedDefect;
-use sdd::diagnosis::inject::diagnose_one_instance;
+use sdd::diagnosis::inject::{diagnose_one_instance, patterns_through_site, tested_delay_samples};
 use sdd::prelude::*;
 
 fn fixture() -> (sdd::netlist::Circuit, CircuitTiming, CellLibrary) {
