@@ -1,0 +1,291 @@
+//! Measures how per-suspect dictionary cost scales with circuit size
+//! across the full ISCAS-89 suite (s1196 … s15850) plus the synthetic
+//! ~100k-gate profile.
+//!
+//! The harness is deliberately independent of ATPG: every circuit gets
+//! the same deterministic workload — a seeded random pattern set, a
+//! stride-sampled suspect-edge set, one Monte-Carlo dictionary build
+//! over those suspects with the batched cone-local kernel — so the
+//! numbers isolate the timing substrate, not pattern-generation effort.
+//! Phases timed per circuit:
+//!
+//! * `build` — synthetic netlist generation + scan cut,
+//! * `characterize` — per-arc statistical timing model,
+//! * `clk` — clock selection by static Monte-Carlo STA,
+//! * `patterns` — the seeded pattern set,
+//! * `cones` — [`DefectCone`] extraction for every suspect
+//!   (cone-proportional since the CSR/`ConeView` rework),
+//! * `dictionary` — the Monte-Carlo dictionary build itself.
+//!
+//! The scaling claim under test: per-suspect cost tracks *suspect-cone
+//! size*, not circuit size. The synthetic generator's fanout cones grow
+//! with the circuit (unlike real ISCAS netlists, whose cones are
+//! bounded by local structure), so the invariant checked here is the
+//! normalized one — dictionary nanoseconds per cone-node×pattern×sample
+//! must stay flat (within [`FLATNESS_BOUND`]) from the smallest to the
+//! largest circuit, a ~185x node-count range.
+//!
+//! Writes the per-circuit table as JSON (`--json PATH`; the committed
+//! artifact is `BENCH_scale.json` at the repository root, refreshed on
+//! full runs). `--quick` shrinks every budget for the CI smoke step;
+//! `--circuit NAME` restricts the suite.
+//!
+//! ```text
+//! cargo run -p sdd-bench --release --bin scale \
+//!     [-- --quick] [--circuit s15850] [--seed 2] [--json PATH]
+//! ```
+
+use sdd_atpg::pattern::PatternSet;
+use sdd_bench::flag_value;
+use sdd_core::dictionary::{DictionaryConfig, ProbabilisticDictionary, SimKernel};
+use sdd_netlist::generator::generate;
+use sdd_netlist::profiles;
+use sdd_timing::dynamic::DefectCone;
+use sdd_timing::{sta, CellLibrary, CircuitTiming, Dist, VariationModel};
+use serde::Serialize;
+use std::time::Instant;
+
+/// Largest tolerated ratio between any two circuits' normalized
+/// per-cone-node costs. Generous because the smallest circuits run the
+/// kernel for microseconds per suspect, where fixed per-call overhead
+/// (allocation, baseline rows) is still visible.
+const FLATNESS_BOUND: f64 = 4.0;
+
+#[derive(Serialize)]
+struct Budgets {
+    n_patterns: usize,
+    n_suspects: usize,
+    n_samples: usize,
+    sta_samples: usize,
+}
+
+#[derive(Serialize)]
+struct Phases {
+    build: u64,
+    characterize: u64,
+    clk: u64,
+    patterns: u64,
+    cones: u64,
+    dictionary: u64,
+}
+
+#[derive(Serialize)]
+struct Row {
+    name: String,
+    nodes: usize,
+    edges: usize,
+    depth: u32,
+    mean_cone: usize,
+    max_cone: usize,
+    phases_ns: Phases,
+    per_suspect_pattern_ns: f64,
+    per_cone_node_sample_ns: f64,
+}
+
+#[derive(Serialize)]
+struct ScaleDoc {
+    schema: u32,
+    bench: String,
+    seed: u64,
+    mode: String,
+    budgets: Budgets,
+    circuits: Vec<Row>,
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let seed: u64 = flag_value(&args, "--seed")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2);
+    let only = flag_value(&args, "--circuit");
+    let budgets = if quick {
+        Budgets {
+            n_patterns: 4,
+            n_suspects: 16,
+            n_samples: 16,
+            sta_samples: 20,
+        }
+    } else {
+        Budgets {
+            n_patterns: 16,
+            n_suspects: 64,
+            n_samples: 64,
+            sta_samples: 100,
+        }
+    };
+
+    let mut names: Vec<&str> = profiles::TABLE1_PROFILES.iter().map(|p| p.name).collect();
+    names.push(profiles::SYNTH100K.name);
+    if let Some(one) = &only {
+        assert!(profiles::by_name(one).is_some(), "unknown circuit `{one}`");
+        names.retain(|n| n == one);
+    }
+
+    let mode = if quick { "quick" } else { "full" };
+    println!("=== cone-local dictionary scaling (seed {seed}, {mode} budgets) ===");
+    println!(
+        "    {} patterns x {} suspects x {} MC samples per circuit\n",
+        budgets.n_patterns, budgets.n_suspects, budgets.n_samples
+    );
+    println!(
+        "{:>10} {:>8} {:>8} {:>6} {:>9} {:>10} {:>12} {:>14} {:>12}",
+        "circuit",
+        "nodes",
+        "edges",
+        "depth",
+        "meancone",
+        "cones",
+        "dict",
+        "per-susp-pat",
+        "per-node-smp"
+    );
+
+    let rows: Vec<Row> = names
+        .iter()
+        .map(|name| run_circuit(name, seed, &budgets))
+        .collect();
+
+    for r in &rows {
+        println!(
+            "{:>10} {:>8} {:>8} {:>6} {:>9} {:>9.1?} {:>11.1?} {:>12.1?} {:>9.2}ns",
+            r.name,
+            r.nodes,
+            r.edges,
+            r.depth,
+            r.mean_cone,
+            std::time::Duration::from_nanos(r.phases_ns.cones),
+            std::time::Duration::from_nanos(r.phases_ns.dictionary),
+            std::time::Duration::from_nanos(r.per_suspect_pattern_ns as u64),
+            r.per_cone_node_sample_ns,
+        );
+    }
+
+    // The scaling invariant: normalized cost is flat across the suite.
+    if rows.len() > 1 {
+        let min = rows
+            .iter()
+            .map(|r| r.per_cone_node_sample_ns)
+            .fold(f64::INFINITY, f64::min);
+        let max = rows
+            .iter()
+            .map(|r| r.per_cone_node_sample_ns)
+            .fold(0.0f64, f64::max);
+        let spread = max / min;
+        println!(
+            "\nper cone-node sample cost  : {min:.2} .. {max:.2} ns ({spread:.2}x spread over {}x node range)",
+            rows.iter().map(|r| r.nodes).max().unwrap() / rows.iter().map(|r| r.nodes).min().unwrap()
+        );
+        assert!(
+            spread <= FLATNESS_BOUND,
+            "per-cone-node cost is not flat: {spread:.2}x spread exceeds {FLATNESS_BOUND}x \
+             (dictionary cost is no longer cone-proportional)"
+        );
+    }
+
+    let json = render_json(seed, mode, budgets, rows);
+    if let Some(path) = flag_value(&args, "--json") {
+        std::fs::write(&path, &json).expect("write json");
+        println!("wrote {path}");
+    }
+    if !quick && only.is_none() {
+        // The committed artifact: refreshed only by full-suite runs so a
+        // restricted/quick invocation never truncates it.
+        let root = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_scale.json");
+        std::fs::write(root, &json).expect("write BENCH_scale.json");
+        println!("wrote BENCH_scale.json");
+    }
+}
+
+fn run_circuit(name: &str, seed: u64, budgets: &Budgets) -> Row {
+    let profile = profiles::by_name(name).expect("known profile");
+
+    let t = Instant::now();
+    let circuit = generate(&profile.to_config(seed))
+        .expect("profile generates")
+        .to_combinational()
+        .expect("scan cut succeeds");
+    let build_ns = t.elapsed().as_nanos();
+
+    let library = CellLibrary::default_025um();
+    let t = Instant::now();
+    let timing = CircuitTiming::characterize(&circuit, &library, VariationModel::default());
+    let characterize_ns = t.elapsed().as_nanos();
+
+    let t = Instant::now();
+    let clk = sta::static_mc(&circuit, &timing, budgets.sta_samples, seed)
+        .expect("circuit has outputs")
+        .clock_at_quantile(0.95);
+    let clk_ns = t.elapsed().as_nanos();
+
+    let t = Instant::now();
+    let patterns = PatternSet::random(&circuit, budgets.n_patterns, seed ^ 0x5ca1e);
+    let patterns_ns = t.elapsed().as_nanos();
+
+    // Stride-sample suspects across the whole edge-id range so early
+    // (deep-cone) and late (shallow-cone) sites are both represented.
+    let stride = (circuit.num_edges() / budgets.n_suspects).max(1);
+    let suspects: Vec<_> = circuit
+        .edge_ids()
+        .step_by(stride)
+        .take(budgets.n_suspects)
+        .collect();
+
+    let t = Instant::now();
+    let cones: Vec<DefectCone> = suspects
+        .iter()
+        .map(|&e| DefectCone::new(&circuit, e))
+        .collect();
+    let cones_ns = t.elapsed().as_nanos();
+    let cone_sizes: Vec<usize> = cones.iter().map(|c| c.len()).collect();
+    let total_cone: usize = cone_sizes.iter().sum();
+    let mean_cone = total_cone / cone_sizes.len().max(1);
+    let max_cone = cone_sizes.iter().copied().max().unwrap_or(0);
+
+    let defect = Dist::defect_size(library.nominal_cell_delay());
+    let config = DictionaryConfig::new()
+        .with_samples(budgets.n_samples)
+        .with_seed(seed)
+        .with_kernel(SimKernel::Batched);
+    let t = Instant::now();
+    let dict = ProbabilisticDictionary::build(
+        &circuit, &timing, &defect, &patterns, &suspects, clk, config,
+    );
+    let dictionary_ns = t.elapsed().as_nanos();
+    assert_eq!(dict.suspects().len(), suspects.len());
+
+    let per_suspect_pattern_ns = dictionary_ns as f64 / (suspects.len() * patterns.len()) as f64;
+    let per_cone_node_sample_ns =
+        dictionary_ns as f64 / (total_cone * patterns.len() * budgets.n_samples) as f64;
+
+    Row {
+        name: name.to_owned(),
+        nodes: circuit.num_nodes(),
+        edges: circuit.num_edges(),
+        depth: circuit.depth(),
+        mean_cone,
+        max_cone,
+        phases_ns: Phases {
+            build: build_ns as u64,
+            characterize: characterize_ns as u64,
+            clk: clk_ns as u64,
+            patterns: patterns_ns as u64,
+            cones: cones_ns as u64,
+            dictionary: dictionary_ns as u64,
+        },
+        per_suspect_pattern_ns,
+        per_cone_node_sample_ns,
+    }
+}
+
+fn render_json(seed: u64, mode: &str, budgets: Budgets, rows: Vec<Row>) -> String {
+    let doc = ScaleDoc {
+        schema: 1,
+        bench: "scale".to_owned(),
+        seed,
+        mode: mode.to_owned(),
+        budgets,
+        circuits: rows,
+    };
+    serde_json::to_string(&doc).expect("json serializes")
+}

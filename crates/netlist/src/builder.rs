@@ -1,6 +1,6 @@
 //! Validated construction of [`Circuit`]s.
 
-use crate::circuit::Node;
+use crate::circuit::BuildNode;
 use crate::{Circuit, GateKind, NetlistError, NodeId};
 use std::collections::HashMap;
 
@@ -35,7 +35,7 @@ use std::collections::HashMap;
 #[derive(Debug, Clone)]
 pub struct CircuitBuilder {
     name: String,
-    nodes: Vec<Node>,
+    nodes: Vec<BuildNode>,
     names: HashMap<String, NodeId>,
     outputs: Vec<NodeId>,
     pending: Vec<NodeId>,
@@ -57,12 +57,15 @@ impl CircuitBuilder {
         if self.names.contains_key(name) {
             return Err(NetlistError::DuplicateName(name.to_owned()));
         }
+        // Reject id overflow at the insertion boundary rather than in
+        // `finish`, so huge streaming constructions fail fast with the
+        // typed capacity error.
+        Circuit::validate_capacity(self.nodes.len() + 1, 0)?;
         let id = NodeId::from_index(self.nodes.len());
-        self.nodes.push(Node {
+        self.nodes.push(BuildNode {
             name: name.to_owned(),
             kind,
             fanins: Vec::new(),
-            fanin_edges: Vec::new(),
         });
         self.names.insert(name.to_owned(), id);
         Ok(id)

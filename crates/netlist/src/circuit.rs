@@ -1,43 +1,105 @@
-//! The immutable, validated circuit graph.
+//! The immutable, validated circuit graph in a flat CSR/arena layout.
+//!
+//! All graph topology lives in contiguous index arrays (compressed
+//! sparse row form) rather than per-node heap allocations:
+//!
+//! * node attributes (`names`, `kinds`, `levels`, `topo_pos`) are plain
+//!   arena vectors indexed by [`NodeId`];
+//! * fanin arcs are the CSR pair `fanin_offsets` / `fanin_nodes` —
+//!   node `i`'s fanin arcs are exactly the edge ids
+//!   `fanin_offsets[i] .. fanin_offsets[i+1]`, in pin order, so an
+//!   [`EdgeId`] doubles as the row index of its driver (`fanin_nodes`)
+//!   and sink (`edge_to`) without any `Edge` structs being stored;
+//! * fanout arcs are the CSR pair `fanout_offsets` / `fanout_edge_ids`;
+//! * the topological order is precomputed together with its inverse
+//!   permutation (`topo_pos`) and a per-level grouping
+//!   (`level_starts` / `by_level`).
+//!
+//! The layout is an internal representation change only: the accessor
+//! API ([`Circuit::node`] returning a [`NodeRef`] view, [`Circuit::edge`]
+//! returning an [`Edge`] by value) keeps every call site of the old
+//! pointer-chasing `Vec<Node>` layout compiling unchanged, and edge ids,
+//! node ids and the topological order are assigned by exactly the same
+//! rules as before — which is what keeps the Monte-Carlo diagnosis paths
+//! (whose RNG draws are keyed on those ids) bit-identical across the
+//! refactor.
 
-use crate::{CircuitBuilder, EdgeId, GateKind, NetlistError, NodeId};
+use crate::{CircuitBuilder, ConeView, EdgeId, GateKind, NetlistError, NodeId};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
-/// One node of the circuit graph: a primary input, a logic cell or a D
-/// flip-flop.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
-pub struct Node {
-    pub(crate) name: String,
-    pub(crate) kind: GateKind,
-    pub(crate) fanins: Vec<NodeId>,
-    pub(crate) fanin_edges: Vec<EdgeId>,
+/// Maximum number of nodes a [`Circuit`] may hold.
+///
+/// Node and edge ids are `u32` with `u32::MAX` reserved as the
+/// not-in-cone / not-an-output sentinel used by the cone machinery, so
+/// construction rejects anything larger with
+/// [`NetlistError::TooLarge`] instead of silently truncating indices.
+pub const MAX_NODES: usize = u32::MAX as usize - 1;
+
+/// Maximum number of fanin arcs a [`Circuit`] may hold (same sentinel
+/// reservation as [`MAX_NODES`]).
+pub const MAX_EDGES: usize = u32::MAX as usize - 1;
+
+/// Sentinel in `u32` node/position maps for "absent".
+pub(crate) const NONE_U32: u32 = u32::MAX;
+
+/// A lightweight, copyable view of one node of the circuit graph: a
+/// primary input, a logic cell or a D flip-flop.
+///
+/// Obtained from [`Circuit::node`]; all accessors borrow from the
+/// circuit's arena, so slices returned here outlive the `NodeRef` value
+/// itself.
+#[derive(Clone, Copy)]
+pub struct NodeRef<'a> {
+    circuit: &'a Circuit,
+    id: NodeId,
 }
 
-impl Node {
+impl<'a> NodeRef<'a> {
+    /// The id this view refers to.
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
     /// The signal name driven by this node.
-    pub fn name(&self) -> &str {
-        &self.name
+    pub fn name(&self) -> &'a str {
+        &self.circuit.names[self.id.index()]
     }
 
     /// The gate kind.
     pub fn kind(&self) -> GateKind {
-        self.kind
+        self.circuit.kinds[self.id.index()]
     }
 
     /// Driver nodes in pin order.
-    pub fn fanins(&self) -> &[NodeId] {
-        &self.fanins
+    pub fn fanins(&self) -> &'a [NodeId] {
+        let r = self.circuit.fanin_range(self.id);
+        &self.circuit.fanin_nodes[r]
     }
 
-    /// Fanin arcs in pin order (parallel to [`Node::fanins`]).
-    pub fn fanin_edges(&self) -> &[EdgeId] {
-        &self.fanin_edges
+    /// Fanin arcs in pin order (parallel to [`NodeRef::fanins`]).
+    pub fn fanin_edges(&self) -> &'a [EdgeId] {
+        let r = self.circuit.fanin_range(self.id);
+        &self.circuit.edge_list[r]
+    }
+}
+
+impl std::fmt::Debug for NodeRef<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NodeRef")
+            .field("id", &self.id)
+            .field("name", &self.name())
+            .field("kind", &self.kind())
+            .field("fanins", &self.fanins())
+            .finish()
     }
 }
 
 /// One fanin arc: a pin-to-pin segment from a driver node to an input pin
 /// of a sink node. Delay random variables and delay defects attach here.
+///
+/// Materialized on demand by [`Circuit::edge`] from the CSR arrays; it is
+/// not stored.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct Edge {
     pub(crate) from: NodeId,
@@ -62,13 +124,21 @@ impl Edge {
     }
 }
 
+/// Raw node data staged by [`CircuitBuilder`] before validation.
+#[derive(Debug, Clone)]
+pub(crate) struct BuildNode {
+    pub(crate) name: String,
+    pub(crate) kind: GateKind,
+    pub(crate) fanins: Vec<NodeId>,
+}
+
 /// An immutable cell-level netlist: the `(V, E, I, O)` part of the paper's
 /// circuit model (Definition D.1); the delay function `f` lives in
 /// `sdd-timing`.
 ///
 /// Constructed through [`CircuitBuilder`] (or the `.bench` parser /
 /// synthetic generator), after which the graph is validated, topologically
-/// ordered and levelized.
+/// ordered and levelized. See the module docs for the CSR storage layout.
 ///
 /// Sequential circuits (containing [`GateKind::Dff`]) order flip-flop
 /// outputs like primary inputs; use [`Circuit::to_combinational`] to apply
@@ -76,13 +146,35 @@ impl Edge {
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Circuit {
     pub(crate) name: String,
-    pub(crate) nodes: Vec<Node>,
-    pub(crate) edges: Vec<Edge>,
+    pub(crate) names: Vec<String>,
+    pub(crate) kinds: Vec<GateKind>,
+    /// CSR fanin row offsets, length `num_nodes + 1`: node `i`'s fanin
+    /// arcs are the edge ids `fanin_offsets[i] .. fanin_offsets[i+1]`.
+    pub(crate) fanin_offsets: Vec<u32>,
+    /// Driver of each edge, indexed by [`EdgeId`].
+    pub(crate) fanin_nodes: Vec<NodeId>,
+    /// Sink of each edge, indexed by [`EdgeId`].
+    pub(crate) edge_to: Vec<NodeId>,
+    /// Identity edge-id arena (`edge_list[e] == EdgeId(e)`), so
+    /// [`NodeRef::fanin_edges`] can hand out contiguous slices.
+    pub(crate) edge_list: Vec<EdgeId>,
+    /// CSR fanout row offsets, length `num_nodes + 1`.
+    pub(crate) fanout_offsets: Vec<u32>,
+    /// Outgoing edge ids per node, ascending within each row.
+    pub(crate) fanout_edge_ids: Vec<EdgeId>,
     pub(crate) inputs: Vec<NodeId>,
     pub(crate) outputs: Vec<NodeId>,
     pub(crate) topo: Vec<NodeId>,
-    pub(crate) fanouts: Vec<Vec<EdgeId>>,
+    /// Inverse permutation of `topo`: `topo_pos[n] = i ⇔ topo[i] = n`.
+    pub(crate) topo_pos: Vec<u32>,
     pub(crate) levels: Vec<u32>,
+    /// Per-level offsets into `by_level`, length `depth + 2`: the nodes
+    /// at level `l` are `by_level[level_starts[l] .. level_starts[l+1]]`.
+    pub(crate) level_starts: Vec<u32>,
+    /// Node ids grouped by level, ascending id within each level.
+    pub(crate) by_level: Vec<NodeId>,
+    /// Position of each node in `outputs`, [`NONE_U32`] if not an output.
+    pub(crate) output_pos: Vec<u32>,
     pub(crate) name_map: HashMap<String, NodeId>,
 }
 
@@ -94,35 +186,48 @@ impl Circuit {
 
     /// Total number of nodes (inputs + cells + flip-flops).
     pub fn num_nodes(&self) -> usize {
-        self.nodes.len()
+        self.kinds.len()
     }
 
     /// Total number of fanin arcs.
     pub fn num_edges(&self) -> usize {
-        self.edges.len()
+        self.fanin_nodes.len()
     }
 
     /// Number of logic cells (excludes inputs and flip-flops).
     pub fn num_gates(&self) -> usize {
-        self.nodes.iter().filter(|n| n.kind.is_logic()).count()
+        self.kinds.iter().filter(|k| k.is_logic()).count()
     }
 
-    /// Returns the node with the given id.
+    #[inline]
+    fn fanin_range(&self, id: NodeId) -> std::ops::Range<usize> {
+        self.fanin_offsets[id.index()] as usize..self.fanin_offsets[id.index() + 1] as usize
+    }
+
+    /// Returns a view of the node with the given id.
     ///
     /// # Panics
     ///
     /// Panics if `id` is out of range.
-    pub fn node(&self, id: NodeId) -> &Node {
-        &self.nodes[id.index()]
+    pub fn node(&self, id: NodeId) -> NodeRef<'_> {
+        assert!(id.index() < self.num_nodes(), "node id out of range");
+        NodeRef { circuit: self, id }
     }
 
-    /// Returns the edge with the given id.
+    /// Returns the edge with the given id (materialized from the CSR
+    /// arrays).
     ///
     /// # Panics
     ///
     /// Panics if `id` is out of range.
-    pub fn edge(&self, id: EdgeId) -> &Edge {
-        &self.edges[id.index()]
+    pub fn edge(&self, id: EdgeId) -> Edge {
+        let e = id.index();
+        let to = self.edge_to[e];
+        Edge {
+            from: self.fanin_nodes[e],
+            to,
+            pin: id.index() as u32 - self.fanin_offsets[to.index()],
+        }
     }
 
     /// Primary inputs (including pseudo primary inputs after a scan cut),
@@ -139,18 +244,26 @@ impl Circuit {
 
     /// Iterates over all node ids in creation order.
     pub fn node_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
-        (0..self.nodes.len()).map(NodeId::from_index)
+        (0..self.num_nodes()).map(NodeId::from_index)
     }
 
     /// Iterates over all edge ids in creation order.
     pub fn edge_ids(&self) -> impl Iterator<Item = EdgeId> + '_ {
-        (0..self.edges.len()).map(EdgeId::from_index)
+        (0..self.num_edges()).map(EdgeId::from_index)
     }
 
     /// Nodes in topological order (drivers before sinks; flip-flop outputs
     /// are sources like primary inputs).
     pub fn topo_order(&self) -> &[NodeId] {
         &self.topo
+    }
+
+    /// The position of a node in [`Circuit::topo_order`] (the inverse of
+    /// that permutation). Cone extraction uses this to order and identify
+    /// cone members without touching full-circuit scratch arrays.
+    #[inline]
+    pub fn topo_position(&self, id: NodeId) -> u32 {
+        self.topo_pos[id.index()]
     }
 
     /// The logic level of a node: 0 for sources, otherwise
@@ -161,12 +274,24 @@ impl Circuit {
 
     /// The maximum logic level in the circuit (its combinational depth).
     pub fn depth(&self) -> u32 {
-        self.levels.iter().copied().max().unwrap_or(0)
+        (self.level_starts.len() as u32).saturating_sub(2)
     }
 
-    /// Outgoing arcs of a node.
+    /// The nodes at logic level `level`, ascending by id. Empty for
+    /// levels beyond [`Circuit::depth`].
+    pub fn nodes_at_level(&self, level: u32) -> &[NodeId] {
+        let l = level as usize;
+        if l + 1 >= self.level_starts.len() {
+            return &[];
+        }
+        &self.by_level[self.level_starts[l] as usize..self.level_starts[l + 1] as usize]
+    }
+
+    /// Outgoing arcs of a node, ascending by edge id.
     pub fn fanout_edges(&self, id: NodeId) -> &[EdgeId] {
-        &self.fanouts[id.index()]
+        let r =
+            self.fanout_offsets[id.index()] as usize..self.fanout_offsets[id.index() + 1] as usize;
+        &self.fanout_edge_ids[r]
     }
 
     /// Looks a node up by signal name.
@@ -176,21 +301,21 @@ impl Circuit {
 
     /// Returns `true` if the circuit contains no flip-flops.
     pub fn is_combinational(&self) -> bool {
-        self.nodes.iter().all(|n| n.kind != GateKind::Dff)
+        self.kinds.iter().all(|&k| k != GateKind::Dff)
     }
 
     /// Number of D flip-flops.
     pub fn num_dffs(&self) -> usize {
-        self.nodes
-            .iter()
-            .filter(|n| n.kind == GateKind::Dff)
-            .count()
+        self.kinds.iter().filter(|&&k| k == GateKind::Dff).count()
     }
 
     /// Returns the position of `id` in [`Circuit::primary_outputs`], if it
-    /// is a primary output.
+    /// is a primary output. O(1) via a precomputed inverse map.
     pub fn output_position(&self, id: NodeId) -> Option<usize> {
-        self.outputs.iter().position(|&o| o == id)
+        match self.output_pos[id.index()] {
+            NONE_U32 => None,
+            p => Some(p as usize),
+        }
     }
 
     /// Applies the full-scan cut: every D flip-flop becomes a pseudo
@@ -210,22 +335,22 @@ impl Circuit {
             return Ok(self.clone());
         }
         let mut b = CircuitBuilder::new(&self.name);
-        let mut map: Vec<Option<NodeId>> = vec![None; self.nodes.len()];
+        let mut map: Vec<Option<NodeId>> = vec![None; self.num_nodes()];
         // Pass 1: declare every node; DFFs become inputs.
         for id in self.node_ids() {
             let node = self.node(id);
-            let new_id = match node.kind {
-                GateKind::Input | GateKind::Dff => b.input(&node.name),
-                kind => b.declare_gate(&node.name, kind)?,
+            let new_id = match node.kind() {
+                GateKind::Input | GateKind::Dff => b.input(node.name()),
+                kind => b.declare_gate(node.name(), kind)?,
             };
             map[id.index()] = Some(new_id);
         }
         // Pass 2: connect logic gates.
         for id in self.node_ids() {
             let node = self.node(id);
-            if node.kind.is_logic() {
+            if node.kind().is_logic() {
                 let fanins: Vec<NodeId> = node
-                    .fanins
+                    .fanins()
                     .iter()
                     .map(|f| map[f.index()].unwrap())
                     .collect();
@@ -238,17 +363,17 @@ impl Circuit {
         }
         for id in self.node_ids() {
             let node = self.node(id);
-            if node.kind == GateKind::Dff {
-                b.output(map[node.fanins[0].index()].unwrap());
+            if node.kind() == GateKind::Dff {
+                b.output(map[node.fanins()[0].index()].unwrap());
             }
         }
         b.finish()
     }
 
     /// Collects every node in the transitive fanin cone of `seed`
-    /// (inclusive).
+    /// (inclusive), in deterministic DFS discovery order.
     pub fn fanin_cone(&self, seed: NodeId) -> Vec<NodeId> {
-        let mut seen = vec![false; self.nodes.len()];
+        let mut seen = vec![false; self.num_nodes()];
         let mut stack = vec![seed];
         let mut cone = Vec::new();
         while let Some(id) = stack.pop() {
@@ -257,7 +382,7 @@ impl Circuit {
             }
             seen[id.index()] = true;
             cone.push(id);
-            for &f in &self.nodes[id.index()].fanins {
+            for &f in self.node(id).fanins() {
                 stack.push(f);
             }
         }
@@ -265,9 +390,13 @@ impl Circuit {
     }
 
     /// Collects every node in the transitive fanout cone of `seed`
-    /// (inclusive).
+    /// (inclusive), in deterministic DFS discovery order; each node
+    /// appears exactly once even on reconvergent graphs.
+    ///
+    /// This walks a full-circuit scratch array; for the per-suspect hot
+    /// path use [`Circuit::cone_view`], whose cost scales with the cone.
     pub fn fanout_cone(&self, seed: NodeId) -> Vec<NodeId> {
-        let mut seen = vec![false; self.nodes.len()];
+        let mut seen = vec![false; self.num_nodes()];
         let mut stack = vec![seed];
         let mut cone = Vec::new();
         while let Some(id) = stack.pop() {
@@ -276,17 +405,18 @@ impl Circuit {
             }
             seen[id.index()] = true;
             cone.push(id);
-            for &e in &self.fanouts[id.index()] {
-                stack.push(self.edges[e.index()].to);
+            for &e in self.fanout_edges(id) {
+                stack.push(self.edge_to[e.index()]);
             }
         }
         cone
     }
 
-    /// Primary outputs reachable from `seed` through the fanout cone.
+    /// Primary outputs reachable from `seed` through the fanout cone, in
+    /// [`Circuit::primary_outputs`] order.
     pub fn reachable_outputs(&self, seed: NodeId) -> Vec<NodeId> {
         let cone = self.fanout_cone(seed);
-        let mut in_cone = vec![false; self.nodes.len()];
+        let mut in_cone = vec![false; self.num_nodes()];
         for &n in &cone {
             in_cone[n.index()] = true;
         }
@@ -297,10 +427,51 @@ impl Circuit {
             .collect()
     }
 
+    /// Extracts the topologically ordered induced fanout cone of `seed`
+    /// with cone-local arc renumbering; see [`ConeView`]. Cost scales
+    /// with the cone, not the circuit.
+    pub fn cone_view(&self, seed: NodeId) -> ConeView {
+        ConeView::new(self, seed)
+    }
+
+    /// Validates node and edge counts against the documented capacity
+    /// limits ([`MAX_NODES`], [`MAX_EDGES`]).
+    ///
+    /// Called by every construction path; exposed so the boundary is
+    /// testable without materializing four billion nodes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::TooLarge`] when a count exceeds its limit.
+    pub fn validate_capacity(n_nodes: usize, n_edges: usize) -> Result<(), NetlistError> {
+        if n_nodes > MAX_NODES {
+            return Err(NetlistError::TooLarge {
+                what: "nodes".into(),
+                count: n_nodes,
+                limit: MAX_NODES,
+            });
+        }
+        if n_edges > MAX_EDGES {
+            return Err(NetlistError::TooLarge {
+                what: "edges".into(),
+                count: n_edges,
+                limit: MAX_EDGES,
+            });
+        }
+        Ok(())
+    }
+
     /// Builds the validated circuit from raw parts. Used by the builder.
+    ///
+    /// Edge ids are assigned consecutively per sink node in pin order
+    /// (the CSR fanin rows), node ids are creation order, and the
+    /// topological order comes from the same Kahn traversal as always —
+    /// all three are load-bearing: Monte-Carlo defect draws and pattern
+    /// seeds downstream are keyed on these ids, so any renumbering would
+    /// silently change every sampled campaign.
     pub(crate) fn from_parts(
         name: String,
-        nodes: Vec<Node>,
+        nodes: Vec<BuildNode>,
         outputs: Vec<NodeId>,
         name_map: HashMap<String, NodeId>,
     ) -> Result<Circuit, NetlistError> {
@@ -308,34 +479,54 @@ impl Circuit {
             return Err(NetlistError::NoOutputs);
         }
         let n = nodes.len();
-        // Assign edge ids and fanout lists.
-        let mut edges = Vec::new();
-        let mut fanouts: Vec<Vec<EdgeId>> = vec![Vec::new(); n];
-        let mut nodes = nodes;
-        for (ix, node) in nodes.iter_mut().enumerate() {
-            let mut fanin_edges = Vec::with_capacity(node.fanins.len());
-            for (pin, &from) in node.fanins.iter().enumerate() {
-                let eid = EdgeId::from_index(edges.len());
-                edges.push(Edge {
-                    from,
-                    to: NodeId::from_index(ix),
-                    pin: pin as u32,
-                });
-                fanouts[from.index()].push(eid);
-                fanin_edges.push(eid);
+        let n_edges: usize = nodes.iter().map(|node| node.fanins.len()).sum();
+        Self::validate_capacity(n, n_edges)?;
+
+        // CSR fanin arrays. The offset arithmetic below is safe after
+        // validate_capacity: every count fits in u32 with the sentinel
+        // value to spare.
+        let mut fanin_offsets = Vec::with_capacity(n + 1);
+        let mut fanin_nodes = Vec::with_capacity(n_edges);
+        let mut edge_to = Vec::with_capacity(n_edges);
+        fanin_offsets.push(0u32);
+        for (ix, node) in nodes.iter().enumerate() {
+            for &from in &node.fanins {
+                fanin_nodes.push(from);
+                edge_to.push(NodeId::from_index(ix));
             }
-            node.fanin_edges = fanin_edges;
+            let end = u32::try_from(fanin_nodes.len()).expect("edge count validated");
+            fanin_offsets.push(end);
         }
+        let edge_list: Vec<EdgeId> = (0..n_edges).map(EdgeId::from_index).collect();
+
+        // CSR fanout arrays: count, prefix-sum, fill. Filling in
+        // ascending edge-id order keeps each row ascending, matching the
+        // push order of the old per-node Vec layout.
+        let mut fanout_offsets = vec![0u32; n + 1];
+        for &from in &fanin_nodes {
+            fanout_offsets[from.index() + 1] += 1;
+        }
+        for i in 0..n {
+            fanout_offsets[i + 1] += fanout_offsets[i];
+        }
+        let mut cursor: Vec<u32> = fanout_offsets[..n].to_vec();
+        let mut fanout_edge_ids = vec![EdgeId::from_index(0); n_edges];
+        for (e, &from) in fanin_nodes.iter().enumerate() {
+            let slot = cursor[from.index()];
+            fanout_edge_ids[slot as usize] = EdgeId::from_index(e);
+            cursor[from.index()] = slot + 1;
+        }
+
         // Kahn topological sort. Flip-flop fanin arcs do not create
         // ordering dependencies (a DFF's output is a source).
-        let dep_count = |node: &Node| -> usize {
-            if node.kind == GateKind::Dff {
+        let dep_count = |ix: usize| -> usize {
+            if nodes[ix].kind == GateKind::Dff {
                 0
             } else {
-                node.fanins.len()
+                nodes[ix].fanins.len()
             }
         };
-        let mut indeg: Vec<usize> = nodes.iter().map(dep_count).collect();
+        let mut indeg: Vec<usize> = (0..n).map(dep_count).collect();
         let mut queue: Vec<NodeId> = (0..n)
             .filter(|&i| indeg[i] == 0)
             .map(NodeId::from_index)
@@ -346,8 +537,9 @@ impl Circuit {
             let id = queue[head];
             head += 1;
             topo.push(id);
-            for &e in &fanouts[id.index()] {
-                let to = edges[e.index()].to;
+            let row = fanout_offsets[id.index()] as usize..fanout_offsets[id.index() + 1] as usize;
+            for &e in &fanout_edge_ids[row] {
+                let to = edge_to[e.index()];
                 if nodes[to.index()].kind == GateKind::Dff {
                     continue;
                 }
@@ -364,7 +556,13 @@ impl Circuit {
                 .unwrap_or_default();
             return Err(NetlistError::Cyclic { node: stuck });
         }
-        // Levelize.
+        let mut topo_pos = vec![0u32; n];
+        for (i, &id) in topo.iter().enumerate() {
+            topo_pos[id.index()] = u32::try_from(i).expect("node count validated");
+        }
+
+        // Levelize, then group nodes by level (counting sort, stable in
+        // id order).
         let mut levels = vec![0u32; n];
         for &id in &topo {
             let node = &nodes[id.index()];
@@ -379,19 +577,58 @@ impl Circuit {
                     .unwrap_or(0);
             }
         }
+        let depth = levels.iter().copied().max().unwrap_or(0) as usize;
+        let mut level_starts = vec![0u32; depth + 2];
+        for &l in &levels {
+            level_starts[l as usize + 1] += 1;
+        }
+        for l in 0..depth + 1 {
+            level_starts[l + 1] += level_starts[l];
+        }
+        let mut level_cursor: Vec<u32> = level_starts[..depth + 1].to_vec();
+        let mut by_level = vec![NodeId::from_index(0); n];
+        for (i, &level) in levels.iter().enumerate() {
+            let l = level as usize;
+            by_level[level_cursor[l] as usize] = NodeId::from_index(i);
+            level_cursor[l] += 1;
+        }
+
         let inputs = (0..n)
             .map(NodeId::from_index)
             .filter(|id| nodes[id.index()].kind == GateKind::Input)
             .collect();
+        let mut output_pos = vec![NONE_U32; n];
+        for (p, &o) in outputs.iter().enumerate() {
+            // The builder deduplicates output marks; first mark wins.
+            if output_pos[o.index()] == NONE_U32 {
+                output_pos[o.index()] = u32::try_from(p).expect("output count bounded by nodes");
+            }
+        }
+
+        let mut names = Vec::with_capacity(n);
+        let mut kinds = Vec::with_capacity(n);
+        for node in nodes {
+            names.push(node.name);
+            kinds.push(node.kind);
+        }
         Ok(Circuit {
             name,
-            nodes,
-            edges,
+            names,
+            kinds,
+            fanin_offsets,
+            fanin_nodes,
+            edge_to,
+            edge_list,
+            fanout_offsets,
+            fanout_edge_ids,
             inputs,
             outputs,
             topo,
-            fanouts,
+            topo_pos,
             levels,
+            level_starts,
+            by_level,
+            output_pos,
             name_map,
         })
     }
@@ -439,6 +676,14 @@ mod tests {
     }
 
     #[test]
+    fn topo_position_is_inverse_permutation() {
+        let c = small();
+        for (i, &id) in c.topo_order().iter().enumerate() {
+            assert_eq!(c.topo_position(id) as usize, i);
+        }
+    }
+
+    #[test]
     fn levels() {
         let c = small();
         let g1 = c.find("g1").unwrap();
@@ -447,6 +692,34 @@ mod tests {
         assert_eq!(c.level(g1), 1);
         assert_eq!(c.level(g2), 2);
         assert_eq!(c.depth(), 2);
+    }
+
+    #[test]
+    fn level_groups_partition_the_nodes() {
+        let c = small();
+        let mut seen = 0usize;
+        for l in 0..=c.depth() {
+            for &id in c.nodes_at_level(l) {
+                assert_eq!(c.level(id), l);
+                seen += 1;
+            }
+        }
+        assert_eq!(seen, c.num_nodes());
+        assert!(c.nodes_at_level(c.depth() + 1).is_empty());
+    }
+
+    #[test]
+    fn edge_pins_recover_fanin_order() {
+        let c = small();
+        for id in c.node_ids() {
+            let node = c.node(id);
+            for (pin, (&f, &e)) in node.fanins().iter().zip(node.fanin_edges()).enumerate() {
+                let edge = c.edge(e);
+                assert_eq!(edge.from(), f);
+                assert_eq!(edge.to(), id);
+                assert_eq!(edge.pin() as usize, pin);
+            }
+        }
     }
 
     #[test]
@@ -517,5 +790,20 @@ mod tests {
         let c = small();
         let g2 = c.find("g2").unwrap();
         assert_eq!(c.fanout_cone(g2), vec![g2]);
+    }
+
+    #[test]
+    fn capacity_boundary_is_enforced() {
+        // The limits themselves pass; one past either limit is the typed
+        // error. (Materializing u32::MAX nodes is infeasible; the checker
+        // is the single gate every construction path funnels through.)
+        assert!(Circuit::validate_capacity(MAX_NODES, MAX_EDGES).is_ok());
+        let err = Circuit::validate_capacity(MAX_NODES + 1, 0).unwrap_err();
+        assert!(
+            matches!(err, NetlistError::TooLarge { ref what, count, limit }
+                if what == "nodes" && count == MAX_NODES + 1 && limit == MAX_NODES)
+        );
+        let err = Circuit::validate_capacity(0, MAX_EDGES + 1).unwrap_err();
+        assert!(matches!(err, NetlistError::TooLarge { ref what, .. } if what == "edges"));
     }
 }

@@ -36,6 +36,18 @@ pub enum NetlistError {
     },
     /// The circuit has no primary outputs.
     NoOutputs,
+    /// A node or edge count exceeds the documented capacity limit
+    /// ([`crate::MAX_NODES`] / [`crate::MAX_EDGES`]): ids are `u32` with
+    /// the top value reserved as a sentinel, and construction refuses to
+    /// truncate silently.
+    TooLarge {
+        /// Which count overflowed (`"nodes"` or `"edges"`).
+        what: String,
+        /// The offending count.
+        count: usize,
+        /// The documented limit.
+        limit: usize,
+    },
 }
 
 impl fmt::Display for NetlistError {
@@ -57,6 +69,12 @@ impl fmt::Display for NetlistError {
                 write!(f, "parse error at line {line}: {message}")
             }
             NetlistError::NoOutputs => write!(f, "circuit has no primary outputs"),
+            NetlistError::TooLarge { what, count, limit } => {
+                write!(
+                    f,
+                    "circuit has {count} {what}, exceeding the capacity limit {limit}"
+                )
+            }
         }
     }
 }

@@ -23,9 +23,14 @@ impl NodeId {
     ///
     /// Intended for deserialization and test helpers; an id that does not
     /// refer to an existing node will cause a panic on use, not UB.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` exceeds [`crate::MAX_NODES`] — ids are `u32` and
+    /// never silently truncated.
     #[inline]
     pub fn from_index(index: usize) -> Self {
-        NodeId(index as u32)
+        NodeId(u32::try_from(index).expect("node index exceeds MAX_NODES"))
     }
 }
 
@@ -53,9 +58,14 @@ impl EdgeId {
     }
 
     /// Creates an `EdgeId` from a raw index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` exceeds [`crate::MAX_EDGES`] — ids are `u32` and
+    /// never silently truncated.
     #[inline]
     pub fn from_index(index: usize) -> Self {
-        EdgeId(index as u32)
+        EdgeId(u32::try_from(index).expect("edge index exceeds MAX_EDGES"))
     }
 }
 

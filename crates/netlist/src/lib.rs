@@ -44,6 +44,7 @@
 pub mod bench_format;
 mod builder;
 mod circuit;
+mod cone;
 mod error;
 mod gate;
 pub mod generator;
@@ -53,7 +54,8 @@ pub mod profiles;
 pub mod stats;
 
 pub use builder::CircuitBuilder;
-pub use circuit::{Circuit, Edge, Node};
+pub use circuit::{Circuit, Edge, NodeRef, MAX_EDGES, MAX_NODES};
+pub use cone::{ConeView, EXTERNAL};
 pub use error::NetlistError;
 pub use gate::GateKind;
 pub use id::{EdgeId, NodeId};

@@ -123,6 +123,20 @@ pub const S27: BenchmarkProfile = BenchmarkProfile {
     depth: 5,
 };
 
+/// A synthetic ~100k-gate profile, an order of magnitude past s15850.
+/// No ISCAS-89 circuit is this large; the profile exists to demonstrate
+/// that cone-local dictionary construction scales with suspect-cone
+/// size rather than circuit size (see the `scale` benchmark and the CI
+/// large-circuit smoke step).
+pub const SYNTH100K: BenchmarkProfile = BenchmarkProfile {
+    name: "synth100k",
+    inputs: 256,
+    outputs: 512,
+    dffs: 2048,
+    gates: 100_000,
+    depth: 96,
+};
+
 /// Looks a profile up by circuit name.
 ///
 /// # Example
@@ -137,6 +151,9 @@ pub const S27: BenchmarkProfile = BenchmarkProfile {
 pub fn by_name(name: &str) -> Option<BenchmarkProfile> {
     if name == "s27" {
         return Some(S27);
+    }
+    if name == "synth100k" {
+        return Some(SYNTH100K);
     }
     TABLE1_PROFILES.iter().copied().find(|p| p.name == name)
 }
@@ -172,5 +189,12 @@ mod tests {
         assert_eq!(cfg.name, "s27");
         assert_eq!(cfg.gates, 10);
         assert_eq!(cfg.seed, 7);
+    }
+
+    #[test]
+    fn synth100k_resolves_by_name() {
+        let p = by_name("synth100k").unwrap();
+        assert_eq!(p.gates, 100_000);
+        assert!(p.gates > TABLE1_PROFILES.iter().map(|p| p.gates).max().unwrap());
     }
 }

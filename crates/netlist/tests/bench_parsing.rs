@@ -1,0 +1,85 @@
+//! `.bench` parser robustness against real-world file variants, pinned
+//! by fixture files under `tests/fixtures/`.
+//!
+//! ISCAS-89 distributions circulate in many shapes: DOS line endings,
+//! lowercase keywords, missing final newlines, redundant `OUTPUT`
+//! declarations and mixed-case gate names. Each fixture captures one
+//! variant; a malformed input must yield a spanned
+//! [`NetlistError::Parse`] (or another typed error), never a panic.
+
+use sdd_netlist::bench_format::parse;
+use sdd_netlist::{GateKind, NetlistError};
+
+#[test]
+fn crlf_line_endings_parse() {
+    let src = include_str!("fixtures/crlf.bench");
+    assert!(src.contains("\r\n"), "fixture must actually use CRLF");
+    let c = parse("crlf", src).unwrap();
+    assert_eq!(c.primary_inputs().len(), 2);
+    assert_eq!(c.primary_outputs().len(), 1);
+    assert_eq!(c.num_gates(), 1);
+    // The parsed names must not carry the carriage return.
+    assert!(c.find("y").is_some());
+    assert!(c.find("y\r").is_none());
+}
+
+#[test]
+fn lowercase_keywords_parse() {
+    let c = parse("lc", include_str!("fixtures/lowercase.bench")).unwrap();
+    assert_eq!(c.primary_inputs().len(), 2);
+    assert_eq!(c.num_gates(), 1);
+    let y = c.find("y").unwrap();
+    assert_eq!(c.node(y).kind(), GateKind::Nand);
+}
+
+#[test]
+fn missing_final_newline_parses() {
+    let src = include_str!("fixtures/no_trailing_newline.bench");
+    assert!(!src.ends_with('\n'), "fixture must lack the final newline");
+    let c = parse("nl", src).unwrap();
+    // The gate on the unterminated last line is not dropped.
+    assert_eq!(c.num_gates(), 1);
+    assert_eq!(c.primary_outputs().len(), 1);
+}
+
+#[test]
+fn duplicate_output_declarations_deduplicate() {
+    let c = parse("dup", include_str!("fixtures/duplicate_output.bench")).unwrap();
+    // Both OUTPUT(y) lines resolve to the same node, listed once.
+    assert_eq!(c.primary_outputs().len(), 1);
+    let y = c.find("y").unwrap();
+    assert_eq!(c.primary_outputs(), &[y]);
+}
+
+#[test]
+fn mixed_case_gate_keywords_parse() {
+    let c = parse("mc", include_str!("fixtures/mixed_case_gates.bench")).unwrap();
+    assert_eq!(c.num_gates(), 3);
+    assert_eq!(c.node(c.find("n1").unwrap()).kind(), GateKind::Not);
+    assert_eq!(c.node(c.find("y").unwrap()).kind(), GateKind::Nand);
+    assert_eq!(c.node(c.find("z").unwrap()).kind(), GateKind::Buf);
+}
+
+#[test]
+fn unclosed_paren_gives_spanned_error() {
+    let err = parse("bad", include_str!("fixtures/unclosed_paren.bench")).unwrap_err();
+    match err {
+        NetlistError::Parse { line, message } => {
+            assert_eq!(line, 3, "error must point at the offending line");
+            assert!(
+                message.contains(')'),
+                "message names the problem: {message}"
+            );
+        }
+        other => panic!("expected a spanned parse error, got {other:?}"),
+    }
+}
+
+#[test]
+fn unrecognized_line_gives_spanned_error() {
+    let err = parse("bad", include_str!("fixtures/unrecognized_line.bench")).unwrap_err();
+    assert!(
+        matches!(err, NetlistError::Parse { line: 3, .. }),
+        "expected a line-3 parse error, got {err:?}"
+    );
+}

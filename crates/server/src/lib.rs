@@ -201,7 +201,17 @@ pub struct ServerConfig {
     pub workers: usize,
     /// Where to write the per-tenant [`MetricsExport`] on shutdown.
     pub metrics_json: Option<PathBuf>,
+    /// Per-connection idle read timeout. A client that holds a
+    /// connection open without sending a complete line for this long is
+    /// answered with a structured `error` response and disconnected, so
+    /// a stalled (or malicious slow-loris) client cannot pin its reader
+    /// thread forever. `None` disables the timeout.
+    pub idle_timeout: Option<Duration>,
 }
+
+/// Default per-connection idle read timeout (see
+/// [`ServerConfig::idle_timeout`]).
+pub const DEFAULT_IDLE_TIMEOUT: Duration = Duration::from_secs(60);
 
 impl Default for ServerConfig {
     fn default() -> Self {
@@ -211,6 +221,7 @@ impl Default for ServerConfig {
             queue_capacity: 64,
             workers: 4,
             metrics_json: None,
+            idle_timeout: Some(DEFAULT_IDLE_TIMEOUT),
         }
     }
 }
@@ -266,6 +277,7 @@ struct ServerState {
     tenants: TenantSessions,
     queue: SyncSender<Job>,
     shutting_down: AtomicBool,
+    idle_timeout: Option<Duration>,
 }
 
 enum Job {
@@ -534,6 +546,14 @@ fn read_line_capped(reader: &mut impl BufRead) -> io::Result<LineRead> {
 }
 
 fn handle_connection(state: Arc<ServerState>, stream: TcpStream) {
+    // The accept loop only makes the *listener* nonblocking; each
+    // accepted stream reverts to blocking reads, so without a deadline a
+    // silent client would pin this reader thread forever.
+    if let Some(timeout) = state.idle_timeout {
+        if stream.set_read_timeout(Some(timeout)).is_err() {
+            return;
+        }
+    }
     let writer: SharedWriter = match stream.try_clone() {
         Ok(w) => Arc::new(Mutex::new(w)),
         Err(_) => return,
@@ -550,6 +570,26 @@ fn handle_connection(state: Arc<ServerState>, stream: TcpStream) {
                     )),
                 );
                 continue;
+            }
+            // A read deadline expiring surfaces as WouldBlock (unix) or
+            // TimedOut (windows): tell the client why, then hang up.
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) =>
+            {
+                let secs = state
+                    .idle_timeout
+                    .map(|t| t.as_secs_f64())
+                    .unwrap_or_default();
+                write_response(
+                    &writer,
+                    &Response::error(format!(
+                        "idle timeout: no request received for {secs:.1}s; disconnecting"
+                    )),
+                );
+                return;
             }
             Ok(LineRead::Eof) | Err(_) => return,
         };
@@ -651,6 +691,7 @@ pub struct Server {
     queue_capacity: usize,
     workers: usize,
     metrics_json: Option<PathBuf>,
+    idle_timeout: Option<Duration>,
 }
 
 impl Server {
@@ -675,6 +716,7 @@ impl Server {
             queue_capacity: config.queue_capacity.max(1),
             workers: config.workers.max(1),
             metrics_json: config.metrics_json,
+            idle_timeout: config.idle_timeout,
         })
     }
 
@@ -705,6 +747,7 @@ impl Server {
             },
             queue: tx.clone(),
             shutting_down: AtomicBool::new(false),
+            idle_timeout: self.idle_timeout,
         });
         let rx = Arc::new(Mutex::new(rx));
         let workers: Vec<_> = (0..self.workers)

@@ -169,6 +169,50 @@ fn full_admission_queue_answers_busy_instead_of_blocking() {
 }
 
 #[test]
+fn stalled_connection_is_timed_out_while_others_are_served() {
+    let (addr, handle) = start(ServerConfig {
+        idle_timeout: Some(Duration::from_millis(200)),
+        ..ServerConfig::default()
+    });
+
+    // A slow-loris client: connects, sends nothing (not even a partial
+    // line), and just holds the connection open.
+    let mut staller = connect(addr);
+
+    // A well-behaved client on a second connection keeps being served
+    // while the staller idles.
+    let mut client = connect(addr);
+    let pong = client.request(&Request::new("ping")).expect("ping");
+    assert_eq!(pong.op, "pong");
+
+    // The staller is answered with a structured idle-timeout error and
+    // then disconnected (recv yields the error, then EOF).
+    let response = staller
+        .recv()
+        .expect("timeout error is sent before the disconnect")
+        .expect("a response line, not EOF");
+    assert_eq!(response.op, "error", "{response:?}");
+    assert!(
+        response.error.contains("idle timeout"),
+        "error names the cause: {:?}",
+        response.error
+    );
+    assert!(
+        staller.recv().expect("read after error").is_none(),
+        "connection is closed after the timeout error"
+    );
+
+    // The server keeps accepting and serving after the eviction (the
+    // first healthy connection has idled past the timeout too by now,
+    // so demonstrate liveness with a fresh one).
+    let mut after = connect(addr);
+    let pong = after.request(&Request::new("ping")).expect("ping again");
+    assert_eq!(pong.op, "pong");
+    after.request(&Request::new("shutdown")).expect("shutdown");
+    handle.join().unwrap().expect("clean shutdown");
+}
+
+#[test]
 fn shutdown_flushes_a_validating_per_tenant_export() {
     let store = TestDir::new("server-export");
     let export_path = store.path().join("metrics.json");

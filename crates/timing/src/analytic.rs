@@ -34,7 +34,7 @@ use crate::block_sta::GaussianArrival;
 use crate::dynamic::DefectCone;
 use crate::{CircuitTiming, VariationModel};
 use sdd_netlist::logic::Transition;
-use sdd_netlist::{Circuit, EdgeId, GateKind};
+use sdd_netlist::{Circuit, EdgeId, GateKind, EXTERNAL};
 
 /// Default number of Gauss–Hermite quadrature points used to integrate
 /// over the die-level factor. 16 points integrate polynomials up to
@@ -216,9 +216,14 @@ pub fn arrival_moments(
 /// moments at each reachable output (in [`DefectCone::reachable_outputs`]
 /// order) into `out`.
 ///
+/// Like the MC kernels, the walk is cone-local: it follows the cone's
+/// [`sdd_netlist::ConeView`] arc arrays and `scratch` is resized to the
+/// cone length (slot-indexed), so per-suspect cost scales with the cone,
+/// not the circuit.
+///
 /// # Panics
 ///
-/// Panics if `baseline` or `scratch` mismatch the circuit size.
+/// Panics if `baseline` mismatches the circuit size.
 #[allow(clippy::too_many_arguments)]
 pub fn cone_output_moments(
     cone: &DefectCone,
@@ -228,7 +233,7 @@ pub fn cone_output_moments(
     baseline: &[Option<GaussianArrival>],
     delta: GaussianArrival,
     g: f64,
-    scratch: &mut [Option<GaussianArrival>],
+    scratch: &mut Vec<Option<GaussianArrival>>,
     out: &mut Vec<Option<GaussianArrival>>,
 ) {
     assert_eq!(
@@ -236,31 +241,33 @@ pub fn cone_output_moments(
         circuit.num_nodes(),
         "baseline length mismatch"
     );
-    assert_eq!(
-        scratch.len(),
-        circuit.num_nodes(),
-        "scratch length mismatch"
-    );
-    for &id in cone.cone_topo() {
+    let view = cone.view();
+    scratch.clear();
+    scratch.resize(view.len(), None);
+    let arc_slots = view.arc_slots();
+    let arc_sources = view.arc_sources();
+    let arc_edges = view.arc_edges();
+    for (slot, &id) in view.nodes().iter().enumerate() {
         if !transitions[id.index()].is_event() {
-            scratch[id.index()] = None;
+            scratch[slot] = None;
             continue;
         }
-        let node = circuit.node(id);
-        if node.kind() == GateKind::Input {
-            scratch[id.index()] = Some(GaussianArrival::ZERO);
+        if circuit.node(id).kind() == GateKind::Input {
+            scratch[slot] = Some(GaussianArrival::ZERO);
             continue;
         }
         let mut acc: Option<GaussianArrival> = None;
-        for (&from, &e) in node.fanins().iter().zip(node.fanin_edges()) {
-            let upstream = if cone.slot_of(from).is_some() {
-                scratch[from.index()]
+        for k in view.arc_range(slot) {
+            let fs = arc_slots[k];
+            let upstream = if fs != EXTERNAL {
+                scratch[fs as usize]
             } else {
-                baseline[from.index()]
+                baseline[arc_sources[k].index()]
             };
             let Some(up) = upstream else {
                 continue;
             };
+            let e = arc_edges[k];
             let (mut dm, mut dv) = edge_delay_moments(timing, e, g);
             if e == cone.edge() {
                 dm += delta.mean;
@@ -272,14 +279,13 @@ pub fn cone_output_moments(
                 Some(prev) => prev.max_clark(&cand),
             });
         }
-        scratch[id.index()] = acc;
+        scratch[slot] = acc;
     }
     out.clear();
-    let outputs = circuit.primary_outputs();
     out.extend(
-        cone.reachable_outputs()
+        view.output_slots()
             .iter()
-            .map(|&i| scratch[outputs[i].index()]),
+            .map(|&(_, slot)| scratch[slot as usize]),
     );
 }
 
@@ -323,7 +329,7 @@ pub fn pattern_fail_probs(
         .map(|c| vec![0.0; c.reachable_outputs().len()])
         .collect();
     let mut cone_walks = 0u64;
-    let mut scratch: Vec<Option<GaussianArrival>> = vec![None; circuit.num_nodes()];
+    let mut scratch: Vec<Option<GaussianArrival>> = Vec::new();
     let mut moments_out: Vec<Option<GaussianArrival>> = Vec::new();
     for &(g, w) in quad.nodes() {
         let base = arrival_moments(circuit, transitions, timing, g);
@@ -471,14 +477,14 @@ mod tests {
             .unwrap();
         let cone = DefectCone::new(&c, c.edge_ids().next().unwrap());
         for (slot, &n) in cone.cone_topo().iter().enumerate() {
-            assert_eq!(cone.slot_of(n), Some(slot));
+            assert_eq!(cone.slot_of(&c, n), Some(slot));
         }
         let outside: Vec<NodeId> = (0..c.num_nodes())
             .map(NodeId::from_index)
             .filter(|n| !cone.cone_topo().contains(n))
             .collect();
         for n in outside {
-            assert_eq!(cone.slot_of(n), None);
+            assert_eq!(cone.slot_of(&c, n), None);
         }
     }
 

@@ -19,11 +19,7 @@
 
 use crate::{InstanceBatch, TimingInstance};
 use sdd_netlist::logic::Transition;
-use sdd_netlist::{Circuit, EdgeId, GateKind, NodeId};
-
-/// Sentinel in [`DefectCone`]'s node-to-slot map for nodes outside the
-/// cone.
-const NOT_IN_CONE: u32 = u32::MAX;
+use sdd_netlist::{Circuit, ConeView, EdgeId, GateKind, NodeId, EXTERNAL};
 
 /// Arrival-time marker for a node with no event under the pattern.
 pub const NO_EVENT: f64 = f64::NEG_INFINITY;
@@ -162,50 +158,28 @@ pub fn output_arrivals(circuit: &Circuit, arrivals: &[f64]) -> Vec<f64> {
 
 /// Incremental re-evaluator for a delay defect on one arc.
 ///
-/// Construction precomputes the fanout cone of the arc's sink in
-/// topological order plus the set of reachable primary outputs. Given
-/// baseline (defect-free) arrivals for a pattern and instance,
+/// Construction extracts the [`ConeView`] of the arc's sink — the
+/// topologically ordered induced fanout cone with cone-local arc
+/// renumbering — in time proportional to the cone, not the circuit.
+/// Given baseline (defect-free) arrivals for a pattern and instance,
 /// [`DefectCone::apply`] recomputes only cone nodes with the defect's
-/// extra delay applied, writing into a caller-provided scratch buffer.
+/// extra delay applied, writing into a cone-sized scratch buffer.
 #[derive(Debug, Clone)]
 pub struct DefectCone {
     edge: EdgeId,
-    cone_topo: Vec<NodeId>,
-    /// Node index → position in `cone_topo`, [`NOT_IN_CONE`] outside.
-    slot: Vec<u32>,
+    view: ConeView,
     reachable_outputs: Vec<usize>,
 }
 
 impl DefectCone {
-    /// Builds the cone for a defect on `edge`.
+    /// Builds the cone for a defect on `edge` in `O(cone · log cone)`.
     pub fn new(circuit: &Circuit, edge: EdgeId) -> DefectCone {
         let sink = circuit.edge(edge).to();
-        let cone_nodes = circuit.fanout_cone(sink);
-        let mut in_cone = vec![false; circuit.num_nodes()];
-        for &n in &cone_nodes {
-            in_cone[n.index()] = true;
-        }
-        let cone_topo: Vec<NodeId> = circuit
-            .topo_order()
-            .iter()
-            .copied()
-            .filter(|n| in_cone[n.index()])
-            .collect();
-        let mut slot = vec![NOT_IN_CONE; circuit.num_nodes()];
-        for (i, &n) in cone_topo.iter().enumerate() {
-            slot[n.index()] = i as u32;
-        }
-        let reachable_outputs = circuit
-            .primary_outputs()
-            .iter()
-            .enumerate()
-            .filter(|(_, o)| in_cone[o.index()])
-            .map(|(i, _)| i)
-            .collect();
+        let view = circuit.cone_view(sink);
+        let reachable_outputs = view.output_slots().iter().map(|&(p, _)| p).collect();
         DefectCone {
             edge,
-            cone_topo,
-            slot,
+            view,
             reachable_outputs,
         }
     }
@@ -215,30 +189,34 @@ impl DefectCone {
         self.edge
     }
 
+    /// The underlying cone view (topologically ordered induced cone with
+    /// cone-local arc renumbering); exposed for the analytic kernel,
+    /// which replays the same induced-cone walk on moments instead of
+    /// samples.
+    pub fn view(&self) -> &ConeView {
+        &self.view
+    }
+
     /// The cone's nodes in topological order (the walk order of
-    /// [`DefectCone::apply`]); exposed for the analytic kernel, which
-    /// replays the same induced-cone walk on moments instead of samples.
+    /// [`DefectCone::apply`]).
     pub fn cone_topo(&self) -> &[NodeId] {
-        &self.cone_topo
+        self.view.nodes()
     }
 
     /// The cone-local slot of `node`, or `None` if the node is outside
     /// the cone (its arrival is never touched by this defect).
-    pub fn slot_of(&self, node: NodeId) -> Option<usize> {
-        match self.slot[node.index()] {
-            NOT_IN_CONE => None,
-            s => Some(s as usize),
-        }
+    pub fn slot_of(&self, circuit: &Circuit, node: NodeId) -> Option<usize> {
+        self.view.slot_of_in(circuit, node)
     }
 
     /// Number of nodes in the cone.
     pub fn len(&self) -> usize {
-        self.cone_topo.len()
+        self.view.len()
     }
 
     /// Returns `true` if the cone is empty (cannot happen for a valid arc).
     pub fn is_empty(&self) -> bool {
-        self.cone_topo.is_empty()
+        self.view.is_empty()
     }
 
     /// Positions (in [`Circuit::primary_outputs`] order) of the outputs
@@ -254,13 +232,14 @@ impl DefectCone {
     /// (in the order of [`DefectCone::reachable_outputs`]).
     ///
     /// `baseline` must be the defect-free arrival table for the same
-    /// pattern and instance (from [`transition_arrivals`]); `scratch` is a
-    /// reusable buffer of length `circuit.num_nodes()` whose cone entries
-    /// are overwritten.
+    /// pattern and instance (from [`transition_arrivals`]); `scratch` is
+    /// a reusable buffer, resized to the cone length (slot-indexed) and
+    /// overwritten — per-suspect work and memory both scale with the
+    /// cone, not the circuit.
     ///
     /// # Panics
     ///
-    /// Panics if buffer lengths mismatch the circuit.
+    /// Panics if `baseline` mismatches the circuit.
     #[allow(clippy::too_many_arguments)]
     pub fn apply(
         &self,
@@ -269,7 +248,7 @@ impl DefectCone {
         instance: &TimingInstance,
         baseline: &[f64],
         delta: f64,
-        scratch: &mut [f64],
+        scratch: &mut Vec<f64>,
         out: &mut Vec<f64>,
     ) {
         assert_eq!(
@@ -277,31 +256,33 @@ impl DefectCone {
             circuit.num_nodes(),
             "baseline length mismatch"
         );
-        assert_eq!(
-            scratch.len(),
-            circuit.num_nodes(),
-            "scratch length mismatch"
-        );
-        for &id in &self.cone_topo {
+        let view = &self.view;
+        scratch.clear();
+        scratch.resize(view.len(), NO_EVENT);
+        let arc_slots = view.arc_slots();
+        let arc_sources = view.arc_sources();
+        let arc_edges = view.arc_edges();
+        for (slot, &id) in view.nodes().iter().enumerate() {
             if !transitions[id.index()].is_event() {
-                scratch[id.index()] = NO_EVENT;
+                scratch[slot] = NO_EVENT;
                 continue;
             }
-            let node = circuit.node(id);
-            if node.kind() == GateKind::Input {
-                scratch[id.index()] = 0.0;
+            if circuit.node(id).kind() == GateKind::Input {
+                scratch[slot] = 0.0;
                 continue;
             }
             let mut best = NO_EVENT;
-            for (&from, &e) in node.fanins().iter().zip(node.fanin_edges()) {
-                let upstream = if self.slot[from.index()] != NOT_IN_CONE {
-                    scratch[from.index()]
+            for k in view.arc_range(slot) {
+                let fs = arc_slots[k];
+                let upstream = if fs != EXTERNAL {
+                    scratch[fs as usize]
                 } else {
-                    baseline[from.index()]
+                    baseline[arc_sources[k].index()]
                 };
                 if upstream == NO_EVENT {
                     continue;
                 }
+                let e = arc_edges[k];
                 let mut d = instance.delay(e);
                 if e == self.edge {
                     d += delta;
@@ -311,14 +292,13 @@ impl DefectCone {
                     best = cand;
                 }
             }
-            scratch[id.index()] = best;
+            scratch[slot] = best;
         }
         out.clear();
-        let outputs = circuit.primary_outputs();
         out.extend(
-            self.reachable_outputs
+            view.output_slots()
                 .iter()
-                .map(|&i| scratch[outputs[i].index()]),
+                .map(|&(_, slot)| scratch[slot as usize]),
         );
     }
 
@@ -365,9 +345,13 @@ impl DefectCone {
             "baseline matrix shape mismatch"
         );
         assert_eq!(deltas.len(), n, "delta count mismatch");
+        let view = &self.view;
         scratch.clear();
-        scratch.resize(self.cone_topo.len() * n, NO_EVENT);
-        for (slot, &id) in self.cone_topo.iter().enumerate() {
+        scratch.resize(view.len() * n, NO_EVENT);
+        let arc_slots = view.arc_slots();
+        let arc_sources = view.arc_sources();
+        let arc_edges = view.arc_edges();
+        for (slot, &id) in view.nodes().iter().enumerate() {
             // Cone fanins always sit at earlier slots (topological
             // order), so the scratch matrix splits cleanly at this row.
             let (earlier, rest) = scratch.split_at_mut(slot * n);
@@ -375,19 +359,20 @@ impl DefectCone {
             if !transitions[id.index()].is_event() {
                 continue; // row stays NO_EVENT
             }
-            let node = circuit.node(id);
-            if node.kind() == GateKind::Input {
+            if circuit.node(id).kind() == GateKind::Input {
                 row.fill(0.0);
                 continue;
             }
-            for (&from, &e) in node.fanins().iter().zip(node.fanin_edges()) {
-                let from_slot = self.slot[from.index()];
-                let ups: &[f64] = if from_slot != NOT_IN_CONE {
-                    let base = from_slot as usize * n;
+            for k in view.arc_range(slot) {
+                let fs = arc_slots[k];
+                let ups: &[f64] = if fs != EXTERNAL {
+                    let base = fs as usize * n;
                     &earlier[base..base + n]
                 } else {
+                    let from = arc_sources[k];
                     &baseline[from.index() * n..(from.index() + 1) * n]
                 };
+                let e = arc_edges[k];
                 let ds = batch.edge_delays(e);
                 if e == self.edge {
                     for s in 0..n {
@@ -414,9 +399,8 @@ impl DefectCone {
                 }
             }
         }
-        let outputs = circuit.primary_outputs();
-        for (k, &oi) in self.reachable_outputs.iter().enumerate() {
-            let slot = self.slot[outputs[oi].index()] as usize;
+        for (k, &(_, slot)) in view.output_slots().iter().enumerate() {
+            let slot = slot as usize;
             let row = &scratch[slot * n..(slot + 1) * n];
             for (s, &arr) in row.iter().enumerate() {
                 if arr > clk {
