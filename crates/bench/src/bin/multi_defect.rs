@@ -1,0 +1,112 @@
+//! Multi-defect robustness campaign (ROADMAP scenario 4b, paper
+//! future-work direction 3): inject `m ≥ 1` simultaneous segment
+//! defects per chip while diagnosing under the single-defect
+//! dictionary, and score **any-hit** accuracy — at least one injected
+//! arc in the top-K answer.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run -p sdd-bench --release --bin multi_defect \
+//!     [-- --quick] [--circuit s1196] [--seed 2] [--m 2]
+//! ```
+//!
+//! Runs the `m = 1` baseline next to the requested `m` (default 2) so
+//! the dictionary-model mismatch cost is visible per (K, error
+//! function) cell. The binary asserts the structural invariants the
+//! integration suite pins (monotone any-hit in K, deterministic
+//! reruns), so a CI `--quick` invocation doubles as a smoke test.
+
+use sdd_bench::flag_value;
+use sdd_core::inject::CampaignConfig;
+use sdd_core::multi_defect::run_multi_defect_campaign;
+use sdd_netlist::generator::generate;
+use sdd_netlist::profiles;
+use std::time::Instant;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let circuit_name = flag_value(&args, "--circuit").unwrap_or_else(|| "s1196".into());
+    let seed: u64 = flag_value(&args, "--seed")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2);
+    let m: usize = flag_value(&args, "--m")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2);
+    assert!(m >= 1, "--m must be at least 1");
+
+    let profile = profiles::by_name(&circuit_name)
+        .unwrap_or_else(|| panic!("unknown circuit profile `{circuit_name}`"));
+    let circuit = generate(&profile.to_config(seed))
+        .expect("profile generates")
+        .to_combinational()
+        .expect("combinational view");
+
+    let mut config = if quick {
+        let mut c = CampaignConfig::quick(seed);
+        c.n_instances = 8;
+        c
+    } else {
+        CampaignConfig::paper(seed)
+    };
+    config.seed = seed;
+
+    println!("=== Multi-defect any-hit accuracy: {circuit_name} ===");
+    println!(
+        "mode: {}, seed: {seed}, chips: {}, defects per chip: 1 vs {m}\n",
+        if quick { "quick" } else { "paper" },
+        config.n_instances
+    );
+
+    let total = Instant::now();
+    let reports: Vec<_> = [1, m]
+        .iter()
+        .map(|&defects| {
+            let t0 = Instant::now();
+            let report = run_multi_defect_campaign(&circuit, &config, defects)
+                .expect("multi-defect campaign runs");
+            // Smoke invariants: any-hit counts are monotone in K, and a
+            // rerun is bit-identical (the campaign is seed-determined).
+            for f_ix in 0..report.functions.len() {
+                let mut last = 0;
+                for k_ix in 0..report.k_values.len() {
+                    assert!(
+                        report.any_hit[k_ix][f_ix] >= last,
+                        "any-hit not monotone in K at m={defects}"
+                    );
+                    last = report.any_hit[k_ix][f_ix];
+                }
+            }
+            let again = run_multi_defect_campaign(&circuit, &config, defects)
+                .expect("multi-defect campaign reruns");
+            assert_eq!(report, again, "m={defects} campaign is not deterministic");
+            println!("  [m = {defects} done in {:.1?}]", t0.elapsed());
+            report
+        })
+        .collect();
+
+    let base = &reports[0];
+    let multi = &reports[1];
+    println!("\n  any-hit %, m=1 -> m={m} (per K, per error function):");
+    print!("  {:>6}", "K");
+    for f_ix in 0..base.functions.len() {
+        print!(
+            " {:>16}",
+            base.function(f_ix).expect("function in range").name()
+        );
+    }
+    println!();
+    for k_ix in 0..base.k_values.len() {
+        print!("  {:>6}", base.k_value(k_ix).expect("K in range"));
+        for f_ix in 0..base.functions.len() {
+            print!(
+                " {:>7.0} -> {:>4.0}",
+                base.any_hit_percent(k_ix, f_ix),
+                multi.any_hit_percent(k_ix, f_ix)
+            );
+        }
+        println!();
+    }
+    println!("\ntotal wall clock: {:.1?}", total.elapsed());
+}

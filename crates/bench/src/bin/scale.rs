@@ -15,7 +15,10 @@
 //! * `patterns` — the seeded pattern set,
 //! * `cones` — [`DefectCone`] extraction for every suspect
 //!   (cone-proportional since the CSR/`ConeView` rework),
-//! * `dictionary` — the Monte-Carlo dictionary build itself.
+//! * `dictionary` — the Monte-Carlo dictionary build itself,
+//! * `observe` — one batched pattern-lane behaviour capture
+//!   ([`ObservedBehavior`]) of a sampled chip instance, thresholded at
+//!   the selected clock.
 //!
 //! The scaling claim under test: per-suspect cost tracks *suspect-cone
 //! size*, not circuit size. The synthetic generator's fanout cones grow
@@ -38,6 +41,7 @@
 use sdd_atpg::pattern::PatternSet;
 use sdd_bench::flag_value;
 use sdd_core::dictionary::{DictionaryConfig, ProbabilisticDictionary, SimKernel};
+use sdd_core::{CaptureModel, ObservedBehavior};
 use sdd_netlist::generator::generate;
 use sdd_netlist::profiles;
 use sdd_timing::dynamic::DefectCone;
@@ -67,6 +71,7 @@ struct Phases {
     patterns: u64,
     cones: u64,
     dictionary: u64,
+    observe: u64,
 }
 
 #[derive(Serialize)]
@@ -129,7 +134,7 @@ fn main() {
         budgets.n_patterns, budgets.n_suspects, budgets.n_samples
     );
     println!(
-        "{:>10} {:>8} {:>8} {:>6} {:>9} {:>10} {:>12} {:>14} {:>12}",
+        "{:>10} {:>8} {:>8} {:>6} {:>9} {:>10} {:>12} {:>10} {:>14} {:>12}",
         "circuit",
         "nodes",
         "edges",
@@ -137,6 +142,7 @@ fn main() {
         "meancone",
         "cones",
         "dict",
+        "observe",
         "per-susp-pat",
         "per-node-smp"
     );
@@ -148,7 +154,7 @@ fn main() {
 
     for r in &rows {
         println!(
-            "{:>10} {:>8} {:>8} {:>6} {:>9} {:>9.1?} {:>11.1?} {:>12.1?} {:>9.2}ns",
+            "{:>10} {:>8} {:>8} {:>6} {:>9} {:>9.1?} {:>11.1?} {:>9.1?} {:>12.1?} {:>9.2}ns",
             r.name,
             r.nodes,
             r.edges,
@@ -156,6 +162,7 @@ fn main() {
             r.mean_cone,
             std::time::Duration::from_nanos(r.phases_ns.cones),
             std::time::Duration::from_nanos(r.phases_ns.dictionary),
+            std::time::Duration::from_nanos(r.phases_ns.observe),
             std::time::Duration::from_nanos(r.per_suspect_pattern_ns as u64),
             r.per_cone_node_sample_ns,
         );
@@ -254,6 +261,16 @@ fn run_circuit(name: &str, seed: u64, budgets: &Budgets) -> Row {
     let dictionary_ns = t.elapsed().as_nanos();
     assert_eq!(dict.suspects().len(), suspects.len());
 
+    // One batched behaviour capture of a sampled chip, thresholded at
+    // the selected clock: the per-chip observe cost at this circuit
+    // size, through the same pattern-lane walk the campaign uses.
+    let chip = timing.sample_instance_indexed(seed ^ 0x0B5E, 0);
+    let t = Instant::now();
+    let observed = ObservedBehavior::capture(&circuit, &patterns, &chip, CaptureModel::default());
+    let behavior = observed.matrix_at(clk);
+    let observe_ns = t.elapsed().as_nanos();
+    assert_eq!(behavior.num_patterns(), patterns.len());
+
     let per_suspect_pattern_ns = dictionary_ns as f64 / (suspects.len() * patterns.len()) as f64;
     let per_cone_node_sample_ns =
         dictionary_ns as f64 / (total_cone * patterns.len() * budgets.n_samples) as f64;
@@ -272,6 +289,7 @@ fn run_circuit(name: &str, seed: u64, budgets: &Budgets) -> Row {
             patterns: patterns_ns as u64,
             cones: cones_ns as u64,
             dictionary: dictionary_ns as u64,
+            observe: observe_ns as u64,
         },
         per_suspect_pattern_ns,
         per_cone_node_sample_ns,

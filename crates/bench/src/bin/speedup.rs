@@ -24,6 +24,14 @@
 //! to the serial oracle, and asserts the Patterns phase actually got
 //! faster (≥ 3× under a warm store at paper scale).
 //!
+//! An **observe leg** then re-runs the warm configuration with the
+//! scalar per-pattern observe kernel ([`ObserveKernel::Scalar`]): the
+//! report must again equal the serial oracle (batched-vs-scalar observe
+//! bit-identity, asserted in-bench), and the batched observe phase must
+//! be ≥ 3× faster than the scalar one. Its metrics report is exported
+//! alongside the primary and warm legs, so the observe timings land in
+//! `BENCH_speedup.json` schema-compatibly.
+//!
 //! `--quick` swaps the paper-scale workload for the reduced test
 //! configuration — the CI sanity mode. `--kernel scalar|batched|analytic`
 //! skips the kernel comparison and runs a single kernel (for profiling);
@@ -52,7 +60,7 @@ use sdd_bench::{flag_value, write_metrics_export};
 use sdd_core::evaluate::AccuracyReport;
 use sdd_core::inject::{diagnose_one_instance, CampaignConfig, ClockPolicy, InstanceOutcome};
 use sdd_core::session::{ArtifactLayer, DiagnosisSession};
-use sdd_core::{ErrorFunction, MetricsReport, SimKernel};
+use sdd_core::{ErrorFunction, MetricsReport, ObserveKernel, SimKernel};
 use sdd_netlist::generator::generate;
 use sdd_netlist::profiles;
 use sdd_timing::sta;
@@ -297,6 +305,47 @@ fn main() {
     }
     println!("results identical (warm)   : yes\n");
 
+    // Observe leg: the warm configuration again, but with the scalar
+    // per-pattern observe kernel. Patterns and dictionaries stay warm,
+    // so the observe phase dominates the difference and the comparison
+    // isolates the batched pattern-lane observe path (plus the
+    // clock-sweep capture amortization and batched delay sampling).
+    let mut scalar_observe_config = config.clone();
+    scalar_observe_config.observe = ObserveKernel::Scalar;
+    let observe_scalar = match &store_dir {
+        Some(dir) => ArtifactLayer::builder()
+            .store_dir(dir)
+            .build()
+            .expect("observe layer builds")
+            .session("speedup-observe")
+            .run_campaign_on(&circuit, &scalar_observe_config)
+            .expect("scalar-observe campaign runs"),
+        None => session
+            .run_campaign_on(&circuit, &scalar_observe_config)
+            .expect("scalar-observe campaign runs"),
+    };
+    // The in-bench bit-identity check for the observe kernels: both the
+    // batched legs above and this scalar leg must equal the serial
+    // oracle, so batched-vs-scalar observe agree end to end — success
+    // tables, rankings, suspect statistics and all.
+    assert_eq!(
+        &serial, &observe_scalar,
+        "scalar observe kernel altered the diagnosis results"
+    );
+    let batched_obs = warm.metrics.observe_nanos;
+    let scalar_obs = observe_scalar.metrics.observe_nanos;
+    let obs_ratio = scalar_obs as f64 / batched_obs.max(1) as f64;
+    println!(
+        "observe phase (warm)       : scalar {:.2?} vs batched {:.2?} ({obs_ratio:.2}x)",
+        std::time::Duration::from_nanos(scalar_obs),
+        std::time::Duration::from_nanos(batched_obs),
+    );
+    assert!(
+        scalar_obs >= 3 * batched_obs,
+        "batched observe under 3x on the warm leg: {batched_obs} ns vs {scalar_obs} ns scalar"
+    );
+    println!("results identical (observe): yes\n");
+
     println!("{}", primary.render_table());
     println!("{}", primary.metrics.render());
 
@@ -304,6 +353,7 @@ fn main() {
         vec![
             MetricsReport::from_report(primary),
             MetricsReport::from_report(&warm),
+            MetricsReport::from_report(&observe_scalar),
         ]
     };
     if let Some(path) = flag_value(&args, "--metrics-json") {

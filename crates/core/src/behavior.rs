@@ -2,9 +2,13 @@
 
 use sdd_atpg::dictionary::BitMatrix;
 use sdd_atpg::PatternSet;
-use sdd_netlist::logic::{self, simulate_pair};
+use sdd_netlist::logic::{self, simulate_pair, Transition};
 use sdd_netlist::Circuit;
-use sdd_timing::dynamic::transition_arrivals;
+use sdd_timing::dynamic::{
+    pattern_stride, transition_arrivals, transition_arrivals_fail_closed,
+    transition_arrivals_patterns,
+};
+use sdd_timing::waveform::Waveform;
 use sdd_timing::{waveform, TimingInstance};
 use serde::{Deserialize, Serialize};
 
@@ -25,6 +29,186 @@ pub enum CaptureModel {
     /// captures hazard-induced failures on logically stable outputs,
     /// which the paper's arrival-time framework cannot express.
     Waveform,
+}
+
+/// Which implementation records the behaviour matrix during observation.
+///
+/// Both kernels are bit-identical by construction (the batched kernel is
+/// a loop-nest interchange of the scalar one); the scalar path survives
+/// as the differential oracle and as an escape hatch. Campaigns select a
+/// kernel through `CampaignConfig::observe`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum ObserveKernel {
+    /// Pattern-lane batched capture: all patterns simulated through one
+    /// topology walk with fixed-width unit-stride inner lanes
+    /// ([`sdd_timing::dynamic::transition_arrivals_patterns`]), and the
+    /// clock-independent capture state reused across re-observations at
+    /// different `clk` values. The production default.
+    #[default]
+    Batched,
+    /// Per-pattern scalar capture
+    /// ([`BehaviorMatrix::observe_with_scalar`]): one full-circuit walk
+    /// per pattern per observation. The oracle the batched kernel is
+    /// pinned against.
+    Scalar,
+}
+
+/// Fail-closed clock-edge capture test for transition-arrival semantics.
+///
+/// `NO_EVENT` (−∞) means the output never switches — a pass at any
+/// clock. A NaN arrival means the timing data was corrupt (a NaN delay
+/// reached this output); `arrival > clk` is false for NaN, so the naive
+/// test would silently read corrupt timing as *pass* (fail-open). A
+/// non-finite arrival other than `NO_EVENT` therefore reads as fail
+/// (+∞ already fails via `> clk`).
+#[inline]
+pub(crate) fn arrival_fails(arrival: f64, clk: f64) -> bool {
+    arrival > clk || arrival.is_nan()
+}
+
+/// Non-finite delays mean corrupt timing data; observation must not
+/// trust any arrival the fast kernels compute from them.
+#[inline]
+fn instance_is_poisoned(instance: &TimingInstance) -> bool {
+    instance.delays().iter().any(|d| !d.is_finite())
+}
+
+/// Clock-independent observation state of one chip instance under one
+/// pattern set: everything `observe` computes *before* the clock
+/// threshold is applied.
+///
+/// Capturing is the expensive part (timing simulation of every pattern);
+/// thresholding is a pass over per-output arrivals or waveform samples.
+/// Splitting the two lets the clock-sweep observation ladder re-threshold
+/// one capture at many `clk` values instead of re-simulating — and the
+/// capture itself runs all patterns through one topology walk in the
+/// batched kernel.
+#[derive(Debug, Clone)]
+pub struct ObservedBehavior {
+    n_outputs: usize,
+    n_patterns: usize,
+    state: CaptureState,
+}
+
+#[derive(Debug, Clone)]
+enum CaptureState {
+    /// Pattern-major output arrivals: `arrivals[j * n_outputs + i]`.
+    Arrivals(Vec<f64>),
+    /// Pattern-major `(waveform, expected settled value)` per output:
+    /// `waves[j * n_outputs + i]`.
+    Waves(Vec<(Waveform, bool)>),
+}
+
+impl ObservedBehavior {
+    /// Simulates `instance` under every pattern once, retaining the
+    /// clock-independent capture state. Uses the batched pattern-lane
+    /// walk for [`CaptureModel::TransitionArrival`]; waveform capture is
+    /// inherently per-pattern.
+    ///
+    /// # Panics
+    ///
+    /// Panics for sequential circuits or mismatched pattern widths.
+    pub fn capture(
+        circuit: &Circuit,
+        patterns: &PatternSet,
+        instance: &TimingInstance,
+        capture: CaptureModel,
+    ) -> ObservedBehavior {
+        let outputs = circuit.primary_outputs();
+        let n_outputs = outputs.len();
+        let n_patterns = patterns.len();
+        let state = match capture {
+            // A corrupt instance (non-finite delays) takes the cold
+            // poison-tracking walk — the fast lanes would swallow a NaN
+            // candidate into NO_EVENT and read it as pass (fail-open).
+            // Both observe kernels share this exact dispatch, so
+            // bit-identity holds on corrupt instances too.
+            CaptureModel::TransitionArrival if instance_is_poisoned(instance) => {
+                let mut arrivals = Vec::with_capacity(n_patterns * n_outputs);
+                for p in patterns.iter() {
+                    let transitions = simulate_pair(circuit, &p.v1, &p.v2);
+                    let arr = transition_arrivals_fail_closed(circuit, &transitions, instance);
+                    arrivals.extend(outputs.iter().map(|o| arr[o.index()]));
+                }
+                CaptureState::Arrivals(arrivals)
+            }
+            CaptureModel::TransitionArrival => {
+                let transitions: Vec<Vec<Transition>> = patterns
+                    .iter()
+                    .map(|p| simulate_pair(circuit, &p.v1, &p.v2))
+                    .collect();
+                let stride = pattern_stride(n_patterns);
+                let arr = transition_arrivals_patterns(circuit, &transitions, instance);
+                let mut arrivals = Vec::with_capacity(n_patterns * n_outputs);
+                for j in 0..n_patterns {
+                    arrivals.extend(outputs.iter().map(|o| arr[o.index() * stride + j]));
+                }
+                CaptureState::Arrivals(arrivals)
+            }
+            CaptureModel::Waveform => {
+                let mut waves = Vec::with_capacity(n_patterns * n_outputs);
+                for p in patterns.iter() {
+                    let w = waveform::simulate(circuit, &p.v1, &p.v2, instance);
+                    let expected = logic::simulate(circuit, &p.v2);
+                    waves.extend(
+                        outputs
+                            .iter()
+                            .map(|o| (w[o.index()].clone(), expected[o.index()])),
+                    );
+                }
+                CaptureState::Waves(waves)
+            }
+        };
+        ObservedBehavior {
+            n_outputs,
+            n_patterns,
+            state,
+        }
+    }
+
+    /// Thresholds the capture at cut-off period `clk`, producing the
+    /// behaviour matrix — bit-identical to a fresh
+    /// [`BehaviorMatrix::observe_with`] at the same `clk`, at the cost of
+    /// one pass over the retained per-output samples.
+    pub fn matrix_at(&self, clk: f64) -> BehaviorMatrix {
+        let mut bits = BitMatrix::zeros(self.n_outputs, self.n_patterns);
+        match &self.state {
+            CaptureState::Arrivals(arrivals) => {
+                for j in 0..self.n_patterns {
+                    let row = &arrivals[j * self.n_outputs..(j + 1) * self.n_outputs];
+                    for (i, &a) in row.iter().enumerate() {
+                        if arrival_fails(a, clk) {
+                            bits.set(i, j, true);
+                        }
+                    }
+                }
+            }
+            CaptureState::Waves(waves) => {
+                for j in 0..self.n_patterns {
+                    let row = &waves[j * self.n_outputs..(j + 1) * self.n_outputs];
+                    for (i, (w, expected)) in row.iter().enumerate() {
+                        if waveform::fails_at(w, clk, *expected) {
+                            bits.set(i, j, true);
+                        }
+                    }
+                }
+            }
+        }
+        BehaviorMatrix {
+            bits,
+            clk_bits: clk.to_bits(),
+        }
+    }
+
+    /// Number of outputs captured.
+    pub fn num_outputs(&self) -> usize {
+        self.n_outputs
+    }
+
+    /// Number of patterns captured.
+    pub fn num_patterns(&self) -> usize {
+        self.n_patterns
+    }
 }
 
 /// The 0/1 behaviour matrix `B`: `b_ij = 1` when primary output `i` fails
@@ -58,7 +242,8 @@ impl BehaviorMatrix {
         )
     }
 
-    /// Observes the behaviour under an explicit capture model.
+    /// Observes the behaviour under an explicit capture model, using the
+    /// batched pattern-lane kernel ([`ObserveKernel::Batched`]).
     ///
     /// # Panics
     ///
@@ -70,15 +255,39 @@ impl BehaviorMatrix {
         clk: f64,
         capture: CaptureModel,
     ) -> BehaviorMatrix {
+        ObservedBehavior::capture(circuit, patterns, instance, capture).matrix_at(clk)
+    }
+
+    /// Scalar observation oracle: one full-circuit walk per pattern, the
+    /// loop nest the batched kernel interchanges. Kept as the reference
+    /// implementation the differential suite (and the `speedup` bench)
+    /// pins [`BehaviorMatrix::observe_with`] against, and selectable in
+    /// campaigns via [`ObserveKernel::Scalar`].
+    ///
+    /// # Panics
+    ///
+    /// Panics for sequential circuits or mismatched pattern widths.
+    pub fn observe_with_scalar(
+        circuit: &Circuit,
+        patterns: &PatternSet,
+        instance: &TimingInstance,
+        clk: f64,
+        capture: CaptureModel,
+    ) -> BehaviorMatrix {
         let n_out = circuit.primary_outputs().len();
+        let poisoned = instance_is_poisoned(instance);
         let mut bits = BitMatrix::zeros(n_out, patterns.len());
         for (j, p) in patterns.iter().enumerate() {
             match capture {
                 CaptureModel::TransitionArrival => {
                     let transitions = simulate_pair(circuit, &p.v1, &p.v2);
-                    let arrivals = transition_arrivals(circuit, &transitions, instance);
+                    let arrivals = if poisoned {
+                        transition_arrivals_fail_closed(circuit, &transitions, instance)
+                    } else {
+                        transition_arrivals(circuit, &transitions, instance)
+                    };
                     for (i, &o) in circuit.primary_outputs().iter().enumerate() {
-                        if arrivals[o.index()] > clk {
+                        if arrival_fails(arrivals[o.index()], clk) {
                             bits.set(i, j, true);
                         }
                     }
@@ -235,6 +444,62 @@ mod tests {
         let b = BehaviorMatrix::observe(&c, &ps, &inst, 1.0);
         assert_eq!(b.num_outputs(), 1);
         assert_eq!(b.num_patterns(), 2);
+    }
+
+    #[test]
+    fn nan_arrival_fails_closed_in_both_capture_models() {
+        // Regression: a NaN arrival must read as FAIL, not silently pass
+        // (`NaN > clk` is false). NO_EVENT (−∞) must still pass.
+        let (c, _) = chain();
+        let nan_inst = TimingInstance::new(vec![f64::NAN, 0.4]);
+        let ps = rising_pattern();
+        for capture in [CaptureModel::TransitionArrival, CaptureModel::Waveform] {
+            let b = BehaviorMatrix::observe_with(&c, &ps, &nan_inst, 100.0, capture);
+            assert!(
+                b.fails(0, 0),
+                "NaN-poisoned arrival read as pass under {capture:?}"
+            );
+            let scalar = BehaviorMatrix::observe_with_scalar(&c, &ps, &nan_inst, 100.0, capture);
+            assert_eq!(b, scalar, "kernels disagree under {capture:?}");
+        }
+        // A stable pattern never switches: NO_EVENT stays a pass even on
+        // the poisoned instance (the NaN delay is never exercised).
+        let stable: PatternSet = [TestPattern::new(vec![true], vec![true])]
+            .into_iter()
+            .collect();
+        let b = BehaviorMatrix::observe(&c, &stable, &nan_inst, 0.01);
+        assert!(b.all_pass());
+    }
+
+    #[test]
+    fn infinite_arrival_fails_closed() {
+        let (c, _) = chain();
+        let inf_inst = TimingInstance::new(vec![f64::INFINITY, 0.4]);
+        let ps = rising_pattern();
+        let b = BehaviorMatrix::observe(&c, &ps, &inf_inst, f64::MAX);
+        assert!(b.fails(0, 0));
+    }
+
+    #[test]
+    fn batched_observe_matches_scalar_and_reuses_capture() {
+        let (c, inst) = chain();
+        let ps: PatternSet = [
+            TestPattern::new(vec![false], vec![true]),
+            TestPattern::new(vec![true], vec![false]),
+            TestPattern::new(vec![true], vec![true]),
+        ]
+        .into_iter()
+        .collect();
+        for capture in [CaptureModel::TransitionArrival, CaptureModel::Waveform] {
+            let observed = ObservedBehavior::capture(&c, &ps, &inst, capture);
+            assert_eq!(observed.num_outputs(), 1);
+            assert_eq!(observed.num_patterns(), 3);
+            for clk in [0.1, 0.5, 0.8, 1.0] {
+                let batched = observed.matrix_at(clk);
+                let scalar = BehaviorMatrix::observe_with_scalar(&c, &ps, &inst, clk, capture);
+                assert_eq!(batched, scalar, "clk {clk} capture {capture:?}");
+            }
+        }
     }
 
     #[test]

@@ -215,6 +215,24 @@ impl DictionaryCache {
         set
     }
 
+    /// The batch of tested-delay chip instances `0..n` of stream `seed`,
+    /// memoized for the cache's lifetime. The draws are keyed per index
+    /// and depend only on (timing model, seed) — never on a chip's
+    /// sampled delays or its pattern set — so every chip of a campaign
+    /// shares one Box-Muller sampling pass. A hit holds the exact values
+    /// resampling would produce, so the tested-delay quantiles (and with
+    /// them the swept clocks) stay bit-identical.
+    pub(crate) fn tested_instance_batch(
+        &self,
+        circuit: &Circuit,
+        timing: &CircuitTiming,
+        seed: u64,
+        n: usize,
+    ) -> Arc<sdd_timing::InstanceBatch> {
+        self.batches
+            .get_or_sample_at(fingerprint_model(circuit, timing), timing, seed, 0, n)
+    }
+
     /// Builds a dictionary through the cache: simulates only the
     /// (baseline, suspect) grids missing under this key, then assembles
     /// the result by counting. Bit-identical to

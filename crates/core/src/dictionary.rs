@@ -530,9 +530,7 @@ impl BatchCache {
     }
 
     /// The batch for pattern position `j` under `config`, sampling it on
-    /// first use. Sampling runs outside the lock, so concurrent misses
-    /// on one key may sample twice; both produce identical values and
-    /// only one is kept.
+    /// first use.
     fn get_or_sample(
         &self,
         model_fp: u64,
@@ -540,15 +538,34 @@ impl BatchCache {
         config: DictionaryConfig,
         j: usize,
     ) -> Arc<InstanceBatch> {
-        let key = (model_fp, config.seed, config.n_samples as u64, j as u64);
-        if let Some(hit) = self.inner.lock().expect("batch cache lock").touch(&key) {
-            return hit;
-        }
-        let batch = Arc::new(timing.sample_instance_batch(
+        self.get_or_sample_at(
+            model_fp,
+            timing,
             config.seed,
             (j * config.n_samples) as u64,
             config.n_samples,
-        ));
+        )
+    }
+
+    /// The batch of instances `first_index..first_index + n` of stream
+    /// `seed`, sampling it on first use. Keyed on everything the draw
+    /// reads, so a hit holds the exact values resampling would produce.
+    /// Sampling runs outside the lock, so concurrent misses on one key
+    /// may sample twice; both produce identical values and only one is
+    /// kept.
+    pub(crate) fn get_or_sample_at(
+        &self,
+        model_fp: u64,
+        timing: &CircuitTiming,
+        seed: u64,
+        first_index: u64,
+        n: usize,
+    ) -> Arc<InstanceBatch> {
+        let key = (model_fp, seed, n as u64, first_index);
+        if let Some(hit) = self.inner.lock().expect("batch cache lock").touch(&key) {
+            return hit;
+        }
+        let batch = Arc::new(timing.sample_instance_batch(seed, first_index, n));
         let size = batch.n_edges() * batch.n_samples();
         let mut inner = self.inner.lock().expect("batch cache lock");
         if let Some(hit) = inner.touch(&key) {
@@ -843,6 +860,24 @@ fn simulate_fail_masks_batched(
     let n = config.n_samples;
     // One O(edges) hash buys memo lookups for every pattern position.
     let model_fp = batches.map(|_| crate::store::fingerprint_model(circuit, timing));
+    // Suspects whose defective arcs share a sink node share the exact
+    // ConeView; fuse their cone walks so the per-node transition checks,
+    // arc dereferences and delay-slice fetches are paid once per group
+    // instead of once per suspect. Group order follows first appearance
+    // and members keep suspect order, so the per-suspect draw and float
+    // sequences are unchanged.
+    let mut group_of_sink: std::collections::HashMap<usize, usize> =
+        std::collections::HashMap::new();
+    let mut groups: Vec<Vec<usize>> = Vec::new();
+    for (ci, cone) in cones.iter().enumerate() {
+        match group_of_sink.entry(circuit.edge(cone.edge()).to().index()) {
+            std::collections::hash_map::Entry::Occupied(e) => groups[*e.get()].push(ci),
+            std::collections::hash_map::Entry::Vacant(v) => {
+                v.insert(groups.len());
+                groups.push(vec![ci]);
+            }
+        }
+    }
     patterns
         .patterns()
         .par_iter()
@@ -865,29 +900,32 @@ fn simulate_fail_masks_batched(
                 }
             }
             let mut scratch: Vec<f64> = Vec::new();
-            let mut deltas: Vec<f64> = Vec::with_capacity(n);
-            let fails: Vec<BitGrid> = cones
+            let mut deltas: Vec<f64> = Vec::new();
+            let mut fails: Vec<BitGrid> = cones
                 .iter()
-                .map(|cone| {
-                    let mut grid = BitGrid::new(n, cone.reachable_outputs().len());
-                    deltas.clear();
+                .map(|cone| BitGrid::new(n, cone.reachable_outputs().len()))
+                .collect();
+            for group in &groups {
+                let members: Vec<&DefectCone> = group.iter().map(|&ci| &cones[ci]).collect();
+                deltas.clear();
+                for &ci in group {
                     deltas.extend((0..n).map(|s| {
                         let instance_index = (j * n + s) as u64;
-                        sample_delta(config.seed, instance_index, cone.edge(), defect_size)
+                        sample_delta(config.seed, instance_index, cones[ci].edge(), defect_size)
                     }));
-                    cone.apply_batch(
-                        circuit,
-                        &transitions,
-                        &batch,
-                        &baseline,
-                        &deltas,
-                        clk,
-                        &mut scratch,
-                        |s, k| grid.set(s, k),
-                    );
-                    grid
-                })
-                .collect();
+                }
+                DefectCone::apply_batch_fused(
+                    &members,
+                    circuit,
+                    &transitions,
+                    &batch,
+                    &baseline,
+                    &deltas,
+                    clk,
+                    &mut scratch,
+                    |g, s, k| fails[group[g]].set(s, k),
+                );
+            }
             if let Some(m) = metrics {
                 m.add_kernel_nanos(t_kernel.elapsed().as_nanos() as u64);
             }

@@ -238,6 +238,28 @@ impl<'a> ByteReader<'a> {
         Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
     }
 
+    /// Reads `n` little-endian `u64` words in one bounds check, appending
+    /// them to `out` via a single bulk pass over the borrowed payload —
+    /// the zero-copy-style path for word-array payloads (grid banks),
+    /// replacing `n` individual `get_u64` calls and their per-word cursor
+    /// arithmetic.
+    ///
+    /// # Errors
+    ///
+    /// [`FormatError::Truncated`] when fewer than `n * 8` bytes remain
+    /// (or the byte count overflows `usize`).
+    pub fn get_u64_into(&mut self, n: usize, out: &mut Vec<u64>) -> Result<(), FormatError> {
+        let n_bytes = n.checked_mul(8).ok_or(FormatError::Truncated)?;
+        let bytes = self.take(n_bytes)?;
+        out.reserve(n);
+        out.extend(
+            bytes
+                .chunks_exact(8)
+                .map(|c| u64::from_le_bytes(c.try_into().unwrap())),
+        );
+        Ok(())
+    }
+
     /// Reads a `u64` and narrows it to `usize`.
     ///
     /// # Errors
@@ -353,6 +375,48 @@ mod tests {
         assert_eq!(r.get_f64().unwrap(), -0.5);
         assert_eq!(r.get_usize().unwrap(), 123);
         assert!(r.get_u32().is_err());
+    }
+
+    #[test]
+    fn bulk_u64_read_matches_per_word_reads() {
+        let words: Vec<u64> = (0..37)
+            .map(|i| (i as u64) * 0x0101_0101_0101_0101)
+            .collect();
+        let mut w = ByteWriter::new();
+        for &word in &words {
+            w.put_u64(word);
+        }
+        w.put_u32(0xDEAD);
+        let bytes = w.into_bytes();
+        let mut bulk = ByteReader::new(&bytes);
+        let mut got = Vec::new();
+        bulk.get_u64_into(words.len(), &mut got).unwrap();
+        assert_eq!(got, words);
+        // The cursor lands exactly where per-word reads leave it.
+        assert_eq!(bulk.get_u32().unwrap(), 0xDEAD);
+        assert_eq!(bulk.remaining(), 0);
+    }
+
+    #[test]
+    fn bulk_u64_read_detects_truncation() {
+        let mut w = ByteWriter::new();
+        w.put_u64(1);
+        w.put_u64(2);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        let mut out = Vec::new();
+        assert!(matches!(
+            r.get_u64_into(3, &mut out),
+            Err(FormatError::Truncated)
+        ));
+        // A failed bulk read consumes nothing.
+        assert_eq!(r.remaining(), 16);
+        assert!(out.is_empty());
+        // Overflowing byte count is truncation, not a panic.
+        assert!(matches!(
+            r.get_u64_into(usize::MAX, &mut out),
+            Err(FormatError::Truncated)
+        ));
     }
 
     #[test]

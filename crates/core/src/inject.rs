@@ -15,7 +15,7 @@ use crate::dictionary::DictionaryConfig;
 use crate::error_fn::ErrorFunction;
 use crate::evaluate::AccuracyReport;
 use crate::metrics::{InstanceTrace, MetricsSink, Phase, TraceOutcome};
-use crate::{BehaviorMatrix, CaptureModel, DiagnosisError};
+use crate::{BehaviorMatrix, CaptureModel, DiagnosisError, ObserveKernel, ObservedBehavior};
 use rayon::prelude::*;
 use sdd_atpg::fault::{PathDelayFault, TransitionDirection};
 use sdd_atpg::path_atpg::generate_candidate_tests;
@@ -58,6 +58,13 @@ pub struct CampaignConfig {
     pub max_redraws: usize,
     /// How the tester's capture is modelled when observing `B`.
     pub capture: CaptureModel,
+    /// Which observe implementation records `B` (batched pattern-lane
+    /// kernel vs the scalar per-pattern oracle); bit-identical by
+    /// contract, so this only affects speed. Defaults to
+    /// [`ObserveKernel::Batched`] (also for configs deserialized from
+    /// older exports without the field).
+    #[serde(default)]
+    pub observe: ObserveKernel,
     /// Backtrack budget per path-test justification (sensitizable paths
     /// justify quickly; a tight budget bounds the cost of the many false
     /// paths that cannot be justified at all).
@@ -88,6 +95,7 @@ impl CampaignConfig {
             seed,
             max_redraws: 10,
             capture: CaptureModel::TransitionArrival,
+            observe: ObserveKernel::Batched,
             path_backtracks: 120,
             podem_backtracks: 500,
             sweep_extra_steps: 2,
@@ -113,6 +121,7 @@ impl CampaignConfig {
             seed,
             max_redraws: 6,
             capture: CaptureModel::TransitionArrival,
+            observe: ObserveKernel::Batched,
             path_backtracks: 100,
             podem_backtracks: 300,
             sweep_extra_steps: 2,
@@ -140,6 +149,13 @@ impl CampaignConfig {
     /// Sets the clock policy.
     pub fn with_clock(mut self, clock: ClockPolicy) -> Self {
         self.clock = clock;
+        self
+    }
+
+    /// Selects the observe implementation (batched pattern-lane kernel
+    /// vs scalar oracle).
+    pub fn with_observe_kernel(mut self, observe: ObserveKernel) -> Self {
+        self.observe = observe;
         self
     }
 }
@@ -232,10 +248,74 @@ pub const SWEEP_QUANTILES: [f64; 6] = [0.95, 0.8, 0.65, 0.5, 0.35, 0.2];
 /// manufactured model instance. The clock policies quantize this
 /// distribution.
 ///
+/// Runs sample-major: one [`sdd_timing::InstanceBatch`] carries every
+/// instance and each pattern is timed for all samples in one
+/// [`sdd_timing::dynamic::transition_arrivals_batch`] walk. Bit-identical
+/// to [`tested_delay_samples_scalar`] — the batch draws the same keyed
+/// per-index instances and the max-fold runs in the same
+/// (pattern, output) order per sample; only the loop nest is
+/// interchanged.
+///
 /// # Panics
 ///
 /// Panics if `n_samples == 0` or the pattern set is empty.
 pub fn tested_delay_samples(
+    circuit: &Circuit,
+    timing: &CircuitTiming,
+    patterns: &PatternSet,
+    n_samples: usize,
+    seed: u64,
+) -> sdd_timing::Samples {
+    assert!(n_samples > 0, "monte-carlo sample count must be positive");
+    let batch = timing.sample_instance_batch(seed ^ 0x7E57, 0, n_samples);
+    tested_delay_samples_from_batch(circuit, patterns, &batch)
+}
+
+/// The fold behind [`tested_delay_samples`], over an already-sampled
+/// [`sdd_timing::InstanceBatch`]. The instance draws are keyed on
+/// (timing model, seed) only, so a campaign can sample the batch once
+/// and share it across every chip (see
+/// [`DictionaryCache`](crate::DictionaryCache)); passing such a batch
+/// here is bit-identical to resampling it.
+///
+/// # Panics
+///
+/// Panics if the batch is empty or the pattern set is empty.
+pub fn tested_delay_samples_from_batch(
+    circuit: &Circuit,
+    patterns: &PatternSet,
+    batch: &sdd_timing::InstanceBatch,
+) -> sdd_timing::Samples {
+    let n_samples = batch.n_samples();
+    assert!(n_samples > 0, "monte-carlo sample count must be positive");
+    assert!(!patterns.is_empty(), "pattern set must be non-empty");
+    let transitions: Vec<_> = patterns
+        .iter()
+        .map(|p| sdd_netlist::logic::simulate_pair(circuit, &p.v1, &p.v2))
+        .collect();
+    let mut worst = vec![0.0f64; n_samples];
+    for t in &transitions {
+        let arr = sdd_timing::dynamic::transition_arrivals_batch(circuit, t, batch);
+        for &o in circuit.primary_outputs() {
+            let row = &arr[o.index() * n_samples..(o.index() + 1) * n_samples];
+            for (w, &a) in worst.iter_mut().zip(row) {
+                if a.is_finite() {
+                    *w = w.max(a);
+                }
+            }
+        }
+    }
+    worst.into_iter().collect()
+}
+
+/// Scalar oracle for [`tested_delay_samples`]: one instance at a time,
+/// one full-circuit walk per (sample, pattern). Kept for the
+/// differential suite and the `speedup` bench's scalar-observe leg.
+///
+/// # Panics
+///
+/// Panics if `n_samples == 0` or the pattern set is empty.
+pub fn tested_delay_samples_scalar(
     circuit: &Circuit,
     timing: &CircuitTiming,
     patterns: &PatternSet,
@@ -596,6 +676,7 @@ pub(crate) fn diagnose_instance_impl(
                 &failing_chip,
                 circuit_clk,
                 config,
+                cache,
                 &local,
             )
         });
@@ -685,6 +766,7 @@ pub(crate) fn diagnose_instance_impl(
 /// Chooses the cut-off period per the campaign's [`ClockPolicy`] and
 /// records the behaviour matrix. Returns `None` when a clock sweep never
 /// makes the chip fail (the caller redraws the defect).
+#[allow(clippy::too_many_arguments)]
 fn observe_behavior(
     circuit: &Circuit,
     timing: &CircuitTiming,
@@ -692,42 +774,54 @@ fn observe_behavior(
     failing_chip: &TimingInstance,
     circuit_clk: Option<f64>,
     config: &CampaignConfig,
+    cache: &DictionaryCache,
     metrics: &MetricsSink,
 ) -> Option<BehaviorMatrix> {
-    match (circuit_clk, config.clock) {
-        (Some(clk), _) => Some(BehaviorMatrix::observe_with(
+    let observe_one = |clk: f64| match config.observe {
+        ObserveKernel::Batched => {
+            BehaviorMatrix::observe_with(circuit, patterns, failing_chip, clk, config.capture)
+        }
+        ObserveKernel::Scalar => BehaviorMatrix::observe_with_scalar(
             circuit,
             patterns,
             failing_chip,
             clk,
             config.capture,
-        )),
+        ),
+    };
+    let delay_samples = |n: usize| match config.observe {
+        ObserveKernel::Batched => {
+            // The tested-delay instance draws depend only on (timing
+            // model, seed): memoize them campaign-wide so the Box-Muller
+            // sampling cost — the bulk of a warm observe phase — is paid
+            // once instead of once per chip. Values are bit-identical to
+            // a fresh draw.
+            let batch = cache.tested_instance_batch(circuit, timing, config.seed ^ 0x7E57, n);
+            tested_delay_samples_from_batch(circuit, patterns, &batch)
+        }
+        ObserveKernel::Scalar => {
+            tested_delay_samples_scalar(circuit, timing, patterns, n, config.seed)
+        }
+    };
+    match (circuit_clk, config.clock) {
+        (Some(clk), _) => Some(observe_one(clk)),
         (None, ClockPolicy::TestedQuantile(q)) => {
             let n = config.sta_samples.min(150);
             metrics.add_samples_simulated((n * patterns.len()) as u64);
-            let samples = tested_delay_samples(circuit, timing, patterns, n, config.seed);
-            let clk = samples.quantile(q);
-            Some(BehaviorMatrix::observe_with(
-                circuit,
-                patterns,
-                failing_chip,
-                clk,
-                config.capture,
-            ))
+            let clk = delay_samples(n).quantile(q);
+            Some(observe_one(clk))
         }
-        (None, ClockPolicy::Sweep) => {
+        (None, ClockPolicy::Sweep) if config.observe == ObserveKernel::Batched => {
             let n = config.sta_samples.min(150);
             metrics.add_samples_simulated((n * patterns.len()) as u64);
-            let samples = tested_delay_samples(circuit, timing, patterns, n, config.seed);
+            let samples = delay_samples(n);
+            // One clock-independent capture serves the whole ladder: the
+            // sweep re-thresholds it per level instead of re-simulating
+            // (up to 7 observations amortized into one topology walk).
+            let observed =
+                ObservedBehavior::capture(circuit, patterns, failing_chip, config.capture);
             for (level, &q) in SWEEP_QUANTILES.iter().enumerate() {
-                let clk = samples.quantile(q);
-                let b = BehaviorMatrix::observe_with(
-                    circuit,
-                    patterns,
-                    failing_chip,
-                    clk,
-                    config.capture,
-                );
+                let b = observed.matrix_at(samples.quantile(q));
                 if !b.all_pass() {
                     // Tighten extra steps (when available): the first
                     // failing level often exposes only the chip's single
@@ -737,14 +831,25 @@ fn observe_behavior(
                     // behaviour.
                     let extra = (level + config.sweep_extra_steps).min(SWEEP_QUANTILES.len() - 1);
                     return Some(if extra > level {
-                        let clk2 = samples.quantile(SWEEP_QUANTILES[extra]);
-                        BehaviorMatrix::observe_with(
-                            circuit,
-                            patterns,
-                            failing_chip,
-                            clk2,
-                            config.capture,
-                        )
+                        observed.matrix_at(samples.quantile(SWEEP_QUANTILES[extra]))
+                    } else {
+                        b
+                    });
+                }
+            }
+            None
+        }
+        (None, ClockPolicy::Sweep) => {
+            let n = config.sta_samples.min(150);
+            metrics.add_samples_simulated((n * patterns.len()) as u64);
+            let samples = delay_samples(n);
+            for (level, &q) in SWEEP_QUANTILES.iter().enumerate() {
+                let clk = samples.quantile(q);
+                let b = observe_one(clk);
+                if !b.all_pass() {
+                    let extra = (level + config.sweep_extra_steps).min(SWEEP_QUANTILES.len() - 1);
+                    return Some(if extra > level {
+                        observe_one(samples.quantile(SWEEP_QUANTILES[extra]))
                     } else {
                         b
                     });

@@ -72,7 +72,7 @@ pub mod suspects;
 pub mod table;
 pub mod testutil;
 
-pub use behavior::{BehaviorMatrix, CaptureModel};
+pub use behavior::{BehaviorMatrix, CaptureModel, ObserveKernel, ObservedBehavior};
 pub use cache::DictionaryCache;
 pub use defect::{InjectedDefect, SingleDefectModel};
 pub use diagnoser::{Diagnoser, DiagnoserConfig, RankedSite};

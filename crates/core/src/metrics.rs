@@ -618,8 +618,12 @@ impl MetricsSink {
     /// Folds one diagnosed instance into the sink: every counter of
     /// `instance` (a snapshot of a per-instance scratch sink; its
     /// `total_nanos` is ignored) is added to the aggregates, each phase
-    /// total is recorded as one observation in that phase's latency
-    /// histogram, and `trace` enters the bounded trace ring.
+    /// that actually ran (nonzero total) is recorded as one observation
+    /// in that phase's latency histogram, and `trace` enters the bounded
+    /// trace ring. Phases that were skipped entirely (0 ns — e.g. the
+    /// pattern phase of a served instance reusing a shared pattern set)
+    /// are *not* recorded, so they cannot drag the phase percentiles
+    /// toward zero.
     ///
     /// Because the same numbers feed the aggregate counters, the
     /// histograms and the trace, the three views agree *exactly*: the
@@ -672,10 +676,23 @@ impl MetricsSink {
             .fetch_add(instance.pattern_store_flushes, Ordering::Relaxed);
         self.pattern_store_load_nanos
             .fetch_add(instance.pattern_store_load_nanos, Ordering::Relaxed);
-        self.phase_hists[Phase::Patterns.ix()].record(instance.patterns_nanos);
-        self.phase_hists[Phase::Observe.ix()].record(instance.observe_nanos);
-        self.phase_hists[Phase::Dictionary.ix()].record(instance.dictionary_nanos);
-        self.phase_hists[Phase::Rank.ix()].record(instance.rank_nanos);
+        // Only phases that actually ran enter the latency histograms: a
+        // phase skipped on this instance (e.g. dictionary/rank on an
+        // undetected chip, or patterns on a served request) reports 0 ns,
+        // and recording those zeros would pile observations into the
+        // [0,1] bucket and drag the percentiles down — a skew, not a
+        // latency. The aggregate counters above still absorb the zeros,
+        // so `sum(hist) == aggregate` stays exact.
+        for (phase, nanos) in [
+            (Phase::Patterns, instance.patterns_nanos),
+            (Phase::Observe, instance.observe_nanos),
+            (Phase::Dictionary, instance.dictionary_nanos),
+            (Phase::Rank, instance.rank_nanos),
+        ] {
+            if nanos > 0 {
+                self.phase_hists[phase.ix()].record(nanos);
+            }
+        }
         let mut ring = self.traces.lock().expect("trace ring poisoned");
         let seq = self.trace_seq.fetch_add(1, Ordering::Relaxed);
         ring.push_back((seq, trace));
@@ -1043,7 +1060,8 @@ impl MetricsReport {
     }
 
     /// Checks the report's internal invariants: schema version, per-phase
-    /// histogram `count == trials` and `sum ==` the summed phase counter,
+    /// histogram `count ≤ trials` (phases that did not run — 0 ns — are not
+    /// recorded) and `sum ==` the summed phase counter,
     /// percentile monotonicity (`p50 ≤ p90 ≤ p99 ≤ max`), bucket-count
     /// consistency, `kernel_nanos ⊆ dictionary_nanos`, and — when the
     /// trace set is complete — per-trace sums equal to the aggregates.
@@ -1061,9 +1079,12 @@ impl MetricsReport {
         for phase in Phase::ALL {
             let name = phase.name();
             let h = self.counters.phase_latency.get(phase);
-            if h.count() != self.trials {
+            // Phases that did not run on an instance (0 ns) record no
+            // histogram observation, so the count is bounded by — not
+            // equal to — the trial count.
+            if h.count() > self.trials {
                 return Err(format!(
-                    "{name} histogram count {} != trials {}",
+                    "{name} histogram count {} exceeds trials {}",
                     h.count(),
                     self.trials
                 ));
@@ -1199,6 +1220,27 @@ impl MetricsReport {
                 if traced != aggregate {
                     return Err(format!(
                         "trace sum of {what} is {traced}, aggregate counter says {aggregate}"
+                    ));
+                }
+            }
+            // With a complete trace set, each phase histogram holds
+            // exactly one observation per trace whose phase actually ran
+            // (nonzero nanos) — no more (zeros would skew the
+            // percentiles), no fewer (every ran phase is observed).
+            for phase in Phase::ALL {
+                let phase_nanos = |t: &InstanceTrace| match phase {
+                    Phase::Patterns => t.patterns_nanos,
+                    Phase::Observe => t.observe_nanos,
+                    Phase::Dictionary => t.dictionary_nanos,
+                    Phase::Rank => t.rank_nanos,
+                };
+                let ran = self.traces.iter().filter(|t| phase_nanos(t) > 0).count() as u64;
+                let h = self.counters.phase_latency.get(phase);
+                if h.count() != ran {
+                    return Err(format!(
+                        "{} histogram count {} != {ran} traces with a nonzero phase",
+                        phase.name(),
+                        h.count()
                     ));
                 }
             }
@@ -1723,6 +1765,55 @@ mod tests {
     }
 
     #[test]
+    fn skipped_phases_do_not_skew_phase_histograms() {
+        // Regression: a served instance that reuses a shared pattern set
+        // spends 0 ns in the pattern phase. Those instances used to record
+        // a 0 ns observation, dragging the pattern-phase percentiles
+        // toward zero; now a phase that never ran is simply not recorded.
+        let sink = MetricsSink::new();
+        let full = CampaignMetrics {
+            patterns_nanos: 100,
+            observe_nanos: 200,
+            dictionary_nanos: 300,
+            rank_nanos: 400,
+            dict_cache_hits: 1,
+            ..CampaignMetrics::default()
+        };
+        let served = CampaignMetrics {
+            patterns_nanos: 0,
+            observe_nanos: 200,
+            dictionary_nanos: 300,
+            rank_nanos: 400,
+            dict_cache_hits: 1,
+            ..CampaignMetrics::default()
+        };
+        let mut served_trace = trace(1);
+        served_trace.patterns_nanos = 0;
+        sink.record_instance(&full, trace(0));
+        sink.record_instance(&served, served_trace);
+        let snap = sink.snapshot(Duration::ZERO);
+        // Only the instance that actually ran the pattern phase shows up
+        // in its histogram; the other phases keep both observations.
+        assert_eq!(snap.phase_latency.patterns.count(), 1);
+        assert_eq!(snap.phase_latency.observe.count(), 2);
+        assert_eq!(snap.phase_latency.dictionary.count(), 2);
+        assert_eq!(snap.phase_latency.rank.count(), 2);
+        // The percentile floor is the real 100 ns observation, not 0.
+        assert!(snap.phase_latency.patterns.percentile(0.0).unwrap() > 0);
+        // The sum == aggregate invariant survives (zeros add nothing).
+        assert_eq!(snap.phase_latency.patterns.sum(), snap.patterns_nanos);
+        // And a complete report over these traces still validates.
+        let report = MetricsReport {
+            schema_version: METRICS_SCHEMA_VERSION,
+            circuit: "demo".into(),
+            trials: 2,
+            counters: snap,
+            traces: sink.traces_since(0),
+        };
+        report.validate().expect("skip-aware report validates");
+    }
+
+    #[test]
     fn trace_ring_is_bounded() {
         let sink = MetricsSink::new();
         let zero = CampaignMetrics::default();
@@ -1780,8 +1871,16 @@ mod tests {
         wrong_version.schema_version = 99;
         assert!(wrong_version.validate().unwrap_err().contains("schema"));
 
+        // Trials larger than the trace/histogram count is legal (an
+        // incomplete trace set), but a histogram count *exceeding* the
+        // trial count can never be right.
+        let mut extra_trials = good.clone();
+        extra_trials.trials = 5;
+        extra_trials
+            .validate()
+            .expect("incomplete trace set is legal");
         let mut wrong_trials = good.clone();
-        wrong_trials.trials = 5;
+        wrong_trials.trials = 1;
         assert!(wrong_trials.validate().unwrap_err().contains("count"));
 
         let mut wrong_sum = good.clone();

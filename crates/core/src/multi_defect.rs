@@ -13,7 +13,7 @@ use crate::diagnoser::{Diagnoser, DiagnoserConfig};
 use crate::error_fn::ErrorFunction;
 use crate::evaluate::is_success;
 use crate::inject::{patterns_through_site, tested_delay_samples, CampaignConfig, SWEEP_QUANTILES};
-use crate::{BehaviorMatrix, DiagnosisError};
+use crate::{BehaviorMatrix, DiagnosisError, ObservedBehavior};
 use sdd_netlist::{Circuit, EdgeId};
 use sdd_timing::{CellLibrary, CircuitTiming, TimingInstance};
 use serde::{Deserialize, Serialize};
@@ -41,10 +41,41 @@ impl MultiDefectReport {
     ///
     /// # Panics
     ///
-    /// Panics if no trials were recorded.
+    /// Panics if no trials were recorded, or if `k_ix` / `f_ix` is out
+    /// of range for [`MultiDefectReport::k_values`] /
+    /// [`MultiDefectReport::functions`] — each with a message naming
+    /// the offending index and the valid bound, instead of the bare
+    /// slice-index panic the raw `any_hit[k_ix][f_ix]` access gave.
     pub fn any_hit_percent(&self, k_ix: usize, f_ix: usize) -> f64 {
         assert!(self.trials > 0, "no trials recorded");
-        100.0 * self.any_hit[k_ix][f_ix] as f64 / self.trials as f64
+        self.try_any_hit_percent(k_ix, f_ix).unwrap_or_else(|| {
+            panic!(
+                "cell ({k_ix}, {f_ix}) out of range for {} K values x {} functions",
+                self.k_values.len(),
+                self.functions.len()
+            )
+        })
+    }
+
+    /// Any-hit success rate in percent, or `None` when the cell is out
+    /// of range or no trials were recorded.
+    pub fn try_any_hit_percent(&self, k_ix: usize, f_ix: usize) -> Option<f64> {
+        if self.trials == 0 {
+            return None;
+        }
+        let hits = *self.any_hit.get(k_ix)?.get(f_ix)?;
+        Some(100.0 * hits as f64 / self.trials as f64)
+    }
+
+    /// The `K` evaluated at row `k_ix`, or `None` when out of range.
+    pub fn k_value(&self, k_ix: usize) -> Option<usize> {
+        self.k_values.get(k_ix).copied()
+    }
+
+    /// The error function evaluated at column `f_ix`, or `None` when
+    /// out of range.
+    pub fn function(&self, f_ix: usize) -> Option<ErrorFunction> {
+        self.functions.get(f_ix).copied()
     }
 }
 
@@ -129,7 +160,6 @@ fn observe_multi(
     m: usize,
     index: usize,
 ) -> Option<(Vec<EdgeId>, sdd_atpg::PatternSet, BehaviorMatrix)> {
-    use sdd_atpg::podem::PodemConfig;
     for attempt in 0..config.max_redraws {
         let base_seed = config
             .seed
@@ -153,18 +183,19 @@ fn observe_multi(
             config.sta_samples.min(150),
             config.seed,
         );
+        // One clock-independent capture per redraw; the sweep only
+        // re-thresholds it, so the ladder costs one topology walk
+        // instead of one per quantile.
+        let observed = ObservedBehavior::capture(circuit, &patterns, &failing, config.capture);
         for (level, &q) in SWEEP_QUANTILES.iter().enumerate() {
             let clk = samples.quantile(q);
-            let b = BehaviorMatrix::observe_with(circuit, &patterns, &failing, clk, config.capture);
-            if !b.all_pass() {
+            if !observed.matrix_at(clk).all_pass() {
                 let extra = (level + config.sweep_extra_steps).min(SWEEP_QUANTILES.len() - 1);
                 let clk = samples.quantile(SWEEP_QUANTILES[extra]);
-                let b =
-                    BehaviorMatrix::observe_with(circuit, &patterns, &failing, clk, config.capture);
+                let b = observed.matrix_at(clk);
                 return Some((defects.iter().map(|d| d.edge).collect(), patterns, b));
             }
         }
-        let _ = PodemConfig::default();
     }
     None
 }
@@ -229,5 +260,51 @@ mod tests {
     fn zero_defects_rejected() {
         let c = small();
         let _ = run_multi_defect_campaign(&c, &CampaignConfig::quick(5), 0);
+    }
+
+    fn report_fixture() -> MultiDefectReport {
+        MultiDefectReport {
+            circuit: "demo".into(),
+            defects_per_chip: 2,
+            k_values: vec![1, 5],
+            functions: ErrorFunction::EXTENDED.to_vec(),
+            any_hit: vec![vec![3; ErrorFunction::EXTENDED.len()]; 2],
+            trials: 4,
+        }
+    }
+
+    #[test]
+    fn report_accessors_are_bounds_checked() {
+        let r = report_fixture();
+        assert_eq!(r.any_hit_percent(0, 0), 75.0);
+        assert_eq!(r.try_any_hit_percent(1, 0), Some(75.0));
+        assert_eq!(r.try_any_hit_percent(2, 0), None);
+        assert_eq!(r.try_any_hit_percent(0, r.functions.len()), None);
+        assert_eq!(r.k_value(1), Some(5));
+        assert_eq!(r.k_value(2), None);
+        assert_eq!(r.function(0), Some(ErrorFunction::EXTENDED[0]));
+        assert_eq!(r.function(r.functions.len()), None);
+        let empty = MultiDefectReport {
+            trials: 0,
+            ..report_fixture()
+        };
+        assert_eq!(empty.try_any_hit_percent(0, 0), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn any_hit_percent_panics_with_named_indices() {
+        let r = report_fixture();
+        let _ = r.any_hit_percent(9, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "no trials recorded")]
+    fn any_hit_percent_panics_without_trials() {
+        let r = MultiDefectReport {
+            trials: 0,
+            ..report_fixture()
+        };
+        let _ = r.any_hit_percent(0, 0);
     }
 }

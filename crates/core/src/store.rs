@@ -28,6 +28,13 @@
 //!   the simulated `BitGrid`s, so a dictionary assembled from a
 //!   checkpoint equals a freshly simulated one bit for bit (proven by
 //!   the `store` round-trip tests).
+//! * **Single-read, in-place decode** — a load is one `fs::read` and one
+//!   forward pass over the bytes: sections are borrowed slices of that
+//!   buffer ([`ByteReader::read_section`]), and grid word arrays decode
+//!   through one bulk bounds check ([`ByteReader::get_u64_into`]) rather
+//!   than a per-word cursor loop, so warm-store startup is bounded by
+//!   the file I/O (plus the unavoidable checksum pass), not by parse or
+//!   copy overhead.
 //!
 //! Flushes happen on a background thread (serialization is done by the
 //! caller while it already holds the bank lock; only the file I/O is
@@ -706,10 +713,12 @@ fn get_grid(r: &mut ByteReader<'_>) -> Result<BitGrid, FormatError> {
     if n_words > r.remaining() / 8 {
         return Err(FormatError::Truncated);
     }
-    let mut words = Vec::with_capacity(n_words);
-    for _ in 0..n_words {
-        words.push(r.get_u64()?);
-    }
+    // Bulk-decode the word payload in place: one bounds check and one
+    // linear pass over the borrowed section bytes, instead of a per-word
+    // `get_u64` loop — grid decode is the dominant parse cost of a warm
+    // load, and this keeps it bounded by the single `fs::read` I/O.
+    let mut words = Vec::new();
+    r.get_u64_into(n_words, &mut words)?;
     BitGrid::from_words(width, words)
         .ok_or(FormatError::Malformed("grid word count not a whole row"))
 }

@@ -165,6 +165,64 @@ fn corrupted_pattern_checkpoints_degrade_to_regeneration() {
 }
 
 #[test]
+fn bulk_decoded_checkpoints_reject_word_level_corruption() {
+    // The grid payload is now decoded in one bulk word pass over the
+    // single `fs::read` buffer (no per-word cursor checks). This pins
+    // the two failure shapes that pass touches directly: a truncation
+    // that cuts a 64-bit word mid-boundary, and a flipped bit inside
+    // the word payload itself. Both must degrade to a *recorded* miss
+    // and an unchanged report — never a short read or a wrong grid.
+    let guard = TestDir::new("store-it-bulk-corrupt");
+    let dir = guard.path();
+
+    let baseline = run(dir, 13);
+    let warm = run(dir, 13);
+    assert_eq!(baseline, warm, "warm bulk-decoded run changed the report");
+    assert!(warm.metrics.store_hits > 0, "warm run never loaded");
+    assert_eq!(warm.metrics.store_misses, 0);
+
+    // Shave 3 bytes off the tail: the last payload word is now partial,
+    // so the bulk u64 decode must report truncation.
+    for f in checkpoint_files(dir) {
+        let bytes = fs::read(&f).unwrap();
+        fs::write(&f, &bytes[..bytes.len() - 3]).unwrap();
+    }
+    let after_shave = run(dir, 13);
+    assert_eq!(
+        baseline, after_shave,
+        "a mid-word truncation changed the report"
+    );
+    assert_eq!(after_shave.metrics.store_hits, 0);
+    assert!(
+        after_shave.metrics.store_misses > 0,
+        "mid-word truncation was not recorded as a miss"
+    );
+
+    // Flip one bit deep inside the word payload (not the header): the
+    // section checksum over the bulk-decoded words must catch it.
+    for f in checkpoint_files(dir) {
+        let mut bytes = fs::read(&f).unwrap();
+        let ix = bytes.len() * 3 / 4;
+        bytes[ix] ^= 0x01;
+        fs::write(&f, &bytes).unwrap();
+    }
+    let after_flip = run(dir, 13);
+    assert_eq!(
+        baseline, after_flip,
+        "a payload bit flip changed the report"
+    );
+    assert_eq!(after_flip.metrics.store_hits, 0);
+    assert!(after_flip.metrics.store_misses > 0);
+
+    // The corrupted files were re-flushed whole: the store heals and the
+    // next run loads everything again.
+    let healed = run(dir, 13);
+    assert_eq!(baseline, healed);
+    assert!(healed.metrics.store_hits > 0);
+    assert_eq!(healed.metrics.store_misses, 0);
+}
+
+#[test]
 fn store_roundtrip_reports_are_bit_identical_across_processes_worth_of_state() {
     // The tentpole acceptance check in miniature: two engines, two
     // lifetimes, one directory — the second run's dictionaries come from

@@ -64,6 +64,71 @@ pub fn transition_arrivals(
     arr
 }
 
+/// Poison-tracking variant of [`transition_arrivals`] for instances
+/// carrying non-finite delays (corrupt timing data).
+///
+/// The fast walks silently swallow a NaN candidate (`NaN > best` is
+/// false), so a NaN delay on an exercised arc degrades to [`NO_EVENT`]
+/// and would read as *pass* at any clock — fail-open. This walk instead
+/// poisons a node's arrival to NaN when any *switching* fanin arc
+/// carries a non-finite delay, or when a switching fanin is itself
+/// poisoned; non-switching fanins still propagate nothing (their delay
+/// is never exercised). Clock-edge capture treats a NaN arrival as fail.
+///
+/// On an all-finite instance this is exactly [`transition_arrivals`];
+/// the observe path only dispatches here when
+/// `instance.delays()` contains a non-finite value, keeping the hot
+/// path branchless.
+///
+/// # Panics
+///
+/// Panics if the circuit is sequential or `transitions.len()` mismatches.
+pub fn transition_arrivals_fail_closed(
+    circuit: &Circuit,
+    transitions: &[Transition],
+    instance: &TimingInstance,
+) -> Vec<f64> {
+    assert!(
+        circuit.is_combinational(),
+        "dynamic timing requires a combinational circuit"
+    );
+    assert_eq!(
+        transitions.len(),
+        circuit.num_nodes(),
+        "transition table length mismatch"
+    );
+    let mut arr = vec![NO_EVENT; circuit.num_nodes()];
+    for &id in circuit.topo_order() {
+        if !transitions[id.index()].is_event() {
+            continue;
+        }
+        let node = circuit.node(id);
+        if node.kind() == GateKind::Input {
+            arr[id.index()] = 0.0;
+            continue;
+        }
+        let mut best = NO_EVENT;
+        let mut poisoned = false;
+        for (&from, &e) in node.fanins().iter().zip(node.fanin_edges()) {
+            let upstream = arr[from.index()];
+            if upstream == NO_EVENT {
+                continue;
+            }
+            let d = instance.delay(e);
+            if upstream.is_nan() || !d.is_finite() {
+                poisoned = true;
+                continue;
+            }
+            let cand = upstream + d;
+            if cand > best {
+                best = cand;
+            }
+        }
+        arr[id.index()] = if poisoned { f64::NAN } else { best };
+    }
+    arr
+}
+
 #[inline]
 fn gate_arrival(
     fanins: &[NodeId],
@@ -142,6 +207,113 @@ pub fn transition_arrivals_batch(
             }
         }
         arr[id.index() * n..(id.index() + 1) * n].copy_from_slice(&row);
+    }
+    arr
+}
+
+/// Number of pattern lanes per inner-loop step of
+/// [`transition_arrivals_patterns`]. Rows are padded to a multiple of
+/// this width so every inner loop is a fixed-width, unit-stride pass —
+/// the shape autovectorizers reliably turn into SIMD, mirroring the
+/// sample lanes of [`InstanceBatch`].
+pub const PATTERN_LANES: usize = 8;
+
+/// Row stride (in `f64` slots) used by [`transition_arrivals_patterns`]
+/// for `n_patterns` patterns: the pattern count rounded up to a whole
+/// number of [`PATTERN_LANES`]-wide lanes.
+pub fn pattern_stride(n_patterns: usize) -> usize {
+    n_patterns.div_ceil(PATTERN_LANES).max(1) * PATTERN_LANES
+}
+
+/// Computes per-node transition arrival times for *every* pattern of a
+/// test set through one topology walk on one fixed chip instance — the
+/// pattern-major counterpart of [`transition_arrivals_batch`]'s
+/// sample-major walk.
+///
+/// Returns the node-major, pattern-contiguous arrival matrix
+/// `arr[node.index() * pattern_stride(p) + j]` for pattern `j`; padding
+/// lanes (`j >= transitions.len()`) hold [`NO_EVENT`].
+///
+/// Bit-identity with the scalar walk: the inner loop is branchless per
+/// lane (`cand = upstream + d; if cand > best { best = cand }`) where the
+/// scalar [`transition_arrivals`] explicitly skips fanins with no event.
+/// The two accept exactly the same updates: a [`NO_EVENT`] upstream
+/// yields a candidate of `-∞` (or NaN when `d` is `+∞` or NaN), and
+/// neither ever satisfies the strict `>`, so skipping and computing are
+/// indistinguishable — each lane sees the same sequence of accepted
+/// float operations as its own scalar run, including on NaN-poisoned
+/// instances.
+///
+/// # Panics
+///
+/// Panics if the circuit is sequential or any transition table length
+/// mismatches.
+pub fn transition_arrivals_patterns(
+    circuit: &Circuit,
+    transitions: &[Vec<Transition>],
+    instance: &TimingInstance,
+) -> Vec<f64> {
+    assert!(
+        circuit.is_combinational(),
+        "dynamic timing requires a combinational circuit"
+    );
+    for t in transitions {
+        assert_eq!(
+            t.len(),
+            circuit.num_nodes(),
+            "transition table length mismatch"
+        );
+    }
+    let p = transitions.len();
+    let stride = pattern_stride(p);
+    let mut arr = vec![NO_EVENT; circuit.num_nodes() * stride];
+    if p == 0 {
+        return arr;
+    }
+    let mut row = vec![NO_EVENT; stride];
+    for &id in circuit.topo_order() {
+        let ix = id.index();
+        let node = circuit.node(id);
+        if node.kind() == GateKind::Input {
+            let out = &mut arr[ix * stride..(ix + 1) * stride];
+            for (j, t) in transitions.iter().enumerate() {
+                if t[ix].is_event() {
+                    out[j] = 0.0;
+                }
+            }
+            continue;
+        }
+        // A node no pattern switches keeps its all-NO_EVENT row; skipping
+        // it entirely preserves bit-identity (the scalar walk never
+        // touches it either).
+        if !transitions.iter().any(|t| t[ix].is_event()) {
+            continue;
+        }
+        row.fill(NO_EVENT);
+        for (&from, &e) in node.fanins().iter().zip(node.fanin_edges()) {
+            let d = instance.delay(e);
+            let ups = &arr[from.index() * stride..(from.index() + 1) * stride];
+            for (rc, uc) in row
+                .chunks_exact_mut(PATTERN_LANES)
+                .zip(ups.chunks_exact(PATTERN_LANES))
+            {
+                for l in 0..PATTERN_LANES {
+                    let cand = uc[l] + d;
+                    if cand > rc[l] {
+                        rc[l] = cand;
+                    }
+                }
+            }
+        }
+        // Mask at write time: only lanes whose pattern actually switches
+        // this node carry an event; padding and non-switching lanes stay
+        // NO_EVENT exactly as in the scalar walk.
+        let out = &mut arr[ix * stride..(ix + 1) * stride];
+        for (j, t) in transitions.iter().enumerate() {
+            if t[ix].is_event() {
+                out[j] = row[j];
+            }
+        }
     }
     arr
 }
@@ -409,6 +581,127 @@ impl DefectCone {
             }
         }
     }
+
+    /// Fused multi-suspect counterpart of [`DefectCone::apply_batch`]:
+    /// one walk over a shared cone topology evaluates *every* suspect in
+    /// `group` at once, amortizing the per-node transition lookups, arc
+    /// dereferences, and delay-slice fetches over all of them.
+    ///
+    /// All cones in `group` must share the same sink node (defects on
+    /// different input arcs of one gate), and therefore the same
+    /// [`ConeView`]; the walk runs on `group[0]`'s view. Per (suspect,
+    /// sample) lane the arithmetic is the exact operation sequence of
+    /// [`DefectCone::apply_batch`], so the `on_fail(suspect, sample,
+    /// slot)` callbacks are bit-identical to calling `apply_batch` once
+    /// per cone.
+    ///
+    /// * `deltas` — suspect-major defect sizes: `deltas[g * n_samples + s]`
+    ///   is suspect `g`'s extra delay for sample `s`.
+    /// * `scratch` — reusable buffer, resized to
+    ///   `cone.len() × group.len() × n_samples` (slot-major, then
+    ///   suspect, sample-contiguous) and overwritten.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `group` is empty, the cones disagree on sink/view shape,
+    /// or `baseline`/`deltas` mismatch the circuit/batch shape.
+    #[allow(clippy::too_many_arguments)]
+    pub fn apply_batch_fused(
+        group: &[&DefectCone],
+        circuit: &Circuit,
+        transitions: &[Transition],
+        batch: &InstanceBatch,
+        baseline: &[f64],
+        deltas: &[f64],
+        clk: f64,
+        scratch: &mut Vec<f64>,
+        mut on_fail: impl FnMut(usize, usize, usize),
+    ) {
+        let lead = group.first().expect("empty cone group");
+        let sink = circuit.edge(lead.edge).to();
+        for c in group {
+            assert_eq!(
+                circuit.edge(c.edge).to(),
+                sink,
+                "fused cones must share a sink node"
+            );
+            debug_assert_eq!(c.view.nodes(), lead.view.nodes());
+        }
+        let n = batch.n_samples();
+        let ng = group.len();
+        assert_eq!(
+            baseline.len(),
+            circuit.num_nodes() * n,
+            "baseline matrix shape mismatch"
+        );
+        assert_eq!(deltas.len(), ng * n, "delta matrix shape mismatch");
+        let view = &lead.view;
+        scratch.clear();
+        scratch.resize(view.len() * ng * n, NO_EVENT);
+        let arc_slots = view.arc_slots();
+        let arc_sources = view.arc_sources();
+        let arc_edges = view.arc_edges();
+        for (slot, &id) in view.nodes().iter().enumerate() {
+            let (earlier, rest) = scratch.split_at_mut(slot * ng * n);
+            let rows = &mut rest[..ng * n];
+            if !transitions[id.index()].is_event() {
+                continue; // rows stay NO_EVENT
+            }
+            if circuit.node(id).kind() == GateKind::Input {
+                rows.fill(0.0);
+                continue;
+            }
+            for k in view.arc_range(slot) {
+                let fs = arc_slots[k];
+                let e = arc_edges[k];
+                let ds = batch.edge_delays(e);
+                for (g, row) in rows.chunks_exact_mut(n).enumerate() {
+                    let ups: &[f64] = if fs != EXTERNAL {
+                        let base = (fs as usize * ng + g) * n;
+                        &earlier[base..base + n]
+                    } else {
+                        let from = arc_sources[k];
+                        &baseline[from.index() * n..(from.index() + 1) * n]
+                    };
+                    if e == group[g].edge {
+                        let dl = &deltas[g * n..(g + 1) * n];
+                        for s in 0..n {
+                            let upstream = ups[s];
+                            if upstream == NO_EVENT {
+                                continue;
+                            }
+                            let cand = upstream + (ds[s] + dl[s]);
+                            if cand > row[s] {
+                                row[s] = cand;
+                            }
+                        }
+                    } else {
+                        for s in 0..n {
+                            let upstream = ups[s];
+                            if upstream == NO_EVENT {
+                                continue;
+                            }
+                            let cand = upstream + ds[s];
+                            if cand > row[s] {
+                                row[s] = cand;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        for (k, &(_, slot)) in view.output_slots().iter().enumerate() {
+            let slot = slot as usize;
+            for g in 0..ng {
+                let row = &scratch[(slot * ng + g) * n..(slot * ng + g + 1) * n];
+                for (s, &arr) in row.iter().enumerate() {
+                    if arr > clk {
+                        on_fail(g, s, k);
+                    }
+                }
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -634,6 +927,163 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn pattern_arrivals_match_scalar_bit_for_bit() {
+        let c = generate(&GeneratorConfig::small("pa", 6))
+            .unwrap()
+            .to_combinational()
+            .unwrap();
+        let t = CircuitTiming::characterize(
+            &c,
+            &CellLibrary::default_025um(),
+            VariationModel::default(),
+        );
+        let instance = t.sample_instance_indexed(17, 2);
+        let n_pi = c.primary_inputs().len();
+        // A pattern count deliberately not a multiple of PATTERN_LANES.
+        let patterns: Vec<(Vec<bool>, Vec<bool>)> = (0..11)
+            .map(|j| {
+                let v1: Vec<bool> = (0..n_pi).map(|i| (i + j) % 3 == 0).collect();
+                let v2: Vec<bool> = (0..n_pi).map(|i| (i * 7 + j) % 2 == 0).collect();
+                (v1, v2)
+            })
+            .collect();
+        let trans: Vec<Vec<Transition>> = patterns
+            .iter()
+            .map(|(v1, v2)| simulate_pair(&c, v1, v2))
+            .collect();
+        let stride = pattern_stride(trans.len());
+        let arr = transition_arrivals_patterns(&c, &trans, &instance);
+        for (j, tj) in trans.iter().enumerate() {
+            let scalar = transition_arrivals(&c, tj, &instance);
+            for (node, &want) in scalar.iter().enumerate() {
+                assert_eq!(
+                    arr[node * stride + j].to_bits(),
+                    want.to_bits(),
+                    "node {node} pattern {j}"
+                );
+            }
+        }
+        // Padding lanes carry no event.
+        for node in 0..c.num_nodes() {
+            for j in trans.len()..stride {
+                assert_eq!(arr[node * stride + j], NO_EVENT);
+            }
+        }
+    }
+
+    #[test]
+    fn pattern_arrivals_match_scalar_on_nan_poisoned_instance() {
+        let c = generate(&GeneratorConfig::small("pn", 3))
+            .unwrap()
+            .to_combinational()
+            .unwrap();
+        let t = CircuitTiming::characterize(
+            &c,
+            &CellLibrary::default_025um(),
+            VariationModel::default(),
+        );
+        let mut instance = t.sample_instance_indexed(5, 1);
+        instance.set_delay(EdgeId::from_index(1), f64::NAN);
+        instance.set_delay(EdgeId::from_index(3), f64::INFINITY);
+        let n_pi = c.primary_inputs().len();
+        let trans: Vec<Vec<Transition>> = (0..5)
+            .map(|j| {
+                let v1: Vec<bool> = (0..n_pi).map(|i| (i + j) % 2 == 0).collect();
+                let v2: Vec<bool> = (0..n_pi).map(|_| true).collect();
+                simulate_pair(&c, &v1, &v2)
+            })
+            .collect();
+        let stride = pattern_stride(trans.len());
+        let arr = transition_arrivals_patterns(&c, &trans, &instance);
+        for (j, tj) in trans.iter().enumerate() {
+            let scalar = transition_arrivals(&c, tj, &instance);
+            for (node, &want) in scalar.iter().enumerate() {
+                assert_eq!(
+                    arr[node * stride + j].to_bits(),
+                    want.to_bits(),
+                    "node {node} pattern {j}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fused_cone_group_matches_per_cone_apply_batch() {
+        let c = generate(&GeneratorConfig::small("fg", 13))
+            .unwrap()
+            .to_combinational()
+            .unwrap();
+        let t = CircuitTiming::characterize(
+            &c,
+            &CellLibrary::default_025um(),
+            VariationModel::default(),
+        );
+        let n = 6usize;
+        let instances: Vec<_> = (0..n)
+            .map(|s| t.sample_instance_indexed(8, s as u64))
+            .collect();
+        let batch = InstanceBatch::from_instances(&instances);
+        let n_pi = c.primary_inputs().len();
+        let trans = simulate_pair(&c, &vec![false; n_pi], &vec![true; n_pi]);
+        let baseline = transition_arrivals_batch(&c, &trans, &batch);
+        let clk = baseline
+            .iter()
+            .copied()
+            .filter(|a| a.is_finite())
+            .fold(0.0f64, f64::max)
+            * 0.6;
+        // Group every edge by sink node; exercise each multi-edge group.
+        let mut by_sink: std::collections::HashMap<usize, Vec<EdgeId>> =
+            std::collections::HashMap::new();
+        for eid in c.edge_ids() {
+            by_sink
+                .entry(c.edge(eid).to().index())
+                .or_default()
+                .push(eid);
+        }
+        let mut scratch_fused = Vec::new();
+        let mut scratch_single = Vec::new();
+        let mut tested_multi = false;
+        for edges in by_sink.values() {
+            let cones: Vec<DefectCone> = edges.iter().map(|&e| DefectCone::new(&c, e)).collect();
+            let refs: Vec<&DefectCone> = cones.iter().collect();
+            if refs.len() > 1 {
+                tested_multi = true;
+            }
+            let ng = refs.len();
+            let deltas: Vec<f64> = (0..ng * n).map(|i| 0.02 * (i as f64 + 1.0)).collect();
+            let width = cones[0].reachable_outputs().len();
+            let mut fused = vec![vec![vec![false; width]; n]; ng];
+            DefectCone::apply_batch_fused(
+                &refs,
+                &c,
+                &trans,
+                &batch,
+                &baseline,
+                &deltas,
+                clk,
+                &mut scratch_fused,
+                |g, s, k| fused[g][s][k] = true,
+            );
+            for (g, cone) in cones.iter().enumerate() {
+                let mut single = vec![vec![false; width]; n];
+                cone.apply_batch(
+                    &c,
+                    &trans,
+                    &batch,
+                    &baseline,
+                    &deltas[g * n..(g + 1) * n],
+                    clk,
+                    &mut scratch_single,
+                    |s, k| single[s][k] = true,
+                );
+                assert_eq!(fused[g], single, "cone {g} of group {:?}", edges);
+            }
+        }
+        assert!(tested_multi, "generator produced no multi-fanin sinks");
     }
 
     #[test]

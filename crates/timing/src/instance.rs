@@ -59,6 +59,18 @@ impl TimingInstance {
         TimingInstance { delays }
     }
 
+    /// Overwrites the delay of `edge` in place. Accepts any `f64`,
+    /// including non-finite values — the differential suites use this to
+    /// poison instances with NaN/∞ delays and pin the fail-closed
+    /// observe contract.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the edge index is out of range.
+    pub fn set_delay(&mut self, edge: EdgeId, delay: f64) {
+        self.delays[edge.index()] = delay;
+    }
+
     /// Adds `delta` to the delay of `edge` in place.
     ///
     /// # Panics

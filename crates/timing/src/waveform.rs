@@ -16,10 +16,16 @@ use sdd_netlist::{Circuit, GateKind};
 
 /// A two-vector signal waveform: an initial value and a sequence of
 /// value-change events at strictly increasing times.
+///
+/// A waveform influenced by any non-finite delay is *poisoned*
+/// ([`Waveform::is_poisoned`]): its event times cannot be trusted, so
+/// clock-edge capture treats it as failing ([`fails_at`]) rather than
+/// silently sampling a value (fail-closed).
 #[derive(Debug, Clone, PartialEq)]
 pub struct Waveform {
     initial: bool,
     events: Vec<(f64, bool)>,
+    poisoned: bool,
 }
 
 impl Waveform {
@@ -28,21 +34,32 @@ impl Waveform {
         Waveform {
             initial: value,
             events: Vec::new(),
+            poisoned: false,
         }
     }
 
     /// A waveform with explicit events. Events must have strictly
     /// increasing times and alternating values (use
-    /// [`Waveform::normalized`] to enforce this from raw data).
+    /// [`Waveform::normalized`] to enforce this from raw data). A
+    /// non-finite event time marks the waveform poisoned.
     pub fn new(initial: bool, events: Vec<(f64, bool)>) -> Waveform {
-        Waveform { initial, events }
+        let poisoned = events.iter().any(|&(t, _)| !t.is_finite());
+        Waveform {
+            initial,
+            events,
+            poisoned,
+        }
     }
 
     /// Builds a waveform from possibly redundant events (equal-value
-    /// repeats are dropped).
+    /// repeats are dropped). A non-finite event time marks the waveform
+    /// poisoned even when the event itself is dropped as redundant.
     pub fn normalized(initial: bool, events: Vec<(f64, bool)>) -> Waveform {
         let mut w = Waveform::constant(initial);
         for (t, v) in events {
+            if !t.is_finite() {
+                w.poisoned = true;
+            }
             w.push(t, v);
         }
         w
@@ -101,6 +118,18 @@ impl Waveform {
     /// Returns `true` if the waveform changes value more than once.
     pub fn has_glitch(&self) -> bool {
         self.events.len() > 1
+    }
+
+    /// Returns `true` if a non-finite delay influenced this waveform —
+    /// directly (a non-finite event time) or through a poisoned fanin
+    /// whose untrustworthy event may have been dropped by the merge.
+    /// Poisoned waveforms fail closed under [`fails_at`].
+    pub fn is_poisoned(&self) -> bool {
+        self.poisoned
+    }
+
+    fn mark_poisoned(&mut self) {
+        self.poisoned = true;
     }
 }
 
@@ -180,7 +209,10 @@ pub fn simulate(
             times.extend(stream.iter().map(|&(t, _)| t));
             shifted.push(stream);
         }
-        times.sort_by(|a, b| a.partial_cmp(b).expect("NaN event time"));
+        // total_cmp keeps the merge well-defined even on NaN-poisoned
+        // instances (NaN sorts last); fail-closed capture is enforced
+        // downstream by `fails_at`, not by panicking here.
+        times.sort_by(f64::total_cmp);
         times.dedup();
         let mut in_vals: Vec<bool> = node
             .fanins()
@@ -198,6 +230,15 @@ pub fn simulate(
             }
             out.push(t, node.kind().eval(&in_vals));
         }
+        // Fail-closed bookkeeping: a non-finite shifted event time is
+        // dropped by the `<= t` merge above (NaN compares false), so the
+        // corrupt timing must be tracked explicitly and transitively —
+        // a poisoned fanin poisons this node even when no event survives.
+        if !times.iter().all(|t| t.is_finite())
+            || node.fanins().iter().any(|f| waves[f.index()].is_poisoned())
+        {
+            out.mark_poisoned();
+        }
         waves[id.index()] = out;
     }
     waves
@@ -206,7 +247,15 @@ pub fn simulate(
 /// The pass/fail observation of one output at the clock edge: `true`
 /// (fails) when the sampled value differs from the settled good value
 /// `expected`.
+///
+/// Fail-closed: a poisoned waveform (a NaN or ±∞ delay influenced this
+/// output, see [`Waveform::is_poisoned`]) cannot be trusted to have
+/// settled, so it reads as a failure rather than silently sampling as a
+/// pass.
 pub fn fails_at(wave: &Waveform, clk: f64, expected: bool) -> bool {
+    if wave.is_poisoned() {
+        return true;
+    }
     wave.value_at(clk) != expected
 }
 
@@ -314,6 +363,55 @@ mod tests {
         // Good machine settles to 0; sampling before the transition sees 1.
         assert!(fails_at(&w, 1.0, false));
         assert!(!fails_at(&w, 2.5, false));
+    }
+
+    #[test]
+    fn nan_poisoned_instance_fails_closed() {
+        let mut b = CircuitBuilder::new("nanw");
+        let a = b.input("a");
+        let y = b.gate("y", GateKind::Buf, &[a]).unwrap();
+        b.output(y);
+        let c = b.finish().unwrap();
+        let inst = TimingInstance::new(vec![f64::NAN]);
+        // Simulation must not panic on the NaN event time...
+        let waves = simulate(&c, &[false], &[true], &inst);
+        let wy = &waves[y.index()];
+        // ...the corruption must be tracked even though the NaN event is
+        // dropped by the merge...
+        assert!(wy.is_poisoned());
+        // ...and the capture must read as FAIL regardless of clk or the
+        // expected value (fail-closed), where value_at alone would have
+        // silently sampled the initial value.
+        assert!(fails_at(wy, 1.0, true));
+        assert!(fails_at(wy, 1.0, false));
+        assert!(fails_at(wy, f64::MAX, wy.final_value()));
+    }
+
+    #[test]
+    fn poisoning_propagates_through_downstream_gates() {
+        // a -> g (NaN delay) -> y (finite delay): y never sees a
+        // non-finite event time itself, but its fanin is poisoned.
+        let mut b = CircuitBuilder::new("nanp");
+        let a = b.input("a");
+        let g = b.gate("g", GateKind::Buf, &[a]).unwrap();
+        let y = b.gate("y", GateKind::Not, &[g]).unwrap();
+        b.output(y);
+        let c = b.finish().unwrap();
+        let inst = TimingInstance::new(vec![f64::NAN, 0.2]);
+        let waves = simulate(&c, &[false], &[true], &inst);
+        assert!(waves[y.index()].is_poisoned());
+        assert!(fails_at(
+            &waves[y.index()],
+            10.0,
+            waves[y.index()].final_value()
+        ));
+    }
+
+    #[test]
+    fn finite_waveforms_are_unaffected_by_fail_closed_guard() {
+        let w = Waveform::new(false, vec![(1.0, true)]);
+        assert!(!fails_at(&w, 2.0, true));
+        assert!(fails_at(&w, 0.5, true));
     }
 
     #[test]
