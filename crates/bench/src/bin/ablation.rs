@@ -12,7 +12,7 @@
 //! ```text
 //! cargo run -p sdd-bench --release --bin ablation \
 //!     [-- --seed 2] [--circuit s1196] \
-//!     [--kernel scalar|batched|analytic] [--metrics-json PATH]
+//!     [--kernel scalar|batched|analytic|screened] [--metrics-json PATH]
 //! ```
 //!
 //! `--kernel` swaps the dictionary simulation kernel under *every*
@@ -43,7 +43,8 @@ fn main() {
         None | Some("batched") => SimKernel::Batched,
         Some("scalar") => SimKernel::Scalar,
         Some("analytic") => SimKernel::Analytic,
-        Some(other) => panic!("unknown --kernel `{other}` (scalar|batched|analytic)"),
+        Some("screened") => SimKernel::Screened,
+        Some(other) => panic!("unknown --kernel `{other}` (scalar|batched|analytic|screened)"),
     };
     let profile = profiles::by_name(&circuit).expect("known circuit name");
 

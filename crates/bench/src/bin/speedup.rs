@@ -33,15 +33,19 @@
 //! `BENCH_speedup.json` schema-compatibly.
 //!
 //! `--quick` swaps the paper-scale workload for the reduced test
-//! configuration — the CI sanity mode. `--kernel scalar|batched|analytic`
-//! skips the kernel comparison and runs a single kernel (for profiling);
-//! `--kernel all` runs the analytic leg ahead of the two MC legs. The
+//! configuration — the CI sanity mode.
+//! `--kernel scalar|batched|analytic|screened` skips the kernel
+//! comparison and runs a single kernel (for profiling); `--kernel all`
+//! runs the analytic and screened legs ahead of the two MC legs. The
 //! analytic kernel is *not* bit-identical to MC (it is sampling-free
 //! moment propagation), so its leg is checked structurally instead —
 //! zero MC cone evals, zero samples simulated, analytic counters
-//! populated — and compared on wall-clock; bit-identity continues to be
-//! asserted among the MC legs (and for the analytic leg against its own
-//! serial oracle when it is the only kernel).
+//! populated — and compared on wall-clock; the screened kernel prunes
+//! the suspect set, so its leg is likewise checked structurally (screen
+//! counters populated, pruning non-vacuous, fewer cone evals than
+//! batched); bit-identity continues to be asserted among the MC legs
+//! (and for the analytic/screened leg against its own serial oracle
+//! when it is the only kernel).
 //! `--metrics-json <path>` additionally writes the primary and warm
 //! legs' counters, per-phase latency histograms and per-instance traces
 //! as a [`sdd_core::MetricsExport`] document (see `metrics_check`); with
@@ -53,7 +57,7 @@
 //! ```text
 //! cargo run -p sdd-bench --release --bin speedup \
 //!     [-- --circuit s1196] [--seed 2] [--store DIR] [--quick] \
-//!     [--kernel scalar|batched|analytic|both|all] [--metrics-json PATH]
+//!     [--kernel scalar|batched|analytic|screened|both|all] [--metrics-json PATH]
 //! ```
 
 use sdd_bench::{flag_value, write_metrics_export};
@@ -83,9 +87,17 @@ fn main() {
         Some("scalar") => vec![SimKernel::Scalar],
         Some("batched") => vec![SimKernel::Batched],
         Some("analytic") => vec![SimKernel::Analytic],
+        Some("screened") => vec![SimKernel::Screened],
         Some("both") | None => vec![SimKernel::Scalar, SimKernel::Batched],
-        Some("all") => vec![SimKernel::Analytic, SimKernel::Scalar, SimKernel::Batched],
-        Some(other) => panic!("unknown --kernel `{other}` (scalar|batched|analytic|both|all)"),
+        Some("all") => vec![
+            SimKernel::Analytic,
+            SimKernel::Screened,
+            SimKernel::Scalar,
+            SimKernel::Batched,
+        ],
+        Some(other) => {
+            panic!("unknown --kernel `{other}` (scalar|batched|analytic|screened|both|all)")
+        }
     };
     // Only the default kernel selection may refresh the committed CI
     // artifact at the repo root.
@@ -182,7 +194,23 @@ fn main() {
                 "analytic kernel booked no cone propagations"
             );
         }
-        if *kernel == serial_kernel || *kernel != SimKernel::Analytic {
+        if *kernel == SimKernel::Screened {
+            // The screened leg is checked structurally: the analytic
+            // screen must have run over every candidate and genuinely
+            // pruned before the MC refinement stage touched anything.
+            let m = &report.metrics;
+            assert!(m.suspects_screened > 0, "screened kernel never screened");
+            assert!(m.suspects_refined > 0, "screen pruned every suspect");
+            assert!(
+                m.suspects_refined < m.suspects_screened,
+                "screen refined all {} suspects — no pruning happened",
+                m.suspects_screened
+            );
+            assert!(m.screen_nanos > 0, "screened kernel booked no screen time");
+        }
+        let bit_comparable = *kernel == serial_kernel
+            || !matches!(kernel, SimKernel::Analytic | SimKernel::Screened);
+        if bit_comparable {
             assert_eq!(
                 &serial, report,
                 "{kernel:?} kernel altered the diagnosis results"
@@ -191,6 +219,21 @@ fn main() {
         }
     }
     println!("results identical          : yes ({identical_legs} legs)\n");
+
+    // The per-site pattern memo: each chip looks a defect site up in
+    // the shared pattern cache at most once, so per-trace lookups
+    // (hits + misses) are bounded by the attempt count — repeated
+    // redraws of an already-seen site reuse the in-hand Arc.
+    for trace in &primary.traces {
+        let lookups = trace.pattern_cache_hits + trace.pattern_cache_misses;
+        assert!(
+            lookups <= trace.redraws + 1,
+            "chip {}: {lookups} pattern-cache lookups for {} attempts — \
+             the per-site memo regressed",
+            trace.chip_index,
+            trace.redraws + 1,
+        );
+    }
 
     let leg = |k: SimKernel| reports.iter().find(|(kernel, _, _)| *kernel == k);
     if let (Some((_, scalar, _)), Some((_, batched, _))) =
@@ -222,6 +265,29 @@ fn main() {
             let ratio = batched.metrics.dictionary_nanos as f64
                 / analytic.metrics.dictionary_nanos.max(1) as f64;
             println!("analytic vs batched (cold) : {ratio:>7.2}x dictionary-phase speedup\n");
+        } else {
+            println!();
+        }
+    }
+    if let Some((_, screened, _)) = leg(SimKernel::Screened) {
+        let m = &screened.metrics;
+        println!(
+            "screened dictionary phase  : {:.2?} ({} suspects screened -> {} refined, screen {:.2?}, {} cone evals)",
+            std::time::Duration::from_nanos(m.dictionary_nanos),
+            m.suspects_screened,
+            m.suspects_refined,
+            std::time::Duration::from_nanos(m.screen_nanos),
+            m.cone_evals,
+        );
+        if let Some((_, batched, _)) = leg(SimKernel::Batched) {
+            let ratio = batched.metrics.dictionary_nanos as f64 / m.dictionary_nanos.max(1) as f64;
+            assert!(
+                m.cone_evals < batched.metrics.cone_evals,
+                "screened cone evals {} not below batched {}",
+                m.cone_evals,
+                batched.metrics.cone_evals
+            );
+            println!("screened vs batched (cold) : {ratio:>7.2}x dictionary-phase speedup\n");
         } else {
             println!();
         }

@@ -8,14 +8,15 @@
 //! ```text
 //! cargo run -p sdd-bench --release --bin table1 \
 //!     [-- --quick] [--circuit s1196] [--seed 2] [--store DIR] \
-//!     [--kernel scalar|batched|analytic] [--metrics-json PATH]
+//!     [--kernel scalar|batched|analytic|screened] [--metrics-json PATH]
 //! ```
 //!
 //! `--kernel` selects the dictionary simulation kernel (default:
 //! batched Monte-Carlo). `analytic` replaces the Monte-Carlo dictionary
 //! with sampling-free moment propagation — success rates then reflect
 //! the analytic error model rather than the paper's MC dictionaries, so
-//! compare, don't substitute.
+//! compare, don't substitute. `screened` keeps the MC dictionaries but
+//! builds them only for the top-K survivors of an analytic pre-screen.
 //!
 //! With `--store <dir>`, dictionary Monte-Carlo banks and per-site ATPG
 //! pattern sets are checkpointed to (and reloaded from) disk, so
@@ -51,7 +52,8 @@ fn main() {
         None | Some("batched") => SimKernel::Batched,
         Some("scalar") => SimKernel::Scalar,
         Some("analytic") => SimKernel::Analytic,
-        Some(other) => panic!("unknown --kernel `{other}` (scalar|batched|analytic)"),
+        Some("screened") => SimKernel::Screened,
+        Some(other) => panic!("unknown --kernel `{other}` (scalar|batched|analytic|screened)"),
     };
     let mut builder = ArtifactLayer::builder();
     if let Some(dir) = flag_value(&args, "--store") {

@@ -38,9 +38,9 @@
 //! checkpointed in the background whenever simulation extends them.
 
 use crate::dictionary::{
-    assemble_from_masks, assemble_from_probs, simulate_fail_masks, simulate_fail_probs_analytic,
-    AnalyticSuspect, BatchCache, BitGrid, DictionaryConfig, ProbabilisticDictionary, SimKernel,
-    SuspectMasks,
+    assemble_from_masks, assemble_from_probs, screen_survivors, simulate_fail_masks,
+    simulate_fail_probs_analytic, AnalyticSuspect, BatchCache, BitGrid, DictionaryConfig,
+    ProbabilisticDictionary, SimKernel, SuspectMasks,
 };
 use crate::inject::AtpgConfig;
 use crate::metrics::MetricsSink;
@@ -92,8 +92,23 @@ pub struct DictionaryCache {
     /// requests for the same site share one ATPG run.
     patterns: RwLock<HashMap<PatternKey, PatternSlot>>,
     /// Analytic-kernel results, in their own section (memory-only, never
-    /// store-backed; see [`AnalyticBank`]).
-    analytic: RwLock<HashMap<StoreKey, Arc<Mutex<AnalyticBank>>>>,
+    /// store-backed; see [`AnalyticBank`]). Keyed additionally by the
+    /// Gauss–Hermite order of the die-level integral: the screened
+    /// kernel's coarse stage-1 matrices
+    /// ([`SCREEN_QUADRATURE_POINTS`](crate::SCREEN_QUADRATURE_POINTS))
+    /// are not interchangeable with the analytic kernel's default-order
+    /// ones and must never satisfy each other's lookups.
+    #[allow(clippy::type_complexity)]
+    analytic: RwLock<HashMap<(StoreKey, usize), Arc<Mutex<AnalyticBank>>>>,
+    /// Stage-2 refinement grids of the screened kernel, in their own
+    /// memory-only section: the population-consistent draw scheme
+    /// ([`simulate_fail_masks_shared`](crate::dictionary)) produces
+    /// grids that are *not* bit-identical to batched grids, so they
+    /// must never satisfy a batched lookup nor be checkpointed to the
+    /// kernel-blind `.sdds` store. Grids are keyed per suspect and
+    /// independent of the screen budget, so screened builds with
+    /// different `ScreenConfig`s share refinements.
+    screened: RwLock<HashMap<StoreKey, Arc<Mutex<Bank>>>>,
     store: Option<Arc<DictionaryStore>>,
     /// Memoized chip-instance batches shared by every simulation this
     /// cache runs (batched kernel only; bit-identity preserving — see
@@ -115,6 +130,7 @@ impl DictionaryCache {
             banks: RwLock::default(),
             patterns: RwLock::default(),
             analytic: RwLock::default(),
+            screened: RwLock::default(),
             store: Some(store),
             batches: BatchCache::default(),
         }
@@ -123,6 +139,15 @@ impl DictionaryCache {
     /// The backing store, if one is attached.
     pub fn store(&self) -> Option<&Arc<DictionaryStore>> {
         self.store.as_ref()
+    }
+
+    /// Replaces the chip-batch memo's eviction bound (the default is
+    /// ~256 MiB; see `BatchCache`). `bytes` is a budget on cached
+    /// delay values at ≈ 8 bytes each; builder-style so layers can
+    /// configure it at construction.
+    pub fn with_batch_cache_bytes(mut self, bytes: usize) -> Self {
+        self.batches = BatchCache::with_capacity(bytes / 8);
+        self
     }
 
     /// Number of distinct (model, pattern set, clk, config, defect dist)
@@ -288,6 +313,19 @@ impl DictionaryCache {
                 metrics,
             );
         }
+        if config.kernel == SimKernel::Screened {
+            return self.build_screened(
+                circuit,
+                timing,
+                defect_size,
+                patterns,
+                suspect_edges,
+                clk,
+                config,
+                behavior,
+                metrics,
+            );
+        }
         let key = StoreKey::compute(circuit, timing, defect_size, patterns, clk, config);
         let cell = {
             let read = self.banks.read().expect("cache lock");
@@ -412,15 +450,51 @@ impl DictionaryCache {
         config: DictionaryConfig,
         metrics: Option<&MetricsSink>,
     ) -> ProbabilisticDictionary {
+        let (m_crt, ordered) = self.analytic_matrices(
+            circuit,
+            timing,
+            defect_size,
+            patterns,
+            suspect_edges,
+            clk,
+            config,
+            None,
+            metrics,
+        );
+        assemble_from_probs(clk, m_crt, ordered)
+    }
+
+    /// Fetches (or incrementally computes) the analytic probability
+    /// matrices for the requested suspects from the memory-only analytic
+    /// section: `M_crt` plus one [`AnalyticSuspect`] per edge, in request
+    /// order. Shared by the analytic build path and the screened
+    /// kernel's stage 1, but *not* across quadrature orders: the bank is
+    /// keyed on `(StoreKey, effective order)`, so screened builds reuse
+    /// each other's coarse matrices while a plain analytic run keeps its
+    /// own default-order bank.
+    #[allow(clippy::too_many_arguments)]
+    fn analytic_matrices(
+        &self,
+        circuit: &Circuit,
+        timing: &CircuitTiming,
+        defect_size: &Dist,
+        patterns: &PatternSet,
+        suspect_edges: &[EdgeId],
+        clk: f64,
+        config: DictionaryConfig,
+        quad_points: Option<usize>,
+        metrics: Option<&MetricsSink>,
+    ) -> (sdd_timing::crit::ProbMatrix, Vec<(EdgeId, AnalyticSuspect)>) {
         let key = StoreKey::compute(circuit, timing, defect_size, patterns, clk, config);
+        let order = quad_points.unwrap_or(sdd_timing::analytic::DEFAULT_QUADRATURE_POINTS);
         let cell = {
             let read = self.analytic.read().expect("analytic cache lock");
-            match read.get(&key) {
+            match read.get(&(key, order)) {
                 Some(cell) => Arc::clone(cell),
                 None => {
                     drop(read);
                     let mut write = self.analytic.write().expect("analytic cache lock");
-                    Arc::clone(write.entry(key).or_default())
+                    Arc::clone(write.entry((key, order)).or_default())
                 }
             }
         };
@@ -446,6 +520,7 @@ impl DictionaryCache {
                 patterns,
                 &cones,
                 clk,
+                quad_points,
                 metrics,
             );
             if bank.base.is_none() {
@@ -461,10 +536,156 @@ impl DictionaryCache {
             .iter()
             .map(|&e| (e, bank.suspects[&e].clone()))
             .collect();
-        assemble_from_probs(
-            clk,
+        (
             bank.base.clone().expect("analytic baseline populated"),
             ordered,
+        )
+    }
+
+    /// The tiered screened build path ([`SimKernel::Screened`]): stage 1
+    /// scores **all** requested suspects with the analytic kernel at the
+    /// coarse screening quadrature
+    /// ([`SCREEN_QUADRATURE_POINTS`](crate::SCREEN_QUADRATURE_POINTS))
+    /// on the failing-richest behaviour columns (the
+    /// [`ScreenConfig::screen_patterns`](crate::ScreenConfig) budget),
+    /// through the shared in-memory analytic section — so the
+    /// chip-independent matrices are computed once per key and reused
+    /// across chips, redraws and tenants — and prunes to the top-K
+    /// survivors plus margin. Stage 2 refines only the survivors with
+    /// the population-consistent MC kernel
+    /// ([`simulate_fail_masks_shared`](crate::dictionary)), whose grids
+    /// live in the cache's own screened section: keyed per suspect, so
+    /// later screened builds (other chips, other screen budgets) reuse
+    /// them, but never visible to batched lookups nor the `.sdds` store
+    /// (the draw schemes differ).
+    ///
+    /// `metrics` books the screen wall-clock plus the
+    /// screened/refined suspect counts alongside whatever the two
+    /// underlying paths record.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `behavior` is `None` — the screen needs an observed
+    /// behaviour to score against.
+    #[allow(clippy::too_many_arguments)]
+    fn build_screened(
+        &self,
+        circuit: &Circuit,
+        timing: &CircuitTiming,
+        defect_size: &Dist,
+        patterns: &PatternSet,
+        suspect_edges: &[EdgeId],
+        clk: f64,
+        config: DictionaryConfig,
+        behavior: Option<&BehaviorMatrix>,
+        metrics: Option<&MetricsSink>,
+    ) -> ProbabilisticDictionary {
+        let behavior =
+            behavior.expect("screened kernel requires an observed behaviour to score against");
+        let t_screen = std::time::Instant::now();
+        let cols =
+            crate::dictionary::screen_pattern_columns(behavior, config.screen.screen_patterns);
+        let screen_patterns: PatternSet = cols
+            .iter()
+            .map(|&j| patterns.patterns()[j].clone())
+            .collect();
+        let (m_a, analytic) = self.analytic_matrices(
+            circuit,
+            timing,
+            defect_size,
+            &screen_patterns,
+            suspect_edges,
+            clk,
+            config,
+            Some(crate::dictionary::SCREEN_QUADRATURE_POINTS),
+            metrics,
+        );
+        let pairs: Vec<(EdgeId, &AnalyticSuspect)> =
+            analytic.iter().map(|(e, s)| (*e, s)).collect();
+        let survivors = screen_survivors(&m_a, &pairs, behavior, &cols, config.screen);
+        let surviving_edges: Vec<EdgeId> = survivors.iter().map(|&i| suspect_edges[i]).collect();
+        if let Some(m) = metrics {
+            m.add_screen_nanos(t_screen.elapsed().as_nanos() as u64);
+            m.add_suspects_screened(suspect_edges.len() as u64);
+            m.add_suspects_refined(surviving_edges.len() as u64);
+        }
+        // Stage 2: population-consistent refinement of the survivors
+        // through the screened bank section (memory-only; see the field
+        // docs for why these grids never mix with batched banks).
+        let key = StoreKey::compute(circuit, timing, defect_size, patterns, clk, config);
+        let cell = {
+            let read = self.screened.read().expect("screened cache lock");
+            match read.get(&key) {
+                Some(cell) => Arc::clone(cell),
+                None => {
+                    drop(read);
+                    let mut write = self.screened.write().expect("screened cache lock");
+                    Arc::clone(write.entry(key).or_default())
+                }
+            }
+        };
+        let mut bank = cell.lock().expect("screened bank lock");
+        let missing: Vec<EdgeId> = surviving_edges
+            .iter()
+            .copied()
+            .filter(|e| !bank.suspects.contains_key(e))
+            .collect();
+        let simulated = bank.base.is_empty() || !missing.is_empty();
+        if simulated {
+            if let Some(m) = metrics {
+                m.record_cache_miss();
+                // One shared population answers every pattern.
+                m.add_samples_simulated(config.n_samples as u64);
+            }
+            let cones: Vec<DefectCone> = missing
+                .iter()
+                .map(|&e| DefectCone::new(circuit, e))
+                .collect();
+            let per_pattern = crate::dictionary::simulate_fail_masks_shared(
+                circuit,
+                timing,
+                defect_size,
+                patterns,
+                &cones,
+                clk,
+                config,
+                Some(&self.batches),
+                metrics,
+            );
+            let record_base = bank.base.is_empty();
+            let mut banks: Vec<SuspectMasks> = cones
+                .iter()
+                .map(|c| SuspectMasks {
+                    reachable: c.reachable_outputs().to_vec(),
+                    fails: Vec::with_capacity(patterns.len()),
+                })
+                .collect();
+            for (base, fails) in per_pattern {
+                if record_base {
+                    bank.base.push(base);
+                }
+                for (ci, grid) in fails.into_iter().enumerate() {
+                    banks[ci].fails.push(grid);
+                }
+            }
+            for (edge, masks) in missing.iter().copied().zip(banks) {
+                bank.suspects.insert(edge, masks);
+            }
+        } else if let Some(m) = metrics {
+            m.record_cache_hit();
+        }
+        let base_refs: Vec<&BitGrid> = bank.base.iter().collect();
+        let ordered: Vec<(EdgeId, &SuspectMasks)> = surviving_edges
+            .iter()
+            .map(|&e| (e, &bank.suspects[&e]))
+            .collect();
+        assemble_from_masks(
+            clk,
+            circuit.primary_outputs().len(),
+            config.n_samples,
+            &base_refs,
+            &ordered,
+            Some(behavior),
         )
     }
 }

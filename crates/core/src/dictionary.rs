@@ -61,11 +61,26 @@ use std::sync::{Arc, Mutex};
 /// suite, DESIGN.md §4.7) — so analytic results never touch the on-disk
 /// `.sdds` store and are cached in a separate in-memory section.
 ///
+/// The `Screened` kernel is the tiered pipeline of both: an analytic
+/// screen over **all** suspects ranks them by match score against the
+/// observed behaviour and prunes to the top-K survivors (plus a safety
+/// margin, see [`ScreenConfig`]); only the survivors are then MC
+/// refined by the population-consistent kernel
+/// (`simulate_fail_masks_shared`) — one shared chip population and
+/// one defect size per `(chip, arc)` answering every pattern, the way a
+/// physical chip meets a tester. Refined cells are unbiased with the
+/// same per-cell variance as batched cells but are correlated across
+/// patterns, so screened grids are **not** bit-identical to batched
+/// grids; the `screened_kernel` differential suite pins rate
+/// equivalence instead.
+///
 /// The kernel choice deliberately does **not** enter
-/// [`StoreKey`](crate::store::StoreKey): grids simulated by one MC
-/// kernel are valid checkpoints for the other, and keeping the key
-/// kernel-blind is exactly why the analytic kernel must bypass the
-/// store.
+/// [`StoreKey`](crate::store::StoreKey): grids simulated by the scalar
+/// and batched MC kernels are valid checkpoints for each other, and
+/// keeping the key kernel-blind is exactly why the analytic kernel must
+/// bypass the store. Screened refinement grids use a different draw
+/// scheme, so they live in their own memory-only cache section and
+/// never reach the `.sdds` store either.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum SimKernel {
     /// Sample-major batched evaluation: one pass over the cone topology
@@ -81,6 +96,101 @@ pub enum SimKernel {
     /// the die-level factor, Clark max per merge, normal-CDF tails
     /// ([`sdd_timing::analytic::pattern_fail_probs`]).
     Analytic,
+    /// Two-stage tiered pipeline: analytic screen over all suspects,
+    /// batched MC refinement of the top-K survivors (see
+    /// [`ScreenConfig`]). Requires an observed behaviour to score
+    /// against.
+    Screened,
+}
+
+/// Gauss–Hermite order of the die-level integral used by the screened
+/// kernel's stage 1. The screen *ranks* suspects rather than estimating
+/// probabilities, and the rank ordering is already stable at a coarse
+/// rule — so stage 1 runs at 5 points instead of the analytic kernel's
+/// default 16, cutting the fixed screening overhead to roughly a third.
+/// Coarse and default-order results are not interchangeable; the cache
+/// layer keys its analytic banks by the effective order so a screened
+/// build never pollutes (or reads) a plain analytic run's bank.
+pub const SCREEN_QUADRATURE_POINTS: usize = 5;
+
+/// Stage-1 pruning budget of the tiered pipeline
+/// ([`SimKernel::Screened`]).
+///
+/// The screen scores every suspect with
+/// [`sdd_timing::analytic::match_scores`] (lower = better match against
+/// the observed behaviour) and keeps the `top_k` best **plus** every
+/// suspect whose score is within `margin × (worst − best score)` of the
+/// K-th survivor — the margin is *relative to the observed score
+/// spread*, not absolute. Because the score is a convex combination of
+/// per-cell probability deviations, a per-cell analytic-vs-MC
+/// divergence bound `ε` caps per-suspect score divergence at `ε`; and
+/// because both estimators converge cell-wise as probabilities
+/// saturate, the realized divergence contracts together with the
+/// spread. A spread-proportional margin therefore stays meaningful in
+/// both regimes — an absolute `ε` would keep *everyone* whenever the
+/// workload saturates (spread ≪ ε, no pruning at all) while buying no
+/// extra safety. Containment of the full-MC top-1 in the survivor set
+/// is pinned per diagnosed chip by `tests/screened_kernel.rs`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[non_exhaustive]
+pub struct ScreenConfig {
+    /// Number of best-scoring suspects guaranteed to survive the screen.
+    pub top_k: usize,
+    /// Safety margin on the K-th best score as a fraction of the
+    /// observed score spread (worst − best): suspects within
+    /// `margin × spread` of the K-th survivor survive too. The default
+    /// 0.15 is the asserted per-cell divergence bound of the analytic
+    /// kernel at paper-scale MC budgets (the `analytic_kernel`
+    /// differential suite); normalizing by the spread keeps that bound
+    /// meaningful when the workload saturates and all scores compress.
+    pub margin: f64,
+    /// Screening pattern budget: when `Some(s)` with `s` below the
+    /// pattern count, stage 1 scores suspects on only the `s` behaviour
+    /// columns with the most failing cells (ties towards lower pattern
+    /// index) instead of all of them. Failing-cell-rich patterns carry
+    /// the discriminating evidence, so the ranking survives the cut
+    /// while the screen's analytic cone propagation — its entire cost —
+    /// shrinks proportionally. `None` (the default) screens on every
+    /// pattern; stage 2 always refines the full pattern set regardless.
+    #[serde(default)]
+    pub screen_patterns: Option<usize>,
+}
+
+impl Default for ScreenConfig {
+    fn default() -> Self {
+        ScreenConfig {
+            top_k: 10,
+            margin: 0.15,
+            screen_patterns: None,
+        }
+    }
+}
+
+impl ScreenConfig {
+    /// The default screen (alias of [`ScreenConfig::default`]).
+    pub fn new() -> ScreenConfig {
+        ScreenConfig::default()
+    }
+
+    /// Sets the guaranteed survivor count.
+    pub fn with_top_k(mut self, top_k: usize) -> Self {
+        self.top_k = top_k;
+        self
+    }
+
+    /// Sets the safety margin (a fraction of the score spread) on the
+    /// K-th best score.
+    pub fn with_margin(mut self, margin: f64) -> Self {
+        self.margin = margin;
+        self
+    }
+
+    /// Sets the screening pattern budget (`None` = score on every
+    /// pattern).
+    pub fn with_screen_patterns(mut self, screen_patterns: Option<usize>) -> Self {
+        self.screen_patterns = screen_patterns;
+        self
+    }
 }
 
 /// Monte-Carlo budget for dictionary construction.
@@ -98,7 +208,7 @@ pub enum SimKernel {
 ///     .with_kernel(SimKernel::Analytic);
 /// assert_eq!(cfg.n_samples, 60);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 #[non_exhaustive]
 pub struct DictionaryConfig {
     /// Chip samples per pattern (ignored by [`SimKernel::Analytic`],
@@ -110,6 +220,13 @@ pub struct DictionaryConfig {
     /// The fail-probability kernel (see [`SimKernel`]).
     #[serde(default)]
     pub kernel: SimKernel,
+    /// Stage-1 pruning budget, read only by [`SimKernel::Screened`].
+    /// Deliberately outside [`StoreKey`](crate::store::StoreKey): the
+    /// screen only decides *which* suspects get refined, and refinement
+    /// grids are keyed per suspect, so they are valid cached inputs for
+    /// any screen setting.
+    #[serde(default)]
+    pub screen: ScreenConfig,
 }
 
 impl Default for DictionaryConfig {
@@ -118,6 +235,7 @@ impl Default for DictionaryConfig {
             n_samples: 200,
             seed: 0xD1C7,
             kernel: SimKernel::default(),
+            screen: ScreenConfig::default(),
         }
     }
 }
@@ -143,6 +261,12 @@ impl DictionaryConfig {
     /// Sets the fail-probability kernel.
     pub fn with_kernel(mut self, kernel: SimKernel) -> Self {
         self.kernel = kernel;
+        self
+    }
+
+    /// Sets the stage-1 pruning budget of [`SimKernel::Screened`].
+    pub fn with_screen(mut self, screen: ScreenConfig) -> Self {
+        self.screen = screen;
         self
     }
 }
@@ -245,10 +369,18 @@ impl ProbabilisticDictionary {
     /// `joint_phi` stays `None` and the diagnoser falls back to the
     /// independent-output product.
     ///
+    /// Under [`SimKernel::Screened`] the behaviour is what stage 1
+    /// scores against, so it is required: the analytic screen ranks all
+    /// suspects by match score, prunes to the top-K survivors (plus
+    /// margin, see [`ScreenConfig`]), and only the survivors are MC
+    /// refined by the population-consistent stage-2 kernel
+    /// (`simulate_fail_masks_shared`).
+    ///
     /// # Panics
     ///
     /// Same conditions as [`ProbabilisticDictionary::build`]; also panics
-    /// if the behaviour matrix shape mismatches the circuit/patterns.
+    /// if the behaviour matrix shape mismatches the circuit/patterns, or
+    /// if `behavior` is `None` under [`SimKernel::Screened`].
     #[allow(clippy::too_many_arguments)]
     pub fn build_with_behavior(
         circuit: &Circuit,
@@ -291,10 +423,84 @@ impl ProbabilisticDictionary {
                 &cones,
                 clk,
                 None,
+                None,
             );
             let ordered: Vec<(EdgeId, AnalyticSuspect)> =
                 cones.iter().map(|c| c.edge()).zip(suspects).collect();
             return assemble_from_probs(clk, m_crt, ordered);
+        }
+        if config.kernel == SimKernel::Screened {
+            let behavior =
+                behavior.expect("screened kernel requires an observed behaviour to score against");
+            // Stage 1: analytic screen over every suspect, zero draws,
+            // coarse die-level quadrature (ranking accuracy only) and,
+            // under a `screen_patterns` budget, only the failing-richest
+            // behaviour columns.
+            let cols = screen_pattern_columns(behavior, config.screen.screen_patterns);
+            let screen_patterns: PatternSet = cols
+                .iter()
+                .map(|&j| patterns.patterns()[j].clone())
+                .collect();
+            let (m_a, analytic) = simulate_fail_probs_analytic(
+                circuit,
+                timing,
+                defect_size,
+                &screen_patterns,
+                &cones,
+                clk,
+                Some(SCREEN_QUADRATURE_POINTS),
+                None,
+            );
+            let pairs: Vec<(EdgeId, &AnalyticSuspect)> = cones
+                .iter()
+                .map(|c| c.edge())
+                .zip(analytic.iter())
+                .collect();
+            let survivors = screen_survivors(&m_a, &pairs, behavior, &cols, config.screen);
+            let surviving_cones: Vec<DefectCone> =
+                survivors.iter().map(|&i| cones[i].clone()).collect();
+            // Stage 2: population-consistent MC refinement of the
+            // survivors only, over the full pattern set (see
+            // `simulate_fail_masks_shared`).
+            let per_pattern = simulate_fail_masks_shared(
+                circuit,
+                timing,
+                defect_size,
+                patterns,
+                &surviving_cones,
+                clk,
+                config,
+                None,
+                None,
+            );
+            let mut base: Vec<BitGrid> = Vec::with_capacity(per_pattern.len());
+            let mut suspect_masks: Vec<SuspectMasks> = surviving_cones
+                .iter()
+                .map(|c| SuspectMasks {
+                    reachable: c.reachable_outputs().to_vec(),
+                    fails: Vec::with_capacity(patterns.len()),
+                })
+                .collect();
+            for (b, fails) in per_pattern {
+                base.push(b);
+                for (ci, grid) in fails.into_iter().enumerate() {
+                    suspect_masks[ci].fails.push(grid);
+                }
+            }
+            let base_refs: Vec<&BitGrid> = base.iter().collect();
+            let ordered: Vec<(EdgeId, &SuspectMasks)> = surviving_cones
+                .iter()
+                .zip(&suspect_masks)
+                .map(|(c, m)| (c.edge(), m))
+                .collect();
+            return assemble_from_masks(
+                clk,
+                n_out,
+                config.n_samples,
+                &base_refs,
+                &ordered,
+                Some(behavior),
+            );
         }
         let per_pattern = simulate_fail_masks(
             circuit,
@@ -657,7 +863,85 @@ pub(crate) fn simulate_fail_masks(
         SimKernel::Analytic => {
             panic!("analytic kernel has no fail masks; use simulate_fail_probs_analytic")
         }
+        // The screened kernel orchestrates above this layer: its stage 2
+        // runs the dedicated population-consistent path
+        // (`simulate_fail_masks_shared`), so reaching here means the
+        // screen was skipped.
+        SimKernel::Screened => {
+            panic!("screened kernel orchestrates above the mask path; screen first")
+        }
     }
+}
+
+/// Selects the behaviour columns stage 1 scores on: the
+/// [`ScreenConfig::screen_patterns`] pattern positions with the most
+/// failing cells, ties towards lower index, returned in ascending
+/// pattern order. With no budget (or one at least the pattern count)
+/// every column is selected.
+pub(crate) fn screen_pattern_columns(
+    behavior: &crate::BehaviorMatrix,
+    budget: Option<usize>,
+) -> Vec<usize> {
+    let n = behavior.num_patterns();
+    match budget {
+        Some(s) if s < n => {
+            let mut order: Vec<usize> = (0..n).collect();
+            order.sort_by_key(|&j| (std::cmp::Reverse(behavior.failing_outputs(j).len()), j));
+            let mut cols: Vec<usize> = order.into_iter().take(s.max(1)).collect();
+            cols.sort_unstable();
+            cols
+        }
+        _ => (0..n).collect(),
+    }
+}
+
+/// Stage-1 survivor selection of the screened pipeline: scores every
+/// suspect analytically against the observed behaviour
+/// ([`sdd_timing::analytic::match_scores`]) and returns the indices —
+/// in original suspect order — of the `top_k` best scorers plus every
+/// suspect within [`ScreenConfig::margin`] × the score spread of the
+/// K-th best score. Deterministic: score ties break towards lower arc
+/// ids, and the margin rule depends only on the (deterministic)
+/// analytic scores.
+///
+/// `cols` maps each column of `m_crt` (and of every suspect's `err`
+/// matrix) to its pattern position in `behavior` — the identity when
+/// the screen scores on the full pattern set, a sorted subset under a
+/// [`ScreenConfig::screen_patterns`] budget.
+pub(crate) fn screen_survivors(
+    m_crt: &ProbMatrix,
+    suspects: &[(EdgeId, &AnalyticSuspect)],
+    behavior: &crate::BehaviorMatrix,
+    cols: &[usize],
+    screen: ScreenConfig,
+) -> Vec<usize> {
+    let k = screen.top_k.max(1);
+    if suspects.len() <= k {
+        return (0..suspects.len()).collect();
+    }
+    debug_assert_eq!(cols.len(), m_crt.cols(), "column map/matrix mismatch");
+    let failing: Vec<Vec<usize>> = cols.iter().map(|&j| behavior.failing_outputs(j)).collect();
+    let scored: Vec<(&[usize], &ProbMatrix)> = suspects
+        .iter()
+        .map(|(_, s)| (s.reachable.as_slice(), &s.err))
+        .collect();
+    let scores = sdd_timing::analytic::match_scores(m_crt, &scored, &failing);
+    let mut order: Vec<usize> = (0..suspects.len()).collect();
+    order.sort_by(|&a, &b| {
+        scores[a]
+            .total_cmp(&scores[b])
+            .then_with(|| suspects[a].0.cmp(&suspects[b].0))
+    });
+    // The margin is relative to the observed score spread: the
+    // analytic-vs-MC divergence contracts together with the spread as
+    // cells saturate, so a spread-proportional band keeps the
+    // containment guarantee without going vacuous (an absolute band
+    // wider than the whole spread would keep every suspect).
+    let spread = scores[order[suspects.len() - 1]] - scores[order[0]];
+    let threshold = scores[order[k - 1]] + screen.margin.max(0.0) * spread;
+    (0..suspects.len())
+        .filter(|&i| scores[i] <= threshold)
+        .collect()
 }
 
 /// The per-suspect output of the analytic kernel: the suspect's `E_crt`
@@ -680,10 +964,17 @@ pub(crate) struct AnalyticSuspect {
 /// depends only on (circuit, timing, defect-size moments, patterns,
 /// `clk`), never on `n_samples` or `seed`.
 ///
+/// `quad_points` overrides the Gauss–Hermite order of the die-level
+/// integral (`None` = the default 16-point rule): the screened kernel's
+/// stage 1 passes [`SCREEN_QUADRATURE_POINTS`] because it ranks rather
+/// than estimates. Results at different orders are *not* comparable, so
+/// the cache layer keys its analytic banks by the effective order.
+///
 /// `metrics`, when given, accumulates the analytic wall-clock (summed
 /// over worker threads) and the number of cone propagations — the
 /// analytic counters, *not* the MC `cone_evals`/`kernel_nanos`, which
 /// must stay at zero under this kernel.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn simulate_fail_probs_analytic(
     circuit: &Circuit,
     timing: &CircuitTiming,
@@ -691,6 +982,7 @@ pub(crate) fn simulate_fail_probs_analytic(
     patterns: &PatternSet,
     cones: &[DefectCone],
     clk: f64,
+    quad_points: Option<usize>,
     metrics: Option<&crate::metrics::MetricsSink>,
 ) -> (ProbMatrix, Vec<AnalyticSuspect>) {
     use sdd_timing::analytic::{pattern_fail_probs, GaussHermite};
@@ -698,7 +990,10 @@ pub(crate) fn simulate_fail_probs_analytic(
 
     let n_out = circuit.primary_outputs().len();
     let n_patterns = patterns.len();
-    let quad = GaussHermite::for_variation(&timing.variation());
+    let quad = match quad_points {
+        Some(n) => GaussHermite::for_variation_with(&timing.variation(), n),
+        None => GaussHermite::for_variation(&timing.variation()),
+    };
     // Censoring-aware defect moments: what the MC kernels' sample_delta
     // actually draws, not the nominal parameters.
     let (delta_mean, delta_var) = defect_size.moments();
@@ -913,6 +1208,131 @@ fn simulate_fail_masks_batched(
                         let instance_index = (j * n + s) as u64;
                         sample_delta(config.seed, instance_index, cones[ci].edge(), defect_size)
                     }));
+                }
+                DefectCone::apply_batch_fused(
+                    &members,
+                    circuit,
+                    &transitions,
+                    &batch,
+                    &baseline,
+                    &deltas,
+                    clk,
+                    &mut scratch,
+                    |g, s, k| fails[group[g]].set(s, k),
+                );
+            }
+            if let Some(m) = metrics {
+                m.add_kernel_nanos(t_kernel.elapsed().as_nanos() as u64);
+            }
+            (base, fails)
+        })
+        .collect()
+}
+
+/// The population-consistent refinement kernel of the screened
+/// pipeline's stage 2: manufactures **one** virtual chip population
+/// (instances `0..n_samples` of the seed's stream) and runs every
+/// pattern against that same population, with each chip's defect size
+/// drawn once per `(chip, arc)` and held fixed across patterns —
+/// exactly how a physical defective chip behaves on a tester, where one
+/// delay realization and one defect answer every applied pattern.
+///
+/// This is what makes the screened dictionary phase cheap: chip-sample
+/// manufacture (the Box-Muller draws behind
+/// [`CircuitTiming::sample_instance_batch`]) is the dominant
+/// suspect-independent cost of a cold batched build, and sharing the
+/// population divides it by the pattern count. The price is estimator
+/// coupling — `M_crt`/`E_crt` cells stay unbiased with the same
+/// per-cell variance, but columns are correlated across patterns — so
+/// the grids are **not** bit-identical to the batched kernel's
+/// (pattern-independent populations) and must never be checkpointed as
+/// batched grids. The rate-equivalence suite in
+/// `tests/screened_kernel.rs` pins that diagnosis quality is
+/// statistically unchanged.
+///
+/// Per-(pattern, chip, arc) draws stay keyed, so results are
+/// deterministic and thread-count independent like the other kernels.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn simulate_fail_masks_shared(
+    circuit: &Circuit,
+    timing: &CircuitTiming,
+    defect_size: &Dist,
+    patterns: &PatternSet,
+    cones: &[DefectCone],
+    clk: f64,
+    config: DictionaryConfig,
+    batches: Option<&BatchCache>,
+    metrics: Option<&crate::metrics::MetricsSink>,
+) -> Vec<(BitGrid, Vec<BitGrid>)> {
+    if let Some(m) = metrics {
+        m.add_cone_evals((patterns.len() * config.n_samples * cones.len()) as u64);
+    }
+    let n_out = circuit.primary_outputs().len();
+    let outputs = circuit.primary_outputs();
+    let n = config.n_samples;
+    // The shared population: instances 0..n of the seed's stream — the
+    // very chips the batched kernel manufactures for pattern position 0,
+    // so a warm [`BatchCache`] serves both kernels from one entry.
+    let batch = match batches {
+        Some(bc) => bc.get_or_sample_at(
+            crate::store::fingerprint_model(circuit, timing),
+            timing,
+            config.seed,
+            0,
+            n,
+        ),
+        None => Arc::new(timing.sample_instance_batch(config.seed, 0, n)),
+    };
+    // One defect size per (chip, arc), shared by every pattern.
+    let deltas_of: Vec<Vec<f64>> = cones
+        .iter()
+        .map(|cone| {
+            (0..n)
+                .map(|s| sample_delta(config.seed, s as u64, cone.edge(), defect_size))
+                .collect()
+        })
+        .collect();
+    // Same sink-sharing fusion as the batched kernel (see
+    // `simulate_fail_masks_batched`).
+    let mut group_of_sink: std::collections::HashMap<usize, usize> =
+        std::collections::HashMap::new();
+    let mut groups: Vec<Vec<usize>> = Vec::new();
+    for (ci, cone) in cones.iter().enumerate() {
+        match group_of_sink.entry(circuit.edge(cone.edge()).to().index()) {
+            std::collections::hash_map::Entry::Occupied(e) => groups[*e.get()].push(ci),
+            std::collections::hash_map::Entry::Vacant(v) => {
+                v.insert(groups.len());
+                groups.push(vec![ci]);
+            }
+        }
+    }
+    patterns
+        .patterns()
+        .par_iter()
+        .map(|p| {
+            let t_kernel = std::time::Instant::now();
+            let transitions = simulate_pair(circuit, &p.v1, &p.v2);
+            let baseline = transition_arrivals_batch(circuit, &transitions, &batch);
+            let mut base = BitGrid::new(n, n_out);
+            for (i, &o) in outputs.iter().enumerate() {
+                let row = &baseline[o.index() * n..(o.index() + 1) * n];
+                for (s, &arr) in row.iter().enumerate() {
+                    if arr > clk {
+                        base.set(s, i);
+                    }
+                }
+            }
+            let mut scratch: Vec<f64> = Vec::new();
+            let mut deltas: Vec<f64> = Vec::new();
+            let mut fails: Vec<BitGrid> = cones
+                .iter()
+                .map(|cone| BitGrid::new(n, cone.reachable_outputs().len()))
+                .collect();
+            for group in &groups {
+                let members: Vec<&DefectCone> = group.iter().map(|&ci| &cones[ci]).collect();
+                deltas.clear();
+                for &ci in group {
+                    deltas.extend_from_slice(&deltas_of[ci]);
                 }
                 DefectCone::apply_batch_fused(
                     &members,
@@ -1303,6 +1723,7 @@ mod tests {
                     n_samples: 37, // odd, not a multiple of the word size
                     seed: 0xBEEF,
                     kernel,
+                    screen: ScreenConfig::default(),
                 },
                 None,
                 None,
@@ -1326,6 +1747,7 @@ mod tests {
         assert_eq!(cfg.n_samples, 42);
         assert_eq!(cfg.seed, 7);
         assert_eq!(cfg.kernel, SimKernel::Batched);
+        assert_eq!(cfg.screen, ScreenConfig::default());
         // And the full roundtrip preserves a non-default kernel.
         let scalar = DictionaryConfig {
             kernel: SimKernel::Scalar,
@@ -1334,6 +1756,83 @@ mod tests {
         let back: DictionaryConfig =
             serde_json::from_str(&serde_json::to_string(&scalar).unwrap()).unwrap();
         assert_eq!(back, scalar);
+    }
+
+    #[test]
+    fn config_without_screen_field_deserializes_to_default_screen() {
+        // Configs serialized before the screened kernel existed must
+        // keep loading, and a non-default screen must roundtrip.
+        let json = r#"{"n_samples": 9, "seed": 2, "kernel": "Batched"}"#;
+        let cfg: DictionaryConfig = serde_json::from_str(json).unwrap();
+        assert_eq!(cfg.screen, ScreenConfig::default());
+        let screened = DictionaryConfig::default()
+            .with_kernel(SimKernel::Screened)
+            .with_screen(ScreenConfig::new().with_top_k(3).with_margin(0.05));
+        let back: DictionaryConfig =
+            serde_json::from_str(&serde_json::to_string(&screened).unwrap()).unwrap();
+        assert_eq!(back, screened);
+    }
+
+    #[test]
+    fn screen_survivors_applies_top_k_and_margin() {
+        use sdd_atpg::TestPattern;
+        // A behaviour where output 0 fails: suspects reaching it with a
+        // high analytic fail probability score best.
+        let (c, t) = two_chains();
+        let ps: PatternSet = [TestPattern::new(vec![false, false], vec![true, true])]
+            .into_iter()
+            .collect();
+        let chip = t.sample_instance_indexed(77, 0);
+        let g1 = c.find("g1").unwrap();
+        let defect_edge = c.node(g1).fanin_edges()[0];
+        let defect = crate::defect::InjectedDefect {
+            edge: defect_edge,
+            delta: 0.8,
+        };
+        let behavior = crate::BehaviorMatrix::observe(&c, &ps, &defect.apply(&chip), 0.3);
+        let edges: Vec<EdgeId> = c.edge_ids().collect();
+        let cones: Vec<DefectCone> = edges.iter().map(|&e| DefectCone::new(&c, e)).collect();
+        let (m_a, analytic) = simulate_fail_probs_analytic(
+            &c,
+            &t,
+            &Dist::Deterministic(0.8),
+            &ps,
+            &cones,
+            0.3,
+            Some(SCREEN_QUADRATURE_POINTS),
+            None,
+        );
+        let pairs: Vec<(EdgeId, &AnalyticSuspect)> =
+            edges.iter().copied().zip(analytic.iter()).collect();
+        // top_k=1 with zero margin keeps exactly the best scorer(s) at
+        // the threshold; a huge margin keeps everyone.
+        let tight = screen_survivors(
+            &m_a,
+            &pairs,
+            &behavior,
+            &[0],
+            ScreenConfig::new().with_top_k(1).with_margin(0.0),
+        );
+        assert!(!tight.is_empty() && tight.len() < pairs.len(), "{tight:?}");
+        let wide = screen_survivors(
+            &m_a,
+            &pairs,
+            &behavior,
+            &[0],
+            ScreenConfig::new().with_top_k(1).with_margin(2.0),
+        );
+        assert_eq!(wide.len(), pairs.len(), "a margin ≥ 1 must keep all");
+        // top_k ≥ n keeps everyone regardless of margin.
+        let all = screen_survivors(
+            &m_a,
+            &pairs,
+            &behavior,
+            &[0],
+            ScreenConfig::new().with_top_k(pairs.len()).with_margin(0.0),
+        );
+        assert_eq!(all.len(), pairs.len());
+        // Survivors come back in original suspect order.
+        assert!(wide.windows(2).all(|w| w[0] < w[1]));
     }
 
     #[test]

@@ -275,7 +275,7 @@ pub fn tested_delay_samples(
 /// [`sdd_timing::InstanceBatch`]. The instance draws are keyed on
 /// (timing model, seed) only, so a campaign can sample the batch once
 /// and share it across every chip (see
-/// [`DictionaryCache`](crate::DictionaryCache)); passing such a batch
+/// [`DictionaryCache`]); passing such a batch
 /// here is bit-identical to resampling it.
 ///
 /// # Panics
@@ -643,6 +643,12 @@ pub(crate) fn diagnose_instance_impl(
     let mut last_delta = 0.0f64;
     let mut last_patterns = 0usize;
     let mut observed: Option<(std::sync::Arc<PatternSet>, crate::BehaviorMatrix)> = None;
+    // Redraws can land on a site this instance already paid the pattern
+    // lookup for (the site seed is a pure function of the edge, so the
+    // set would be identical); holding the handle here keeps repeated
+    // sites from re-entering the cache and its counters.
+    let mut site_patterns: std::collections::HashMap<EdgeId, std::sync::Arc<PatternSet>> =
+        std::collections::HashMap::new();
     for attempt in 0..config.max_redraws {
         draws += 1;
         let defect_seed = config
@@ -656,13 +662,27 @@ pub(crate) fn diagnose_instance_impl(
         // drawing the same site share one pattern set and clock ladder,
         // which is what lets the dictionary cache serve them all from a
         // single Monte-Carlo build.
-        let site_seed = config
-            .seed
-            .wrapping_mul(0x94D0_49BB_1331_11EB)
-            .wrapping_add(defect.edge.index() as u64);
-        let patterns = local.time(Phase::Patterns, || {
-            cache.patterns_for_site(circuit, timing, defect.edge, &atpg, site_seed, Some(&local))
-        });
+        let patterns = match site_patterns.get(&defect.edge) {
+            Some(patterns) => std::sync::Arc::clone(patterns),
+            None => {
+                let site_seed = config
+                    .seed
+                    .wrapping_mul(0x94D0_49BB_1331_11EB)
+                    .wrapping_add(defect.edge.index() as u64);
+                let patterns = local.time(Phase::Patterns, || {
+                    cache.patterns_for_site(
+                        circuit,
+                        timing,
+                        defect.edge,
+                        &atpg,
+                        site_seed,
+                        Some(&local),
+                    )
+                });
+                site_patterns.insert(defect.edge, std::sync::Arc::clone(&patterns));
+                patterns
+            }
+        };
         last_patterns = patterns.len();
         if patterns.is_empty() {
             continue;
@@ -961,6 +981,60 @@ mod tests {
         assert!(
             m.dict_cache_hits + m.dict_cache_misses > 0,
             "campaign never consulted the dictionary cache"
+        );
+    }
+
+    #[test]
+    fn redraws_reuse_pattern_handles_per_site() {
+        // Regression: an instance exhausting its redraw budget used to
+        // pay one pattern-cache lookup per *draw*; repeated sites now
+        // reuse the first draw's handle, so per-chip pattern-cache
+        // traffic is bounded by the number of distinct sites drawn.
+        let c = generate(&profiles::S27.to_config(9))
+            .unwrap()
+            .to_combinational()
+            .unwrap();
+        let library = CellLibrary::default_025um();
+        let t = CircuitTiming::characterize(&c, &library, VariationModel::default());
+        let model = SingleDefectModel::paper_section_i(library.nominal_cell_delay());
+        // A fixed, absurdly slack clock: every draw passes, every chip
+        // walks the full redraw budget.
+        let cfg = CampaignConfig::quick(4).with_clock(ClockPolicy::CircuitQuantile(0.95));
+        let cache = DictionaryCache::new();
+        let sink = MetricsSink::new();
+        let mut saw_repeat = false;
+        for index in 0..12usize {
+            let seq = sink.trace_seq();
+            let out = diagnose_instance_impl(&c, &t, &model, Some(1e9), &cfg, index, &cache, &sink);
+            assert!(out.is_none(), "chip {index} failed under a 1e9 clock");
+            let trace = sink
+                .traces_since(seq)
+                .pop()
+                .expect("undetected chips still trace");
+            assert_eq!(trace.redraws, cfg.max_redraws as u64 - 1);
+            // Replay the deterministic draw sequence to count the
+            // distinct sites this chip hypothesized.
+            let distinct: std::collections::HashSet<EdgeId> = (0..cfg.max_redraws)
+                .map(|attempt| {
+                    let defect_seed = cfg
+                        .seed
+                        .wrapping_add(1 + index as u64 * 131 + attempt as u64 * 7919);
+                    model.sample_defect(&c, defect_seed).edge
+                })
+                .collect();
+            let lookups = trace.pattern_cache_hits + trace.pattern_cache_misses;
+            assert!(
+                lookups <= distinct.len() as u64,
+                "chip {index}: {lookups} pattern-cache lookups for {} distinct sites",
+                distinct.len()
+            );
+            if distinct.len() < cfg.max_redraws {
+                saw_repeat = true;
+            }
+        }
+        assert!(
+            saw_repeat,
+            "no chip ever re-drew a site; pick a seed that collides to keep this test meaningful"
         );
     }
 

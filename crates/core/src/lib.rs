@@ -76,7 +76,10 @@ pub use behavior::{BehaviorMatrix, CaptureModel, ObserveKernel, ObservedBehavior
 pub use cache::DictionaryCache;
 pub use defect::{InjectedDefect, SingleDefectModel};
 pub use diagnoser::{Diagnoser, DiagnoserConfig, RankedSite};
-pub use dictionary::{DictionaryConfig, ProbabilisticDictionary, SimKernel, SuspectSignature};
+pub use dictionary::{
+    DictionaryConfig, ProbabilisticDictionary, ScreenConfig, SimKernel, SuspectSignature,
+    SCREEN_QUADRATURE_POINTS,
+};
 pub use engine::{DiagnosisEngine, DiagnosisEngineBuilder};
 pub use error::{DiagnosisError, SddError};
 pub use error_fn::ErrorFunction;

@@ -456,6 +456,9 @@ pub struct MetricsSink {
     cone_evals: AtomicU64,
     analytic_nanos: AtomicU64,
     analytic_evals: AtomicU64,
+    screen_nanos: AtomicU64,
+    suspects_screened: AtomicU64,
+    suspects_refined: AtomicU64,
     store_hits: AtomicU64,
     store_misses: AtomicU64,
     store_flushes: AtomicU64,
@@ -562,6 +565,28 @@ impl MetricsSink {
         self.analytic_evals.fetch_add(n, Ordering::Relaxed);
     }
 
+    /// Adds `nanos` spent in the analytic screening stage of the
+    /// screened dictionary pipeline (stage 1 of
+    /// `SimKernel::Screened`: analytic scoring + survivor selection).
+    /// A subset of `dictionary_nanos`, like `kernel_nanos` and
+    /// `analytic_nanos`.
+    pub fn add_screen_nanos(&self, nanos: u64) {
+        self.screen_nanos.fetch_add(nanos, Ordering::Relaxed);
+    }
+
+    /// Adds `n` suspects that entered the analytic screening stage
+    /// (the full candidate set before pruning).
+    pub fn add_suspects_screened(&self, n: u64) {
+        self.suspects_screened.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adds `n` screening survivors handed to the Monte-Carlo
+    /// refinement stage (always ≤ the screened count for the same
+    /// build).
+    pub fn add_suspects_refined(&self, n: u64) {
+        self.suspects_refined.fetch_add(n, Ordering::Relaxed);
+    }
+
     /// Records a dictionary bank loaded intact from the on-disk store
     /// (`nanos` of load/validate time), skipping its Monte-Carlo build.
     pub fn record_store_hit(&self, nanos: u64) {
@@ -656,6 +681,12 @@ impl MetricsSink {
             .fetch_add(instance.analytic_nanos, Ordering::Relaxed);
         self.analytic_evals
             .fetch_add(instance.analytic_evals, Ordering::Relaxed);
+        self.screen_nanos
+            .fetch_add(instance.screen_nanos, Ordering::Relaxed);
+        self.suspects_screened
+            .fetch_add(instance.suspects_screened, Ordering::Relaxed);
+        self.suspects_refined
+            .fetch_add(instance.suspects_refined, Ordering::Relaxed);
         self.store_hits
             .fetch_add(instance.store_hits, Ordering::Relaxed);
         self.store_misses
@@ -738,6 +769,9 @@ impl MetricsSink {
             cone_evals: self.cone_evals.load(Ordering::Relaxed),
             analytic_nanos: self.analytic_nanos.load(Ordering::Relaxed),
             analytic_evals: self.analytic_evals.load(Ordering::Relaxed),
+            screen_nanos: self.screen_nanos.load(Ordering::Relaxed),
+            suspects_screened: self.suspects_screened.load(Ordering::Relaxed),
+            suspects_refined: self.suspects_refined.load(Ordering::Relaxed),
             store_hits: self.store_hits.load(Ordering::Relaxed),
             store_misses: self.store_misses.load(Ordering::Relaxed),
             store_flushes: self.store_flushes.load(Ordering::Relaxed),
@@ -801,6 +835,21 @@ pub struct CampaignMetrics {
     /// `SimKernel::Analytic` ran.
     #[serde(default)]
     pub analytic_evals: u64,
+    /// Aggregate nanoseconds in the analytic screening stage of the
+    /// screened dictionary pipeline (stage 1 of `SimKernel::Screened`);
+    /// a subset of `dictionary_nanos`. Zero unless the screened kernel
+    /// ran.
+    #[serde(default)]
+    pub screen_nanos: u64,
+    /// Candidate suspects that entered the analytic screen, summed over
+    /// all screened dictionary builds.
+    #[serde(default)]
+    pub suspects_screened: u64,
+    /// Screening survivors handed to Monte-Carlo refinement, summed over
+    /// all screened dictionary builds; never exceeds
+    /// `suspects_screened`.
+    #[serde(default)]
+    pub suspects_refined: u64,
     /// Dictionary banks loaded intact from the on-disk store (each one a
     /// full Monte-Carlo build skipped).
     pub store_hits: u64,
@@ -877,6 +926,13 @@ impl CampaignMetrics {
             cone_evals: self.cone_evals.saturating_sub(baseline.cone_evals),
             analytic_nanos: self.analytic_nanos.saturating_sub(baseline.analytic_nanos),
             analytic_evals: self.analytic_evals.saturating_sub(baseline.analytic_evals),
+            screen_nanos: self.screen_nanos.saturating_sub(baseline.screen_nanos),
+            suspects_screened: self
+                .suspects_screened
+                .saturating_sub(baseline.suspects_screened),
+            suspects_refined: self
+                .suspects_refined
+                .saturating_sub(baseline.suspects_refined),
             store_hits: self.store_hits.saturating_sub(baseline.store_hits),
             store_misses: self.store_misses.saturating_sub(baseline.store_misses),
             store_flushes: self.store_flushes.saturating_sub(baseline.store_flushes),
@@ -926,6 +982,18 @@ impl CampaignMetrics {
             None
         } else {
             Some(100.0 * self.pattern_cache_hits as f64 / total as f64)
+        }
+    }
+
+    /// Fraction of screened suspects that survived the analytic screen
+    /// (`suspects_refined / suspects_screened`); `None` when the
+    /// screened kernel never ran (distinct from a degenerate screen
+    /// keeping everyone, which reports `1.0`).
+    pub fn screen_survivor_ratio(&self) -> Option<f64> {
+        if self.suspects_screened == 0 {
+            None
+        } else {
+            Some(self.suspects_refined as f64 / self.suspects_screened as f64)
         }
     }
 
@@ -1009,6 +1077,16 @@ impl CampaignMetrics {
                 "\n  analytic kernel: {} cone propagations in {}",
                 self.analytic_evals,
                 fmt_nanos(self.analytic_nanos),
+            ));
+        }
+        if self.suspects_screened > 0 {
+            let ratio = self.screen_survivor_ratio().unwrap_or(1.0);
+            out.push_str(&format!(
+                "\n  analytic screen: {} suspects screened -> {} refined ({:.0}% survive) in {}",
+                self.suspects_screened,
+                self.suspects_refined,
+                100.0 * ratio,
+                fmt_nanos(self.screen_nanos),
             ));
         }
         if self.store_hits + self.store_misses + self.store_flushes > 0 {
@@ -1143,6 +1221,18 @@ impl MetricsReport {
             return Err(format!(
                 "analytic_nanos {} exceeds dictionary_nanos {}",
                 self.counters.analytic_nanos, self.counters.dictionary_nanos
+            ));
+        }
+        if self.counters.screen_nanos > self.counters.dictionary_nanos {
+            return Err(format!(
+                "screen_nanos {} exceeds dictionary_nanos {}",
+                self.counters.screen_nanos, self.counters.dictionary_nanos
+            ));
+        }
+        if self.counters.suspects_refined > self.counters.suspects_screened {
+            return Err(format!(
+                "suspects_refined {} exceeds suspects_screened {}",
+                self.counters.suspects_refined, self.counters.suspects_screened
             ));
         }
         if self.traces.len() as u64 > self.trials {
@@ -1483,6 +1573,44 @@ mod tests {
     }
 
     #[test]
+    fn screen_counters_accumulate_render_and_validate() {
+        let sink = MetricsSink::new();
+        sink.add_screen_nanos(5_000_000);
+        sink.add_suspects_screened(120);
+        sink.add_suspects_refined(30);
+        let snap = sink.snapshot(Duration::ZERO);
+        assert_eq!(snap.screen_nanos, 5_000_000);
+        assert_eq!(snap.suspects_screened, 120);
+        assert_eq!(snap.suspects_refined, 30);
+        let ratio = snap.screen_survivor_ratio().expect("screen ran");
+        assert!((ratio - 0.25).abs() < 1e-12);
+        let text = snap.render();
+        assert!(text.contains("120 suspects screened"));
+        assert!(text.contains("30 refined"));
+        assert!(text.contains("25% survive"));
+        // A run that never screened stays silent and reports no ratio.
+        let cold = MetricsSink::new().snapshot(Duration::ZERO);
+        assert_eq!(cold.screen_survivor_ratio(), None);
+        assert!(!cold.render().contains("analytic screen"));
+        // validate() rejects a screen that "refined" more suspects than
+        // it screened, and screen time exceeding the dictionary phase.
+        let good = consistent_report();
+        let mut more_refined = good.clone();
+        more_refined.counters.suspects_screened = 5;
+        more_refined.counters.suspects_refined = 6;
+        assert!(more_refined
+            .validate()
+            .unwrap_err()
+            .contains("suspects_refined"));
+        let mut screen_overflow = good.clone();
+        screen_overflow.counters.screen_nanos = screen_overflow.counters.dictionary_nanos + 1;
+        assert!(screen_overflow
+            .validate()
+            .unwrap_err()
+            .contains("screen_nanos"));
+    }
+
+    #[test]
     fn snapshot_roundtrips_through_json() {
         let hist = LatencyHistogram::new();
         hist.record(5);
@@ -1500,6 +1628,9 @@ mod tests {
             cone_evals: 13,
             analytic_nanos: 20,
             analytic_evals: 21,
+            screen_nanos: 22,
+            suspects_screened: 24,
+            suspects_refined: 23,
             store_hits: 8,
             store_misses: 9,
             store_flushes: 10,

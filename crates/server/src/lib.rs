@@ -70,9 +70,13 @@ pub struct Request {
     #[serde(default)]
     pub config: Option<CampaignConfig>,
     /// Kernel the tenant's session is pinned to: `""` (request/config
-    /// choice), `batched`, `scalar` or `analytic`.
+    /// choice), `batched`, `scalar`, `analytic` or `screened`.
     #[serde(default)]
     pub kernel: String,
+    /// Survivor budget of the analytic screen (screened kernel only);
+    /// pinned to the tenant's session at first use like the kernel.
+    #[serde(default)]
+    pub top_k: Option<usize>,
     /// Campaign chip indices to inject + diagnose (`submit`).
     #[serde(default)]
     pub chips: Vec<u64>,
@@ -91,6 +95,7 @@ impl Request {
             circuit: String::new(),
             config: None,
             kernel: String::new(),
+            top_k: None,
             chips: Vec::new(),
             behavior: None,
         }
@@ -233,12 +238,13 @@ struct TenantSessions {
 
 impl TenantSessions {
     /// Get-or-create the tenant's session. A tenant is pinned to the
-    /// kernel named at first use; naming a different one later is a
-    /// request error (open another tenant instead).
+    /// kernel (and screen top-K) named at first use; naming a different
+    /// one later is a request error (open another tenant instead).
     fn session(
         &self,
         tenant: &str,
         kernel: Option<SimKernel>,
+        top_k: Option<usize>,
     ) -> Result<Arc<DiagnosisSession>, String> {
         let mut sessions = self.sessions.lock().expect("session map poisoned");
         if let Some(existing) = sessions.get(tenant) {
@@ -249,11 +255,21 @@ impl TenantSessions {
                     kernel
                 ));
             }
+            if top_k.is_some() && existing.screen_top_k() != top_k {
+                return Err(format!(
+                    "tenant {tenant:?} is pinned to top_k {:?}; open a new tenant for {:?}",
+                    existing.screen_top_k(),
+                    top_k
+                ));
+            }
             return Ok(Arc::clone(existing));
         }
         let mut session = self.layer.session(tenant);
         if let Some(kernel) = kernel {
             session = session.with_kernel(kernel);
+        }
+        if let Some(top_k) = top_k {
+            session = session.with_screen_top_k(top_k);
         }
         let session = Arc::new(session);
         sessions.insert(tenant.to_string(), Arc::clone(&session));
@@ -304,8 +320,9 @@ fn parse_kernel(name: &str) -> Result<Option<SimKernel>, String> {
         "batched" => Ok(Some(SimKernel::Batched)),
         "scalar" => Ok(Some(SimKernel::Scalar)),
         "analytic" => Ok(Some(SimKernel::Analytic)),
+        "screened" => Ok(Some(SimKernel::Screened)),
         other => Err(format!(
-            "unknown kernel {other:?} (expected batched, scalar or analytic)"
+            "unknown kernel {other:?} (expected batched, scalar, analytic or screened)"
         )),
     }
 }
@@ -363,7 +380,7 @@ fn handle_submit(state: &ServerState, request: Request, writer: &SharedWriter) {
             return write_response(writer, &r);
         }
     };
-    let session = match state.tenants.session(&tenant, kernel) {
+    let session = match state.tenants.session(&tenant, kernel, request.top_k) {
         Ok(s) => s,
         Err(e) => {
             let mut r = Response::error(e);

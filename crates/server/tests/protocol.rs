@@ -1,8 +1,16 @@
 //! Protocol-robustness regression tests: malformed, oversized or
 //! garbage request lines must each produce a structured `error`
-//! response and leave the connection serving follow-up requests.
+//! response and leave the connection serving follow-up requests. Also
+//! pins the screened-kernel protocol surface: `"kernel": "screened"` +
+//! `top_k` submits serve rankings bit-identical to an in-process
+//! screened session.
 
+use sdd_core::defect::SingleDefectModel;
+use sdd_core::dictionary::SimKernel;
+use sdd_core::inject::CampaignConfig;
+use sdd_core::session::ArtifactLayer;
 use sdd_server::{Client, Request, Response, Server, ServerConfig, MAX_LINE_BYTES};
+use sdd_timing::{CellLibrary, CircuitTiming};
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpStream};
 use std::time::Duration;
@@ -22,6 +30,74 @@ fn connect(addr: SocketAddr) -> Client {
 fn assert_alive(client: &mut Client) {
     let pong = client.request(&Request::new("ping")).expect("ping");
     assert_eq!(pong.op, "pong", "connection must stay alive: {pong:?}");
+}
+
+#[test]
+fn screened_submit_is_bit_identical_to_in_process_screened_session() {
+    let config = CampaignConfig::quick(5);
+    let mut client = connect(start_server());
+    let mut request = Request::new("submit");
+    request.tenant = "screened-t".into();
+    request.circuit = "s27".into();
+    request.chips = vec![0, 1, 2];
+    request.config = Some(config.clone());
+    request.kernel = "screened".into();
+    request.top_k = Some(3);
+    let responses = client.submit(&request).expect("screened submit");
+    assert_eq!(responses.len(), 3, "one outcome per chip: {responses:?}");
+
+    // The in-process twin: same layer shape (cold, store-less), same
+    // kernel + top_k pinned on the session.
+    let profile = sdd_netlist::profiles::by_name("s27").unwrap();
+    let circuit = sdd_netlist::generator::generate(&profile.to_config(config.seed))
+        .unwrap()
+        .to_combinational()
+        .unwrap();
+    let library = CellLibrary::default_025um();
+    let timing = CircuitTiming::characterize(&circuit, &library, config.variation);
+    let model = SingleDefectModel::paper_section_i(library.nominal_cell_delay());
+    let session = ArtifactLayer::new()
+        .session("local")
+        .with_kernel(SimKernel::Screened)
+        .with_screen_top_k(3);
+
+    let mut compared = 0;
+    for (chip, response) in responses.iter().enumerate() {
+        assert_eq!(response.op, "outcome", "{response:?}");
+        let local = session.diagnose_instance(&circuit, &timing, &model, None, &config, chip);
+        match local {
+            Some(local) => {
+                assert_eq!(response.injected, Some(local.injected.index() as u64));
+                assert_eq!(
+                    response.rankings, local.rankings,
+                    "screened-served rankings for chip {chip} must be bit-identical"
+                );
+                compared += 1;
+            }
+            None => assert_eq!(
+                response.injected, None,
+                "chip {chip} undetectable both ways"
+            ),
+        }
+    }
+    assert!(compared > 0, "at least one chip must produce a ranking");
+
+    // The pin is sticky: re-submitting under the same tenant with a
+    // different kernel or top_k is a request error.
+    let mut conflict = request.clone();
+    conflict.kernel = "batched".into();
+    conflict.top_k = None;
+    client.send(&conflict).expect("send");
+    let response = client.recv().expect("recv").expect("response");
+    assert_eq!(response.op, "error", "{response:?}");
+    assert!(response.error.contains("pinned"), "{response:?}");
+    let mut retopk = request.clone();
+    retopk.top_k = Some(7);
+    client.send(&retopk).expect("send");
+    let response = client.recv().expect("recv").expect("response");
+    assert_eq!(response.op, "error", "{response:?}");
+    assert!(response.error.contains("top_k"), "{response:?}");
+    assert_alive(&mut client);
 }
 
 #[test]

@@ -125,10 +125,20 @@ impl GaussHermite {
     /// die-level component (the conditioning variable vanishes),
     /// [`DEFAULT_QUADRATURE_POINTS`] otherwise.
     pub fn for_variation(variation: &VariationModel) -> GaussHermite {
+        GaussHermite::for_variation_with(variation, DEFAULT_QUADRATURE_POINTS)
+    }
+
+    /// Like [`for_variation`](GaussHermite::for_variation) but with an
+    /// explicit point count for the die-level integral. Used by callers
+    /// that rank rather than estimate (the screened kernel's stage 1),
+    /// where a coarse rule resolves the ordering at a fraction of the
+    /// default rule's cost. Still collapses to the exact one-point rule
+    /// when the integrand does not depend on `g`.
+    pub fn for_variation_with(variation: &VariationModel, points: usize) -> GaussHermite {
         if variation.global_frac == 0.0 {
             GaussHermite::single()
         } else {
-            GaussHermite::new(DEFAULT_QUADRATURE_POINTS)
+            GaussHermite::new(points)
         }
     }
 
@@ -365,6 +375,84 @@ pub fn pattern_fail_probs(
     }
 }
 
+/// Batch scoring entry point for the screened dictionary pipeline:
+/// analytic match scores for every suspect against one observed
+/// pass/fail matrix, lower = better match.
+///
+/// A suspect is scored over the cells it can say anything about — the
+/// union of its reachable (output, pattern) cells and every observed
+/// *failing* cell — as the mean absolute deviation between the predicted
+/// fail probability and the observed 0/1 outcome. Reachable cells read
+/// the suspect's defective probability `err`; failing cells outside the
+/// reachable set read the defect-free baseline `m_crt` (a suspect that
+/// cannot reach a failing output pays `≈ |m_crt − 1|` there).
+///
+/// Because the score is a convex combination of per-cell `|p − b|`
+/// terms, a per-cell divergence bound transfers directly: if every
+/// analytic probability is within `ε` of its Monte-Carlo counterpart
+/// (the bounded-divergence contract), then every analytic score is
+/// within `ε` of the score the MC matrices would produce. Keeping all
+/// suspects within `margin = ε` of the K-th best analytic score
+/// therefore retains every suspect whose MC score would have placed it
+/// in the bare top K.
+///
+/// * `m_crt` — defect-free baseline, `n_out × n_patterns`.
+/// * `suspects` — per suspect, its reachable output positions and its
+///   `reachable.len() × n_patterns` defective probability matrix.
+/// * `failing` — per pattern, the positions of the observed-failing
+///   outputs.
+///
+/// # Panics
+///
+/// Panics if a failing position or reachable position exceeds
+/// `m_crt.rows()`, or a suspect matrix's pattern count mismatches.
+pub fn match_scores(
+    m_crt: &crate::crit::ProbMatrix,
+    suspects: &[(&[usize], &crate::crit::ProbMatrix)],
+    failing: &[Vec<usize>],
+) -> Vec<f64> {
+    let n_out = m_crt.rows();
+    let n_patterns = m_crt.cols();
+    assert_eq!(failing.len(), n_patterns, "failing/pattern count mismatch");
+    // Dense observed bits so reachable cells can look up their outcome.
+    let mut fails = vec![false; n_out * n_patterns];
+    for (j, outs) in failing.iter().enumerate() {
+        for &o in outs {
+            assert!(o < n_out, "failing output {o} out of range");
+            fails[o * n_patterns + j] = true;
+        }
+    }
+    suspects
+        .iter()
+        .map(|&(reachable, err)| {
+            assert_eq!(err.cols(), n_patterns, "suspect pattern count mismatch");
+            assert_eq!(err.rows(), reachable.len(), "suspect reachable mismatch");
+            let mut sum = 0.0;
+            let mut cells = 0usize;
+            for j in 0..n_patterns {
+                for (k, &o) in reachable.iter().enumerate() {
+                    let b = if fails[o * n_patterns + j] { 1.0 } else { 0.0 };
+                    sum += (err.get(k, j) - b).abs();
+                    cells += 1;
+                }
+                for &o in &failing[j] {
+                    if !reachable.contains(&o) {
+                        sum += (m_crt.get(o, j) - 1.0).abs();
+                        cells += 1;
+                    }
+                }
+            }
+            if cells == 0 {
+                // No reachable cells and an all-pass observation: nothing
+                // to contradict, perfect (vacuous) match.
+                0.0
+            } else {
+                sum / cells as f64
+            }
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -486,6 +574,50 @@ mod tests {
         for n in outside {
             assert_eq!(cone.slot_of(&c, n), None);
         }
+    }
+
+    #[test]
+    fn match_scores_rank_explaining_suspects_first() {
+        use crate::crit::ProbMatrix;
+        // Two outputs, two patterns; output 0 fails under both patterns.
+        let mut m_crt = ProbMatrix::zeros(2, 2);
+        m_crt.set(0, 0, 0.1);
+        m_crt.set(0, 1, 0.1);
+        // Suspect A reaches output 0 and predicts the failures.
+        let mut err_a = ProbMatrix::zeros(1, 2);
+        err_a.set(0, 0, 0.95);
+        err_a.set(0, 1, 0.9);
+        // Suspect B only reaches the passing output 1 and predicts a
+        // failure there — it both misses the real failures and
+        // contradicts the passing observation.
+        let mut err_b = ProbMatrix::zeros(1, 2);
+        err_b.set(0, 0, 0.8);
+        err_b.set(0, 1, 0.8);
+        let failing = vec![vec![0usize], vec![0usize]];
+        let scores = match_scores(
+            &m_crt,
+            &[(&[0usize][..], &err_a), (&[1usize][..], &err_b)],
+            &failing,
+        );
+        assert_eq!(scores.len(), 2);
+        for &s in &scores {
+            assert!((0.0..=1.0).contains(&s), "score {s} out of range");
+        }
+        // A: cells = reachable {(0,0),(0,1)}; |0.95-1| and |0.9-1|.
+        assert!((scores[0] - 0.075).abs() < 1e-12, "A = {}", scores[0]);
+        // B: reachable cells |0.8-0| twice plus unreached failing cells
+        // |0.1-1| twice → (0.8+0.8+0.9+0.9)/4.
+        assert!((scores[1] - 0.85).abs() < 1e-12, "B = {}", scores[1]);
+        assert!(scores[0] < scores[1], "explaining suspect must rank first");
+    }
+
+    #[test]
+    fn match_scores_vacuous_suspect_scores_zero() {
+        use crate::crit::ProbMatrix;
+        let m_crt = ProbMatrix::zeros(1, 1);
+        let err = ProbMatrix::zeros(0, 1);
+        let scores = match_scores(&m_crt, &[(&[][..], &err)], &[vec![]]);
+        assert_eq!(scores, vec![0.0]);
     }
 
     /// The whole point: analytic fail probabilities track a brute-force
